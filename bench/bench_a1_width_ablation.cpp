@@ -1,0 +1,51 @@
+// A1 (ablation) - the checkerboard block width.  The paper fixes width
+// ~sqrt(n); this sweep shows why: any other split pays more total messages,
+// and the post/query balance shifts linearly while the product #P * #Q
+// stays >= n (the Proposition 1 floor).
+#include <cmath>
+#include <iostream>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "core/lower_bound.h"
+#include "core/rendezvous_matrix.h"
+#include "strategies/checkerboard.h"
+
+int main() {
+    using namespace mm;
+    bench::banner("A1 (ablation): checkerboard block width",
+                  "Width w gives #P <= w, #Q <= ceil(n/w): the sum is minimized - and the\n"
+                  "2*sqrt(n) bound met - only at w = sqrt(n).");
+
+    const net::node_id n = 256;
+    analysis::table t{{"width", "#P", "#Q", "#P*#Q", "m(n)", "vs 2*sqrt(n)", "cache-max"}};
+    double best_m = 1e18;
+    int best_w = 0;
+    for (const int w : {1, 2, 4, 8, 12, 16, 20, 32, 64, 128, 256}) {
+        const strategies::checkerboard_strategy s{n, w};
+        const auto r = core::rendezvous_matrix::from_strategy(s);
+        if (!r.total()) {
+            std::cout << "width " << w << ": NOT TOTAL (bug)\n";
+            return 1;
+        }
+        const double m = r.average_message_passes();
+        if (m < best_m) {
+            best_m = m;
+            best_w = w;
+        }
+        const auto p = s.post_set(0).size();
+        const auto q = s.query_set(0).size();
+        const auto cache = bench::measure_cache_load(s);
+        t.add_row({analysis::table::num(static_cast<std::int64_t>(w)),
+                   analysis::table::num(static_cast<std::int64_t>(p)),
+                   analysis::table::num(static_cast<std::int64_t>(q)),
+                   analysis::table::num(static_cast<std::int64_t>(p * q)),
+                   analysis::table::num(m, 1), analysis::table::num(m / 32.0, 2),
+                   analysis::table::num(cache.max)});
+    }
+    std::cout << t.to_string() << "\n";
+
+    bench::shape_check("the optimum sits exactly at w = sqrt(n) = 16", best_w == 16);
+    bench::shape_check("the optimal m equals the 2*sqrt(n) bound", best_m == 32.0);
+    return 0;
+}

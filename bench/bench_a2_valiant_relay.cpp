@@ -1,0 +1,88 @@
+// A2 (ablation) - two-phase (Valiant) relaying.  Section 3.2: "Excessive
+// clogging at intermediate nodes may be prevented by sending messages to a
+// random address first, to be forwarded to their true destination second
+// [Valiant 1982]."  A skewed workload hammers one rendezvous region of a
+// hypercube; the 2x2 grid {fixed, randomized routing} x {direct, relayed}
+// shows that relaying pays off once per-hop tie-breaking is unbiased -
+// exactly Valiant's precondition.
+#include <iostream>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "net/topologies.h"
+#include "runtime/name_service.h"
+#include "strategies/cube.h"
+
+namespace {
+
+using namespace mm;
+
+struct load_profile {
+    std::int64_t peak = 0;   // hottest node's transit (carried) traffic
+    std::int64_t total = 0;  // all transit traffic
+    double imbalance = 0;    // peak / mean
+    bool all_found = true;
+};
+
+load_profile run_workload(bool relay, bool randomized_routing) {
+    const int d = 6;
+    const auto g = net::make_hypercube(d);
+    sim::simulator sim{g};
+    if (randomized_routing) sim.set_randomized_routing(17);
+    const strategies::hypercube_strategy strategy{d};
+    runtime::name_service ns{sim, strategy};
+    if (relay) ns.enable_valiant_relay(99);
+
+    const auto port = core::port_of("hot-service");
+    ns.register_server(port, 63);
+    sim.reset_traffic();
+    load_profile out;
+    // A burst of clients clustered in one subcube, all locating the same
+    // far-away service: the classic adversarial pattern.  Clogging =
+    // *carried* traffic; deliveries are endpoint work no routing can move.
+    for (int rep = 0; rep < 8; ++rep)
+        for (net::node_id client = 0; client < 16; ++client)
+            if (!ns.locate(port, client).found) out.all_found = false;
+
+    for (net::node_id v = 0; v < g.node_count(); ++v) out.total += sim.transit_traffic(v);
+    out.peak = sim.max_transit_traffic();
+    out.imbalance = static_cast<double>(out.peak) /
+                    (static_cast<double>(out.total) / g.node_count());
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    bench::banner("A2 (ablation): Valiant random relaying (Section 3.2 remark)",
+                  "128 locates from one corner of a d=6 cube to one far service: peak\n"
+                  "carried traffic under {fixed, randomized} routing x {direct, relay}.");
+
+    const auto fixed_direct = run_workload(false, false);
+    const auto fixed_relay = run_workload(true, false);
+    const auto rand_direct = run_workload(false, true);
+    const auto rand_relay = run_workload(true, true);
+
+    analysis::table t{{"routing", "delivery", "peak transit", "total transit", "peak/mean"}};
+    const auto row = [&](const char* r, const char* m, const load_profile& p) {
+        t.add_row({r, m, analysis::table::num(p.peak), analysis::table::num(p.total),
+                   analysis::table::num(p.imbalance, 2)});
+    };
+    row("fixed BFS", "direct", fixed_direct);
+    row("fixed BFS", "valiant relay", fixed_relay);
+    row("randomized", "direct", rand_direct);
+    row("randomized", "valiant relay", rand_relay);
+    std::cout << t.to_string() << "\n";
+    std::cout << "Fixed tie-breaking funnels everything through low-numbered nodes, so\n"
+                 "relaying alone cannot help; with unbiased per-hop choices the relay\n"
+                 "spreads the load (lower peak/mean), at ~2x total traffic.\n\n";
+
+    bench::shape_check("all locates succeed in all four configurations",
+                       fixed_direct.all_found && fixed_relay.all_found &&
+                           rand_direct.all_found && rand_relay.all_found);
+    bench::shape_check("randomized routing alone already lowers the peak",
+                       rand_direct.peak < fixed_direct.peak);
+    bench::shape_check("with randomized routing, relaying lowers peak/mean further",
+                       rand_relay.imbalance < rand_direct.imbalance);
+    return 0;
+}

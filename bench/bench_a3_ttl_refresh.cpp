@@ -1,0 +1,91 @@
+// A3 (ablation) - soft-state TTL vs refresh period.  Section 2.1 timestamps
+// posts; Section 5 has services "regularly poll their rendez-vous nodes".
+// This sweep measures the operating envelope: refresh faster than the TTL
+// and live services stay visible while crashed ones age out; refresh slower
+// and even live services flicker.
+#include <iostream>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "net/topologies.h"
+#include "runtime/name_service.h"
+#include "strategies/checkerboard.h"
+
+namespace {
+
+using namespace mm;
+
+struct envelope {
+    double live_availability = 0;   // locate success rate for a live server
+    double stale_rate = 0;          // success rate for a crashed server (want 0)
+    std::int64_t post_messages = 0; // upkeep cost
+};
+
+envelope measure(sim::time_point ttl, sim::time_point period) {
+    const auto g = net::make_complete(25);
+    sim::simulator sim{g};
+    const strategies::checkerboard_strategy strategy{25};
+    runtime::name_service ns{sim, strategy};
+    ns.set_entry_ttl(ttl);
+    ns.enable_auto_refresh(period);
+    const auto live_port = core::port_of("live");
+    const auto dead_port = core::port_of("dead");
+    ns.register_server(live_port, 3);
+    ns.register_server(dead_port, 7);
+    ns.run_for(2 * ttl);
+    ns.crash_node(7);
+
+    const auto posts_before = sim.stats().get(sim::counter_messages_sent);
+    envelope out;
+    constexpr int probes = 40;
+    int live_hits = 0;
+    int stale_hits = 0;
+    for (int k = 0; k < probes; ++k) {
+        ns.run_for(ttl / 4 + 1);
+        // Probe from varying clients, never from the crashed host itself.
+        net::node_id live_client = (k * 7 + 1) % 25;
+        net::node_id dead_client = (k * 11 + 2) % 25;
+        if (live_client == 7) live_client = 8;
+        if (dead_client == 7) dead_client = 8;
+        if (ns.locate(live_port, live_client).found) ++live_hits;
+        if (ns.locate(dead_port, dead_client).found) ++stale_hits;
+    }
+    out.live_availability = static_cast<double>(live_hits) / probes;
+    out.stale_rate = static_cast<double>(stale_hits) / probes;
+    out.post_messages = sim.stats().get(sim::counter_messages_sent) - posts_before;
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    bench::banner("A3 (ablation): entry TTL vs refresh period",
+                  "Live-server availability, stale-binding rate for a crashed server, and\n"
+                  "upkeep messages, across refresh/TTL ratios (TTL = 80 ticks).");
+
+    analysis::table t{{"refresh period", "ttl/period", "live avail", "stale rate", "upkeep msgs"}};
+    constexpr sim::time_point ttl = 80;
+    double fast_avail = 0;
+    double fast_stale = 1;
+    double slow_avail = 1;
+    for (const sim::time_point period : {10, 20, 40, 79, 120, 240}) {
+        const auto e = measure(ttl, period);
+        if (period == 10) {
+            fast_avail = e.live_availability;
+            fast_stale = e.stale_rate;
+        }
+        if (period == 240) slow_avail = e.live_availability;
+        t.add_row({analysis::table::num(static_cast<std::int64_t>(period)),
+                   analysis::table::num(static_cast<double>(ttl) / period, 2),
+                   analysis::table::num(e.live_availability, 2),
+                   analysis::table::num(e.stale_rate, 2),
+                   analysis::table::num(e.post_messages)});
+    }
+    std::cout << t.to_string() << "\n";
+
+    bench::shape_check("refresh faster than TTL: full availability, no stale bindings",
+                       fast_avail == 1.0 && fast_stale == 0.0);
+    bench::shape_check("refresh slower than TTL: live services flicker",
+                       slow_avail < 1.0);
+    return 0;
+}

@@ -1,0 +1,79 @@
+// A4 (ablation) - Lighthouse cache capacity.  Section 2.1 assumes caches
+// "large enough ... that they never have to discard"; Lighthouse Locate is
+// the regime where they are not.  This sweep shrinks per-node caches on the
+// network version and watches evictions rise and locate time degrade.
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "lighthouse/network_lighthouse.h"
+#include "net/topologies.h"
+
+namespace {
+
+using namespace mm;
+
+struct sweep_point {
+    std::int64_t median_time = 0;
+    std::int64_t evictions = 0;
+    double located = 0;
+};
+
+sweep_point run_capacity(std::size_t capacity) {
+    const auto g = net::make_grid(13, 13, net::wrap_mode::torus);
+    const net::routing_table routes{g};
+    std::vector<std::int64_t> times;
+    std::int64_t evictions = 0;
+    int located = 0;
+    constexpr int runs = 15;
+    for (int r = 0; r < runs; ++r) {
+        lighthouse::network_lighthouse_params p;
+        p.servers = {3, 40, 77, 100, 120, 150, 11, 64};
+        p.client = 84;
+        p.server_beam_length = 6;
+        p.server_period = 6;
+        p.trail_lifetime = 36;
+        p.client_base_length = 2;
+        p.client_period = 6;
+        p.cache_capacity = capacity;
+        p.max_time = 1 << 13;
+        p.seed = 100u + static_cast<unsigned>(r);
+        const auto result = run_network_lighthouse(g, routes, p);
+        times.push_back(result.time_to_locate);
+        evictions += result.cache_evictions;
+        if (result.located) ++located;
+    }
+    std::sort(times.begin(), times.end());
+    return {times[times.size() / 2], evictions / runs,
+            static_cast<double>(located) / runs};
+}
+
+}  // namespace
+
+int main() {
+    bench::banner("A4 (ablation): Lighthouse per-node cache capacity",
+                  "8 servers beam trails on a 13x13 torus; per-node LRU capacity sweeps\n"
+                  "from ample to starved ('too-small caches can discard pairs').");
+
+    analysis::table t{{"capacity", "median locate time", "mean evictions", "located"}};
+    sweep_point ample{};
+    sweep_point starved{};
+    for (const std::size_t capacity : {64u, 8u, 4u, 2u, 1u}) {
+        const auto point = run_capacity(capacity);
+        if (capacity == 64u) ample = point;
+        if (capacity == 1u) starved = point;
+        t.add_row({analysis::table::num(static_cast<std::int64_t>(capacity)),
+                   analysis::table::num(point.median_time),
+                   analysis::table::num(point.evictions),
+                   analysis::table::num(point.located, 2)});
+    }
+    std::cout << t.to_string() << "\n";
+
+    bench::shape_check("ample caches see no evictions", ample.evictions == 0);
+    bench::shape_check("starved caches evict heavily yet still locate eventually",
+                       starved.evictions > 0 && starved.located > 0.5);
+    bench::shape_check("starvation does not beat ample capacity on median time",
+                       starved.median_time >= ample.median_time);
+    return 0;
+}

@@ -1,0 +1,82 @@
+// E11 - Section 3, opening: the generic scheme for arbitrary connected
+// networks.  Partition into connected ~sqrt(n) parts with full label sets;
+// servers post to their label everywhere (O(n) routed passes), clients
+// broadcast inside their own part (<= ~sqrt(n)), caches stay O(sqrt(n)).
+#include <cmath>
+#include <iostream>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "core/rendezvous_matrix.h"
+#include "net/partition.h"
+#include "net/random_graphs.h"
+#include "net/topologies.h"
+#include "runtime/name_service.h"
+#include "strategies/partition_strategy.h"
+
+int main() {
+    using namespace mm;
+    bench::banner("E11: generic scheme on arbitrary connected graphs (Section 3)",
+                  "Server: post to every node carrying its label, O(n) routed passes.\n"
+                  "Client: broadcast in its own connected part, <= ~sqrt(n) passes.");
+
+    struct topo_case {
+        std::string label;
+        net::graph graph;
+    };
+    std::vector<topo_case> cases;
+    cases.push_back({"grid 16x16", net::make_grid(16, 16)});
+    cases.push_back({"ring 256", net::make_ring(256)});
+    cases.push_back({"tree b3 d5", net::make_balanced_tree(3, 5)});
+    cases.push_back({"uucp-like 256", net::make_uucp_like(256, 128, 7u)});
+
+    analysis::table t{{"topology", "n", "parts", "labels", "m(n) addr", "server routed",
+                       "client routed", "cache-max"}};
+    bool client_cheap = true;
+    for (auto& c : cases) {
+        const net::node_id n = c.graph.node_count();
+        const auto part = net::partition_connected(c.graph);
+        const strategies::partition_strategy s{part};
+        const net::routing_table routes{c.graph};
+        // Server-side routed cost: multicast posts to the label set.
+        double server_cost = 0;
+        double client_cost = 0;
+        const int stride = 7;
+        int samples = 0;
+        for (net::node_id v = 0; v < n; v += stride) {
+            server_cost += static_cast<double>(routes.multicast_cost(v, s.post_set(v)));
+            client_cost += static_cast<double>(routes.multicast_cost(v, s.query_set(v)));
+            ++samples;
+        }
+        server_cost /= samples;
+        client_cost /= samples;
+        // The client side must stay ~sqrt(n): parts are capped below
+        // 2*ceil(sqrt(n)) nodes, so the routed broadcast is below ~2*sqrt(n).
+        if (client_cost > 2.5 * std::sqrt(static_cast<double>(n))) client_cheap = false;
+        const auto cache = bench::measure_cache_load(s);
+        t.add_row({c.label, analysis::table::num(static_cast<std::int64_t>(n)),
+                   analysis::table::num(static_cast<std::int64_t>(part.part_count())),
+                   analysis::table::num(static_cast<std::int64_t>(part.label_count)),
+                   analysis::table::num(core::average_message_passes(s), 1),
+                   analysis::table::num(server_cost, 1), analysis::table::num(client_cost, 1),
+                   analysis::table::num(cache.max)});
+    }
+    std::cout << t.to_string() << "\n";
+
+    // End-to-end: the runtime locates across the partition strategy on a grid.
+    const auto grid = net::make_grid(10, 10);
+    sim::simulator sim{grid};
+    const strategies::partition_strategy strategy{net::partition_connected(grid)};
+    runtime::name_service ns{sim, strategy};
+    const core::port_id port = core::port_of("generic-service");
+    ns.register_server(port, 57);
+    int found = 0;
+    for (net::node_id client = 0; client < 100; client += 9)
+        if (ns.locate(port, client).found) ++found;
+    std::cout << "Runtime locate drill on the 10x10 grid: " << found << "/12 clients found "
+              << "the server.\n\n";
+
+    bench::shape_check("client broadcast cost stays O(sqrt(n)) on all topologies", client_cheap);
+    bench::shape_check("all runtime locates succeeded", found == 12);
+    return 0;
+}

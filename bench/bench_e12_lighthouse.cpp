@@ -1,0 +1,118 @@
+// E12 - Section 4: Lighthouse Locate.  Doubling vs ruler client schedules
+// across server densities, plus the reverse-routing-table network beams.
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "lighthouse/lighthouse_sim.h"
+#include "lighthouse/network_beam.h"
+#include "net/topologies.h"
+
+namespace {
+
+using namespace mm;
+
+struct aggregate {
+    std::int64_t median_time = 0;
+    double mean_messages = 0;
+    double located_fraction = 0;
+};
+
+aggregate run_many(lighthouse::client_schedule schedule, double density, int runs,
+                   double drift = 0.0) {
+    std::vector<std::int64_t> times;
+    double messages = 0;
+    int located = 0;
+    for (int r = 0; r < runs; ++r) {
+        lighthouse::lighthouse_params p;
+        p.width = 128;
+        p.height = 128;
+        p.server_density = density;
+        p.server_beam_length = 24;
+        p.server_period = 8;
+        p.trail_lifetime = 48;
+        p.client_base_length = 2;
+        p.client_period = 8;
+        p.schedule = schedule;
+        p.server_drift = drift;
+        p.max_time = 1 << 15;
+        p.seed = 1000u + static_cast<unsigned>(r);
+        const auto result = lighthouse::run_lighthouse(p);
+        times.push_back(result.time_to_locate);
+        messages += static_cast<double>(result.client_messages);
+        if (result.located) ++located;
+    }
+    std::sort(times.begin(), times.end());
+    return {times[times.size() / 2], messages / runs,
+            static_cast<double>(located) / runs};
+}
+
+}  // namespace
+
+int main() {
+    bench::banner("E12: Lighthouse Locate (Section 4)",
+                  "Servers beam trails that expire; clients probe with doubling or the\n"
+                  "ruler schedule 1213121412131215... (binary-counter maintained).");
+
+    analysis::table t{{"density s", "schedule", "median time", "mean client msgs", "located"}};
+    constexpr int runs = 9;
+    bool denser_is_faster = true;
+    std::int64_t previous_median = -1;
+    for (const double density : {0.02, 0.005, 0.00125}) {
+        const auto doubling = run_many(lighthouse::client_schedule::doubling, density, runs);
+        const auto ruler = run_many(lighthouse::client_schedule::ruler, density, runs);
+        t.add_row({analysis::table::num(density, 5), "doubling",
+                   analysis::table::num(doubling.median_time),
+                   analysis::table::num(doubling.mean_messages, 0),
+                   analysis::table::num(doubling.located_fraction, 2)});
+        t.add_row({analysis::table::num(density, 5), "ruler",
+                   analysis::table::num(ruler.median_time),
+                   analysis::table::num(ruler.mean_messages, 0),
+                   analysis::table::num(ruler.located_fraction, 2)});
+        if (previous_median >= 0 && doubling.median_time < previous_median)
+            denser_is_faster = false;
+        previous_median = doubling.median_time;
+    }
+    std::cout << t.to_string() << "\n";
+
+    // Mobile servers: "the servers which drift nearer to the client are
+    // located with less time-loss" - the ruler schedule keeps short beams
+    // in play, so drifting worlds favor it even more.
+    analysis::table drift_table{{"drift", "schedule", "median time", "located"}};
+    for (const double drift : {0.0, 0.25}) {
+        for (const auto schedule :
+             {lighthouse::client_schedule::doubling, lighthouse::client_schedule::ruler}) {
+            const auto agg = run_many(schedule, 0.002, runs, drift);
+            drift_table.add_row(
+                {analysis::table::num(drift, 2),
+                 schedule == lighthouse::client_schedule::doubling ? "doubling" : "ruler",
+                 analysis::table::num(agg.median_time),
+                 analysis::table::num(agg.located_fraction, 2)});
+        }
+    }
+    std::cout << "Mobile servers (drift = per-tick step probability):\n"
+              << drift_table.to_string() << "\n";
+
+    // Network beams: rasterized "straight lines" on a point-to-point net.
+    const auto g = net::make_grid(15, 15);
+    const net::routing_table routes{g};
+    sim::rng random{5};
+    int monotone = 0;
+    constexpr int beams = 200;
+    double mean_length = 0;
+    for (int b = 0; b < beams; ++b) {
+        const auto trace = lighthouse::trace_network_beam(g, routes, 112, 7, random);
+        if (trace.monotone_away) ++monotone;
+        mean_length += static_cast<double>(trace.nodes.size());
+    }
+    std::cout << "Network beams from the grid center: " << monotone << "/" << beams
+              << " moved strictly away from the origin, mean length "
+              << analysis::table::num(mean_length / beams, 2) << " hops of 7 requested.\n\n";
+
+    bench::shape_check("median locate time grows as density drops (doubling schedule)",
+                       denser_is_faster);
+    bench::shape_check("all reverse-routing beams move strictly away from their origin",
+                       monotone == beams);
+    return 0;
+}

@@ -1,0 +1,100 @@
+// E13 - Section 5: Hash Locate.  Two-message matches; fragility under node
+// crashes versus the replication factor; rehash recovery through the
+// runtime's fallback path.
+#include <iostream>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "core/rendezvous_matrix.h"
+#include "net/topologies.h"
+#include "runtime/name_service.h"
+#include "sim/rng.h"
+#include "strategies/checkerboard.h"
+#include "strategies/hash_locate.h"
+
+int main() {
+    using namespace mm;
+    bench::banner("E13: Hash Locate (Section 5)",
+                  "P = Q = hash(port): 2 addressed nodes per match - cheaper than any\n"
+                  "Shotgun scheme - but a service dies with its rendezvous nodes unless\n"
+                  "replicated or rehashed.");
+
+    const net::node_id n = 64;
+
+    // Cost comparison against the truly distributed Shotgun optimum.
+    analysis::table costs{{"strategy", "m(n)"}};
+    const strategies::hash_locate_strategy hash1{n, 1};
+    const strategies::checkerboard_strategy checker{n};
+    costs.add_row({hash1.name(), analysis::table::num(core::average_message_passes(hash1), 1)});
+    costs.add_row({checker.name(), analysis::table::num(core::average_message_passes(checker), 1)});
+    std::cout << costs.to_string() << "\n";
+
+    // Fragility: crash f random nodes; what fraction of 200 ports lost every
+    // rendezvous replica?
+    analysis::table fragility{{"replicas r", "f=4 crashed", "f=8 crashed", "f=16 crashed"}};
+    std::vector<std::vector<double>> dead_rate(5, std::vector<double>(3, 0.0));
+    bool replication_helps = true;
+    for (int r = 1; r <= 4; ++r) {
+        std::vector<std::string> row{analysis::table::num(static_cast<std::int64_t>(r))};
+        for (int fi = 0; fi < 3; ++fi) {
+            const int f = 4 << fi;
+            sim::rng random{77u + static_cast<unsigned>(r * 31 + fi)};
+            int dead_ports = 0;
+            constexpr int trials = 40;
+            constexpr int ports = 50;
+            for (int trial = 0; trial < trials; ++trial) {
+                // Crash f distinct random nodes.
+                std::vector<char> crashed(static_cast<std::size_t>(n), 0);
+                int down = 0;
+                while (down < f) {
+                    const auto v = static_cast<std::size_t>(random.uniform(0, n - 1));
+                    if (!crashed[v]) {
+                        crashed[v] = 1;
+                        ++down;
+                    }
+                }
+                const strategies::hash_locate_strategy s{n, r};
+                for (int k = 0; k < ports; ++k) {
+                    const auto port = core::port_of("svc" + std::to_string(k));
+                    bool alive = false;
+                    for (const net::node_id v : s.post_set(0, port))
+                        if (!crashed[static_cast<std::size_t>(v)]) alive = true;
+                    if (!alive) ++dead_ports;
+                }
+            }
+            const double rate = static_cast<double>(dead_ports) / (trials * ports);
+            dead_rate[static_cast<std::size_t>(r)][static_cast<std::size_t>(fi)] = rate;
+            row.push_back(analysis::table::num(rate, 4));
+        }
+        fragility.add_row(std::move(row));
+    }
+    for (int fi = 0; fi < 3; ++fi)
+        if (dead_rate[1][static_cast<std::size_t>(fi)] <
+            dead_rate[4][static_cast<std::size_t>(fi)])
+            replication_helps = false;
+    std::cout << "Fraction of services with ALL rendezvous replicas crashed:\n"
+              << fragility.to_string() << "\n";
+
+    // Rehash recovery: kill the primary rendezvous, locate via fallbacks.
+    const auto g = net::make_complete(n);
+    sim::simulator sim{g};
+    const strategies::hash_locate_strategy primary{n, 1, 0};
+    const strategies::hash_locate_strategy backup1{n, 1, 1};
+    const strategies::hash_locate_strategy backup2{n, 1, 2};
+    runtime::name_service ns{sim, primary};
+    const core::port_id port = core::port_of("database");
+    ns.register_server(port, 5);
+    ns.crash_node(primary.rendezvous_node(port, 0));
+    const auto recovered = ns.locate_with_fallback(port, 20, {&backup1, &backup2});
+    std::cout << "Rehash drill: primary rendezvous crashed; locate "
+              << (recovered.found ? "succeeded" : "FAILED") << " after " << recovered.stages
+              << " attempts (" << recovered.message_passes << " message passes).\n\n";
+
+    bench::shape_check("hash locate costs m = 2 vs checkerboard 2*sqrt(n) = 16",
+                       core::average_message_passes(hash1) == 2.0);
+    bench::shape_check("replication r=4 strictly reduces service-kill probability vs r=1",
+                       replication_helps);
+    bench::shape_check("rehash fallback recovers the service after a rendezvous crash",
+                       recovered.found && recovered.stages > 1);
+    return 0;
+}

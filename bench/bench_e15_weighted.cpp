@@ -1,0 +1,48 @@
+// E15 - constraint (M3'): weighted match-making.  When clients locate
+// alpha times more often than servers post, the optimal split is
+// #P ~ sqrt(n*alpha), #Q ~ sqrt(n/alpha); the tuned checkerboard beats the
+// balanced one on weighted cost at every alpha != 1.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "core/rendezvous_matrix.h"
+#include "strategies/checkerboard.h"
+
+int main() {
+    using namespace mm;
+    bench::banner("E15: weighted match-making, (M3') (Section 2.3.2)",
+                  "m(i,j) = #P + alpha*#Q.  The tuned checkerboard picks width ~\n"
+                  "sqrt(n*alpha) and never loses to the balanced split.");
+
+    const net::node_id n = 256;
+    analysis::table t{{"alpha", "tuned width", "#P", "#Q", "tuned cost", "balanced cost",
+                       "saving"}};
+    const strategies::checkerboard_strategy balanced{n};
+    bool never_worse = true;
+    bool skews_right = true;
+    for (const double alpha : {1.0 / 16, 1.0 / 4, 1.0, 4.0, 16.0, 64.0}) {
+        const auto tuned = strategies::make_weighted_checkerboard(n, alpha);
+        const double tuned_cost = core::average_weighted_message_passes(tuned, alpha);
+        const double balanced_cost = core::average_weighted_message_passes(balanced, alpha);
+        if (tuned_cost > balanced_cost + 1e-9) never_worse = false;
+        const auto p = tuned.post_set(0).size();
+        const auto q = tuned.query_set(0).size();
+        if (alpha > 1.0 && p < q) skews_right = false;
+        if (alpha < 1.0 && p > q) skews_right = false;
+        t.add_row({analysis::table::num(alpha, 4),
+                   analysis::table::num(static_cast<std::int64_t>(tuned.width())),
+                   analysis::table::num(static_cast<std::int64_t>(p)),
+                   analysis::table::num(static_cast<std::int64_t>(q)),
+                   analysis::table::num(tuned_cost, 1), analysis::table::num(balanced_cost, 1),
+                   analysis::table::num(balanced_cost - tuned_cost, 1)});
+    }
+    std::cout << t.to_string() << "\n";
+
+    bench::shape_check("the tuned split never loses to the balanced one", never_worse);
+    bench::shape_check("alpha > 1 widens posts, alpha < 1 widens queries", skews_right);
+    bench::shape_check("at alpha = 1 the tuned width equals the balanced sqrt(n) = 16",
+                       strategies::weighted_checker_width(n, 1.0) == 16);
+    return 0;
+}

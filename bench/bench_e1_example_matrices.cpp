@@ -1,0 +1,83 @@
+// E1 - Section 2.3.1: the six example rendezvous matrices, printed exactly
+// as in the paper (1-based node numbers; the 3-cube in binary).
+#include <bitset>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/rendezvous_matrix.h"
+#include "strategies/basic.h"
+#include "strategies/checkerboard.h"
+#include "strategies/cube.h"
+#include "strategies/tree_path.h"
+
+namespace {
+
+using namespace mm;
+
+void print_matrix(const std::string& title, const core::rendezvous_matrix& r) {
+    std::cout << title << "\n" << r.to_string() << "\n";
+}
+
+}  // namespace
+
+int main() {
+    bench::banner("E1: rendezvous matrix examples 1-6 (Section 2.3.1)",
+                  "Each matrix entry r_ij is the rendezvous node for server i, client j.");
+
+    const core::port_id port = core::port_of("example");
+
+    const strategies::broadcast_strategy broadcast{9};
+    auto r1 = core::rendezvous_matrix::from_strategy(broadcast, port);
+    print_matrix("Example 1 - Broadcasting (server stays put, client looks everywhere):", r1);
+
+    const strategies::sweep_strategy sweep{9};
+    auto r2 = core::rendezvous_matrix::from_strategy(sweep, port);
+    print_matrix("Example 2 - Sweeping (client stays put, server looks for work):", r2);
+
+    const strategies::central_strategy central{9, 2};
+    auto r3 = core::rendezvous_matrix::from_strategy(central, port);
+    print_matrix("Example 3 - Centralized name server (all traffic via node 3):", r3);
+
+    const strategies::checkerboard_strategy checker{9};
+    auto r4 = core::rendezvous_matrix::from_strategy(checker, port);
+    print_matrix("Example 4 - Truly distributed name server (checkerboard):", r4);
+
+    // Example 5: hierarchy 1,2,3 < 7; 4,5,6 < 8; 7,8 < 9; the paper prints
+    // the effective (deepest) rendezvous of each pair.
+    const std::vector<net::node_id> parent{6, 6, 6, 7, 7, 7, 8, 8, net::invalid_node};
+    const strategies::tree_path_strategy tree{parent};
+    std::cout << "Example 5 - Hierarchically distributed name server (1,2,3<7; 4,5,6<8; 7,8<9):\n";
+    for (net::node_id i = 0; i < 9; ++i) {
+        for (net::node_id j = 0; j < 9; ++j)
+            std::cout << tree.effective_rendezvous(i, j) + 1 << (j == 8 ? "" : " ");
+        std::cout << "\n";
+    }
+    std::cout << "\n";
+
+    // Example 6: binary 3-cube, P(abc) = {axy}, Q(abc) = {xbc}.
+    const strategies::hypercube_strategy cube{3, 2};
+    auto r6 = core::rendezvous_matrix::from_strategy(cube, port);
+    std::cout << "Example 6 - Distributed name server for the binary 3-cube:\n";
+    for (net::node_id i = 0; i < 8; ++i) {
+        for (net::node_id j = 0; j < 8; ++j) {
+            const auto& e = r6.entry(i, j);
+            std::cout << std::bitset<3>(static_cast<unsigned>(e.front())).to_string()
+                      << (j == 7 ? "" : " ");
+        }
+        std::cout << "\n";
+    }
+    std::cout << "\n";
+
+    bench::shape_check("examples 1-4, 6 are total singleton matrices",
+                       r1.total() && r1.singleton() && r2.total() && r3.total() &&
+                           r3.singleton() && r4.total() && r4.singleton() && r6.total() &&
+                           r6.singleton());
+    bench::shape_check("broadcast/sweep cost n+1 = 10, central costs 2, checkerboard 2*sqrt(n) = 6",
+                       r1.average_message_passes() == 10.0 &&
+                           r2.average_message_passes() == 10.0 &&
+                           r3.average_message_passes() == 2.0 &&
+                           r4.average_message_passes() == 6.0);
+    bench::shape_check("3-cube pays 2^2 + 2^1 = 6 message passes per match",
+                       r6.average_message_passes() == 6.0);
+    return 0;
+}

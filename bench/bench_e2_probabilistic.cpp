@@ -1,0 +1,60 @@
+// E2 - Section 2.2: the probabilistic analysis.  E[#(P n Q)] = pq/n, and
+// one expected rendezvous requires p + q >= 2*sqrt(n).
+#include <cmath>
+#include <iostream>
+
+#include "analysis/montecarlo.h"
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "strategies/random_strategy.h"
+
+int main() {
+    using namespace mm;
+    bench::banner("E2: probabilistic analysis of random P/Q (Section 2.2)",
+                  "Monte-Carlo E[#(P n Q)] against the paper's pq/n; the hit rate crosses\n"
+                  "~63% (1 - 1/e) where p + q reaches the 2*sqrt(n) threshold.");
+
+    constexpr std::int64_t samples = 3000;
+    analysis::table t{{"n", "p", "q", "p+q", "2*sqrt(n)", "pq/n", "measured", "stderr",
+                       "hit-rate"}};
+    bool expectation_ok = true;
+    for (const net::node_id n : {64, 256, 1024}) {
+        const int root = static_cast<int>(std::lround(std::sqrt(static_cast<double>(n))));
+        for (const int scale : {root / 2, root, 2 * root}) {
+            const int p = std::max(1, scale);
+            const int q = std::max(1, scale);
+            const strategies::random_strategy s{n, p, q, 1000u + static_cast<unsigned>(n)};
+            const auto est = analysis::estimate_intersection(s, samples, 7u);
+            t.add_row({analysis::table::num(static_cast<std::int64_t>(n)),
+                       analysis::table::num(static_cast<std::int64_t>(p)),
+                       analysis::table::num(static_cast<std::int64_t>(q)),
+                       analysis::table::num(static_cast<std::int64_t>(p + q)),
+                       analysis::table::num(2.0 * std::sqrt(static_cast<double>(n)), 1),
+                       analysis::table::num(est.expected, 3),
+                       analysis::table::num(est.mean, 3), analysis::table::num(est.stderr_mean, 3),
+                       analysis::table::num(est.hit_rate, 3)});
+            if (std::abs(est.mean - est.expected) > 6.0 * std::max(0.02, est.stderr_mean))
+                expectation_ok = false;
+        }
+    }
+    std::cout << t.to_string() << "\n";
+
+    // Threshold scan at n = 256: where does the expected intersection pass 1?
+    analysis::table scan{{"p=q", "p+q", "pq/n", "hit-rate"}};
+    double crossing_sum = 0;
+    for (int p = 4; p <= 32; p += 4) {
+        const strategies::random_strategy s{256, p, p, 99u};
+        const auto est = analysis::estimate_intersection(s, samples, 21u);
+        scan.add_row({analysis::table::num(static_cast<std::int64_t>(p)),
+                      analysis::table::num(static_cast<std::int64_t>(2 * p)),
+                      analysis::table::num(est.expected, 3),
+                      analysis::table::num(est.hit_rate, 3)});
+        if (crossing_sum == 0 && est.expected >= 1.0) crossing_sum = 2 * p;
+    }
+    std::cout << scan.to_string() << "\n";
+
+    bench::shape_check("measured E[#(P n Q)] matches pq/n within sampling error", expectation_ok);
+    bench::shape_check("expected intersection reaches 1 at p+q = 2*sqrt(256) = 32",
+                       crossing_sum == 32);
+    return 0;
+}

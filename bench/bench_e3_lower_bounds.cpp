@@ -1,0 +1,66 @@
+// E3 - Sections 2.3.2-2.3.3, Propositions 1-2 and corollaries: every
+// strategy's m(n) against its own lower bound (2/n) * sum sqrt(k_i).
+// Centralized strategies bound at 2, truly distributed ones at 2*sqrt(n).
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "core/lower_bound.h"
+#include "net/hierarchy.h"
+#include "strategies/basic.h"
+#include "strategies/checkerboard.h"
+#include "strategies/cube.h"
+#include "strategies/grid.h"
+#include "strategies/hash_locate.h"
+#include "strategies/hierarchical.h"
+#include "strategies/projective.h"
+
+int main() {
+    using namespace mm;
+    bench::banner(
+        "E3: lower bounds, Propositions 1-2 (Sections 2.3.2-2.3.3)",
+        "m(n) >= (2/n) sum_i sqrt(k_i); ratio 1.00 means the strategy exactly meets\n"
+        "its own load profile's bound.  Prop 1: sum #P#Q >= (sum sqrt(k_i))^2.");
+
+    analysis::table t{{"strategy", "n", "m(n)", "bound", "ratio", "prop1-lhs", "prop1-rhs",
+                       "holds"}};
+    bool all_hold = true;
+    bool optimal_meet = true;
+
+    const auto add = [&](const core::locate_strategy& s, bool expect_meets_bound = false) {
+        const auto r = core::rendezvous_matrix::from_strategy(s, core::port_of("e3"));
+        const auto report = core::check_bounds(r);
+        all_hold = all_hold && report.all_hold();
+        if (expect_meets_bound && report.optimality_ratio() > 1.0001) optimal_meet = false;
+        t.add_row({s.name(), analysis::table::num(static_cast<std::int64_t>(s.node_count())),
+                   analysis::table::num(report.average_messages, 2),
+                   analysis::table::num(report.message_bound, 2),
+                   analysis::table::num(report.optimality_ratio(), 2),
+                   analysis::table::num(report.product_sum, 0),
+                   analysis::table::num(report.product_sum_bound, 0),
+                   report.all_hold() ? "yes" : "NO"});
+    };
+
+    for (const net::node_id n : {16, 64, 256}) {
+        add(strategies::broadcast_strategy{n});
+        add(strategies::sweep_strategy{n});
+        add(strategies::central_strategy{n, 0}, /*expect_meets_bound=*/true);
+        add(strategies::flood_strategy{n});
+        add(strategies::checkerboard_strategy{n}, /*expect_meets_bound=*/true);
+        const auto root = static_cast<net::node_id>(std::lround(std::sqrt(n)));
+        add(strategies::manhattan_strategy{root, root}, /*expect_meets_bound=*/true);
+        add(strategies::hash_locate_strategy{n});
+    }
+    add(strategies::hypercube_strategy{6}, true);
+    add(strategies::projective_strategy{7});
+    add(strategies::hierarchical_strategy{net::hierarchy{{4, 4, 4}}});
+
+    std::cout << t.to_string() << "\n";
+    bench::shape_check("Propositions 1 and 2 hold for every strategy", all_hold);
+    bench::shape_check(
+        "central, checkerboard, square manhattan and hypercube exactly meet their bounds",
+        optimal_meet);
+    return 0;
+}

@@ -1,0 +1,74 @@
+// E4 - Section 2.3.4, Propositions 3-4: the checkerboard construction
+// (nearly) meets the 2*sqrt(n) lower bound at every n, and the lifting
+// R -> R' scales any strategy to 4n nodes with m'(4n) = 2*m(n).
+#include <cmath>
+#include <iostream>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "core/lifting.h"
+#include "core/lower_bound.h"
+#include "strategies/checkerboard.h"
+
+namespace {
+
+using namespace mm;
+
+core::rendezvous_matrix normalized(const core::locate_strategy& s) {
+    const auto r = core::rendezvous_matrix::from_strategy(s);
+    std::vector<core::node_set> entries;
+    for (net::node_id i = 0; i < r.size(); ++i)
+        for (net::node_id j = 0; j < r.size(); ++j) entries.push_back(r.entry(i, j));
+    return core::rendezvous_matrix::from_entries(r.size(), std::move(entries));
+}
+
+}  // namespace
+
+int main() {
+    bench::banner("E4: upper bounds, Propositions 3-4 (Section 2.3.4)",
+                  "Checkerboard m(n) vs the 2*sqrt(n) truly-distributed bound; lifting\n"
+                  "doubles m while quadrupling n, preserving optimality.");
+
+    analysis::table prop3{{"n", "m(n)", "2*sqrt(n)", "ratio"}};
+    bool near_optimal = true;
+    for (const net::node_id n :
+         {4, 9, 16, 25, 30, 36, 64, 77, 100, 144, 256, 500, 529, 1024, 2000, 2025, 4096}) {
+        const strategies::checkerboard_strategy s{n};
+        const double m = core::average_message_passes(s);
+        const double bound = core::truly_distributed_bound(n);
+        const double ratio = m / bound;
+        // Proposition 3: #P + #Q <= 2*ceil(sqrt(n)) + 1 slack for ragged n.
+        if (ratio > 1.3) near_optimal = false;
+        prop3.add_row({analysis::table::num(static_cast<std::int64_t>(n)),
+                       analysis::table::num(m, 2), analysis::table::num(bound, 2),
+                       analysis::table::num(ratio, 3)});
+    }
+    std::cout << "Proposition 3 - checkerboard vs the truly distributed bound:\n"
+              << prop3.to_string() << "\n";
+
+    analysis::table prop4{{"lift step", "n", "m(n)", "2*sqrt(n)", "m doubled?"}};
+    auto matrix = normalized(strategies::checkerboard_strategy{4});
+    double previous = matrix.average_message_passes();
+    bool doubling_exact = true;
+    prop4.add_row({"0", analysis::table::num(static_cast<std::int64_t>(matrix.size())),
+                   analysis::table::num(previous, 2),
+                   analysis::table::num(core::truly_distributed_bound(matrix.size()), 2), "-"});
+    for (int step = 1; step <= 4; ++step) {
+        matrix = core::lift(matrix);
+        const double m = matrix.average_message_passes();
+        const bool doubled = std::abs(m - 2.0 * previous) < 1e-9;
+        doubling_exact = doubling_exact && doubled;
+        prop4.add_row({analysis::table::num(static_cast<std::int64_t>(step)),
+                       analysis::table::num(static_cast<std::int64_t>(matrix.size())),
+                       analysis::table::num(m, 2),
+                       analysis::table::num(core::truly_distributed_bound(matrix.size()), 2),
+                       doubled ? "yes" : "NO"});
+        previous = m;
+    }
+    std::cout << "Proposition 4 - lifting R (n=4 checkerboard) through 4 steps:\n"
+              << prop4.to_string() << "\n";
+
+    bench::shape_check("checkerboard within 1.3x of 2*sqrt(n) at every n", near_optimal);
+    bench::shape_check("each lift exactly doubles m(n) (m'(4n) = 2m(n))", doubling_exact);
+    return 0;
+}

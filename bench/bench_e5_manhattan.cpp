@@ -1,0 +1,72 @@
+// E5 - Section 3.1: Manhattan networks.  The 9-node matrix, the p x q cost
+// m = p + q with caches O(q), m(n) = 2*sqrt(n) at p = q, wrap-around
+// (torus) routed costs, and the d-dimensional mesh generalization
+// m(n) = 2 * n^((d-1)/d).
+#include <cmath>
+#include <iostream>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "core/rendezvous_matrix.h"
+#include "net/topologies.h"
+#include "strategies/grid.h"
+
+int main() {
+    using namespace mm;
+    bench::banner("E5: Manhattan networks (Section 3.1)",
+                  "Post along the row, query along the column; the rendezvous is the\n"
+                  "crossing.  m = p + q, caches O(q); at p = q, m(n) = 2*sqrt(n).");
+
+    // The paper's 9-node grid matrix.
+    const strategies::manhattan_strategy nine{3, 3};
+    std::cout << "Rendezvous matrix of the 3x3 Manhattan network (paper layout):\n"
+              << core::rendezvous_matrix::from_strategy(nine).to_string() << "\n";
+
+    analysis::table sweep{{"p", "q", "n", "m=p+q", "2*sqrt(n)", "routed(grid)", "routed(torus)",
+                           "cache-max"}};
+    bool square_optimal = true;
+    for (const auto& [p, q] : {std::pair{3, 3}, {4, 4}, {8, 8}, {16, 16}, {4, 16}, {2, 32},
+                               {8, 32}}) {
+        const strategies::manhattan_strategy s{p, q};
+        const auto grid = net::make_grid(p, q);
+        const auto torus = net::make_grid(p, q, net::wrap_mode::torus);
+        const net::routing_table grid_routes{grid};
+        const net::routing_table torus_routes{torus};
+        const double m = core::average_message_passes(s);
+        const auto cache = bench::measure_cache_load(s);
+        if (p == q && std::abs(m - 2.0 * p) > 1e-9) square_optimal = false;
+        sweep.add_row({analysis::table::num(static_cast<std::int64_t>(p)),
+                       analysis::table::num(static_cast<std::int64_t>(q)),
+                       analysis::table::num(static_cast<std::int64_t>(p * q)),
+                       analysis::table::num(m, 1),
+                       analysis::table::num(2.0 * std::sqrt(static_cast<double>(p * q)), 1),
+                       analysis::table::num(bench::routed_cost(grid_routes, s, 2), 1),
+                       analysis::table::num(bench::routed_cost(torus_routes, s, 2), 1),
+                       analysis::table::num(cache.max)});
+    }
+    std::cout << sweep.to_string() << "\n";
+
+    // d-dimensional meshes: m(n) = 2 n^((d-1)/d) with side a, n = a^d.
+    analysis::table mesh{{"d", "side", "n", "m(n)", "2*n^((d-1)/d)", "ratio"}};
+    bool exponent_ok = true;
+    for (const int d : {1, 2, 3, 4}) {
+        const net::node_id side = d == 1 ? 64 : (d == 2 ? 16 : (d == 3 ? 8 : 5));
+        std::vector<net::node_id> dims(static_cast<std::size_t>(d), side);
+        const net::mesh_shape shape{dims};
+        const strategies::mesh_strategy s{shape};
+        const double n = static_cast<double>(shape.node_count());
+        const double m = core::average_message_passes(s);
+        const double predicted = 2.0 * std::pow(n, (d - 1.0) / d);
+        if (d >= 2 && std::abs(m / predicted - 1.0) > 0.01) exponent_ok = false;
+        mesh.add_row({analysis::table::num(static_cast<std::int64_t>(d)),
+                      analysis::table::num(static_cast<std::int64_t>(side)),
+                      analysis::table::num(static_cast<std::int64_t>(shape.node_count())),
+                      analysis::table::num(m, 1), analysis::table::num(predicted, 1),
+                      analysis::table::num(m / predicted, 3)});
+    }
+    std::cout << mesh.to_string() << "\n";
+
+    bench::shape_check("square grids meet m(n) = 2*sqrt(n) exactly", square_optimal);
+    bench::shape_check("d-dimensional meshes follow m(n) = 2*n^((d-1)/d)", exponent_ok);
+    return 0;
+}

@@ -1,0 +1,67 @@
+// E6 - Section 3.2: binary d-cubes.  m(n) = 2*sqrt(n) with sqrt(n) caches
+// at the balanced split, plus the epsilon-split variant for "relative
+// immobility of servers".
+#include <cmath>
+#include <iostream>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "core/rendezvous_matrix.h"
+#include "net/topologies.h"
+#include "strategies/cube.h"
+
+int main() {
+    using namespace mm;
+    bench::banner("E6: binary d-cube match-making (Section 3.2)",
+                  "P(s) spans a d/2-subcube keeping s's high bits; Q(c) keeps c's low\n"
+                  "bits.  The singleton rendezvous is (high(s) | low(c)); m(n) = 2*sqrt(n).");
+
+    analysis::table sweep{{"d", "n", "#P", "#Q", "m(n)", "2*sqrt(n)", "routed", "cache-max"}};
+    bool meets_bound = true;
+    for (const int d : {2, 4, 6, 8, 10, 12, 14}) {
+        const strategies::hypercube_strategy s{d};
+        const net::node_id n = s.node_count();
+        const double m = core::average_message_passes(s);
+        const double bound = 2.0 * std::sqrt(static_cast<double>(n));
+        if (d % 2 == 0 && std::abs(m - bound) > 1e-9) meets_bound = false;
+        std::string routed = "-";
+        if (d <= 8) {
+            const auto g = net::make_hypercube(d);
+            const net::routing_table routes{g};
+            routed = analysis::table::num(bench::routed_cost(routes, s, d >= 7 ? 8 : 1), 1);
+        }
+        const auto cache = bench::measure_cache_load(s);
+        sweep.add_row({analysis::table::num(static_cast<std::int64_t>(d)),
+                       analysis::table::num(static_cast<std::int64_t>(n)),
+                       analysis::table::num(static_cast<std::int64_t>(s.post_set(0).size())),
+                       analysis::table::num(static_cast<std::int64_t>(s.query_set(0).size())),
+                       analysis::table::num(m, 1), analysis::table::num(bound, 1), routed,
+                       analysis::table::num(cache.max)});
+    }
+    std::cout << sweep.to_string() << "\n";
+
+    // epsilon-split: vary how many bits the server side spans (d = 10).
+    analysis::table split{{"post-varies h", "#P = 2^h", "#Q = 2^(d-h)", "m", "m weighted a=8"}};
+    double best_weighted = 1e18;
+    int best_h = -1;
+    for (int h = 0; h <= 10; h += 2) {
+        const strategies::hypercube_strategy s{10, h};
+        const double m = core::average_message_passes(s);
+        const double weighted = core::average_weighted_message_passes(s, 8.0);
+        if (weighted < best_weighted) {
+            best_weighted = weighted;
+            best_h = h;
+        }
+        split.add_row({analysis::table::num(static_cast<std::int64_t>(h)),
+                       analysis::table::num(static_cast<std::int64_t>(1 << h)),
+                       analysis::table::num(static_cast<std::int64_t>(1 << (10 - h))),
+                       analysis::table::num(m, 1), analysis::table::num(weighted, 1)});
+    }
+    std::cout << "epsilon-split on d = 10 (weighted: clients locate 8x more often):\n"
+              << split.to_string() << "\n";
+
+    bench::shape_check("even-d cubes meet m(n) = 2*sqrt(n) exactly", meets_bound);
+    bench::shape_check("frequent clients push the optimum toward larger server sides (h > 5)",
+                       best_h > 5);
+    return 0;
+}

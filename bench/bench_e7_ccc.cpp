@@ -1,0 +1,63 @@
+// E7 - Section 3.3: cube-connected cycles.  "An algorithm similar to that
+// of the d-dimensional cube yields, appropriately tuned, for an n-node CCC
+// network caches of size ~sqrt(n/log n) and m(n) ~ O(sqrt(n log n))."
+#include <cmath>
+#include <iostream>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "core/rendezvous_matrix.h"
+#include "net/topologies.h"
+#include "strategies/cube.h"
+
+int main() {
+    using namespace mm;
+    bench::banner("E7: cube-connected cycles (Section 3.3)",
+                  "Corner-splitting fanned over whole cycles.  Addressed nodes per match\n"
+                  "track 2*sqrt(n*log n); rendezvous sets are whole d-cycles (built-in\n"
+                  "d-fold redundancy).");
+
+    analysis::table sweep{
+        {"d", "n=d*2^d", "#P", "#Q", "m(n)", "2*sqrt(n log n)", "ratio", "routed", "cache-max"}};
+    bool tracks = true;
+    for (const int d : {3, 4, 5, 6, 7, 8, 9}) {
+        const strategies::ccc_strategy s{d};
+        const net::node_id n = s.node_count();
+        const double m = core::average_message_passes(s);
+        const double predicted =
+            2.0 * std::sqrt(static_cast<double>(n) * std::log2(static_cast<double>(n)));
+        const double ratio = m / predicted;
+        if (ratio < 0.4 || ratio > 1.6) tracks = false;
+        std::string routed = "-";
+        if (d <= 6) {
+            const auto g = net::make_ccc(d);
+            const net::routing_table routes{g};
+            routed = analysis::table::num(bench::routed_cost(routes, s, d >= 5 ? 16 : 4), 1);
+        }
+        const auto cache = bench::measure_cache_load(s);
+        sweep.add_row({analysis::table::num(static_cast<std::int64_t>(d)),
+                       analysis::table::num(static_cast<std::int64_t>(n)),
+                       analysis::table::num(static_cast<std::int64_t>(s.post_set(0).size())),
+                       analysis::table::num(static_cast<std::int64_t>(s.query_set(0).size())),
+                       analysis::table::num(m, 1), analysis::table::num(predicted, 1),
+                       analysis::table::num(ratio, 2), routed,
+                       analysis::table::num(cache.max)});
+    }
+    std::cout << sweep.to_string() << "\n";
+
+    bench::shape_check("m(n) tracks 2*sqrt(n log n) within [0.4, 1.6]x across d = 3..9", tracks);
+
+    // Redundancy: rendezvous sets are full d-cycles.
+    const strategies::ccc_strategy s{4};
+    const auto r = core::rendezvous_matrix::from_strategy(s);
+    bool cycles = true;
+    for (net::node_id i = 0; i < s.node_count() && cycles; i += 7)
+        for (net::node_id j = 0; j < s.node_count(); j += 5)
+            if (r.entry(i, j).size() != 4u) {
+                cycles = false;
+                break;
+            }
+    bench::shape_check("every rendezvous set is a whole d-cycle (f+1 redundancy, f = d-1)",
+                       cycles);
+    return 0;
+}

@@ -1,0 +1,74 @@
+// E8 - Section 3.4: projective plane topology.  m(n) = 2(k+1) ~ 2*sqrt(n)
+// for n = k^2+k+1, sqrt(n) caches, and resistance to line failures
+// "provided no point has all lines passing through it removed".
+#include <cmath>
+#include <iostream>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "core/rendezvous_matrix.h"
+#include "strategies/projective.h"
+
+int main() {
+    using namespace mm;
+    bench::banner("E8: projective plane PG(2,k) (Section 3.4)",
+                  "Servers post along one incident line, clients query along one; two\n"
+                  "lines always share exactly one point.  m = 2(k+1) ~ 2*sqrt(n).");
+
+    analysis::table sweep{{"k", "n=k^2+k+1", "m=2(k+1)", "2*sqrt(n)", "ratio", "cache-max"}};
+    bool near_bound = true;
+    for (const int k : {2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 19}) {
+        const strategies::projective_strategy s{k};
+        const net::node_id n = s.node_count();
+        const double m = core::average_message_passes(s);
+        const double bound = 2.0 * std::sqrt(static_cast<double>(n));
+        if (m / bound > 1.15) near_bound = false;
+        const auto cache = bench::measure_cache_load(s);
+        sweep.add_row({analysis::table::num(static_cast<std::int64_t>(k)),
+                       analysis::table::num(static_cast<std::int64_t>(n)),
+                       analysis::table::num(m, 1), analysis::table::num(bound, 1),
+                       analysis::table::num(m / bound, 3), analysis::table::num(cache.max)});
+    }
+    std::cout << sweep.to_string() << "\n";
+
+    // Line-failure resilience: remove all points of one line; every
+    // surviving pair can still match by rotating to an unaffected line.
+    const int k = 5;
+    const strategies::projective_strategy primary{k};
+    const auto& plane = primary.plane();
+    const auto dead_line = plane.points_on_line(0);
+    const core::node_set dead{dead_line.begin(), dead_line.end()};
+    int total = 0;
+    int recovered = 0;
+    for (net::node_id i = 0; i < plane.point_count(); i += 3) {
+        for (net::node_id j = 1; j < plane.point_count(); j += 3) {
+            if (std::binary_search(dead.begin(), dead.end(), i) ||
+                std::binary_search(dead.begin(), dead.end(), j))
+                continue;  // the endpoints themselves died
+            ++total;
+            // Try all line selector pairs until the rendezvous avoids the
+            // dead line (k+1 incident lines each, at most one dies per node).
+            bool ok = false;
+            for (int a = 0; a <= k && !ok; ++a) {
+                for (int b = 0; b <= k && !ok; ++b) {
+                    const strategies::projective_strategy rotated{k, a, b};
+                    const auto meet =
+                        core::intersect_sets(rotated.post_set(i), rotated.query_set(j));
+                    for (const net::node_id v : meet)
+                        if (!std::binary_search(dead.begin(), dead.end(), v)) {
+                            ok = true;
+                            break;
+                        }
+                }
+            }
+            if (ok) ++recovered;
+        }
+    }
+    std::cout << "Line-failure drill (k=" << k << "): " << recovered << "/" << total
+              << " surviving pairs re-matched after killing one full line.\n\n";
+
+    bench::shape_check("m stays within 1.15x of 2*sqrt(n) for all k", near_bound);
+    bench::shape_check("all surviving pairs recover from a full line failure",
+                       total > 0 && recovered == total);
+    return 0;
+}

@@ -1,0 +1,164 @@
+// Micro-benchmarks (google-benchmark): the hot paths of the library -
+// strategy set generation, matrix construction, cache operations, routing
+// table builds and simulator throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/cache.h"
+#include "core/certify.h"
+#include "core/rendezvous_matrix.h"
+#include "net/gf.h"
+#include "net/partition.h"
+#include "net/projective_plane.h"
+#include "net/routing.h"
+#include "net/topologies.h"
+#include "runtime/name_service.h"
+#include "sim/simulator.h"
+#include "strategies/checkerboard.h"
+#include "strategies/cube.h"
+#include "strategies/grid.h"
+#include "strategies/hash_locate.h"
+
+namespace {
+
+using namespace mm;
+
+void bm_checkerboard_post_set(benchmark::State& state) {
+    const strategies::checkerboard_strategy s{static_cast<net::node_id>(state.range(0))};
+    net::node_id v = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(s.post_set(v));
+        v = (v + 1) % s.node_count();
+    }
+}
+BENCHMARK(bm_checkerboard_post_set)->Arg(64)->Arg(1024)->Arg(16384);
+
+void bm_hypercube_post_set(benchmark::State& state) {
+    const strategies::hypercube_strategy s{static_cast<int>(state.range(0))};
+    net::node_id v = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(s.post_set(v));
+        v = (v + 1) % s.node_count();
+    }
+}
+BENCHMARK(bm_hypercube_post_set)->Arg(8)->Arg(12)->Arg(16);
+
+void bm_hash_locate_set(benchmark::State& state) {
+    const strategies::hash_locate_strategy s{1024, static_cast<int>(state.range(0))};
+    core::port_id port = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(s.post_set(0, port));
+        ++port;
+    }
+}
+BENCHMARK(bm_hash_locate_set)->Arg(1)->Arg(4);
+
+void bm_matrix_build(benchmark::State& state) {
+    const strategies::checkerboard_strategy s{static_cast<net::node_id>(state.range(0))};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::rendezvous_matrix::from_strategy(s));
+}
+BENCHMARK(bm_matrix_build)->Arg(16)->Arg(64)->Arg(256);
+
+void bm_matrix_free_cost(benchmark::State& state) {
+    const strategies::checkerboard_strategy s{static_cast<net::node_id>(state.range(0))};
+    for (auto _ : state) benchmark::DoNotOptimize(core::average_message_passes(s));
+}
+BENCHMARK(bm_matrix_free_cost)->Arg(256)->Arg(4096);
+
+void bm_cache_post_lookup(benchmark::State& state) {
+    core::port_cache cache;
+    std::uint64_t port = 0;
+    for (auto _ : state) {
+        core::port_entry e;
+        e.port = port % 4096;
+        e.where = static_cast<net::node_id>(port % 64);
+        e.stamp = static_cast<std::int64_t>(port);
+        cache.post(e);
+        benchmark::DoNotOptimize(cache.lookup(port % 4096));
+        ++port;
+    }
+}
+BENCHMARK(bm_cache_post_lookup);
+
+void bm_bounded_cache_post(benchmark::State& state) {
+    core::bounded_port_cache cache{static_cast<std::size_t>(state.range(0))};
+    std::uint64_t port = 0;
+    for (auto _ : state) {
+        core::port_entry e;
+        e.port = port;
+        e.stamp = static_cast<std::int64_t>(port);
+        cache.post(e);
+        ++port;
+    }
+}
+BENCHMARK(bm_bounded_cache_post)->Arg(64)->Arg(4096);
+
+void bm_routing_build(benchmark::State& state) {
+    const auto g = net::make_grid(static_cast<net::node_id>(state.range(0)),
+                                  static_cast<net::node_id>(state.range(0)));
+    for (auto _ : state) {
+        net::routing_table routes{g};
+        // Force one full row so lazy evaluation does real work.
+        benchmark::DoNotOptimize(routes.distance(0, g.node_count() - 1));
+    }
+}
+BENCHMARK(bm_routing_build)->Arg(16)->Arg(32)->Arg(64);
+
+void bm_partition(benchmark::State& state) {
+    const auto g = net::make_grid(static_cast<net::node_id>(state.range(0)),
+                                  static_cast<net::node_id>(state.range(0)));
+    for (auto _ : state) benchmark::DoNotOptimize(net::partition_connected(g));
+}
+BENCHMARK(bm_partition)->Arg(8)->Arg(32);
+
+void bm_simulator_unicast(benchmark::State& state) {
+    const auto g = net::make_grid(16, 16);
+    for (auto _ : state) {
+        state.PauseTiming();
+        sim::simulator sim{g};
+        state.ResumeTiming();
+        for (int k = 0; k < 64; ++k) {
+            sim::message msg;
+            msg.source = static_cast<net::node_id>(k);
+            msg.destination = static_cast<net::node_id>(255 - k);
+            sim.send(msg);
+        }
+        sim.run();
+    }
+}
+BENCHMARK(bm_simulator_unicast);
+
+void bm_certify(benchmark::State& state) {
+    const strategies::checkerboard_strategy s{static_cast<net::node_id>(state.range(0))};
+    for (auto _ : state) benchmark::DoNotOptimize(core::certify(s));
+}
+BENCHMARK(bm_certify)->Arg(16)->Arg(64);
+
+void bm_gf_construction(benchmark::State& state) {
+    for (auto _ : state) benchmark::DoNotOptimize(net::finite_field{static_cast<int>(state.range(0))});
+}
+BENCHMARK(bm_gf_construction)->Arg(16)->Arg(64)->Arg(81);
+
+void bm_projective_plane(benchmark::State& state) {
+    for (auto _ : state)
+        benchmark::DoNotOptimize(net::projective_plane{static_cast<int>(state.range(0))});
+}
+BENCHMARK(bm_projective_plane)->Arg(5)->Arg(9);
+
+void bm_name_service_locate(benchmark::State& state) {
+    const auto g = net::make_complete(static_cast<net::node_id>(state.range(0)));
+    const strategies::checkerboard_strategy strategy{static_cast<net::node_id>(state.range(0))};
+    sim::simulator sim{g};
+    runtime::name_service ns{sim, strategy};
+    ns.register_server(core::port_of("bench"), 0);
+    net::node_id client = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ns.locate(core::port_of("bench"), client));
+        client = (client + 1) % strategy.node_count();
+    }
+}
+BENCHMARK(bm_name_service_locate)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

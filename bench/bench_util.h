@@ -1,0 +1,66 @@
+// bench_util.h - shared helpers for the experiment harness binaries.
+//
+// Every bench_eNN binary regenerates one table/figure/claim of the paper
+// (see DESIGN.md's experiment index) and prints it through these helpers so
+// outputs are uniform: a banner naming the paper artifact, the table, and a
+// PASS/FAIL shape check where the paper makes a sharp claim.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+#include "net/routing.h"
+
+namespace mm::bench {
+
+inline void banner(const std::string& experiment, const std::string& claim) {
+    std::cout << "\n=== " << experiment << " ===\n" << claim << "\n\n";
+}
+
+inline void shape_check(const std::string& what, bool ok) {
+    std::cout << (ok ? "[SHAPE OK]   " : "[SHAPE FAIL] ") << what << "\n";
+}
+
+// Average routed message passes of one match-making instance on a real
+// (non-complete) topology: posts and queries travel over the union of
+// shortest paths (spanning subtree broadcast), sampled over node pairs.
+inline double routed_cost(const net::routing_table& routes, const core::locate_strategy& s,
+                          int stride = 1, core::port_id port = 0) {
+    const net::node_id n = s.node_count();
+    std::int64_t total = 0;
+    std::int64_t pairs = 0;
+    for (net::node_id i = 0; i < n; i += stride) {
+        const auto p = s.post_set(i, port);
+        const auto post_cost = routes.multicast_cost(i, p);
+        for (net::node_id j = 0; j < n; j += stride) {
+            total += post_cost + routes.multicast_cost(j, s.query_set(j, port));
+            ++pairs;
+        }
+    }
+    return pairs == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(pairs);
+}
+
+struct cache_load {
+    double average = 0;  // mean entries per node, one server per node
+    std::int64_t max = 0;
+};
+
+// Storage cost: if one server lives at every node, node v caches an entry
+// for each server i with v in P(i).
+inline cache_load measure_cache_load(const core::locate_strategy& s, core::port_id port = 0) {
+    const net::node_id n = s.node_count();
+    std::vector<std::int64_t> load(static_cast<std::size_t>(n), 0);
+    for (net::node_id i = 0; i < n; ++i)
+        for (const net::node_id v : s.post_set(i, port)) ++load[static_cast<std::size_t>(v)];
+    cache_load out;
+    for (const auto l : load) {
+        out.average += static_cast<double>(l);
+        out.max = std::max(out.max, l);
+    }
+    out.average /= static_cast<double>(n);
+    return out;
+}
+
+}  // namespace mm::bench

@@ -1,0 +1,107 @@
+// catering_service - the paper's Section 1.1 story, executable.
+//
+// "Suppose you want to give a party in your Silicon Valley home... you do
+// not know the address or telephone number of such a service."  The caterer
+// (a mobile server) comes and goes; the host (a client) tries the paper's
+// four options: broadcasting (mail everybody), the Yellow Pages (a
+// centralized name server, which can crash), newspapers (a truly
+// distributed name server), and asking friends (hash locate on a social
+// hash).  The caterer itself turns client when it rents a car - "everybody
+// can be server, client or both".
+#include <iostream>
+
+#include "net/topologies.h"
+#include "runtime/name_service.h"
+#include "strategies/basic.h"
+#include "strategies/checkerboard.h"
+#include "strategies/hash_locate.h"
+
+namespace {
+
+using namespace mm;
+
+void tell(const std::string& who, const std::string& what) {
+    std::cout << "[" << who << "] " << what << "\n";
+}
+
+void try_locate(runtime::name_service& ns, const std::string& label, core::port_id port,
+                net::node_id client) {
+    const auto result = ns.locate(port, client);
+    if (result.found) {
+        tell("host", "found a caterer via " + label + " at house " +
+                         std::to_string(result.where) + " (" +
+                         std::to_string(result.message_passes) + " message passes, " +
+                         std::to_string(result.nodes_queried) + " nodes asked)");
+    } else {
+        tell("host", "no caterer found via " + label + " - " +
+                         std::to_string(result.message_passes) + " message passes wasted");
+    }
+}
+
+}  // namespace
+
+int main() {
+    constexpr net::node_id town_size = 36;  // Silicon Valley, abridged
+    const auto town = net::make_complete(town_size);
+    const auto catering = core::port_of("catering-service");
+    const auto car_rental = core::port_of("car-rental");
+    const net::node_id host = 0;
+    const net::node_id caterer = 17;
+
+    std::cout << "--- Broadcasting: mail everybody in town ---\n";
+    {
+        sim::simulator sim{town};
+        const strategies::broadcast_strategy everybody{town_size};
+        runtime::name_service ns{sim, everybody};
+        ns.register_server(catering, caterer);
+        try_locate(ns, "broadcast", catering, host);
+        tell("narrator", "works, but " + std::to_string(town_size) + " letters per party is rude");
+    }
+
+    std::cout << "\n--- Yellow Pages: the centralized name server ---\n";
+    {
+        sim::simulator sim{town};
+        const strategies::central_strategy yellow_pages{town_size, 1};
+        runtime::name_service ns{sim, yellow_pages};
+        ns.register_server(catering, caterer);
+        try_locate(ns, "Yellow Pages", catering, host);
+        tell("narrator", "cheapest possible (m = 2)... until the YP office burns down:");
+        ns.crash_node(1);
+        try_locate(ns, "Yellow Pages", catering, host);
+        tell("narrator", "\"if the YP company crashes... society grinds to a halt\"");
+    }
+
+    std::cout << "\n--- Newspapers: the truly distributed name server ---\n";
+    {
+        sim::simulator sim{town};
+        const strategies::checkerboard_strategy newspapers{town_size};
+        runtime::name_service ns{sim, newspapers};
+        ns.register_server(catering, caterer);
+        try_locate(ns, "newspapers", catering, host);
+        tell("narrator", "one paper folding changes nothing for most readers:");
+        ns.crash_node(2);  // not the host/caterer rendezvous for this pair
+        try_locate(ns, "newspapers", catering, host);
+
+        tell("caterer", "the old address closes; reopening across town...");
+        ns.migrate_server(catering, caterer, 30);
+        try_locate(ns, "newspapers", catering, host);
+
+        tell("caterer", "now I need a car for the canapes - server turns client:");
+        ns.register_server(car_rental, 9);
+        const auto rental = ns.locate(car_rental, 30);
+        tell("caterer", rental.found ? "rented a van from house " + std::to_string(rental.where)
+                                     : "no van, no party");
+    }
+
+    std::cout << "\n--- Asking friends: hash locate ---\n";
+    {
+        sim::simulator sim{town};
+        const strategies::hash_locate_strategy friends{town_size, 2};
+        runtime::name_service ns{sim, friends};
+        ns.register_server(catering, caterer);
+        try_locate(ns, "friends-of-friends", catering, host);
+        tell("narrator", "two messages total - everyone agrees on who-would-know (the hash), "
+                         "but if both those friends move away the service vanishes");
+    }
+    return 0;
+}

@@ -1,0 +1,104 @@
+// lighthouse_demo - watch Lighthouse Locate (Section 4) sweep the plane.
+//
+// Servers drift trails across a torus grid; a client probes with the ruler
+// schedule 1213121412131215...  The demo renders a small world as ASCII
+// (S = server, * = live trail, C = client) at a few instants, then races
+// the doubling schedule against the ruler schedule over many seeds.
+#include <iomanip>
+#include <iostream>
+
+#include "lighthouse/lighthouse_sim.h"
+#include "lighthouse/plane.h"
+#include "lighthouse/ruler.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace mm;
+using namespace mm::lighthouse;
+
+void render(trail_map& trails, const std::vector<cell>& servers, cell client,
+            std::int64_t now) {
+    const core::port_id port = core::port_of("demo");
+    std::cout << "t = " << now << ":\n";
+    for (int y = 0; y < trails.height(); ++y) {
+        for (int x = 0; x < trails.width(); ++x) {
+            const cell here{x, y};
+            char glyph = '.';
+            if (trails.live_trail(here, port, now)) glyph = '*';
+            for (const auto& s : servers)
+                if (s == here) glyph = 'S';
+            if (here == client) glyph = 'C';
+            std::cout << glyph;
+        }
+        std::cout << "\n";
+    }
+    std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+    // A tiny visible world.
+    constexpr int size = 28;
+    trail_map trails{size, size};
+    const core::port_id port = core::port_of("demo");
+    const std::vector<cell> servers{{5, 5}, {21, 9}, {9, 22}};
+    const cell client{size / 2, size / 2};
+    sim::rng random{7};
+
+    constexpr double two_pi = 6.283185307179586;
+    for (std::int64_t now = 0; now <= 24; ++now) {
+        if (now % 6 == 0) {
+            for (const auto& s : servers) {
+                const double angle = random.uniform01() * two_pi;
+                for (const cell& c : rasterize_beam(size, size, s, angle, 9))
+                    trails.deposit(c, port, 1, now + 14);
+                trails.deposit(s, port, 1, now + 14);
+            }
+        }
+        if (now == 12 || now == 24) render(trails, servers, client, now);
+    }
+
+    // The ruler schedule itself.
+    std::cout << "ruler schedule (beam length units per trial): ";
+    ruler_schedule ruler;
+    for (int t = 0; t < 16; ++t) std::cout << ruler.next();
+    std::cout << "...\n\n";
+
+    // Race the two client schedules across seeds.
+    std::cout << "schedule race (64 worlds, density 0.004):\n";
+    std::int64_t doubling_total = 0;
+    std::int64_t ruler_total = 0;
+    std::int64_t doubling_msgs = 0;
+    std::int64_t ruler_msgs = 0;
+    for (unsigned seed = 1; seed <= 64; ++seed) {
+        lighthouse_params p;
+        p.width = 96;
+        p.height = 96;
+        p.server_density = 0.004;
+        p.server_beam_length = 16;
+        p.server_period = 8;
+        p.trail_lifetime = 40;
+        p.client_base_length = 2;
+        p.client_period = 8;
+        p.max_time = 1 << 14;
+        p.seed = seed;
+        p.schedule = client_schedule::doubling;
+        const auto doubling = run_lighthouse(p);
+        p.schedule = client_schedule::ruler;
+        const auto ruler_run = run_lighthouse(p);
+        doubling_total += doubling.time_to_locate;
+        ruler_total += ruler_run.time_to_locate;
+        doubling_msgs += doubling.client_messages;
+        ruler_msgs += ruler_run.client_messages;
+    }
+    std::cout << std::fixed << std::setprecision(1);
+    std::cout << "  doubling: mean time " << doubling_total / 64.0 << ", mean client messages "
+              << doubling_msgs / 64.0 << "\n";
+    std::cout << "  ruler:    mean time " << ruler_total / 64.0 << ", mean client messages "
+              << ruler_msgs / 64.0 << "\n";
+    std::cout << "(the ruler schedule keeps short beams in play, catching servers that\n"
+                 " drift close with less time-loss - the paper's stated advantage)\n";
+    return 0;
+}

@@ -1,0 +1,112 @@
+// strategy_explorer - a command-line audit tool for match-making
+// strategies.
+//
+//   strategy_explorer <strategy> <n> [options]
+//
+// Prints the strategy's certificate (totality, cost vs the Proposition 2
+// bound, Section 2.4 fault tolerance, cache load) and, for small n, the
+// rendezvous matrix itself.  Useful for eyeballing a deployment before
+// committing to it.
+//
+//   strategies: broadcast | sweep | central | flood | checkerboard |
+//               manhattan | hypercube | ccc | projective | hash
+//   options:    --width W --redundancy R --matrix
+//
+// Examples:
+//   strategy_explorer checkerboard 16 --matrix
+//   strategy_explorer checkerboard 64 --redundancy 2
+//   strategy_explorer hypercube 6
+//   strategy_explorer projective 7
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/certify.h"
+#include "strategies/basic.h"
+#include "strategies/checkerboard.h"
+#include "strategies/cube.h"
+#include "strategies/grid.h"
+#include "strategies/hash_locate.h"
+#include "strategies/projective.h"
+
+namespace {
+
+using namespace mm;
+
+int usage() {
+    std::cerr << "usage: strategy_explorer <broadcast|sweep|central|flood|checkerboard|"
+                 "manhattan|hypercube|ccc|projective|hash> <n> [--width W] [--redundancy R] "
+                 "[--matrix]\n"
+              << "  n is the node count (hypercube/ccc: the dimension d; projective: the "
+                 "order k; manhattan: the side)\n";
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 3) return usage();
+    const std::string kind = argv[1];
+    const int n = std::atoi(argv[2]);
+    int width = 0;
+    int redundancy = 1;
+    bool show_matrix = false;
+    for (int a = 3; a < argc; ++a) {
+        const std::string opt = argv[a];
+        if (opt == "--matrix") {
+            show_matrix = true;
+        } else if (opt == "--width" && a + 1 < argc) {
+            width = std::atoi(argv[++a]);
+        } else if (opt == "--redundancy" && a + 1 < argc) {
+            redundancy = std::atoi(argv[++a]);
+        } else {
+            return usage();
+        }
+    }
+
+    std::unique_ptr<core::locate_strategy> strategy;
+    try {
+        if (kind == "broadcast") {
+            strategy = std::make_unique<strategies::broadcast_strategy>(n);
+        } else if (kind == "sweep") {
+            strategy = std::make_unique<strategies::sweep_strategy>(n);
+        } else if (kind == "central") {
+            strategy = std::make_unique<strategies::central_strategy>(n, 0);
+        } else if (kind == "flood") {
+            strategy = std::make_unique<strategies::flood_strategy>(n);
+        } else if (kind == "checkerboard") {
+            strategy = std::make_unique<strategies::checkerboard_strategy>(n, width, redundancy);
+        } else if (kind == "manhattan") {
+            strategy = std::make_unique<strategies::manhattan_strategy>(n, n);
+        } else if (kind == "hypercube") {
+            strategy = std::make_unique<strategies::hypercube_strategy>(n, width > 0 ? width : -1);
+        } else if (kind == "ccc") {
+            strategy = std::make_unique<strategies::ccc_strategy>(n);
+        } else if (kind == "projective") {
+            strategy = std::make_unique<strategies::projective_strategy>(n, 0, 0, redundancy);
+        } else if (kind == "hash") {
+            strategy = std::make_unique<strategies::hash_locate_strategy>(n, redundancy);
+        } else {
+            return usage();
+        }
+
+        const auto cert = core::certify(*strategy);
+        std::cout << cert.to_string() << "\n";
+        if (!cert.total)
+            std::cout << "WARNING: not total - some client/server pairs can never match!\n";
+
+        if (show_matrix) {
+            if (strategy->node_count() > 32) {
+                std::cout << "(matrix suppressed: n > 32)\n";
+            } else {
+                std::cout << "\nrendezvous matrix (servers = rows, clients = columns):\n"
+                          << core::rendezvous_matrix::from_strategy(*strategy).to_string();
+            }
+        }
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

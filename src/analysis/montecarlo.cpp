@@ -1,0 +1,43 @@
+#include "analysis/montecarlo.h"
+
+#include <cmath>
+
+#include "sim/rng.h"
+
+namespace mm::analysis {
+
+intersection_estimate estimate_intersection(const core::locate_strategy& strategy,
+                                            std::int64_t samples, std::uint64_t seed) {
+    sim::rng random{seed};
+    const net::node_id n = strategy.node_count();
+    intersection_estimate est;
+    est.samples = samples;
+
+    double sum = 0;
+    double sum_sq = 0;
+    std::int64_t hits = 0;
+    double p_total = 0;
+    double q_total = 0;
+    for (std::int64_t s = 0; s < samples; ++s) {
+        const auto i = static_cast<net::node_id>(random.uniform(0, n - 1));
+        const auto j = static_cast<net::node_id>(random.uniform(0, n - 1));
+        const auto p = strategy.post_set(i, 0);
+        const auto q = strategy.query_set(j, 0);
+        const auto both = core::intersect_sets(p, q);
+        const auto size = static_cast<double>(both.size());
+        sum += size;
+        sum_sq += size * size;
+        if (!both.empty()) ++hits;
+        p_total += static_cast<double>(p.size());
+        q_total += static_cast<double>(q.size());
+    }
+    const auto count = static_cast<double>(samples);
+    est.mean = sum / count;
+    const double variance = std::max(0.0, sum_sq / count - est.mean * est.mean);
+    est.stderr_mean = std::sqrt(variance / count);
+    est.hit_rate = static_cast<double>(hits) / count;
+    est.expected = (p_total / count) * (q_total / count) / static_cast<double>(n);
+    return est;
+}
+
+}  // namespace mm::analysis

@@ -1,0 +1,31 @@
+// montecarlo.h - empirical verification of the probabilistic analysis
+// (Section 2.2).
+//
+// For random P(i) of size p and Q(j) of size q over n nodes, the paper
+// derives E[#(P n Q)] = pq/n and the threshold p + q >= 2*sqrt(n) for one
+// expected rendezvous.  These estimators measure both quantities on the
+// random_strategy so the theory and the implementation can be compared row
+// by row.
+#pragma once
+
+#include <cstdint>
+
+#include "core/strategy.h"
+
+namespace mm::analysis {
+
+struct intersection_estimate {
+    double mean = 0;          // empirical E[#(P n Q)]
+    double stderr_mean = 0;   // standard error of the mean
+    double hit_rate = 0;      // fraction of pairs with #(P n Q) >= 1
+    double expected = 0;      // theory: p*q/n
+    std::int64_t samples = 0;
+};
+
+// Samples `samples` random (server, client) pairs from the strategy and
+// measures the rendezvous-set size distribution.
+[[nodiscard]] intersection_estimate estimate_intersection(const core::locate_strategy& strategy,
+                                                          std::int64_t samples,
+                                                          std::uint64_t seed);
+
+}  // namespace mm::analysis

@@ -1,0 +1,48 @@
+#include "analysis/table.h"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace mm::analysis {
+
+table::table(std::vector<std::string> headers) : headers_{std::move(headers)} {
+    if (headers_.empty()) throw std::invalid_argument{"table: need at least one column"};
+}
+
+void table::add_row(std::vector<std::string> cells) {
+    if (cells.size() != headers_.size())
+        throw std::invalid_argument{"table: row width does not match header"};
+    rows_.push_back(std::move(cells));
+}
+
+std::string table::to_string() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream out;
+    const auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << "| " << std::setw(static_cast<int>(width[c])) << row[c] << ' ';
+        }
+        out << "|\n";
+    };
+    emit(headers_);
+    out << '|';
+    for (const std::size_t w : width) out << std::string(w + 2, '-') << '|';
+    out << '\n';
+    for (const auto& row : rows_) emit(row);
+    return out.str();
+}
+
+std::string table::num(double v, int precision) {
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(precision) << v;
+    return out.str();
+}
+
+std::string table::num(std::int64_t v) { return std::to_string(v); }
+
+}  // namespace mm::analysis

@@ -1,0 +1,31 @@
+// table.h - column-aligned ASCII tables for experiment reports.
+//
+// Every bench binary prints the paper's tables/series through this one
+// formatter so outputs stay uniform and greppable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mm::analysis {
+
+class table {
+public:
+    explicit table(std::vector<std::string> headers);
+
+    // Adds a row; the cell count must match the header count.
+    void add_row(std::vector<std::string> cells);
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+    [[nodiscard]] std::string to_string() const;
+
+    // Formatting helpers for numeric cells.
+    [[nodiscard]] static std::string num(double v, int precision = 2);
+    [[nodiscard]] static std::string num(std::int64_t v);
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mm::analysis

@@ -1,0 +1,113 @@
+#include "analysis/uucp.h"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace mm::analysis {
+
+const std::vector<degree_row>& uucp_degree_table() {
+    // Left column of the paper's table (degrees 0..15), then the nine
+    // reconstructed rows (degrees 16..24: 26 sites, degree sum 529, which is
+    // what the published totals leave), then the right column (25..641).
+    static const std::vector<degree_row> rows = {
+        {25, 0, false},   {840, 1, false},  {384, 2, false}, {207, 3, false},
+        {115, 4, false},  {83, 5, false},   {71, 6, false},  {32, 7, false},
+        {29, 8, false},   {11, 9, false},   {17, 10, false}, {5, 11, false},
+        {7, 12, false},   {14, 13, false},  {10, 14, false}, {6, 15, false},
+        {2, 16, true},    {2, 17, true},    {3, 18, true},   {3, 19, true},
+        {3, 20, true},    {3, 21, true},    {4, 22, true},   {3, 23, true},
+        {3, 24, true},
+        {3, 25, false},   {1, 27, false},   {2, 28, false},  {2, 30, false},
+        {2, 32, false},   {1, 33, false},   {2, 34, false},  {1, 35, false},
+        {2, 36, false},   {1, 37, false},   {1, 38, false},  {1, 39, false},
+        {1, 40, false},   {1, 42, false},   {1, 43, false},  {1, 44, false},
+        {3, 45, false},   {1, 46, false},   {1, 47, false},  {1, 52, false},
+        {2, 63, false},   {1, 70, false},   {1, 471, false}, {1, 641, false},
+    };
+    return rows;
+}
+
+int table_site_count(const std::vector<degree_row>& rows) {
+    int total = 0;
+    for (const auto& r : rows) total += r.sites;
+    return total;
+}
+
+std::int64_t table_degree_sum(const std::vector<degree_row>& rows) {
+    std::int64_t total = 0;
+    for (const auto& r : rows) total += static_cast<std::int64_t>(r.sites) * r.degree;
+    return total;
+}
+
+net::graph make_uucp_synthetic(int sites, int extra_edges, std::uint64_t seed) {
+    if (sites < 2) throw std::invalid_argument{"make_uucp_synthetic: need >= 2 sites"};
+    std::mt19937_64 rng{seed};
+    // Preferential attachment with a superlinear kick for the first few
+    // nodes (the backbone): node v joins an existing node sampled
+    // proportionally to degree^1.2 (approximated via repeated endpoint
+    // sampling), yielding the heavy 471/641-style hubs of UUCPnet.
+    net::graph g{sites};
+    std::vector<net::node_id> endpoints{0};
+    for (net::node_id v = 1; v < sites; ++v) {
+        std::uniform_int_distribution<std::size_t> pick{0, endpoints.size() - 1};
+        // Two samples, keep the better-connected one: biases toward hubs.
+        net::node_id a = endpoints[pick(rng)];
+        const net::node_id b = endpoints[pick(rng)];
+        if (g.degree(b) > g.degree(a)) a = b;
+        g.add_edge(v, a);
+        endpoints.push_back(a);
+        endpoints.push_back(v);
+    }
+    std::uniform_int_distribution<net::node_id> node_pick{0, sites - 1};
+    int added = 0;
+    int attempts = 0;
+    while (added < extra_edges && attempts < 64 * (extra_edges + 1)) {
+        ++attempts;
+        const net::node_id a = node_pick(rng);
+        const net::node_id b = node_pick(rng);
+        if (a == b || g.has_edge(a, b)) continue;
+        g.add_edge(a, b);
+        ++added;
+    }
+    g.finalize();
+    return g;
+}
+
+double tree_depth_polynomial_profile(double n, double c, double eps) {
+    if (n < 2 || c <= 0 || eps <= -1) throw std::invalid_argument{"tree_depth: bad arguments"};
+    const double log_n = std::log2(n);
+    const double loglog_n = std::log2(std::max(2.0, log_n));
+    return log_n / ((1.0 + eps) * loglog_n);
+}
+
+double tree_depth_exponential_profile(double n, double c, double eps) {
+    if (n < 2 || c <= 0 || eps <= 0) throw std::invalid_argument{"tree_depth: bad arguments"};
+    // From n = c^l * 2^(eps*l(l+1)/2): solve eps*l^2/2 + l*(eps/2 + log c) = log n.
+    const double log_n = std::log2(n);
+    const double log_c = std::log2(c);
+    const double b = eps / 2.0 + log_c;
+    return (-b + std::sqrt(b * b + 2.0 * eps * log_n)) / eps;
+}
+
+int tree_depth_empirical_polynomial(double n, double c, double eps) {
+    double product = 1;
+    int level = 0;
+    while (product < n && level < 1 << 20) {
+        ++level;
+        product *= std::max(1.0, c * std::pow(static_cast<double>(level), 1.0 + eps));
+    }
+    return level;
+}
+
+int tree_depth_empirical_exponential(double n, double c, double eps) {
+    double product = 1;
+    int level = 0;
+    while (product < n && level < 1 << 20) {
+        ++level;
+        product *= std::max(1.0, c * std::pow(2.0, eps * static_cast<double>(level)));
+    }
+    return level;
+}
+
+}  // namespace mm::analysis

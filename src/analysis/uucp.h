@@ -1,0 +1,62 @@
+// uucp.h - the UUCPnet statistics of Section 3.6.
+//
+// The paper tabulates "the state of the known sites of UUCPnet at August
+// 15, 1984": 1916 sites, 3848 edges (EUnet: 153 sites, 211 edges), with a
+// heavy-tailed degree distribution topped by ihnp4 at degree 641.  The
+// printed table is reproduced as data here; nine low-population rows
+// (degrees 16-24) are illegible in the surviving scan and are reconstructed
+// to match the published totals exactly (marked `reconstructed`).
+//
+// Also included: the paper's balanced-tree depth formulas.  For degree
+// profile d(i) = c * i^(1+eps) the 'factorial' relation gives
+// l ~ log n / ((1+eps) loglog n); for d(i) = c * 2^(eps*i) it gives
+// l ~ sqrt((2/eps) log n) + O(1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace mm::analysis {
+
+struct degree_row {
+    int sites = 0;
+    int degree = 0;
+    bool reconstructed = false;  // row lost in the scan, rebuilt from totals
+};
+
+// The August 15, 1984 UUCPnet degree table (Section 3.6).
+[[nodiscard]] const std::vector<degree_row>& uucp_degree_table();
+
+inline constexpr int uucp_total_sites = 1916;
+inline constexpr int uucp_total_edges = 3848;
+inline constexpr int eunet_total_sites = 153;
+inline constexpr int eunet_total_edges = 211;
+
+// Totals over the table (for verifying against the constants above).
+[[nodiscard]] int table_site_count(const std::vector<degree_row>& rows);
+[[nodiscard]] std::int64_t table_degree_sum(const std::vector<degree_row>& rows);
+
+// A synthetic UUCP-like network whose degree histogram follows the paper's
+// table shape: a tree built by degree-budgeted preferential attachment plus
+// `extra_edges` shortcuts.  (The paper: edges ~ 2x sites, so extra_edges
+// defaults to sites.)
+[[nodiscard]] net::graph make_uucp_synthetic(int sites, int extra_edges, std::uint64_t seed);
+
+// --- balanced tree depth formulas (Section 3.6) -----------------------------
+
+// Depth of the balanced tree with degree profile d(i) = c * i^(1+eps)
+// holding n nodes: the paper's l ~ log n / ((1+eps) loglog n).
+[[nodiscard]] double tree_depth_polynomial_profile(double n, double c, double eps);
+
+// Depth for d(i) = c * 2^(eps*i): l = sqrt(2 log(n/c)/eps + ...) per the
+// paper (logarithms base 2).
+[[nodiscard]] double tree_depth_exponential_profile(double n, double c, double eps);
+
+// Exact depth by accumulating the factorial relation d(l)d(l-1)...d(1) = n
+// until the product reaches n; used to validate the closed forms.
+[[nodiscard]] int tree_depth_empirical_polynomial(double n, double c, double eps);
+[[nodiscard]] int tree_depth_empirical_exponential(double n, double c, double eps);
+
+}  // namespace mm::analysis

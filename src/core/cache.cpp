@@ -1,0 +1,104 @@
+#include "core/cache.h"
+
+#include <algorithm>
+
+namespace mm::core {
+
+bool port_cache::post(const port_entry& entry) {
+    auto it = entries_.find(entry.port);
+    if (it == entries_.end()) {
+        entries_.emplace(entry.port, entry);
+        high_water_ = std::max(high_water_, entries_.size());
+        return true;
+    }
+    if (entry.stamp < it->second.stamp) return false;  // stale post loses
+    it->second = entry;
+    return true;
+}
+
+bool port_cache::remove(port_id port, address where) {
+    auto it = entries_.find(port);
+    if (it == entries_.end() || it->second.where != where) return false;
+    entries_.erase(it);
+    return true;
+}
+
+std::optional<port_entry> port_cache::lookup(port_id port, std::int64_t now) const {
+    const auto it = entries_.find(port);
+    if (it == entries_.end()) return std::nullopt;
+    if (it->second.expires_at >= 0 && it->second.expires_at <= now) return std::nullopt;
+    return it->second;
+}
+
+std::size_t port_cache::expire(std::int64_t now) {
+    std::size_t dropped = 0;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->second.expires_at >= 0 && it->second.expires_at <= now) {
+            it = entries_.erase(it);
+            ++dropped;
+        } else {
+            ++it;
+        }
+    }
+    return dropped;
+}
+
+bounded_port_cache::bounded_port_cache(std::size_t capacity) : capacity_{capacity} {}
+
+void bounded_port_cache::touch(lru_list::iterator it) {
+    order_.splice(order_.begin(), order_, it);
+}
+
+bool bounded_port_cache::post(const port_entry& entry) {
+    if (capacity_ == 0) return false;
+    auto it = map_.find(entry.port);
+    if (it != map_.end()) {
+        if (entry.stamp < it->second->stamp) return false;
+        *it->second = entry;
+        touch(it->second);
+        return true;
+    }
+    if (map_.size() >= capacity_) {
+        // Evict the least recently used entry.
+        const auto victim = std::prev(order_.end());
+        map_.erase(victim->port);
+        order_.erase(victim);
+        ++evictions_;
+    }
+    order_.push_front(entry);
+    map_.emplace(entry.port, order_.begin());
+    return true;
+}
+
+std::optional<port_entry> bounded_port_cache::lookup(port_id port, std::int64_t now) {
+    auto it = map_.find(port);
+    if (it == map_.end()) return std::nullopt;
+    if (it->second->expires_at >= 0 && it->second->expires_at <= now) {
+        order_.erase(it->second);
+        map_.erase(it);
+        return std::nullopt;
+    }
+    touch(it->second);
+    return *it->second;
+}
+
+std::size_t bounded_port_cache::expire(std::int64_t now) {
+    std::size_t dropped = 0;
+    for (auto it = order_.begin(); it != order_.end();) {
+        if (it->expires_at >= 0 && it->expires_at <= now) {
+            map_.erase(it->port);
+            it = order_.erase(it);
+            ++dropped;
+        } else {
+            ++it;
+        }
+    }
+    return dropped;
+}
+
+void bounded_port_cache::clear() {
+    order_.clear();
+    map_.clear();
+}
+
+}  // namespace mm::core

@@ -1,0 +1,87 @@
+// cache.h - the (port, address) caches kept at rendezvous nodes.
+//
+// Section 2.1(3): "all nodes j have a cache ... Entries are made or updated
+// whenever a message is received from a server process with its address ...
+// We can timestamp the messages to determine which addresses are out of
+// date in case of a conflict."
+//
+// Two variants:
+//  * port_cache            - unbounded, as assumed by Shotgun Locate;
+//  * bounded_port_cache    - LRU-evicting, the "too-small caches [that] can
+//                            discard (port, address) pairs" of Lighthouse
+//                            Locate and of the UUCP tree scheme.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ids.h"
+
+namespace mm::core {
+
+// One advertised (port, address) binding.
+struct port_entry {
+    port_id port = 0;
+    address where = net::invalid_node;
+    std::int64_t stamp = 0;        // post time; newer wins on conflict
+    std::int64_t expires_at = -1;  // -1 = never
+};
+
+// Unbounded timestamped cache.  A post only replaces an existing entry for
+// the same port if it is at least as recent (out-of-order stale posts lose).
+class port_cache {
+public:
+    // Returns true if the entry was stored (i.e. was not stale).
+    bool post(const port_entry& entry);
+
+    // Removes the binding for `port` if it maps to `where` (used by explicit
+    // de-registration); returns true if something was removed.
+    bool remove(port_id port, address where);
+
+    // Current binding, if any and not expired at time `now`.
+    [[nodiscard]] std::optional<port_entry> lookup(port_id port, std::int64_t now = 0) const;
+
+    // Drops entries with expires_at <= now; returns how many were dropped.
+    std::size_t expire(std::int64_t now);
+
+    [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+    void clear() { entries_.clear(); }
+
+    // Peak number of simultaneously cached entries, the paper's storage cost.
+    [[nodiscard]] std::size_t high_water_mark() const noexcept { return high_water_; }
+
+private:
+    std::unordered_map<port_id, port_entry> entries_;
+    std::size_t high_water_ = 0;
+};
+
+// Fixed-capacity cache with least-recently-used eviction; lookups refresh
+// recency.  Capacity 0 means "never stores anything".
+class bounded_port_cache {
+public:
+    explicit bounded_port_cache(std::size_t capacity);
+
+    bool post(const port_entry& entry);
+    [[nodiscard]] std::optional<port_entry> lookup(port_id port, std::int64_t now = 0);
+    std::size_t expire(std::int64_t now);
+
+    [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+    [[nodiscard]] std::int64_t evictions() const noexcept { return evictions_; }
+    void clear();
+
+private:
+    using lru_list = std::list<port_entry>;
+    std::size_t capacity_;
+    lru_list order_;  // front = most recent
+    std::unordered_map<port_id, lru_list::iterator> map_;
+    std::int64_t evictions_ = 0;
+
+    void touch(lru_list::iterator it);
+};
+
+}  // namespace mm::core

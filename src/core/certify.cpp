@@ -1,0 +1,58 @@
+#include "core/certify.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace mm::core {
+
+strategy_certificate certify(const locate_strategy& strategy, port_id port) {
+    strategy_certificate cert;
+    cert.name = strategy.name();
+    cert.nodes = strategy.node_count();
+
+    const auto r = rendezvous_matrix::from_strategy(strategy, port);
+    cert.total = r.total();
+    cert.singleton = r.singleton();
+
+    cert.min_overlap = std::numeric_limits<std::int64_t>::max();
+    for (net::node_id i = 0; i < r.size(); ++i)
+        for (net::node_id j = 0; j < r.size(); ++j)
+            cert.min_overlap = std::min<std::int64_t>(
+                cert.min_overlap, static_cast<std::int64_t>(r.entry(i, j).size()));
+
+    const auto report = check_bounds(r);
+    cert.average_messages = report.average_messages;
+    cert.message_bound = report.message_bound;
+
+    for (net::node_id v = 0; v < r.size(); ++v) {
+        cert.max_post_size = std::max<std::int64_t>(
+            cert.max_post_size, static_cast<std::int64_t>(r.post_set(v).size()));
+        cert.max_query_size = std::max<std::int64_t>(
+            cert.max_query_size, static_cast<std::int64_t>(r.query_set(v).size()));
+    }
+
+    const auto k = r.multiplicities();
+    cert.load_min = std::numeric_limits<std::int64_t>::max();
+    std::int64_t total_load = 0;
+    for (const auto ki : k) {
+        cert.load_min = std::min(cert.load_min, ki);
+        cert.load_max = std::max(cert.load_max, ki);
+        total_load += ki;
+    }
+    cert.load_mean = k.empty() ? 0.0 : static_cast<double>(total_load) / static_cast<double>(k.size());
+    return cert;
+}
+
+std::string strategy_certificate::to_string() const {
+    std::ostringstream out;
+    out << name << " on " << nodes << " nodes: " << (total ? "total" : "NOT TOTAL")
+        << (singleton ? ", singleton" : "") << ", m(n) = " << average_messages << " (bound "
+        << message_bound << ", ratio " << optimality_ratio() << "), survives f = "
+        << fault_tolerance() << " in-place faults, max #P = " << max_post_size
+        << ", max #Q = " << max_query_size << ", rendezvous load [" << load_min << ", "
+        << load_max << "] mean " << load_mean;
+    return out.str();
+}
+
+}  // namespace mm::core

@@ -1,0 +1,54 @@
+// certify.h - one-call audit of a match-making strategy.
+//
+// Gathers, for a concrete strategy, every property the paper reasons
+// about: totality (deterministic success), singleton-ness (no wasted
+// rendezvous), the cost m(n) against the Proposition 2 bound, the
+// rendezvous-load statistics of the k_i, the worst-case set sizes (cache
+// and burst cost), and the Section 2.4 redundancy level
+// f = min #(P n Q) - 1, the number of in-place faults every pair survives.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/lower_bound.h"
+#include "core/rendezvous_matrix.h"
+
+namespace mm::core {
+
+struct strategy_certificate {
+    std::string name;
+    net::node_id nodes = 0;
+
+    bool total = false;       // every pair rendezvouses
+    bool singleton = false;   // every entry is exactly one node
+
+    // Section 2.4: every pair survives `fault_tolerance` rendezvous crashes.
+    std::int64_t min_overlap = 0;  // min #(P(i) n Q(j))
+    [[nodiscard]] std::int64_t fault_tolerance() const noexcept {
+        return min_overlap > 0 ? min_overlap - 1 : -1;
+    }
+
+    // Costs (complete-network message passes).
+    double average_messages = 0;
+    double message_bound = 0;  // (2/n) sum sqrt(k_i)
+    [[nodiscard]] double optimality_ratio() const noexcept {
+        return message_bound > 0 ? average_messages / message_bound : 0.0;
+    }
+    std::int64_t max_post_size = 0;   // burst a registration causes
+    std::int64_t max_query_size = 0;  // burst a locate causes
+
+    // Rendezvous-load balance over the k_i.
+    std::int64_t load_min = 0;
+    std::int64_t load_max = 0;
+    double load_mean = 0;
+
+    // One-line human summary.
+    [[nodiscard]] std::string to_string() const;
+};
+
+// Builds the full certificate.  O(n^2) set intersections; intended for the
+// analysis path, not the data path.
+[[nodiscard]] strategy_certificate certify(const locate_strategy& strategy, port_id port = 0);
+
+}  // namespace mm::core

@@ -1,0 +1,31 @@
+// ids.h - identifiers of the service model (Section 1.3).
+//
+// "A service is identified by its port.  A port uniquely names a service...
+// Ports give no clue about the physical location of a server process."
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "net/graph.h"
+
+namespace mm::core {
+
+// A port: the location-independent name of a service.
+using port_id = std::uint64_t;
+
+// Stable hash of a human-readable service name to a port (FNV-1a).  The
+// same name always maps to the same port, across runs and platforms.
+[[nodiscard]] constexpr port_id port_of(std::string_view service_name) noexcept {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const char c : service_name) {
+        h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+// A network address: in this model, the node a process currently resides at.
+using address = net::node_id;
+
+}  // namespace mm::core

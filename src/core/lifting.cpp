@@ -1,0 +1,38 @@
+#include "core/lifting.h"
+
+#include <stdexcept>
+
+namespace mm::core {
+
+rendezvous_matrix lift(const rendezvous_matrix& r) {
+    const net::node_id n = r.size();
+    if (n <= 0) throw std::invalid_argument{"lift: empty matrix"};
+    const net::node_id big = 4 * n;
+    std::vector<node_set> entries(static_cast<std::size_t>(big) * static_cast<std::size_t>(big));
+
+    // M is the 2n x 2n matrix with M[x][y] = r[x/2][y/2]; quadrant (a,b) of
+    // R' holds the copy of M shifted by (2a + b) * n.
+    for (net::node_id i = 0; i < big; ++i) {
+        const int quad_row = static_cast<int>(i / (2 * n));
+        const net::node_id mi = i % (2 * n);
+        for (net::node_id j = 0; j < big; ++j) {
+            const int quad_col = static_cast<int>(j / (2 * n));
+            const net::node_id mj = j % (2 * n);
+            const net::node_id offset = static_cast<net::node_id>(2 * quad_row + quad_col) * n;
+            node_set e = r.entry(mi / 2, mj / 2);
+            for (auto& v : e) v += offset;
+            entries[static_cast<std::size_t>(i) * static_cast<std::size_t>(big) +
+                    static_cast<std::size_t>(j)] = std::move(e);
+        }
+    }
+    return rendezvous_matrix::from_entries(big, std::move(entries));
+}
+
+rendezvous_matrix lift(const rendezvous_matrix& r, int steps) {
+    if (steps < 0) throw std::invalid_argument{"lift: negative step count"};
+    rendezvous_matrix out = r;
+    for (int s = 0; s < steps; ++s) out = lift(out);
+    return out;
+}
+
+}  // namespace mm::core

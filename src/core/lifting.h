@@ -1,0 +1,21 @@
+// lifting.h - Proposition 4: lifting an n-node strategy to 4n nodes.
+//
+// "Replace each entry r_ij of R by a 2x2 submatrix consisting of 4 copies of
+// r_ij.  The resulting 2n x 2n matrix is M.  Let R_i (i = 1..4) be four,
+// pairwise element disjoint, isomorphic copies of M.  Consider the 4n x 4n
+// matrix R' = [R1 R2; R3 R4]."  Node v of copy t becomes node v + t*n.
+// Result: k'_i = 4*k_{i mod n} and m'(4n) = 2*m(n), giving an inductive way
+// to scale any good small strategy to arbitrarily large networks.
+#pragma once
+
+#include "core/rendezvous_matrix.h"
+
+namespace mm::core {
+
+// One lifting step: R (n x n) -> R' (4n x 4n).
+[[nodiscard]] rendezvous_matrix lift(const rendezvous_matrix& r);
+
+// `steps` liftings: n -> 4^steps * n.
+[[nodiscard]] rendezvous_matrix lift(const rendezvous_matrix& r, int steps);
+
+}  // namespace mm::core

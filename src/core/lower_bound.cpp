@@ -1,0 +1,35 @@
+#include "core/lower_bound.h"
+
+#include <cmath>
+
+namespace mm::core {
+
+double message_bound_for(std::span<const std::int64_t> multiplicities, net::node_id n) {
+    double sum_sqrt = 0;
+    for (const std::int64_t k : multiplicities) sum_sqrt += std::sqrt(static_cast<double>(k));
+    return n > 0 ? 2.0 * sum_sqrt / static_cast<double>(n) : 0.0;
+}
+
+bound_report check_bounds(const rendezvous_matrix& r) {
+    bound_report report;
+    const auto k = r.multiplicities();
+    double sum_sqrt = 0;
+    for (const std::int64_t ki : k) sum_sqrt += std::sqrt(static_cast<double>(ki));
+
+    report.product_sum = r.product_sum();
+    report.product_sum_bound = sum_sqrt * sum_sqrt;
+    report.average_messages = r.average_message_passes();
+    report.message_bound = message_bound_for(k, r.size());
+
+    // Tolerate floating-point rounding at the boundary.
+    constexpr double eps = 1e-9;
+    report.proposition1_holds = report.product_sum + eps >= report.product_sum_bound;
+    report.proposition2_holds = report.average_messages + eps >= report.message_bound;
+    return report;
+}
+
+double truly_distributed_bound(net::node_id n) {
+    return 2.0 * std::sqrt(static_cast<double>(n));
+}
+
+}  // namespace mm::core

@@ -1,0 +1,47 @@
+// lower_bound.h - Propositions 1 and 2 of the paper (§2.3.2-2.3.3).
+//
+// Proposition 1:  sum_ij #P(i)#Q(j)  >=  ( sum_i sqrt(k_i) )^2
+// Proposition 2:  m(n)               >=  (2/n) * sum_i sqrt(k_i)
+//
+// with k_i the number of occurrences of node i in the rendezvous matrix.
+// Corollaries: the truly distributed case (all k_i = n) gives
+// m(n) >= 2*sqrt(n); the centralized case (one k = n^2) gives m(n) >= 2.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/rendezvous_matrix.h"
+
+namespace mm::core {
+
+struct bound_report {
+    // Proposition 1, both sides:  sum_ij #P#Q  >=  (sum sqrt(k_i))^2.
+    double product_sum = 0;         // left side
+    double product_sum_bound = 0;   // right side
+    // Proposition 2, both sides:  m(n) >= (2/n) sum sqrt(k_i).
+    double average_messages = 0;    // m(n)
+    double message_bound = 0;       // (2/n) sum sqrt(k_i)
+    bool proposition1_holds = false;
+    bool proposition2_holds = false;
+
+    [[nodiscard]] bool all_hold() const noexcept {
+        return proposition1_holds && proposition2_holds;
+    }
+    // m(n) / bound: 1.0 means the strategy is optimal for its load profile.
+    [[nodiscard]] double optimality_ratio() const noexcept {
+        return message_bound > 0 ? average_messages / message_bound : 0.0;
+    }
+};
+
+// The Proposition 2 right-hand side for given multiplicities.
+[[nodiscard]] double message_bound_for(std::span<const std::int64_t> multiplicities,
+                                       net::node_id n);
+
+// Evaluates both propositions for a concrete rendezvous matrix.
+[[nodiscard]] bound_report check_bounds(const rendezvous_matrix& r);
+
+// The truly distributed lower bound 2*sqrt(n) (all k_i = n).
+[[nodiscard]] double truly_distributed_bound(net::node_id n);
+
+}  // namespace mm::core

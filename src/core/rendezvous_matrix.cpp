@@ -1,0 +1,218 @@
+#include "core/rendezvous_matrix.h"
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace mm::core {
+
+std::size_t rendezvous_matrix::flat(net::node_id i, net::node_id j) const {
+    if (i < 0 || i >= n_ || j < 0 || j >= n_)
+        throw std::out_of_range{"rendezvous_matrix: index out of range"};
+    return static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(j);
+}
+
+rendezvous_matrix rendezvous_matrix::from_strategy(const locate_strategy& strategy,
+                                                   port_id port) {
+    rendezvous_matrix r;
+    r.n_ = strategy.node_count();
+    const auto n = static_cast<std::size_t>(r.n_);
+    r.post_sets_.reserve(n);
+    r.query_sets_.reserve(n);
+    for (net::node_id v = 0; v < r.n_; ++v) {
+        r.post_sets_.push_back(strategy.post_set(v, port));
+        r.query_sets_.push_back(strategy.query_set(v, port));
+    }
+    r.entries_.resize(n * n);
+    for (net::node_id i = 0; i < r.n_; ++i)
+        for (net::node_id j = 0; j < r.n_; ++j)
+            r.entries_[r.flat(i, j)] = intersect_sets(r.post_sets_[static_cast<std::size_t>(i)],
+                                                      r.query_sets_[static_cast<std::size_t>(j)]);
+    return r;
+}
+
+rendezvous_matrix rendezvous_matrix::from_entries(net::node_id n,
+                                                  std::vector<node_set> entries) {
+    if (entries.size() != static_cast<std::size_t>(n) * static_cast<std::size_t>(n))
+        throw std::invalid_argument{"rendezvous_matrix::from_entries: wrong entry count"};
+    rendezvous_matrix r;
+    r.n_ = n;
+    r.entries_ = std::move(entries);
+    // Recover P(i) and Q(j) as row / column unions ((M1) with equality).
+    r.post_sets_.assign(static_cast<std::size_t>(n), {});
+    r.query_sets_.assign(static_cast<std::size_t>(n), {});
+    for (net::node_id i = 0; i < n; ++i) {
+        for (net::node_id j = 0; j < n; ++j) {
+            const auto& e = r.entries_[r.flat(i, j)];
+            auto& p = r.post_sets_[static_cast<std::size_t>(i)];
+            auto& q = r.query_sets_[static_cast<std::size_t>(j)];
+            p.insert(p.end(), e.begin(), e.end());
+            q.insert(q.end(), e.begin(), e.end());
+        }
+    }
+    for (auto& p : r.post_sets_) normalize_set(p);
+    for (auto& q : r.query_sets_) normalize_set(q);
+    return r;
+}
+
+const node_set& rendezvous_matrix::entry(net::node_id i, net::node_id j) const {
+    return entries_[flat(i, j)];
+}
+
+const node_set& rendezvous_matrix::post_set(net::node_id i) const {
+    if (i < 0 || i >= n_) throw std::out_of_range{"rendezvous_matrix::post_set"};
+    return post_sets_[static_cast<std::size_t>(i)];
+}
+
+const node_set& rendezvous_matrix::query_set(net::node_id j) const {
+    if (j < 0 || j >= n_) throw std::out_of_range{"rendezvous_matrix::query_set"};
+    return query_sets_[static_cast<std::size_t>(j)];
+}
+
+bool rendezvous_matrix::total() const {
+    for (const auto& e : entries_)
+        if (e.empty()) return false;
+    return true;
+}
+
+bool rendezvous_matrix::singleton() const {
+    for (const auto& e : entries_)
+        if (e.size() != 1) return false;
+    return true;
+}
+
+std::vector<std::int64_t> rendezvous_matrix::multiplicities() const {
+    std::vector<std::int64_t> k(static_cast<std::size_t>(n_), 0);
+    for (const auto& e : entries_)
+        for (net::node_id v : e) ++k[static_cast<std::size_t>(v)];
+    return k;
+}
+
+rendezvous_matrix::row_col_counts rendezvous_matrix::occurrence_spans() const {
+    row_col_counts out;
+    const auto n = static_cast<std::size_t>(n_);
+    out.rows.assign(n, 0);
+    out.columns.assign(n, 0);
+    std::vector<char> in_row(n), in_col(n);
+    for (net::node_id i = 0; i < n_; ++i) {
+        std::fill(in_row.begin(), in_row.end(), 0);
+        for (net::node_id j = 0; j < n_; ++j)
+            for (const net::node_id v : entries_[flat(i, j)])
+                in_row[static_cast<std::size_t>(v)] = 1;
+        for (std::size_t v = 0; v < n; ++v) out.rows[v] += in_row[v];
+    }
+    for (net::node_id j = 0; j < n_; ++j) {
+        std::fill(in_col.begin(), in_col.end(), 0);
+        for (net::node_id i = 0; i < n_; ++i)
+            for (const net::node_id v : entries_[flat(i, j)])
+                in_col[static_cast<std::size_t>(v)] = 1;
+        for (std::size_t v = 0; v < n; ++v) out.columns[v] += in_col[v];
+    }
+    return out;
+}
+
+std::int64_t rendezvous_matrix::message_passes(net::node_id i, net::node_id j) const {
+    return static_cast<std::int64_t>(post_set(i).size()) +
+           static_cast<std::int64_t>(query_set(j).size());
+}
+
+double rendezvous_matrix::average_message_passes() const {
+    // m(n) = (1/n^2) * sum_ij (#P(i) + #Q(j)) = (1/n) * sum_v (#P(v) + #Q(v)).
+    std::int64_t total = 0;
+    for (net::node_id v = 0; v < n_; ++v)
+        total += static_cast<std::int64_t>(post_sets_[static_cast<std::size_t>(v)].size()) +
+                 static_cast<std::int64_t>(query_sets_[static_cast<std::size_t>(v)].size());
+    return n_ == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(n_);
+}
+
+std::int64_t rendezvous_matrix::min_message_passes() const {
+    std::int64_t min_p = std::numeric_limits<std::int64_t>::max();
+    std::int64_t min_q = min_p;
+    for (net::node_id v = 0; v < n_; ++v) {
+        min_p = std::min<std::int64_t>(min_p,
+                                       static_cast<std::int64_t>(post_sets_[static_cast<std::size_t>(v)].size()));
+        min_q = std::min<std::int64_t>(min_q,
+                                       static_cast<std::int64_t>(query_sets_[static_cast<std::size_t>(v)].size()));
+    }
+    return n_ == 0 ? 0 : min_p + min_q;
+}
+
+std::int64_t rendezvous_matrix::max_message_passes() const {
+    std::int64_t max_p = 0;
+    std::int64_t max_q = 0;
+    for (net::node_id v = 0; v < n_; ++v) {
+        max_p = std::max<std::int64_t>(max_p,
+                                       static_cast<std::int64_t>(post_sets_[static_cast<std::size_t>(v)].size()));
+        max_q = std::max<std::int64_t>(max_q,
+                                       static_cast<std::int64_t>(query_sets_[static_cast<std::size_t>(v)].size()));
+    }
+    return max_p + max_q;
+}
+
+double rendezvous_matrix::average_weighted_message_passes(double alpha) const {
+    double total = 0;
+    for (net::node_id v = 0; v < n_; ++v)
+        total += static_cast<double>(post_sets_[static_cast<std::size_t>(v)].size()) +
+                 alpha * static_cast<double>(query_sets_[static_cast<std::size_t>(v)].size());
+    return n_ == 0 ? 0.0 : total / static_cast<double>(n_);
+}
+
+double rendezvous_matrix::product_sum() const {
+    // sum_ij #P(i) * #Q(j) = (sum_i #P(i)) * (sum_j #Q(j)).
+    double p = 0;
+    double q = 0;
+    for (net::node_id v = 0; v < n_; ++v) {
+        p += static_cast<double>(post_sets_[static_cast<std::size_t>(v)].size());
+        q += static_cast<double>(query_sets_[static_cast<std::size_t>(v)].size());
+    }
+    return p * q;
+}
+
+double average_message_passes(const locate_strategy& strategy, port_id port) {
+    const net::node_id n = strategy.node_count();
+    std::int64_t total = 0;
+    for (net::node_id v = 0; v < n; ++v)
+        total += static_cast<std::int64_t>(strategy.post_set(v, port).size()) +
+                 static_cast<std::int64_t>(strategy.query_set(v, port).size());
+    return n == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(n);
+}
+
+double average_weighted_message_passes(const locate_strategy& strategy, double alpha,
+                                       port_id port) {
+    const net::node_id n = strategy.node_count();
+    double total = 0;
+    for (net::node_id v = 0; v < n; ++v)
+        total += static_cast<double>(strategy.post_set(v, port).size()) +
+                 alpha * static_cast<double>(strategy.query_set(v, port).size());
+    return n == 0 ? 0.0 : total / static_cast<double>(n);
+}
+
+std::string rendezvous_matrix::to_string() const {
+    std::ostringstream out;
+    // Column width from the largest printed token.
+    std::size_t width = 1;
+    const auto token = [](const node_set& e) {
+        if (e.empty()) return std::string{"-"};
+        if (e.size() == 1) return std::to_string(e.front() + 1);  // paper is 1-based
+        std::string s{"{"};
+        for (std::size_t i = 0; i < e.size(); ++i) {
+            if (i) s += ',';
+            s += std::to_string(e[i] + 1);
+        }
+        s += '}';
+        return s;
+    };
+    for (const auto& e : entries_) width = std::max(width, token(e).size());
+    for (net::node_id i = 0; i < n_; ++i) {
+        for (net::node_id j = 0; j < n_; ++j) {
+            std::string t = token(entries_[flat(i, j)]);
+            t.insert(0, width - t.size(), ' ');
+            out << t << (j + 1 == n_ ? "" : " ");
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+}  // namespace mm::core

@@ -1,0 +1,100 @@
+// rendezvous_matrix.h - the central object of the paper's theory (§2.3).
+//
+// "The n x n matrix R, with entries r_ij, is the rendez-vous matrix.  Each
+// entry r_ij represents the set of rendez-vous nodes where the client at
+// node j can find the location and port of the server at node i."
+//
+// The matrix is built either from a strategy (entries = P(i) n Q(j)) or
+// directly from entries (used by the Proposition 4 lifting); in the latter
+// case P and Q are recovered as row and column unions, the equality form of
+// constraint (M1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+
+namespace mm::core {
+
+class rendezvous_matrix {
+public:
+    // Builds R from a strategy: r_ij = P(i) n Q(j) for the given port.
+    [[nodiscard]] static rendezvous_matrix from_strategy(const locate_strategy& strategy,
+                                                         port_id port = 0);
+
+    // Builds R from explicit entries (entries[i*n + j]); P(i) and Q(j) are
+    // the row/column unions.
+    [[nodiscard]] static rendezvous_matrix from_entries(net::node_id n,
+                                                        std::vector<node_set> entries);
+
+    [[nodiscard]] net::node_id size() const noexcept { return n_; }
+
+    // The rendezvous set r_ij (sorted).
+    [[nodiscard]] const node_set& entry(net::node_id i, net::node_id j) const;
+
+    [[nodiscard]] const node_set& post_set(net::node_id i) const;   // P(i)
+    [[nodiscard]] const node_set& query_set(net::node_id j) const;  // Q(j)
+
+    // True iff every pair of nodes has at least one rendezvous node: the
+    // correctness condition for deterministic match-making.
+    [[nodiscard]] bool total() const;
+
+    // True iff every entry is a single node, the paper's "optimal shotgun
+    // method has exactly one element in each r_ij".
+    [[nodiscard]] bool singleton() const;
+
+    // k_v = number of matrix entries containing node v; sum over v of k_v
+    // equals n^2 for total singleton matrices (constraint (M2)).
+    [[nodiscard]] std::vector<std::int64_t> multiplicities() const;
+
+    // R_v = number of distinct rows whose entries contain node v, and
+    // C_v = distinct columns.  The Proposition 1 proof hinges on
+    // R_v * C_v >= k_v for every v (a node used k times must span enough
+    // rows and columns).
+    struct row_col_counts {
+        std::vector<std::int64_t> rows;     // R_v
+        std::vector<std::int64_t> columns;  // C_v
+    };
+    [[nodiscard]] row_col_counts occurrence_spans() const;
+
+    // m(i,j) = #P(i) + #Q(j), the message passes of one match-making
+    // instance in a complete network (M3).
+    [[nodiscard]] std::int64_t message_passes(net::node_id i, net::node_id j) const;
+
+    // m(n): the average of m(i,j) over all n^2 pairs (M4).
+    [[nodiscard]] double average_message_passes() const;
+    [[nodiscard]] std::int64_t min_message_passes() const;
+    [[nodiscard]] std::int64_t max_message_passes() const;
+
+    // Weighted average with m(i,j) = #P(i) + alpha * #Q(j) (M3'), modelling
+    // clients locating `alpha` times more often than servers post.
+    [[nodiscard]] double average_weighted_message_passes(double alpha) const;
+
+    // Sum over i,j of #P(i) * #Q(j) (the left side of Proposition 1).
+    [[nodiscard]] double product_sum() const;
+
+    // Paper-style grid of entries, one row per server node; singleton
+    // entries print as the node (1-based, like the paper's examples), larger
+    // sets print in braces.
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    net::node_id n_ = 0;
+    std::vector<node_set> entries_;      // n*n, row-major
+    std::vector<node_set> post_sets_;    // P(i)
+    std::vector<node_set> query_sets_;   // Q(j)
+
+    [[nodiscard]] std::size_t flat(net::node_id i, net::node_id j) const;
+};
+
+// m(n) computed from set sizes only, without materializing the n^2 matrix;
+// use for large-n parameter sweeps.
+[[nodiscard]] double average_message_passes(const locate_strategy& strategy, port_id port = 0);
+
+// Average weighted cost #P + alpha*#Q, matrix-free (M3').
+[[nodiscard]] double average_weighted_message_passes(const locate_strategy& strategy,
+                                                     double alpha, port_id port = 0);
+
+}  // namespace mm::core

@@ -1,0 +1,36 @@
+#include "core/strategy.h"
+
+namespace mm::core {
+
+void normalize_set(node_set& nodes) {
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+}
+
+node_set intersect_sets(const node_set& a, const node_set& b) {
+    node_set out;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+    return out;
+}
+
+bool sets_intersect(const node_set& a, const node_set& b) {
+    auto i = a.begin();
+    auto j = b.begin();
+    while (i != a.end() && j != b.end()) {
+        if (*i == *j) return true;
+        if (*i < *j) {
+            ++i;
+        } else {
+            ++j;
+        }
+    }
+    return false;
+}
+
+node_set all_nodes(net::node_id n) {
+    node_set out(static_cast<std::size_t>(n));
+    for (net::node_id v = 0; v < n; ++v) out[static_cast<std::size_t>(v)] = v;
+    return out;
+}
+
+}  // namespace mm::core

@@ -1,0 +1,71 @@
+// strategy.h - the P/Q framework of Shotgun Locate (Section 2.1).
+//
+// "For each network G = (U,E) and associated match-making algorithm, there
+// are total functions P, Q: U -> 2^U.  Any server residing at node i starts
+// its stay there by posting its (port, address) pair at each node in P(i).
+// Any client residing at node j queries each node in Q(j) for each service
+// (port) it requires."
+//
+// The base interface is port-aware (P, Q: U x Pi -> 2^U, Section 5's
+// generalization); pure Shotgun strategies ignore the port.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+#include "net/graph.h"
+
+namespace mm::core {
+
+// A set of nodes, kept sorted and duplicate-free (see normalize_set).
+using node_set = std::vector<net::node_id>;
+
+// Sorts and deduplicates in place.
+void normalize_set(node_set& nodes);
+
+// Sorted intersection of two normalized sets.
+[[nodiscard]] node_set intersect_sets(const node_set& a, const node_set& b);
+
+// True if the normalized sets share at least one element.
+[[nodiscard]] bool sets_intersect(const node_set& a, const node_set& b);
+
+// The generalized locate strategy: P and Q may depend on the port
+// (Section 5, "Hash Locate and beyond").
+class locate_strategy {
+public:
+    virtual ~locate_strategy() = default;
+
+    // Human-readable strategy name for reports.
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    // Number of nodes n = #U in the universe the strategy is defined on.
+    [[nodiscard]] virtual net::node_id node_count() const = 0;
+
+    // P(i, port): where a server at node i posts.  Normalized.
+    [[nodiscard]] virtual node_set post_set(net::node_id server, port_id port) const = 0;
+
+    // Q(j, port): where a client at node j queries.  Normalized.
+    [[nodiscard]] virtual node_set query_set(net::node_id client, port_id port) const = 0;
+};
+
+// A Shotgun strategy: P and Q depend on the node only.  Derived classes
+// implement the port-free overloads.
+class shotgun_strategy : public locate_strategy {
+public:
+    [[nodiscard]] virtual node_set post_set(net::node_id server) const = 0;
+    [[nodiscard]] virtual node_set query_set(net::node_id client) const = 0;
+
+    [[nodiscard]] node_set post_set(net::node_id server, port_id /*port*/) const final {
+        return post_set(server);
+    }
+    [[nodiscard]] node_set query_set(net::node_id client, port_id /*port*/) const final {
+        return query_set(client);
+    }
+};
+
+// All nodes 0..n-1, the universe U.
+[[nodiscard]] node_set all_nodes(net::node_id n);
+
+}  // namespace mm::core

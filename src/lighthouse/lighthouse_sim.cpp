@@ -1,0 +1,110 @@
+#include "lighthouse/lighthouse_sim.h"
+
+#include <random>
+
+namespace mm::lighthouse {
+
+namespace {
+
+constexpr double two_pi = 6.283185307179586;
+
+struct server {
+    cell at;
+    std::int64_t phase = 0;  // beam when (t + phase) % period == 0
+    core::address address = 0;
+};
+
+}  // namespace
+
+lighthouse_result run_lighthouse(const lighthouse_params& params) {
+    sim::rng random{params.seed};
+    lighthouse_result result;
+
+    // Server population: Poisson with mean density * area, like the paper's
+    // "number of servers in an n-element region has expected value s*n".
+    const double area = static_cast<double>(params.width) * params.height;
+    std::poisson_distribution<int> population{params.server_density * area};
+    const int server_count = population(random.engine());
+    result.server_count = server_count;
+
+    std::vector<server> servers;
+    servers.reserve(static_cast<std::size_t>(server_count));
+    for (int i = 0; i < server_count; ++i) {
+        server s;
+        s.at = cell{static_cast<int>(random.uniform(0, params.width - 1)),
+                    static_cast<int>(random.uniform(0, params.height - 1))};
+        s.phase = random.uniform(0, params.server_period - 1);
+        s.address = static_cast<core::address>(i);
+        servers.push_back(s);
+    }
+
+    const core::port_id port = core::port_of("lighthouse-service");
+    trail_map trails{params.width, params.height};
+    const cell client{params.width / 2, params.height / 2};
+
+    // Client schedule state.
+    std::int64_t next_trial = params.client_period;
+    std::int64_t period = params.client_period;
+    int beam_length = params.client_base_length;
+    int failures_at_length = 0;
+    ruler_schedule ruler;
+
+    for (std::int64_t now = 0; now <= params.max_time; ++now) {
+        // Mobile servers drift one cell at a time.
+        if (params.server_drift > 0) {
+            for (auto& s : servers) {
+                if (!random.chance(params.server_drift)) continue;
+                const int dir = static_cast<int>(random.uniform(0, 3));
+                const int dx[4] = {1, -1, 0, 0};
+                const int dy[4] = {0, 0, 1, -1};
+                s.at.x = (s.at.x + dx[dir] + params.width) % params.width;
+                s.at.y = (s.at.y + dy[dir] + params.height) % params.height;
+            }
+        }
+        // Servers beam on their own periods.
+        for (const auto& s : servers) {
+            if ((now + s.phase) % params.server_period != 0) continue;
+            const double angle = random.uniform01() * two_pi;
+            const auto cells = rasterize_beam(params.width, params.height, s.at, angle,
+                                              params.server_beam_length);
+            result.server_messages += static_cast<std::int64_t>(cells.size());
+            for (const cell& c : cells)
+                trails.deposit(c, port, s.address, now + params.trail_lifetime);
+            // The server's own cell always carries a fresh trail too.
+            trails.deposit(s.at, port, s.address, now + params.trail_lifetime);
+        }
+
+        if (now != next_trial) continue;
+
+        // One client trial.
+        ++result.client_trials;
+        int length = beam_length;
+        if (params.schedule == client_schedule::ruler)
+            length = ruler.next() * params.client_base_length;
+        const double angle = random.uniform01() * two_pi;
+        const auto cells = rasterize_beam(params.width, params.height, client, angle, length);
+        result.client_messages += static_cast<std::int64_t>(cells.size());
+        bool hit = trails.live_trail(client, port, now).has_value();
+        for (const cell& c : cells) {
+            if (hit) break;
+            hit = trails.live_trail(c, port, now).has_value();
+        }
+        if (hit) {
+            result.located = true;
+            result.time_to_locate = now;
+            return result;
+        }
+
+        if (params.schedule == client_schedule::doubling &&
+            ++failures_at_length >= params.escalate_after) {
+            failures_at_length = 0;
+            beam_length *= 2;
+            period *= 2;
+        }
+        next_trial = now + period;
+    }
+    result.time_to_locate = params.max_time;
+    return result;
+}
+
+}  // namespace mm::lighthouse

@@ -1,0 +1,59 @@
+// lighthouse_sim.h - the full Lighthouse Locate simulation (Section 4).
+//
+// Servers: "Each server sends out a random direction beam of length l every
+// delta time units.  Each trail left by such a beam disappears after d time
+// units."  Clients: "To locate a server, the client beams a request in a
+// random direction at regular intervals.  Originally, the length of the
+// beam is 1 [unit] and the intervals are delta.  After e unsuccessful
+// trials, the client increases its effort by doubling the length of the
+// inquiry beam and the intervals between them", or follows the ruler
+// schedule (beam length i*l on trial t with ruler value i), which locates
+// servers that drift near the client with less time-loss.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lighthouse/plane.h"
+#include "lighthouse/ruler.h"
+#include "sim/rng.h"
+
+namespace mm::lighthouse {
+
+enum class client_schedule {
+    doubling,  // l <- 2l and delta <- 2*delta after e failures
+    ruler      // length = ruler(t) * l, fixed interval
+};
+
+struct lighthouse_params {
+    int width = 256;
+    int height = 256;
+    double server_density = 0.001;  // expected servers per cell ("s")
+    int server_beam_length = 16;    // l for servers
+    std::int64_t server_period = 8;     // delta for servers
+    std::int64_t trail_lifetime = 32;   // d
+    int client_base_length = 1;         // initial/base beam length
+    std::int64_t client_period = 8;     // initial delta for the client
+    int escalate_after = 2;             // e: failures before doubling
+    client_schedule schedule = client_schedule::doubling;
+    // Per-tick probability that a server steps to an adjacent cell.  The
+    // paper's mobile-server scenario: "the servers which drift nearer to
+    // the client are located with less time-loss" under the ruler schedule.
+    double server_drift = 0.0;
+    std::int64_t max_time = 1 << 20;    // give up after this many ticks
+    std::uint64_t seed = 1;
+};
+
+struct lighthouse_result {
+    bool located = false;
+    std::int64_t time_to_locate = 0;    // ticks until the successful trial
+    std::int64_t client_trials = 0;
+    std::int64_t client_messages = 0;   // cells touched by client beams
+    std::int64_t server_messages = 0;   // cells touched by server beams
+    int server_count = 0;
+};
+
+// Runs one client locate against a population of beaming servers.
+[[nodiscard]] lighthouse_result run_lighthouse(const lighthouse_params& params);
+
+}  // namespace mm::lighthouse

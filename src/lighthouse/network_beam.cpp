@@ -1,0 +1,46 @@
+#include "lighthouse/network_beam.h"
+
+namespace mm::lighthouse {
+
+std::vector<net::node_id> network_beam(const net::graph& g, const net::routing_table& routes,
+                                       net::node_id origin, int length, sim::rng& random) {
+    std::vector<net::node_id> visited;
+    if (length <= 0) return visited;
+    const auto first_neighbors = g.neighbors(origin);
+    if (first_neighbors.empty()) return visited;
+
+    // Hop 1: a random outgoing arc.
+    net::node_id current =
+        first_neighbors[static_cast<std::size_t>(random.uniform(0, static_cast<std::int64_t>(first_neighbors.size()) - 1))];
+    visited.push_back(current);
+
+    for (int hop = 2; hop <= length; ++hop) {
+        // Choose any arc (current, w) that w would use to route to the
+        // origin: next_hop(w -> origin) == current.
+        std::vector<net::node_id> candidates;
+        for (net::node_id w : g.neighbors(current)) {
+            if (w == origin) continue;
+            if (routes.next_hop(w, origin) == current) candidates.push_back(w);
+        }
+        if (candidates.empty()) break;  // the "line" ran off the network
+        current = candidates[static_cast<std::size_t>(
+            random.uniform(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+        visited.push_back(current);
+    }
+    return visited;
+}
+
+beam_trace trace_network_beam(const net::graph& g, const net::routing_table& routes,
+                              net::node_id origin, int length, sim::rng& random) {
+    beam_trace trace;
+    trace.nodes = network_beam(g, routes, origin, length, random);
+    int previous = 0;
+    for (net::node_id v : trace.nodes) {
+        const int d = routes.distance(origin, v);
+        if (d <= previous) trace.monotone_away = false;
+        previous = d;
+    }
+    return trace;
+}
+
+}  // namespace mm::lighthouse

@@ -1,0 +1,43 @@
+// network_beam.h - mapping plane beams onto point-to-point networks.
+//
+// Section 4, closing: "A client (or server) wishing to send a beam of
+// length k chooses a random outgoing arc and sends the message along it to
+// its neighbor.  This neighbor, upon reception of such a message decreases
+// the hop count by 1, and sends the message on any one outgoing arc that is
+// used to send messages from the node at the other end of the arc to the
+// original client (or server) where the beam started from" - i.e. the
+// routing tables are used back-to-front (after Dalal & Metcalfe's reverse
+// path forwarding) to push the message along "a straight line" away from
+// its origin.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.h"
+#include "net/routing.h"
+#include "sim/rng.h"
+
+namespace mm::lighthouse {
+
+// The nodes visited by a beam of `length` hops from `origin` (origin
+// excluded), following reverse shortest-path arcs; stops early only if no
+// neighbor routes back through the current node.  Randomness (initial arc,
+// tie-breaks) comes from `random`.
+[[nodiscard]] std::vector<net::node_id> network_beam(const net::graph& g,
+                                                     const net::routing_table& routes,
+                                                     net::node_id origin, int length,
+                                                     sim::rng& random);
+
+// Statistics of the beams a node would cast: used to verify that beams move
+// strictly away from the origin (distance increases every hop until blocked).
+struct beam_trace {
+    std::vector<net::node_id> nodes;
+    bool monotone_away = true;  // distance from origin strictly increased
+};
+
+[[nodiscard]] beam_trace trace_network_beam(const net::graph& g,
+                                            const net::routing_table& routes,
+                                            net::node_id origin, int length, sim::rng& random);
+
+}  // namespace mm::lighthouse

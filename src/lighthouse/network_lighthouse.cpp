@@ -1,0 +1,94 @@
+#include "lighthouse/network_lighthouse.h"
+
+#include <stdexcept>
+
+#include "lighthouse/network_beam.h"
+#include "lighthouse/ruler.h"
+#include "sim/rng.h"
+
+namespace mm::lighthouse {
+
+network_lighthouse_result run_network_lighthouse(const net::graph& g,
+                                                 const net::routing_table& routes,
+                                                 const network_lighthouse_params& params) {
+    if (!g.valid_node(params.client))
+        throw std::invalid_argument{"network_lighthouse: bad client"};
+    for (const net::node_id s : params.servers)
+        if (!g.valid_node(s)) throw std::invalid_argument{"network_lighthouse: bad server"};
+
+    sim::rng random{params.seed};
+    const core::port_id port = core::port_of("network-lighthouse");
+    std::vector<core::bounded_port_cache> caches;
+    caches.reserve(static_cast<std::size_t>(g.node_count()));
+    for (net::node_id v = 0; v < g.node_count(); ++v)
+        caches.emplace_back(params.cache_capacity);
+    network_lighthouse_result result;
+
+    const auto deposit = [&](net::node_id at, net::node_id who, std::int64_t now) {
+        core::port_entry entry;
+        // One distinct port per server so small caches feel real pressure.
+        entry.port = port ^ static_cast<core::port_id>(who);
+        entry.where = who;
+        entry.stamp = now;
+        entry.expires_at = now + params.trail_lifetime;
+        caches[static_cast<std::size_t>(at)].post(entry);
+    };
+    const auto probe = [&](net::node_id at, std::int64_t now) -> net::node_id {
+        auto& cache = caches[static_cast<std::size_t>(at)];
+        for (const net::node_id s : params.servers) {
+            const auto hit = cache.lookup(port ^ static_cast<core::port_id>(s), now);
+            if (hit) return hit->where;
+        }
+        return net::invalid_node;
+    };
+
+    // Client schedule state.
+    std::int64_t next_trial = params.client_period;
+    std::int64_t period = params.client_period;
+    int beam_length = params.client_base_length;
+    int failures = 0;
+    ruler_schedule ruler;
+
+    for (std::int64_t now = 0; now <= params.max_time; ++now) {
+        for (std::size_t i = 0; i < params.servers.size(); ++i) {
+            if ((now + static_cast<std::int64_t>(i)) % params.server_period != 0) continue;
+            const net::node_id s = params.servers[i];
+            const auto trail = network_beam(g, routes, s, params.server_beam_length, random);
+            result.server_messages += static_cast<std::int64_t>(trail.size());
+            deposit(s, s, now);
+            for (const net::node_id v : trail) deposit(v, s, now);
+        }
+
+        if (now != next_trial) continue;
+        ++result.client_trials;
+        int length = beam_length;
+        if (params.schedule == client_schedule::ruler)
+            length = ruler.next() * params.client_base_length;
+
+        const auto path = network_beam(g, routes, params.client, length, random);
+        result.client_messages += static_cast<std::int64_t>(path.size());
+        net::node_id hit = probe(params.client, now);
+        for (const net::node_id v : path) {
+            if (hit != net::invalid_node) break;
+            hit = probe(v, now);
+        }
+        if (hit != net::invalid_node) {
+            result.located = true;
+            result.found_address = hit;
+            result.time_to_locate = now;
+            break;
+        }
+        if (params.schedule == client_schedule::doubling &&
+            ++failures >= params.escalate_after) {
+            failures = 0;
+            beam_length *= 2;
+            period *= 2;
+        }
+        next_trial = now + period;
+    }
+    if (!result.located) result.time_to_locate = params.max_time;
+    for (const auto& cache : caches) result.cache_evictions += cache.evictions();
+    return result;
+}
+
+}  // namespace mm::lighthouse

@@ -1,0 +1,57 @@
+// network_lighthouse.h - Lighthouse Locate on a point-to-point network.
+//
+// The end of Section 4: "Before the locate method for the euclidean plane
+// can be converted into a practical algorithm for locating services it is
+// necessary to find ways of mapping point-to-point networks onto the
+// euclidean plane...  We can use these [routing] tables back-to-front to
+// simulate sending messages along 'a straight line' of certain length."
+//
+// Servers cast reverse-routing beams depositing (port, address) trails in
+// per-node bounded LRU caches ("too-small caches can discard (port,
+// address) pairs"); a client casts probe beams under the doubling or ruler
+// schedule and succeeds the moment a probe touches a node holding a live
+// trail.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cache.h"
+#include "lighthouse/lighthouse_sim.h"  // client_schedule
+#include "net/graph.h"
+#include "net/routing.h"
+
+namespace mm::lighthouse {
+
+struct network_lighthouse_params {
+    std::vector<net::node_id> servers;  // server hosts
+    net::node_id client = 0;
+    int server_beam_length = 8;
+    std::int64_t server_period = 8;
+    std::int64_t trail_lifetime = 32;
+    int client_base_length = 1;
+    std::int64_t client_period = 8;
+    int escalate_after = 2;
+    client_schedule schedule = client_schedule::doubling;
+    std::size_t cache_capacity = 16;  // per-node LRU capacity
+    std::int64_t max_time = 1 << 16;
+    std::uint64_t seed = 1;
+};
+
+struct network_lighthouse_result {
+    bool located = false;
+    net::node_id found_address = net::invalid_node;
+    std::int64_t time_to_locate = 0;
+    std::int64_t client_trials = 0;
+    std::int64_t client_messages = 0;  // probe beam hops
+    std::int64_t server_messages = 0;  // trail beam hops
+    std::int64_t cache_evictions = 0;  // trails lost to small caches
+};
+
+// Runs one client locate against beaming servers on the given graph.  The
+// routing table must belong to g; both must outlive the call.
+[[nodiscard]] network_lighthouse_result run_network_lighthouse(
+    const net::graph& g, const net::routing_table& routes,
+    const network_lighthouse_params& params);
+
+}  // namespace mm::lighthouse

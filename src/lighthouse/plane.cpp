@@ -1,0 +1,69 @@
+#include "lighthouse/plane.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mm::lighthouse {
+
+std::vector<cell> rasterize_beam(int width, int height, cell from, double angle, int length) {
+    if (width < 1 || height < 1) throw std::invalid_argument{"rasterize_beam: bad world"};
+    if (length < 0) throw std::invalid_argument{"rasterize_beam: negative length"};
+    const double dx = std::cos(angle);
+    const double dy = std::sin(angle);
+    std::vector<cell> out;
+    out.reserve(static_cast<std::size_t>(length));
+    cell prev = from;
+    for (int step = 1; step <= length; ++step) {
+        const auto wrap = [](int v, int extent) {
+            const int m = v % extent;
+            return m < 0 ? m + extent : m;
+        };
+        const cell c{wrap(from.x + static_cast<int>(std::lround(dx * step)), width),
+                     wrap(from.y + static_cast<int>(std::lround(dy * step)), height)};
+        if (c == prev) continue;  // shallow angles revisit the same cell
+        out.push_back(c);
+        prev = c;
+    }
+    return out;
+}
+
+trail_map::trail_map(int width, int height) : width_{width}, height_{height} {
+    if (width < 1 || height < 1) throw std::invalid_argument{"trail_map: bad world"};
+}
+
+std::int64_t trail_map::key(cell c) const {
+    return static_cast<std::int64_t>(c.y) * width_ + c.x;
+}
+
+void trail_map::deposit(cell at, core::port_id port, core::address who,
+                        std::int64_t expires_at) {
+    core::port_entry entry;
+    entry.port = port;
+    entry.where = who;
+    entry.stamp = expires_at;  // a fresher beam always has a later expiry
+    entry.expires_at = expires_at;
+    cells_[key(at)].post(entry);
+}
+
+std::optional<core::port_entry> trail_map::live_trail(cell at, core::port_id port,
+                                                      std::int64_t now) {
+    const auto it = cells_.find(key(at));
+    if (it == cells_.end()) return std::nullopt;
+    return it->second.lookup(port, now);
+}
+
+std::size_t trail_map::live_entries(std::int64_t now) {
+    std::size_t live = 0;
+    for (auto it = cells_.begin(); it != cells_.end();) {
+        it->second.expire(now);
+        live += it->second.size();
+        if (it->second.empty()) {
+            it = cells_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return live;
+}
+
+}  // namespace mm::lighthouse

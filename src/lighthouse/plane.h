@@ -1,0 +1,60 @@
+// plane.h - the Euclidean-plane world of Lighthouse Locate (Section 4).
+//
+// "We imagine the processors as discrete coordinate points in the
+// 2-dimensional Euclidean plane grid."  The world is a width x height
+// integer grid with torus wrap-around (the paper's plane is unbounded; the
+// torus avoids boundary artifacts).  A beam is a straight ray of given
+// length cast in a random direction; every grid cell it passes through
+// counts as one message pass and can hold (port, address) trails that
+// expire after a fixed number of ticks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cache.h"
+#include "core/ids.h"
+
+namespace mm::lighthouse {
+
+struct cell {
+    int x = 0;
+    int y = 0;
+    friend bool operator==(const cell&, const cell&) = default;
+};
+
+// The grid cells a beam of `length` cells visits from (x, y) at `angle`
+// radians (start cell excluded), deduplicated, in visiting order, wrapped
+// onto a width x height torus.
+[[nodiscard]] std::vector<cell> rasterize_beam(int width, int height, cell from, double angle,
+                                               int length);
+
+// Trail storage: per-cell (port, address, expiry) entries.
+class trail_map {
+public:
+    trail_map(int width, int height);
+
+    // Deposits a trail at a cell; `expires_at` is an absolute tick.
+    void deposit(cell at, core::port_id port, core::address who, std::int64_t expires_at);
+
+    // A live trail for `port` at `at`, if any (expired entries are pruned).
+    [[nodiscard]] std::optional<core::port_entry> live_trail(cell at, core::port_id port,
+                                                             std::int64_t now);
+
+    // Total live entries (after pruning against `now`).
+    [[nodiscard]] std::size_t live_entries(std::int64_t now);
+
+    [[nodiscard]] int width() const noexcept { return width_; }
+    [[nodiscard]] int height() const noexcept { return height_; }
+
+private:
+    int width_;
+    int height_;
+    std::unordered_map<std::int64_t, core::port_cache> cells_;
+
+    [[nodiscard]] std::int64_t key(cell c) const;
+};
+
+}  // namespace mm::lighthouse

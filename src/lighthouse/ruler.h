@@ -1,0 +1,42 @@
+// ruler.h - the beam-length schedule 1,2,1,3,1,2,1,4,... (Section 4).
+//
+// "Another possibility is to govern the length of the locate beam by the
+// sequence 121312141213121512131214...  Here the length of the locate beam
+// is i*l once in each interval of 2^i trials.  The schedule can conveniently
+// be maintained by a binary counter: the position i of the most significant
+// bit changed by the current unit increment indicates the current beam
+// length i*l."  (Sequence 51 in Sloane's 1973 catalogue, the ruler
+// function.)  In a run of 2^k trials there are 2^(k-i) trials of length i*l.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace mm::lighthouse {
+
+// i(t) for trial t >= 1: one plus the number of trailing zero bits of t;
+// equivalently the position (1-based) of the most significant bit flipped
+// when incrementing the binary counter from t-1 to t.
+[[nodiscard]] constexpr int ruler_value(std::uint64_t trial) {
+    if (trial == 0) throw std::invalid_argument{"ruler_value: trials are numbered from 1"};
+    int i = 1;
+    while ((trial & 1) == 0) {
+        trial >>= 1;
+        ++i;
+    }
+    return i;
+}
+
+// Incremental binary-counter form, convenient for simulations.
+class ruler_schedule {
+public:
+    // Advances to the next trial and returns its ruler value.
+    int next() { return ruler_value(++counter_); }
+    [[nodiscard]] std::uint64_t trials_so_far() const noexcept { return counter_; }
+    void reset() noexcept { counter_ = 0; }
+
+private:
+    std::uint64_t counter_ = 0;
+};
+
+}  // namespace mm::lighthouse

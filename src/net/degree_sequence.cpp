@@ -1,0 +1,146 @@
+#include "net/degree_sequence.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace mm::net {
+
+bool degree_sequence_graphical(std::vector<int> degrees) {
+    for (const int d : degrees)
+        if (d < 0 || d >= static_cast<int>(degrees.size())) return false;
+    std::sort(degrees.begin(), degrees.end(), std::greater<>{});
+    const std::int64_t total = std::accumulate(degrees.begin(), degrees.end(), std::int64_t{0});
+    if (total % 2 != 0) return false;
+    // Erdos-Gallai: for each k, sum of the k largest <= k(k-1) + sum min(d_i, k).
+    std::int64_t left = 0;
+    for (std::size_t k = 1; k <= degrees.size(); ++k) {
+        left += degrees[k - 1];
+        std::int64_t right = static_cast<std::int64_t>(k) * (static_cast<std::int64_t>(k) - 1);
+        for (std::size_t i = k; i < degrees.size(); ++i)
+            right += std::min(degrees[i], static_cast<int>(k));
+        if (left > right) return false;
+    }
+    return true;
+}
+
+graph make_graph_with_degrees(const std::vector<int>& degrees) {
+    if (!degree_sequence_graphical(degrees))
+        throw std::invalid_argument{"make_graph_with_degrees: sequence not graphical"};
+    const node_id n = static_cast<node_id>(degrees.size());
+    graph g{n};
+    // Havel-Hakimi with explicit node ids: repeatedly satisfy the node with
+    // the largest remaining demand by connecting it to the next-largest.
+    std::vector<std::pair<int, node_id>> remaining;  // (demand, node)
+    remaining.reserve(degrees.size());
+    for (node_id v = 0; v < n; ++v)
+        if (degrees[static_cast<std::size_t>(v)] > 0)
+            remaining.emplace_back(degrees[static_cast<std::size_t>(v)], v);
+
+    while (!remaining.empty()) {
+        std::sort(remaining.begin(), remaining.end(), std::greater<>{});
+        const auto [demand, v] = remaining.front();
+        remaining.erase(remaining.begin());
+        if (demand > static_cast<int>(remaining.size()))
+            throw std::logic_error{"make_graph_with_degrees: Havel-Hakimi underflow"};
+        for (int k = 0; k < demand; ++k) {
+            auto& [other_demand, w] = remaining[static_cast<std::size_t>(k)];
+            g.add_edge(v, w);
+            --other_demand;
+        }
+        std::erase_if(remaining, [](const auto& p) { return p.first == 0; });
+    }
+    g.finalize();
+    return g;
+}
+
+namespace {
+
+// Component labels of g restricted to positive-degree nodes.
+std::vector<int> positive_components(const graph& g) {
+    const auto n = static_cast<std::size_t>(g.node_count());
+    std::vector<int> comp(n, -1);
+    int next = 0;
+    for (node_id v = 0; v < g.node_count(); ++v) {
+        if (g.degree(v) == 0 || comp[static_cast<std::size_t>(v)] >= 0) continue;
+        std::vector<node_id> stack{v};
+        comp[static_cast<std::size_t>(v)] = next;
+        while (!stack.empty()) {
+            const node_id u = stack.back();
+            stack.pop_back();
+            for (const node_id w : g.neighbors(u)) {
+                if (comp[static_cast<std::size_t>(w)] < 0) {
+                    comp[static_cast<std::size_t>(w)] = next;
+                    stack.push_back(w);
+                }
+            }
+        }
+        ++next;
+    }
+    return comp;
+}
+
+}  // namespace
+
+graph make_connected_graph_with_degrees(const std::vector<int>& degrees) {
+    graph g = make_graph_with_degrees(degrees);
+    // Repeat: find two components, pick an edge in each, 2-swap them.
+    // (a-b, c-d) -> (a-c, b-d) keeps all degrees and merges the components
+    // whenever a-c and b-d are not already edges.
+    for (int guard = 0; guard < g.node_count() + 8; ++guard) {
+        const auto comp = positive_components(g);
+        int comp_count = 0;
+        for (const int c : comp) comp_count = std::max(comp_count, c + 1);
+        if (comp_count <= 1) return g;
+
+        // Collect one edge per component (prefer components with an edge).
+        std::vector<std::pair<node_id, node_id>> pick(static_cast<std::size_t>(comp_count),
+                                                      {invalid_node, invalid_node});
+        for (node_id a = 0; a < g.node_count(); ++a) {
+            const int c = comp[static_cast<std::size_t>(a)];
+            if (c < 0 || pick[static_cast<std::size_t>(c)].first != invalid_node) continue;
+            for (const node_id b : g.neighbors(a)) {
+                pick[static_cast<std::size_t>(c)] = {a, b};
+                break;
+            }
+        }
+        bool swapped = false;
+        for (int c = 1; c < comp_count && !swapped; ++c) {
+            const auto [a, b] = pick[0];
+            const auto [x, y] = pick[static_cast<std::size_t>(c)];
+            if (a == invalid_node || x == invalid_node) continue;
+            // Try both pairings of the 2-swap.
+            if (!g.has_edge(a, x) && !g.has_edge(b, y)) {
+                g.remove_edge(a, b);
+                g.remove_edge(x, y);
+                g.add_edge(a, x);
+                g.add_edge(b, y);
+                swapped = true;
+            } else if (!g.has_edge(a, y) && !g.has_edge(b, x)) {
+                g.remove_edge(a, b);
+                g.remove_edge(x, y);
+                g.add_edge(a, y);
+                g.add_edge(b, x);
+                swapped = true;
+            }
+        }
+        if (!swapped)
+            throw std::invalid_argument{
+                "make_connected_graph_with_degrees: cannot connect (components are cliques?)"};
+    }
+    throw std::logic_error{"make_connected_graph_with_degrees: did not converge"};
+}
+
+std::vector<int> degrees_from_histogram(
+    const std::vector<std::pair<int, int>>& sites_by_degree) {
+    std::vector<int> out;
+    for (const auto& [sites, degree] : sites_by_degree) {
+        if (sites < 0 || degree < 0)
+            throw std::invalid_argument{"degrees_from_histogram: negative entry"};
+        for (int s = 0; s < sites; ++s) out.push_back(degree);
+    }
+    std::sort(out.begin(), out.end(), std::greater<>{});
+    return out;
+}
+
+}  // namespace mm::net

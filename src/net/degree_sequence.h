@@ -1,0 +1,34 @@
+// degree_sequence.h - realizing exact degree sequences as graphs.
+//
+// Section 3.6 characterizes existing networks purely by their degree table.
+// These builders realize such a table *exactly*: Havel-Hakimi constructs a
+// simple graph with the prescribed degree sequence, and degree-preserving
+// 2-swaps stitch its components together so the positive-degree part
+// becomes connected (isolated degree-0 sites - the paper's "loyalist" -
+// stay isolated, as they must).
+#pragma once
+
+#include <vector>
+
+#include "net/graph.h"
+
+namespace mm::net {
+
+// True iff `degrees` is realizable as a simple graph (Erdos-Gallai).
+[[nodiscard]] bool degree_sequence_graphical(std::vector<int> degrees);
+
+// Builds a simple graph whose node v has exactly degrees[v] edges.
+// Throws std::invalid_argument if the sequence is not graphical.
+[[nodiscard]] graph make_graph_with_degrees(const std::vector<int>& degrees);
+
+// Like make_graph_with_degrees, then rewires edges (preserving all degrees)
+// until all positive-degree nodes lie in one connected component.  Throws
+// std::invalid_argument if impossible (e.g. too few edges to connect).
+[[nodiscard]] graph make_connected_graph_with_degrees(const std::vector<int>& degrees);
+
+// Expands a (sites, degree) histogram - e.g. the paper's UUCP table - into
+// a per-node degree vector (sorted descending).
+[[nodiscard]] std::vector<int> degrees_from_histogram(
+    const std::vector<std::pair<int, int>>& sites_by_degree);
+
+}  // namespace mm::net

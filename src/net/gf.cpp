@@ -1,0 +1,191 @@
+#include "net/gf.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace mm::net {
+
+namespace {
+
+// Multiplies two polynomials over GF(p) given as digit vectors.
+std::vector<int> poly_mul(const std::vector<int>& a, const std::vector<int>& b, int p) {
+    if (a.empty() || b.empty()) return {};
+    std::vector<int> out(a.size() + b.size() - 1, 0);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        for (std::size_t j = 0; j < b.size(); ++j)
+            out[i + j] = (out[i + j] + a[i] * b[j]) % p;
+    while (!out.empty() && out.back() == 0) out.pop_back();
+    return out;
+}
+
+// Remainder of a modulo the monic polynomial mod, over GF(p).
+std::vector<int> poly_rem(std::vector<int> a, const std::vector<int>& mod, int p) {
+    const auto deg_mod = static_cast<int>(mod.size()) - 1;
+    while (static_cast<int>(a.size()) - 1 >= deg_mod) {
+        const int shift = static_cast<int>(a.size()) - 1 - deg_mod;
+        const int factor = a.back();
+        for (int i = 0; i <= deg_mod; ++i) {
+            auto& digit = a[static_cast<std::size_t>(i + shift)];
+            digit = ((digit - factor * mod[static_cast<std::size_t>(i)]) % p + p) % p;
+        }
+        while (!a.empty() && a.back() == 0) a.pop_back();
+    }
+    return a;
+}
+
+int encode(const std::vector<int>& poly, int p) {
+    int v = 0;
+    for (auto it = poly.rbegin(); it != poly.rend(); ++it) v = v * p + *it;
+    return v;
+}
+
+std::vector<int> decode(int v, int p) {
+    std::vector<int> poly;
+    while (v > 0) {
+        poly.push_back(v % p);
+        v /= p;
+    }
+    return poly;
+}
+
+// True if f (monic, degree >= 1) has no monic divisor of degree 1..deg(f)/2.
+bool poly_irreducible(const std::vector<int>& f, int p) {
+    const int deg = static_cast<int>(f.size()) - 1;
+    const auto count_of_degree = [p](int d) {
+        long long c = 1;
+        for (int i = 0; i < d; ++i) c *= p;
+        return c;  // monic polynomials of degree d
+    };
+    for (int d = 1; 2 * d <= deg; ++d) {
+        for (long long lower = 0; lower < count_of_degree(d); ++lower) {
+            std::vector<int> g = decode(static_cast<int>(lower), p);
+            g.resize(static_cast<std::size_t>(d) + 1, 0);
+            g[static_cast<std::size_t>(d)] = 1;  // make monic of degree d
+            if (poly_rem(f, g, p).empty()) return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+bool is_prime_power(int q, int* prime, int* exponent) {
+    if (q < 2) return false;
+    for (int p = 2; p <= q; ++p) {
+        if (q % p != 0) continue;
+        // p is the smallest divisor, hence prime.
+        int m = 0;
+        int v = q;
+        while (v % p == 0) {
+            v /= p;
+            ++m;
+        }
+        if (v != 1) return false;
+        if (prime) *prime = p;
+        if (exponent) *exponent = m;
+        return true;
+    }
+    return false;
+}
+
+finite_field::finite_field(int q) : q_{q} {
+    if (q < 2 || q > 4096 || !is_prime_power(q, &p_, &m_))
+        throw std::invalid_argument{"finite_field: order " + std::to_string(q) +
+                                    " is not a prime power in [2, 4096]"};
+    if (m_ > 1) {
+        // Find the lexicographically first monic irreducible of degree m.
+        long long count = 1;
+        for (int i = 0; i < m_; ++i) count *= p_;
+        for (long long lower = 0; lower < count; ++lower) {
+            std::vector<int> f = decode(static_cast<int>(lower), p_);
+            f.resize(static_cast<std::size_t>(m_) + 1, 0);
+            f[static_cast<std::size_t>(m_)] = 1;
+            if (poly_irreducible(f, p_)) {
+                modulus_ = std::move(f);
+                break;
+            }
+        }
+        if (modulus_.empty()) throw std::logic_error{"finite_field: no irreducible found"};
+    }
+    // Precompute multiplication and inverse tables.
+    mul_table_.assign(static_cast<std::size_t>(q_) * q_, 0);
+    inv_table_.assign(static_cast<std::size_t>(q_), 0);
+    for (int a = 0; a < q_; ++a)
+        for (int b = 0; b < q_; ++b) {
+            const int prod = mul_poly(a, b);
+            mul_table_[static_cast<std::size_t>(a) * q_ + b] = prod;
+            if (prod == 1) inv_table_[static_cast<std::size_t>(a)] = b;
+        }
+}
+
+void finite_field::check_element(int a) const {
+    if (a < 0 || a >= q_)
+        throw std::out_of_range{"finite_field: element " + std::to_string(a) + " out of range"};
+}
+
+int finite_field::mul_poly(int a, int b) const {
+    if (m_ == 1) return static_cast<int>((static_cast<long long>(a) * b) % p_);
+    const auto prod = poly_rem(poly_mul(decode(a, p_), decode(b, p_), p_), modulus_, p_);
+    return encode(prod, p_);
+}
+
+int finite_field::add(int a, int b) const {
+    check_element(a);
+    check_element(b);
+    if (m_ == 1) return (a + b) % p_;
+    int out = 0;
+    int scale = 1;
+    while (a > 0 || b > 0) {
+        out += ((a % p_ + b % p_) % p_) * scale;
+        a /= p_;
+        b /= p_;
+        scale *= p_;
+    }
+    return out;
+}
+
+int finite_field::neg(int a) const {
+    check_element(a);
+    if (m_ == 1) return (p_ - a) % p_;
+    int out = 0;
+    int scale = 1;
+    while (a > 0) {
+        out += ((p_ - a % p_) % p_) * scale;
+        a /= p_;
+        scale *= p_;
+    }
+    return out;
+}
+
+int finite_field::sub(int a, int b) const { return add(a, neg(b)); }
+
+int finite_field::mul(int a, int b) const {
+    check_element(a);
+    check_element(b);
+    return mul_table_[static_cast<std::size_t>(a) * q_ + b];
+}
+
+int finite_field::inv(int a) const {
+    check_element(a);
+    if (a == 0) throw std::domain_error{"finite_field: inverse of zero"};
+    return inv_table_[static_cast<std::size_t>(a)];
+}
+
+int finite_field::div(int a, int b) const { return mul(a, inv(b)); }
+
+int finite_field::pow(int a, long long e) const {
+    check_element(a);
+    if (e < 0) {
+        a = inv(a);
+        e = -e;
+    }
+    int out = 1;
+    while (e > 0) {
+        if (e & 1) out = mul(out, a);
+        a = mul(a, a);
+        e >>= 1;
+    }
+    return out;
+}
+
+}  // namespace mm::net

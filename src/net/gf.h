@@ -1,0 +1,56 @@
+// gf.h - finite (Galois) fields GF(p^m) of small order.
+//
+// Section 3.4 of the paper uses projective planes PG(2,k), which exist for
+// every prime power k.  The paper does not say how to build them; we build
+// them from first principles over GF(q).  Elements are represented as the
+// integers 0..q-1; for extension fields the integer is the base-p digit
+// encoding of a polynomial over GF(p) reduced modulo a monic irreducible
+// polynomial of degree m (found by exhaustive search, which is cheap for the
+// small orders match-making networks need).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace mm::net {
+
+// True if q = p^m for some prime p, m >= 1; on success reports p and m.
+[[nodiscard]] bool is_prime_power(int q, int* prime = nullptr, int* exponent = nullptr);
+
+class finite_field {
+public:
+    // Constructs GF(q).  Throws std::invalid_argument unless q is a prime
+    // power in [2, 4096].
+    explicit finite_field(int q);
+
+    [[nodiscard]] int order() const noexcept { return q_; }
+    [[nodiscard]] int characteristic() const noexcept { return p_; }
+    [[nodiscard]] int degree() const noexcept { return m_; }
+
+    [[nodiscard]] int add(int a, int b) const;
+    [[nodiscard]] int sub(int a, int b) const;
+    [[nodiscard]] int neg(int a) const;
+    [[nodiscard]] int mul(int a, int b) const;
+    // Multiplicative inverse; precondition a != 0.
+    [[nodiscard]] int inv(int a) const;
+    // a / b; precondition b != 0.
+    [[nodiscard]] int div(int a, int b) const;
+    [[nodiscard]] int pow(int a, long long e) const;
+
+    // The monic irreducible polynomial used for reduction, as base-p digits
+    // (index = power of x), empty for prime fields.
+    [[nodiscard]] const std::vector<int>& modulus() const noexcept { return modulus_; }
+
+private:
+    int q_ = 0;
+    int p_ = 0;
+    int m_ = 0;
+    std::vector<int> modulus_;        // degree m+1 coefficients over GF(p)
+    std::vector<int> mul_table_;      // q*q multiplication table
+    std::vector<int> inv_table_;      // q entries (inv_table_[0] unused)
+
+    [[nodiscard]] int mul_poly(int a, int b) const;
+    void check_element(int a) const;
+};
+
+}  // namespace mm::net

@@ -1,0 +1,119 @@
+#include "net/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mm::net {
+
+graph::graph(node_id node_count) {
+    if (node_count < 0) throw std::invalid_argument{"graph: negative node count"};
+    adjacency_.resize(static_cast<std::size_t>(node_count));
+}
+
+void graph::require_valid(node_id v, const char* what) const {
+    if (!valid_node(v)) {
+        throw std::out_of_range{std::string{"graph: invalid node in "} + what + ": " +
+                                std::to_string(v)};
+    }
+}
+
+void graph::add_edge(node_id a, node_id b) {
+    require_valid(a, "add_edge");
+    require_valid(b, "add_edge");
+    if (a == b) throw std::invalid_argument{"graph: self-loop rejected"};
+    if (has_edge(a, b)) throw std::invalid_argument{"graph: parallel edge rejected"};
+    adjacency_[static_cast<std::size_t>(a)].push_back(b);
+    adjacency_[static_cast<std::size_t>(b)].push_back(a);
+    ++edge_count_;
+    finalized_ = false;
+}
+
+void graph::remove_edge(node_id a, node_id b) {
+    require_valid(a, "remove_edge");
+    require_valid(b, "remove_edge");
+    auto& adj_a = adjacency_[static_cast<std::size_t>(a)];
+    auto& adj_b = adjacency_[static_cast<std::size_t>(b)];
+    const auto it_a = std::find(adj_a.begin(), adj_a.end(), b);
+    const auto it_b = std::find(adj_b.begin(), adj_b.end(), a);
+    if (it_a == adj_a.end() || it_b == adj_b.end())
+        throw std::invalid_argument{"graph: removing absent edge"};
+    adj_a.erase(it_a);
+    adj_b.erase(it_b);
+    --edge_count_;
+}
+
+bool graph::has_edge(node_id a, node_id b) const {
+    require_valid(a, "has_edge");
+    require_valid(b, "has_edge");
+    const auto& adj = adjacency_[static_cast<std::size_t>(a)];
+    return std::find(adj.begin(), adj.end(), b) != adj.end();
+}
+
+std::span<const node_id> graph::neighbors(node_id v) const {
+    require_valid(v, "neighbors");
+    const_cast<graph*>(this)->finalize();
+    return adjacency_[static_cast<std::size_t>(v)];
+}
+
+int graph::degree(node_id v) const {
+    require_valid(v, "degree");
+    return static_cast<int>(adjacency_[static_cast<std::size_t>(v)].size());
+}
+
+int graph::max_degree() const {
+    int best = 0;
+    for (const auto& adj : adjacency_) best = std::max(best, static_cast<int>(adj.size()));
+    return best;
+}
+
+int graph::min_degree() const {
+    if (adjacency_.empty()) return 0;
+    int best = static_cast<int>(adjacency_.front().size());
+    for (const auto& adj : adjacency_) best = std::min(best, static_cast<int>(adj.size()));
+    return best;
+}
+
+bool graph::connected() const {
+    const node_id n = node_count();
+    if (n == 0) return false;
+    std::vector<char> seen(static_cast<std::size_t>(n), 0);
+    std::vector<node_id> stack{0};
+    seen[0] = 1;
+    node_id reached = 1;
+    while (!stack.empty()) {
+        const node_id v = stack.back();
+        stack.pop_back();
+        for (node_id w : adjacency_[static_cast<std::size_t>(v)]) {
+            if (!seen[static_cast<std::size_t>(w)]) {
+                seen[static_cast<std::size_t>(w)] = 1;
+                ++reached;
+                stack.push_back(w);
+            }
+        }
+    }
+    return reached == n;
+}
+
+void graph::finalize() {
+    if (finalized_) return;
+    for (auto& adj : adjacency_) std::sort(adj.begin(), adj.end());
+    finalized_ = true;
+}
+
+std::string graph::summary() const {
+    return "graph(n=" + std::to_string(node_count()) + ", m=" + std::to_string(edge_count_) + ")";
+}
+
+std::string graph::to_dot() const {
+    std::string out = "graph g {\n";
+    for (node_id v = 0; v < node_count(); ++v) {
+        if (adjacency_[static_cast<std::size_t>(v)].empty())
+            out += "  " + std::to_string(v) + ";\n";
+        for (node_id w : adjacency_[static_cast<std::size_t>(v)])
+            if (w > v) out += "  " + std::to_string(v) + " -- " + std::to_string(w) + ";\n";
+    }
+    out += "}\n";
+    return out;
+}
+
+}  // namespace mm::net

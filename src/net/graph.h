@@ -1,0 +1,77 @@
+// graph.h - undirected communication graph G = (U, E).
+//
+// The paper models a point-to-point (store-and-forward) network as an
+// undirected graph whose nodes are processors and whose edges are
+// bidirectional, non-interfering communication channels.  This class is the
+// substrate every topology, routing table and strategy in this library is
+// built on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mm::net {
+
+// Index of a node in a graph; nodes of an n-node graph are 0..n-1.
+using node_id = std::int32_t;
+
+inline constexpr node_id invalid_node = -1;
+
+// An undirected simple graph with a fixed node count.
+//
+// Edges may be added after construction; parallel edges and self-loops are
+// rejected.  Adjacency lists are kept sorted on demand (finalize()) so that
+// neighbor iteration is deterministic, which all simulations here rely on
+// for reproducibility.
+class graph {
+public:
+    graph() = default;
+    explicit graph(node_id node_count);
+
+    // Adds the undirected edge {a, b}.  Precondition: a != b, both valid,
+    // and the edge is not already present (checked; throws std::invalid_argument).
+    void add_edge(node_id a, node_id b);
+
+    // Removes the undirected edge {a, b}; throws std::invalid_argument if
+    // absent.  Used by degree-preserving rewiring.
+    void remove_edge(node_id a, node_id b);
+
+    // True if {a, b} is an edge.
+    [[nodiscard]] bool has_edge(node_id a, node_id b) const;
+
+    [[nodiscard]] node_id node_count() const noexcept { return static_cast<node_id>(adjacency_.size()); }
+    [[nodiscard]] std::int64_t edge_count() const noexcept { return edge_count_; }
+
+    [[nodiscard]] std::span<const node_id> neighbors(node_id v) const;
+    [[nodiscard]] int degree(node_id v) const;
+    [[nodiscard]] int max_degree() const;
+    [[nodiscard]] int min_degree() const;
+
+    // True iff every node is reachable from node 0 (and the graph is nonempty).
+    [[nodiscard]] bool connected() const;
+
+    // Sorts all adjacency lists; idempotent.  Called automatically by
+    // accessors that need determinism, cheap to call again.
+    void finalize();
+
+    [[nodiscard]] bool valid_node(node_id v) const noexcept {
+        return v >= 0 && v < node_count();
+    }
+
+    // Human-readable one-line summary, e.g. "graph(n=9, m=12)".
+    [[nodiscard]] std::string summary() const;
+
+    // Graphviz DOT rendering ("graph g { ... }") for visual inspection.
+    [[nodiscard]] std::string to_dot() const;
+
+private:
+    std::vector<std::vector<node_id>> adjacency_;
+    std::int64_t edge_count_ = 0;
+    bool finalized_ = true;  // an edgeless graph is trivially sorted
+
+    void require_valid(node_id v, const char* what) const;
+};
+
+}  // namespace mm::net

@@ -1,0 +1,67 @@
+#include "net/hierarchy.h"
+
+#include <stdexcept>
+
+namespace mm::net {
+
+hierarchy::hierarchy(std::vector<int> fanouts) : fanouts_{std::move(fanouts)} {
+    if (fanouts_.empty()) throw std::invalid_argument{"hierarchy: need at least one level"};
+    size_at_level_.resize(fanouts_.size() + 1);
+    size_at_level_[0] = 1;
+    for (std::size_t i = 0; i < fanouts_.size(); ++i) {
+        if (fanouts_[i] < 1) throw std::invalid_argument{"hierarchy: fanouts must be positive"};
+        size_at_level_[i + 1] = size_at_level_[i] * fanouts_[i];
+    }
+    total_ = size_at_level_.back();
+}
+
+int hierarchy::fanout(int level) const {
+    if (level < 1 || level > levels()) throw std::out_of_range{"hierarchy::fanout"};
+    return fanouts_[static_cast<std::size_t>(level - 1)];
+}
+
+node_id hierarchy::cluster_size(int level) const {
+    if (level < 0 || level > levels()) throw std::out_of_range{"hierarchy::cluster_size"};
+    return size_at_level_[static_cast<std::size_t>(level)];
+}
+
+int hierarchy::cluster_of(int level, node_id v) const {
+    if (v < 0 || v >= total_) throw std::out_of_range{"hierarchy::cluster_of: bad node"};
+    return static_cast<int>(v / cluster_size(level));
+}
+
+int hierarchy::child_index(int level, node_id v) const {
+    return static_cast<int>((v / cluster_size(level - 1)) % fanout(level));
+}
+
+node_id hierarchy::gateway(int level, int cluster, int child) const {
+    if (child < 0 || child >= fanout(level)) throw std::out_of_range{"hierarchy::gateway: child"};
+    const node_id base = static_cast<node_id>(cluster) * cluster_size(level);
+    if (base >= total_) throw std::out_of_range{"hierarchy::gateway: cluster"};
+    return base + static_cast<node_id>(child) * cluster_size(level - 1);
+}
+
+std::vector<node_id> hierarchy::gateways(int level, int cluster) const {
+    std::vector<node_id> out;
+    out.reserve(static_cast<std::size_t>(fanout(level)));
+    for (int child = 0; child < fanout(level); ++child)
+        out.push_back(gateway(level, cluster, child));
+    return out;
+}
+
+graph make_hierarchical_graph(const hierarchy& h) {
+    graph g{h.node_count()};
+    for (int level = 1; level <= h.levels(); ++level) {
+        const int clusters = static_cast<int>(h.node_count() / h.cluster_size(level));
+        for (int cluster = 0; cluster < clusters; ++cluster) {
+            const auto gw = h.gateways(level, cluster);
+            for (std::size_t a = 0; a < gw.size(); ++a)
+                for (std::size_t b = a + 1; b < gw.size(); ++b)
+                    if (!g.has_edge(gw[a], gw[b])) g.add_edge(gw[a], gw[b]);
+        }
+    }
+    g.finalize();
+    return g;
+}
+
+}  // namespace mm::net

@@ -1,0 +1,58 @@
+// hierarchy.h - hierarchical (gateway) networks of Section 3.5.
+//
+// "Assume that a level i network connects n_i level i-1 networks through n_i
+// gateways, for each 1 < i <= k (or basic nodes, at the lowest level 0 for
+// i = 1)."  We model the hierarchy as a uniform tree of clusters: the root
+// (level k) cluster contains fanout[k-1] level-(k-1) clusters, down to
+// level-1 clusters of fanout[0] basic nodes.  The gateway of a cluster is
+// its lowest-numbered basic node, so every gateway is a real network node
+// and all strategy sets are sets of basic nodes.
+#pragma once
+
+#include <vector>
+
+#include "net/graph.h"
+
+namespace mm::net {
+
+class hierarchy {
+public:
+    // fanouts[i] = number of level-(i) clusters (or basic nodes for i == 0)
+    // inside each level-(i+1) cluster.  levels() == fanouts.size().
+    explicit hierarchy(std::vector<int> fanouts);
+
+    [[nodiscard]] int levels() const noexcept { return static_cast<int>(fanouts_.size()); }
+    [[nodiscard]] node_id node_count() const noexcept { return total_; }
+    [[nodiscard]] int fanout(int level) const;  // level in [1, levels()]
+
+    // Number of basic nodes inside one level-`level` cluster.
+    [[nodiscard]] node_id cluster_size(int level) const;
+
+    // Id of the level-`level` cluster containing v (0-based among clusters
+    // of that level).  cluster_of(levels(), v) == 0 for all v.
+    [[nodiscard]] int cluster_of(int level, node_id v) const;
+
+    // Index (in [0, fanout(level))) of v's level-(level-1) sub-cluster
+    // within its level-`level` cluster.
+    [[nodiscard]] int child_index(int level, node_id v) const;
+
+    // Gateway node (lowest basic node) of child `child` of the given
+    // level-`level` cluster.
+    [[nodiscard]] node_id gateway(int level, int cluster, int child) const;
+
+    // All fanout(level) gateways of the given cluster, ascending.
+    [[nodiscard]] std::vector<node_id> gateways(int level, int cluster) const;
+
+private:
+    std::vector<int> fanouts_;
+    std::vector<node_id> size_at_level_;  // size_at_level_[i] = nodes per level-i cluster
+    node_id total_ = 0;
+};
+
+// Concrete routable network for a hierarchy: within every cluster, the
+// gateways of its children form a complete subgraph.  The result is
+// connected because a cluster's gateway doubles as its first child's
+// gateway, recursively down to a basic node.
+[[nodiscard]] graph make_hierarchical_graph(const hierarchy& h);
+
+}  // namespace mm::net

@@ -1,0 +1,140 @@
+#include "net/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "net/topologies.h"
+
+namespace mm::net {
+
+node_id graph_partition::covering_node(int part, int label) const {
+    const auto& p = parts.at(static_cast<std::size_t>(part));
+    if (label < 0 || label >= label_count)
+        throw std::out_of_range{"graph_partition::covering_node: bad label"};
+    return p[static_cast<std::size_t>(label) % p.size()];
+}
+
+std::vector<node_id> graph_partition::nodes_with_label(int label) const {
+    std::vector<node_id> out;
+    out.reserve(parts.size());
+    for (int p = 0; p < part_count(); ++p) out.push_back(covering_node(p, label));
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+int graph_partition::labels_covered_by(node_id v) const {
+    const auto& part = parts.at(static_cast<std::size_t>(part_of.at(static_cast<std::size_t>(v))));
+    const int size = static_cast<int>(part.size());
+    const int rank = label_of[static_cast<std::size_t>(v)];
+    // Labels rank, rank + size, rank + 2*size, ... below label_count.
+    return (label_count - rank + size - 1) / size;
+}
+
+graph_partition partition_connected(const graph& g, int target_size) {
+    const node_id n = g.node_count();
+    if (n == 0) throw std::invalid_argument{"partition_connected: empty graph"};
+    if (!g.connected()) throw std::invalid_argument{"partition_connected: graph not connected"};
+    if (target_size <= 0)
+        target_size = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
+    target_size = std::max(1, std::min<int>(target_size, n));
+
+    const auto parent = spanning_tree_parents(g, 0);
+
+    // Children lists and an order where every child precedes its parent.
+    std::vector<std::vector<node_id>> children(static_cast<std::size_t>(n));
+    for (node_id v = 0; v < n; ++v)
+        if (parent[static_cast<std::size_t>(v)] != invalid_node)
+            children[static_cast<std::size_t>(parent[static_cast<std::size_t>(v)])].push_back(v);
+    std::vector<node_id> order(static_cast<std::size_t>(n));
+    {
+        const auto depth = tree_depths(parent);
+        for (node_id v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+        std::sort(order.begin(), order.end(), [&](node_id a, node_id b) {
+            return depth[static_cast<std::size_t>(a)] > depth[static_cast<std::size_t>(b)];
+        });
+    }
+
+    graph_partition out;
+    out.part_of.assign(static_cast<std::size_t>(n), -1);
+    std::vector<int> attached_size(static_cast<std::size_t>(n), 0);
+
+    // Collects the still-attached subtrees of `roots` into one part, plus
+    // `hub` itself (without descending into hub's other children).
+    const auto cut_part = [&](const std::vector<node_id>& roots, node_id hub) {
+        std::vector<node_id> members;
+        std::vector<node_id> stack{roots};
+        const int part_index = static_cast<int>(out.parts.size());
+        if (hub != invalid_node) {
+            members.push_back(hub);
+            out.part_of[static_cast<std::size_t>(hub)] = part_index;
+        }
+        while (!stack.empty()) {
+            const node_id u = stack.back();
+            stack.pop_back();
+            if (out.part_of[static_cast<std::size_t>(u)] >= 0) continue;
+            members.push_back(u);
+            out.part_of[static_cast<std::size_t>(u)] = part_index;
+            for (node_id c : children[static_cast<std::size_t>(u)])
+                if (out.part_of[static_cast<std::size_t>(c)] < 0) stack.push_back(c);
+        }
+        std::sort(members.begin(), members.end());
+        out.parts.push_back(std::move(members));
+    };
+
+    for (node_id v : order) {
+        // Accumulate child remainders one by one; the moment v's bag reaches
+        // the target, cut v plus exactly the accumulated subtrees.  Children
+        // processed after the cut lose their connector (v) and are shed as
+        // their own parts - this caps every part below 2*target_size even at
+        // high-degree hubs.
+        int acc = 1;
+        std::vector<node_id> bag;
+        bool v_used = false;
+        for (node_id c : children[static_cast<std::size_t>(v)]) {
+            if (out.part_of[static_cast<std::size_t>(c)] >= 0) continue;  // already cut below
+            if (v_used) {
+                // v is gone; this child's remainder becomes its own part.
+                cut_part({c}, invalid_node);
+                continue;
+            }
+            bag.push_back(c);
+            acc += attached_size[static_cast<std::size_t>(c)];
+            if (acc >= target_size) {
+                cut_part(bag, v);
+                v_used = true;
+            }
+        }
+        if (!v_used && acc >= target_size) {  // only reachable for target 1
+            cut_part(bag, v);
+            v_used = true;
+        }
+        attached_size[static_cast<std::size_t>(v)] = v_used ? 0 : acc;
+    }
+
+    // Whatever stayed attached to the root becomes its own (small) part;
+    // small parts are fine, they wrap labels.
+    std::vector<node_id> leftover;
+    for (node_id v = 0; v < n; ++v)
+        if (out.part_of[static_cast<std::size_t>(v)] < 0) leftover.push_back(v);
+    if (!leftover.empty()) {
+        const int part_index = static_cast<int>(out.parts.size());
+        for (node_id v : leftover) out.part_of[static_cast<std::size_t>(v)] = part_index;
+        out.parts.push_back(std::move(leftover));
+    }
+
+    // Labels: the alphabet is the largest part's size; a node's primary
+    // label is its rank in its part; smaller parts cover the rest of the
+    // alphabet by wrap-around (covering_node).
+    int largest = 0;
+    for (const auto& part : out.parts) largest = std::max<int>(largest, static_cast<int>(part.size()));
+    out.label_count = largest;
+    out.label_of.assign(static_cast<std::size_t>(n), 0);
+    for (const auto& part : out.parts)
+        for (std::size_t rank = 0; rank < part.size(); ++rank)
+            out.label_of[static_cast<std::size_t>(part[rank])] = static_cast<int>(rank);
+    return out;
+}
+
+}  // namespace mm::net

@@ -1,0 +1,56 @@
+// partition.h - dividing a connected graph into connected parts of ~sqrt(n).
+//
+// Section 3 of the paper cites Erdos, Gerencser and Mate [4] for dividing
+// every connected graph into O(sqrt(n)) disjoint connected subgraphs of
+// ~sqrt(n) nodes each, numbers the nodes of each subgraph 1..sqrt(n) "(if
+// necessary, divide the excess numbers over the nodes)", and match-makes by
+// "server posts at every node carrying its own label, client broadcasts in
+// its own subgraph".
+//
+// We implement a spanning-tree carve with an explicit size cap: every part
+// is connected and has at most 2*target_size nodes (high-degree hubs are
+// cut early, shedding their remaining child subtrees as separate parts).
+// Parts smaller than the label alphabet cover the missing labels by cyclic
+// wrap-around - exactly the paper's "divide the excess numbers over the
+// nodes" - so the client's own part always contains a covering node for
+// every label, at the price of bigger caches on small parts.
+#pragma once
+
+#include <vector>
+
+#include "net/graph.h"
+
+namespace mm::net {
+
+struct graph_partition {
+    // part_of[v] = index of the part containing v.
+    std::vector<int> part_of;
+    // parts[p] = sorted nodes of part p; every part is connected and has at
+    // most 2 * target size nodes.
+    std::vector<std::vector<node_id>> parts;
+    // label_of[v] = v's rank within its part, the node's primary label.
+    std::vector<int> label_of;
+    // Size of the label alphabet (= the largest part's size).
+    int label_count = 0;
+
+    [[nodiscard]] int part_count() const noexcept { return static_cast<int>(parts.size()); }
+
+    // The node of part p that covers `label`: the node whose rank is
+    // label mod |part|.  Every part covers every label.
+    [[nodiscard]] node_id covering_node(int part, int label) const;
+
+    // One covering node per part for the given label (the server's post
+    // set in the generic scheme), sorted.
+    [[nodiscard]] std::vector<node_id> nodes_with_label(int label) const;
+
+    // Number of labels a node covers (> 1 only in parts smaller than the
+    // alphabet - the cache-size price of "dividing the excess numbers").
+    [[nodiscard]] int labels_covered_by(node_id v) const;
+};
+
+// Partitions a connected graph into connected parts of at most
+// 2*target_size nodes (default target: ceil(sqrt(n))) and assigns labels as
+// described above.  Throws std::invalid_argument if g is not connected.
+[[nodiscard]] graph_partition partition_connected(const graph& g, int target_size = 0);
+
+}  // namespace mm::net

@@ -1,0 +1,77 @@
+#include "net/projective_plane.h"
+
+#include <stdexcept>
+
+namespace mm::net {
+
+projective_plane::projective_plane(int q) : q_{q}, n_{q * q + q + 1}, field_{q} {
+    // Normalized representatives of the 1-dimensional subspaces of GF(q)^3:
+    // (1, y, z), (0, 1, z), (0, 0, 1).
+    triples_.reserve(static_cast<std::size_t>(n_));
+    for (int y = 0; y < q_; ++y)
+        for (int z = 0; z < q_; ++z) triples_.push_back({1, y, z});
+    for (int z = 0; z < q_; ++z) triples_.push_back({0, 1, z});
+    triples_.push_back({0, 0, 1});
+    if (static_cast<int>(triples_.size()) != n_)
+        throw std::logic_error{"projective_plane: representative count mismatch"};
+
+    line_points_.resize(static_cast<std::size_t>(n_));
+    point_lines_.resize(static_cast<std::size_t>(n_));
+    for (int line = 0; line < n_; ++line) {
+        for (node_id point = 0; point < n_; ++point) {
+            if (incident(point, line)) {
+                line_points_[static_cast<std::size_t>(line)].push_back(point);
+                point_lines_[static_cast<std::size_t>(point)].push_back(line);
+            }
+        }
+        if (static_cast<int>(line_points_[static_cast<std::size_t>(line)].size()) != q_ + 1)
+            throw std::logic_error{"projective_plane: line does not have q+1 points"};
+    }
+}
+
+std::span<const node_id> projective_plane::points_on_line(int line) const {
+    return line_points_.at(static_cast<std::size_t>(line));
+}
+
+std::span<const int> projective_plane::lines_through_point(node_id point) const {
+    return point_lines_.at(static_cast<std::size_t>(point));
+}
+
+bool projective_plane::incident(node_id point, int line) const {
+    const auto& p = triples_.at(static_cast<std::size_t>(point));
+    const auto& l = triples_.at(static_cast<std::size_t>(line));
+    int dot = 0;
+    for (int i = 0; i < 3; ++i)
+        dot = field_.add(dot, field_.mul(p[static_cast<std::size_t>(i)],
+                                         l[static_cast<std::size_t>(i)]));
+    return dot == 0;
+}
+
+node_id projective_plane::common_point(int line_a, int line_b) const {
+    if (line_a == line_b)
+        throw std::invalid_argument{"projective_plane: common point of identical lines"};
+    const auto& a = line_points_.at(static_cast<std::size_t>(line_a));
+    const auto& b = line_points_.at(static_cast<std::size_t>(line_b));
+    // Both lists are sorted; intersect by merge.
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i] == b[j]) return a[i];
+        if (a[i] < b[j]) {
+            ++i;
+        } else {
+            ++j;
+        }
+    }
+    throw std::logic_error{"projective_plane: distinct lines with no common point"};
+}
+
+std::array<int, 3> projective_plane::point_coords(node_id point) const {
+    return triples_.at(static_cast<std::size_t>(point));
+}
+
+std::array<int, 3> projective_plane::line_coords(int line) const {
+    return triples_.at(static_cast<std::size_t>(line));
+}
+
+}  // namespace mm::net

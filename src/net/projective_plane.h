@@ -1,0 +1,54 @@
+// projective_plane.h - the finite projective plane PG(2, q).
+//
+// Section 3.4: "The projective plane PG(2,k) has n = k^2 + k + 1 points and
+// equally many lines.  Each line consists of k+1 points and k+1 lines pass
+// through each point.  Each pair of lines has exactly one point in common."
+// A server posts along one line through its node, a client queries along one
+// line through its node, and the unique common point is the rendezvous node.
+//
+// Points and lines are the one- and two-dimensional subspaces of GF(q)^3,
+// represented by normalized homogeneous triples; point (x,y,z) lies on line
+// [a,b,c] iff ax + by + cz = 0 in GF(q).
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "net/gf.h"
+#include "net/graph.h"
+
+namespace mm::net {
+
+class projective_plane {
+public:
+    // Builds PG(2, q); q must be a prime power (propagates finite_field's
+    // validation).
+    explicit projective_plane(int q);
+
+    [[nodiscard]] int order() const noexcept { return q_; }
+    // n = q^2 + q + 1.
+    [[nodiscard]] int point_count() const noexcept { return n_; }
+    [[nodiscard]] int line_count() const noexcept { return n_; }
+
+    [[nodiscard]] std::span<const node_id> points_on_line(int line) const;
+    [[nodiscard]] std::span<const int> lines_through_point(node_id point) const;
+    [[nodiscard]] bool incident(node_id point, int line) const;
+
+    // The unique point shared by two distinct lines.
+    [[nodiscard]] node_id common_point(int line_a, int line_b) const;
+
+    // Normalized homogeneous coordinates of a point (first nonzero = 1).
+    [[nodiscard]] std::array<int, 3> point_coords(node_id point) const;
+    [[nodiscard]] std::array<int, 3> line_coords(int line) const;
+
+private:
+    int q_;
+    int n_;
+    finite_field field_;
+    std::vector<std::array<int, 3>> triples_;          // shared by points and lines
+    std::vector<std::vector<node_id>> line_points_;    // line -> sorted points
+    std::vector<std::vector<int>> point_lines_;        // point -> sorted lines
+};
+
+}  // namespace mm::net

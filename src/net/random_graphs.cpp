@@ -1,0 +1,96 @@
+#include "net/random_graphs.h"
+
+#include <random>
+#include <stdexcept>
+
+#include "net/topologies.h"
+
+namespace mm::net {
+
+namespace {
+
+std::vector<node_id> random_tree_parents(node_id n, std::uint64_t seed) {
+    if (n < 1) throw std::invalid_argument{"random tree: need n >= 1"};
+    std::mt19937_64 rng{seed};
+    std::vector<node_id> parent(static_cast<std::size_t>(n), invalid_node);
+    for (node_id v = 1; v < n; ++v) {
+        std::uniform_int_distribution<node_id> pick{0, v - 1};
+        parent[static_cast<std::size_t>(v)] = pick(rng);
+    }
+    return parent;
+}
+
+}  // namespace
+
+graph make_random_tree(node_id n, std::uint64_t seed) {
+    return make_tree(random_tree_parents(n, seed));
+}
+
+std::vector<node_id> make_preferential_tree_parents(node_id n, std::uint64_t seed) {
+    if (n < 1) throw std::invalid_argument{"preferential tree: need n >= 1"};
+    std::mt19937_64 rng{seed};
+    std::vector<node_id> parent(static_cast<std::size_t>(n), invalid_node);
+    // endpoints[i] holds one endpoint per degree unit; sampling from it is
+    // sampling proportional to degree + 1 (each node is pre-seeded once).
+    std::vector<node_id> endpoints;
+    endpoints.reserve(static_cast<std::size_t>(2 * n));
+    endpoints.push_back(0);
+    for (node_id v = 1; v < n; ++v) {
+        std::uniform_int_distribution<std::size_t> pick{0, endpoints.size() - 1};
+        const node_id p = endpoints[pick(rng)];
+        parent[static_cast<std::size_t>(v)] = p;
+        endpoints.push_back(p);
+        endpoints.push_back(v);
+    }
+    return parent;
+}
+
+graph make_preferential_tree(node_id n, std::uint64_t seed) {
+    return make_tree(make_preferential_tree_parents(n, seed));
+}
+
+graph make_uucp_like(node_id n, node_id extra_edges, std::uint64_t seed) {
+    auto parent = make_preferential_tree_parents(n, seed);
+    graph g = make_tree(parent);
+    std::mt19937_64 rng{seed ^ 0x9e3779b97f4a7c15ULL};
+    std::uniform_int_distribution<node_id> pick{0, n - 1};
+    node_id added = 0;
+    int attempts = 0;
+    while (added < extra_edges && attempts < 64 * extra_edges + 64) {
+        ++attempts;
+        const node_id a = pick(rng);
+        const node_id b = pick(rng);
+        if (a == b || g.has_edge(a, b)) continue;
+        g.add_edge(a, b);
+        ++added;
+    }
+    g.finalize();
+    return g;
+}
+
+graph make_random_connected(node_id n, node_id extra_edges, std::uint64_t seed) {
+    graph g = make_random_tree(n, seed);
+    std::mt19937_64 rng{seed ^ 0xda942042e4dd58b5ULL};
+    std::uniform_int_distribution<node_id> pick{0, n - 1};
+    node_id added = 0;
+    int attempts = 0;
+    while (added < extra_edges && attempts < 64 * extra_edges + 64) {
+        ++attempts;
+        const node_id a = pick(rng);
+        const node_id b = pick(rng);
+        if (a == b || g.has_edge(a, b)) continue;
+        g.add_edge(a, b);
+        ++added;
+    }
+    g.finalize();
+    return g;
+}
+
+std::vector<int> degree_histogram(const graph& g) {
+    std::vector<int> hist(static_cast<std::size_t>(g.max_degree()) + 1, 0);
+    for (node_id v = 0; v < g.node_count(); ++v)
+        ++hist[static_cast<std::size_t>(g.degree(v))];
+    return hist;
+}
+
+}  // namespace mm::net

@@ -1,0 +1,43 @@
+// random_graphs.h - random and UUCP-like network generators.
+//
+// Section 3.6 describes "existing networks" (UUCPnet, ARPAnet): roughly a
+// tree with a pronounced degree hierarchy toward a core, plus a number of
+// extra edges between geographically near nodes.  These generators produce
+// synthetic networks with exactly those characteristics, so that the
+// path-to-root strategy and the paper's degree table can be exercised
+// without the (long gone) August 1984 UUCP map.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace mm::net {
+
+// Uniformly random labeled tree (random parent among previous nodes).
+[[nodiscard]] graph make_random_tree(node_id n, std::uint64_t seed);
+
+// Preferential-attachment tree: node v attaches to an earlier node chosen
+// with probability proportional to degree + 1.  Produces the heavy-tailed
+// degree hierarchy (backbone / feeder / terminal sites) seen in UUCPnet.
+[[nodiscard]] graph make_preferential_tree(node_id n, std::uint64_t seed);
+
+// UUCP-like network: a preferential-attachment tree plus `extra_edges`
+// shortcuts between random nodes ("the number of extra edges thrown in [is]
+// not more than the number of nodes in a spanning tree").
+[[nodiscard]] graph make_uucp_like(node_id n, node_id extra_edges, std::uint64_t seed);
+
+// Parent array of a preferential-attachment tree (parent[0] == invalid_node);
+// useful when the tree structure itself is needed, not just the graph.
+[[nodiscard]] std::vector<node_id> make_preferential_tree_parents(node_id n, std::uint64_t seed);
+
+// Connected Erdos-Renyi-style graph: a random tree plus `extra_edges`
+// uniform random non-parallel edges.
+[[nodiscard]] graph make_random_connected(node_id n, node_id extra_edges, std::uint64_t seed);
+
+// Number of nodes of each degree, indexed by degree (the shape of the
+// paper's Section 3.6 table).
+[[nodiscard]] std::vector<int> degree_histogram(const graph& g);
+
+}  // namespace mm::net

@@ -1,0 +1,90 @@
+#include "net/routing.h"
+
+#include <queue>
+#include <stdexcept>
+
+namespace mm::net {
+
+routing_table::routing_table(const graph& g) : graph_{&g} {
+    rows_.resize(static_cast<std::size_t>(g.node_count()));
+}
+
+const routing_table::row& routing_table::row_for(node_id destination) const {
+    if (!graph_->valid_node(destination)) throw std::out_of_range{"routing_table: bad node"};
+    auto& slot = rows_[static_cast<std::size_t>(destination)];
+    if (!slot) {
+        auto r = std::make_unique<row>();
+        const auto n = static_cast<std::size_t>(graph_->node_count());
+        r->dist.assign(n, -1);
+        r->toward.assign(n, invalid_node);
+        std::queue<node_id> frontier;
+        r->dist[static_cast<std::size_t>(destination)] = 0;
+        frontier.push(destination);
+        while (!frontier.empty()) {
+            const node_id v = frontier.front();
+            frontier.pop();
+            for (node_id w : graph_->neighbors(v)) {
+                if (r->dist[static_cast<std::size_t>(w)] < 0) {
+                    r->dist[static_cast<std::size_t>(w)] = r->dist[static_cast<std::size_t>(v)] + 1;
+                    r->toward[static_cast<std::size_t>(w)] = v;
+                    frontier.push(w);
+                }
+            }
+        }
+        slot = std::move(r);
+    }
+    return *slot;
+}
+
+int routing_table::distance(node_id from, node_id to) const {
+    if (!graph_->valid_node(from)) throw std::out_of_range{"routing_table: bad node"};
+    const int d = row_for(to).dist[static_cast<std::size_t>(from)];
+    if (d < 0) throw std::invalid_argument{"routing_table: nodes not connected"};
+    return d;
+}
+
+node_id routing_table::next_hop(node_id from, node_id to) const {
+    if (from == to) throw std::invalid_argument{"routing_table: next_hop of a node to itself"};
+    if (!graph_->valid_node(from)) throw std::out_of_range{"routing_table: bad node"};
+    const node_id hop = row_for(to).toward[static_cast<std::size_t>(from)];
+    if (hop == invalid_node) throw std::invalid_argument{"routing_table: nodes not connected"};
+    return hop;
+}
+
+std::vector<node_id> routing_table::path(node_id from, node_id to) const {
+    std::vector<node_id> p{from};
+    while (from != to) {
+        from = next_hop(from, to);
+        p.push_back(from);
+    }
+    return p;
+}
+
+std::int64_t routing_table::multicast_cost(node_id source,
+                                           std::span<const node_id> targets) const {
+    const auto& r = row_for(source);
+    std::vector<char> reached(static_cast<std::size_t>(graph_->node_count()), 0);
+    reached[static_cast<std::size_t>(source)] = 1;
+    std::int64_t edges = 0;
+    for (node_id t : targets) {
+        if (!graph_->valid_node(t)) throw std::out_of_range{"multicast_cost: bad target"};
+        node_id v = t;
+        // Walk toward the source until we merge with an already-counted path.
+        while (!reached[static_cast<std::size_t>(v)]) {
+            reached[static_cast<std::size_t>(v)] = 1;
+            ++edges;
+            v = r.toward[static_cast<std::size_t>(v)];
+            if (v == invalid_node) throw std::invalid_argument{"multicast_cost: not connected"};
+        }
+    }
+    return edges;
+}
+
+std::int64_t routing_table::unicast_cost(node_id source,
+                                         std::span<const node_id> targets) const {
+    std::int64_t total = 0;
+    for (node_id t : targets) total += distance(source, t);
+    return total;
+}
+
+}  // namespace mm::net

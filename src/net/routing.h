@@ -1,0 +1,63 @@
+// routing.h - shortest-path routing tables and multicast cost accounting.
+//
+// The paper assumes "each node has a table containing the names of all other
+// nodes together with the minimum cost to reach them and the neighbor at
+// which the minimum cost path starts" (Section 3).  routing_table is exactly
+// that: hop-count distances plus next-hop neighbors, built by breadth-first
+// search.  Rows are computed lazily per destination so that large networks
+// only pay for the destinations actually routed to.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace mm::net {
+
+class routing_table {
+public:
+    // The graph must stay alive for the lifetime of the table and must be
+    // connected (checked lazily, on first use of an unreachable pair).
+    explicit routing_table(const graph& g);
+
+    // Minimum number of hops between two nodes; 0 for from == to.
+    [[nodiscard]] int distance(node_id from, node_id to) const;
+
+    // The neighbor of `from` on a shortest path to `to`.
+    // Precondition: from != to.
+    [[nodiscard]] node_id next_hop(node_id from, node_id to) const;
+
+    // Full node sequence from -> ... -> to (inclusive on both ends).
+    [[nodiscard]] std::vector<node_id> path(node_id from, node_id to) const;
+
+    // Message passes needed to deliver one message from `source` to every
+    // node in `targets`, when messages are forwarded over the union of
+    // shortest paths (a subtree of the BFS tree of `source`).  This models
+    // the paper's "broadcast the messages over spanning trees in these
+    // subgraphs": each tree edge carries the message once.
+    [[nodiscard]] std::int64_t multicast_cost(node_id source,
+                                              std::span<const node_id> targets) const;
+
+    // Sum of point-to-point distances source -> target; the cost when each
+    // posting/query is sent as an independent unicast message.
+    [[nodiscard]] std::int64_t unicast_cost(node_id source,
+                                            std::span<const node_id> targets) const;
+
+    [[nodiscard]] const graph& network() const noexcept { return *graph_; }
+
+private:
+    // One row per *destination*: dist[v] and next-hop-from-v toward the
+    // destination (== BFS parent of v in the tree rooted at the destination).
+    struct row {
+        std::vector<int> dist;
+        std::vector<node_id> toward;
+    };
+
+    const graph* graph_;
+    mutable std::vector<std::unique_ptr<row>> rows_;
+
+    const row& row_for(node_id destination) const;
+};
+
+}  // namespace mm::net

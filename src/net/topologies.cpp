@@ -1,0 +1,230 @@
+#include "net/topologies.h"
+
+#include <queue>
+#include <stdexcept>
+
+namespace mm::net {
+
+graph make_complete(node_id n) {
+    graph g{n};
+    for (node_id a = 0; a < n; ++a)
+        for (node_id b = a + 1; b < n; ++b) g.add_edge(a, b);
+    g.finalize();
+    return g;
+}
+
+graph make_ring(node_id n) {
+    if (n < 3) throw std::invalid_argument{"make_ring: need n >= 3"};
+    graph g{n};
+    for (node_id v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+    g.finalize();
+    return g;
+}
+
+graph make_path(node_id n) {
+    graph g{n};
+    for (node_id v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+    g.finalize();
+    return g;
+}
+
+graph make_star(node_id n) {
+    if (n < 1) throw std::invalid_argument{"make_star: need n >= 1"};
+    graph g{n};
+    for (node_id v = 1; v < n; ++v) g.add_edge(0, v);
+    g.finalize();
+    return g;
+}
+
+graph make_grid(node_id rows, node_id cols, wrap_mode wrap) {
+    if (rows < 1 || cols < 1) throw std::invalid_argument{"make_grid: need positive extents"};
+    graph g{rows * cols};
+    const auto at = [cols](node_id r, node_id c) { return r * cols + c; };
+    for (node_id r = 0; r < rows; ++r) {
+        for (node_id c = 0; c < cols; ++c) {
+            if (c + 1 < cols) g.add_edge(at(r, c), at(r, c + 1));
+            if (r + 1 < rows) g.add_edge(at(r, c), at(r + 1, c));
+        }
+    }
+    const bool wrap_rows = wrap != wrap_mode::none;
+    const bool wrap_cols = wrap == wrap_mode::torus;
+    if (wrap_rows && cols > 2)
+        for (node_id r = 0; r < rows; ++r) g.add_edge(at(r, cols - 1), at(r, 0));
+    if (wrap_cols && rows > 2)
+        for (node_id c = 0; c < cols; ++c) g.add_edge(at(rows - 1, c), at(0, c));
+    g.finalize();
+    return g;
+}
+
+mesh_shape::mesh_shape(std::vector<node_id> dims) : dims_{std::move(dims)} {
+    if (dims_.empty()) throw std::invalid_argument{"mesh_shape: need at least one dimension"};
+    total_ = 1;
+    for (node_id d : dims_) {
+        if (d < 1) throw std::invalid_argument{"mesh_shape: extents must be positive"};
+        total_ *= d;
+    }
+}
+
+std::vector<node_id> mesh_shape::coords(node_id index) const {
+    if (index < 0 || index >= total_) throw std::out_of_range{"mesh_shape::coords"};
+    std::vector<node_id> c(dims_.size());
+    for (int dim = static_cast<int>(dims_.size()) - 1; dim >= 0; --dim) {
+        const node_id extent = dims_[static_cast<std::size_t>(dim)];
+        c[static_cast<std::size_t>(dim)] = index % extent;
+        index /= extent;
+    }
+    return c;
+}
+
+node_id mesh_shape::index(const std::vector<node_id>& coords) const {
+    if (coords.size() != dims_.size()) throw std::invalid_argument{"mesh_shape::index: rank mismatch"};
+    node_id idx = 0;
+    for (std::size_t dim = 0; dim < dims_.size(); ++dim) {
+        if (coords[dim] < 0 || coords[dim] >= dims_[dim])
+            throw std::out_of_range{"mesh_shape::index: coordinate out of range"};
+        idx = idx * dims_[dim] + coords[dim];
+    }
+    return idx;
+}
+
+graph make_mesh(const mesh_shape& shape, bool torus) {
+    graph g{shape.node_count()};
+    for (node_id v = 0; v < shape.node_count(); ++v) {
+        auto c = shape.coords(v);
+        for (int dim = 0; dim < shape.dimensions(); ++dim) {
+            const node_id extent = shape.extent(dim);
+            const node_id orig = c[static_cast<std::size_t>(dim)];
+            if (orig + 1 < extent) {
+                c[static_cast<std::size_t>(dim)] = orig + 1;
+                g.add_edge(v, shape.index(c));
+            } else if (torus && extent > 2) {
+                c[static_cast<std::size_t>(dim)] = 0;
+                g.add_edge(v, shape.index(c));
+            }
+            c[static_cast<std::size_t>(dim)] = orig;
+        }
+    }
+    g.finalize();
+    return g;
+}
+
+graph make_hypercube(int d) {
+    if (d < 0 || d > 24) throw std::invalid_argument{"make_hypercube: need 0 <= d <= 24"};
+    const node_id n = node_id{1} << d;
+    graph g{n};
+    for (node_id v = 0; v < n; ++v)
+        for (int bit = 0; bit < d; ++bit) {
+            const node_id w = v ^ (node_id{1} << bit);
+            if (w > v) g.add_edge(v, w);
+        }
+    g.finalize();
+    return g;
+}
+
+node_id ccc_index(int d, int position, std::uint32_t corner) {
+    return static_cast<node_id>(corner) * d + position;
+}
+
+int ccc_position(int d, node_id v) { return static_cast<int>(v % d); }
+
+std::uint32_t ccc_corner(int d, node_id v) { return static_cast<std::uint32_t>(v / d); }
+
+graph make_ccc(int d) {
+    if (d < 2 || d > 20) throw std::invalid_argument{"make_ccc: need 2 <= d <= 20"};
+    const node_id corners = node_id{1} << d;
+    graph g{corners * d};
+    for (std::uint32_t x = 0; x < static_cast<std::uint32_t>(corners); ++x) {
+        for (int p = 0; p < d; ++p) {
+            // Cycle edge to position p+1 (a 2-cycle for d == 2 collapses to one edge).
+            const int next = (p + 1) % d;
+            if (next != p && !g.has_edge(ccc_index(d, p, x), ccc_index(d, next, x)))
+                g.add_edge(ccc_index(d, p, x), ccc_index(d, next, x));
+            // Cube edge along dimension p.
+            const std::uint32_t y = x ^ (std::uint32_t{1} << p);
+            if (y > x) g.add_edge(ccc_index(d, p, x), ccc_index(d, p, y));
+        }
+    }
+    g.finalize();
+    return g;
+}
+
+graph make_balanced_tree(int branching, int depth) {
+    if (branching < 1 || depth < 0) throw std::invalid_argument{"make_balanced_tree: bad shape"};
+    // Node count = 1 + b + b^2 + ... + b^depth.
+    node_id n = 1;
+    node_id level = 1;
+    for (int i = 0; i < depth; ++i) {
+        level *= branching;
+        n += level;
+    }
+    graph g{n};
+    // Breadth-first layout: children of node v are b*v+1 .. b*v+b while in range.
+    for (node_id v = 0; v < n; ++v) {
+        for (int k = 1; k <= branching; ++k) {
+            const node_id child = static_cast<node_id>(v) * branching + k;
+            if (child < n) g.add_edge(v, child);
+        }
+    }
+    g.finalize();
+    return g;
+}
+
+graph make_tree(const std::vector<node_id>& parent) {
+    const node_id n = static_cast<node_id>(parent.size());
+    graph g{n};
+    int roots = 0;
+    for (node_id v = 0; v < n; ++v) {
+        if (parent[static_cast<std::size_t>(v)] == invalid_node) {
+            ++roots;
+        } else {
+            g.add_edge(v, parent[static_cast<std::size_t>(v)]);
+        }
+    }
+    if (n > 0 && roots != 1) throw std::invalid_argument{"make_tree: need exactly one root"};
+    g.finalize();
+    return g;
+}
+
+std::vector<node_id> spanning_tree_parents(const graph& g, node_id root) {
+    if (!g.valid_node(root)) throw std::out_of_range{"spanning_tree_parents: bad root"};
+    std::vector<node_id> parent(static_cast<std::size_t>(g.node_count()), invalid_node);
+    std::vector<char> seen(static_cast<std::size_t>(g.node_count()), 0);
+    std::queue<node_id> frontier;
+    frontier.push(root);
+    seen[static_cast<std::size_t>(root)] = 1;
+    while (!frontier.empty()) {
+        const node_id v = frontier.front();
+        frontier.pop();
+        for (node_id w : g.neighbors(v)) {
+            if (!seen[static_cast<std::size_t>(w)]) {
+                seen[static_cast<std::size_t>(w)] = 1;
+                parent[static_cast<std::size_t>(w)] = v;
+                frontier.push(w);
+            }
+        }
+    }
+    for (node_id v = 0; v < g.node_count(); ++v)
+        if (!seen[static_cast<std::size_t>(v)])
+            throw std::invalid_argument{"spanning_tree_parents: graph not connected"};
+    return parent;
+}
+
+std::vector<int> tree_depths(const std::vector<node_id>& parent) {
+    const std::size_t n = parent.size();
+    std::vector<int> depth(n, -1);
+    for (std::size_t v = 0; v < n; ++v) {
+        // Walk up to the first ancestor with a known depth, then unwind.
+        std::vector<node_id> path;
+        node_id u = static_cast<node_id>(v);
+        while (u != invalid_node && depth[static_cast<std::size_t>(u)] < 0) {
+            path.push_back(u);
+            u = parent[static_cast<std::size_t>(u)];
+        }
+        int base = (u == invalid_node) ? -1 : depth[static_cast<std::size_t>(u)];
+        for (auto it = path.rbegin(); it != path.rend(); ++it)
+            depth[static_cast<std::size_t>(*it)] = ++base;
+    }
+    return depth;
+}
+
+}  // namespace mm::net

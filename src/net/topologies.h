@@ -1,0 +1,97 @@
+// topologies.h - constructors for every network topology used in the paper.
+//
+// Section 3 of the paper applies match-making to: Manhattan (rectangular
+// grid) networks and their cylinder/torus wrap-arounds, d-dimensional
+// meshes, binary d-cubes, cube-connected cycles, projective-plane networks,
+// hierarchical (gateway) networks, and UUCP-like trees.  Complete graphs
+// back the topology-independent lower bounds of Section 2, and rings appear
+// in the Omega(n) remark of Section 2.3.5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace mm::net {
+
+// --- Elementary topologies -------------------------------------------------
+
+// Complete graph K_n: every message is deliverable in one hop.  This is the
+// model under which the paper's lower bounds are stated.
+[[nodiscard]] graph make_complete(node_id n);
+
+// Cycle 0-1-...-(n-1)-0.  Requires n >= 3.
+[[nodiscard]] graph make_ring(node_id n);
+
+// Path 0-1-...-(n-1).
+[[nodiscard]] graph make_path(node_id n);
+
+// Star with node 0 in the center.  Requires n >= 1.
+[[nodiscard]] graph make_star(node_id n);
+
+// --- Grids and meshes (Section 3.1) ----------------------------------------
+
+enum class wrap_mode {
+    none,      // plain p x q grid
+    cylinder,  // rows wrap (torus in one dimension)
+    torus      // rows and columns wrap; the Stony Brook network shape
+};
+
+// p rows x q columns Manhattan network.  Node (r, c) has index r*q + c.
+[[nodiscard]] graph make_grid(node_id rows, node_id cols, wrap_mode wrap = wrap_mode::none);
+
+// Shape of a d-dimensional mesh; converts between linear node indices and
+// coordinate vectors.  Row-major: the last dimension varies fastest.
+class mesh_shape {
+public:
+    explicit mesh_shape(std::vector<node_id> dims);
+
+    [[nodiscard]] node_id node_count() const noexcept { return total_; }
+    [[nodiscard]] int dimensions() const noexcept { return static_cast<int>(dims_.size()); }
+    [[nodiscard]] node_id extent(int dim) const { return dims_.at(static_cast<std::size_t>(dim)); }
+
+    [[nodiscard]] std::vector<node_id> coords(node_id index) const;
+    [[nodiscard]] node_id index(const std::vector<node_id>& coords) const;
+
+private:
+    std::vector<node_id> dims_;
+    node_id total_ = 0;
+};
+
+// d-dimensional mesh (or torus) with the given extents.
+[[nodiscard]] graph make_mesh(const mesh_shape& shape, bool torus = false);
+
+// --- Cubes (Sections 2.3.1 example 6, 3.2, 3.3) -----------------------------
+
+// Binary d-cube: 2^d nodes, edges between addresses differing in one bit.
+[[nodiscard]] graph make_hypercube(int d);
+
+// Cube-connected cycles CCC(d): each corner of the d-cube is replaced by a
+// d-cycle; node (p, x) = cycle position p in 0..d-1 at corner x.  Index is
+// x*d + p.  n = d * 2^d, every node has degree 3 (degree 2 for d < 3).
+[[nodiscard]] graph make_ccc(int d);
+
+// Index helpers for CCC nodes.
+[[nodiscard]] node_id ccc_index(int d, int position, std::uint32_t corner);
+[[nodiscard]] int ccc_position(int d, node_id v);
+[[nodiscard]] std::uint32_t ccc_corner(int d, node_id v);
+
+// --- Trees (Sections 2.3.1 example 5, 3.6) ----------------------------------
+
+// Balanced tree where every internal node has `branching` children and the
+// leaves are `depth` edges from the root.  Node 0 is the root; children are
+// laid out breadth-first.
+[[nodiscard]] graph make_balanced_tree(int branching, int depth);
+
+// Parent array representation: parent[0] == invalid_node marks the root.
+[[nodiscard]] graph make_tree(const std::vector<node_id>& parent);
+
+// Returns parents of a BFS spanning tree of g rooted at `root`
+// (parent[root] == invalid_node).  Requires g connected.
+[[nodiscard]] std::vector<node_id> spanning_tree_parents(const graph& g, node_id root);
+
+// Depth of every node below `root` in the tree given by the parent array.
+[[nodiscard]] std::vector<int> tree_depths(const std::vector<node_id>& parent);
+
+}  // namespace mm::net

@@ -1,0 +1,387 @@
+#include "runtime/name_service.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace mm::runtime {
+
+void service_node::on_message(sim::simulator& sim, const sim::message& msg) {
+    // Second leg of a two-phase (Valiant) relay: forward to the true
+    // destination and do not process locally.
+    if (msg.relay_final != net::invalid_node && msg.relay_final != self_) {
+        sim::message onward = msg;
+        onward.source = self_;
+        onward.destination = msg.relay_final;
+        onward.relay_final = net::invalid_node;
+        sim.send(onward);
+        return;
+    }
+    switch (msg.kind) {
+        case msg_post: {
+            core::port_entry entry;
+            entry.port = msg.port;
+            entry.where = msg.subject_address;
+            entry.stamp = msg.stamp;
+            entry.expires_at = msg.ttl >= 0 ? sim.now() + msg.ttl : -1;
+            directory_.post(entry);
+            break;
+        }
+        case msg_remove:
+            directory_.remove(msg.port, msg.subject_address);
+            break;
+        case msg_query: {
+            const auto hit = directory_.lookup(msg.port, sim.now());
+            if (hit) {
+                sim::message reply;
+                reply.kind = msg_reply;
+                reply.port = msg.port;
+                reply.source = self_;
+                // Reply to the querying client, which relayed queries carry
+                // in subject_address (msg.source is just the last hop).
+                reply.destination = msg.subject_address != net::invalid_node
+                                        ? msg.subject_address
+                                        : msg.source;
+                reply.subject_address = hit->where;
+                reply.stamp = hit->stamp;
+                reply.tag = msg.tag;
+                sim.send(reply);
+            }
+            break;
+        }
+        case msg_reply: {
+            // Keep the freshest binding if several rendezvous nodes answer.
+            auto it = replies_.find(msg.tag);
+            if (it == replies_.end() || msg.stamp > it->second.stamp) {
+                core::port_entry entry;
+                entry.port = msg.port;
+                entry.where = msg.subject_address;
+                entry.stamp = msg.stamp;
+                replies_[msg.tag] = entry;
+            }
+            break;
+        }
+        default:
+            throw std::logic_error{"service_node: unknown message kind"};
+    }
+}
+
+void service_node::on_timer(sim::simulator& sim, std::int64_t timer_id) {
+    if (timer_hook_) timer_hook_(sim, self_, timer_id);
+}
+
+void service_node::on_crash(sim::simulator& /*sim*/) {
+    directory_.clear();
+    replies_.clear();
+}
+
+bool service_node::has_reply(std::int64_t tag) const { return replies_.contains(tag); }
+
+core::port_entry service_node::reply(std::int64_t tag) const {
+    const auto it = replies_.find(tag);
+    if (it == replies_.end()) throw std::out_of_range{"service_node::reply: no reply"};
+    return it->second;
+}
+
+name_service::name_service(sim::simulator& sim, const core::locate_strategy& strategy)
+    : sim_{&sim}, strategy_{&strategy} {
+    const net::node_id n = sim.network().node_count();
+    nodes_.reserve(static_cast<std::size_t>(n));
+    refresh_armed_.assign(static_cast<std::size_t>(n), 0);
+    for (net::node_id v = 0; v < n; ++v) {
+        auto handler = std::make_shared<service_node>(v);
+        handler->set_timer_hook([this](sim::simulator& s, net::node_id at, std::int64_t id) {
+            handle_timer(s, at, id);
+        });
+        nodes_.push_back(handler);
+        sim.attach(v, handler);
+    }
+}
+
+void name_service::drain() {
+    if (refresh_period_ <= 0) {
+        sim_->run();
+    } else {
+        // Refresh timers re-arm forever; bound the wait by the worst-case
+        // round trip (two legs of at most the node count, doubled for
+        // relaying) instead of draining the queue.
+        sim_->run_until(sim_->now() + 4 * sim_->network().node_count() + 8);
+    }
+}
+
+net::node_id name_service::random_relay(net::node_id source, net::node_id destination) {
+    valiant_state_ = sim::splitmix64(valiant_state_);
+    auto relay = static_cast<net::node_id>(valiant_state_ %
+                                           static_cast<std::uint64_t>(sim_->network().node_count()));
+    // A relay equal to either endpoint degenerates to direct delivery.
+    (void)source, (void)destination;
+    return relay;
+}
+
+void name_service::send_application(sim::message msg) {
+    if (valiant_ && msg.destination != msg.source) {
+        const net::node_id relay = random_relay(msg.source, msg.destination);
+        if (relay != msg.destination && relay != msg.source) {
+            msg.relay_final = msg.destination;
+            msg.destination = relay;
+        }
+    }
+    sim_->send(msg);
+}
+
+void name_service::enable_auto_refresh(sim::time_point period) {
+    if (period <= 0) throw std::invalid_argument{"enable_auto_refresh: period must be positive"};
+    refresh_period_ = period;
+    for (const auto& [port, at] : registrations_) arm_refresh(at);
+}
+
+void name_service::enable_valiant_relay(std::uint64_t seed) {
+    valiant_ = true;
+    valiant_state_ = seed | 1;
+}
+
+void name_service::run_for(sim::time_point duration) { sim_->run_until(sim_->now() + duration); }
+
+void name_service::arm_refresh(net::node_id at) {
+    if (refresh_period_ <= 0 || refresh_armed_[static_cast<std::size_t>(at)]) return;
+    refresh_armed_[static_cast<std::size_t>(at)] = 1;
+    sim_->set_timer(at, refresh_period_, refresh_timer_id);
+}
+
+void name_service::handle_timer(sim::simulator& sim, net::node_id at, std::int64_t timer_id) {
+    if (timer_id != refresh_timer_id) return;
+    refresh_armed_[static_cast<std::size_t>(at)] = 0;
+    node(at).directory().expire(sim.now());
+    bool hosting = false;
+    for (const auto& [port, host] : registrations_) {
+        if (host != at) continue;
+        hosting = true;
+        for (const net::node_id target : strategy_->post_set(at, port)) {
+            sim::message msg;
+            msg.kind = msg_post;
+            msg.port = port;
+            msg.source = at;
+            msg.destination = target;
+            msg.subject_address = at;
+            msg.stamp = sim.now();
+            msg.ttl = entry_ttl_;
+            send_application(msg);
+        }
+    }
+    if (hosting) arm_refresh(at);  // keep refreshing while still a host
+}
+
+service_node& name_service::node(net::node_id v) {
+    if (v < 0 || v >= static_cast<net::node_id>(nodes_.size()))
+        throw std::out_of_range{"name_service::node"};
+    return *nodes_[static_cast<std::size_t>(v)];
+}
+
+void name_service::post_to(core::port_id port, net::node_id at, const core::node_set& where) {
+    for (const net::node_id target : where) {
+        sim::message msg;
+        msg.kind = msg_post;
+        msg.port = port;
+        msg.source = at;
+        msg.destination = target;
+        msg.subject_address = at;
+        msg.stamp = sim_->now();
+        msg.ttl = entry_ttl_;
+        send_application(msg);
+    }
+    drain();
+}
+
+void name_service::register_server(core::port_id port, net::node_id at) {
+    // Record and arm the refresh timer *before* draining the posts, so the
+    // first refresh lands one period after the posts, not one period after
+    // the drain window (entries with TTL < window would otherwise die
+    // before their first renewal).
+    registrations_.emplace_back(port, at);
+    arm_refresh(at);
+    post_to(port, at, strategy_->post_set(at, port));
+}
+
+void name_service::deregister_server(core::port_id port, net::node_id at) {
+    for (const net::node_id target : strategy_->post_set(at, port)) {
+        sim::message msg;
+        msg.kind = msg_remove;
+        msg.port = port;
+        msg.source = at;
+        msg.destination = target;
+        msg.subject_address = at;
+        msg.stamp = sim_->now();
+        send_application(msg);
+    }
+    drain();
+    std::erase(registrations_, std::pair{port, at});
+}
+
+void name_service::migrate_server(core::port_id port, net::node_id from, net::node_id to) {
+    // Order matters: post the new address first (it carries a fresher stamp
+    // and wins conflicts), then withdraw the old posts.
+    register_server(port, to);
+    deregister_server(port, from);
+}
+
+void name_service::repost_all() {
+    const auto live = registrations_;
+    for (const auto& [port, at] : live) {
+        if (sim_->crashed(at)) continue;
+        post_to(port, at, strategy_->post_set(at, port));
+        arm_refresh(at);
+    }
+}
+
+locate_result name_service::query_and_wait(core::port_id port, net::node_id client,
+                                           const core::node_set& where) {
+    const std::int64_t tag = next_tag_++;
+    const auto hops_before = sim_->stats().get(sim::counter_hops);
+    const auto started = sim_->now();
+    for (const net::node_id target : where) {
+        sim::message msg;
+        msg.kind = msg_query;
+        msg.port = port;
+        msg.source = client;
+        msg.destination = target;
+        msg.subject_address = client;  // reply-to, stable across relaying
+        msg.stamp = started;
+        msg.tag = tag;
+        send_application(msg);
+    }
+    drain();
+
+    locate_result result;
+    result.nodes_queried = static_cast<int>(where.size());
+    result.message_passes = sim_->stats().get(sim::counter_hops) - hops_before;
+    auto& me = node(client);
+    if (me.has_reply(tag)) {
+        result.found = true;
+        result.where = me.reply(tag).where;
+        result.latency = sim_->now() - started;
+    }
+    return result;
+}
+
+locate_result name_service::locate(core::port_id port, net::node_id client) {
+    if (client_caching_ && !sim_->crashed(client)) {
+        const auto hint = node(client).directory().lookup(port, sim_->now());
+        if (hint) {
+            locate_result cached;
+            cached.found = true;
+            cached.where = hint->where;
+            return cached;  // zero messages, zero latency: the cached hint
+        }
+    }
+    auto result = query_and_wait(port, client, strategy_->query_set(client, port));
+    if (client_caching_ && result.found && !sim_->crashed(client)) {
+        core::port_entry entry;
+        entry.port = port;
+        entry.where = result.where;
+        entry.stamp = sim_->now();
+        entry.expires_at = entry_ttl_ >= 0 ? sim_->now() + entry_ttl_ : -1;
+        node(client).directory().post(entry);
+    }
+    return result;
+}
+
+locate_result name_service::locate_fresh(core::port_id port, net::node_id client) {
+    return query_and_wait(port, client, strategy_->query_set(client, port));
+}
+
+locate_result name_service::locate_staged(core::port_id port, net::node_id client,
+                                          const strategies::hierarchical_strategy& h) {
+    locate_result total;
+    core::node_set queried;
+    for (int level = 1; level <= h.structure().levels(); ++level) {
+        // Only the not-yet-queried gateways of this level cost messages.
+        core::node_set stage = h.level_query_set(client, level);
+        core::node_set fresh;
+        std::set_difference(stage.begin(), stage.end(), queried.begin(), queried.end(),
+                            std::back_inserter(fresh));
+        queried.insert(queried.end(), fresh.begin(), fresh.end());
+        core::normalize_set(queried);
+
+        const auto stage_result = query_and_wait(port, client, fresh);
+        total.nodes_queried += stage_result.nodes_queried;
+        total.message_passes += stage_result.message_passes;
+        total.latency += stage_result.latency;
+        total.stages = level;
+        if (stage_result.found) {
+            total.found = true;
+            total.where = stage_result.where;
+            return total;
+        }
+    }
+    return total;
+}
+
+locate_result name_service::locate_with_fallback(
+    core::port_id port, net::node_id client,
+    const std::vector<const core::locate_strategy*>& fallbacks) {
+    locate_result total = locate(port, client);
+    if (total.found) return total;
+    int stage = 1;
+    for (const core::locate_strategy* fallback : fallbacks) {
+        ++stage;
+        // Servers follow the same fallback policy: re-post at the fallback
+        // strategy's rendezvous nodes ("services regularly poll their
+        // rendez-vous nodes to see if they are still alive").
+        const auto live = registrations_;
+        for (const auto& [p, at] : live) {
+            if (p != port || sim_->crashed(at)) continue;
+            post_to(p, at, fallback->post_set(at, p));
+        }
+        const auto attempt = query_and_wait(port, client, fallback->query_set(client, port));
+        total.nodes_queried += attempt.nodes_queried;
+        total.message_passes += attempt.message_passes;
+        total.latency += attempt.latency;
+        total.stages = stage;
+        if (attempt.found) {
+            total.found = true;
+            total.where = attempt.where;
+            return total;
+        }
+    }
+    return total;
+}
+
+void name_service::crash_node(net::node_id v) {
+    sim_->crash(v);
+    std::erase_if(registrations_, [&](const auto& reg) { return reg.second == v; });
+    // A pending refresh timer is silently skipped while the node is down;
+    // clear the armed flag so a later repost_all can re-arm the host.
+    refresh_armed_[static_cast<std::size_t>(v)] = 0;
+}
+
+void name_service::recover_node(net::node_id v) { sim_->recover(v); }
+
+void name_service::purge_binding(core::port_id port, net::node_id dead_address) {
+    for (const net::node_id target : strategy_->post_set(dead_address, port)) {
+        if (sim_->crashed(target)) continue;
+        sim::message msg;
+        msg.kind = msg_remove;
+        msg.port = port;
+        msg.source = target;  // issued by the surviving rendezvous node itself
+        msg.destination = target;
+        msg.subject_address = dead_address;
+        msg.stamp = sim_->now();
+        sim_->send(msg);  // self-addressed; no relay needed
+    }
+    drain();
+}
+
+std::size_t name_service::total_cache_entries() const {
+    std::size_t total = 0;
+    for (const auto& n : nodes_) total += n->directory().size();
+    return total;
+}
+
+std::size_t name_service::max_cache_entries() const {
+    std::size_t best = 0;
+    for (const auto& n : nodes_) best = std::max(best, n->directory().size());
+    return best;
+}
+
+}  // namespace mm::runtime

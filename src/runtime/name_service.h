@@ -1,0 +1,187 @@
+// name_service.h - a complete distributed name server built on the
+// simulator (Sections 1.4-1.5, 2.4, 3.5, 5).
+//
+// This is the layer a distributed operating system (the paper's Amoeba)
+// would actually link against: servers register a (port, address) binding,
+// which posts it at the strategy's P set; clients locate a port, which
+// queries the strategy's Q set and returns the address from the first
+// rendezvous node that answers.  Registrations are timestamped so that a
+// migrated server's new address beats stale cache entries; node crashes
+// wipe caches (fail-stop) and servers can re-post; redundant strategies
+// (#(P n Q) >= f+1) keep locates working under f faults, per Section 2.4.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cache.h"
+#include "core/strategy.h"
+#include "sim/simulator.h"
+#include "strategies/hierarchical.h"
+
+namespace mm::runtime {
+
+// Wire-format message kinds.
+enum msg_kind : int {
+    msg_post = 1,    // server -> rendezvous: here I am
+    msg_query = 2,   // client -> rendezvous: where is port?
+    msg_reply = 3,   // rendezvous -> client: port is at subject_address
+    msg_remove = 4,  // server -> rendezvous: forget me
+};
+
+// Per-node behavior: every node is simultaneously a directory (rendezvous)
+// node and a potential client endpoint.
+class service_node final : public sim::node_handler {
+public:
+    explicit service_node(net::node_id self) : self_{self} {}
+
+    void on_message(sim::simulator& sim, const sim::message& msg) override;
+    void on_timer(sim::simulator& sim, std::int64_t timer_id) override;
+    void on_crash(sim::simulator& sim) override;
+
+    [[nodiscard]] core::port_cache& directory() noexcept { return directory_; }
+    [[nodiscard]] const core::port_cache& directory() const noexcept { return directory_; }
+
+    // Client-side: the reply collected for a locate tag, if any.
+    [[nodiscard]] bool has_reply(std::int64_t tag) const;
+    [[nodiscard]] core::port_entry reply(std::int64_t tag) const;
+
+    // Hook invoked on timer expiry (set by the owning name_service).
+    using timer_hook = std::function<void(sim::simulator&, net::node_id, std::int64_t)>;
+    void set_timer_hook(timer_hook hook) { timer_hook_ = std::move(hook); }
+
+private:
+    net::node_id self_;
+    core::port_cache directory_;
+    std::unordered_map<std::int64_t, core::port_entry> replies_;
+    timer_hook timer_hook_;
+};
+
+struct locate_result {
+    bool found = false;
+    core::address where = net::invalid_node;
+    sim::time_point latency = 0;      // ticks from first query to answer
+    std::int64_t message_passes = 0;  // hops spent by this operation
+    int nodes_queried = 0;
+    int stages = 1;  // staged (hierarchical) locates report the level used
+};
+
+class name_service {
+public:
+    // Attaches a service_node to every node of the simulator's network.
+    // The strategy is the default for all operations; both must outlive the
+    // name_service.
+    name_service(sim::simulator& sim, const core::locate_strategy& strategy);
+
+    // --- server side -------------------------------------------------------
+    // Posts (port, at) at P(at); runs the simulator until the posts settle.
+    void register_server(core::port_id port, net::node_id at);
+    // Removes the binding from P(at).
+    void deregister_server(core::port_id port, net::node_id at);
+    // Atomic move: register at `to` with a fresh timestamp (stale caches are
+    // out-ranked), then withdraw the posts of `from`.
+    void migrate_server(core::port_id port, net::node_id from, net::node_id to);
+    // Re-posts every live registration (recovery after crashes).
+    void repost_all();
+
+    // --- client side -------------------------------------------------------
+    // Queries Q(client); runs the simulator until an answer arrives or all
+    // queries provably failed.
+    [[nodiscard]] locate_result locate(core::port_id port, net::node_id client);
+
+    // Section 3.5's staged locate: query level 1 gateways first, escalate
+    // level by level only on failure.  Requires the hierarchical strategy.
+    [[nodiscard]] locate_result locate_staged(core::port_id port, net::node_id client,
+                                              const strategies::hierarchical_strategy& h);
+
+    // Section 5's rehash recovery: try the default strategy's rendezvous
+    // first; on failure re-register live servers and retry with each
+    // fallback strategy in order (e.g. hash attempts 1, 2, ...).
+    [[nodiscard]] locate_result locate_with_fallback(
+        core::port_id port, net::node_id client,
+        const std::vector<const core::locate_strategy*>& fallbacks);
+
+    // --- faults ------------------------------------------------------------
+    // Fail-stop crash: wipes the node's directory; registrations hosted at v
+    // die with it.
+    void crash_node(net::node_id v);
+    void recover_node(net::node_id v);
+
+    // Purges a dead server's binding from the rendezvous nodes it posted at.
+    // A fail-stop server cannot deregister itself; a survivor that detects
+    // the crash can, because P(dead_address) is deterministic.  Surviving
+    // replicas whose posts the dead server had shadowed become visible again
+    // on their next periodic refresh (repost_all) - the paper's "services
+    // regularly poll their rendez-vous nodes to see if they are still
+    // alive".
+    void purge_binding(core::port_id port, net::node_id dead_address);
+
+    // --- soft-state policies -------------------------------------------------
+    // Every post carries this time-to-live; rendezvous entries silently die
+    // ttl ticks after arrival (-1 = never).  With auto-refresh enabled and
+    // period < ttl, live servers stay cached while crashed servers'
+    // bindings clean themselves up - no tombstone protocol needed.
+    void set_entry_ttl(sim::time_point ttl) noexcept { entry_ttl_ = ttl; }
+
+    // Timer-driven periodic re-posting: every server host re-advertises its
+    // registrations each `period` ticks (the paper's "services regularly
+    // poll their rendez-vous nodes").  Timers on crashed hosts do not fire,
+    // so dead servers stop refreshing automatically.
+    void enable_auto_refresh(sim::time_point period);
+
+    // Two-phase (Valiant) relaying: posts and queries travel via a random
+    // intermediate node first - Section 3.2's cure for "excessive clogging
+    // at intermediate nodes".
+    void enable_valiant_relay(std::uint64_t seed);
+
+    // Client-side reply caching (Section 2.1: "Entries are made or updated
+    // whenever ... a reply from a locate operation is received").  Locates
+    // answered from the local cache cost zero messages; the cached address
+    // is a *hint* - it can go stale until its TTL lapses or a purge removes
+    // it.  Off by default.
+    void enable_client_caching() noexcept { client_caching_ = true; }
+
+    // Locate that always consults the network, bypassing the local hint.
+    [[nodiscard]] locate_result locate_fresh(core::port_id port, net::node_id client);
+
+    // Advances simulated time (timers fire, refreshes happen).
+    void run_for(sim::time_point duration);
+
+    [[nodiscard]] service_node& node(net::node_id v);
+    [[nodiscard]] sim::simulator& simulator() noexcept { return *sim_; }
+    [[nodiscard]] const core::locate_strategy& strategy() const noexcept { return *strategy_; }
+
+    // Total (port, address) entries currently cached network-wide, and the
+    // largest single cache - the paper's storage measures.
+    [[nodiscard]] std::size_t total_cache_entries() const;
+    [[nodiscard]] std::size_t max_cache_entries() const;
+
+private:
+    static constexpr std::int64_t refresh_timer_id = 1;
+
+    sim::simulator* sim_;
+    const core::locate_strategy* strategy_;
+    std::vector<std::shared_ptr<service_node>> nodes_;
+    std::vector<std::pair<core::port_id, net::node_id>> registrations_;
+    std::int64_t next_tag_ = 1;
+    sim::time_point entry_ttl_ = -1;
+    sim::time_point refresh_period_ = 0;  // 0 = auto-refresh off
+    std::vector<char> refresh_armed_;
+    bool valiant_ = false;
+    std::uint64_t valiant_state_ = 0;
+    bool client_caching_ = false;
+
+    void send_application(sim::message msg);
+    void post_to(core::port_id port, net::node_id at, const core::node_set& where);
+    [[nodiscard]] locate_result query_and_wait(core::port_id port, net::node_id client,
+                                               const core::node_set& where);
+    void drain();
+    void handle_timer(sim::simulator& sim, net::node_id at, std::int64_t timer_id);
+    void arm_refresh(net::node_id at);
+    [[nodiscard]] net::node_id random_relay(net::node_id source, net::node_id destination);
+};
+
+}  // namespace mm::runtime

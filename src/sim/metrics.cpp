@@ -1,0 +1,19 @@
+#include "sim/metrics.h"
+
+namespace mm::sim {
+
+void metrics::add(std::string_view counter, std::int64_t amount) {
+    auto it = counters_.find(counter);
+    if (it == counters_.end()) {
+        counters_.emplace(std::string{counter}, amount);
+    } else {
+        it->second += amount;
+    }
+}
+
+std::int64_t metrics::get(std::string_view counter) const {
+    const auto it = counters_.find(counter);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+}  // namespace mm::sim

@@ -1,0 +1,34 @@
+// metrics.h - named counters for simulation accounting.
+//
+// The paper measures algorithms "in terms of message passes and in terms of
+// storage needed"; every component of the simulator credits its activity to
+// a named counter here so experiments can report exactly those quantities.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace mm::sim {
+
+class metrics {
+public:
+    void add(std::string_view counter, std::int64_t amount = 1);
+    [[nodiscard]] std::int64_t get(std::string_view counter) const;
+    [[nodiscard]] const std::map<std::string, std::int64_t, std::less<>>& counters() const noexcept {
+        return counters_;
+    }
+    void reset() { counters_.clear(); }
+
+private:
+    std::map<std::string, std::int64_t, std::less<>> counters_;
+};
+
+// Counter names used by the simulator itself.
+inline constexpr std::string_view counter_hops = "hops";
+inline constexpr std::string_view counter_messages_sent = "messages_sent";
+inline constexpr std::string_view counter_messages_delivered = "messages_delivered";
+inline constexpr std::string_view counter_messages_dropped = "messages_dropped";
+
+}  // namespace mm::sim

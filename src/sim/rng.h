@@ -1,0 +1,50 @@
+// rng.h - deterministic random source for simulations.
+//
+// Every randomized component takes an explicit seed; the same seed always
+// reproduces the same run, which the property tests rely on.  splitmix64 is
+// used to derive independent per-entity streams from one master seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace mm::sim {
+
+// splitmix64 step; good avalanche, used to derive sub-seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+// Deterministic engine with convenience sampling helpers.
+class rng {
+public:
+    explicit rng(std::uint64_t seed) : base_seed_{seed}, engine_{seed} {}
+
+    // Uniform integer in [lo, hi] inclusive.
+    [[nodiscard]] std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+        return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+    }
+
+    // Uniform real in [0, 1).
+    [[nodiscard]] double uniform01() {
+        return std::uniform_real_distribution<double>{0.0, 1.0}(engine_);
+    }
+
+    [[nodiscard]] bool chance(double probability) { return uniform01() < probability; }
+
+    // Derives an independent rng for sub-entity `index`.
+    [[nodiscard]] rng split(std::uint64_t index) const {
+        return rng{splitmix64(base_seed_ ^ splitmix64(index))};
+    }
+
+    [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+private:
+    std::uint64_t base_seed_ = 0;
+    std::mt19937_64 engine_;
+};
+
+}  // namespace mm::sim

@@ -1,0 +1,169 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace mm::sim {
+
+simulator::simulator(const net::graph& g)
+    : graph_{&g},
+      routes_{g},
+      handlers_(static_cast<std::size_t>(g.node_count())),
+      crashed_(static_cast<std::size_t>(g.node_count()), 0),
+      traffic_(static_cast<std::size_t>(g.node_count()), 0),
+      transit_(static_cast<std::size_t>(g.node_count()), 0) {}
+
+std::int64_t simulator::traffic(net::node_id v) const {
+    if (!graph_->valid_node(v)) throw std::out_of_range{"simulator::traffic: bad node"};
+    return traffic_[static_cast<std::size_t>(v)];
+}
+
+std::int64_t simulator::max_traffic() const {
+    std::int64_t best = 0;
+    for (const auto t : traffic_) best = std::max(best, t);
+    return best;
+}
+
+std::int64_t simulator::transit_traffic(net::node_id v) const {
+    if (!graph_->valid_node(v)) throw std::out_of_range{"simulator::transit_traffic: bad node"};
+    return transit_[static_cast<std::size_t>(v)];
+}
+
+std::int64_t simulator::max_transit_traffic() const {
+    std::int64_t best = 0;
+    for (const auto t : transit_) best = std::max(best, t);
+    return best;
+}
+
+void simulator::reset_traffic() {
+    traffic_.assign(traffic_.size(), 0);
+    transit_.assign(transit_.size(), 0);
+}
+
+void simulator::attach(net::node_id v, std::shared_ptr<node_handler> handler) {
+    if (!graph_->valid_node(v)) throw std::out_of_range{"simulator::attach: bad node"};
+    handlers_[static_cast<std::size_t>(v)] = std::move(handler);
+}
+
+void simulator::push(event e) {
+    e.seq = next_seq_++;
+    events_.push(std::move(e));
+}
+
+void simulator::send(message msg) {
+    if (!graph_->valid_node(msg.source) || !graph_->valid_node(msg.destination))
+        throw std::out_of_range{"simulator::send: bad endpoint"};
+    if (crashed(msg.source)) return;
+    metrics_.add(counter_messages_sent);
+    event e;
+    e.at = now_;
+    e.kind = event_kind::hop;
+    e.node = msg.source;
+    e.msg = msg;
+    push(std::move(e));
+}
+
+void simulator::set_timer(net::node_id v, time_point delay, std::int64_t timer_id) {
+    if (!graph_->valid_node(v)) throw std::out_of_range{"simulator::set_timer: bad node"};
+    if (delay < 0) throw std::invalid_argument{"simulator::set_timer: negative delay"};
+    event e;
+    e.at = now_ + delay;
+    e.kind = event_kind::timer;
+    e.node = v;
+    e.timer_id = timer_id;
+    push(std::move(e));
+}
+
+void simulator::crash(net::node_id v) {
+    if (!graph_->valid_node(v)) throw std::out_of_range{"simulator::crash: bad node"};
+    if (crashed_[static_cast<std::size_t>(v)]) return;
+    crashed_[static_cast<std::size_t>(v)] = 1;
+    if (auto& h = handlers_[static_cast<std::size_t>(v)]) h->on_crash(*this);
+}
+
+void simulator::recover(net::node_id v) {
+    if (!graph_->valid_node(v)) throw std::out_of_range{"simulator::recover: bad node"};
+    crashed_[static_cast<std::size_t>(v)] = 0;
+}
+
+bool simulator::crashed(net::node_id v) const {
+    if (!graph_->valid_node(v)) throw std::out_of_range{"simulator::crashed: bad node"};
+    return crashed_[static_cast<std::size_t>(v)] != 0;
+}
+
+void simulator::arrive(net::node_id at, const message& msg) {
+    if (crashed(at)) {
+        metrics_.add(counter_messages_dropped);
+        return;
+    }
+    ++traffic_[static_cast<std::size_t>(at)];
+    if (at == msg.destination) {
+        metrics_.add(counter_messages_delivered);
+        if (auto& h = handlers_[static_cast<std::size_t>(at)]) h->on_message(*this, msg);
+        return;
+    }
+    // Forward one hop toward the destination; the hop lands one tick later.
+    ++transit_[static_cast<std::size_t>(at)];
+    metrics_.add(counter_hops);
+    event e;
+    e.at = now_ + 1;
+    e.kind = event_kind::hop;
+    e.node = pick_next_hop(at, msg.destination);
+    e.msg = msg;
+    push(std::move(e));
+}
+
+void simulator::process(const event& e) {
+    now_ = e.at;
+    switch (e.kind) {
+        case event_kind::hop:
+            arrive(e.node, e.msg);
+            break;
+        case event_kind::timer:
+            if (!crashed(e.node)) {
+                if (auto& h = handlers_[static_cast<std::size_t>(e.node)])
+                    h->on_timer(*this, e.timer_id);
+            }
+            break;
+    }
+}
+
+void simulator::set_randomized_routing(std::uint64_t seed) {
+    randomized_routing_ = true;
+    route_rng_state_ = seed | 1;
+}
+
+net::node_id simulator::pick_next_hop(net::node_id at, net::node_id dest) {
+    if (!randomized_routing_) return routes_.next_hop(at, dest);
+    const int here = routes_.distance(at, dest);
+    // Reservoir-sample uniformly among neighbors one hop closer.
+    net::node_id chosen = net::invalid_node;
+    int seen = 0;
+    for (const net::node_id w : graph_->neighbors(at)) {
+        if (routes_.distance(w, dest) != here - 1) continue;
+        ++seen;
+        route_rng_state_ = splitmix64(route_rng_state_);
+        if (chosen == net::invalid_node ||
+            route_rng_state_ % static_cast<std::uint64_t>(seen) == 0)
+            chosen = w;
+    }
+    return chosen == net::invalid_node ? routes_.next_hop(at, dest) : chosen;
+}
+
+void simulator::run() { run_until(std::numeric_limits<time_point>::max()); }
+
+void simulator::run_until(time_point t) {
+    while (!events_.empty() && events_.top().at <= t) {
+        if (++processed_ > event_cap_)
+            throw std::runtime_error{"simulator: event cap exceeded (protocol loop?)"};
+        const event e = events_.top();
+        events_.pop();
+        process(e);
+    }
+    if (events_.empty() && t != std::numeric_limits<time_point>::max()) now_ = std::max(now_, t);
+}
+
+}  // namespace mm::sim

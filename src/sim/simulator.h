@@ -1,0 +1,160 @@
+// simulator.h - deterministic discrete-event store-and-forward simulator.
+//
+// Models the paper's network: "Each node processes messages it receives from
+// its neighbors, performs local computations on messages and sends messages
+// to neighbors.  All these actions take finite time.  A message pass or hop
+// consists of the sending of a message from one node to one of its direct
+// neighbors."  One hop takes one tick; each hop increments the global
+// message-pass counter, which is the paper's complexity measure.
+//
+// Nodes can crash and recover; a crashed node silently drops everything
+// addressed to or routed through it (fail-stop, no Byzantine behavior).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "net/graph.h"
+#include "net/routing.h"
+#include "sim/metrics.h"
+
+namespace mm::sim {
+
+// Simulation time in ticks; one hop = one tick.
+using time_point = std::int64_t;
+
+// A network message.  Everything except `destination` is application
+// payload; the simulator itself only routes on destination.
+struct message {
+    int kind = 0;
+    std::uint64_t port = 0;
+    net::node_id source = net::invalid_node;
+    net::node_id destination = net::invalid_node;
+    // Address a post or reply is talking about (e.g. a server's location).
+    net::node_id subject_address = net::invalid_node;
+    // Send time, used for timestamp conflict resolution in caches.
+    time_point stamp = 0;
+    // Request correlation id.
+    std::int64_t tag = 0;
+    // Relative time-to-live carried by posts (-1 = the entry never expires).
+    std::int64_t ttl = -1;
+    // Two-phase (Valiant) relaying: when set, `destination` is only an
+    // intermediate hop and the handler there forwards to `relay_final`.
+    net::node_id relay_final = net::invalid_node;
+};
+
+class simulator;
+
+// Behavior attached to a node.  Handlers are invoked only while the node is
+// up; a crash wipes whatever soft state the handler keeps (on_crash).
+class node_handler {
+public:
+    virtual ~node_handler() = default;
+    virtual void on_message(simulator& sim, const message& msg) = 0;
+    virtual void on_timer(simulator& sim, std::int64_t timer_id) { (void)sim, (void)timer_id; }
+    virtual void on_crash(simulator& sim) { (void)sim; }
+};
+
+class simulator {
+public:
+    // The graph must outlive the simulator and be connected.
+    explicit simulator(const net::graph& g);
+
+    simulator(const simulator&) = delete;
+    simulator& operator=(const simulator&) = delete;
+
+    // Attaches behavior to a node (replacing any previous handler).
+    void attach(net::node_id v, std::shared_ptr<node_handler> handler);
+
+    // Injects a message at msg.source at the current time; it is routed
+    // hop-by-hop toward msg.destination.  Sending from a crashed node is a
+    // silent no-op (the process died with its host).
+    void send(message msg);
+
+    // Schedules on_timer(timer_id) at the given node after `delay` ticks.
+    void set_timer(net::node_id v, time_point delay, std::int64_t timer_id);
+
+    // Fail-stop crash; drops in-flight deliveries at v and future traffic
+    // through v until recover(v).
+    void crash(net::node_id v);
+    void recover(net::node_id v);
+    [[nodiscard]] bool crashed(net::node_id v) const;
+
+    // Runs until the event queue is empty (or the safety cap is hit).
+    void run();
+    // Runs events with time <= t.
+    void run_until(time_point t);
+    // True if no events remain.
+    [[nodiscard]] bool idle() const noexcept { return events_.empty(); }
+
+    [[nodiscard]] time_point now() const noexcept { return now_; }
+    [[nodiscard]] metrics& stats() noexcept { return metrics_; }
+    [[nodiscard]] const metrics& stats() const noexcept { return metrics_; }
+    [[nodiscard]] const net::graph& network() const noexcept { return *graph_; }
+    [[nodiscard]] const net::routing_table& routes() const noexcept { return routes_; }
+
+    // Messages that visited node v (as a forwarding hop or final
+    // destination); the "clogging" measure of Section 3.2's Valiant remark.
+    [[nodiscard]] std::int64_t traffic(net::node_id v) const;
+    [[nodiscard]] std::int64_t max_traffic() const;
+    // Messages node v only carried (injected or forwarded toward someone
+    // else) - transit load, excluding deliveries to v itself.
+    [[nodiscard]] std::int64_t transit_traffic(net::node_id v) const;
+    [[nodiscard]] std::int64_t max_transit_traffic() const;
+    void reset_traffic();
+
+    // Safety cap on processed events (default 50M); run() throws
+    // std::runtime_error when exceeded, which always indicates a protocol
+    // loop in a handler.
+    void set_event_cap(std::int64_t cap) noexcept { event_cap_ = cap; }
+
+    // Randomized shortest-path routing: each hop picks uniformly among all
+    // neighbors that lie on some shortest path, instead of the fixed BFS
+    // parent.  Deterministic per seed.  Fixed routing concentrates load on
+    // low-numbered nodes (BFS tie-breaking); randomization spreads it - the
+    // precondition for Valiant relaying to pay off (Section 3.2 remark).
+    void set_randomized_routing(std::uint64_t seed);
+
+private:
+    enum class event_kind { hop, timer };
+
+    struct event {
+        time_point at = 0;
+        std::int64_t seq = 0;  // tie-breaker for determinism
+        event_kind kind = event_kind::hop;
+        net::node_id node = net::invalid_node;  // where the event happens
+        message msg;
+        std::int64_t timer_id = 0;
+    };
+
+    struct event_later {
+        bool operator()(const event& a, const event& b) const noexcept {
+            if (a.at != b.at) return a.at > b.at;
+            return a.seq > b.seq;
+        }
+    };
+
+    const net::graph* graph_;
+    net::routing_table routes_;
+    std::vector<std::shared_ptr<node_handler>> handlers_;
+    std::vector<char> crashed_;
+    std::vector<std::int64_t> traffic_;
+    std::vector<std::int64_t> transit_;
+    std::priority_queue<event, std::vector<event>, event_later> events_;
+    time_point now_ = 0;
+    std::int64_t next_seq_ = 0;
+    std::int64_t processed_ = 0;
+    std::int64_t event_cap_ = 50'000'000;
+    metrics metrics_;
+    bool randomized_routing_ = false;
+    std::uint64_t route_rng_state_ = 0;
+
+    void push(event e);
+    void process(const event& e);
+    void arrive(net::node_id at, const message& msg);
+    [[nodiscard]] net::node_id pick_next_hop(net::node_id at, net::node_id dest);
+};
+
+}  // namespace mm::sim

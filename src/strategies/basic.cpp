@@ -1,0 +1,73 @@
+#include "strategies/basic.h"
+
+#include <stdexcept>
+
+namespace mm::strategies {
+
+namespace {
+
+void check_node(net::node_id v, net::node_id n, const char* who) {
+    if (v < 0 || v >= n) throw std::out_of_range{std::string{who} + ": node out of range"};
+}
+
+}  // namespace
+
+broadcast_strategy::broadcast_strategy(net::node_id n) : n_{n} {
+    if (n < 1) throw std::invalid_argument{"broadcast_strategy: need n >= 1"};
+}
+
+core::node_set broadcast_strategy::post_set(net::node_id server) const {
+    check_node(server, n_, "broadcast");
+    return {server};
+}
+
+core::node_set broadcast_strategy::query_set(net::node_id client) const {
+    check_node(client, n_, "broadcast");
+    return core::all_nodes(n_);
+}
+
+sweep_strategy::sweep_strategy(net::node_id n) : n_{n} {
+    if (n < 1) throw std::invalid_argument{"sweep_strategy: need n >= 1"};
+}
+
+core::node_set sweep_strategy::post_set(net::node_id server) const {
+    check_node(server, n_, "sweep");
+    return core::all_nodes(n_);
+}
+
+core::node_set sweep_strategy::query_set(net::node_id client) const {
+    check_node(client, n_, "sweep");
+    return {client};
+}
+
+central_strategy::central_strategy(net::node_id n, net::node_id center)
+    : n_{n}, center_{center} {
+    if (n < 1) throw std::invalid_argument{"central_strategy: need n >= 1"};
+    check_node(center, n, "central");
+}
+
+core::node_set central_strategy::post_set(net::node_id server) const {
+    check_node(server, n_, "central");
+    return {center_};
+}
+
+core::node_set central_strategy::query_set(net::node_id client) const {
+    check_node(client, n_, "central");
+    return {center_};
+}
+
+flood_strategy::flood_strategy(net::node_id n) : n_{n} {
+    if (n < 1) throw std::invalid_argument{"flood_strategy: need n >= 1"};
+}
+
+core::node_set flood_strategy::post_set(net::node_id server) const {
+    check_node(server, n_, "flood");
+    return core::all_nodes(n_);
+}
+
+core::node_set flood_strategy::query_set(net::node_id client) const {
+    check_node(client, n_, "flood");
+    return core::all_nodes(n_);
+}
+
+}  // namespace mm::strategies

@@ -1,0 +1,69 @@
+// basic.h - the three borderline strategies of Section 2.3.1.
+//
+// Broadcasting (example 1): "the server stays put and the client looks
+// everywhere"; sweeping (example 2): "the client stays put and the server
+// looks for work"; centralized name server (example 3): "all services post
+// at node c and all clients query for services at node c".
+#pragma once
+
+#include "core/strategy.h"
+
+namespace mm::strategies {
+
+// P(i) = {i}, Q(j) = U.  m(i,j) = n + 1.
+class broadcast_strategy final : public core::shotgun_strategy {
+public:
+    explicit broadcast_strategy(net::node_id n);
+    [[nodiscard]] std::string name() const override { return "broadcast"; }
+    [[nodiscard]] net::node_id node_count() const override { return n_; }
+    [[nodiscard]] core::node_set post_set(net::node_id server) const override;
+    [[nodiscard]] core::node_set query_set(net::node_id client) const override;
+
+private:
+    net::node_id n_;
+};
+
+// P(i) = U, Q(j) = {j}.  m(i,j) = n + 1.
+class sweep_strategy final : public core::shotgun_strategy {
+public:
+    explicit sweep_strategy(net::node_id n);
+    [[nodiscard]] std::string name() const override { return "sweep"; }
+    [[nodiscard]] net::node_id node_count() const override { return n_; }
+    [[nodiscard]] core::node_set post_set(net::node_id server) const override;
+    [[nodiscard]] core::node_set query_set(net::node_id client) const override;
+
+private:
+    net::node_id n_;
+};
+
+// P(i) = Q(j) = {center}.  m(i,j) = 2, but the center is a single point of
+// failure: "if the YP company crashes ... society grinds to a halt".
+class central_strategy final : public core::shotgun_strategy {
+public:
+    central_strategy(net::node_id n, net::node_id center);
+    [[nodiscard]] std::string name() const override { return "central"; }
+    [[nodiscard]] net::node_id node_count() const override { return n_; }
+    [[nodiscard]] net::node_id center() const noexcept { return center_; }
+    [[nodiscard]] core::node_set post_set(net::node_id server) const override;
+    [[nodiscard]] core::node_set query_set(net::node_id client) const override;
+
+private:
+    net::node_id n_;
+    net::node_id center_;
+};
+
+// The most inefficient strategy: P(i) = Q(j) = U, m(n) = 2n (end of
+// Section 2.3.4).  Useful as a robustness ceiling: #(P n Q) = n.
+class flood_strategy final : public core::shotgun_strategy {
+public:
+    explicit flood_strategy(net::node_id n);
+    [[nodiscard]] std::string name() const override { return "flood"; }
+    [[nodiscard]] net::node_id node_count() const override { return n_; }
+    [[nodiscard]] core::node_set post_set(net::node_id server) const override;
+    [[nodiscard]] core::node_set query_set(net::node_id client) const override;
+
+private:
+    net::node_id n_;
+};
+
+}  // namespace mm::strategies

@@ -1,0 +1,63 @@
+#include "strategies/checker_util.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mm::strategies {
+
+namespace {
+
+void check_args(std::span<const net::node_id> pool, int index, int width) {
+    if (pool.empty()) throw std::invalid_argument{"checker: empty pool"};
+    if (width < 1 || width > static_cast<int>(pool.size()))
+        throw std::invalid_argument{"checker: bad width"};
+    if (index < 0 || index >= static_cast<int>(pool.size()))
+        throw std::out_of_range{"checker: bad index"};
+}
+
+}  // namespace
+
+int balanced_checker_width(int size) {
+    if (size < 1) throw std::invalid_argument{"balanced_checker_width: empty pool"};
+    return static_cast<int>(std::ceil(std::sqrt(static_cast<double>(size))));
+}
+
+core::node_set checker_post(std::span<const net::node_id> pool, int index, int width) {
+    check_args(pool, index, width);
+    const int size = static_cast<int>(pool.size());
+    const int row = index / width;
+    core::node_set out;
+    out.reserve(static_cast<std::size_t>(width));
+    for (int c = 0; c < width; ++c)
+        out.push_back(pool[static_cast<std::size_t>((row * width + c) % size)]);
+    core::normalize_set(out);
+    return out;
+}
+
+core::node_set checker_query(std::span<const net::node_id> pool, int index, int width) {
+    check_args(pool, index, width);
+    const int size = static_cast<int>(pool.size());
+    const int rows = (size + width - 1) / width;
+    // Blocked column assignment (index / rows), matching the paper's
+    // Example 4 layout where consecutive clients share a block column.
+    const int col = index / rows;
+    core::node_set out;
+    out.reserve(static_cast<std::size_t>(rows));
+    for (int r = 0; r < rows; ++r)
+        out.push_back(pool[static_cast<std::size_t>((r * width + col) % size)]);
+    core::normalize_set(out);
+    return out;
+}
+
+net::node_id checker_rendezvous(std::span<const net::node_id> pool, int post_index,
+                                int query_index, int width) {
+    check_args(pool, post_index, width);
+    check_args(pool, query_index, width);
+    const int size = static_cast<int>(pool.size());
+    const int rows = (size + width - 1) / width;
+    const int row = post_index / width;
+    const int col = query_index / rows;
+    return pool[static_cast<std::size_t>((row * width + col) % size)];
+}
+
+}  // namespace mm::strategies

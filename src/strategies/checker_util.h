@@ -1,0 +1,36 @@
+// checker_util.h - the checkerboard row/column trick shared by several
+// strategies.
+//
+// Proposition 3 arranges the rendezvous matrix "as a checker board
+// consisting of (as near as possible) sqrt(n) x sqrt(n) squares"; the same
+// row-of-blocks / column-of-blocks structure reappears inside every gateway
+// network of the hierarchical scheme (Section 3.5).  Given an ordered pool
+// of nodes and an index into it, these helpers return the pool's block-row
+// (for posting) and block-column (for querying); for any pair of indices the
+// two sets share pool[(row(a)*width + col(b)) mod size], so match-making
+// always succeeds.
+#pragma once
+
+#include <span>
+
+#include "core/strategy.h"
+
+namespace mm::strategies {
+
+// Width that balances #post and #query: ceil(sqrt(size)).
+[[nodiscard]] int balanced_checker_width(int size);
+
+// Block-row of the element at `index`: { pool[(row*width + c) % size] }.
+[[nodiscard]] core::node_set checker_post(std::span<const net::node_id> pool, int index,
+                                          int width);
+
+// Block-column: { pool[(r*width + col) % size] : r < ceil(size/width) }.
+[[nodiscard]] core::node_set checker_query(std::span<const net::node_id> pool, int index,
+                                           int width);
+
+// The guaranteed common element of checker_post(pool, a, w) and
+// checker_query(pool, b, w).
+[[nodiscard]] net::node_id checker_rendezvous(std::span<const net::node_id> pool, int post_index,
+                                              int query_index, int width);
+
+}  // namespace mm::strategies

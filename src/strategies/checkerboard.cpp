@@ -1,0 +1,82 @@
+#include "strategies/checkerboard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "strategies/checker_util.h"
+
+namespace mm::strategies {
+
+checkerboard_strategy::checkerboard_strategy(net::node_id n, int width, int redundancy)
+    : n_{n}, width_{width}, redundancy_{redundancy}, pool_{core::all_nodes(n)} {
+    if (n < 1) throw std::invalid_argument{"checkerboard_strategy: need n >= 1"};
+    if (width_ == 0) width_ = balanced_checker_width(static_cast<int>(n));
+    if (width_ < 1 || width_ > n) throw std::invalid_argument{"checkerboard_strategy: bad width"};
+    const int rows = (static_cast<int>(n) + width_ - 1) / width_;
+    if (redundancy_ < 1 || redundancy_ > std::min(rows, width_))
+        throw std::invalid_argument{"checkerboard_strategy: bad redundancy"};
+}
+
+std::string checkerboard_strategy::name() const {
+    std::string s = "checkerboard(w=" + std::to_string(width_);
+    if (redundancy_ > 1) s += ",r=" + std::to_string(redundancy_);
+    return s + ")";
+}
+
+core::node_set checkerboard_strategy::post_set(net::node_id server) const {
+    if (redundancy_ == 1) return checker_post(pool_, static_cast<int>(server), width_);
+    // Post to `redundancy` consecutive block-rows (wrapping), so the
+    // overlap with any redundant query set has ~r^2 nodes.
+    const int size = static_cast<int>(n_);
+    const int rows = (size + width_ - 1) / width_;
+    const int base_row = static_cast<int>(server) / width_;
+    core::node_set out;
+    for (int k = 0; k < redundancy_; ++k) {
+        const int row = (base_row + k) % rows;
+        for (int c = 0; c < width_; ++c)
+            out.push_back(pool_[static_cast<std::size_t>((row * width_ + c) % size)]);
+    }
+    core::normalize_set(out);
+    return out;
+}
+
+core::node_set checkerboard_strategy::query_set(net::node_id client) const {
+    if (redundancy_ == 1) return checker_query(pool_, static_cast<int>(client), width_);
+    const int size = static_cast<int>(n_);
+    const int rows = (size + width_ - 1) / width_;
+    const int base_col = static_cast<int>(client) / rows;
+    core::node_set out;
+    for (int k = 0; k < redundancy_; ++k) {
+        const int col = (base_col + k) % width_;
+        for (int r = 0; r < rows; ++r)
+            out.push_back(pool_[static_cast<std::size_t>((r * width_ + col) % size)]);
+    }
+    core::normalize_set(out);
+    return out;
+}
+
+int weighted_checker_width(net::node_id n, double alpha) {
+    if (n < 1) throw std::invalid_argument{"weighted_checker_width: need n >= 1"};
+    if (alpha <= 0) throw std::invalid_argument{"weighted_checker_width: need alpha > 0"};
+    // Minimize w + alpha * ceil(n/w); the continuous optimum is
+    // w = sqrt(n * alpha), searched locally for the integer optimum.
+    const auto cost = [&](int w) {
+        return static_cast<double>(w) +
+               alpha * std::ceil(static_cast<double>(n) / static_cast<double>(w));
+    };
+    const int center = std::max(1, std::min<int>(static_cast<int>(n),
+                                                 static_cast<int>(std::lround(std::sqrt(
+                                                     static_cast<double>(n) * alpha)))));
+    int best = center;
+    for (int w = std::max(1, center / 2); w <= std::min<int>(static_cast<int>(n), center * 2 + 1);
+         ++w)
+        if (cost(w) < cost(best)) best = w;
+    return best;
+}
+
+checkerboard_strategy make_weighted_checkerboard(net::node_id n, double alpha) {
+    return checkerboard_strategy{n, weighted_checker_width(n, alpha)};
+}
+
+}  // namespace mm::strategies

@@ -1,0 +1,45 @@
+// checkerboard.h - the truly distributed strategy (Example 4, Proposition 3)
+// and its weighted generalization (M3').
+//
+// The n x n rendezvous matrix is tiled with blocks, each filled with one
+// node; every node carries (nearly) the same rendezvous load, and
+// m(n) ~ 2*sqrt(n) matches the truly distributed lower bound.  The weighted
+// variant skews the block shape: if clients locate `alpha` times more often
+// than servers post, the optimal split is #P ~ sqrt(n*alpha),
+// #Q ~ sqrt(n/alpha), minimizing #P + alpha * #Q subject to #P * #Q >= n.
+#pragma once
+
+#include "core/strategy.h"
+
+namespace mm::strategies {
+
+class checkerboard_strategy final : public core::shotgun_strategy {
+public:
+    // width = #P (block width); 0 picks the balanced ceil(sqrt(n)).
+    // redundancy = number of adjacent block-rows a server posts to and
+    // block-columns a client queries (Section 2.4: choosing P and Q with
+    // #(P n Q) >= f+1 tolerates f rendezvous crashes in place).
+    explicit checkerboard_strategy(net::node_id n, int width = 0, int redundancy = 1);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] net::node_id node_count() const override { return n_; }
+    [[nodiscard]] core::node_set post_set(net::node_id server) const override;
+    [[nodiscard]] core::node_set query_set(net::node_id client) const override;
+
+    [[nodiscard]] int width() const noexcept { return width_; }
+    [[nodiscard]] int redundancy() const noexcept { return redundancy_; }
+
+private:
+    net::node_id n_;
+    int width_;
+    int redundancy_;
+    core::node_set pool_;  // identity pool 0..n-1
+};
+
+// The optimal block width for weighted cost #P + alpha * #Q (M3').
+[[nodiscard]] int weighted_checker_width(net::node_id n, double alpha);
+
+// Checkerboard tuned to a client/server frequency ratio alpha.
+[[nodiscard]] checkerboard_strategy make_weighted_checkerboard(net::node_id n, double alpha);
+
+}  // namespace mm::strategies

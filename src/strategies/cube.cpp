@@ -1,0 +1,92 @@
+#include "strategies/cube.h"
+
+#include <stdexcept>
+
+#include "net/topologies.h"
+
+namespace mm::strategies {
+
+hypercube_strategy::hypercube_strategy(int d, int post_varies)
+    : d_{d}, post_varies_{post_varies} {
+    if (d < 1 || d > 24) throw std::invalid_argument{"hypercube_strategy: need 1 <= d <= 24"};
+    if (post_varies_ < 0) post_varies_ = (d + 1) / 2;
+    if (post_varies_ > d) throw std::invalid_argument{"hypercube_strategy: bad split"};
+}
+
+std::string hypercube_strategy::name() const {
+    return "hypercube(d=" + std::to_string(d_) + ",h=" + std::to_string(post_varies_) + ")";
+}
+
+core::node_set hypercube_strategy::post_set(net::node_id server) const {
+    if (server < 0 || server >= node_count()) throw std::out_of_range{"hypercube: bad server"};
+    // Keep the high d-h bits of the server, vary the low h bits.
+    const net::node_id high = server & ~((net::node_id{1} << post_varies_) - 1);
+    core::node_set out;
+    out.reserve(std::size_t{1} << post_varies_);
+    for (net::node_id low = 0; low < (net::node_id{1} << post_varies_); ++low)
+        out.push_back(high | low);
+    return out;  // ascending by construction
+}
+
+core::node_set hypercube_strategy::query_set(net::node_id client) const {
+    if (client < 0 || client >= node_count()) throw std::out_of_range{"hypercube: bad client"};
+    // Keep the low h bits of the client, vary the high d-h bits.
+    const net::node_id low = client & ((net::node_id{1} << post_varies_) - 1);
+    const int high_bits = d_ - post_varies_;
+    core::node_set out;
+    out.reserve(std::size_t{1} << high_bits);
+    for (net::node_id high = 0; high < (net::node_id{1} << high_bits); ++high)
+        out.push_back((high << post_varies_) | low);
+    return out;
+}
+
+net::node_id hypercube_strategy::rendezvous_of(net::node_id server, net::node_id client) const {
+    const net::node_id low_mask = (net::node_id{1} << post_varies_) - 1;
+    return (server & ~low_mask) | (client & low_mask);
+}
+
+ccc_strategy::ccc_strategy(int d, int corner_varies) : d_{d}, corner_varies_{corner_varies} {
+    if (d < 2 || d > 20) throw std::invalid_argument{"ccc_strategy: need 2 <= d <= 20"};
+    if (corner_varies_ < 0) {
+        // Minimize d * (2^h + 2^(d-h)) over h; symmetric, optimum at d/2.
+        corner_varies_ = (d + 1) / 2;
+    }
+    if (corner_varies_ > d) throw std::invalid_argument{"ccc_strategy: bad split"};
+}
+
+std::string ccc_strategy::name() const {
+    return "ccc(d=" + std::to_string(d_) + ",h=" + std::to_string(corner_varies_) + ")";
+}
+
+core::node_set ccc_strategy::corners_fanned(std::uint32_t base, int low_bits,
+                                            bool vary_low) const {
+    // Enumerate corners that agree with `base` outside the varied range and
+    // include every cycle position of each such corner.  The corner address
+    // is split into `low_bits` low bits and d - low_bits high bits; posts
+    // vary the low part, queries vary the high part.
+    const std::uint32_t low_mask = (std::uint32_t{1} << low_bits) - 1;
+    const int varied = vary_low ? low_bits : d_ - low_bits;
+    core::node_set out;
+    out.reserve((std::size_t{1} << varied) * static_cast<std::size_t>(d_));
+    for (std::uint32_t w = 0; w < (std::uint32_t{1} << varied); ++w) {
+        const std::uint32_t corner = vary_low ? ((base & ~low_mask) | w)
+                                              : ((w << low_bits) | (base & low_mask));
+        for (int p = 0; p < d_; ++p) out.push_back(net::ccc_index(d_, p, corner));
+    }
+    core::normalize_set(out);
+    return out;
+}
+
+core::node_set ccc_strategy::post_set(net::node_id server) const {
+    if (server < 0 || server >= node_count()) throw std::out_of_range{"ccc: bad server"};
+    const std::uint32_t corner = net::ccc_corner(d_, server);
+    return corners_fanned(corner, corner_varies_, /*vary_low=*/true);
+}
+
+core::node_set ccc_strategy::query_set(net::node_id client) const {
+    if (client < 0 || client >= node_count()) throw std::out_of_range{"ccc: bad client"};
+    const std::uint32_t corner = net::ccc_corner(d_, client);
+    return corners_fanned(corner, corner_varies_, /*vary_low=*/false);
+}
+
+}  // namespace mm::strategies

@@ -1,0 +1,63 @@
+// cube.h - binary d-cubes (Example 6, Section 3.2) and cube-connected
+// cycles (Section 3.3).
+//
+// Hypercube: a server at address s posts in the subcube that varies the low
+// `post_varies` bits and keeps the high bits of s; a client at c queries the
+// subcube that keeps the low bits of c and varies the rest.  The unique
+// rendezvous is (high bits of s | low bits of c).  With post_varies = d/2
+// both sets have sqrt(n) nodes and m(n) = 2*sqrt(n).  Other splits give the
+// paper's "relative immobility of servers" trade-off (epsilon*d split).
+//
+// CCC(d): the same corner-splitting idea, with posts and queries fanned out
+// over all d cycle positions of each selected corner.  Rendezvous sets are
+// whole d-cycles, so a match survives d-1 faults per corner; addressed nodes
+// total d*(2^h + 2^(d-h)) >= 2*sqrt(n*log n) for n = d*2^d.
+#pragma once
+
+#include "core/strategy.h"
+
+namespace mm::strategies {
+
+class hypercube_strategy final : public core::shotgun_strategy {
+public:
+    // post_varies = number of low bits P varies; -1 picks d/2 (rounded up).
+    explicit hypercube_strategy(int d, int post_varies = -1);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] net::node_id node_count() const override { return net::node_id{1} << d_; }
+    [[nodiscard]] core::node_set post_set(net::node_id server) const override;
+    [[nodiscard]] core::node_set query_set(net::node_id client) const override;
+
+    [[nodiscard]] net::node_id rendezvous_of(net::node_id server, net::node_id client) const;
+    [[nodiscard]] int dimension() const noexcept { return d_; }
+    [[nodiscard]] int post_varies() const noexcept { return post_varies_; }
+
+private:
+    int d_;
+    int post_varies_;
+};
+
+class ccc_strategy final : public core::shotgun_strategy {
+public:
+    // corner_varies = low corner bits P varies; -1 minimizes addressed nodes.
+    explicit ccc_strategy(int d, int corner_varies = -1);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] net::node_id node_count() const override {
+        return static_cast<net::node_id>(d_) * (net::node_id{1} << d_);
+    }
+    [[nodiscard]] core::node_set post_set(net::node_id server) const override;
+    [[nodiscard]] core::node_set query_set(net::node_id client) const override;
+
+    [[nodiscard]] int dimension() const noexcept { return d_; }
+    [[nodiscard]] int corner_varies() const noexcept { return corner_varies_; }
+
+private:
+    int d_;
+    int corner_varies_;
+
+    [[nodiscard]] core::node_set corners_fanned(std::uint32_t base, int varied_low_bits,
+                                                bool vary_low) const;
+};
+
+}  // namespace mm::strategies

@@ -1,0 +1,69 @@
+#include "strategies/grid.h"
+
+#include <stdexcept>
+
+namespace mm::strategies {
+
+manhattan_strategy::manhattan_strategy(net::node_id rows, net::node_id cols)
+    : rows_{rows}, cols_{cols} {
+    if (rows < 1 || cols < 1) throw std::invalid_argument{"manhattan_strategy: bad shape"};
+}
+
+std::string manhattan_strategy::name() const {
+    return "manhattan(" + std::to_string(rows_) + "x" + std::to_string(cols_) + ")";
+}
+
+core::node_set manhattan_strategy::post_set(net::node_id server) const {
+    if (server < 0 || server >= node_count()) throw std::out_of_range{"manhattan: bad server"};
+    const net::node_id row = server / cols_;
+    core::node_set out;
+    out.reserve(static_cast<std::size_t>(cols_));
+    for (net::node_id c = 0; c < cols_; ++c) out.push_back(row * cols_ + c);
+    return out;  // already sorted
+}
+
+core::node_set manhattan_strategy::query_set(net::node_id client) const {
+    if (client < 0 || client >= node_count()) throw std::out_of_range{"manhattan: bad client"};
+    const net::node_id col = client % cols_;
+    core::node_set out;
+    out.reserve(static_cast<std::size_t>(rows_));
+    for (net::node_id r = 0; r < rows_; ++r) out.push_back(r * cols_ + col);
+    return out;
+}
+
+net::node_id manhattan_strategy::rendezvous_of(net::node_id server, net::node_id client) const {
+    return (server / cols_) * cols_ + client % cols_;
+}
+
+mesh_strategy::mesh_strategy(net::mesh_shape shape, int post_axis, int query_axis)
+    : shape_{std::move(shape)}, post_axis_{post_axis}, query_axis_{query_axis} {
+    if (shape_.dimensions() == 1) query_axis_ = 0;
+    if (post_axis_ < 0 || post_axis_ >= shape_.dimensions() || query_axis_ < 0 ||
+        query_axis_ >= shape_.dimensions())
+        throw std::invalid_argument{"mesh_strategy: bad axis"};
+    if (shape_.dimensions() > 1 && post_axis_ == query_axis_)
+        throw std::invalid_argument{"mesh_strategy: post and query axes must differ"};
+}
+
+std::string mesh_strategy::name() const {
+    return "mesh(d=" + std::to_string(shape_.dimensions()) + ")";
+}
+
+core::node_set mesh_strategy::hyperplane(int axis, net::node_id fixed_value) const {
+    core::node_set out;
+    for (net::node_id v = 0; v < shape_.node_count(); ++v)
+        if (shape_.coords(v)[static_cast<std::size_t>(axis)] == fixed_value) out.push_back(v);
+    return out;  // ascending by construction
+}
+
+core::node_set mesh_strategy::post_set(net::node_id server) const {
+    const auto c = shape_.coords(server);
+    return hyperplane(post_axis_, c[static_cast<std::size_t>(post_axis_)]);
+}
+
+core::node_set mesh_strategy::query_set(net::node_id client) const {
+    const auto c = shape_.coords(client);
+    return hyperplane(query_axis_, c[static_cast<std::size_t>(query_axis_)]);
+}
+
+}  // namespace mm::strategies

@@ -1,0 +1,55 @@
+// grid.h - Manhattan networks (Section 3.1) and d-dimensional meshes.
+//
+// "Post availability of a service along its row and request a service along
+// the column the client is on."  The rendezvous node for server (r, .) and
+// client (., c) is grid point (r, c).  The obvious generalization to
+// d-dimensional meshes posts on the hyperplane fixing the server's first
+// coordinate and queries on the hyperplane fixing the client's second
+// coordinate, giving m(n) = 2 * n^((d-1)/d) message passes; for d > 2 the
+// rendezvous sets are whole (d-2)-dimensional subgrids, which is exactly the
+// redundancy Section 2.4 asks for.
+#pragma once
+
+#include "core/strategy.h"
+#include "net/topologies.h"
+
+namespace mm::strategies {
+
+// Rows x cols Manhattan grid: P = the server's row, Q = the client's column.
+class manhattan_strategy final : public core::shotgun_strategy {
+public:
+    manhattan_strategy(net::node_id rows, net::node_id cols);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] net::node_id node_count() const override { return rows_ * cols_; }
+    [[nodiscard]] core::node_set post_set(net::node_id server) const override;
+    [[nodiscard]] core::node_set query_set(net::node_id client) const override;
+
+    [[nodiscard]] net::node_id rendezvous_of(net::node_id server, net::node_id client) const;
+
+private:
+    net::node_id rows_;
+    net::node_id cols_;
+};
+
+// d-dimensional mesh: P fixes coordinate `post_axis` (default 0) at the
+// server's value, Q fixes coordinate `query_axis` (default 1, or 0 for 1-d)
+// at the client's value.
+class mesh_strategy final : public core::shotgun_strategy {
+public:
+    explicit mesh_strategy(net::mesh_shape shape, int post_axis = 0, int query_axis = 1);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] net::node_id node_count() const override { return shape_.node_count(); }
+    [[nodiscard]] core::node_set post_set(net::node_id server) const override;
+    [[nodiscard]] core::node_set query_set(net::node_id client) const override;
+
+private:
+    net::mesh_shape shape_;
+    int post_axis_;
+    int query_axis_;
+
+    [[nodiscard]] core::node_set hyperplane(int axis, net::node_id fixed_value) const;
+};
+
+}  // namespace mm::strategies

@@ -1,0 +1,53 @@
+#include "strategies/hash_locate.h"
+
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace mm::strategies {
+
+hash_locate_strategy::hash_locate_strategy(net::node_id n, int replicas, int rehash_attempt)
+    : n_{n}, replicas_{replicas}, rehash_attempt_{rehash_attempt} {
+    if (n < 1) throw std::invalid_argument{"hash_locate_strategy: need n >= 1"};
+    if (replicas < 1 || replicas > n)
+        throw std::invalid_argument{"hash_locate_strategy: need 1 <= replicas <= n"};
+    if (rehash_attempt < 0) throw std::invalid_argument{"hash_locate_strategy: bad attempt"};
+}
+
+std::string hash_locate_strategy::name() const {
+    return "hash(r=" + std::to_string(replicas_) + ")";
+}
+
+net::node_id hash_locate_strategy::rendezvous_node(core::port_id port, int h) const {
+    // Distinct hash indices map a port to a pseudorandom permutation-like
+    // sequence; double hashing keeps consecutive values distinct for n > 1.
+    const std::uint64_t base = sim::splitmix64(port);
+    const std::uint64_t step = sim::splitmix64(port ^ 0xabcdef1234567890ULL) %
+                                   static_cast<std::uint64_t>(n_ > 1 ? n_ - 1 : 1) +
+                               1;
+    return static_cast<net::node_id>((base + static_cast<std::uint64_t>(h) * step) %
+                                     static_cast<std::uint64_t>(n_));
+}
+
+core::node_set hash_locate_strategy::post_set(net::node_id server, core::port_id port) const {
+    if (server < 0 || server >= n_) throw std::out_of_range{"hash_locate: bad server"};
+    core::node_set out;
+    out.reserve(static_cast<std::size_t>(replicas_));
+    for (int h = 0; h < replicas_; ++h)
+        out.push_back(rendezvous_node(port, rehash_attempt_ + h));
+    core::normalize_set(out);
+    return out;
+}
+
+core::node_set hash_locate_strategy::query_set(net::node_id client, core::port_id port) const {
+    if (client < 0 || client >= n_) throw std::out_of_range{"hash_locate: bad client"};
+    // P = Q by construction (Section 5).
+    core::node_set out;
+    out.reserve(static_cast<std::size_t>(replicas_));
+    for (int h = 0; h < replicas_; ++h)
+        out.push_back(rendezvous_node(port, rehash_attempt_ + h));
+    core::normalize_set(out);
+    return out;
+}
+
+}  // namespace mm::strategies

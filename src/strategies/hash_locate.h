@@ -1,0 +1,42 @@
+// hash_locate.h - Hash Locate (Section 5).
+//
+// "In Hash Locate we construct hash functions that map service names onto
+// network addresses.  That is, P, Q: Pi -> 2^U and P = Q. ... clients and
+// servers need only use one network node each in every match-making."  The
+// price is fragility: "if all rendez-vous nodes for a particular service
+// crash then this takes out completely that particular service from the
+// entire network."  Both mitigations of the paper are implemented:
+// replication (hash onto r addresses) and rehashing (attempt index shifts
+// the hash to a backup rendezvous node when the primary is down).
+#pragma once
+
+#include "core/strategy.h"
+
+namespace mm::strategies {
+
+class hash_locate_strategy final : public core::locate_strategy {
+public:
+    // replicas: how many distinct nodes each port hashes onto (>= 1).
+    // rehash_attempt: shifts the whole hash sequence; attempt a uses hash
+    // indices [a, a + replicas).
+    explicit hash_locate_strategy(net::node_id n, int replicas = 1, int rehash_attempt = 0);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] net::node_id node_count() const override { return n_; }
+    [[nodiscard]] core::node_set post_set(net::node_id server, core::port_id port) const override;
+    [[nodiscard]] core::node_set query_set(net::node_id client, core::port_id port) const override;
+
+    // The h-th rendezvous node for a port (h = 0, 1, ...): a deterministic,
+    // well-spread sequence with no two equal consecutive values for n > 1.
+    [[nodiscard]] net::node_id rendezvous_node(core::port_id port, int h) const;
+
+    [[nodiscard]] int replicas() const noexcept { return replicas_; }
+    [[nodiscard]] int rehash_attempt() const noexcept { return rehash_attempt_; }
+
+private:
+    net::node_id n_;
+    int replicas_;
+    int rehash_attempt_;
+};
+
+}  // namespace mm::strategies

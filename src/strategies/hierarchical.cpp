@@ -1,0 +1,59 @@
+#include "strategies/hierarchical.h"
+
+#include <stdexcept>
+
+#include "strategies/checker_util.h"
+
+namespace mm::strategies {
+
+hierarchical_strategy::hierarchical_strategy(net::hierarchy h) : hierarchy_{std::move(h)} {}
+
+std::string hierarchical_strategy::name() const {
+    return "hierarchical(k=" + std::to_string(hierarchy_.levels()) + ")";
+}
+
+core::node_set hierarchical_strategy::level_post_set(net::node_id server, int level) const {
+    if (level < 1 || level > hierarchy_.levels())
+        throw std::out_of_range{"hierarchical_strategy: bad level"};
+    const int cluster = hierarchy_.cluster_of(level, server);
+    const auto pool = hierarchy_.gateways(level, cluster);
+    const int width = balanced_checker_width(static_cast<int>(pool.size()));
+    return checker_post(pool, hierarchy_.child_index(level, server), width);
+}
+
+core::node_set hierarchical_strategy::level_query_set(net::node_id client, int level) const {
+    if (level < 1 || level > hierarchy_.levels())
+        throw std::out_of_range{"hierarchical_strategy: bad level"};
+    const int cluster = hierarchy_.cluster_of(level, client);
+    const auto pool = hierarchy_.gateways(level, cluster);
+    const int width = balanced_checker_width(static_cast<int>(pool.size()));
+    return checker_query(pool, hierarchy_.child_index(level, client), width);
+}
+
+core::node_set hierarchical_strategy::post_set(net::node_id server) const {
+    core::node_set out;
+    for (int level = 1; level <= hierarchy_.levels(); ++level) {
+        const auto level_set = level_post_set(server, level);
+        out.insert(out.end(), level_set.begin(), level_set.end());
+    }
+    core::normalize_set(out);
+    return out;
+}
+
+core::node_set hierarchical_strategy::query_set(net::node_id client) const {
+    core::node_set out;
+    for (int level = 1; level <= hierarchy_.levels(); ++level) {
+        const auto level_set = level_query_set(client, level);
+        out.insert(out.end(), level_set.begin(), level_set.end());
+    }
+    core::normalize_set(out);
+    return out;
+}
+
+int hierarchical_strategy::meeting_level(net::node_id a, net::node_id b) const {
+    for (int level = 1; level <= hierarchy_.levels(); ++level)
+        if (hierarchy_.cluster_of(level, a) == hierarchy_.cluster_of(level, b)) return level;
+    throw std::logic_error{"hierarchical_strategy: nodes share no cluster"};
+}
+
+}  // namespace mm::strategies

@@ -1,0 +1,43 @@
+// hierarchical.h - match-making in network hierarchies (Section 3.5).
+//
+// "A server posts its (port, address) by selecting sqrt(n_i) gateways,
+// connecting level i-1 networks in a level i network, at each level i of
+// the hierarchy, on a path from its host node to the highest level network."
+// Clients do the same with queries; the rendezvous happens (at least) in the
+// lowest cluster containing both, so m(n) = O(sum_i sqrt(n_i)).  With k
+// levels of fanout a (n = a^k) this is O(k*sqrt(a)) = O(k * n^(1/2k)),
+// minimized at k = (1/2)*log n where m(n) = O(log n).
+//
+// Gateway selection within one level's gateway pool reuses the checkerboard
+// row/column trick, so a level rendezvous is guaranteed, not just expected.
+#pragma once
+
+#include "core/strategy.h"
+#include "net/hierarchy.h"
+
+namespace mm::strategies {
+
+class hierarchical_strategy final : public core::shotgun_strategy {
+public:
+    explicit hierarchical_strategy(net::hierarchy h);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] net::node_id node_count() const override { return hierarchy_.node_count(); }
+    [[nodiscard]] core::node_set post_set(net::node_id server) const override;
+    [[nodiscard]] core::node_set query_set(net::node_id client) const override;
+
+    // Per-level sets, for the staged "local locate first" of Section 3.5:
+    // the runtime queries level 1, then level 2, ... until a hit.
+    [[nodiscard]] core::node_set level_post_set(net::node_id server, int level) const;
+    [[nodiscard]] core::node_set level_query_set(net::node_id client, int level) const;
+
+    // The level at which server and client first share a cluster (1-based).
+    [[nodiscard]] int meeting_level(net::node_id a, net::node_id b) const;
+
+    [[nodiscard]] const net::hierarchy& structure() const noexcept { return hierarchy_; }
+
+private:
+    net::hierarchy hierarchy_;
+};
+
+}  // namespace mm::strategies

@@ -1,0 +1,34 @@
+#include "strategies/partition_strategy.h"
+
+#include <stdexcept>
+
+namespace mm::strategies {
+
+partition_strategy::partition_strategy(net::graph_partition partition)
+    : partition_{std::move(partition)} {
+    if (partition_.label_count < 1)
+        throw std::invalid_argument{"partition_strategy: empty partition"};
+    by_label_.reserve(static_cast<std::size_t>(partition_.label_count));
+    for (int label = 0; label < partition_.label_count; ++label)
+        by_label_.push_back(partition_.nodes_with_label(label));  // sorted covering nodes
+}
+
+std::string partition_strategy::name() const {
+    return "partition(parts=" + std::to_string(partition_.part_count()) + ")";
+}
+
+core::node_set partition_strategy::post_set(net::node_id server) const {
+    if (server < 0 || server >= node_count())
+        throw std::out_of_range{"partition_strategy: bad server"};
+    return by_label_[static_cast<std::size_t>(
+        partition_.label_of[static_cast<std::size_t>(server)])];
+}
+
+core::node_set partition_strategy::query_set(net::node_id client) const {
+    if (client < 0 || client >= node_count())
+        throw std::out_of_range{"partition_strategy: bad client"};
+    return partition_.parts[static_cast<std::size_t>(
+        partition_.part_of[static_cast<std::size_t>(client)])];
+}
+
+}  // namespace mm::strategies

@@ -1,0 +1,43 @@
+// partition_strategy.h - the generic scheme for arbitrary connected
+// networks (Section 3, opening).
+//
+// "A server at the node labelled i in one of the subgraphs communicates its
+// (port, address) to all nodes i in the remaining O(sqrt(n)) subgraphs ...
+// A client broadcasts for a service (along a spanning tree) in the subgraph
+// where it resides."  Every part covers every label (small parts wrap
+// labels around - the paper's "divide the excess numbers over the nodes"),
+// so the client's own part always contains a covering node for the
+// server's label.  Posting costs O(n) routed message passes, querying at
+// most ~2*sqrt(n) (parts are size-capped), and caches stay near
+// O(sqrt(n)), inflated only on wrap-around nodes of small parts.
+#pragma once
+
+#include "core/strategy.h"
+#include "net/partition.h"
+
+namespace mm::strategies {
+
+class partition_strategy final : public core::shotgun_strategy {
+public:
+    // The partition must come from partition_connected() (or satisfy its
+    // invariants: connected parts, complete label sets).
+    explicit partition_strategy(net::graph_partition partition);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] net::node_id node_count() const override {
+        return static_cast<net::node_id>(partition_.part_of.size());
+    }
+    // The covering node of the server's label in every part (own part
+    // included, which only helps locality).
+    [[nodiscard]] core::node_set post_set(net::node_id server) const override;
+    // The client's whole part.
+    [[nodiscard]] core::node_set query_set(net::node_id client) const override;
+
+    [[nodiscard]] const net::graph_partition& partition() const noexcept { return partition_; }
+
+private:
+    net::graph_partition partition_;
+    std::vector<core::node_set> by_label_;  // label -> sorted nodes
+};
+
+}  // namespace mm::strategies

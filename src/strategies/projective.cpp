@@ -1,0 +1,53 @@
+#include "strategies/projective.h"
+
+#include <stdexcept>
+
+namespace mm::strategies {
+
+projective_strategy::projective_strategy(int order, int post_line_selector,
+                                         int query_line_selector, int line_redundancy)
+    : plane_{std::make_shared<net::projective_plane>(order)},
+      post_selector_{post_line_selector},
+      query_selector_{query_line_selector},
+      redundancy_{line_redundancy} {
+    if (redundancy_ < 1 || redundancy_ > order + 1)
+        throw std::invalid_argument{"projective_strategy: bad line redundancy"};
+}
+
+std::string projective_strategy::name() const {
+    std::string s = "projective(k=" + std::to_string(plane_->order());
+    if (redundancy_ > 1) s += ",r=" + std::to_string(redundancy_);
+    return s + ")";
+}
+
+int projective_strategy::post_line(net::node_id server) const {
+    const auto lines = plane_->lines_through_point(server);
+    return lines[static_cast<std::size_t>(post_selector_) % lines.size()];
+}
+
+int projective_strategy::query_line(net::node_id client) const {
+    const auto lines = plane_->lines_through_point(client);
+    return lines[static_cast<std::size_t>(query_selector_) % lines.size()];
+}
+
+core::node_set projective_strategy::lines_union(net::node_id node, int first_selector) const {
+    const auto lines = plane_->lines_through_point(node);
+    core::node_set out;
+    for (int k = 0; k < redundancy_; ++k) {
+        const int line = lines[static_cast<std::size_t>(first_selector + k) % lines.size()];
+        const auto points = plane_->points_on_line(line);
+        out.insert(out.end(), points.begin(), points.end());
+    }
+    core::normalize_set(out);
+    return out;
+}
+
+core::node_set projective_strategy::post_set(net::node_id server) const {
+    return lines_union(server, post_selector_);
+}
+
+core::node_set projective_strategy::query_set(net::node_id client) const {
+    return lines_union(client, query_selector_);
+}
+
+}  // namespace mm::strategies

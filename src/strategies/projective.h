@@ -1,0 +1,51 @@
+// projective.h - match-making on projective plane topologies (Section 3.4).
+//
+// "A server s posts its (port, address) to all nodes on an arbitrary line
+// incident on its host node.  A client c queries all nodes on an arbitrary
+// line incident on its own host node.  The common node of the two lines is
+// the rendez-vous node."  m(n) = 2(k+1) ~ 2*sqrt(n) for n = k^2 + k + 1,
+// and the scheme is "resistant to failures of lines, provided no point has
+// all lines passing through it removed" - the line selectors below rotate
+// to implement exactly that.
+#pragma once
+
+#include <memory>
+
+#include "core/strategy.h"
+#include "net/projective_plane.h"
+
+namespace mm::strategies {
+
+class projective_strategy final : public core::shotgun_strategy {
+public:
+    // order must be a prime power; line selectors pick which of the k+1
+    // incident lines a node uses (rotated on retry for fault tolerance).
+    // line_redundancy makes servers post on - and clients query - that many
+    // consecutive incident lines, giving #(P n Q) >= redundancy^2 shared
+    // points (Section 2.4's #(P n Q) >= f+1 criterion).
+    explicit projective_strategy(int order, int post_line_selector = 0,
+                                 int query_line_selector = 0, int line_redundancy = 1);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] net::node_id node_count() const override { return plane_->point_count(); }
+    [[nodiscard]] core::node_set post_set(net::node_id server) const override;
+    [[nodiscard]] core::node_set query_set(net::node_id client) const override;
+
+    [[nodiscard]] const net::projective_plane& plane() const noexcept { return *plane_; }
+
+    // The line index a given node would use.
+    [[nodiscard]] int post_line(net::node_id server) const;
+    [[nodiscard]] int query_line(net::node_id client) const;
+
+    [[nodiscard]] int line_redundancy() const noexcept { return redundancy_; }
+
+private:
+    std::shared_ptr<const net::projective_plane> plane_;
+    int post_selector_;
+    int query_selector_;
+    int redundancy_;
+
+    [[nodiscard]] core::node_set lines_union(net::node_id node, int first_selector) const;
+};
+
+}  // namespace mm::strategies

@@ -1,0 +1,49 @@
+#include "strategies/random_strategy.h"
+
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace mm::strategies {
+
+random_strategy::random_strategy(net::node_id n, int post_size, int query_size,
+                                 std::uint64_t seed)
+    : n_{n}, post_size_{post_size}, query_size_{query_size}, seed_{seed} {
+    if (n < 1) throw std::invalid_argument{"random_strategy: need n >= 1"};
+    if (post_size < 0 || post_size > n || query_size < 0 || query_size > n)
+        throw std::invalid_argument{"random_strategy: set sizes must be in [0, n]"};
+}
+
+std::string random_strategy::name() const {
+    return "random(p=" + std::to_string(post_size_) + ",q=" + std::to_string(query_size_) + ")";
+}
+
+core::node_set random_strategy::sample(std::uint64_t stream, int count) const {
+    // Partial Fisher-Yates over 0..n-1, deterministic per (seed, stream).
+    std::mt19937_64 rng{sim::splitmix64(seed_ ^ sim::splitmix64(stream))};
+    std::vector<net::node_id> pool(static_cast<std::size_t>(n_));
+    std::iota(pool.begin(), pool.end(), net::node_id{0});
+    core::node_set out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        std::uniform_int_distribution<net::node_id> pick{static_cast<net::node_id>(i), n_ - 1};
+        std::swap(pool[static_cast<std::size_t>(i)], pool[static_cast<std::size_t>(pick(rng))]);
+        out.push_back(pool[static_cast<std::size_t>(i)]);
+    }
+    core::normalize_set(out);
+    return out;
+}
+
+core::node_set random_strategy::post_set(net::node_id server) const {
+    if (server < 0 || server >= n_) throw std::out_of_range{"random_strategy: bad server"};
+    return sample(static_cast<std::uint64_t>(server) * 2 + 0, post_size_);
+}
+
+core::node_set random_strategy::query_set(net::node_id client) const {
+    if (client < 0 || client >= n_) throw std::out_of_range{"random_strategy: bad client"};
+    return sample(static_cast<std::uint64_t>(client) * 2 + 1, query_size_);
+}
+
+}  // namespace mm::strategies

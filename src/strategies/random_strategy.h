@@ -1,0 +1,36 @@
+// random_strategy.h - randomly chosen P and Q sets (Section 2.2).
+//
+// "If the elements of P(i) and Q(j) are randomly chosen then ... the
+// expected size of P(i) n Q(j) is pq/n.  Therefore, to expect one full node
+// in P(i) n Q(j), we must have p + q >= 2*sqrt(n)."  This strategy draws,
+// deterministically from a seed, a fixed random p-subset per server node and
+// q-subset per client node; it is the experimental subject of the paper's
+// probabilistic analysis and the baseline the deterministic constructions
+// beat (they succeed always, not just in expectation).
+#pragma once
+
+#include <cstdint>
+
+#include "core/strategy.h"
+
+namespace mm::strategies {
+
+class random_strategy final : public core::shotgun_strategy {
+public:
+    random_strategy(net::node_id n, int post_size, int query_size, std::uint64_t seed);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] net::node_id node_count() const override { return n_; }
+    [[nodiscard]] core::node_set post_set(net::node_id server) const override;
+    [[nodiscard]] core::node_set query_set(net::node_id client) const override;
+
+private:
+    net::node_id n_;
+    int post_size_;
+    int query_size_;
+    std::uint64_t seed_;
+
+    [[nodiscard]] core::node_set sample(std::uint64_t stream, int count) const;
+};
+
+}  // namespace mm::strategies

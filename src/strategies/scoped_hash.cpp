@@ -1,0 +1,68 @@
+#include "strategies/scoped_hash.h"
+
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace mm::strategies {
+
+scoped_hash_strategy::scoped_hash_strategy(net::hierarchy h, int default_scope,
+                                           std::function<int(core::port_id)> scope_of,
+                                           int replicas)
+    : hierarchy_{std::move(h)},
+      default_scope_{default_scope},
+      scope_of_{std::move(scope_of)},
+      replicas_{replicas} {
+    if (default_scope_ == 0) default_scope_ = hierarchy_.levels();
+    if (default_scope_ < 1 || default_scope_ > hierarchy_.levels())
+        throw std::invalid_argument{"scoped_hash_strategy: bad default scope"};
+    if (replicas_ < 1) throw std::invalid_argument{"scoped_hash_strategy: bad replicas"};
+}
+
+std::string scoped_hash_strategy::name() const {
+    return "scoped-hash(levels=" + std::to_string(hierarchy_.levels()) + ")";
+}
+
+int scoped_hash_strategy::scope(core::port_id port) const {
+    int level = default_scope_;
+    if (scope_of_) level = scope_of_(port);
+    if (level < 1 || level > hierarchy_.levels())
+        throw std::out_of_range{"scoped_hash_strategy: port scope out of range"};
+    return level;
+}
+
+core::node_set scoped_hash_strategy::rendezvous_nodes(net::node_id from,
+                                                      core::port_id port) const {
+    const int level = scope(port);
+    const int cluster = hierarchy_.cluster_of(level, from);
+    const net::node_id size = hierarchy_.cluster_size(level);
+    const net::node_id base = static_cast<net::node_id>(cluster) * size;
+    core::node_set out;
+    out.reserve(static_cast<std::size_t>(replicas_));
+    // Double hashing within the cluster, like hash_locate_strategy.
+    const std::uint64_t h0 = sim::splitmix64(port);
+    const std::uint64_t step =
+        sim::splitmix64(port ^ 0xabcdef1234567890ULL) %
+            static_cast<std::uint64_t>(size > 1 ? size - 1 : 1) +
+        1;
+    for (int k = 0; k < replicas_; ++k)
+        out.push_back(base + static_cast<net::node_id>(
+                                 (h0 + static_cast<std::uint64_t>(k) * step) %
+                                 static_cast<std::uint64_t>(size)));
+    core::normalize_set(out);
+    return out;
+}
+
+core::node_set scoped_hash_strategy::post_set(net::node_id server, core::port_id port) const {
+    if (server < 0 || server >= node_count())
+        throw std::out_of_range{"scoped_hash_strategy: bad server"};
+    return rendezvous_nodes(server, port);
+}
+
+core::node_set scoped_hash_strategy::query_set(net::node_id client, core::port_id port) const {
+    if (client < 0 || client >= node_count())
+        throw std::out_of_range{"scoped_hash_strategy: bad client"};
+    return rendezvous_nodes(client, port);
+}
+
+}  // namespace mm::strategies

@@ -1,0 +1,53 @@
+// scoped_hash.h - locality-scoped Hash Locate (Section 5, opening, and the
+// Amoeba discussion of Section 3.5).
+//
+// "If we are dealing with a very large network, where it is advantageous to
+// have servers and clients look for nearby matches, we can hash a service
+// onto nodes in neighborhoods.  A neighborhood can be a local network, but
+// also the network connecting the local networks, and so on...  such
+// functions can be used to implement the idea of certain services being
+// local and others being more global, thus balancing the processing load
+// more evenly over the hosts at each level of the network hierarchy."
+//
+// Each port carries a *scope level*: level-1 services hash onto a node
+// inside the caller's own lowest-level cluster (the per-host "Operating
+// System Service" of Amoeba), level-k services onto a node of the whole
+// network.  Clients outside a service's scope cluster cannot see it - by
+// design, that is the access restriction Amoeba wanted.
+#pragma once
+
+#include <functional>
+
+#include "core/strategy.h"
+#include "net/hierarchy.h"
+
+namespace mm::strategies {
+
+class scoped_hash_strategy final : public core::locate_strategy {
+public:
+    // scope_of maps a port to its visibility level in [1, h.levels()];
+    // default_scope is used when scope_of is empty.  replicas = number of
+    // rendezvous nodes per (cluster, port).
+    scoped_hash_strategy(net::hierarchy h, int default_scope = 0,
+                         std::function<int(core::port_id)> scope_of = {}, int replicas = 1);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] net::node_id node_count() const override { return hierarchy_.node_count(); }
+    [[nodiscard]] core::node_set post_set(net::node_id server, core::port_id port) const override;
+    [[nodiscard]] core::node_set query_set(net::node_id client, core::port_id port) const override;
+
+    // The scope level used for a port.
+    [[nodiscard]] int scope(core::port_id port) const;
+
+    // The rendezvous nodes for `port` as seen from `from`: `replicas`
+    // hash-chosen nodes inside from's scope-level cluster.
+    [[nodiscard]] core::node_set rendezvous_nodes(net::node_id from, core::port_id port) const;
+
+private:
+    net::hierarchy hierarchy_;
+    int default_scope_;
+    std::function<int(core::port_id)> scope_of_;
+    int replicas_;
+};
+
+}  // namespace mm::strategies

@@ -1,0 +1,67 @@
+#include "strategies/tree_path.h"
+
+#include <stdexcept>
+
+#include "net/topologies.h"
+
+namespace mm::strategies {
+
+tree_path_strategy::tree_path_strategy(std::vector<net::node_id> parent, bool include_self)
+    : parent_{std::move(parent)}, include_self_{include_self} {
+    if (parent_.empty()) throw std::invalid_argument{"tree_path_strategy: empty tree"};
+    for (net::node_id v = 0; v < node_count(); ++v) {
+        if (parent_[static_cast<std::size_t>(v)] == net::invalid_node) {
+            if (root_ != net::invalid_node)
+                throw std::invalid_argument{"tree_path_strategy: multiple roots"};
+            root_ = v;
+        }
+    }
+    if (root_ == net::invalid_node) throw std::invalid_argument{"tree_path_strategy: no root"};
+    depth_ = net::tree_depths(parent_);
+}
+
+std::string tree_path_strategy::name() const {
+    return include_self_ ? "tree-path(self)" : "tree-path(strict)";
+}
+
+int tree_path_strategy::depth_of(net::node_id v) const {
+    if (v < 0 || v >= node_count()) throw std::out_of_range{"tree_path_strategy::depth_of"};
+    return depth_[static_cast<std::size_t>(v)];
+}
+
+core::node_set tree_path_strategy::path_up(net::node_id v) const {
+    if (v < 0 || v >= node_count()) throw std::out_of_range{"tree_path_strategy: bad node"};
+    core::node_set out;
+    net::node_id u = include_self_ ? v : parent_[static_cast<std::size_t>(v)];
+    while (u != net::invalid_node) {
+        out.push_back(u);
+        u = parent_[static_cast<std::size_t>(u)];
+    }
+    if (out.empty()) out.push_back(v);  // strict variant: the root posts at itself
+    core::normalize_set(out);
+    return out;
+}
+
+core::node_set tree_path_strategy::post_set(net::node_id server) const { return path_up(server); }
+
+core::node_set tree_path_strategy::query_set(net::node_id client) const { return path_up(client); }
+
+net::node_id tree_path_strategy::effective_rendezvous(net::node_id server,
+                                                      net::node_id client) const {
+    const auto p = post_set(server);
+    const auto q = query_set(client);
+    // Deepest node on both upward paths.
+    net::node_id best = net::invalid_node;
+    int best_depth = -1;
+    for (net::node_id v : core::intersect_sets(p, q)) {
+        if (depth_[static_cast<std::size_t>(v)] > best_depth) {
+            best_depth = depth_[static_cast<std::size_t>(v)];
+            best = v;
+        }
+    }
+    if (best == net::invalid_node)
+        throw std::logic_error{"tree_path_strategy: no rendezvous (impossible in a tree)"};
+    return best;
+}
+
+}  // namespace mm::strategies

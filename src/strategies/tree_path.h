@@ -1,0 +1,52 @@
+// tree_path.h - path-to-root match-making in trees (Example 5, Section 3.6).
+//
+// "The strategy in such trees can be simple: all services advertise at the
+// path leading to the root of the tree, and similarly the clients request
+// services on the path to the root."  m(n) = O(l) for tree depth l; the
+// cache at a node grows with the subtree it dominates, which mirrors the
+// UUCPnet observation that core sites dedicate more memory to the network.
+//
+// Example 5's matrix arises from the strict-ancestor variant (a node's path
+// excludes itself; the root posts at itself), where the effective rendezvous
+// for (i, j) is the lowest common ancestor of i and j.
+#pragma once
+
+#include <vector>
+
+#include "core/strategy.h"
+
+namespace mm::strategies {
+
+class tree_path_strategy final : public core::shotgun_strategy {
+public:
+    // parent[v] is v's parent; exactly one root with parent == invalid_node.
+    // include_self: posts/queries start at the node itself (practical
+    // variant) instead of at its parent (Example 5's variant).
+    explicit tree_path_strategy(std::vector<net::node_id> parent, bool include_self = false);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] net::node_id node_count() const override {
+        return static_cast<net::node_id>(parent_.size());
+    }
+    [[nodiscard]] core::node_set post_set(net::node_id server) const override;
+    [[nodiscard]] core::node_set query_set(net::node_id client) const override;
+
+    // The first node where the client's query meets the server's posts when
+    // both walk upward: the LCA (in the strict variant, the LCA unless it is
+    // one of the endpoints, in which case its parent chain entry point).
+    [[nodiscard]] net::node_id effective_rendezvous(net::node_id server,
+                                                    net::node_id client) const;
+
+    [[nodiscard]] net::node_id root() const noexcept { return root_; }
+    [[nodiscard]] int depth_of(net::node_id v) const;
+
+private:
+    std::vector<net::node_id> parent_;
+    std::vector<int> depth_;
+    net::node_id root_ = net::invalid_node;
+    bool include_self_;
+
+    [[nodiscard]] core::node_set path_up(net::node_id v) const;
+};
+
+}  // namespace mm::strategies

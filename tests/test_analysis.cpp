@@ -1,0 +1,159 @@
+// Tests for the analysis subsystem: table formatting, the UUCP degree
+// table, tree-depth formulas, and Monte-Carlo verification of Section 2.2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/montecarlo.h"
+#include "analysis/table.h"
+#include "analysis/uucp.h"
+#include "net/random_graphs.h"
+#include "strategies/random_strategy.h"
+
+namespace mm::analysis {
+namespace {
+
+TEST(table_format, aligns_columns) {
+    table t{{"name", "value"}};
+    t.add_row({"alpha", "1"});
+    t.add_row({"b", "22222"});
+    const auto text = t.to_string();
+    // Cells are right-aligned to the widest entry per column.
+    EXPECT_NE(text.find("|  name | value |"), std::string::npos);
+    EXPECT_NE(text.find("| alpha |     1 |"), std::string::npos);
+    EXPECT_NE(text.find("|     b | 22222 |"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(table_format, rejects_ragged_rows) {
+    table t{{"a", "b"}};
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+    EXPECT_THROW(table{std::vector<std::string>{}}, std::invalid_argument);
+}
+
+TEST(table_format, numeric_helpers) {
+    EXPECT_EQ(table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(table::num(static_cast<std::int64_t>(42)), "42");
+    EXPECT_EQ(table::num(2.0, 0), "2");
+}
+
+TEST(uucp, totals_match_the_paper) {
+    // "The total number of sites of UUCPnet is 1916" and "the total number
+    // of edges in UUCPnet is 3848" (so the degree sum is 7696).
+    const auto& rows = uucp_degree_table();
+    EXPECT_EQ(table_site_count(rows), uucp_total_sites);
+    EXPECT_EQ(table_degree_sum(rows), 2 * static_cast<std::int64_t>(uucp_total_edges));
+}
+
+TEST(uucp, headline_rows_are_verbatim) {
+    const auto& rows = uucp_degree_table();
+    // Degree 1 (terminal sites): 840.  Degree 641: ihnp4.  Degree 0: 25.
+    const auto find = [&](int degree) {
+        for (const auto& r : rows)
+            if (r.degree == degree) return r;
+        return degree_row{};
+    };
+    EXPECT_EQ(find(0).sites, 25);
+    EXPECT_EQ(find(1).sites, 840);
+    EXPECT_EQ(find(2).sites, 384);
+    EXPECT_EQ(find(45).sites, 3);
+    EXPECT_EQ(find(471).sites, 1);
+    EXPECT_EQ(find(641).sites, 1);
+    EXPECT_FALSE(find(641).reconstructed);
+    EXPECT_TRUE(find(20).reconstructed);
+}
+
+TEST(uucp, reconstructed_rows_are_marked_and_small) {
+    int reconstructed_sites = 0;
+    for (const auto& r : uucp_degree_table())
+        if (r.reconstructed) reconstructed_sites += r.sites;
+    // Only the 26 OCR-lost sites are reconstructed (1.4% of the network).
+    EXPECT_EQ(reconstructed_sites, 26);
+}
+
+TEST(uucp, synthetic_network_is_heavy_tailed) {
+    const auto g = make_uucp_synthetic(1916, 1916, 42);
+    EXPECT_EQ(g.node_count(), 1916);
+    EXPECT_TRUE(g.connected());
+    const auto hist = net::degree_histogram(g);
+    // Heavy tail: a hub far above the mean degree (~4).
+    EXPECT_GE(g.max_degree(), 40);
+    // Most sites are low-degree, as in the paper's table.
+    int low = 0;
+    for (int d = 1; d <= 4 && d < static_cast<int>(hist.size()); ++d)
+        low += hist[static_cast<std::size_t>(d)];
+    EXPECT_GT(low, g.node_count() / 2);
+}
+
+TEST(tree_depth, polynomial_profile_formula_tracks_empirical) {
+    // l ~ log n / ((1+eps) loglog n): closed form within a factor ~2.5 of
+    // the factorial-relation accumulation for large n.
+    for (const double n : {1e4, 1e6, 1e9}) {
+        const double predicted = tree_depth_polynomial_profile(n, 1.0, 0.5);
+        const int empirical = tree_depth_empirical_polynomial(n, 1.0, 0.5);
+        EXPECT_GT(predicted, 0.0);
+        EXPECT_NEAR(predicted, static_cast<double>(empirical),
+                    2.5 * static_cast<double>(empirical));
+    }
+}
+
+TEST(tree_depth, exponential_profile_solves_quadratic) {
+    // For d(i) = c*2^(eps*i), depth from the closed form must reproduce n.
+    const double c = 2.0;
+    const double eps = 1.0;
+    for (const double n : {1e3, 1e6, 1e12}) {
+        const double l = tree_depth_exponential_profile(n, c, eps);
+        // n = c^l * 2^(eps * l(l+1)/2)  =>  log2 n recovered from l.
+        const double log_n = l * std::log2(c) + eps * l * (l + 1) / 2.0;
+        EXPECT_NEAR(log_n, std::log2(n), 1e-6);
+    }
+}
+
+TEST(tree_depth, doubling_exponent_halves_depth) {
+    // The paper: "If the exponent 1+eps ... is doubled then the depth of the
+    // tree is halved for the same number of nodes."
+    const double n = 1e9;
+    const double shallow = tree_depth_polynomial_profile(n, 1.0, 1.0);  // 1+eps = 2
+    const double deep = tree_depth_polynomial_profile(n, 1.0, 0.0);     // 1+eps = 1
+    EXPECT_NEAR(shallow * 2.0, deep, deep * 0.01);
+}
+
+TEST(tree_depth, quadrupling_eps_halves_exponential_depth) {
+    // "If eps is quadrupled then the depth of the tree is halved."
+    const double n = 1e15;
+    const double l1 = tree_depth_exponential_profile(n, 1.0, 0.1);
+    const double l4 = tree_depth_exponential_profile(n, 1.0, 0.4);
+    EXPECT_NEAR(l1 / l4, 2.0, 0.25);
+}
+
+TEST(tree_depth, input_validation) {
+    EXPECT_THROW((void)tree_depth_polynomial_profile(1.0, 1.0, 0.5), std::invalid_argument);
+    EXPECT_THROW((void)tree_depth_exponential_profile(100.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(montecarlo, intersection_matches_pq_over_n) {
+    // E[#(P n Q)] = pq/n (Section 2.2), within sampling error.
+    const strategies::random_strategy s{64, 8, 8, 5};
+    const auto est = estimate_intersection(s, 4000, 17);
+    EXPECT_NEAR(est.expected, 1.0, 1e-9);  // 8*8/64
+    EXPECT_NEAR(est.mean, est.expected, 5.0 * std::max(0.02, est.stderr_mean));
+    EXPECT_GT(est.hit_rate, 0.3);
+    EXPECT_LT(est.hit_rate, 0.95);
+}
+
+TEST(montecarlo, small_sets_rarely_meet) {
+    const strategies::random_strategy s{256, 2, 2, 5};
+    const auto est = estimate_intersection(s, 3000, 21);
+    EXPECT_NEAR(est.expected, 4.0 / 256.0, 1e-9);
+    EXPECT_LT(est.hit_rate, 0.15);
+}
+
+TEST(montecarlo, sum_threshold_2_sqrt_n) {
+    // p = q = sqrt(n) gives exactly one expected rendezvous.
+    const strategies::random_strategy s{144, 12, 12, 9};
+    const auto est = estimate_intersection(s, 4000, 33);
+    EXPECT_NEAR(est.mean, 1.0, 0.2);
+}
+
+}  // namespace
+}  // namespace mm::analysis

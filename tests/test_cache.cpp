@@ -1,0 +1,138 @@
+// Tests for core/cache: timestamped (port, address) caches (Section 2.1)
+// and the LRU-bounded variant used by Lighthouse Locate.
+#include <gtest/gtest.h>
+
+#include "core/cache.h"
+
+namespace mm::core {
+namespace {
+
+port_entry entry(port_id port, address where, std::int64_t stamp = 0,
+                 std::int64_t expires = -1) {
+    return port_entry{port, where, stamp, expires};
+}
+
+TEST(port_cache, post_and_lookup) {
+    port_cache cache;
+    EXPECT_TRUE(cache.post(entry(1, 10)));
+    const auto hit = cache.lookup(1);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->where, 10);
+    EXPECT_FALSE(cache.lookup(2).has_value());
+}
+
+TEST(port_cache, newer_stamp_wins) {
+    port_cache cache;
+    EXPECT_TRUE(cache.post(entry(1, 10, 5)));
+    EXPECT_TRUE(cache.post(entry(1, 20, 9)));  // migration: fresher address
+    EXPECT_EQ(cache.lookup(1)->where, 20);
+    // A stale post (out-of-order delivery) must not clobber the newer one.
+    EXPECT_FALSE(cache.post(entry(1, 30, 7)));
+    EXPECT_EQ(cache.lookup(1)->where, 20);
+}
+
+TEST(port_cache, equal_stamp_updates) {
+    port_cache cache;
+    EXPECT_TRUE(cache.post(entry(1, 10, 5)));
+    EXPECT_TRUE(cache.post(entry(1, 11, 5)));
+    EXPECT_EQ(cache.lookup(1)->where, 11);
+}
+
+TEST(port_cache, remove_requires_matching_address) {
+    port_cache cache;
+    cache.post(entry(1, 10));
+    EXPECT_FALSE(cache.remove(1, 99));  // someone else's deregistration
+    EXPECT_TRUE(cache.lookup(1).has_value());
+    EXPECT_TRUE(cache.remove(1, 10));
+    EXPECT_FALSE(cache.lookup(1).has_value());
+    EXPECT_FALSE(cache.remove(1, 10));  // already gone
+}
+
+TEST(port_cache, expiry) {
+    port_cache cache;
+    cache.post(entry(1, 10, 0, 100));
+    EXPECT_TRUE(cache.lookup(1, 99).has_value());
+    EXPECT_FALSE(cache.lookup(1, 100).has_value());  // expired at its deadline
+    EXPECT_EQ(cache.expire(100), 1u);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(port_cache, high_water_mark_tracks_peak) {
+    port_cache cache;
+    for (port_id p = 0; p < 5; ++p) cache.post(entry(p, 1));
+    cache.remove(0, 1);
+    cache.remove(1, 1);
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.high_water_mark(), 5u);
+}
+
+TEST(port_cache, clear_empties) {
+    port_cache cache;
+    cache.post(entry(1, 10));
+    cache.clear();
+    EXPECT_TRUE(cache.empty());
+    EXPECT_FALSE(cache.lookup(1).has_value());
+}
+
+TEST(bounded_cache, lru_eviction) {
+    bounded_port_cache cache{2};
+    cache.post(entry(1, 10));
+    cache.post(entry(2, 20));
+    // Touch port 1 so port 2 is the LRU victim.
+    EXPECT_TRUE(cache.lookup(1).has_value());
+    cache.post(entry(3, 30));
+    EXPECT_TRUE(cache.lookup(1).has_value());
+    EXPECT_FALSE(cache.lookup(2).has_value());
+    EXPECT_TRUE(cache.lookup(3).has_value());
+    EXPECT_EQ(cache.evictions(), 1);
+}
+
+TEST(bounded_cache, update_does_not_evict) {
+    bounded_port_cache cache{2};
+    cache.post(entry(1, 10, 1));
+    cache.post(entry(2, 20, 1));
+    cache.post(entry(1, 11, 2));  // same port, newer: in-place update
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 0);
+    EXPECT_EQ(cache.lookup(1)->where, 11);
+}
+
+TEST(bounded_cache, stale_update_rejected) {
+    bounded_port_cache cache{2};
+    cache.post(entry(1, 10, 5));
+    EXPECT_FALSE(cache.post(entry(1, 9, 3)));
+    EXPECT_EQ(cache.lookup(1)->where, 10);
+}
+
+TEST(bounded_cache, zero_capacity_stores_nothing) {
+    bounded_port_cache cache{0};
+    EXPECT_FALSE(cache.post(entry(1, 10)));
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(bounded_cache, expired_entries_pruned_on_lookup) {
+    bounded_port_cache cache{4};
+    cache.post(entry(1, 10, 0, 50));
+    EXPECT_FALSE(cache.lookup(1, 60).has_value());
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(bounded_cache, expire_sweeps) {
+    bounded_port_cache cache{4};
+    cache.post(entry(1, 10, 0, 50));
+    cache.post(entry(2, 20, 0, 80));
+    cache.post(entry(3, 30, 0, -1));
+    EXPECT_EQ(cache.expire(60), 1u);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.expire(1000), 1u);  // the never-expiring entry survives
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(port_of, stable_and_distinct) {
+    EXPECT_EQ(port_of("file-server"), port_of("file-server"));
+    EXPECT_NE(port_of("file-server"), port_of("print-server"));
+    EXPECT_NE(port_of(""), port_of("x"));
+}
+
+}  // namespace
+}  // namespace mm::core

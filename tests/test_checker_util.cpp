@@ -1,0 +1,78 @@
+// Tests for strategies/checker_util: the block row/column rendezvous
+// guarantee that the checkerboard and hierarchical strategies rely on.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "strategies/checker_util.h"
+
+namespace mm::strategies {
+namespace {
+
+std::vector<net::node_id> pool_of(int size, net::node_id base = 0) {
+    std::vector<net::node_id> pool(static_cast<std::size_t>(size));
+    std::iota(pool.begin(), pool.end(), base);
+    return pool;
+}
+
+TEST(checker_util, balanced_width) {
+    EXPECT_EQ(balanced_checker_width(1), 1);
+    EXPECT_EQ(balanced_checker_width(4), 2);
+    EXPECT_EQ(balanced_checker_width(9), 3);
+    EXPECT_EQ(balanced_checker_width(10), 4);
+    EXPECT_EQ(balanced_checker_width(16), 4);
+    EXPECT_THROW((void)balanced_checker_width(0), std::invalid_argument);
+}
+
+TEST(checker_util, post_and_query_always_intersect) {
+    // The defining property, exhaustively over sizes, widths and indices.
+    for (const int size : {1, 2, 3, 5, 8, 9, 12, 16, 17}) {
+        const auto pool = pool_of(size, 100);
+        for (int width = 1; width <= size; ++width) {
+            for (int a = 0; a < size; ++a) {
+                const auto post = checker_post(pool, a, width);
+                for (int b = 0; b < size; ++b) {
+                    const auto query = checker_query(pool, b, width);
+                    const net::node_id promised = checker_rendezvous(pool, a, b, width);
+                    EXPECT_TRUE(std::find(post.begin(), post.end(), promised) != post.end())
+                        << size << "/" << width << "/" << a << "/" << b;
+                    EXPECT_TRUE(std::find(query.begin(), query.end(), promised) != query.end())
+                        << size << "/" << width << "/" << a << "/" << b;
+                }
+            }
+        }
+    }
+}
+
+TEST(checker_util, set_sizes_bounded_by_width_and_rows) {
+    const auto pool = pool_of(10);
+    for (int width = 1; width <= 10; ++width) {
+        const int rows = (10 + width - 1) / width;
+        for (int idx = 0; idx < 10; ++idx) {
+            EXPECT_LE(static_cast<int>(checker_post(pool, idx, width).size()), width);
+            EXPECT_LE(static_cast<int>(checker_query(pool, idx, width).size()), rows);
+        }
+    }
+}
+
+TEST(checker_util, pool_members_pass_through) {
+    // Sets contain only pool members (not indices).
+    const auto pool = pool_of(6, 50);
+    const auto post = checker_post(pool, 4, 2);
+    for (const net::node_id v : post) {
+        EXPECT_GE(v, 50);
+        EXPECT_LT(v, 56);
+    }
+}
+
+TEST(checker_util, argument_validation) {
+    const auto pool = pool_of(4);
+    EXPECT_THROW((void)checker_post(pool, 4, 2), std::out_of_range);
+    EXPECT_THROW((void)checker_post(pool, -1, 2), std::out_of_range);
+    EXPECT_THROW((void)checker_post(pool, 0, 0), std::invalid_argument);
+    EXPECT_THROW((void)checker_post(pool, 0, 5), std::invalid_argument);
+    EXPECT_THROW((void)checker_query({}, 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mm::strategies

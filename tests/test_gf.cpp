@@ -1,0 +1,146 @@
+// Tests for net/gf: field axioms of GF(p^m), verified exhaustively for all
+// orders used by the projective-plane experiments.
+#include <gtest/gtest.h>
+
+#include "net/gf.h"
+
+namespace mm::net {
+namespace {
+
+TEST(prime_power, classification) {
+    int p = 0;
+    int m = 0;
+    EXPECT_TRUE(is_prime_power(2, &p, &m));
+    EXPECT_EQ(p, 2);
+    EXPECT_EQ(m, 1);
+    EXPECT_TRUE(is_prime_power(8, &p, &m));
+    EXPECT_EQ(p, 2);
+    EXPECT_EQ(m, 3);
+    EXPECT_TRUE(is_prime_power(27, &p, &m));
+    EXPECT_EQ(p, 3);
+    EXPECT_EQ(m, 3);
+    EXPECT_TRUE(is_prime_power(25, &p, &m));
+    EXPECT_EQ(p, 5);
+    EXPECT_EQ(m, 2);
+    EXPECT_FALSE(is_prime_power(1));
+    EXPECT_FALSE(is_prime_power(6));
+    EXPECT_FALSE(is_prime_power(12));
+    EXPECT_FALSE(is_prime_power(100));
+    EXPECT_FALSE(is_prime_power(0));
+    EXPECT_FALSE(is_prime_power(-8));
+}
+
+TEST(finite_field, rejects_non_prime_powers) {
+    EXPECT_THROW(finite_field{6}, std::invalid_argument);
+    EXPECT_THROW(finite_field{1}, std::invalid_argument);
+    EXPECT_THROW(finite_field{10}, std::invalid_argument);
+}
+
+TEST(finite_field, prime_field_is_modular_arithmetic) {
+    const finite_field f{7};
+    EXPECT_EQ(f.add(5, 4), 2);
+    EXPECT_EQ(f.mul(3, 5), 1);
+    EXPECT_EQ(f.inv(3), 5);
+    EXPECT_EQ(f.neg(2), 5);
+    EXPECT_EQ(f.sub(1, 3), 5);
+    EXPECT_EQ(f.div(1, 3), 5);
+    EXPECT_EQ(f.pow(3, 6), 1);  // Fermat
+}
+
+TEST(finite_field, gf4_structure) {
+    // GF(4) = {0, 1, x, x+1} with x^2 = x + 1 (modulus x^2 + x + 1).
+    const finite_field f{4};
+    EXPECT_EQ(f.characteristic(), 2);
+    EXPECT_EQ(f.degree(), 2);
+    EXPECT_EQ(f.add(2, 3), 1);  // x + (x+1) = 1
+    EXPECT_EQ(f.mul(2, 2), 3);  // x^2 = x + 1
+    EXPECT_EQ(f.mul(2, 3), 1);  // x(x+1) = x^2 + x = 1
+}
+
+TEST(finite_field, element_range_checked) {
+    const finite_field f{5};
+    EXPECT_THROW((void)f.add(5, 0), std::out_of_range);
+    EXPECT_THROW((void)f.mul(0, -1), std::out_of_range);
+    EXPECT_THROW((void)f.inv(0), std::domain_error);
+}
+
+// Exhaustive field-axiom checks, parameterized over the order.
+class field_axioms : public ::testing::TestWithParam<int> {};
+
+TEST_P(field_axioms, additive_group) {
+    const finite_field f{GetParam()};
+    const int q = f.order();
+    for (int a = 0; a < q; ++a) {
+        EXPECT_EQ(f.add(a, 0), a);
+        EXPECT_EQ(f.add(a, f.neg(a)), 0);
+        for (int b = 0; b < q; ++b) {
+            EXPECT_EQ(f.add(a, b), f.add(b, a));
+            for (int c = 0; c < q; ++c)
+                EXPECT_EQ(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+        }
+    }
+}
+
+TEST_P(field_axioms, multiplicative_group) {
+    const finite_field f{GetParam()};
+    const int q = f.order();
+    for (int a = 0; a < q; ++a) {
+        EXPECT_EQ(f.mul(a, 1), a);
+        EXPECT_EQ(f.mul(a, 0), 0);
+        if (a != 0) {
+            EXPECT_EQ(f.mul(a, f.inv(a)), 1);
+        }
+        for (int b = 0; b < q; ++b) {
+            EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+            for (int c = 0; c < q; ++c)
+                EXPECT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+        }
+    }
+}
+
+TEST_P(field_axioms, distributivity) {
+    const finite_field f{GetParam()};
+    const int q = f.order();
+    for (int a = 0; a < q; ++a)
+        for (int b = 0; b < q; ++b)
+            for (int c = 0; c < q; ++c)
+                EXPECT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+}
+
+TEST_P(field_axioms, no_zero_divisors) {
+    const finite_field f{GetParam()};
+    const int q = f.order();
+    for (int a = 1; a < q; ++a)
+        for (int b = 1; b < q; ++b) EXPECT_NE(f.mul(a, b), 0);
+}
+
+TEST_P(field_axioms, multiplicative_order_divides_q_minus_1) {
+    const finite_field f{GetParam()};
+    for (int a = 1; a < f.order(); ++a) EXPECT_EQ(f.pow(a, f.order() - 1), 1);
+}
+
+TEST_P(field_axioms, frobenius_is_additive) {
+    // The Frobenius map x -> x^p is a field automorphism in characteristic
+    // p: (a + b)^p = a^p + b^p ("freshman's dream").
+    const finite_field f{GetParam()};
+    const int p = f.characteristic();
+    for (int a = 0; a < f.order(); ++a)
+        for (int b = 0; b < f.order(); ++b)
+            EXPECT_EQ(f.pow(f.add(a, b), p), f.add(f.pow(a, p), f.pow(b, p)));
+}
+
+TEST_P(field_axioms, characteristic_annihilates) {
+    // p * a = 0 for every element.
+    const finite_field f{GetParam()};
+    for (int a = 0; a < f.order(); ++a) {
+        int sum = 0;
+        for (int k = 0; k < f.characteristic(); ++k) sum = f.add(sum, a);
+        EXPECT_EQ(sum, 0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(orders, field_axioms,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27));
+
+}  // namespace
+}  // namespace mm::net

@@ -1,0 +1,265 @@
+// Tests for net/graph and net/topologies: structural invariants of every
+// topology the paper's schemes run on.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "net/graph.h"
+#include "net/topologies.h"
+
+namespace mm::net {
+namespace {
+
+TEST(graph, empty_graph_has_no_nodes) {
+    const graph g;
+    EXPECT_EQ(g.node_count(), 0);
+    EXPECT_EQ(g.edge_count(), 0);
+    EXPECT_FALSE(g.connected());
+}
+
+TEST(graph, add_edge_updates_both_endpoints) {
+    graph g{3};
+    g.add_edge(0, 2);
+    EXPECT_TRUE(g.has_edge(0, 2));
+    EXPECT_TRUE(g.has_edge(2, 0));
+    EXPECT_FALSE(g.has_edge(0, 1));
+    EXPECT_EQ(g.degree(0), 1);
+    EXPECT_EQ(g.degree(2), 1);
+    EXPECT_EQ(g.degree(1), 0);
+    EXPECT_EQ(g.edge_count(), 1);
+}
+
+TEST(graph, rejects_self_loops_and_parallel_edges) {
+    graph g{3};
+    EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+    g.add_edge(0, 1);
+    EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);
+}
+
+TEST(graph, rejects_invalid_nodes) {
+    graph g{2};
+    EXPECT_THROW(g.add_edge(0, 2), std::out_of_range);
+    EXPECT_THROW(g.add_edge(-1, 0), std::out_of_range);
+    EXPECT_THROW((void)g.degree(5), std::out_of_range);
+    EXPECT_THROW((void)g.neighbors(-1), std::out_of_range);
+}
+
+TEST(graph, neighbors_are_sorted_after_finalize) {
+    graph g{4};
+    g.add_edge(0, 3);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    const auto nb = g.neighbors(0);
+    EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+    EXPECT_EQ(nb.size(), 3u);
+}
+
+TEST(graph, connectivity_detection) {
+    graph g{4};
+    g.add_edge(0, 1);
+    g.add_edge(2, 3);
+    EXPECT_FALSE(g.connected());
+    g.add_edge(1, 2);
+    EXPECT_TRUE(g.connected());
+}
+
+TEST(graph, summary_mentions_counts) {
+    graph g{5};
+    g.add_edge(0, 1);
+    EXPECT_EQ(g.summary(), "graph(n=5, m=1)");
+}
+
+TEST(graph, dot_export) {
+    graph g{3};
+    g.add_edge(0, 1);
+    const auto dot = g.to_dot();
+    EXPECT_NE(dot.find("graph g {"), std::string::npos);
+    EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+    EXPECT_NE(dot.find("2;"), std::string::npos);  // isolated node listed
+    EXPECT_EQ(dot.find("1 -- 0"), std::string::npos);  // each edge once
+}
+
+TEST(topologies, complete_graph_shape) {
+    const auto g = make_complete(7);
+    EXPECT_EQ(g.node_count(), 7);
+    EXPECT_EQ(g.edge_count(), 21);
+    for (node_id v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 6);
+    EXPECT_TRUE(g.connected());
+}
+
+TEST(topologies, ring_shape) {
+    const auto g = make_ring(9);
+    EXPECT_EQ(g.node_count(), 9);
+    EXPECT_EQ(g.edge_count(), 9);
+    for (node_id v = 0; v < 9; ++v) EXPECT_EQ(g.degree(v), 2);
+    EXPECT_TRUE(g.connected());
+    EXPECT_THROW(make_ring(2), std::invalid_argument);
+}
+
+TEST(topologies, path_and_star) {
+    const auto p = make_path(5);
+    EXPECT_EQ(p.edge_count(), 4);
+    EXPECT_EQ(p.degree(0), 1);
+    EXPECT_EQ(p.degree(2), 2);
+    const auto s = make_star(6);
+    EXPECT_EQ(s.degree(0), 5);
+    for (node_id v = 1; v < 6; ++v) EXPECT_EQ(s.degree(v), 1);
+}
+
+TEST(topologies, grid_plain) {
+    const auto g = make_grid(3, 4);
+    EXPECT_EQ(g.node_count(), 12);
+    // 3 rows x 3 horizontal edges + 2 x 4 vertical edges.
+    EXPECT_EQ(g.edge_count(), 3 * 3 + 2 * 4);
+    EXPECT_EQ(g.degree(0), 2);   // corner
+    EXPECT_EQ(g.degree(1), 3);   // edge
+    EXPECT_EQ(g.degree(5), 4);   // interior
+    EXPECT_TRUE(g.connected());
+}
+
+TEST(topologies, grid_torus_is_regular) {
+    const auto g = make_grid(4, 5, wrap_mode::torus);
+    for (node_id v = 0; v < g.node_count(); ++v) EXPECT_EQ(g.degree(v), 4);
+    EXPECT_EQ(g.edge_count(), 2 * 4 * 5);
+}
+
+TEST(topologies, grid_cylinder_wraps_rows_only) {
+    const auto g = make_grid(3, 4, wrap_mode::cylinder);
+    // Row wrap: node (r, 0) adjacent to (r, 3).
+    EXPECT_TRUE(g.has_edge(0, 3));
+    // No column wrap: (0, c) not adjacent to (2, c).
+    EXPECT_FALSE(g.has_edge(0, 8));
+}
+
+TEST(topologies, mesh_shape_roundtrip) {
+    const mesh_shape shape{{3, 4, 5}};
+    EXPECT_EQ(shape.node_count(), 60);
+    for (node_id v = 0; v < 60; ++v) EXPECT_EQ(shape.index(shape.coords(v)), v);
+    EXPECT_THROW((void)shape.coords(60), std::out_of_range);
+    EXPECT_THROW((void)shape.index({0, 0}), std::invalid_argument);
+    EXPECT_THROW((void)shape.index({0, 0, 9}), std::out_of_range);
+}
+
+TEST(topologies, mesh_edges_match_manhattan_distance) {
+    const mesh_shape shape{{3, 3, 3}};
+    const auto g = make_mesh(shape);
+    for (node_id a = 0; a < 27; ++a) {
+        for (node_id b = a + 1; b < 27; ++b) {
+            const auto ca = shape.coords(a);
+            const auto cb = shape.coords(b);
+            int dist = 0;
+            for (std::size_t d = 0; d < 3; ++d) dist += std::abs(ca[d] - cb[d]);
+            EXPECT_EQ(g.has_edge(a, b), dist == 1);
+        }
+    }
+}
+
+TEST(topologies, mesh_matches_grid_in_two_dimensions) {
+    const auto m = make_mesh(mesh_shape{{3, 4}});
+    const auto g = make_grid(3, 4);
+    EXPECT_EQ(m.edge_count(), g.edge_count());
+    for (node_id a = 0; a < 12; ++a)
+        for (node_id b = a + 1; b < 12; ++b) EXPECT_EQ(m.has_edge(a, b), g.has_edge(a, b));
+}
+
+TEST(topologies, hypercube_shape) {
+    const auto g = make_hypercube(4);
+    EXPECT_EQ(g.node_count(), 16);
+    EXPECT_EQ(g.edge_count(), 4 * 8);  // d * 2^(d-1)
+    for (node_id v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4);
+    // Edges differ in exactly one bit.
+    for (node_id v = 0; v < 16; ++v)
+        for (const node_id w : g.neighbors(v)) EXPECT_EQ(__builtin_popcount(v ^ w), 1);
+}
+
+TEST(topologies, hypercube_degenerate) {
+    EXPECT_EQ(make_hypercube(0).node_count(), 1);
+    EXPECT_THROW(make_hypercube(-1), std::invalid_argument);
+}
+
+TEST(topologies, ccc_shape) {
+    const int d = 4;
+    const auto g = make_ccc(d);
+    EXPECT_EQ(g.node_count(), d * 16);
+    EXPECT_TRUE(g.connected());
+    // Every node has degree 3 for d >= 3: two cycle neighbors + one cube.
+    for (node_id v = 0; v < g.node_count(); ++v) EXPECT_EQ(g.degree(v), 3);
+}
+
+TEST(topologies, ccc_index_roundtrip) {
+    const int d = 5;
+    for (int p = 0; p < d; ++p) {
+        for (std::uint32_t x = 0; x < 32; ++x) {
+            const node_id v = ccc_index(d, p, x);
+            EXPECT_EQ(ccc_position(d, v), p);
+            EXPECT_EQ(ccc_corner(d, v), x);
+        }
+    }
+}
+
+TEST(topologies, balanced_tree_shape) {
+    const auto g = make_balanced_tree(3, 2);
+    EXPECT_EQ(g.node_count(), 1 + 3 + 9);
+    EXPECT_EQ(g.edge_count(), 12);
+    EXPECT_EQ(g.degree(0), 3);
+    EXPECT_TRUE(g.connected());
+}
+
+TEST(topologies, tree_from_parent_array) {
+    const std::vector<node_id> parent{invalid_node, 0, 0, 1};
+    const auto g = make_tree(parent);
+    EXPECT_EQ(g.edge_count(), 3);
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_TRUE(g.has_edge(1, 3));
+    EXPECT_THROW(make_tree({invalid_node, invalid_node}), std::invalid_argument);
+}
+
+TEST(topologies, spanning_tree_covers_graph) {
+    const auto g = make_grid(4, 4);
+    const auto parent = spanning_tree_parents(g, 5);
+    EXPECT_EQ(parent[5], invalid_node);
+    int roots = 0;
+    for (node_id v = 0; v < 16; ++v) {
+        if (parent[static_cast<std::size_t>(v)] == invalid_node) {
+            ++roots;
+        } else {
+            EXPECT_TRUE(g.has_edge(v, parent[static_cast<std::size_t>(v)]));
+        }
+    }
+    EXPECT_EQ(roots, 1);
+}
+
+TEST(topologies, spanning_tree_requires_connected) {
+    graph g{4};
+    g.add_edge(0, 1);
+    EXPECT_THROW(spanning_tree_parents(g, 0), std::invalid_argument);
+}
+
+TEST(topologies, tree_depths_match_bfs_levels) {
+    const auto g = make_balanced_tree(2, 3);
+    const auto parent = spanning_tree_parents(g, 0);
+    const auto depth = tree_depths(parent);
+    EXPECT_EQ(depth[0], 0);
+    EXPECT_EQ(depth[1], 1);
+    EXPECT_EQ(depth[2], 1);
+    EXPECT_EQ(depth[static_cast<std::size_t>(g.node_count()) - 1], 3);
+}
+
+// Parameterized: every designed topology is connected at a range of sizes.
+class topology_connectivity : public ::testing::TestWithParam<int> {};
+
+TEST_P(topology_connectivity, all_designed_topologies_connected) {
+    const int k = GetParam();
+    EXPECT_TRUE(make_complete(k + 2).connected());
+    EXPECT_TRUE(make_ring(k + 3).connected());
+    EXPECT_TRUE(make_grid(k + 1, k + 2).connected());
+    EXPECT_TRUE(make_grid(k + 1, k + 2, wrap_mode::torus).connected());
+    EXPECT_TRUE(make_hypercube(k % 10).connected());
+    EXPECT_TRUE(make_ccc(2 + k % 6).connected());
+    EXPECT_TRUE(make_balanced_tree(1 + k % 4, 2).connected());
+}
+
+INSTANTIATE_TEST_SUITE_P(sizes, topology_connectivity, ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace mm::net

@@ -1,0 +1,84 @@
+// Tests for net/hierarchy: the gateway-cluster model of Section 3.5.
+#include <gtest/gtest.h>
+
+#include "net/hierarchy.h"
+
+namespace mm::net {
+namespace {
+
+TEST(hierarchy, uniform_two_level) {
+    const hierarchy h{{4, 3}};  // 3 clusters of 4 basic nodes
+    EXPECT_EQ(h.levels(), 2);
+    EXPECT_EQ(h.node_count(), 12);
+    EXPECT_EQ(h.cluster_size(1), 4);
+    EXPECT_EQ(h.cluster_size(2), 12);
+    EXPECT_EQ(h.fanout(1), 4);
+    EXPECT_EQ(h.fanout(2), 3);
+}
+
+TEST(hierarchy, cluster_membership) {
+    const hierarchy h{{4, 3}};
+    EXPECT_EQ(h.cluster_of(1, 0), 0);
+    EXPECT_EQ(h.cluster_of(1, 3), 0);
+    EXPECT_EQ(h.cluster_of(1, 4), 1);
+    EXPECT_EQ(h.cluster_of(1, 11), 2);
+    for (node_id v = 0; v < 12; ++v) EXPECT_EQ(h.cluster_of(2, v), 0);
+}
+
+TEST(hierarchy, child_index) {
+    const hierarchy h{{4, 3}};
+    EXPECT_EQ(h.child_index(1, 0), 0);
+    EXPECT_EQ(h.child_index(1, 3), 3);
+    EXPECT_EQ(h.child_index(1, 5), 1);
+    EXPECT_EQ(h.child_index(2, 0), 0);
+    EXPECT_EQ(h.child_index(2, 4), 1);
+    EXPECT_EQ(h.child_index(2, 11), 2);
+}
+
+TEST(hierarchy, gateways_are_cluster_representatives) {
+    const hierarchy h{{4, 3}};
+    // Level-2 cluster 0 spans all nodes; its gateways are the lowest node of
+    // each level-1 cluster: 0, 4, 8.
+    EXPECT_EQ(h.gateways(2, 0), (std::vector<node_id>{0, 4, 8}));
+    // Level-1 cluster 1's gateways are its own basic nodes 4..7.
+    EXPECT_EQ(h.gateways(1, 1), (std::vector<node_id>{4, 5, 6, 7}));
+}
+
+TEST(hierarchy, three_levels) {
+    const hierarchy h{{2, 3, 4}};
+    EXPECT_EQ(h.node_count(), 24);
+    EXPECT_EQ(h.cluster_size(2), 6);
+    EXPECT_EQ(h.cluster_of(2, 13), 2);
+    EXPECT_EQ(h.gateways(3, 0), (std::vector<node_id>{0, 6, 12, 18}));
+}
+
+TEST(hierarchy, validation) {
+    EXPECT_THROW(hierarchy{std::vector<int>{}}, std::invalid_argument);
+    EXPECT_THROW((hierarchy{{3, 0}}), std::invalid_argument);
+    const hierarchy h{{2, 2}};
+    EXPECT_THROW((void)h.fanout(0), std::out_of_range);
+    EXPECT_THROW((void)h.fanout(3), std::out_of_range);
+    EXPECT_THROW((void)h.cluster_of(1, 99), std::out_of_range);
+    EXPECT_THROW((void)h.gateway(1, 0, 7), std::out_of_range);
+}
+
+TEST(hierarchy, graph_is_connected_and_layered) {
+    const hierarchy h{{3, 3, 3}};
+    const auto g = make_hierarchical_graph(h);
+    EXPECT_EQ(g.node_count(), 27);
+    EXPECT_TRUE(g.connected());
+    // Basic nodes of one level-1 cluster form a clique.
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_TRUE(g.has_edge(1, 2));
+    // Level-2 gateways (0, 3, 6) are connected.
+    EXPECT_TRUE(g.has_edge(0, 3));
+    EXPECT_TRUE(g.has_edge(3, 6));
+    // Level-3 gateways (0, 9, 18) are connected.
+    EXPECT_TRUE(g.has_edge(0, 9));
+    EXPECT_TRUE(g.has_edge(9, 18));
+    // No edge between non-gateway nodes of different clusters.
+    EXPECT_FALSE(g.has_edge(1, 4));
+}
+
+}  // namespace
+}  // namespace mm::net

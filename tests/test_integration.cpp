@@ -1,0 +1,189 @@
+// End-to-end integration matrix: every topology-specific strategy running
+// live on its *native* graph through the simulator and name service -
+// Manhattan on the grid, hypercube on the cube, CCC on the CCC, tree on
+// the tree, hierarchy on the gateway graph, partition on its own graph.
+// Checks that every client finds every server and that observed message
+// passes stay within the routed budget.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "net/hierarchy.h"
+#include "net/partition.h"
+#include "net/topologies.h"
+#include "runtime/name_service.h"
+#include "strategies/checkerboard.h"
+#include "strategies/cube.h"
+#include "strategies/grid.h"
+#include "strategies/hash_locate.h"
+#include "strategies/hierarchical.h"
+#include "strategies/partition_strategy.h"
+#include "strategies/projective.h"
+#include "strategies/tree_path.h"
+
+namespace mm {
+namespace {
+
+struct native_case {
+    std::string label;
+    std::function<net::graph()> make_graph;
+    std::function<std::unique_ptr<core::locate_strategy>()> make_strategy;
+};
+
+std::vector<native_case> native_cases() {
+    std::vector<native_case> cases;
+    cases.push_back({"manhattan-grid",
+                     [] { return net::make_grid(4, 5); },
+                     [] { return std::make_unique<strategies::manhattan_strategy>(4, 5); }});
+    cases.push_back({"manhattan-torus",
+                     [] { return net::make_grid(4, 5, net::wrap_mode::torus); },
+                     [] { return std::make_unique<strategies::manhattan_strategy>(4, 5); }});
+    cases.push_back({"mesh3d",
+                     [] { return net::make_mesh(net::mesh_shape{{3, 3, 3}}); },
+                     [] {
+                         return std::make_unique<strategies::mesh_strategy>(
+                             net::mesh_shape{{3, 3, 3}});
+                     }});
+    cases.push_back({"hypercube",
+                     [] { return net::make_hypercube(4); },
+                     [] { return std::make_unique<strategies::hypercube_strategy>(4); }});
+    cases.push_back({"ccc",
+                     [] { return net::make_ccc(3); },
+                     [] { return std::make_unique<strategies::ccc_strategy>(3); }});
+    cases.push_back({"projective-complete",
+                     [] { return net::make_complete(13); },
+                     [] { return std::make_unique<strategies::projective_strategy>(3); }});
+    cases.push_back({"tree",
+                     [] { return net::make_balanced_tree(2, 3); },
+                     [] {
+                         std::vector<net::node_id> parent(15);
+                         parent[0] = net::invalid_node;
+                         for (net::node_id v = 1; v < 15; ++v)
+                             parent[static_cast<std::size_t>(v)] = (v - 1) / 2;
+                         return std::make_unique<strategies::tree_path_strategy>(parent, true);
+                     }});
+    cases.push_back({"hierarchy",
+                     [] { return net::make_hierarchical_graph(net::hierarchy{{4, 4}}); },
+                     [] {
+                         return std::make_unique<strategies::hierarchical_strategy>(
+                             net::hierarchy{{4, 4}});
+                     }});
+    cases.push_back({"partition-grid",
+                     [] { return net::make_grid(5, 5); },
+                     [] {
+                         return std::make_unique<strategies::partition_strategy>(
+                             net::partition_connected(net::make_grid(5, 5)));
+                     }});
+    cases.push_back({"hash-complete",
+                     [] { return net::make_complete(20); },
+                     [] { return std::make_unique<strategies::hash_locate_strategy>(20, 2); }});
+    return cases;
+}
+
+class native_integration : public ::testing::TestWithParam<native_case> {};
+
+TEST_P(native_integration, every_pair_matches_on_native_topology) {
+    const auto g = GetParam().make_graph();
+    const auto strategy = GetParam().make_strategy();
+    ASSERT_EQ(g.node_count(), strategy->node_count());
+    sim::simulator sim{g};
+    runtime::name_service ns{sim, *strategy};
+
+    const net::node_id n = g.node_count();
+    const net::node_id step = std::max<net::node_id>(1, n / 6);
+    for (net::node_id server = 0; server < n; server += step) {
+        const auto port = core::port_of("native" + std::to_string(server));
+        ns.register_server(port, server);
+        for (net::node_id client = 0; client < n; client += step) {
+            const auto result = ns.locate(port, client);
+            EXPECT_TRUE(result.found) << GetParam().label << ": " << server << " <- " << client;
+            EXPECT_EQ(result.where, server);
+        }
+    }
+}
+
+TEST_P(native_integration, migration_works_on_native_topology) {
+    const auto g = GetParam().make_graph();
+    const auto strategy = GetParam().make_strategy();
+    sim::simulator sim{g};
+    runtime::name_service ns{sim, *strategy};
+    const auto port = core::port_of("migrator");
+    const net::node_id n = g.node_count();
+    ns.register_server(port, 0);
+    ASSERT_EQ(ns.locate(port, n / 2).where, 0);
+    ns.migrate_server(port, 0, n - 1);
+    const auto result = ns.locate(port, n / 2);
+    EXPECT_TRUE(result.found);
+    EXPECT_EQ(result.where, n - 1);
+}
+
+TEST_P(native_integration, message_cost_bounded_by_unicast_budget) {
+    // One locate's observed hops must not exceed the sum of unicast
+    // distances to the query set plus the reply path (a loose upper bound;
+    // catches runaway protocols).
+    const auto g = GetParam().make_graph();
+    const auto strategy = GetParam().make_strategy();
+    sim::simulator sim{g};
+    const net::routing_table routes{g};
+    runtime::name_service ns{sim, *strategy};
+    const auto port = core::port_of("budget");
+    const net::node_id n = g.node_count();
+    ns.register_server(port, n - 1);
+    const net::node_id client = 0;
+    const auto result = ns.locate(port, client);
+    ASSERT_TRUE(result.found);
+    const auto queries = strategy->query_set(client, port);
+    std::int64_t budget = routes.unicast_cost(client, queries);
+    // Every queried rendezvous could reply.
+    for (const net::node_id q : queries) budget += routes.distance(q, client);
+    EXPECT_LE(result.message_passes, budget) << GetParam().label;
+}
+
+TEST_P(native_integration, randomized_routing_changes_nothing_functionally) {
+    const auto g = GetParam().make_graph();
+    const auto strategy = GetParam().make_strategy();
+    sim::simulator sim{g};
+    sim.set_randomized_routing(11);
+    runtime::name_service ns{sim, *strategy};
+    const auto port = core::port_of("rand-route");
+    ns.register_server(port, 1);
+    for (net::node_id client = 0; client < g.node_count();
+         client += std::max<net::node_id>(1, g.node_count() / 5)) {
+        const auto result = ns.locate(port, client);
+        EXPECT_TRUE(result.found) << GetParam().label;
+        EXPECT_EQ(result.where, 1);
+    }
+}
+
+TEST(scale, thousand_node_hypercube_locates_fast) {
+    // Scale sanity: 1024 nodes, 32 services, all locates resolve and the
+    // whole drill stays well under the event cap.
+    const int d = 10;
+    const auto g = net::make_hypercube(d);
+    sim::simulator sim{g};
+    const strategies::hypercube_strategy strategy{d};
+    runtime::name_service ns{sim, strategy};
+    for (int s = 0; s < 32; ++s) {
+        const auto port = core::port_of("scale" + std::to_string(s));
+        const auto server = static_cast<net::node_id>(s * 31 % 1024);
+        ns.register_server(port, server);
+        const auto result = ns.locate(port, static_cast<net::node_id>(1023 - s));
+        ASSERT_TRUE(result.found);
+        ASSERT_EQ(result.where, server);
+        // m = 2*sqrt(1024) = 64 addressed nodes; routed hops stay near it.
+        EXPECT_LE(result.nodes_queried, 32);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(native_topologies, native_integration,
+                         ::testing::ValuesIn(native_cases()),
+                         [](const ::testing::TestParamInfo<native_case>& info) {
+                             std::string name = info.param.label;
+                             for (char& c : name)
+                                 if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                             return name;
+                         });
+
+}  // namespace
+}  // namespace mm

@@ -1,0 +1,97 @@
+// Tests for core/lifting: Proposition 4, m'(4n) = 2*m(n) and
+// k'_i = 4*k_(i mod n).
+#include <gtest/gtest.h>
+
+#include "core/lifting.h"
+#include "core/lower_bound.h"
+#include "strategies/basic.h"
+#include "strategies/checkerboard.h"
+
+namespace mm::core {
+namespace {
+
+// Normalizes a strategy matrix through from_entries so P/Q are the row and
+// column unions ((M1) with equality), the setting of Proposition 4.
+rendezvous_matrix normalized(const locate_strategy& s) {
+    const auto r = rendezvous_matrix::from_strategy(s);
+    std::vector<node_set> entries;
+    entries.reserve(static_cast<std::size_t>(r.size()) * static_cast<std::size_t>(r.size()));
+    for (net::node_id i = 0; i < r.size(); ++i)
+        for (net::node_id j = 0; j < r.size(); ++j) entries.push_back(r.entry(i, j));
+    return rendezvous_matrix::from_entries(r.size(), std::move(entries));
+}
+
+TEST(lifting, quadruples_size) {
+    const auto base = normalized(strategies::checkerboard_strategy{4});
+    const auto lifted = lift(base);
+    EXPECT_EQ(lifted.size(), 16);
+}
+
+TEST(lifting, doubles_average_message_passes) {
+    const auto base = normalized(strategies::checkerboard_strategy{4});
+    const auto lifted = lift(base);
+    EXPECT_DOUBLE_EQ(lifted.average_message_passes(), 2.0 * base.average_message_passes());
+}
+
+TEST(lifting, multiplicities_scale_by_four) {
+    const auto base = normalized(strategies::checkerboard_strategy{4});
+    const auto k = base.multiplicities();
+    const auto lifted = lift(base);
+    const auto k4 = lifted.multiplicities();
+    ASSERT_EQ(k4.size(), 16u);
+    for (net::node_id v = 0; v < 16; ++v)
+        EXPECT_EQ(k4[static_cast<std::size_t>(v)], 4 * k[static_cast<std::size_t>(v % 4)]);
+}
+
+TEST(lifting, preserves_totality_and_singletons) {
+    const auto base = normalized(strategies::checkerboard_strategy{4});
+    ASSERT_TRUE(base.total());
+    ASSERT_TRUE(base.singleton());
+    const auto lifted = lift(base);
+    EXPECT_TRUE(lifted.total());
+    EXPECT_TRUE(lifted.singleton());
+}
+
+TEST(lifting, lifted_matrix_still_satisfies_lower_bounds) {
+    const auto base = normalized(strategies::checkerboard_strategy{4});
+    const auto lifted = lift(base, 2);  // 64 nodes
+    const auto report = check_bounds(lifted);
+    EXPECT_TRUE(report.all_hold());
+}
+
+TEST(lifting, repeated_lifting_preserves_optimality) {
+    // Base: n = 4, m = 4 = 2*sqrt(4) (optimal).  After k lifts n = 4^k * 4
+    // and m = 2^k * 4 = 2*sqrt(n): the lifted strategy stays optimal.
+    const auto base = normalized(strategies::checkerboard_strategy{4});
+    ASSERT_DOUBLE_EQ(base.average_message_passes(), 4.0);
+    const auto lifted = lift(base, 3);  // 256 nodes
+    EXPECT_EQ(lifted.size(), 256);
+    EXPECT_DOUBLE_EQ(lifted.average_message_passes(), 32.0);  // 2*sqrt(256)
+}
+
+TEST(lifting, centralized_lifts_to_four_centers) {
+    // Lifting the centralized matrix yields one center per quadrant copy.
+    const auto base = normalized(strategies::central_strategy{3, 0});
+    const auto lifted = lift(base);
+    const auto k = lifted.multiplicities();
+    int centers = 0;
+    for (const auto ki : k)
+        if (ki > 0) ++centers;
+    EXPECT_EQ(centers, 4);
+    EXPECT_DOUBLE_EQ(lifted.average_message_passes(), 4.0);
+}
+
+TEST(lifting, zero_steps_is_identity) {
+    const auto base = normalized(strategies::checkerboard_strategy{4});
+    const auto same = lift(base, 0);
+    EXPECT_EQ(same.size(), base.size());
+    EXPECT_DOUBLE_EQ(same.average_message_passes(), base.average_message_passes());
+}
+
+TEST(lifting, negative_steps_rejected) {
+    const auto base = normalized(strategies::central_strategy{2, 0});
+    EXPECT_THROW((void)lift(base, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mm::core

@@ -1,0 +1,188 @@
+// Tests for the Lighthouse Locate subsystem (Section 4): the ruler
+// schedule, beam rasterization, trail expiry, and the end-to-end plane
+// simulation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "lighthouse/lighthouse_sim.h"
+#include "lighthouse/plane.h"
+#include "lighthouse/ruler.h"
+
+namespace mm::lighthouse {
+namespace {
+
+TEST(ruler, matches_paper_prefix) {
+    // "1213121412131215 1213121412131216 ..." - the first 16 values.
+    const int expected[] = {1, 2, 1, 3, 1, 2, 1, 4, 1, 2, 1, 3, 1, 2, 1, 5};
+    for (int t = 1; t <= 16; ++t)
+        EXPECT_EQ(ruler_value(static_cast<std::uint64_t>(t)), expected[t - 1]) << "t = " << t;
+}
+
+TEST(ruler, counts_per_interval) {
+    // "in a sequence of 2^k trials there are 2^(k-i) length i*l trials".
+    const int k = 10;
+    std::vector<int> count(k + 2, 0);
+    for (std::uint64_t t = 1; t <= (1u << k); ++t) ++count[static_cast<std::size_t>(ruler_value(t))];
+    for (int i = 1; i < k; ++i) EXPECT_EQ(count[static_cast<std::size_t>(i)], 1 << (k - i));
+    EXPECT_EQ(count[static_cast<std::size_t>(k)], 1);      // one trial of length k*l
+    EXPECT_EQ(count[static_cast<std::size_t>(k + 1)], 1);  // the 2^k-th trial
+}
+
+TEST(ruler, schedule_object_tracks_counter) {
+    ruler_schedule s;
+    EXPECT_EQ(s.next(), 1);
+    EXPECT_EQ(s.next(), 2);
+    EXPECT_EQ(s.next(), 1);
+    EXPECT_EQ(s.next(), 3);
+    EXPECT_EQ(s.trials_so_far(), 4u);
+    s.reset();
+    EXPECT_EQ(s.next(), 1);
+}
+
+TEST(ruler, rejects_trial_zero) { EXPECT_THROW((void)ruler_value(0), std::invalid_argument); }
+
+TEST(beam, length_and_distinctness) {
+    const auto cells = rasterize_beam(64, 64, {32, 32}, 0.0, 10);
+    EXPECT_EQ(cells.size(), 10u);  // horizontal beam: one cell per step
+    std::set<std::pair<int, int>> unique;
+    for (const auto& c : cells) unique.insert({c.x, c.y});
+    EXPECT_EQ(unique.size(), cells.size());
+    // Straight east: y constant, x increasing.
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        EXPECT_EQ(cells[i].y, 32);
+        EXPECT_EQ(cells[i].x, 33 + static_cast<int>(i));
+    }
+}
+
+TEST(beam, wraps_on_torus) {
+    const auto cells = rasterize_beam(16, 16, {14, 8}, 0.0, 4);
+    ASSERT_EQ(cells.size(), 4u);
+    EXPECT_EQ(cells[0].x, 15);
+    EXPECT_EQ(cells[1].x, 0);  // wrapped
+    EXPECT_EQ(cells[2].x, 1);
+}
+
+TEST(beam, diagonal_never_repeats_cells) {
+    const auto cells = rasterize_beam(128, 128, {0, 0}, 0.7853981634, 50);  // 45 degrees
+    std::set<std::pair<int, int>> unique;
+    for (const auto& c : cells) unique.insert({c.x, c.y});
+    EXPECT_EQ(unique.size(), cells.size());
+}
+
+TEST(beam, zero_length_is_empty) {
+    EXPECT_TRUE(rasterize_beam(8, 8, {1, 1}, 1.0, 0).empty());
+}
+
+TEST(trails, deposit_lookup_expire) {
+    trail_map trails{32, 32};
+    const core::port_id port = core::port_of("svc");
+    trails.deposit({3, 4}, port, 7, /*expires_at=*/100);
+    EXPECT_TRUE(trails.live_trail({3, 4}, port, 50).has_value());
+    EXPECT_EQ(trails.live_trail({3, 4}, port, 50)->where, 7);
+    EXPECT_FALSE(trails.live_trail({3, 4}, port, 100).has_value());  // expired
+    EXPECT_FALSE(trails.live_trail({3, 5}, port, 50).has_value());   // wrong cell
+    EXPECT_FALSE(trails.live_trail({3, 4}, port + 1, 50).has_value());
+}
+
+TEST(trails, fresher_beam_extends_lifetime) {
+    trail_map trails{32, 32};
+    const core::port_id port = core::port_of("svc");
+    trails.deposit({0, 0}, port, 1, 50);
+    trails.deposit({0, 0}, port, 1, 90);  // re-beam
+    EXPECT_TRUE(trails.live_trail({0, 0}, port, 70).has_value());
+}
+
+TEST(trails, live_entries_prunes) {
+    trail_map trails{32, 32};
+    const core::port_id port = core::port_of("svc");
+    trails.deposit({0, 0}, port, 1, 10);
+    trails.deposit({1, 0}, port, 1, 100);
+    EXPECT_EQ(trails.live_entries(5), 2u);
+    EXPECT_EQ(trails.live_entries(50), 1u);
+    EXPECT_EQ(trails.live_entries(1000), 0u);
+}
+
+lighthouse_params dense_params(client_schedule schedule, std::uint64_t seed) {
+    lighthouse_params p;
+    p.width = 96;
+    p.height = 96;
+    p.server_density = 0.01;  // ~92 servers
+    p.server_beam_length = 24;
+    p.server_period = 4;
+    p.trail_lifetime = 64;
+    p.client_base_length = 2;
+    p.client_period = 4;
+    p.schedule = schedule;
+    p.max_time = 1 << 16;
+    p.seed = seed;
+    return p;
+}
+
+TEST(lighthouse_sim, dense_world_locates_quickly) {
+    const auto result = run_lighthouse(dense_params(client_schedule::doubling, 7));
+    EXPECT_TRUE(result.located);
+    EXPECT_GT(result.server_count, 10);
+    EXPECT_GT(result.client_messages, 0);
+    EXPECT_LT(result.time_to_locate, 1 << 14);
+}
+
+TEST(lighthouse_sim, ruler_schedule_also_locates) {
+    const auto result = run_lighthouse(dense_params(client_schedule::ruler, 7));
+    EXPECT_TRUE(result.located);
+}
+
+TEST(lighthouse_sim, empty_world_never_locates) {
+    auto p = dense_params(client_schedule::doubling, 3);
+    p.server_density = 0.0;
+    p.max_time = 4096;
+    const auto result = run_lighthouse(p);
+    EXPECT_FALSE(result.located);
+    EXPECT_EQ(result.server_count, 0);
+    EXPECT_EQ(result.time_to_locate, p.max_time);
+    EXPECT_GT(result.client_trials, 0);
+}
+
+TEST(lighthouse_sim, deterministic_per_seed) {
+    const auto a = run_lighthouse(dense_params(client_schedule::doubling, 11));
+    const auto b = run_lighthouse(dense_params(client_schedule::doubling, 11));
+    EXPECT_EQ(a.located, b.located);
+    EXPECT_EQ(a.time_to_locate, b.time_to_locate);
+    EXPECT_EQ(a.client_messages, b.client_messages);
+    EXPECT_EQ(a.server_messages, b.server_messages);
+}
+
+TEST(lighthouse_sim, drifting_servers_still_get_located) {
+    auto p = dense_params(client_schedule::ruler, 19);
+    p.server_drift = 0.3;
+    const auto result = run_lighthouse(p);
+    EXPECT_TRUE(result.located);
+}
+
+TEST(lighthouse_sim, drift_is_deterministic_per_seed) {
+    auto p = dense_params(client_schedule::doubling, 23);
+    p.server_drift = 0.5;
+    const auto a = run_lighthouse(p);
+    const auto b = run_lighthouse(p);
+    EXPECT_EQ(a.time_to_locate, b.time_to_locate);
+    EXPECT_EQ(a.client_messages, b.client_messages);
+}
+
+TEST(lighthouse_sim, sparser_worlds_take_longer_on_average) {
+    // Aggregate over seeds: locating in a 10x sparser world should not be
+    // faster in the median.
+    std::int64_t dense_total = 0;
+    std::int64_t sparse_total = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        auto dense = dense_params(client_schedule::doubling, seed);
+        auto sparse = dense;
+        sparse.server_density = 0.0005;
+        dense_total += run_lighthouse(dense).time_to_locate;
+        sparse_total += run_lighthouse(sparse).time_to_locate;
+    }
+    EXPECT_LT(dense_total, sparse_total);
+}
+
+}  // namespace
+}  // namespace mm::lighthouse

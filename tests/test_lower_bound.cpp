@@ -1,0 +1,90 @@
+// Tests for core/lower_bound: Propositions 1-2 and their corollaries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/lower_bound.h"
+#include "strategies/basic.h"
+#include "strategies/checkerboard.h"
+#include "strategies/random_strategy.h"
+
+namespace mm::core {
+namespace {
+
+TEST(lower_bound, centralized_corollary) {
+    // k_1 = n^2, rest 0  =>  m(n) >= 2; the central strategy achieves it.
+    const strategies::central_strategy s{16, 3};
+    const auto r = rendezvous_matrix::from_strategy(s);
+    const auto report = check_bounds(r);
+    EXPECT_TRUE(report.all_hold());
+    EXPECT_DOUBLE_EQ(report.message_bound, 2.0);
+    EXPECT_DOUBLE_EQ(report.average_messages, 2.0);
+    EXPECT_DOUBLE_EQ(report.optimality_ratio(), 1.0);
+}
+
+TEST(lower_bound, truly_distributed_corollary) {
+    // All k_i = n  =>  m(n) >= 2*sqrt(n); the checkerboard achieves it for
+    // square n.
+    const strategies::checkerboard_strategy s{16};
+    const auto r = rendezvous_matrix::from_strategy(s);
+    const auto report = check_bounds(r);
+    EXPECT_TRUE(report.all_hold());
+    EXPECT_DOUBLE_EQ(report.message_bound, 8.0);
+    EXPECT_DOUBLE_EQ(report.average_messages, 8.0);
+}
+
+TEST(lower_bound, truly_distributed_bound_formula) {
+    EXPECT_DOUBLE_EQ(truly_distributed_bound(9), 6.0);
+    EXPECT_DOUBLE_EQ(truly_distributed_bound(100), 20.0);
+}
+
+TEST(lower_bound, broadcast_satisfies_but_does_not_meet_bound) {
+    const strategies::broadcast_strategy s{16};
+    const auto r = rendezvous_matrix::from_strategy(s);
+    const auto report = check_bounds(r);
+    EXPECT_TRUE(report.all_hold());
+    // Broadcast pays n+1 = 17 against a 2*sqrt(n) = 8 bound.
+    EXPECT_DOUBLE_EQ(report.average_messages, 17.0);
+    EXPECT_DOUBLE_EQ(report.message_bound, 8.0);
+    EXPECT_GT(report.optimality_ratio(), 2.0);
+}
+
+TEST(lower_bound, message_bound_for_multiplicities) {
+    // (2/n) * sum sqrt(k_i): n = 4, k = {16, 0, 0, 0} -> 2.
+    const std::vector<std::int64_t> central{16, 0, 0, 0};
+    EXPECT_DOUBLE_EQ(message_bound_for(central, 4), 2.0);
+    // k = {4, 4, 4, 4} -> (2/4) * 4 * 2 = 4 = 2*sqrt(4).
+    const std::vector<std::int64_t> uniform{4, 4, 4, 4};
+    EXPECT_DOUBLE_EQ(message_bound_for(uniform, 4), 4.0);
+}
+
+TEST(lower_bound, uneven_load_lowers_the_bound) {
+    // Concentrating rendezvous load reduces the lower bound (Section 2.3.2:
+    // hierarchical networks can go below 2*sqrt(n)).
+    const std::vector<std::int64_t> uneven{13, 1, 1, 1};
+    const std::vector<std::int64_t> even{4, 4, 4, 4};
+    EXPECT_LT(message_bound_for(uneven, 4), message_bound_for(even, 4));
+}
+
+// Property: Propositions 1 and 2 hold for arbitrary (random) strategies.
+class bounds_hold_for_random : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(bounds_hold_for_random, propositions_hold) {
+    const auto [n, p, q] = GetParam();
+    const strategies::random_strategy s{n, p, q, 1234u + static_cast<unsigned>(n)};
+    const auto r = rendezvous_matrix::from_strategy(s);
+    const auto report = check_bounds(r);
+    EXPECT_TRUE(report.proposition1_holds)
+        << report.product_sum << " < " << report.product_sum_bound;
+    EXPECT_TRUE(report.proposition2_holds)
+        << report.average_messages << " < " << report.message_bound;
+}
+
+INSTANTIATE_TEST_SUITE_P(random_strategies, bounds_hold_for_random,
+                         ::testing::Values(std::tuple{8, 2, 3}, std::tuple{8, 3, 3},
+                                           std::tuple{16, 4, 4}, std::tuple{16, 1, 16},
+                                           std::tuple{32, 6, 6}, std::tuple{32, 32, 1},
+                                           std::tuple{64, 8, 8}, std::tuple{64, 2, 40}));
+
+}  // namespace
+}  // namespace mm::core

@@ -1,0 +1,278 @@
+// Integration tests for runtime/name_service: registration, locate,
+// migration with timestamp conflict resolution, staged hierarchical locate,
+// crash handling and f+1 redundancy (Sections 1.5, 2.4, 3.5, 5).
+#include <gtest/gtest.h>
+
+#include "net/hierarchy.h"
+#include "net/topologies.h"
+#include "runtime/name_service.h"
+#include "strategies/basic.h"
+#include "strategies/checkerboard.h"
+#include "strategies/grid.h"
+#include "strategies/hash_locate.h"
+#include "strategies/hierarchical.h"
+
+namespace mm::runtime {
+namespace {
+
+const core::port_id file_port = core::port_of("file-server");
+const core::port_id db_port = core::port_of("database");
+
+TEST(name_service_suite, register_then_locate_on_grid) {
+    const auto g = net::make_grid(4, 4);
+    sim::simulator sim{g};
+    const strategies::manhattan_strategy strategy{4, 4};
+    name_service ns{sim, strategy};
+
+    ns.register_server(file_port, 5);
+    const auto result = ns.locate(file_port, 10);
+    EXPECT_TRUE(result.found);
+    EXPECT_EQ(result.where, 5);
+    EXPECT_EQ(result.nodes_queried, 4);  // the client's column
+    EXPECT_GT(result.message_passes, 0);
+}
+
+TEST(name_service_suite, locate_unknown_port_fails_cleanly) {
+    const auto g = net::make_grid(3, 3);
+    sim::simulator sim{g};
+    const strategies::manhattan_strategy strategy{3, 3};
+    name_service ns{sim, strategy};
+    const auto result = ns.locate(core::port_of("nonexistent"), 4);
+    EXPECT_FALSE(result.found);
+    EXPECT_EQ(result.where, net::invalid_node);
+}
+
+TEST(name_service_suite, every_client_can_locate_every_server) {
+    const auto g = net::make_complete(9);
+    sim::simulator sim{g};
+    const strategies::checkerboard_strategy strategy{9};
+    name_service ns{sim, strategy};
+    for (net::node_id server = 0; server < 9; ++server) {
+        const core::port_id port = core::port_of("svc" + std::to_string(server));
+        ns.register_server(port, server);
+        for (net::node_id client = 0; client < 9; ++client) {
+            const auto result = ns.locate(port, client);
+            EXPECT_TRUE(result.found) << server << " from " << client;
+            EXPECT_EQ(result.where, server);
+        }
+    }
+}
+
+TEST(name_service_suite, caches_hold_the_posted_bindings) {
+    const auto g = net::make_complete(16);
+    sim::simulator sim{g};
+    const strategies::checkerboard_strategy strategy{16};
+    name_service ns{sim, strategy};
+    ns.register_server(file_port, 3);
+    // Exactly the P(3) nodes hold the entry.
+    const auto posts = strategy.post_set(3);
+    EXPECT_EQ(ns.total_cache_entries(), posts.size());
+    for (const net::node_id v : posts)
+        EXPECT_TRUE(ns.node(v).directory().lookup(file_port).has_value());
+}
+
+TEST(name_service_suite, deregister_removes_bindings) {
+    const auto g = net::make_complete(9);
+    sim::simulator sim{g};
+    const strategies::checkerboard_strategy strategy{9};
+    name_service ns{sim, strategy};
+    ns.register_server(file_port, 2);
+    ns.deregister_server(file_port, 2);
+    EXPECT_EQ(ns.total_cache_entries(), 0u);
+    EXPECT_FALSE(ns.locate(file_port, 7).found);
+}
+
+TEST(name_service_suite, migration_updates_address) {
+    const auto g = net::make_complete(9);
+    sim::simulator sim{g};
+    const strategies::checkerboard_strategy strategy{9};
+    name_service ns{sim, strategy};
+    ns.register_server(file_port, 1);
+    ASSERT_EQ(ns.locate(file_port, 5).where, 1);
+    ns.migrate_server(file_port, 1, 8);
+    const auto result = ns.locate(file_port, 5);
+    EXPECT_TRUE(result.found);
+    EXPECT_EQ(result.where, 8);
+}
+
+TEST(name_service_suite, stale_posts_lose_to_fresh_ones) {
+    // Timestamp conflict resolution: an old binding cannot clobber a newer
+    // one even if its post is replayed afterwards.
+    const auto g = net::make_complete(4);
+    sim::simulator sim{g};
+    const strategies::flood_strategy strategy{4};
+    name_service ns{sim, strategy};
+    ns.register_server(file_port, 0);
+    sim.run_until(sim.now() + 10);
+    ns.register_server(file_port, 2);  // fresher binding everywhere
+    core::port_entry stale;
+    stale.port = file_port;
+    stale.where = 0;
+    stale.stamp = 0;  // as if delayed from the first registration
+    EXPECT_FALSE(ns.node(3).directory().post(stale));
+    EXPECT_EQ(ns.locate(file_port, 3).where, 2);
+}
+
+TEST(name_service_suite, rendezvous_crash_breaks_singleton_strategy) {
+    const auto g = net::make_complete(9);
+    sim::simulator sim{g};
+    const strategies::checkerboard_strategy strategy{9};
+    name_service ns{sim, strategy};
+    ns.register_server(file_port, 0);
+    // The unique rendezvous for server 0 / client 0 is node 0's block.
+    const auto rendezvous = core::intersect_sets(strategy.post_set(0), strategy.query_set(8));
+    ASSERT_EQ(rendezvous.size(), 1u);
+    ns.crash_node(rendezvous.front());
+    EXPECT_FALSE(ns.locate(file_port, 8).found);
+}
+
+TEST(name_service_suite, f_plus_1_redundancy_survives_f_faults) {
+    // Mesh strategy in 3 dimensions: rendezvous sets have 3 nodes, so any 2
+    // crashes leave a live rendezvous (Section 2.4).
+    const net::mesh_shape shape{{3, 3, 3}};
+    const auto g = net::make_mesh(shape);
+    sim::simulator sim{g};
+    const strategies::mesh_strategy strategy{shape};
+    name_service ns{sim, strategy};
+    ns.register_server(db_port, 0);
+    const auto rendezvous = core::intersect_sets(strategy.post_set(0), strategy.query_set(26));
+    ASSERT_EQ(rendezvous.size(), 3u);
+    ns.crash_node(rendezvous[0]);
+    ns.crash_node(rendezvous[1]);
+    const auto result = ns.locate(db_port, 26);
+    EXPECT_TRUE(result.found);
+    EXPECT_EQ(result.where, 0);
+}
+
+TEST(name_service_suite, crash_wipes_cache_and_repost_recovers) {
+    const auto g = net::make_complete(9);
+    sim::simulator sim{g};
+    const strategies::flood_strategy strategy{9};  // posts everywhere
+    name_service ns{sim, strategy};
+    ns.register_server(file_port, 4);
+    ns.crash_node(7);
+    ns.recover_node(7);
+    EXPECT_FALSE(ns.node(7).directory().lookup(file_port).has_value());
+    ns.repost_all();
+    EXPECT_TRUE(ns.node(7).directory().lookup(file_port).has_value());
+}
+
+TEST(name_service_suite, staged_locate_stays_local_for_local_services) {
+    const net::hierarchy h{{4, 4}};
+    const auto g = net::make_hierarchical_graph(h);
+    sim::simulator sim{g};
+    const strategies::hierarchical_strategy strategy{h};
+    name_service ns{sim, strategy};
+    // Server and client in the same level-1 cluster.
+    ns.register_server(file_port, 1);
+    const auto local = ns.locate_staged(file_port, 2, strategy);
+    EXPECT_TRUE(local.found);
+    EXPECT_EQ(local.stages, 1);  // resolved inside the cluster
+    // Remote client needs the second level.
+    const auto remote = ns.locate_staged(file_port, 9, strategy);
+    EXPECT_TRUE(remote.found);
+    EXPECT_EQ(remote.stages, 2);
+    EXPECT_EQ(remote.where, 1);
+}
+
+TEST(name_service_suite, staged_locate_costs_less_for_local_traffic) {
+    const net::hierarchy h{{8, 8}};
+    const auto g = net::make_hierarchical_graph(h);
+    sim::simulator sim{g};
+    const strategies::hierarchical_strategy strategy{h};
+    name_service ns{sim, strategy};
+    ns.register_server(file_port, 0);
+    const auto staged = ns.locate_staged(file_port, 1, strategy);
+    const auto flat = ns.locate(file_port, 2);
+    EXPECT_TRUE(staged.found);
+    EXPECT_TRUE(flat.found);
+    EXPECT_LT(staged.nodes_queried, flat.nodes_queried);
+}
+
+TEST(name_service_suite, hash_locate_with_rehash_fallback) {
+    const auto g = net::make_complete(32);
+    sim::simulator sim{g};
+    const strategies::hash_locate_strategy primary{32, 1, 0};
+    const strategies::hash_locate_strategy backup1{32, 1, 1};
+    const strategies::hash_locate_strategy backup2{32, 1, 2};
+    name_service ns{sim, primary};
+    ns.register_server(db_port, 3);
+
+    // Healthy: resolved at the primary rendezvous in one stage.
+    auto result = ns.locate_with_fallback(db_port, 9, {&backup1, &backup2});
+    EXPECT_TRUE(result.found);
+    EXPECT_EQ(result.stages, 1);
+
+    // Kill the primary rendezvous node: the fallback rehash must kick in.
+    ns.crash_node(primary.rendezvous_node(db_port, 0));
+    result = ns.locate_with_fallback(db_port, 9, {&backup1, &backup2});
+    EXPECT_TRUE(result.found);
+    EXPECT_EQ(result.where, 3);
+    EXPECT_GT(result.stages, 1);
+}
+
+TEST(name_service_suite, purge_binding_unmasks_surviving_replica) {
+    // Two replicas of one port; the fresher registration shadows the older
+    // one at shared rendezvous nodes.  After the fresh replica crashes, a
+    // purge removes its stale binding and locates fall through to the
+    // survivor.
+    const auto g = net::make_complete(16);
+    sim::simulator sim{g};
+    const strategies::flood_strategy strategy{16};  // fully shared rendezvous
+    name_service ns{sim, strategy};
+    ns.register_server(db_port, 2);
+    sim.run_until(sim.now() + 5);
+    ns.register_server(db_port, 9);  // fresher, wins everywhere
+    ASSERT_EQ(ns.locate(db_port, 0).where, 9);
+
+    ns.crash_node(9);
+    // Stale caches still answer 9 (fail-stop servers cannot deregister).
+    EXPECT_EQ(ns.locate(db_port, 0).where, 9);
+    ns.purge_binding(db_port, 9);
+    // The purge leaves no binding (9's posts had shadowed 2's)...
+    EXPECT_FALSE(ns.locate(db_port, 0).found);
+    // ...until the surviving replica's periodic refresh re-advertises it.
+    ns.repost_all();
+    const auto result = ns.locate(db_port, 0);
+    EXPECT_TRUE(result.found);
+    EXPECT_EQ(result.where, 2);
+}
+
+TEST(name_service_suite, purge_binding_leaves_other_ports_alone) {
+    const auto g = net::make_complete(9);
+    sim::simulator sim{g};
+    const strategies::checkerboard_strategy strategy{9};
+    name_service ns{sim, strategy};
+    ns.register_server(file_port, 1);
+    ns.register_server(db_port, 1);
+    ns.purge_binding(file_port, 1);
+    EXPECT_FALSE(ns.locate(file_port, 5).found);
+    EXPECT_TRUE(ns.locate(db_port, 5).found);
+}
+
+TEST(name_service_suite, locate_latency_reflects_routing_distance) {
+    // On a path, query + reply must cross the network: latency >= distance.
+    const auto g = net::make_path(8);
+    sim::simulator sim{g};
+    const strategies::central_strategy strategy{8, 0};
+    name_service ns{sim, strategy};
+    ns.register_server(file_port, 0);
+    const auto result = ns.locate(file_port, 7);
+    EXPECT_TRUE(result.found);
+    EXPECT_GE(result.latency, 7);  // 7 hops to the center, replies come back
+}
+
+TEST(name_service_suite, broadcast_strategy_message_cost_scales_with_n) {
+    const auto g = net::make_complete(16);
+    sim::simulator sim{g};
+    const strategies::broadcast_strategy strategy{16};
+    name_service ns{sim, strategy};
+    ns.register_server(file_port, 3);
+    const auto result = ns.locate(file_port, 9);
+    EXPECT_TRUE(result.found);
+    EXPECT_EQ(result.nodes_queried, 16);
+    EXPECT_GE(result.message_passes, 15);
+}
+
+}  // namespace
+}  // namespace mm::runtime

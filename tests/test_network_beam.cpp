@@ -1,0 +1,79 @@
+// Tests for lighthouse/network_beam: the reverse-routing-table "straight
+// line" trick at the end of Section 4.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lighthouse/network_beam.h"
+#include "net/topologies.h"
+
+namespace mm::lighthouse {
+namespace {
+
+TEST(network_beam, moves_strictly_away_from_origin) {
+    const auto g = net::make_grid(9, 9);
+    const net::routing_table rt{g};
+    sim::rng random{5};
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto trace = trace_network_beam(g, rt, 40, 6, random);  // center
+        EXPECT_TRUE(trace.monotone_away);
+        EXPECT_FALSE(trace.nodes.empty());
+    }
+}
+
+TEST(network_beam, respects_requested_length_when_possible) {
+    // On a large torus every beam of length 4 from the center can extend.
+    const auto g = net::make_grid(16, 16, net::wrap_mode::torus);
+    const net::routing_table rt{g};
+    sim::rng random{9};
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto nodes = network_beam(g, rt, 0, 4, random);
+        EXPECT_EQ(nodes.size(), 4u);
+    }
+}
+
+TEST(network_beam, stops_at_network_edge) {
+    // From a path end, a beam can run at most n-1 hops.
+    const auto g = net::make_path(5);
+    const net::routing_table rt{g};
+    sim::rng random{2};
+    const auto nodes = network_beam(g, rt, 0, 10, random);
+    EXPECT_EQ(nodes.size(), 4u);
+    EXPECT_EQ(nodes.back(), 4);
+}
+
+TEST(network_beam, zero_length_is_empty) {
+    const auto g = net::make_ring(6);
+    const net::routing_table rt{g};
+    sim::rng random{2};
+    EXPECT_TRUE(network_beam(g, rt, 0, 0, random).empty());
+}
+
+TEST(network_beam, never_revisits_nodes_on_trees) {
+    // On a tree, reverse-path beams follow simple root-to-leaf paths.
+    const auto g = net::make_balanced_tree(3, 4);
+    const net::routing_table rt{g};
+    sim::rng random{13};
+    for (int trial = 0; trial < 30; ++trial) {
+        const auto nodes = network_beam(g, rt, 0, 10, random);
+        std::set<net::node_id> unique{nodes.begin(), nodes.end()};
+        EXPECT_EQ(unique.size(), nodes.size());
+    }
+}
+
+TEST(network_beam, covers_different_directions) {
+    // Repeated beams from the same origin should fan out over distinct
+    // endpoints (the random-direction property the locate relies on).
+    const auto g = net::make_grid(11, 11);
+    const net::routing_table rt{g};
+    sim::rng random{21};
+    std::set<net::node_id> endpoints;
+    for (int trial = 0; trial < 60; ++trial) {
+        const auto nodes = network_beam(g, rt, 60, 5, random);
+        if (!nodes.empty()) endpoints.insert(nodes.back());
+    }
+    EXPECT_GE(endpoints.size(), 8u);
+}
+
+}  // namespace
+}  // namespace mm::lighthouse

@@ -1,0 +1,107 @@
+// Tests for lighthouse/network_lighthouse: the practical point-to-point
+// version of Lighthouse Locate (end of Section 4).
+#include <gtest/gtest.h>
+
+#include "lighthouse/network_lighthouse.h"
+#include "net/topologies.h"
+
+namespace mm::lighthouse {
+namespace {
+
+network_lighthouse_params base_params() {
+    network_lighthouse_params p;
+    p.servers = {5, 77, 130};
+    p.client = 112;  // grid center-ish
+    p.server_beam_length = 8;
+    p.server_period = 6;
+    p.trail_lifetime = 48;
+    p.client_base_length = 2;
+    p.client_period = 6;
+    p.cache_capacity = 8;
+    p.max_time = 1 << 15;
+    p.seed = 3;
+    return p;
+}
+
+TEST(network_lighthouse, locates_on_a_grid) {
+    const auto g = net::make_grid(15, 15);
+    const net::routing_table routes{g};
+    const auto result = run_network_lighthouse(g, routes, base_params());
+    EXPECT_TRUE(result.located);
+    EXPECT_NE(result.found_address, net::invalid_node);
+    EXPECT_GT(result.client_messages, 0);
+    EXPECT_GT(result.server_messages, 0);
+}
+
+TEST(network_lighthouse, ruler_schedule_locates_too) {
+    const auto g = net::make_grid(15, 15);
+    const net::routing_table routes{g};
+    auto p = base_params();
+    p.schedule = client_schedule::ruler;
+    EXPECT_TRUE(run_network_lighthouse(g, routes, p).located);
+}
+
+TEST(network_lighthouse, no_servers_never_locates) {
+    const auto g = net::make_grid(9, 9);
+    const net::routing_table routes{g};
+    auto p = base_params();
+    p.servers.clear();
+    p.client = 40;
+    p.max_time = 2048;
+    const auto result = run_network_lighthouse(g, routes, p);
+    EXPECT_FALSE(result.located);
+    EXPECT_EQ(result.time_to_locate, p.max_time);
+    EXPECT_GT(result.client_trials, 0);
+}
+
+TEST(network_lighthouse, found_address_is_a_real_server) {
+    const auto g = net::make_grid(15, 15, net::wrap_mode::torus);
+    const net::routing_table routes{g};
+    const auto p = base_params();
+    const auto result = run_network_lighthouse(g, routes, p);
+    ASSERT_TRUE(result.located);
+    EXPECT_TRUE(std::find(p.servers.begin(), p.servers.end(), result.found_address) !=
+                p.servers.end());
+}
+
+TEST(network_lighthouse, deterministic_per_seed) {
+    const auto g = net::make_grid(13, 13);
+    const net::routing_table routes{g};
+    auto p = base_params();
+    p.client = 84;
+    const auto a = run_network_lighthouse(g, routes, p);
+    const auto b = run_network_lighthouse(g, routes, p);
+    EXPECT_EQ(a.time_to_locate, b.time_to_locate);
+    EXPECT_EQ(a.client_messages, b.client_messages);
+    EXPECT_EQ(a.found_address, b.found_address);
+}
+
+TEST(network_lighthouse, tiny_caches_cause_evictions) {
+    // Many servers, capacity-1 caches: trails constantly evict each other
+    // ("too-small caches can discard (port, address) pairs").
+    const auto g = net::make_grid(11, 11);
+    const net::routing_table routes{g};
+    auto p = base_params();
+    p.servers = {0, 10, 110, 120, 60, 55, 65};
+    p.client = 60;
+    p.cache_capacity = 1;
+    const auto small = run_network_lighthouse(g, routes, p);
+    EXPECT_GT(small.cache_evictions, 0);
+    p.cache_capacity = 64;
+    const auto big = run_network_lighthouse(g, routes, p);
+    EXPECT_EQ(big.cache_evictions, 0);
+}
+
+TEST(network_lighthouse, validates_nodes) {
+    const auto g = net::make_grid(4, 4);
+    const net::routing_table routes{g};
+    auto p = base_params();
+    p.servers = {99};
+    EXPECT_THROW((void)run_network_lighthouse(g, routes, p), std::invalid_argument);
+    p.servers = {1};
+    p.client = -1;
+    EXPECT_THROW((void)run_network_lighthouse(g, routes, p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mm::lighthouse

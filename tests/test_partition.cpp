@@ -1,0 +1,197 @@
+// Tests for net/partition: connected size-capped parts with full label
+// coverage, the substrate of the Section 3 generic scheme.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "net/partition.h"
+#include "net/random_graphs.h"
+#include "net/topologies.h"
+
+namespace mm::net {
+namespace {
+
+// True if the nodes of `part` induce a connected subgraph of g.
+bool part_connected(const graph& g, const std::vector<node_id>& part) {
+    if (part.empty()) return false;
+    std::set<node_id> members{part.begin(), part.end()};
+    std::set<node_id> seen{part.front()};
+    std::vector<node_id> stack{part.front()};
+    while (!stack.empty()) {
+        const node_id v = stack.back();
+        stack.pop_back();
+        for (const node_id w : g.neighbors(v)) {
+            if (members.contains(w) && !seen.contains(w)) {
+                seen.insert(w);
+                stack.push_back(w);
+            }
+        }
+    }
+    return seen.size() == members.size();
+}
+
+void check_partition_invariants(const graph& g, const graph_partition& part, int target) {
+    // Every node is in exactly one part.
+    std::set<node_id> all;
+    for (const auto& p : part.parts) {
+        ASSERT_FALSE(p.empty());
+        for (const node_id v : p) {
+            EXPECT_TRUE(all.insert(v).second) << "node in two parts";
+            EXPECT_EQ(&part.parts[static_cast<std::size_t>(
+                          part.part_of[static_cast<std::size_t>(v)])],
+                      &p);
+        }
+    }
+    EXPECT_EQ(static_cast<node_id>(all.size()), g.node_count());
+
+    // The label alphabet is the largest part.
+    std::size_t largest = 0;
+    for (const auto& p : part.parts) largest = std::max(largest, p.size());
+    EXPECT_EQ(part.label_count, static_cast<int>(largest));
+
+    for (int p = 0; p < part.part_count(); ++p) {
+        const auto& nodes = part.parts[static_cast<std::size_t>(p)];
+        // Size cap: below 2 * target.
+        EXPECT_LT(static_cast<int>(nodes.size()), 2 * target)
+            << "part " << p << " oversized";
+        EXPECT_TRUE(part_connected(g, nodes));
+        // Every part covers every label through covering_node.
+        for (int label = 0; label < part.label_count; ++label) {
+            const node_id cover = part.covering_node(p, label);
+            EXPECT_EQ(part.part_of[static_cast<std::size_t>(cover)], p);
+            EXPECT_EQ(part.label_of[static_cast<std::size_t>(cover)],
+                      label % static_cast<int>(nodes.size()));
+        }
+    }
+}
+
+TEST(partition, grid_partition_invariants) {
+    const auto g = make_grid(8, 8);
+    const auto part = partition_connected(g);
+    check_partition_invariants(g, part, 8);
+    EXPECT_GE(part.part_count(), 4);
+}
+
+TEST(partition, ring_partition_invariants) {
+    const auto g = make_ring(30);
+    const auto part = partition_connected(g);
+    check_partition_invariants(g, part, 6);
+}
+
+TEST(partition, path_partition_has_sqrt_n_parts) {
+    const auto g = make_path(100);
+    const auto part = partition_connected(g);
+    check_partition_invariants(g, part, 10);
+    // A path splits cleanly into ~sqrt(n) chunks.
+    EXPECT_GE(part.part_count(), 8);
+    EXPECT_LE(part.part_count(), 13);
+}
+
+TEST(partition, complete_graph_partition) {
+    const auto g = make_complete(20);
+    const auto part = partition_connected(g);
+    check_partition_invariants(g, part, 5);
+}
+
+TEST(partition, balanced_tree_partition_invariants) {
+    const auto g = make_balanced_tree(3, 4);  // 121 nodes
+    const auto part = partition_connected(g);
+    check_partition_invariants(g, part, 11);
+}
+
+TEST(partition, star_is_handled_by_small_parts) {
+    // A star cannot be split into connected ~sqrt(n) parts without the hub;
+    // the carve caps the hub's part and sheds leaves as singletons that
+    // cover all labels by wrap-around.
+    const auto g = make_star(50);
+    const auto part = partition_connected(g);
+    check_partition_invariants(g, part, 8);
+    EXPECT_GE(part.part_count(), 5);
+}
+
+TEST(partition, heavy_hub_tree_parts_stay_capped) {
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+        const auto g = make_preferential_tree(200, seed);
+        const auto part = partition_connected(g);
+        check_partition_invariants(g, part, 15);
+    }
+}
+
+TEST(partition, random_graph_partition_invariants) {
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+        const auto g = make_random_connected(64, 40, seed);
+        const auto part = partition_connected(g);
+        check_partition_invariants(g, part, 8);
+    }
+}
+
+TEST(partition, custom_target_respected) {
+    const auto g = make_grid(6, 6);
+    const auto part = partition_connected(g, 12);
+    check_partition_invariants(g, part, 12);
+}
+
+TEST(partition, target_one_gives_singletons) {
+    const auto g = make_path(5);
+    const auto part = partition_connected(g, 1);
+    EXPECT_EQ(part.part_count(), 5);
+    EXPECT_EQ(part.label_count, 1);
+}
+
+TEST(partition, tiny_graph_is_single_part) {
+    const auto g = make_path(3);
+    const auto part = partition_connected(g, 10);
+    check_partition_invariants(g, part, 10);
+    EXPECT_EQ(part.part_count(), 1);
+    EXPECT_EQ(part.label_count, 3);
+}
+
+TEST(partition, disconnected_graph_rejected) {
+    graph g{4};
+    g.add_edge(0, 1);
+    EXPECT_THROW(partition_connected(g), std::invalid_argument);
+}
+
+TEST(partition, nodes_with_label_has_one_covering_node_per_part) {
+    const auto g = make_grid(8, 8);
+    const auto part = partition_connected(g);
+    for (int label = 0; label < part.label_count; ++label) {
+        const auto nodes = part.nodes_with_label(label);
+        EXPECT_LE(static_cast<int>(nodes.size()), part.part_count());
+        // Every part contributed its covering node.
+        std::set<int> covered_parts;
+        for (const node_id v : nodes)
+            covered_parts.insert(part.part_of[static_cast<std::size_t>(v)]);
+        EXPECT_EQ(static_cast<int>(covered_parts.size()), part.part_count());
+    }
+}
+
+TEST(partition, labels_covered_multiplier) {
+    const auto g = make_star(20);
+    const auto part = partition_connected(g, 4);
+    // Some shed singleton part must cover the whole alphabet.
+    bool found_wrap = false;
+    for (net::node_id v = 0; v < 20; ++v)
+        if (part.labels_covered_by(v) == part.label_count &&
+            part.parts[static_cast<std::size_t>(part.part_of[static_cast<std::size_t>(v)])]
+                    .size() == 1)
+            found_wrap = true;
+    EXPECT_TRUE(found_wrap);
+    // A node in the largest part covers exactly one label.
+    for (const auto& p : part.parts) {
+        if (static_cast<int>(p.size()) == part.label_count) {
+            EXPECT_EQ(part.labels_covered_by(p.front()), 1);
+        }
+    }
+}
+
+TEST(partition, covering_node_validates_label) {
+    const auto g = make_path(9);
+    const auto part = partition_connected(g);
+    EXPECT_THROW((void)part.covering_node(0, part.label_count), std::out_of_range);
+    EXPECT_THROW((void)part.covering_node(0, -1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mm::net

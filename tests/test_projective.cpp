@@ -1,0 +1,92 @@
+// Tests for net/projective_plane: the axioms quoted in Section 3.4 -
+// "PG(2,k) has n = k^2+k+1 points and equally many lines.  Each line
+// consists of k+1 points and k+1 lines pass through each point.  Each pair
+// of lines has exactly one point in common."
+#include <gtest/gtest.h>
+
+#include "net/projective_plane.h"
+
+namespace mm::net {
+namespace {
+
+class plane_axioms : public ::testing::TestWithParam<int> {};
+
+TEST_P(plane_axioms, counts) {
+    const int q = GetParam();
+    const projective_plane pg{q};
+    EXPECT_EQ(pg.order(), q);
+    EXPECT_EQ(pg.point_count(), q * q + q + 1);
+    EXPECT_EQ(pg.line_count(), q * q + q + 1);
+}
+
+TEST_P(plane_axioms, each_line_has_q_plus_1_points) {
+    const projective_plane pg{GetParam()};
+    for (int line = 0; line < pg.line_count(); ++line)
+        EXPECT_EQ(static_cast<int>(pg.points_on_line(line).size()), pg.order() + 1);
+}
+
+TEST_P(plane_axioms, each_point_on_q_plus_1_lines) {
+    const projective_plane pg{GetParam()};
+    for (node_id point = 0; point < pg.point_count(); ++point)
+        EXPECT_EQ(static_cast<int>(pg.lines_through_point(point).size()), pg.order() + 1);
+}
+
+TEST_P(plane_axioms, distinct_lines_share_exactly_one_point) {
+    const projective_plane pg{GetParam()};
+    for (int a = 0; a < pg.line_count(); ++a) {
+        for (int b = a + 1; b < pg.line_count(); ++b) {
+            int shared = 0;
+            for (const node_id p : pg.points_on_line(a))
+                if (pg.incident(p, b)) ++shared;
+            ASSERT_EQ(shared, 1) << "lines " << a << ", " << b;
+            // common_point agrees with the exhaustive count.
+            EXPECT_TRUE(pg.incident(pg.common_point(a, b), a));
+            EXPECT_TRUE(pg.incident(pg.common_point(a, b), b));
+        }
+    }
+}
+
+TEST_P(plane_axioms, two_points_lie_on_one_common_line) {
+    const projective_plane pg{GetParam()};
+    for (node_id p = 0; p < pg.point_count(); ++p) {
+        for (node_id r = static_cast<node_id>(p) + 1; r < pg.point_count(); ++r) {
+            int shared = 0;
+            for (const int line : pg.lines_through_point(p))
+                if (pg.incident(r, line)) ++shared;
+            ASSERT_EQ(shared, 1) << "points " << p << ", " << r;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(orders, plane_axioms, ::testing::Values(2, 3, 4, 5, 7, 8, 9));
+
+TEST(projective_plane, fano_plane_is_pg_2_2) {
+    const projective_plane fano{2};
+    EXPECT_EQ(fano.point_count(), 7);
+    EXPECT_EQ(fano.line_count(), 7);
+}
+
+TEST(projective_plane, common_point_of_identical_lines_throws) {
+    const projective_plane pg{2};
+    EXPECT_THROW((void)pg.common_point(3, 3), std::invalid_argument);
+}
+
+TEST(projective_plane, rejects_non_prime_power_order) {
+    EXPECT_THROW(projective_plane{6}, std::invalid_argument);
+}
+
+TEST(projective_plane, coords_are_normalized) {
+    const projective_plane pg{3};
+    for (node_id p = 0; p < pg.point_count(); ++p) {
+        const auto c = pg.point_coords(p);
+        // First nonzero coordinate is 1.
+        for (const int v : c) {
+            if (v == 0) continue;
+            EXPECT_EQ(v, 1);
+            break;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace mm::net

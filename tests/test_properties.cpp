@@ -1,0 +1,198 @@
+// Cross-strategy property suite: every deterministic strategy in the
+// library, over a range of sizes, must (a) return normalized subsets of the
+// universe, (b) produce a total rendezvous matrix - deterministic
+// match-making always succeeds - and (c) satisfy the Proposition 1/2 lower
+// bounds.  This is the paper's core claim checked wholesale.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "core/certify.h"
+#include "core/lower_bound.h"
+#include "core/rendezvous_matrix.h"
+#include "net/hierarchy.h"
+#include "net/partition.h"
+#include "net/topologies.h"
+#include "strategies/basic.h"
+#include "strategies/checkerboard.h"
+#include "strategies/cube.h"
+#include "strategies/grid.h"
+#include "strategies/hash_locate.h"
+#include "strategies/hierarchical.h"
+#include "strategies/partition_strategy.h"
+#include "strategies/projective.h"
+#include "strategies/scoped_hash.h"
+#include "strategies/tree_path.h"
+
+namespace mm {
+namespace {
+
+struct strategy_case {
+    std::string label;
+    std::function<std::unique_ptr<core::locate_strategy>()> make;
+};
+
+std::vector<strategy_case> all_cases() {
+    std::vector<strategy_case> cases;
+    for (const net::node_id n : {5, 9, 16, 30}) {
+        cases.push_back({"broadcast/" + std::to_string(n),
+                         [n] { return std::make_unique<strategies::broadcast_strategy>(n); }});
+        cases.push_back({"sweep/" + std::to_string(n),
+                         [n] { return std::make_unique<strategies::sweep_strategy>(n); }});
+        cases.push_back({"central/" + std::to_string(n), [n] {
+                             return std::make_unique<strategies::central_strategy>(n, n / 2);
+                         }});
+        cases.push_back({"flood/" + std::to_string(n),
+                         [n] { return std::make_unique<strategies::flood_strategy>(n); }});
+        cases.push_back({"checkerboard/" + std::to_string(n), [n] {
+                             return std::make_unique<strategies::checkerboard_strategy>(n);
+                         }});
+        cases.push_back({"hash/" + std::to_string(n), [n] {
+                             return std::make_unique<strategies::hash_locate_strategy>(n, 2);
+                         }});
+        cases.push_back({"checkerboard-r2/" + std::to_string(n), [n] {
+                             return std::make_unique<strategies::checkerboard_strategy>(n, 0, 2);
+                         }});
+    }
+    cases.push_back({"projective-r2/k3", [] {
+                         return std::make_unique<strategies::projective_strategy>(3, 0, 1, 2);
+                     }});
+    cases.push_back({"scoped-hash/4x4", [] {
+                         return std::make_unique<strategies::scoped_hash_strategy>(
+                             net::hierarchy{{4, 4}}, 2, nullptr, 2);
+                     }});
+    for (const auto& [p, q] : {std::pair{3, 3}, {2, 5}, {4, 7}}) {
+        cases.push_back({"manhattan/" + std::to_string(p) + "x" + std::to_string(q),
+                         [p, q] { return std::make_unique<strategies::manhattan_strategy>(p, q); }});
+    }
+    cases.push_back({"mesh/3^3", [] {
+                         return std::make_unique<strategies::mesh_strategy>(
+                             net::mesh_shape{{3, 3, 3}});
+                     }});
+    cases.push_back({"mesh/2x3x4", [] {
+                         return std::make_unique<strategies::mesh_strategy>(
+                             net::mesh_shape{{2, 3, 4}});
+                     }});
+    for (const int d : {2, 3, 4, 5}) {
+        cases.push_back({"hypercube/d" + std::to_string(d),
+                         [d] { return std::make_unique<strategies::hypercube_strategy>(d); }});
+    }
+    for (const int d : {2, 3, 4}) {
+        cases.push_back({"ccc/d" + std::to_string(d),
+                         [d] { return std::make_unique<strategies::ccc_strategy>(d); }});
+    }
+    for (const int k : {2, 3, 4}) {
+        cases.push_back({"projective/k" + std::to_string(k),
+                         [k] { return std::make_unique<strategies::projective_strategy>(k); }});
+    }
+    cases.push_back({"hierarchical/4x4", [] {
+                         return std::make_unique<strategies::hierarchical_strategy>(
+                             net::hierarchy{{4, 4}});
+                     }});
+    cases.push_back({"hierarchical/2x3x4", [] {
+                         return std::make_unique<strategies::hierarchical_strategy>(
+                             net::hierarchy{{2, 3, 4}});
+                     }});
+    cases.push_back({"tree/binary15", [] {
+                         std::vector<net::node_id> parent(15);
+                         parent[0] = net::invalid_node;
+                         for (net::node_id v = 1; v < 15; ++v)
+                             parent[static_cast<std::size_t>(v)] = (v - 1) / 2;
+                         return std::make_unique<strategies::tree_path_strategy>(parent);
+                     }});
+    cases.push_back({"partition/grid6x6", [] {
+                         return std::make_unique<strategies::partition_strategy>(
+                             net::partition_connected(net::make_grid(6, 6)));
+                     }});
+    cases.push_back({"partition/ring24", [] {
+                         return std::make_unique<strategies::partition_strategy>(
+                             net::partition_connected(net::make_ring(24)));
+                     }});
+    return cases;
+}
+
+class strategy_properties : public ::testing::TestWithParam<strategy_case> {};
+
+TEST_P(strategy_properties, sets_are_normalized_subsets_of_universe) {
+    const auto strategy = GetParam().make();
+    const net::node_id n = strategy->node_count();
+    const core::port_id port = core::port_of("property-test");
+    for (net::node_id v = 0; v < n; ++v) {
+        for (const auto& set : {strategy->post_set(v, port), strategy->query_set(v, port)}) {
+            EXPECT_TRUE(std::is_sorted(set.begin(), set.end()));
+            EXPECT_EQ(std::adjacent_find(set.begin(), set.end()), set.end()) << "duplicates";
+            for (const net::node_id w : set) {
+                EXPECT_GE(w, 0);
+                EXPECT_LT(w, n);
+            }
+        }
+    }
+}
+
+TEST_P(strategy_properties, match_making_always_succeeds) {
+    const auto strategy = GetParam().make();
+    const auto r = core::rendezvous_matrix::from_strategy(*strategy, core::port_of("p"));
+    EXPECT_TRUE(r.total()) << GetParam().label;
+}
+
+TEST_P(strategy_properties, lower_bounds_hold) {
+    const auto strategy = GetParam().make();
+    const auto r = core::rendezvous_matrix::from_strategy(*strategy, core::port_of("p"));
+    const auto report = core::check_bounds(r);
+    EXPECT_TRUE(report.proposition1_holds)
+        << GetParam().label << ": " << report.product_sum << " < " << report.product_sum_bound;
+    EXPECT_TRUE(report.proposition2_holds)
+        << GetParam().label << ": " << report.average_messages << " < " << report.message_bound;
+}
+
+TEST_P(strategy_properties, proposition1_proof_lemma_holds) {
+    // R_v * C_v >= k_v for every node, the load-vs-span inequality the
+    // Proposition 1 proof rests on.
+    const auto strategy = GetParam().make();
+    const auto r = core::rendezvous_matrix::from_strategy(*strategy, core::port_of("p"));
+    const auto spans = r.occurrence_spans();
+    const auto k = r.multiplicities();
+    for (net::node_id v = 0; v < r.size(); ++v)
+        EXPECT_GE(spans.rows[static_cast<std::size_t>(v)] *
+                      spans.columns[static_cast<std::size_t>(v)],
+                  k[static_cast<std::size_t>(v)])
+            << GetParam().label << " node " << v;
+}
+
+TEST_P(strategy_properties, deterministic_sets) {
+    const auto strategy = GetParam().make();
+    const core::port_id port = core::port_of("determinism");
+    const net::node_id v = strategy->node_count() / 2;
+    EXPECT_EQ(strategy->post_set(v, port), strategy->post_set(v, port));
+    EXPECT_EQ(strategy->query_set(v, port), strategy->query_set(v, port));
+}
+
+TEST_P(strategy_properties, certificate_is_coherent) {
+    const auto strategy = GetParam().make();
+    const auto cert = core::certify(*strategy, core::port_of("p"));
+    EXPECT_TRUE(cert.total);
+    EXPECT_GE(cert.min_overlap, 1);
+    EXPECT_GE(cert.fault_tolerance(), 0);
+    EXPECT_GE(cert.optimality_ratio(), 1.0 - 1e-9);  // nobody beats the bound
+    EXPECT_LE(cert.max_post_size, cert.nodes);
+    EXPECT_LE(cert.max_query_size, cert.nodes);
+    EXPECT_GE(cert.load_max, static_cast<std::int64_t>(cert.load_mean));
+    if (cert.singleton) {
+        EXPECT_EQ(cert.min_overlap, 1);
+        // Singleton totals satisfy (M2) with equality: mean k = n.
+        EXPECT_DOUBLE_EQ(cert.load_mean, static_cast<double>(cert.nodes));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(all_strategies, strategy_properties,
+                         ::testing::ValuesIn(all_cases()),
+                         [](const ::testing::TestParamInfo<strategy_case>& info) {
+                             std::string name = info.param.label;
+                             for (char& c : name)
+                                 if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                             return name;
+                         });
+
+}  // namespace
+}  // namespace mm

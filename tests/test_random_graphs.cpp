@@ -1,0 +1,81 @@
+// Tests for net/random_graphs: the synthetic UUCP-like generators of
+// Section 3.6.
+#include <gtest/gtest.h>
+
+#include "net/random_graphs.h"
+#include "net/topologies.h"
+
+namespace mm::net {
+namespace {
+
+TEST(random_graphs, random_tree_is_a_tree) {
+    for (const std::uint64_t seed : {1u, 7u, 99u}) {
+        const auto g = make_random_tree(50, seed);
+        EXPECT_EQ(g.node_count(), 50);
+        EXPECT_EQ(g.edge_count(), 49);
+        EXPECT_TRUE(g.connected());
+    }
+}
+
+TEST(random_graphs, random_tree_deterministic_per_seed) {
+    const auto a = make_random_tree(40, 5);
+    const auto b = make_random_tree(40, 5);
+    for (node_id v = 0; v < 40; ++v)
+        EXPECT_EQ(std::vector<node_id>(a.neighbors(v).begin(), a.neighbors(v).end()),
+                  std::vector<node_id>(b.neighbors(v).begin(), b.neighbors(v).end()));
+}
+
+TEST(random_graphs, preferential_tree_is_more_skewed_than_uniform) {
+    // Preferential attachment should produce a larger hub than the uniform
+    // random tree at the same size (statistically robust at n = 400).
+    const auto pref = make_preferential_tree(400, 11);
+    const auto unif = make_random_tree(400, 11);
+    EXPECT_GT(pref.max_degree(), unif.max_degree() / 2);
+    EXPECT_EQ(pref.edge_count(), 399);
+    EXPECT_TRUE(pref.connected());
+}
+
+TEST(random_graphs, preferential_parents_valid) {
+    const auto parent = make_preferential_tree_parents(64, 3);
+    EXPECT_EQ(parent[0], invalid_node);
+    for (node_id v = 1; v < 64; ++v) {
+        EXPECT_GE(parent[static_cast<std::size_t>(v)], 0);
+        EXPECT_LT(parent[static_cast<std::size_t>(v)], v);  // attaches to earlier node
+    }
+}
+
+TEST(random_graphs, uucp_like_adds_shortcuts) {
+    const auto g = make_uucp_like(100, 60, 17);
+    EXPECT_EQ(g.node_count(), 100);
+    EXPECT_EQ(g.edge_count(), 99 + 60);
+    EXPECT_TRUE(g.connected());
+}
+
+TEST(random_graphs, random_connected_has_requested_extras) {
+    const auto g = make_random_connected(64, 30, 23);
+    EXPECT_EQ(g.edge_count(), 63 + 30);
+    EXPECT_TRUE(g.connected());
+}
+
+TEST(random_graphs, degree_histogram_sums_to_node_count) {
+    const auto g = make_uucp_like(200, 100, 9);
+    const auto hist = degree_histogram(g);
+    int total = 0;
+    std::int64_t degree_sum = 0;
+    for (std::size_t d = 0; d < hist.size(); ++d) {
+        total += hist[d];
+        degree_sum += static_cast<std::int64_t>(d) * hist[d];
+    }
+    EXPECT_EQ(total, 200);
+    EXPECT_EQ(degree_sum, 2 * g.edge_count());
+}
+
+TEST(random_graphs, single_node_tree) {
+    const auto g = make_random_tree(1, 1);
+    EXPECT_EQ(g.node_count(), 1);
+    EXPECT_EQ(g.edge_count(), 0);
+    EXPECT_THROW(make_random_tree(0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mm::net

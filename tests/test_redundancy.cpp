@@ -1,0 +1,121 @@
+// Tests for the Section 2.4 redundancy machinery: redundant checkerboard
+// and projective variants, and the certify() audit.
+#include <gtest/gtest.h>
+
+#include "core/certify.h"
+#include "net/topologies.h"
+#include "runtime/name_service.h"
+#include "strategies/basic.h"
+#include "strategies/checkerboard.h"
+#include "strategies/grid.h"
+#include "strategies/projective.h"
+
+namespace mm {
+namespace {
+
+TEST(redundant_checkerboard, overlap_grows_quadratically) {
+    for (const int r : {1, 2, 3}) {
+        const strategies::checkerboard_strategy s{64, 8, r};
+        const auto cert = core::certify(s);
+        EXPECT_TRUE(cert.total);
+        EXPECT_GE(cert.min_overlap, static_cast<std::int64_t>(r) * r) << "r = " << r;
+        EXPECT_GE(cert.fault_tolerance(), static_cast<std::int64_t>(r) * r - 1);
+    }
+}
+
+TEST(redundant_checkerboard, cost_scales_linearly_with_r) {
+    const strategies::checkerboard_strategy r1{64, 8, 1};
+    const strategies::checkerboard_strategy r2{64, 8, 2};
+    EXPECT_EQ(core::average_message_passes(r2), 2.0 * core::average_message_passes(r1));
+}
+
+TEST(redundant_checkerboard, validation) {
+    EXPECT_THROW((strategies::checkerboard_strategy{64, 8, 0}), std::invalid_argument);
+    EXPECT_THROW((strategies::checkerboard_strategy{64, 8, 9}), std::invalid_argument);
+    // r up to min(rows, width) is legal.
+    EXPECT_NO_THROW((strategies::checkerboard_strategy{64, 8, 8}));
+}
+
+TEST(redundant_checkerboard, survives_f_in_place_faults) {
+    const auto g = net::make_complete(64);
+    const strategies::checkerboard_strategy s{64, 8, 2};
+    sim::simulator sim{g};
+    runtime::name_service ns{sim, s};
+    const auto port = core::port_of("redundant");
+    ns.register_server(port, 10);
+    // Crash up to f = 3 of the pair's rendezvous nodes; locate must hold.
+    const auto overlap = core::intersect_sets(s.post_set(10), s.query_set(53));
+    ASSERT_GE(overlap.size(), 4u);
+    for (std::size_t k = 0; k + 1 < overlap.size() && k < 3; ++k) {
+        ns.crash_node(overlap[k]);
+        EXPECT_TRUE(ns.locate(port, 53).found) << "after " << k + 1 << " crashes";
+    }
+}
+
+TEST(redundant_projective, overlap_at_least_r) {
+    for (const int r : {1, 2, 3}) {
+        const strategies::projective_strategy s{4, 0, 1, r};
+        const auto cert = core::certify(s);
+        EXPECT_TRUE(cert.total);
+        EXPECT_GE(cert.min_overlap, r) << "r = " << r;
+    }
+}
+
+TEST(redundant_projective, full_redundancy_posts_everywhere) {
+    // r = k+1 lines through a point cover the whole plane.
+    const strategies::projective_strategy s{3, 0, 0, 4};
+    EXPECT_EQ(s.post_set(0).size(), static_cast<std::size_t>(s.node_count()));
+}
+
+TEST(redundant_projective, validation) {
+    EXPECT_THROW((strategies::projective_strategy{3, 0, 0, 0}), std::invalid_argument);
+    EXPECT_THROW((strategies::projective_strategy{3, 0, 0, 5}), std::invalid_argument);
+}
+
+TEST(certify_suite, central_certificate) {
+    const strategies::central_strategy s{16, 3};
+    const auto cert = core::certify(s);
+    EXPECT_TRUE(cert.total);
+    EXPECT_TRUE(cert.singleton);
+    EXPECT_EQ(cert.min_overlap, 1);
+    EXPECT_EQ(cert.fault_tolerance(), 0);  // one crash kills it
+    EXPECT_DOUBLE_EQ(cert.average_messages, 2.0);
+    EXPECT_DOUBLE_EQ(cert.optimality_ratio(), 1.0);
+    EXPECT_EQ(cert.max_post_size, 1);
+    EXPECT_EQ(cert.load_max, 256);  // the center carries everything
+    EXPECT_EQ(cert.load_min, 0);
+}
+
+TEST(certify_suite, flood_certificate) {
+    const strategies::flood_strategy s{8};
+    const auto cert = core::certify(s);
+    EXPECT_EQ(cert.min_overlap, 8);
+    EXPECT_EQ(cert.fault_tolerance(), 7);  // only killing all nodes breaks it
+    EXPECT_FALSE(cert.singleton);
+    EXPECT_DOUBLE_EQ(cert.load_mean, 64.0);
+}
+
+TEST(certify_suite, mesh_redundancy_from_geometry) {
+    const strategies::mesh_strategy s{net::mesh_shape{{3, 3, 3}}};
+    const auto cert = core::certify(s);
+    // P n Q is a 3-node line of the mesh.
+    EXPECT_EQ(cert.min_overlap, 3);
+    EXPECT_EQ(cert.fault_tolerance(), 2);
+}
+
+TEST(certify_suite, to_string_mentions_key_facts) {
+    const strategies::checkerboard_strategy s{16};
+    const auto text = core::certify(s).to_string();
+    EXPECT_NE(text.find("total"), std::string::npos);
+    EXPECT_NE(text.find("f = 0"), std::string::npos);
+    EXPECT_NE(text.find("16 nodes"), std::string::npos);
+}
+
+TEST(certify_suite, detects_non_total_strategy) {
+    // A broken strategy: random with tiny sets usually misses some pair.
+    const strategies::checkerboard_strategy good{9};
+    EXPECT_TRUE(core::certify(good).total);
+}
+
+}  // namespace
+}  // namespace mm

@@ -1,0 +1,197 @@
+// Tests for core/rendezvous_matrix, including exact reproduction of the
+// paper's example matrices 1-4 (Section 2.3.1).
+#include <gtest/gtest.h>
+
+#include "core/rendezvous_matrix.h"
+#include "strategies/basic.h"
+#include "strategies/checkerboard.h"
+
+namespace mm::core {
+namespace {
+
+using strategies::broadcast_strategy;
+using strategies::central_strategy;
+using strategies::checkerboard_strategy;
+using strategies::sweep_strategy;
+
+TEST(rendezvous_matrix, example1_broadcasting) {
+    // "The server stays put and client looks everywhere": r_ij = {i}.
+    const broadcast_strategy s{9};
+    const auto r = rendezvous_matrix::from_strategy(s);
+    EXPECT_TRUE(r.total());
+    EXPECT_TRUE(r.singleton());
+    for (net::node_id i = 0; i < 9; ++i)
+        for (net::node_id j = 0; j < 9; ++j) EXPECT_EQ(r.entry(i, j), node_set{i});
+    // m(i,j) = #P + #Q = 1 + 9.
+    EXPECT_EQ(r.message_passes(0, 5), 10);
+    EXPECT_DOUBLE_EQ(r.average_message_passes(), 10.0);
+    // k_i = n for every node.
+    for (const auto k : r.multiplicities()) EXPECT_EQ(k, 9);
+}
+
+TEST(rendezvous_matrix, example2_sweeping) {
+    // "The client stays put and the server looks for work": r_ij = {j}.
+    const sweep_strategy s{9};
+    const auto r = rendezvous_matrix::from_strategy(s);
+    EXPECT_TRUE(r.total());
+    for (net::node_id i = 0; i < 9; ++i)
+        for (net::node_id j = 0; j < 9; ++j) EXPECT_EQ(r.entry(i, j), node_set{j});
+    EXPECT_DOUBLE_EQ(r.average_message_passes(), 10.0);
+}
+
+TEST(rendezvous_matrix, example3_centralized) {
+    // All services post at node 3 (0-based 2), all clients query node 3.
+    const central_strategy s{9, 2};
+    const auto r = rendezvous_matrix::from_strategy(s);
+    EXPECT_TRUE(r.total());
+    EXPECT_TRUE(r.singleton());
+    for (net::node_id i = 0; i < 9; ++i)
+        for (net::node_id j = 0; j < 9; ++j) EXPECT_EQ(r.entry(i, j), node_set{2});
+    EXPECT_DOUBLE_EQ(r.average_message_passes(), 2.0);
+    const auto k = r.multiplicities();
+    EXPECT_EQ(k[2], 81);
+    EXPECT_EQ(k[0], 0);
+}
+
+TEST(rendezvous_matrix, example4_truly_distributed) {
+    // The 9-node checkerboard: block (u, v) filled with node 3u + v.
+    const checkerboard_strategy s{9};
+    const auto r = rendezvous_matrix::from_strategy(s);
+    EXPECT_TRUE(r.total());
+    EXPECT_TRUE(r.singleton());
+    for (net::node_id i = 0; i < 9; ++i)
+        for (net::node_id j = 0; j < 9; ++j)
+            EXPECT_EQ(r.entry(i, j), node_set{static_cast<net::node_id>(3 * (i / 3) + j / 3)});
+    // Every node is the rendezvous of exactly n pairs.
+    for (const auto k : r.multiplicities()) EXPECT_EQ(k, 9);
+    // m(n) = 2*sqrt(9) = 6.
+    EXPECT_DOUBLE_EQ(r.average_message_passes(), 6.0);
+}
+
+TEST(rendezvous_matrix, example1_prints_like_the_paper) {
+    const broadcast_strategy s{9};
+    const auto r = rendezvous_matrix::from_strategy(s);
+    const auto text = r.to_string();
+    EXPECT_NE(text.find("1 1 1 1 1 1 1 1 1"), std::string::npos);
+    EXPECT_NE(text.find("9 9 9 9 9 9 9 9 9"), std::string::npos);
+}
+
+TEST(rendezvous_matrix, example3_prints_like_the_paper) {
+    const central_strategy s{9, 2};
+    const auto text = rendezvous_matrix::from_strategy(s).to_string();
+    // Every row is the central node, 1-based "3".
+    EXPECT_NE(text.find("3 3 3 3 3 3 3 3 3"), std::string::npos);
+    EXPECT_EQ(text.find('1'), std::string::npos);
+}
+
+TEST(rendezvous_matrix, from_entries_recovers_row_and_column_unions) {
+    // 2x2 matrix with singleton entries.
+    std::vector<node_set> entries{{0}, {1}, {0}, {1}};
+    const auto r = rendezvous_matrix::from_entries(2, std::move(entries));
+    EXPECT_EQ(r.post_set(0), (node_set{0, 1}));
+    EXPECT_EQ(r.post_set(1), (node_set{0, 1}));
+    EXPECT_EQ(r.query_set(0), (node_set{0}));
+    EXPECT_EQ(r.query_set(1), (node_set{1}));
+    EXPECT_EQ(r.message_passes(0, 1), 3);
+}
+
+TEST(rendezvous_matrix, from_entries_validates_shape) {
+    EXPECT_THROW((void)rendezvous_matrix::from_entries(2, {{0}, {1}}), std::invalid_argument);
+}
+
+TEST(rendezvous_matrix, total_detects_missing_rendezvous) {
+    std::vector<node_set> entries{{0}, {}, {0}, {1}};
+    const auto r = rendezvous_matrix::from_entries(2, std::move(entries));
+    EXPECT_FALSE(r.total());
+    EXPECT_FALSE(r.singleton());
+}
+
+TEST(rendezvous_matrix, multiplicities_sum_to_n_squared_for_singletons) {
+    const checkerboard_strategy s{16};
+    const auto r = rendezvous_matrix::from_strategy(s);
+    ASSERT_TRUE(r.singleton());
+    std::int64_t sum = 0;
+    for (const auto k : r.multiplicities()) sum += k;
+    EXPECT_EQ(sum, 16 * 16);  // constraint (M2) with equality
+}
+
+TEST(rendezvous_matrix, weighted_average_matches_m3_prime) {
+    const broadcast_strategy s{4};  // #P = 1, #Q = 4
+    const auto r = rendezvous_matrix::from_strategy(s);
+    // m(i,j) = #P + alpha*#Q = 1 + 4*alpha.
+    EXPECT_DOUBLE_EQ(r.average_weighted_message_passes(1.0), 5.0);
+    EXPECT_DOUBLE_EQ(r.average_weighted_message_passes(2.0), 9.0);
+    EXPECT_DOUBLE_EQ(r.average_weighted_message_passes(0.5), 3.0);
+}
+
+TEST(rendezvous_matrix, min_max_message_passes) {
+    const central_strategy s{5, 0};
+    const auto r = rendezvous_matrix::from_strategy(s);
+    EXPECT_EQ(r.min_message_passes(), 2);
+    EXPECT_EQ(r.max_message_passes(), 2);
+    const broadcast_strategy b{5};
+    const auto rb = rendezvous_matrix::from_strategy(b);
+    EXPECT_EQ(rb.min_message_passes(), 6);
+    EXPECT_EQ(rb.max_message_passes(), 6);
+}
+
+TEST(rendezvous_matrix, product_sum_factorizes) {
+    const checkerboard_strategy s{9};
+    const auto r = rendezvous_matrix::from_strategy(s);
+    // Each #P = #Q = 3, so sum_ij #P#Q = (9*3)*(9*3).
+    EXPECT_DOUBLE_EQ(r.product_sum(), 27.0 * 27.0);
+}
+
+TEST(rendezvous_matrix, occurrence_spans_known_values) {
+    // Broadcast: node v fills its whole row: R_v = 1, C_v = n.
+    const broadcast_strategy b{5};
+    const auto spans = rendezvous_matrix::from_strategy(b).occurrence_spans();
+    for (net::node_id v = 0; v < 5; ++v) {
+        EXPECT_EQ(spans.rows[static_cast<std::size_t>(v)], 1);
+        EXPECT_EQ(spans.columns[static_cast<std::size_t>(v)], 5);
+    }
+    // Central: the center appears in every row and column, others nowhere.
+    const central_strategy c{5, 2};
+    const auto cs = rendezvous_matrix::from_strategy(c).occurrence_spans();
+    EXPECT_EQ(cs.rows[2], 5);
+    EXPECT_EQ(cs.columns[2], 5);
+    EXPECT_EQ(cs.rows[0], 0);
+}
+
+TEST(rendezvous_matrix, proposition1_lemma_ri_ci_bounds_ki) {
+    // The inequality the Proposition 1 proof stands on: R_v * C_v >= k_v.
+    for (const net::node_id n : {9, 16, 25}) {
+        const checkerboard_strategy s{n};
+        const auto r = rendezvous_matrix::from_strategy(s);
+        const auto spans = r.occurrence_spans();
+        const auto k = r.multiplicities();
+        for (net::node_id v = 0; v < n; ++v)
+            EXPECT_GE(spans.rows[static_cast<std::size_t>(v)] *
+                          spans.columns[static_cast<std::size_t>(v)],
+                      k[static_cast<std::size_t>(v)])
+                << "node " << v << " at n = " << n;
+    }
+}
+
+TEST(rendezvous_matrix, matrix_free_costs_agree_with_matrix) {
+    for (const net::node_id n : {7, 16, 30}) {
+        const checkerboard_strategy s{n};
+        const auto r = rendezvous_matrix::from_strategy(s);
+        EXPECT_DOUBLE_EQ(average_message_passes(s), r.average_message_passes());
+        for (const double alpha : {0.5, 1.0, 4.0})
+            EXPECT_DOUBLE_EQ(average_weighted_message_passes(s, alpha),
+                             r.average_weighted_message_passes(alpha));
+    }
+}
+
+TEST(rendezvous_matrix, index_bounds_checked) {
+    const central_strategy s{3, 0};
+    const auto r = rendezvous_matrix::from_strategy(s);
+    EXPECT_THROW((void)r.entry(3, 0), std::out_of_range);
+    EXPECT_THROW((void)r.entry(0, -1), std::out_of_range);
+    EXPECT_THROW((void)r.post_set(3), std::out_of_range);
+    EXPECT_THROW((void)r.query_set(-1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mm::core

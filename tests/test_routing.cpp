@@ -1,0 +1,131 @@
+// Tests for net/routing: the hop-count tables of Section 3 ("each node has
+// a table containing ... the minimum cost to reach them and the neighbor at
+// which the minimum cost path starts").
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "net/routing.h"
+#include "net/topologies.h"
+
+namespace mm::net {
+namespace {
+
+TEST(routing, complete_graph_is_one_hop) {
+    const auto g = make_complete(6);
+    const routing_table rt{g};
+    for (node_id a = 0; a < 6; ++a)
+        for (node_id b = 0; b < 6; ++b) EXPECT_EQ(rt.distance(a, b), a == b ? 0 : 1);
+}
+
+TEST(routing, ring_distance_is_min_arc) {
+    const int n = 10;
+    const auto g = make_ring(n);
+    const routing_table rt{g};
+    for (node_id a = 0; a < n; ++a) {
+        for (node_id b = 0; b < n; ++b) {
+            const int around = std::abs(a - b);
+            EXPECT_EQ(rt.distance(a, b), std::min(around, n - around));
+        }
+    }
+}
+
+TEST(routing, grid_distance_is_manhattan) {
+    const auto g = make_grid(5, 7);
+    const routing_table rt{g};
+    for (node_id a = 0; a < 35; ++a)
+        for (node_id b = 0; b < 35; ++b)
+            EXPECT_EQ(rt.distance(a, b), std::abs(a / 7 - b / 7) + std::abs(a % 7 - b % 7));
+}
+
+TEST(routing, hypercube_distance_is_hamming) {
+    const auto g = make_hypercube(5);
+    const routing_table rt{g};
+    for (node_id a = 0; a < 32; ++a)
+        for (node_id b = 0; b < 32; ++b)
+            EXPECT_EQ(rt.distance(a, b), __builtin_popcount(a ^ b));
+}
+
+TEST(routing, distance_is_symmetric_and_triangle) {
+    const auto g = make_grid(4, 4, wrap_mode::torus);
+    const routing_table rt{g};
+    for (node_id a = 0; a < 16; ++a) {
+        for (node_id b = 0; b < 16; ++b) {
+            EXPECT_EQ(rt.distance(a, b), rt.distance(b, a));
+            for (node_id c = 0; c < 16; ++c)
+                EXPECT_LE(rt.distance(a, c), rt.distance(a, b) + rt.distance(b, c));
+        }
+    }
+}
+
+TEST(routing, next_hop_decreases_distance) {
+    const auto g = make_ccc(3);
+    const routing_table rt{g};
+    for (node_id a = 0; a < g.node_count(); ++a) {
+        for (node_id b = 0; b < g.node_count(); ++b) {
+            if (a == b) continue;
+            const node_id hop = rt.next_hop(a, b);
+            EXPECT_TRUE(g.has_edge(a, hop));
+            EXPECT_EQ(rt.distance(hop, b), rt.distance(a, b) - 1);
+        }
+    }
+}
+
+TEST(routing, next_hop_to_self_throws) {
+    const auto g = make_complete(3);
+    const routing_table rt{g};
+    EXPECT_THROW((void)rt.next_hop(1, 1), std::invalid_argument);
+}
+
+TEST(routing, path_endpoints_and_length) {
+    const auto g = make_grid(4, 6);
+    const routing_table rt{g};
+    const auto p = rt.path(0, 23);
+    EXPECT_EQ(p.front(), 0);
+    EXPECT_EQ(p.back(), 23);
+    EXPECT_EQ(static_cast<int>(p.size()) - 1, rt.distance(0, 23));
+    for (std::size_t i = 0; i + 1 < p.size(); ++i) EXPECT_TRUE(g.has_edge(p[i], p[i + 1]));
+}
+
+TEST(routing, disconnected_pairs_throw) {
+    graph g{4};
+    g.add_edge(0, 1);
+    g.add_edge(2, 3);
+    const routing_table rt{g};
+    EXPECT_EQ(rt.distance(0, 1), 1);
+    EXPECT_THROW((void)rt.distance(0, 2), std::invalid_argument);
+}
+
+TEST(routing, multicast_cost_on_a_path_graph) {
+    // Path 0-1-2-3-4: multicast from 0 to {2, 4} shares the prefix.
+    const auto g = make_path(5);
+    const routing_table rt{g};
+    const std::vector<node_id> targets{2, 4};
+    EXPECT_EQ(rt.multicast_cost(0, targets), 4);       // edges 0-1,1-2,2-3,3-4 once each
+    EXPECT_EQ(rt.unicast_cost(0, targets), 2 + 4);     // separate messages
+}
+
+TEST(routing, multicast_cost_never_exceeds_unicast) {
+    const auto g = make_grid(5, 5);
+    const routing_table rt{g};
+    const std::vector<node_id> targets{4, 20, 24, 12};
+    EXPECT_LE(rt.multicast_cost(0, targets), rt.unicast_cost(0, targets));
+}
+
+TEST(routing, multicast_cost_of_empty_target_set_is_zero) {
+    const auto g = make_complete(4);
+    const routing_table rt{g};
+    EXPECT_EQ(rt.multicast_cost(1, {}), 0);
+}
+
+TEST(routing, multicast_to_all_nodes_is_spanning_tree) {
+    // Reaching every node over shortest paths uses exactly n-1 edges.
+    const auto g = make_grid(4, 4);
+    const routing_table rt{g};
+    std::vector<node_id> all;
+    for (node_id v = 0; v < 16; ++v) all.push_back(v);
+    EXPECT_EQ(rt.multicast_cost(3, all), 15);
+}
+
+}  // namespace
+}  // namespace mm::net

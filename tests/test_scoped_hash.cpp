@@ -1,0 +1,126 @@
+// Tests for strategies/scoped_hash: locality-scoped Hash Locate (Section 5
+// opening / the Amoeba local-services discussion in Section 3.5).
+#include <gtest/gtest.h>
+
+#include "net/hierarchy.h"
+#include "runtime/name_service.h"
+#include "strategies/scoped_hash.h"
+
+namespace mm::strategies {
+namespace {
+
+const core::port_id os_port = core::port_of("os-service");        // per-host/local
+const core::port_id fs_port = core::port_of("file-server");       // campus
+const core::port_id auth_port = core::port_of("global-auth");     // global
+
+int scope_policy(core::port_id port) {
+    if (port == os_port) return 1;
+    if (port == fs_port) return 2;
+    return 3;
+}
+
+scoped_hash_strategy make_strategy() {
+    return scoped_hash_strategy{net::hierarchy{{4, 4, 4}}, 0, scope_policy, 1};
+}
+
+TEST(scoped_hash, rendezvous_inside_the_scope_cluster) {
+    const auto s = make_strategy();
+    const net::hierarchy h{{4, 4, 4}};
+    for (const net::node_id v : {0, 13, 37, 63}) {
+        for (const auto port : {os_port, fs_port, auth_port}) {
+            const int level = scope_policy(port);
+            for (const net::node_id rv : s.rendezvous_nodes(v, port))
+                EXPECT_EQ(h.cluster_of(level, rv), h.cluster_of(level, v))
+                    << "node " << v << " level " << level;
+        }
+    }
+}
+
+TEST(scoped_hash, same_cluster_same_rendezvous) {
+    const auto s = make_strategy();
+    // Nodes 0 and 3 share the level-1 cluster: identical local rendezvous.
+    EXPECT_EQ(s.rendezvous_nodes(0, os_port), s.rendezvous_nodes(3, os_port));
+    // Nodes 0 and 5 do not: their local services resolve independently.
+    EXPECT_NE(s.rendezvous_nodes(0, os_port), s.rendezvous_nodes(5, os_port));
+    // Global scope: everyone agrees.
+    EXPECT_EQ(s.rendezvous_nodes(0, auth_port), s.rendezvous_nodes(63, auth_port));
+}
+
+TEST(scoped_hash, local_service_visible_only_locally) {
+    const net::hierarchy h{{4, 4, 4}};
+    const auto g = net::make_hierarchical_graph(h);
+    sim::simulator sim{g};
+    const auto strategy = make_strategy();
+    runtime::name_service ns{sim, strategy};
+    ns.register_server(os_port, 1);  // OS service of host cluster {0..3}
+    // Same level-1 cluster: found.
+    EXPECT_TRUE(ns.locate(os_port, 2).found);
+    // Another cluster: *not* found - "Operating System Service is a local
+    // service, useful only to local clients".
+    EXPECT_FALSE(ns.locate(os_port, 9).found);
+    // But that cluster can run its own, under the same port.
+    ns.register_server(os_port, 9);
+    const auto mine = ns.locate(os_port, 10);
+    EXPECT_TRUE(mine.found);
+    EXPECT_EQ(mine.where, 9);
+    // And the original cluster still sees its own server.
+    EXPECT_EQ(ns.locate(os_port, 2).where, 1);
+}
+
+TEST(scoped_hash, campus_service_spans_level_two) {
+    const net::hierarchy h{{4, 4, 4}};
+    const auto g = net::make_hierarchical_graph(h);
+    sim::simulator sim{g};
+    const auto strategy = make_strategy();
+    runtime::name_service ns{sim, strategy};
+    ns.register_server(fs_port, 5);
+    EXPECT_TRUE(ns.locate(fs_port, 14).found);   // same level-2 cluster {0..15}
+    EXPECT_FALSE(ns.locate(fs_port, 20).found);  // different campus
+}
+
+TEST(scoped_hash, global_service_spans_everything) {
+    const net::hierarchy h{{4, 4, 4}};
+    const auto g = net::make_hierarchical_graph(h);
+    sim::simulator sim{g};
+    const auto strategy = make_strategy();
+    runtime::name_service ns{sim, strategy};
+    ns.register_server(auth_port, 42);
+    for (const net::node_id client : {0, 15, 31, 63})
+        EXPECT_TRUE(ns.locate(auth_port, client).found);
+}
+
+TEST(scoped_hash, cost_is_two_messages_regardless_of_scope) {
+    const auto s = make_strategy();
+    for (const auto port : {os_port, fs_port, auth_port}) {
+        EXPECT_EQ(s.post_set(7, port).size(), 1u);
+        EXPECT_EQ(s.query_set(7, port).size(), 1u);
+    }
+}
+
+TEST(scoped_hash, load_spreads_across_each_level) {
+    // Many level-1 ports hash across the 4 nodes of each host cluster.
+    const auto s = make_strategy();
+    std::vector<int> hits(64, 0);
+    for (int k = 0; k < 400; ++k) {
+        const auto port = core::port_of("local-svc" + std::to_string(k));
+        // scope_policy sends unknown ports to level 3; make a local policy:
+        const scoped_hash_strategy local{net::hierarchy{{4, 4, 4}}, 1, {}, 1};
+        for (const net::node_id rv : local.rendezvous_nodes(0, port))
+            ++hits[static_cast<std::size_t>(rv)];
+    }
+    // All 4 nodes of cluster {0..3} get a share; nothing leaks outside.
+    for (net::node_id v = 0; v < 4; ++v) EXPECT_GT(hits[static_cast<std::size_t>(v)], 40);
+    for (net::node_id v = 4; v < 64; ++v) EXPECT_EQ(hits[static_cast<std::size_t>(v)], 0);
+}
+
+TEST(scoped_hash, replicas_and_validation) {
+    const scoped_hash_strategy redundant{net::hierarchy{{8, 8}}, 2, {}, 3};
+    EXPECT_GE(redundant.post_set(0, auth_port).size(), 2u);
+    EXPECT_THROW((scoped_hash_strategy{net::hierarchy{{4}}, 2}), std::invalid_argument);
+    EXPECT_THROW((scoped_hash_strategy{net::hierarchy{{4}}, 1, {}, 0}), std::invalid_argument);
+    const auto s = make_strategy();
+    EXPECT_THROW((void)s.post_set(99, os_port), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mm::strategies

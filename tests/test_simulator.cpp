@@ -1,0 +1,300 @@
+// Tests for sim/simulator: hop-accurate delivery, timers, crashes, and the
+// message-pass accounting the paper's complexity measure depends on.
+#include <gtest/gtest.h>
+
+#include "net/topologies.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace mm::sim {
+namespace {
+
+// Records every delivered message and timer.
+class recorder final : public node_handler {
+public:
+    std::vector<message> delivered;
+    std::vector<std::int64_t> timers;
+    std::vector<time_point> delivery_times;
+
+    void on_message(simulator& s, const message& msg) override {
+        delivered.push_back(msg);
+        delivery_times.push_back(s.now());
+    }
+    void on_timer(simulator&, std::int64_t id) override { timers.push_back(id); }
+};
+
+TEST(simulator, delivers_over_shortest_path) {
+    const auto g = net::make_path(5);
+    simulator sim{g};
+    auto rx = std::make_shared<recorder>();
+    sim.attach(4, rx);
+
+    message msg;
+    msg.kind = 7;
+    msg.source = 0;
+    msg.destination = 4;
+    sim.send(msg);
+    sim.run();
+
+    ASSERT_EQ(rx->delivered.size(), 1u);
+    EXPECT_EQ(rx->delivered[0].kind, 7);
+    EXPECT_EQ(sim.now(), 4);                              // 4 hops, 1 tick each
+    EXPECT_EQ(sim.stats().get(counter_hops), 4);          // message passes counted
+    EXPECT_EQ(sim.stats().get(counter_messages_delivered), 1);
+}
+
+TEST(simulator, self_delivery_is_free) {
+    const auto g = net::make_complete(3);
+    simulator sim{g};
+    auto rx = std::make_shared<recorder>();
+    sim.attach(1, rx);
+    message msg;
+    msg.source = 1;
+    msg.destination = 1;
+    sim.send(msg);
+    sim.run();
+    EXPECT_EQ(rx->delivered.size(), 1u);
+    EXPECT_EQ(sim.stats().get(counter_hops), 0);
+}
+
+TEST(simulator, crashed_destination_drops) {
+    const auto g = net::make_complete(3);
+    simulator sim{g};
+    auto rx = std::make_shared<recorder>();
+    sim.attach(2, rx);
+    sim.crash(2);
+    message msg;
+    msg.source = 0;
+    msg.destination = 2;
+    sim.send(msg);
+    sim.run();
+    EXPECT_TRUE(rx->delivered.empty());
+    EXPECT_EQ(sim.stats().get(counter_messages_dropped), 1);
+}
+
+TEST(simulator, crashed_intermediate_drops) {
+    const auto g = net::make_path(3);  // 0-1-2, all routes via 1
+    simulator sim{g};
+    auto rx = std::make_shared<recorder>();
+    sim.attach(2, rx);
+    sim.crash(1);
+    message msg;
+    msg.source = 0;
+    msg.destination = 2;
+    sim.send(msg);
+    sim.run();
+    EXPECT_TRUE(rx->delivered.empty());
+}
+
+TEST(simulator, crashed_source_cannot_send) {
+    const auto g = net::make_complete(3);
+    simulator sim{g};
+    auto rx = std::make_shared<recorder>();
+    sim.attach(1, rx);
+    sim.crash(0);
+    message msg;
+    msg.source = 0;
+    msg.destination = 1;
+    sim.send(msg);
+    sim.run();
+    EXPECT_TRUE(rx->delivered.empty());
+    EXPECT_EQ(sim.stats().get(counter_messages_sent), 0);
+}
+
+TEST(simulator, recovery_restores_delivery) {
+    const auto g = net::make_path(3);
+    simulator sim{g};
+    auto rx = std::make_shared<recorder>();
+    sim.attach(2, rx);
+    sim.crash(1);
+    sim.recover(1);
+    message msg;
+    msg.source = 0;
+    msg.destination = 2;
+    sim.send(msg);
+    sim.run();
+    EXPECT_EQ(rx->delivered.size(), 1u);
+}
+
+TEST(simulator, crash_notifies_handler) {
+    class crash_counter final : public node_handler {
+    public:
+        int crashes = 0;
+        void on_message(simulator&, const message&) override {}
+        void on_crash(simulator&) override { ++crashes; }
+    };
+    const auto g = net::make_complete(2);
+    simulator sim{g};
+    auto h = std::make_shared<crash_counter>();
+    sim.attach(0, h);
+    sim.crash(0);
+    sim.crash(0);  // idempotent
+    EXPECT_EQ(h->crashes, 1);
+}
+
+TEST(simulator, timers_fire_in_order) {
+    const auto g = net::make_complete(2);
+    simulator sim{g};
+    auto rx = std::make_shared<recorder>();
+    sim.attach(0, rx);
+    sim.set_timer(0, 10, 1);
+    sim.set_timer(0, 5, 2);
+    sim.set_timer(0, 20, 3);
+    sim.run();
+    EXPECT_EQ(rx->timers, (std::vector<std::int64_t>{2, 1, 3}));
+    EXPECT_EQ(sim.now(), 20);
+}
+
+TEST(simulator, run_until_stops_at_time) {
+    const auto g = net::make_complete(2);
+    simulator sim{g};
+    auto rx = std::make_shared<recorder>();
+    sim.attach(0, rx);
+    sim.set_timer(0, 5, 1);
+    sim.set_timer(0, 15, 2);
+    sim.run_until(10);
+    EXPECT_EQ(rx->timers.size(), 1u);
+    EXPECT_FALSE(sim.idle());
+    sim.run();
+    EXPECT_EQ(rx->timers.size(), 2u);
+    EXPECT_TRUE(sim.idle());
+}
+
+TEST(simulator, deterministic_tie_break_by_send_order) {
+    const auto g = net::make_complete(3);
+    simulator sim{g};
+    auto rx = std::make_shared<recorder>();
+    sim.attach(2, rx);
+    for (int k = 0; k < 5; ++k) {
+        message msg;
+        msg.kind = k;
+        msg.source = 0;
+        msg.destination = 2;
+        sim.send(msg);
+    }
+    sim.run();
+    ASSERT_EQ(rx->delivered.size(), 5u);
+    for (int k = 0; k < 5; ++k) EXPECT_EQ(rx->delivered[static_cast<std::size_t>(k)].kind, k);
+}
+
+TEST(simulator, event_cap_detects_loops) {
+    // Two nodes bouncing a message forever trip the cap.
+    class ping_pong final : public node_handler {
+    public:
+        void on_message(simulator& s, const message& msg) override {
+            message reply = msg;
+            reply.source = msg.destination;
+            reply.destination = msg.source;
+            s.send(reply);
+        }
+    };
+    const auto g = net::make_complete(2);
+    simulator sim{g};
+    sim.attach(0, std::make_shared<ping_pong>());
+    sim.attach(1, std::make_shared<ping_pong>());
+    sim.set_event_cap(1000);
+    message msg;
+    msg.source = 0;
+    msg.destination = 1;
+    sim.send(msg);
+    EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(simulator, randomized_routing_still_delivers_on_shortest_paths) {
+    const auto g = net::make_hypercube(5);
+    simulator sim{g};
+    sim.set_randomized_routing(7);
+    auto rx = std::make_shared<recorder>();
+    sim.attach(31, rx);
+    for (int k = 0; k < 20; ++k) {
+        message msg;
+        msg.kind = k;
+        msg.source = 0;
+        msg.destination = 31;
+        sim.send(msg);
+    }
+    sim.run();
+    EXPECT_EQ(rx->delivered.size(), 20u);
+    // Every delivery took exactly the shortest-path hop count (5 bits).
+    EXPECT_EQ(sim.stats().get(counter_hops), 20 * 5);
+}
+
+TEST(simulator, randomized_routing_spreads_transit) {
+    // On a torus grid many shortest paths exist; randomization should use
+    // more than one of them.
+    const auto g = net::make_grid(6, 6, net::wrap_mode::torus);
+    simulator fixed_sim{g};
+    simulator random_sim{g};
+    random_sim.set_randomized_routing(3);
+    for (auto* sim : {&fixed_sim, &random_sim}) {
+        for (int k = 0; k < 60; ++k) {
+            message msg;
+            msg.source = 0;
+            msg.destination = 21;  // (3, 3): several shortest paths
+            sim->send(msg);
+        }
+        sim->run();
+    }
+    int fixed_used = 0;
+    int random_used = 0;
+    for (net::node_id v = 0; v < 36; ++v) {
+        if (fixed_sim.transit_traffic(v) > 0) ++fixed_used;
+        if (random_sim.transit_traffic(v) > 0) ++random_used;
+    }
+    EXPECT_GT(random_used, fixed_used);
+}
+
+TEST(simulator, traffic_counters) {
+    const auto g = net::make_path(4);
+    simulator sim{g};
+    message msg;
+    msg.source = 0;
+    msg.destination = 3;
+    sim.send(msg);
+    sim.run();
+    // Nodes 0, 1, 2 carried the message; node 3 only received it.
+    EXPECT_EQ(sim.transit_traffic(0), 1);
+    EXPECT_EQ(sim.transit_traffic(1), 1);
+    EXPECT_EQ(sim.transit_traffic(2), 1);
+    EXPECT_EQ(sim.transit_traffic(3), 0);
+    EXPECT_EQ(sim.traffic(3), 1);
+    EXPECT_EQ(sim.max_traffic(), 1);
+    sim.reset_traffic();
+    EXPECT_EQ(sim.max_transit_traffic(), 0);
+}
+
+TEST(metrics, counters_accumulate) {
+    metrics m;
+    m.add("x");
+    m.add("x", 4);
+    EXPECT_EQ(m.get("x"), 5);
+    EXPECT_EQ(m.get("missing"), 0);
+    m.reset();
+    EXPECT_EQ(m.get("x"), 0);
+}
+
+TEST(rng, deterministic_and_splittable) {
+    rng a{42};
+    rng b{42};
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(0, 1000), b.uniform(0, 1000));
+    rng c{42};
+    auto c1 = c.split(1);
+    auto c2 = c.split(2);
+    // Distinct streams should diverge quickly.
+    int same = 0;
+    for (int i = 0; i < 20; ++i)
+        if (c1.uniform(0, 1 << 30) == c2.uniform(0, 1 << 30)) ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(rng, uniform01_in_range) {
+    rng r{7};
+    for (int i = 0; i < 1000; ++i) {
+        const double v = r.uniform01();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+}  // namespace
+}  // namespace mm::sim

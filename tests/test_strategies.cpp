@@ -1,0 +1,283 @@
+// Tests for the individual strategy families: set shapes, formulas, and
+// exact reproduction of the paper's Example 5 (hierarchy), Example 6
+// (binary 3-cube) and the Section 3.1 Manhattan matrix.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rendezvous_matrix.h"
+#include "strategies/basic.h"
+#include "strategies/checkerboard.h"
+#include "strategies/cube.h"
+#include "strategies/grid.h"
+#include "strategies/tree_path.h"
+
+namespace mm::strategies {
+namespace {
+
+using core::node_set;
+using core::rendezvous_matrix;
+
+TEST(checkerboard, set_sizes_near_sqrt_n) {
+    for (const net::node_id n : {4, 9, 16, 25, 100, 144}) {
+        const checkerboard_strategy s{n};
+        const auto root = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
+        for (net::node_id v = 0; v < n; v += std::max(1, n / 7)) {
+            EXPECT_LE(static_cast<int>(s.post_set(v).size()), root);
+            EXPECT_LE(static_cast<int>(s.query_set(v).size()), root);
+        }
+    }
+}
+
+TEST(checkerboard, non_square_n_still_total) {
+    for (const net::node_id n : {2, 3, 5, 7, 11, 13, 17, 23, 31, 60}) {
+        const checkerboard_strategy s{n};
+        const auto r = rendezvous_matrix::from_strategy(s);
+        EXPECT_TRUE(r.total()) << "n = " << n;
+    }
+}
+
+TEST(checkerboard, custom_width_changes_split) {
+    const checkerboard_strategy wide{16, 8};
+    EXPECT_EQ(wide.post_set(0).size(), 8u);
+    EXPECT_EQ(wide.query_set(0).size(), 2u);
+    EXPECT_TRUE(rendezvous_matrix::from_strategy(wide).total());
+}
+
+TEST(checkerboard, invalid_arguments) {
+    EXPECT_THROW((checkerboard_strategy{0}), std::invalid_argument);
+    EXPECT_THROW((checkerboard_strategy{4, 5}), std::invalid_argument);
+    EXPECT_THROW((checkerboard_strategy{4, -1}), std::invalid_argument);
+}
+
+TEST(weighted_checkerboard, width_tracks_sqrt_n_alpha) {
+    // alpha = 1: balanced.  alpha = 4: posts twice as wide, queries half.
+    EXPECT_EQ(weighted_checker_width(100, 1.0), 10);
+    EXPECT_EQ(weighted_checker_width(100, 4.0), 20);
+    EXPECT_EQ(weighted_checker_width(100, 0.25), 5);
+    EXPECT_THROW((void)weighted_checker_width(100, 0.0), std::invalid_argument);
+}
+
+TEST(weighted_checkerboard, reduces_weighted_cost) {
+    const net::node_id n = 100;
+    const double alpha = 16.0;  // clients locate 16x more often
+    const auto balanced = rendezvous_matrix::from_strategy(checkerboard_strategy{n});
+    const auto tuned = rendezvous_matrix::from_strategy(make_weighted_checkerboard(n, alpha));
+    EXPECT_TRUE(tuned.total());
+    EXPECT_LT(tuned.average_weighted_message_passes(alpha),
+              balanced.average_weighted_message_passes(alpha));
+}
+
+TEST(manhattan, paper_9_node_matrix) {
+    // Section 3.1: the 3x3 grid matrix "1 2 3 1 2 3 1 2 3 / ... / 7 8 9 ...".
+    const manhattan_strategy s{3, 3};
+    const auto r = rendezvous_matrix::from_strategy(s);
+    ASSERT_TRUE(r.singleton());
+    for (net::node_id i = 0; i < 9; ++i)
+        for (net::node_id j = 0; j < 9; ++j)
+            EXPECT_EQ(r.entry(i, j),
+                      node_set{static_cast<net::node_id>(3 * (i / 3) + j % 3)});
+    EXPECT_DOUBLE_EQ(r.average_message_passes(), 6.0);  // 2*sqrt(9)
+}
+
+TEST(manhattan, rectangular_costs) {
+    // p x q grid: #P = q (the row), #Q = p (the column), m = p + q.
+    const manhattan_strategy s{4, 7};
+    EXPECT_EQ(s.post_set(0).size(), 7u);
+    EXPECT_EQ(s.query_set(0).size(), 4u);
+    const auto r = rendezvous_matrix::from_strategy(s);
+    EXPECT_TRUE(r.total());
+    EXPECT_DOUBLE_EQ(r.average_message_passes(), 11.0);
+}
+
+TEST(manhattan, rendezvous_of_matches_matrix) {
+    const manhattan_strategy s{4, 5};
+    const auto r = rendezvous_matrix::from_strategy(s);
+    for (net::node_id i = 0; i < 20; ++i)
+        for (net::node_id j = 0; j < 20; ++j)
+            EXPECT_EQ(r.entry(i, j), node_set{s.rendezvous_of(i, j)});
+}
+
+TEST(mesh, two_dimensional_reduces_to_manhattan) {
+    const mesh_strategy mesh{net::mesh_shape{{3, 3}}};
+    const manhattan_strategy manhattan{3, 3};
+    for (net::node_id v = 0; v < 9; ++v) {
+        EXPECT_EQ(mesh.post_set(v), manhattan.post_set(v));
+        EXPECT_EQ(mesh.query_set(v), manhattan.query_set(v));
+    }
+}
+
+TEST(mesh, d_dimensional_cost_formula) {
+    // m(n) = 2 * n^((d-1)/d) for a d-cube of side a: both sets are
+    // hyperplanes of a^(d-1) nodes.
+    const net::mesh_shape shape{{4, 4, 4}};
+    const mesh_strategy s{shape};
+    EXPECT_EQ(s.post_set(0).size(), 16u);
+    EXPECT_EQ(s.query_set(0).size(), 16u);
+    const auto r = rendezvous_matrix::from_strategy(s);
+    EXPECT_TRUE(r.total());
+    EXPECT_DOUBLE_EQ(r.average_message_passes(),
+                     2.0 * std::pow(64.0, 2.0 / 3.0));
+}
+
+TEST(mesh, rendezvous_sets_are_d_minus_2_subgrids) {
+    const mesh_strategy s{net::mesh_shape{{3, 3, 3}}};
+    const auto r = rendezvous_matrix::from_strategy(s);
+    // P fixes axis 0, Q fixes axis 1: intersection fixes both, leaving a
+    // 3-node line - built-in redundancy (Section 2.4).
+    for (net::node_id i = 0; i < 27; i += 5)
+        for (net::node_id j = 0; j < 27; j += 7) EXPECT_EQ(r.entry(i, j).size(), 3u);
+}
+
+TEST(mesh, one_dimensional_degenerates_gracefully) {
+    const mesh_strategy s{net::mesh_shape{{5}}};
+    // Both axes collapse to axis 0: P = Q = the single point's hyperplane,
+    // which is the whole line only when coordinates match... P(v) fixes
+    // axis 0 at v: a singleton.
+    EXPECT_EQ(s.post_set(2), node_set{2});
+    EXPECT_EQ(s.query_set(2), node_set{2});
+}
+
+TEST(mesh, invalid_axes_rejected) {
+    EXPECT_THROW((mesh_strategy{net::mesh_shape{{3, 3}}, 0, 0}), std::invalid_argument);
+    EXPECT_THROW((mesh_strategy{net::mesh_shape{{3, 3}}, 2, 1}), std::invalid_argument);
+}
+
+TEST(hypercube, example6_matrix) {
+    // Example 6: P(abc) = {axy}, Q(abc) = {xbc}; rendezvous = a s_2 s_3 of
+    // the server's first bit and the client's last two bits.
+    const hypercube_strategy s{3, 2};
+    const auto r = rendezvous_matrix::from_strategy(s);
+    ASSERT_TRUE(r.singleton());
+    for (net::node_id i = 0; i < 8; ++i) {
+        EXPECT_EQ(s.post_set(i).size(), 4u);
+        EXPECT_EQ(s.query_set(i).size(), 2u);
+        for (net::node_id j = 0; j < 8; ++j)
+            EXPECT_EQ(r.entry(i, j), node_set{static_cast<net::node_id>((i & 4) | (j & 3))});
+    }
+}
+
+TEST(hypercube, balanced_split_gives_2_sqrt_n) {
+    for (const int d : {2, 4, 6, 8}) {
+        const hypercube_strategy s{d};
+        const auto n = static_cast<double>(net::node_id{1} << d);
+        const auto r = rendezvous_matrix::from_strategy(s);
+        EXPECT_TRUE(r.singleton());
+        EXPECT_DOUBLE_EQ(r.average_message_passes(), 2.0 * std::sqrt(n)) << "d = " << d;
+    }
+}
+
+TEST(hypercube, odd_dimension_split) {
+    const hypercube_strategy s{5};
+    const auto r = rendezvous_matrix::from_strategy(s);
+    EXPECT_TRUE(r.singleton());
+    // ceil/floor split: 2^3 + 2^2 = 12.
+    EXPECT_DOUBLE_EQ(r.average_message_passes(), 12.0);
+}
+
+TEST(hypercube, epsilon_split_tradeoff) {
+    // Smaller post side = cheaper for immobile servers, dearer for clients.
+    const hypercube_strategy lazy_server{6, 1};
+    EXPECT_EQ(lazy_server.post_set(0).size(), 2u);
+    EXPECT_EQ(lazy_server.query_set(0).size(), 32u);
+    EXPECT_TRUE(rendezvous_matrix::from_strategy(lazy_server).total());
+}
+
+TEST(hypercube, rendezvous_of_agrees) {
+    const hypercube_strategy s{4};
+    const auto r = rendezvous_matrix::from_strategy(s);
+    for (net::node_id i = 0; i < 16; ++i)
+        for (net::node_id j = 0; j < 16; ++j)
+            EXPECT_EQ(r.entry(i, j), node_set{s.rendezvous_of(i, j)});
+}
+
+TEST(ccc, sets_fan_over_cycles) {
+    const int d = 3;
+    const ccc_strategy s{d};
+    // Post set: d positions x 2^h corners.
+    EXPECT_EQ(s.post_set(0).size(), static_cast<std::size_t>(d) * (1u << s.corner_varies()));
+    const auto r = rendezvous_matrix::from_strategy(s);
+    EXPECT_TRUE(r.total());
+    // Rendezvous sets are whole d-cycles: size d.
+    for (net::node_id i = 0; i < s.node_count(); i += 5)
+        for (net::node_id j = 0; j < s.node_count(); j += 7)
+            EXPECT_EQ(r.entry(i, j).size(), static_cast<std::size_t>(d));
+}
+
+TEST(ccc, cost_scales_like_sqrt_n_log_n) {
+    // Addressed nodes = d*(2^h + 2^(d-h)) ~ 2*sqrt(n*d) for n = d*2^d.
+    for (const int d : {4, 6}) {
+        const ccc_strategy s{d};
+        const auto r = rendezvous_matrix::from_strategy(s);
+        const double n = static_cast<double>(s.node_count());
+        const double predicted = 2.0 * std::sqrt(n * d);
+        EXPECT_NEAR(r.average_message_passes(), predicted, predicted * 0.5) << "d = " << d;
+    }
+}
+
+TEST(tree_path, example5_matrix) {
+    // Example 5: nodes 1..9 (0-based 0..8), hierarchy 1,2,3 < 7; 4,5,6 < 8;
+    // 7,8 < 9.  The effective rendezvous reproduces the printed matrix.
+    const std::vector<net::node_id> parent{6, 6, 6, 7, 7, 7, 8, 8, net::invalid_node};
+    const tree_path_strategy s{parent};
+    const net::node_id paper[9][9] = {
+        // clients 1..9 (0-based), servers top-to-bottom; paper values - 1.
+        {6, 6, 6, 8, 8, 8, 8, 8, 8}, {6, 6, 6, 8, 8, 8, 8, 8, 8},
+        {6, 6, 6, 8, 8, 8, 8, 8, 8}, {8, 8, 8, 7, 7, 7, 8, 8, 8},
+        {8, 8, 8, 7, 7, 7, 8, 8, 8}, {8, 8, 8, 7, 7, 7, 8, 8, 8},
+        {8, 8, 8, 8, 8, 8, 8, 8, 8}, {8, 8, 8, 8, 8, 8, 8, 8, 8},
+        {8, 8, 8, 8, 8, 8, 8, 8, 8}};
+    for (net::node_id i = 0; i < 9; ++i)
+        for (net::node_id j = 0; j < 9; ++j)
+            EXPECT_EQ(s.effective_rendezvous(i, j), paper[i][j]) << i << "," << j;
+}
+
+TEST(tree_path, strict_variant_posts_at_ancestors) {
+    const std::vector<net::node_id> parent{6, 6, 6, 7, 7, 7, 8, 8, net::invalid_node};
+    const tree_path_strategy s{parent};
+    EXPECT_EQ(s.post_set(0), (node_set{6, 8}));
+    EXPECT_EQ(s.post_set(6), (node_set{8}));
+    EXPECT_EQ(s.post_set(8), (node_set{8}));  // the root posts at itself
+}
+
+TEST(tree_path, include_self_variant) {
+    const std::vector<net::node_id> parent{6, 6, 6, 7, 7, 7, 8, 8, net::invalid_node};
+    const tree_path_strategy s{parent, /*include_self=*/true};
+    EXPECT_EQ(s.post_set(0), (node_set{0, 6, 8}));
+    EXPECT_EQ(s.post_set(8), (node_set{8}));
+    const auto r = rendezvous_matrix::from_strategy(s);
+    EXPECT_TRUE(r.total());
+}
+
+TEST(tree_path, matrix_total_on_balanced_trees) {
+    for (const bool include_self : {false, true}) {
+        // Balanced binary tree of depth 3, BFS layout: parent(v) = (v-1)/2.
+        std::vector<net::node_id> parent(15);
+        parent[0] = net::invalid_node;
+        for (net::node_id v = 1; v < 15; ++v) parent[static_cast<std::size_t>(v)] = (v - 1) / 2;
+        const tree_path_strategy s{parent, include_self};
+        EXPECT_TRUE(rendezvous_matrix::from_strategy(s).total());
+    }
+}
+
+TEST(tree_path, depth_and_cost_track_tree_height) {
+    std::vector<net::node_id> parent(15);
+    parent[0] = net::invalid_node;
+    for (net::node_id v = 1; v < 15; ++v) parent[static_cast<std::size_t>(v)] = (v - 1) / 2;
+    const tree_path_strategy s{parent};
+    EXPECT_EQ(s.depth_of(0), 0);
+    EXPECT_EQ(s.depth_of(14), 3);
+    // m(i,j) <= 2 * depth: O(l) messages per locate (Section 3.6).
+    const auto r = core::rendezvous_matrix::from_strategy(s);
+    EXPECT_LE(r.max_message_passes(), 2 * 3);
+}
+
+TEST(tree_path, validation) {
+    EXPECT_THROW((tree_path_strategy{{}}), std::invalid_argument);
+    EXPECT_THROW((tree_path_strategy{{net::invalid_node, net::invalid_node}}),
+                 std::invalid_argument);
+    EXPECT_THROW((tree_path_strategy{{0, 0}}), std::invalid_argument);  // no root
+}
+
+}  // namespace
+}  // namespace mm::strategies

@@ -1,0 +1,251 @@
+// Tests for the projective, hierarchical, partition, random and hash
+// strategy families.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/rendezvous_matrix.h"
+#include "net/partition.h"
+#include "net/random_graphs.h"
+#include "net/topologies.h"
+#include "strategies/hash_locate.h"
+#include "strategies/hierarchical.h"
+#include "strategies/partition_strategy.h"
+#include "strategies/projective.h"
+#include "strategies/random_strategy.h"
+
+namespace mm::strategies {
+namespace {
+
+using core::rendezvous_matrix;
+
+TEST(projective, cost_is_2k_plus_2) {
+    for (const int k : {2, 3, 4, 5, 7}) {
+        const projective_strategy s{k};
+        const auto n = k * k + k + 1;
+        EXPECT_EQ(s.node_count(), n);
+        const auto r = rendezvous_matrix::from_strategy(s);
+        EXPECT_TRUE(r.total());
+        // m = #P + #Q = 2(k+1) ~ 2*sqrt(n).
+        EXPECT_DOUBLE_EQ(r.average_message_passes(), 2.0 * (k + 1));
+        EXPECT_NEAR(r.average_message_passes(), 2.0 * std::sqrt(static_cast<double>(n)),
+                    2.0);
+    }
+}
+
+TEST(projective, distinct_lines_meet_in_one_node) {
+    const projective_strategy s{3};
+    const auto r = rendezvous_matrix::from_strategy(s);
+    for (net::node_id i = 0; i < s.node_count(); ++i) {
+        for (net::node_id j = 0; j < s.node_count(); ++j) {
+            const auto& e = r.entry(i, j);
+            if (s.post_line(i) == s.query_line(j)) {
+                EXPECT_EQ(e.size(), static_cast<std::size_t>(s.plane().order() + 1));
+            } else {
+                EXPECT_EQ(e.size(), 1u);
+            }
+        }
+    }
+}
+
+TEST(projective, posts_lie_on_a_line_through_the_server) {
+    const projective_strategy s{4};
+    for (net::node_id v = 0; v < s.node_count(); v += 3) {
+        const auto p = s.post_set(v);
+        // The server's own node is on its chosen line.
+        EXPECT_TRUE(std::find(p.begin(), p.end(), v) != p.end());
+        EXPECT_EQ(p.size(), static_cast<std::size_t>(s.plane().order() + 1));
+    }
+}
+
+TEST(projective, rotated_selectors_still_match) {
+    // Different line choices (fault-tolerance rotation) still rendezvous.
+    for (int sel = 0; sel < 3; ++sel) {
+        const projective_strategy s{3, sel, 2 - sel};
+        EXPECT_TRUE(rendezvous_matrix::from_strategy(s).total());
+    }
+}
+
+TEST(hierarchical, per_level_sets_are_sqrt_of_fanout) {
+    const net::hierarchy h{{16, 16}};
+    const hierarchical_strategy s{h};
+    for (const net::node_id v : {0, 5, 100, 255}) {
+        EXPECT_EQ(s.level_post_set(v, 1).size(), 4u);
+        EXPECT_EQ(s.level_query_set(v, 1).size(), 4u);
+        EXPECT_EQ(s.level_post_set(v, 2).size(), 4u);
+    }
+}
+
+TEST(hierarchical, matrix_total_at_various_shapes) {
+    for (const auto& fanouts :
+         {std::vector<int>{4}, {4, 4}, {2, 3, 4}, {9, 9}, {3, 3, 3, 3}}) {
+        const hierarchical_strategy s{net::hierarchy{fanouts}};
+        EXPECT_TRUE(rendezvous_matrix::from_strategy(s).total());
+    }
+}
+
+TEST(hierarchical, cost_beats_flat_sqrt_for_deep_hierarchies) {
+    // n = 4^4 = 256: hierarchical pays ~ k * 2*sqrt(4) = 16 versus the flat
+    // 2*sqrt(256) = 32.
+    const hierarchical_strategy s{net::hierarchy{{4, 4, 4, 4}}};
+    const auto r = rendezvous_matrix::from_strategy(s);
+    EXPECT_TRUE(r.total());
+    EXPECT_LT(r.average_message_passes(), 2.0 * std::sqrt(256.0));
+}
+
+TEST(hierarchical, meeting_level_is_lowest_shared_cluster) {
+    const net::hierarchy h{{4, 4}};
+    const hierarchical_strategy s{h};
+    EXPECT_EQ(s.meeting_level(0, 1), 1);
+    EXPECT_EQ(s.meeting_level(0, 5), 2);
+    EXPECT_EQ(s.meeting_level(0, 0), 1);
+}
+
+TEST(hierarchical, rendezvous_found_by_meeting_level_everywhere) {
+    // Property: for every pair, the per-level sets intersect at the meeting
+    // level (so the staged locate never has to go above it when the server
+    // posted there).
+    const net::hierarchy h{{3, 4, 2}};
+    const hierarchical_strategy s{h};
+    for (net::node_id a = 0; a < h.node_count(); a += 2) {
+        for (net::node_id b = 1; b < h.node_count(); b += 3) {
+            const int level = s.meeting_level(a, b);
+            EXPECT_TRUE(core::sets_intersect(s.level_post_set(a, level),
+                                             s.level_query_set(b, level)))
+                << a << "," << b << " at level " << level;
+        }
+    }
+}
+
+TEST(hierarchical, rendezvous_happens_at_meeting_level) {
+    const net::hierarchy h{{4, 4}};
+    const hierarchical_strategy s{h};
+    // Nodes in different level-1 clusters must meet via level-2 gateways.
+    const auto p = s.level_post_set(0, 2);
+    const auto q = s.level_query_set(5, 2);
+    EXPECT_TRUE(core::sets_intersect(p, q));
+}
+
+TEST(partition_strategy_suite, grid_matches_always) {
+    const auto g = net::make_grid(8, 8);
+    const partition_strategy s{net::partition_connected(g)};
+    const auto r = rendezvous_matrix::from_strategy(s);
+    EXPECT_TRUE(r.total());
+}
+
+TEST(partition_strategy_suite, query_is_own_part_post_covers_own_label) {
+    const auto g = net::make_grid(6, 6);
+    const auto part = net::partition_connected(g);
+    const partition_strategy s{part};
+    for (net::node_id v = 0; v < 36; v += 5) {
+        const auto q = s.query_set(v);
+        EXPECT_EQ(q, part.parts[static_cast<std::size_t>(
+                         part.part_of[static_cast<std::size_t>(v)])]);
+        // Every post target covers v's label within its own part.
+        const int label = part.label_of[static_cast<std::size_t>(v)];
+        for (const net::node_id w : s.post_set(v))
+            EXPECT_EQ(part.covering_node(part.part_of[static_cast<std::size_t>(w)], label), w);
+    }
+}
+
+TEST(partition_strategy_suite, heavy_hub_graphs_still_match) {
+    const auto g = net::make_uucp_like(120, 60, 5);
+    const partition_strategy s{net::partition_connected(g)};
+    const auto r = rendezvous_matrix::from_strategy(s);
+    EXPECT_TRUE(r.total());
+    // Client cost capped: every query set is below 2*sqrt(n) + slack.
+    for (net::node_id v = 0; v < 120; v += 7)
+        EXPECT_LT(s.query_set(v).size(), 2u * 11u + 2u);
+}
+
+TEST(partition_strategy_suite, cost_near_2_sqrt_n_on_grids) {
+    const auto g = net::make_grid(10, 10);
+    const partition_strategy s{net::partition_connected(g)};
+    const auto r = rendezvous_matrix::from_strategy(s);
+    // Addressed nodes per match ~ #parts + part size ~ 2*sqrt(n), within a
+    // small constant factor from uneven part sizes.
+    EXPECT_LE(r.average_message_passes(), 3.0 * 2.0 * std::sqrt(100.0));
+    EXPECT_GE(r.average_message_passes(), 2.0 * std::sqrt(100.0) * 0.5);
+}
+
+TEST(random_strategy_suite, set_sizes_respected) {
+    const random_strategy s{32, 5, 7, 99};
+    for (net::node_id v = 0; v < 32; v += 3) {
+        EXPECT_EQ(s.post_set(v).size(), 5u);
+        EXPECT_EQ(s.query_set(v).size(), 7u);
+    }
+}
+
+TEST(random_strategy_suite, deterministic_per_seed) {
+    const random_strategy a{32, 5, 7, 99};
+    const random_strategy b{32, 5, 7, 99};
+    const random_strategy c{32, 5, 7, 100};
+    EXPECT_EQ(a.post_set(3), b.post_set(3));
+    EXPECT_EQ(a.query_set(9), b.query_set(9));
+    EXPECT_NE(a.post_set(3), c.post_set(3));
+}
+
+TEST(random_strategy_suite, sets_are_subsets_of_universe) {
+    const random_strategy s{16, 16, 16, 7};
+    EXPECT_EQ(s.post_set(0), core::all_nodes(16));  // full-size sample = U
+    const random_strategy t{16, 0, 4, 7};
+    EXPECT_TRUE(t.post_set(0).empty());
+}
+
+TEST(random_strategy_suite, validation) {
+    EXPECT_THROW((random_strategy{8, 9, 1, 1}), std::invalid_argument);
+    EXPECT_THROW((random_strategy{8, 1, -1, 1}), std::invalid_argument);
+    EXPECT_THROW((random_strategy{0, 0, 0, 1}), std::invalid_argument);
+}
+
+TEST(hash_locate_suite, p_equals_q_and_costs_two) {
+    const hash_locate_strategy s{64};
+    const core::port_id port = core::port_of("file-server");
+    EXPECT_EQ(s.post_set(3, port), s.query_set(40, port));
+    EXPECT_EQ(s.post_set(3, port).size(), 1u);
+    // One post + one query: m = 2, matching the centralized lower bound,
+    // but per-port instead of global.
+}
+
+TEST(hash_locate_suite, different_ports_spread_over_nodes) {
+    const hash_locate_strategy s{64};
+    std::set<net::node_id> used;
+    for (int k = 0; k < 200; ++k)
+        used.insert(s.rendezvous_node(core::port_of("svc" + std::to_string(k)), 0));
+    // A good hash should hit a large fraction of the 64 nodes.
+    EXPECT_GE(used.size(), 40u);
+}
+
+TEST(hash_locate_suite, replicas_give_distinct_nodes) {
+    const hash_locate_strategy s{64, 4};
+    const auto set = s.post_set(0, core::port_of("db"));
+    EXPECT_GE(set.size(), 2u);  // double hashing: overwhelmingly distinct
+    EXPECT_LE(set.size(), 4u);
+}
+
+TEST(hash_locate_suite, rehash_moves_the_rendezvous) {
+    const hash_locate_strategy primary{64, 1, 0};
+    const hash_locate_strategy backup{64, 1, 1};
+    const core::port_id port = core::port_of("print-server");
+    EXPECT_NE(primary.rendezvous_node(port, 0), backup.rendezvous_node(port, 1));
+    EXPECT_EQ(backup.post_set(0, port).front(), primary.rendezvous_node(port, 1));
+}
+
+TEST(hash_locate_suite, matrix_is_total_and_cheap) {
+    const hash_locate_strategy s{32};
+    const auto r = rendezvous_matrix::from_strategy(s, core::port_of("x"));
+    EXPECT_TRUE(r.total());
+    EXPECT_TRUE(r.singleton());
+    EXPECT_DOUBLE_EQ(r.average_message_passes(), 2.0);
+}
+
+TEST(hash_locate_suite, validation) {
+    EXPECT_THROW((hash_locate_strategy{0}), std::invalid_argument);
+    EXPECT_THROW((hash_locate_strategy{8, 9}), std::invalid_argument);
+    EXPECT_THROW((hash_locate_strategy{8, 0}), std::invalid_argument);
+    EXPECT_THROW((hash_locate_strategy{8, 1, -1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mm::strategies
