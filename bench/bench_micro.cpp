@@ -161,4 +161,4 @@ BENCHMARK(bm_name_service_locate)->Arg(64)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// main() comes from benchmark::benchmark_main (see bench/CMakeLists.txt).

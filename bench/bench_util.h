@@ -4,10 +4,23 @@
 // (see DESIGN.md's experiment index) and prints it through these helpers so
 // outputs are uniform: a banner naming the paper artifact, the table, and a
 // PASS/FAIL shape check where the paper makes a sharp claim.
+//
+// Each helper also mirrors what it prints into a json_reporter singleton;
+// when the environment variable MM_BENCH_JSON names a file, the report is
+// flushed there at process exit.  bench/run_all.sh aggregates the
+// per-binary files into BENCH_seed.json, the machine-readable baseline the
+// perf trajectory is measured against.
 #pragma once
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/strategy.h"
@@ -15,12 +28,127 @@
 
 namespace mm::bench {
 
+// Collects everything a bench binary reports and writes it as one JSON
+// object at exit.  Opt-in: without MM_BENCH_JSON in the environment the
+// reporter is inert and benches behave exactly as before.
+class json_reporter {
+public:
+    static json_reporter& instance() {
+        static json_reporter reporter;
+        return reporter;
+    }
+
+    void set_experiment(std::string experiment, std::string claim) {
+        experiment_ = std::move(experiment);
+        claim_ = std::move(claim);
+    }
+
+    void add_check(const std::string& what, bool ok) { checks_.emplace_back(what, ok); }
+
+    void add_metric(std::string name, double value, std::string unit) {
+        metrics_.push_back(metric_row{std::move(name), value, std::move(unit)});
+    }
+
+    json_reporter(const json_reporter&) = delete;
+    json_reporter& operator=(const json_reporter&) = delete;
+
+    ~json_reporter() { flush(); }
+
+private:
+    struct metric_row {
+        std::string name;
+        double value;
+        std::string unit;
+    };
+
+    json_reporter() = default;
+
+    static std::string escape(const std::string& s) {
+        std::string out;
+        out.reserve(s.size() + 8);
+        for (const char c : s) {
+            switch (c) {
+                case '"': out += "\\\""; break;
+                case '\\': out += "\\\\"; break;
+                case '\n': out += "\\n"; break;
+                case '\t': out += "\\t"; break;
+                case '\r': out += "\\r"; break;
+                default:
+                    if (static_cast<unsigned char>(c) < 0x20) {
+                        char buf[8];
+                        std::snprintf(buf, sizeof buf, "\\u%04x",
+                                      static_cast<unsigned>(static_cast<unsigned char>(c)));
+                        out += buf;
+                    } else {
+                        out += c;
+                    }
+            }
+        }
+        return out;
+    }
+
+    static void write_number(std::ofstream& out, double value) {
+        if (std::isfinite(value))
+            out << std::setprecision(17) << value;  // round-trip precision
+        else
+            out << "null";  // NaN/inf are not valid JSON
+    }
+
+    void flush() const {
+        const char* path = std::getenv("MM_BENCH_JSON");
+        if (path == nullptr || *path == '\0') return;
+        std::ofstream out{path};
+        if (!out) return;
+        std::size_t passed = 0;
+        for (const auto& [what, ok] : checks_)
+            if (ok) ++passed;
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+        out << "{\n"
+            << "  \"experiment\": \"" << escape(experiment_) << "\",\n"
+            << "  \"claim\": \"" << escape(claim_) << "\",\n"
+            << "  \"elapsed_seconds\": ";
+        write_number(out, elapsed);
+        out << ",\n"
+            << "  \"checks_passed\": " << passed << ",\n"
+            << "  \"checks_failed\": " << checks_.size() - passed << ",\n"
+            << "  \"checks\": [";
+        for (std::size_t i = 0; i < checks_.size(); ++i) {
+            out << (i == 0 ? "\n" : ",\n") << "    {\"what\": \"" << escape(checks_[i].first)
+                << "\", \"ok\": " << (checks_[i].second ? "true" : "false") << "}";
+        }
+        out << (checks_.empty() ? "]" : "\n  ]") << ",\n  \"metrics\": [";
+        for (std::size_t i = 0; i < metrics_.size(); ++i) {
+            const auto& m = metrics_[i];
+            out << (i == 0 ? "\n" : ",\n") << "    {\"name\": \"" << escape(m.name)
+                << "\", \"value\": ";
+            write_number(out, m.value);
+            out << ", \"unit\": \"" << escape(m.unit) << "\"}";
+        }
+        out << (metrics_.empty() ? "]" : "\n  ]") << "\n}\n";
+    }
+
+    std::string experiment_;
+    std::string claim_;
+    std::vector<std::pair<std::string, bool>> checks_;
+    std::vector<metric_row> metrics_;
+    std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
+};
+
 inline void banner(const std::string& experiment, const std::string& claim) {
+    json_reporter::instance().set_experiment(experiment, claim);
     std::cout << "\n=== " << experiment << " ===\n" << claim << "\n\n";
 }
 
 inline void shape_check(const std::string& what, bool ok) {
+    json_reporter::instance().add_check(what, ok);
     std::cout << (ok ? "[SHAPE OK]   " : "[SHAPE FAIL] ") << what << "\n";
+}
+
+// Record a named scalar result; it lands in the JSON report next to the
+// shape checks so the perf trajectory can track real measured quantities.
+inline void metric(const std::string& name, double value, const std::string& unit = "") {
+    json_reporter::instance().add_metric(name, value, unit);
 }
 
 // Average routed message passes of one match-making instance on a real

@@ -1,0 +1,125 @@
+#!/bin/sh
+# run_all.sh - execute every built bench binary and aggregate their
+# machine-readable reports into one JSON file (BENCH_seed.json for the seed
+# baseline; later PRs diff against it).
+#
+#   usage: run_all.sh <bench-bin-dir> <output-json> [bench-name...]
+#
+# When bench names are given (CMake passes its authoritative target list so
+# stale binaries from renamed sources can't pollute the baseline), exactly
+# those are run and a missing binary counts as a failure.  Without names the
+# script falls back to globbing bench_* in the bin dir.
+#
+# bench_a*/bench_e* binaries emit their own JSON via bench_util.h when
+# MM_BENCH_JSON names a file; bench_micro (google-benchmark) speaks
+# --benchmark_format=json natively.  Each entry in the aggregate records the
+# binary name, its exit code, wall-clock seconds, and the embedded report
+# (null when the binary crashed before writing one, or wrote invalid JSON).
+#
+# A bench counts as failed when it exits non-zero, when its report is
+# missing or unparseable, or when the report says checks_failed > 0 — bench
+# mains return 0 even when a paper-claim shape check flips, so the driver
+# has to read the report to catch that rot.  Exits non-zero if any bench
+# failed, so the CTest wrapper goes red.
+set -u
+
+BIN_DIR=${1:?usage: run_all.sh <bench-bin-dir> <output-json> [bench-name...]}
+OUT=${2:?usage: run_all.sh <bench-bin-dir> <output-json> [bench-name...]}
+shift 2
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+have_python3() { command -v python3 >/dev/null 2>&1; }
+
+# Valid JSON we can safely splice into the aggregate?  Falls back to a cheap
+# structural check (object opens '{' and closes '}') when python3 is absent,
+# which still rejects the common truncated-mid-flush case.
+json_ok() {
+    [ -s "$1" ] || return 1
+    if have_python3; then
+        python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$1" \
+            >/dev/null 2>&1 || return 1
+    else
+        [ "$(head -c 1 "$1")" = "{" ] || return 1
+        [ "$(tail -c 2 "$1" | tr -d '[:space:]')" = "}" ] || return 1
+    fi
+    return 0
+}
+
+# Normalize both modes into the positional params as bench NAMES, so the
+# main loop below is space-in-path safe (the bin dir is always quoted).
+if [ "$#" -eq 0 ]; then
+    for f in "$BIN_DIR"/bench_*; do
+        [ -e "$f" ] || continue   # unmatched glob leaves the literal pattern
+        [ -d "$f" ] && continue
+        set -- "$@" "$(basename "$f")"
+    done
+fi
+
+total=0
+failed=0
+first=1
+
+{
+    printf '{\n  "schema": "mm-bench-v1",\n  "generated_by": "bench/run_all.sh",\n  "results": [\n'
+    for name in "$@"; do
+        exe="$BIN_DIR/$name"
+        total=$((total + 1))
+
+        if [ -x "$exe" ]; then
+            per="$TMP/$name.json"
+            start=$(date +%s)
+            if [ "$name" = "bench_micro" ]; then
+                "$exe" --benchmark_format=json --benchmark_min_time=0.01 \
+                    >"$per" 2>"$TMP/$name.err"
+                status=$?
+            else
+                MM_BENCH_JSON="$per" "$exe" >"$TMP/$name.out" 2>&1
+                status=$?
+            fi
+            elapsed=$(( $(date +%s) - start ))
+            if json_ok "$per"; then
+                report_valid=1
+                checks_failed=$(sed -n 's/.*"checks_failed": *\([0-9][0-9]*\).*/\1/p' "$per" | head -1)
+            else
+                report_valid=0
+                checks_failed=""
+            fi
+        else
+            per=""
+            status=-1  # never ran: binary missing from the bin dir
+            elapsed=0
+            report_valid=0
+            checks_failed=""
+        fi
+
+        bad=0
+        [ "$status" -eq 0 ] || bad=1
+        [ "$report_valid" -eq 1 ] || bad=1
+        [ -n "$checks_failed" ] && [ "$checks_failed" -gt 0 ] && bad=1
+        [ "$bad" -eq 0 ] || failed=$((failed + 1))
+        echo "[$name] exit=$status report_valid=$report_valid checks_failed=${checks_failed:-n/a} wall=${elapsed}s" >&2
+
+        [ "$first" -eq 1 ] || printf ',\n'
+        first=0
+        printf '    {"binary": "%s", "exit_code": %d, "failed": %s, "wall_seconds": %d, "report": ' \
+            "$name" "$status" "$([ "$bad" -eq 0 ] && echo false || echo true)" "$elapsed"
+        if [ "$report_valid" -eq 1 ]; then
+            cat "$per"
+        else
+            printf 'null'
+        fi
+        printf '}'
+    done
+    printf '\n  ],\n  "total": %d,\n  "failed": %d\n}\n' "$total" "$failed"
+} >"$OUT"
+
+if have_python3 && ! json_ok "$OUT"; then
+    echo "error: aggregate $OUT is not valid JSON" >&2
+    exit 1
+fi
+echo "wrote $OUT ($total benches, $failed failed)" >&2
+[ "$total" -gt 0 ] || { echo "error: no bench binaries found in $BIN_DIR" >&2; exit 1; }
+[ "$failed" -eq 0 ] || exit 1
+exit 0

@@ -1,0 +1,29 @@
+// version.h - the library's build contract: version and feature macros.
+//
+// tests/test_build_sanity.cpp asserts these stay coherent (the numeric
+// triple must match MM_VERSION_STRING, and every subsystem flag must be
+// present); bump the triple when the public surface changes and keep the
+// CMake project(VERSION ...) in sync.
+#pragma once
+
+#include <string_view>
+
+#define MM_VERSION_MAJOR 0
+#define MM_VERSION_MINOR 1
+#define MM_VERSION_PATCH 0
+#define MM_VERSION_STRING "0.1.0"
+
+// Subsystems compiled into libmm, one flag per src/ directory.
+#define MM_HAS_CORE 1
+#define MM_HAS_NET 1
+#define MM_HAS_SIM 1
+#define MM_HAS_STRATEGIES 1
+#define MM_HAS_LIGHTHOUSE 1
+#define MM_HAS_ANALYSIS 1
+#define MM_HAS_RUNTIME 1
+
+namespace mm {
+
+[[nodiscard]] constexpr std::string_view version() noexcept { return MM_VERSION_STRING; }
+
+}  // namespace mm

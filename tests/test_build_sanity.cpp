@@ -1,0 +1,58 @@
+// Build-contract tests: the version/feature macros advertised by
+// src/core/version.h stay coherent, and one translation unit can link
+// symbols from every layer of libmm (core, net, sim, strategies, runtime).
+// If the CMake layer ever drops a src/ directory from the library, the
+// link-layer test here fails to build rather than rotting silently.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+
+#include "core/ids.h"
+#include "core/version.h"
+#include "net/topologies.h"
+#include "runtime/name_service.h"
+#include "sim/simulator.h"
+#include "strategies/checkerboard.h"
+
+namespace {
+
+TEST(build_sanity, version_macros_are_coherent) {
+    static_assert(MM_VERSION_MAJOR >= 0);
+    static_assert(MM_VERSION_MINOR >= 0);
+    static_assert(MM_VERSION_PATCH >= 0);
+    const std::string triple = std::to_string(MM_VERSION_MAJOR) + "." +
+                               std::to_string(MM_VERSION_MINOR) + "." +
+                               std::to_string(MM_VERSION_PATCH);
+    EXPECT_EQ(triple, MM_VERSION_STRING);
+    EXPECT_EQ(mm::version(), std::string_view{MM_VERSION_STRING});
+}
+
+TEST(build_sanity, every_subsystem_feature_flag_is_on) {
+#if !defined(MM_HAS_CORE) || !defined(MM_HAS_NET) || !defined(MM_HAS_SIM) ||     \
+    !defined(MM_HAS_STRATEGIES) || !defined(MM_HAS_LIGHTHOUSE) ||                \
+    !defined(MM_HAS_ANALYSIS) || !defined(MM_HAS_RUNTIME)
+#error "a subsystem feature macro is missing from core/version.h"
+#endif
+    EXPECT_EQ(MM_HAS_CORE + MM_HAS_NET + MM_HAS_SIM + MM_HAS_STRATEGIES +
+                  MM_HAS_LIGHTHOUSE + MM_HAS_ANALYSIS + MM_HAS_RUNTIME,
+              7);
+}
+
+// Exercises mm::core (port_of), mm::net (make_complete), mm::sim
+// (simulator), mm::strategies (checkerboard) and mm::runtime (name_service)
+// from a single TU, so a partial library archive cannot link.
+TEST(build_sanity, all_layers_link_from_one_translation_unit) {
+    const auto g = mm::net::make_complete(9);
+    mm::sim::simulator sim{g};
+    const mm::strategies::checkerboard_strategy strategy{9};
+    mm::runtime::name_service ns{sim, strategy};
+
+    const mm::core::port_id port = mm::core::port_of("build-sanity");
+    ns.register_server(port, 3);
+    const auto result = ns.locate(port, 7);
+    EXPECT_TRUE(result.found);
+    EXPECT_EQ(result.where, 3);
+}
+
+}  // namespace
