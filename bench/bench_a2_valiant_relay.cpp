@@ -30,8 +30,8 @@ load_profile run_workload(bool relay, bool randomized_routing) {
     sim::simulator sim{g};
     if (randomized_routing) sim.set_randomized_routing(17);
     const strategies::hypercube_strategy strategy{d};
-    runtime::name_service ns{sim, strategy};
-    if (relay) ns.enable_valiant_relay(99);
+    runtime::name_service ns{sim, strategy,
+                             {.valiant_relay = relay, .valiant_seed = 99}};
 
     const auto port = core::port_of("hot-service");
     ns.register_server(port, 63);
@@ -76,6 +76,13 @@ int main() {
     std::cout << "Fixed tie-breaking funnels everything through low-numbered nodes, so\n"
                  "relaying alone cannot help; with unbiased per-hop choices the relay\n"
                  "spreads the load (lower peak/mean), at ~2x total traffic.\n\n";
+
+    bench::metric("peak_transit_fixed_direct", static_cast<double>(fixed_direct.peak), "messages");
+    bench::metric("peak_transit_rand_direct", static_cast<double>(rand_direct.peak), "messages");
+    bench::metric("peak_transit_rand_relay", static_cast<double>(rand_relay.peak), "messages");
+    bench::metric("total_transit_rand_relay", static_cast<double>(rand_relay.total), "messages");
+    bench::metric("imbalance_rand_direct", rand_direct.imbalance, "peak/mean");
+    bench::metric("imbalance_rand_relay", rand_relay.imbalance, "peak/mean");
 
     bench::shape_check("all locates succeed in all four configurations",
                        fixed_direct.all_found && fixed_relay.all_found &&

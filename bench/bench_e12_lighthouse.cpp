@@ -2,6 +2,7 @@
 // across server densities, plus the reverse-routing-table network beams.
 #include <algorithm>
 #include <iostream>
+#include <string>
 
 #include "analysis/table.h"
 #include "bench_util.h"
@@ -62,6 +63,13 @@ int main() {
     for (const double density : {0.02, 0.005, 0.00125}) {
         const auto doubling = run_many(lighthouse::client_schedule::doubling, density, runs);
         const auto ruler = run_many(lighthouse::client_schedule::ruler, density, runs);
+        const auto tag = std::to_string(density);
+        bench::metric("median_time_doubling_density_" + tag,
+                      static_cast<double>(doubling.median_time), "ticks");
+        bench::metric("median_time_ruler_density_" + tag,
+                      static_cast<double>(ruler.median_time), "ticks");
+        bench::metric("located_doubling_density_" + tag, doubling.located_fraction,
+                      "fraction");
         t.add_row({analysis::table::num(density, 5), "doubling",
                    analysis::table::num(doubling.median_time),
                    analysis::table::num(doubling.mean_messages, 0),
@@ -109,6 +117,10 @@ int main() {
     std::cout << "Network beams from the grid center: " << monotone << "/" << beams
               << " moved strictly away from the origin, mean length "
               << analysis::table::num(mean_length / beams, 2) << " hops of 7 requested.\n\n";
+
+    bench::metric("beam_monotone_fraction",
+                  static_cast<double>(monotone) / beams, "fraction");
+    bench::metric("beam_mean_length", mean_length / beams, "hops");
 
     bench::shape_check("median locate time grows as density drops (doubling schedule)",
                        denser_is_faster);

@@ -78,17 +78,25 @@ int main() {
     // Rehash recovery: kill the primary rendezvous, locate via fallbacks.
     const auto g = net::make_complete(n);
     sim::simulator sim{g};
-    const strategies::hash_locate_strategy primary{n, 1, 0};
-    const strategies::hash_locate_strategy backup1{n, 1, 1};
-    const strategies::hash_locate_strategy backup2{n, 1, 2};
+    // Primary hash attempt plus two owned rehash backups (fallback_chain()).
+    const strategies::hash_locate_strategy primary{n, 1, 0, 2};
     runtime::name_service ns{sim, primary};
     const core::port_id port = core::port_of("database");
     ns.register_server(port, 5);
     ns.crash_node(primary.rendezvous_node(port, 0));
-    const auto recovered = ns.locate_with_fallback(port, 20, {&backup1, &backup2});
+    const auto recovered = ns.locate_with_fallback(port, 20);
     std::cout << "Rehash drill: primary rendezvous crashed; locate "
               << (recovered.found ? "succeeded" : "FAILED") << " after " << recovered.stages
               << " attempts (" << recovered.message_passes << " message passes).\n\n";
+
+    bench::metric("hash_m_n", core::average_message_passes(hash1), "addressed nodes");
+    bench::metric("checkerboard_m_n", core::average_message_passes(checker), "addressed nodes");
+    bench::metric("dead_rate_r1_f16", dead_rate[1][2], "fraction");
+    bench::metric("dead_rate_r4_f16", dead_rate[4][2], "fraction");
+    bench::metric("rehash_recovery_stages", static_cast<double>(recovered.stages), "attempts");
+    bench::metric("rehash_recovery_message_passes",
+                  static_cast<double>(recovered.message_passes), "hops");
+    bench::metric("rehash_recovery_latency", static_cast<double>(recovered.latency), "ticks");
 
     bench::shape_check("hash locate costs m = 2 vs checkerboard 2*sqrt(n) = 16",
                        core::average_message_passes(hash1) == 2.0);

@@ -99,6 +99,12 @@ int main() {
               << analysis::table::num(routed_broadcast, 1)
               << " (both Omega(n); sqrt-schemes buy nothing on rings).\n\n";
 
+    bench::metric("mesh3_survival_f2", mesh_f2, "fraction");
+    bench::metric("flood_survival_f8", flood_f8, "fraction");
+    bench::metric("checkerboard_survival_f8", checker_f8, "fraction");
+    bench::metric("ring_routed_cost_checkerboard", routed_checker, "message passes");
+    bench::metric("ring_routed_cost_broadcast", routed_broadcast, "message passes");
+
     bench::shape_check("3-fold redundant mesh survives every f=2 drill", mesh_f2 == 1.0);
     bench::shape_check("flood survives f=8 while the singleton checkerboard does not",
                        flood_f8 == 1.0 && checker_f8 < 1.0);

@@ -62,7 +62,7 @@ int main() {
     ns.register_server(global_port, 300); // other side of the hierarchy
 
     const auto report = [&](const char* label, core::port_id port) {
-        const auto res = ns.locate_staged(port, client, strategy);
+        const auto res = ns.locate_staged(port, client);
         staged.add_row({label, analysis::table::num(static_cast<std::int64_t>(res.stages)),
                         analysis::table::num(static_cast<std::int64_t>(res.nodes_queried)),
                         res.found ? "yes" : "NO"});

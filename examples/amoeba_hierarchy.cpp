@@ -39,7 +39,7 @@ int main() {
     ns.register_server(db_port, 70); // database replica, another campus
 
     const auto report = [&](const char* label, core::port_id port) {
-        const auto res = ns.locate_staged(port, client, strategy);
+        const auto res = ns.locate_staged(port, client);
         std::cout << label << ": " << (res.found ? "found at node " + std::to_string(res.where)
                                                  : std::string{"NOT FOUND"})
                   << " after " << res.stages << " level(s), " << res.nodes_queried
@@ -61,7 +61,7 @@ int main() {
     ns.crash_node(db.where);
     ns.purge_binding(db_port, db.where);  // survivor-side cleanup of the dead binding
     ns.repost_all();                      // replicas refresh on their poll period
-    const auto replica = ns.locate_staged(db_port, client, strategy);
+    const auto replica = ns.locate_staged(db_port, client);
     if (replica.found && replica.where != db.where) {
         std::cout << "query server recovered: replica at node " << replica.where
                   << " answers; \"the human client at the top of the hierarchy gets to cope\n"
@@ -76,7 +76,7 @@ int main() {
     std::int64_t flat_total = 0;
     int locates = 0;
     for (net::node_id c = 0; c < shape.node_count(); c += 5) {
-        const auto staged = ns.locate_staged(os_port, c, strategy);
+        const auto staged = ns.locate_staged(os_port, c);
         const auto flat = ns.locate(os_port, c);
         staged_total += staged.nodes_queried;
         flat_total += flat.nodes_queried;

@@ -22,9 +22,7 @@ int main() {
     sim::simulator sim{network};
     sim.set_randomized_routing(5);
     const strategies::hypercube_strategy strategy{d};
-    runtime::name_service ns{sim, strategy};
-    ns.set_entry_ttl(120);
-    ns.enable_auto_refresh(40);
+    runtime::name_service ns{sim, strategy, {.entry_ttl = 120, .refresh_period = 40}};
 
     sim::rng random{2026};
     constexpr int fleet_size = 6;

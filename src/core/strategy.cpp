@@ -9,6 +9,7 @@ void normalize_set(node_set& nodes) {
 
 node_set intersect_sets(const node_set& a, const node_set& b) {
     node_set out;
+    out.reserve(std::min(a.size(), b.size()));
     std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
     return out;
 }

@@ -48,6 +48,27 @@ public:
 
     // Q(j, port): where a client at node j queries.  Normalized.
     [[nodiscard]] virtual node_set query_set(net::node_id client, port_id port) const = 0;
+
+    // --- capabilities ------------------------------------------------------
+    // Optional behaviors a runtime can discover without downcasting to a
+    // concrete strategy type.
+    //
+    // Staging (Section 3.5): a staged locate escalates level by level,
+    // querying staged_query_set(client, 1), then level 2, ... up to
+    // staged_levels().  The default is a single stage equal to the plain
+    // query set, so every strategy supports staged locates trivially.
+    [[nodiscard]] virtual int staged_levels() const { return 1; }
+    [[nodiscard]] virtual node_set staged_query_set(net::node_id client, int level,
+                                                    port_id port) const {
+        return level == 1 ? query_set(client, port) : node_set{};
+    }
+
+    // Rehashing (Section 5): backup strategies to try, in order, after the
+    // primary rendezvous fails.  The pointed-to strategies live as long as
+    // this strategy.  Empty by default (no fallback capability).
+    [[nodiscard]] virtual std::vector<const locate_strategy*> fallback_chain() const {
+        return {};
+    }
 };
 
 // A Shotgun strategy: P and Q depend on the node only.  Derived classes

@@ -60,6 +60,7 @@ void service_node::on_message(sim::simulator& sim, const sim::message& msg) {
                 entry.stamp = msg.stamp;
                 replies_[msg.tag] = entry;
             }
+            if (reply_hook_) reply_hook_(sim, msg.tag);
             break;
         }
         default:
@@ -73,6 +74,7 @@ void service_node::on_timer(sim::simulator& sim, std::int64_t timer_id) {
 
 void service_node::on_crash(sim::simulator& /*sim*/) {
     directory_.clear();
+    hints_.clear();
     replies_.clear();
 }
 
@@ -85,7 +87,16 @@ core::port_entry service_node::reply(std::int64_t tag) const {
 }
 
 name_service::name_service(sim::simulator& sim, const core::locate_strategy& strategy)
-    : sim_{&sim}, strategy_{&strategy} {
+    : name_service{sim, strategy, options{}} {}
+
+name_service::name_service(sim::simulator& sim, const core::locate_strategy& strategy,
+                           options opts)
+    : sim_{&sim}, strategy_{&strategy}, options_{opts} {
+    if (options_.refresh_period < 0)
+        throw std::invalid_argument{"name_service: refresh_period must be >= 0 (0 = off)"};
+    if (options_.entry_ttl < -1)
+        throw std::invalid_argument{"name_service: entry_ttl must be >= -1 (-1 = never)"};
+    if (options_.valiant_relay) valiant_state_ = options_.valiant_seed | 1;
     const net::node_id n = sim.network().node_count();
     nodes_.reserve(static_cast<std::size_t>(n));
     refresh_armed_.assign(static_cast<std::size_t>(n), 0);
@@ -94,19 +105,10 @@ name_service::name_service(sim::simulator& sim, const core::locate_strategy& str
         handler->set_timer_hook([this](sim::simulator& s, net::node_id at, std::int64_t id) {
             handle_timer(s, at, id);
         });
+        handler->set_reply_hook(
+            [this](sim::simulator& s, std::int64_t tag) { handle_reply(s, tag); });
         nodes_.push_back(handler);
         sim.attach(v, handler);
-    }
-}
-
-void name_service::drain() {
-    if (refresh_period_ <= 0) {
-        sim_->run();
-    } else {
-        // Refresh timers re-arm forever; bound the wait by the worst-case
-        // round trip (two legs of at most the node count, doubled for
-        // relaying) instead of draining the queue.
-        sim_->run_until(sim_->now() + 4 * sim_->network().node_count() + 8);
     }
 }
 
@@ -119,37 +121,39 @@ net::node_id name_service::random_relay(net::node_id source, net::node_id destin
     return relay;
 }
 
-void name_service::send_application(sim::message msg) {
-    if (valiant_ && msg.destination != msg.source) {
-        const net::node_id relay = random_relay(msg.source, msg.destination);
-        if (relay != msg.destination && relay != msg.source) {
-            msg.relay_final = msg.destination;
+sim::time_point name_service::send_application(sim::message msg) {
+    const auto& routes = sim_->routes();
+    const net::node_id src = msg.source;
+    const net::node_id dst = msg.destination;
+    if (options_.valiant_relay && dst != src) {
+        const net::node_id relay = random_relay(src, dst);
+        if (relay != dst && relay != src) {
+            msg.relay_final = dst;
             msg.destination = relay;
+            const auto settle =
+                sim_->now() + routes.distance(src, relay) + routes.distance(relay, dst);
+            sim_->send(std::move(msg));
+            return settle;
         }
     }
-    sim_->send(msg);
-}
-
-void name_service::enable_auto_refresh(sim::time_point period) {
-    if (period <= 0) throw std::invalid_argument{"enable_auto_refresh: period must be positive"};
-    refresh_period_ = period;
-    for (const auto& [port, at] : registrations_) arm_refresh(at);
-}
-
-void name_service::enable_valiant_relay(std::uint64_t seed) {
-    valiant_ = true;
-    valiant_state_ = seed | 1;
+    const auto settle = sim_->now() + routes.distance(src, dst);
+    sim_->send(std::move(msg));
+    return settle;
 }
 
 void name_service::run_for(sim::time_point duration) { sim_->run_until(sim_->now() + duration); }
 
 void name_service::arm_refresh(net::node_id at) {
-    if (refresh_period_ <= 0 || refresh_armed_[static_cast<std::size_t>(at)]) return;
+    if (options_.refresh_period <= 0 || refresh_armed_[static_cast<std::size_t>(at)]) return;
     refresh_armed_[static_cast<std::size_t>(at)] = 1;
-    sim_->set_timer(at, refresh_period_, refresh_timer_id);
+    sim_->set_timer(at, options_.refresh_period, refresh_timer_id);
 }
 
 void name_service::handle_timer(sim::simulator& sim, net::node_id at, std::int64_t timer_id) {
+    if (timer_id < 0) {
+        advance_op(-timer_id);
+        return;
+    }
     if (timer_id != refresh_timer_id) return;
     refresh_armed_[static_cast<std::size_t>(at)] = 0;
     node(at).directory().expire(sim.now());
@@ -165,8 +169,8 @@ void name_service::handle_timer(sim::simulator& sim, net::node_id at, std::int64
             msg.destination = target;
             msg.subject_address = at;
             msg.stamp = sim.now();
-            msg.ttl = entry_ttl_;
-            send_application(msg);
+            msg.ttl = options_.entry_ttl;
+            send_application(std::move(msg));
         }
     }
     if (hosting) arm_refresh(at);  // keep refreshing while still a host
@@ -178,7 +182,9 @@ service_node& name_service::node(net::node_id v) {
     return *nodes_[static_cast<std::size_t>(v)];
 }
 
-void name_service::post_to(core::port_id port, net::node_id at, const core::node_set& where) {
+sim::time_point name_service::post_to(core::port_id port, net::node_id at,
+                                      const core::node_set& where, std::int64_t tag) {
+    sim::time_point settle = sim_->now();
     for (const net::node_id target : where) {
         sim::message msg;
         msg.kind = msg_post;
@@ -187,24 +193,17 @@ void name_service::post_to(core::port_id port, net::node_id at, const core::node
         msg.destination = target;
         msg.subject_address = at;
         msg.stamp = sim_->now();
-        msg.ttl = entry_ttl_;
-        send_application(msg);
+        msg.ttl = options_.entry_ttl;
+        msg.tag = tag;
+        settle = std::max(settle, send_application(std::move(msg)));
     }
-    drain();
+    return settle;
 }
 
-void name_service::register_server(core::port_id port, net::node_id at) {
-    // Record and arm the refresh timer *before* draining the posts, so the
-    // first refresh lands one period after the posts, not one period after
-    // the drain window (entries with TTL < window would otherwise die
-    // before their first renewal).
-    registrations_.emplace_back(port, at);
-    arm_refresh(at);
-    post_to(port, at, strategy_->post_set(at, port));
-}
-
-void name_service::deregister_server(core::port_id port, net::node_id at) {
-    for (const net::node_id target : strategy_->post_set(at, port)) {
+sim::time_point name_service::remove_from(core::port_id port, net::node_id at,
+                                          const core::node_set& where, std::int64_t tag) {
+    sim::time_point settle = sim_->now();
+    for (const net::node_id target : where) {
         sim::message msg;
         msg.kind = msg_remove;
         msg.port = port;
@@ -212,139 +211,393 @@ void name_service::deregister_server(core::port_id port, net::node_id at) {
         msg.destination = target;
         msg.subject_address = at;
         msg.stamp = sim_->now();
-        send_application(msg);
+        msg.tag = tag;
+        settle = std::max(settle, send_application(std::move(msg)));
     }
-    drain();
-    std::erase(registrations_, std::pair{port, at});
+    return settle;
 }
 
-void name_service::migrate_server(core::port_id port, net::node_id from, net::node_id to) {
-    // Order matters: post the new address first (it carries a fresher stamp
-    // and wins conflicts), then withdraw the old posts.
-    register_server(port, to);
-    deregister_server(port, from);
-}
-
-void name_service::repost_all() {
-    const auto live = registrations_;
-    for (const auto& [port, at] : live) {
-        if (sim_->crashed(at)) continue;
-        post_to(port, at, strategy_->post_set(at, port));
-        arm_refresh(at);
-    }
-}
-
-locate_result name_service::query_and_wait(core::port_id port, net::node_id client,
-                                           const core::node_set& where) {
-    const std::int64_t tag = next_tag_++;
-    const auto hops_before = sim_->stats().get(sim::counter_hops);
-    const auto started = sim_->now();
+sim::time_point name_service::issue_queries(operation& op, op_id id,
+                                            const core::node_set& where) {
+    const auto& routes = sim_->routes();
+    sim::time_point deadline = sim_->now();
     for (const net::node_id target : where) {
         sim::message msg;
         msg.kind = msg_query;
-        msg.port = port;
-        msg.source = client;
+        msg.port = op.port;
+        msg.source = op.actor;
         msg.destination = target;
-        msg.subject_address = client;  // reply-to, stable across relaying
-        msg.stamp = started;
-        msg.tag = tag;
-        send_application(msg);
+        msg.subject_address = op.actor;  // reply-to, stable across relaying
+        msg.stamp = sim_->now();
+        msg.tag = id;
+        const auto query_arrives = send_application(std::move(msg));
+        // The reply (if any) leaves the rendezvous the instant the query
+        // lands and travels back directly; after this tick the stage has
+        // provably failed.
+        deadline = std::max(deadline, query_arrives + routes.distance(target, op.actor));
     }
-    drain();
-
-    locate_result result;
-    result.nodes_queried = static_cast<int>(where.size());
-    result.message_passes = sim_->stats().get(sim::counter_hops) - hops_before;
-    auto& me = node(client);
-    if (me.has_reply(tag)) {
-        result.found = true;
-        result.where = me.reply(tag).where;
-        result.latency = sim_->now() - started;
-    }
-    return result;
+    op.result.nodes_queried += static_cast<int>(where.size());
+    return deadline;
 }
 
-locate_result name_service::locate(core::port_id port, net::node_id client) {
-    if (client_caching_ && !sim_->crashed(client)) {
-        const auto hint = node(client).directory().lookup(port, sim_->now());
-        if (hint) {
-            locate_result cached;
-            cached.found = true;
-            cached.where = hint->where;
-            return cached;  // zero messages, zero latency: the cached hint
-        }
-    }
-    auto result = query_and_wait(port, client, strategy_->query_set(client, port));
-    if (client_caching_ && result.found && !sim_->crashed(client)) {
-        core::port_entry entry;
-        entry.port = port;
-        entry.where = result.where;
-        entry.stamp = sim_->now();
-        entry.expires_at = entry_ttl_ >= 0 ? sim_->now() + entry_ttl_ : -1;
-        node(client).directory().post(entry);
-    }
-    return result;
+void name_service::arm_op_timer(const operation& op, op_id id) {
+    // +1: the timer was queued before any same-tick arrival events, so give
+    // replies landing exactly at the deadline their tick.
+    sim_->set_timer(op.actor, op.phase_deadline - sim_->now() + 1, -id);
 }
 
-locate_result name_service::locate_fresh(core::port_id port, net::node_id client) {
-    return query_and_wait(port, client, strategy_->query_set(client, port));
+const core::locate_strategy* name_service::stage_strategy(const operation& op) const {
+    if (op.kind != op_kind::locate_fallback || op.stage <= 1) return strategy_;
+    const auto index = static_cast<std::size_t>(op.stage - 2);
+    return index < op.fallbacks.size() ? op.fallbacks[index] : strategy_;
 }
 
-locate_result name_service::locate_staged(core::port_id port, net::node_id client,
-                                          const strategies::hierarchical_strategy& h) {
-    locate_result total;
-    core::node_set queried;
-    for (int level = 1; level <= h.structure().levels(); ++level) {
-        // Only the not-yet-queried gateways of this level cost messages.
-        core::node_set stage = h.level_query_set(client, level);
-        core::node_set fresh;
-        std::set_difference(stage.begin(), stage.end(), queried.begin(), queried.end(),
-                            std::back_inserter(fresh));
-        queried.insert(queried.end(), fresh.begin(), fresh.end());
-        core::normalize_set(queried);
-
-        const auto stage_result = query_and_wait(port, client, fresh);
-        total.nodes_queried += stage_result.nodes_queried;
-        total.message_passes += stage_result.message_passes;
-        total.latency += stage_result.latency;
-        total.stages = level;
-        if (stage_result.found) {
-            total.found = true;
-            total.where = stage_result.where;
-            return total;
-        }
-    }
-    return total;
-}
-
-locate_result name_service::locate_with_fallback(
-    core::port_id port, net::node_id client,
-    const std::vector<const core::locate_strategy*>& fallbacks) {
-    locate_result total = locate(port, client);
-    if (total.found) return total;
-    int stage = 1;
-    for (const core::locate_strategy* fallback : fallbacks) {
-        ++stage;
+void name_service::start_stage(operation& op, op_id id) {
+    op.result.stages = op.stage;
+    if (op.kind == op_kind::locate_fallback && op.stage > 1 && op.phase == op_phase::posting) {
         // Servers follow the same fallback policy: re-post at the fallback
         // strategy's rendezvous nodes ("services regularly poll their
         // rendez-vous nodes to see if they are still alive").
+        const core::locate_strategy* fallback = stage_strategy(op);
+        sim::time_point settle = sim_->now();
         const auto live = registrations_;
         for (const auto& [p, at] : live) {
-            if (p != port || sim_->crashed(at)) continue;
-            post_to(p, at, fallback->post_set(at, p));
+            if (p != op.port || sim_->crashed(at)) continue;
+            settle = std::max(settle, post_to(p, at, fallback->post_set(at, p), id));
         }
-        const auto attempt = query_and_wait(port, client, fallback->query_set(client, port));
-        total.nodes_queried += attempt.nodes_queried;
-        total.message_passes += attempt.message_passes;
-        total.latency += attempt.latency;
-        total.stages = stage;
-        if (attempt.found) {
-            total.found = true;
-            total.where = attempt.where;
-            return total;
+        op.phase_deadline = settle;
+        arm_op_timer(op, id);
+        return;
+    }
+    // Querying leg of the current attempt/level.
+    core::node_set targets;
+    if (op.kind == op_kind::locate_staged) {
+        // Only the not-yet-queried gateways of this level cost messages.
+        core::node_set stage_set = strategy_->staged_query_set(op.actor, op.stage, op.port);
+        std::set_difference(stage_set.begin(), stage_set.end(), op.queried.begin(),
+                            op.queried.end(), std::back_inserter(targets));
+        op.queried.insert(op.queried.end(), targets.begin(), targets.end());
+        core::normalize_set(op.queried);
+    } else {
+        targets = stage_strategy(op)->query_set(op.actor, op.port);
+    }
+    op.phase = op_phase::querying;
+    op.phase_deadline = issue_queries(op, id, targets);
+    arm_op_timer(op, id);
+}
+
+op_id name_service::begin_locate_op(op_kind kind, core::port_id port, net::node_id client,
+                                    bool use_cache) {
+    const op_id id = next_op_++;
+    operation op;
+    op.kind = kind;
+    op.port = port;
+    op.actor = client;
+    op.use_cache = use_cache;
+    op.result.issued_at = sim_->now();
+    if (kind == op_kind::locate_fallback) op.fallbacks = strategy_->fallback_chain();
+    if (use_cache && options_.client_caching && !sim_->crashed(client)) {
+        // Local knowledge answers for free: an authoritative directory entry
+        // (this client doubles as a rendezvous node) or a cached reply hint.
+        auto hint = node(client).directory().lookup(port, sim_->now());
+        if (!hint) hint = node(client).hints().lookup(port, sim_->now());
+        if (hint) {
+            // Answered from the local cache: zero messages, zero latency.
+            op.complete = true;
+            op.result.found = true;
+            op.result.where = hint->where;
+            op.result.nodes_queried = 0;
+            op.result.completed_at = sim_->now();
+            ops_.emplace(id, std::move(op));
+            return id;
         }
     }
-    return total;
+    op.stage = 1;
+    op.phase = op_phase::querying;
+    auto [it, inserted] = ops_.emplace(id, std::move(op));
+    start_stage(it->second, id);
+    return id;
+}
+
+op_id name_service::begin_locate(core::port_id port, net::node_id client) {
+    return begin_locate_op(op_kind::locate, port, client, /*use_cache=*/true);
+}
+
+op_id name_service::begin_locate_fresh(core::port_id port, net::node_id client) {
+    return begin_locate_op(op_kind::locate, port, client, /*use_cache=*/false);
+}
+
+op_id name_service::begin_locate_staged(core::port_id port, net::node_id client) {
+    return begin_locate_op(op_kind::locate_staged, port, client, /*use_cache=*/false);
+}
+
+op_id name_service::begin_locate_with_fallback(core::port_id port, net::node_id client) {
+    return begin_locate_op(op_kind::locate_fallback, port, client, /*use_cache=*/true);
+}
+
+op_id name_service::begin_post_op(op_kind kind, core::port_id port, net::node_id actor,
+                                  net::node_id migrate_from) {
+    const op_id id = next_op_++;
+    operation op;
+    op.kind = kind;
+    op.port = port;
+    op.actor = actor;
+    op.migrate_from = migrate_from;
+    op.stage = 1;
+    op.phase = op_phase::posting;
+    op.result.issued_at = sim_->now();
+    const auto where = strategy_->post_set(actor, port);
+    op.result.nodes_queried = static_cast<int>(where.size());
+    op.phase_deadline = kind == op_kind::remove ? remove_from(port, actor, where, id)
+                                                : post_to(port, actor, where, id);
+    auto [it, inserted] = ops_.emplace(id, std::move(op));
+    arm_op_timer(it->second, id);
+    return id;
+}
+
+op_id name_service::begin_register(core::port_id port, net::node_id at) {
+    // Record and arm the refresh timer *before* the posts settle, so the
+    // first refresh lands one period after the posts, not one period after
+    // the settle window (entries with TTL < window would otherwise die
+    // before their first renewal).
+    registrations_.emplace_back(port, at);
+    arm_refresh(at);
+    return begin_post_op(op_kind::post, port, at, net::invalid_node);
+}
+
+op_id name_service::begin_deregister(core::port_id port, net::node_id at) {
+    std::erase(registrations_, std::pair{port, at});
+    return begin_post_op(op_kind::remove, port, at, net::invalid_node);
+}
+
+op_id name_service::begin_migrate(core::port_id port, net::node_id from, net::node_id to) {
+    // Order matters: post the new address first (it carries a fresher stamp
+    // and wins conflicts), then - once those posts settled - withdraw the
+    // old posts.
+    registrations_.emplace_back(port, to);
+    arm_refresh(to);
+    return begin_post_op(op_kind::migrate, port, to, from);
+}
+
+void name_service::complete_op(operation& op, bool found, core::address where,
+                               sim::time_point at) {
+    op.complete = true;
+    op.result.found = found;
+    op.result.completed_at = at;
+    if (found) {
+        op.result.where = where;
+        op.result.latency = at - op.result.issued_at;
+    }
+    if (op.watched) {
+        op.watched = false;
+        if (watched_pending_ > 0) --watched_pending_;
+    }
+}
+
+void name_service::advance_op(op_id id) {
+    const auto it = ops_.find(id);
+    if (it == ops_.end()) return;  // forgotten mid-flight
+    operation& op = it->second;
+    if (op.complete) return;  // a reply beat the deadline timer
+    switch (op.kind) {
+        case op_kind::post:
+        case op_kind::remove:
+            complete_op(op, true, op.actor, op.phase_deadline);
+            break;
+        case op_kind::migrate:
+            if (op.stage == 1) {
+                // New posts settled everywhere: now withdraw the old host.
+                op.stage = 2;
+                std::erase(registrations_, std::pair{op.port, op.migrate_from});
+                op.phase_deadline =
+                    remove_from(op.port, op.migrate_from,
+                                strategy_->post_set(op.migrate_from, op.port), id);
+                arm_op_timer(op, id);
+            } else {
+                complete_op(op, true, op.actor, op.phase_deadline);
+            }
+            break;
+        case op_kind::locate:
+            complete_op(op, false, net::invalid_node, op.phase_deadline);
+            break;
+        case op_kind::locate_staged: {
+            const int levels = std::max(1, strategy_->staged_levels());
+            if (op.stage < levels) {
+                ++op.stage;
+                start_stage(op, id);
+            } else {
+                complete_op(op, false, net::invalid_node, op.phase_deadline);
+            }
+            break;
+        }
+        case op_kind::locate_fallback: {
+            if (op.phase == op_phase::posting) {
+                // Fallback reposts settled: query the fallback rendezvous.
+                op.phase = op_phase::querying;
+                start_stage(op, id);
+            } else if (op.stage - 1 < static_cast<int>(op.fallbacks.size())) {
+                ++op.stage;
+                op.phase = op_phase::posting;
+                start_stage(op, id);
+            } else {
+                complete_op(op, false, net::invalid_node, op.phase_deadline);
+            }
+            break;
+        }
+    }
+}
+
+void name_service::handle_reply(sim::simulator& sim, std::int64_t tag) {
+    const auto it = ops_.find(tag);
+    if (it == ops_.end()) return;
+    operation& op = it->second;
+    if (op.complete || op.phase != op_phase::querying) return;
+    const auto entry = node(op.actor).reply(tag);
+    complete_op(op, true, entry.where, sim.now());
+    if (options_.client_caching && !sim.crashed(op.actor)) {
+        core::port_entry hint;
+        hint.port = op.port;
+        hint.where = entry.where;
+        hint.stamp = sim.now();
+        hint.expires_at = options_.entry_ttl >= 0 ? sim.now() + options_.entry_ttl : -1;
+        node(op.actor).hints().post(hint);
+    }
+}
+
+std::optional<locate_result> name_service::poll(op_id op) const {
+    const auto it = ops_.find(op);
+    if (it == ops_.end()) throw std::out_of_range{"name_service::poll: unknown op"};
+    if (!it->second.complete) return std::nullopt;
+    locate_result result = it->second.result;
+    result.message_passes = sim_->tag_hops(op);
+    return result;
+}
+
+void name_service::forget(op_id op) {
+    const auto it = ops_.find(op);
+    if (it != ops_.end()) {
+        if (!it->second.complete)
+            throw std::logic_error{
+                "name_service::forget: operation still in flight (a half-done migrate "
+                "would strand its withdrawal leg)"};
+        // The tag counter can only be released once every message of the
+        // operation settled; a straggler hop would otherwise silently
+        // re-create (and permanently leak) the dropped map entry.
+        retired_tags_.emplace(it->second.phase_deadline + 1, op);
+        ops_.erase(it);
+    }
+    while (!retired_tags_.empty() && retired_tags_.top().first <= sim_->now()) {
+        sim_->drop_tag(retired_tags_.top().second);
+        retired_tags_.pop();
+    }
+}
+
+void name_service::run_until_complete(std::span<const op_id> ops) {
+    // Sweeps the listed operations: resolves as failed any whose phase
+    // timer was provably skipped (the actor was down when it should have
+    // fired), and marks the rest watched so complete_op can maintain the
+    // pending count in O(1) per completion.
+    const auto sweep = [&] {
+        for (const op_id id : ops) {
+            const auto it = ops_.find(id);
+            if (it == ops_.end())
+                throw std::out_of_range{"name_service::run_until_complete: unknown op"};
+            operation& op = it->second;
+            if (op.complete) continue;
+            if (sim_->now() > op.phase_deadline + 1) {
+                complete_op(op, false, net::invalid_node, sim_->now());
+            } else if (!op.watched) {
+                op.watched = true;
+                ++watched_pending_;
+            }
+        }
+    };
+    watched_pending_ = 0;
+    sweep();
+    std::int64_t steps = 0;
+    while (watched_pending_ > 0) {
+        if (!sim_->step()) {
+            // Nothing left in the event queue: fail the survivors (their
+            // timers were skipped while the actor was crashed).
+            for (const op_id id : ops) {
+                operation& op = ops_.at(id);
+                if (!op.complete) complete_op(op, false, net::invalid_node, sim_->now());
+            }
+            return;
+        }
+        // Periodic re-sweep so ops stranded by a crashed actor resolve even
+        // under an endless refresh-timer stream.
+        if ((++steps & 0x3ff) == 0) sweep();
+    }
+}
+
+locate_result name_service::take_result(op_id id) {
+    // Settle this operation's stragglers (queries and duplicate replies
+    // still traveling after an early first-reply completion) so the hop
+    // count returned by the blocking wrappers is exact, not a lower bound.
+    const auto deadline = ops_.at(id).phase_deadline;
+    if (sim_->now() <= deadline) sim_->run_until(deadline + 1);
+    locate_result result = ops_.at(id).result;
+    result.message_passes = sim_->tag_hops(id);
+    forget(id);
+    return result;
+}
+
+// --- synchronous wrappers ---------------------------------------------------
+
+void name_service::register_server(core::port_id port, net::node_id at) {
+    const op_id id = begin_register(port, at);
+    run_until_complete({id});
+    forget(id);
+}
+
+void name_service::deregister_server(core::port_id port, net::node_id at) {
+    const op_id id = begin_deregister(port, at);
+    run_until_complete({id});
+    forget(id);
+}
+
+void name_service::migrate_server(core::port_id port, net::node_id from, net::node_id to) {
+    const op_id id = begin_migrate(port, from, to);
+    run_until_complete({id});
+    forget(id);
+}
+
+locate_result name_service::locate(core::port_id port, net::node_id client) {
+    const op_id id = begin_locate(port, client);
+    run_until_complete({id});
+    return take_result(id);
+}
+
+locate_result name_service::locate_fresh(core::port_id port, net::node_id client) {
+    const op_id id = begin_locate_fresh(port, client);
+    run_until_complete({id});
+    return take_result(id);
+}
+
+locate_result name_service::locate_staged(core::port_id port, net::node_id client) {
+    const op_id id = begin_locate_staged(port, client);
+    run_until_complete({id});
+    return take_result(id);
+}
+
+locate_result name_service::locate_with_fallback(core::port_id port, net::node_id client) {
+    const op_id id = begin_locate_with_fallback(port, client);
+    run_until_complete({id});
+    return take_result(id);
+}
+
+void name_service::repost_all() {
+    std::vector<op_id> ids;
+    const auto live = registrations_;
+    ids.reserve(live.size());
+    for (const auto& [port, at] : live) {
+        if (sim_->crashed(at)) continue;
+        ids.push_back(begin_post_op(op_kind::post, port, at, net::invalid_node));
+        arm_refresh(at);
+    }
+    run_until_complete(ids);
+    for (const op_id id : ids) forget(id);
 }
 
 void name_service::crash_node(net::node_id v) {
@@ -369,7 +622,8 @@ void name_service::purge_binding(core::port_id port, net::node_id dead_address) 
         msg.stamp = sim_->now();
         sim_->send(msg);  // self-addressed; no relay needed
     }
-    drain();
+    // Self-addressed messages deliver within the current tick.
+    sim_->run_until(sim_->now());
 }
 
 std::size_t name_service::total_cache_entries() const {

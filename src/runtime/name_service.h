@@ -9,18 +9,36 @@
 // migrated server's new address beats stale cache entries; node crashes
 // wipe caches (fail-stop) and servers can re-post; redundant strategies
 // (#(P n Q) >= f+1) keep locates working under f faults, per Section 2.4.
+//
+// The public API is asynchronous: begin_register/begin_locate/begin_migrate
+// return an op_id immediately, arbitrarily many operations overlap in one
+// simulator run, and completions are collected via poll(op) or
+// run_until_complete(ops).  Each operation's messages carry its op_id as
+// the wire tag, so latency and message passes are accounted per operation
+// (simulator::tag_hops) instead of read off global counters.  The classic
+// blocking calls (register_server, locate, ...) remain as thin
+// begin-then-run_until_complete wrappers.
+//
+// Operations progress entirely inside the event loop: each phase arms a
+// timer at its settle deadline (computed exactly from routing distances),
+// so escalation (staged levels, rehash fallbacks) and failure detection
+// need no out-of-band polling and cost zero extra messages.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <memory>
+#include <optional>
+#include <queue>
+#include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/cache.h"
 #include "core/strategy.h"
 #include "sim/simulator.h"
-#include "strategies/hierarchical.h"
 
 namespace mm::runtime {
 
@@ -45,6 +63,14 @@ public:
     [[nodiscard]] core::port_cache& directory() noexcept { return directory_; }
     [[nodiscard]] const core::port_cache& directory() const noexcept { return directory_; }
 
+    // Client-side hint cache (Section 2.1's "entries are made ... whenever a
+    // reply from a locate operation is received").  Kept separate from the
+    // rendezvous directory so a node's stale hints never answer *network*
+    // queries - they only short-circuit this node's own locates, and
+    // locate_fresh really does bypass them.
+    [[nodiscard]] core::port_cache& hints() noexcept { return hints_; }
+    [[nodiscard]] const core::port_cache& hints() const noexcept { return hints_; }
+
     // Client-side: the reply collected for a locate tag, if any.
     [[nodiscard]] bool has_reply(std::int64_t tag) const;
     [[nodiscard]] core::port_entry reply(std::int64_t tag) const;
@@ -53,56 +79,125 @@ public:
     using timer_hook = std::function<void(sim::simulator&, net::node_id, std::int64_t)>;
     void set_timer_hook(timer_hook hook) { timer_hook_ = std::move(hook); }
 
+    // Hook invoked when a locate reply arrives (set by the owning
+    // name_service; completes the operation the tag belongs to).
+    using reply_hook = std::function<void(sim::simulator&, std::int64_t /*tag*/)>;
+    void set_reply_hook(reply_hook hook) { reply_hook_ = std::move(hook); }
+
 private:
     net::node_id self_;
     core::port_cache directory_;
+    core::port_cache hints_;
     std::unordered_map<std::int64_t, core::port_entry> replies_;
     timer_hook timer_hook_;
+    reply_hook reply_hook_;
 };
 
+// Handle to an in-flight asynchronous operation.
+using op_id = std::int64_t;
+
+// Per-operation outcome and cost accounting.  Post-style operations
+// (register/deregister/migrate/purge) report found = true once their posts
+// settled, with `where` the (new) host.
 struct locate_result {
     bool found = false;
     core::address where = net::invalid_node;
-    sim::time_point latency = 0;      // ticks from first query to answer
-    std::int64_t message_passes = 0;  // hops spent by this operation
+    sim::time_point latency = 0;      // ticks from issue to answer/settle
+    std::int64_t message_passes = 0;  // hops spent by this operation alone
     int nodes_queried = 0;
-    int stages = 1;  // staged (hierarchical) locates report the level used
+    int stages = 1;  // staged/fallback locates report the attempt that hit
+    sim::time_point issued_at = 0;
+    sim::time_point completed_at = 0;
 };
 
 class name_service {
 public:
+    // Declarative construction-time policy; replaces the old set_entry_ttl /
+    // enable_auto_refresh / enable_valiant_relay / enable_client_caching
+    // mutator spread.
+    struct options {
+        // Every post carries this time-to-live; rendezvous entries silently
+        // die ttl ticks after arrival (-1 = never).  With refresh_period <
+        // entry_ttl, live servers stay cached while crashed servers'
+        // bindings clean themselves up - no tombstone protocol needed.
+        sim::time_point entry_ttl = -1;
+        // Timer-driven periodic re-posting: every server host re-advertises
+        // its registrations each refresh_period ticks ("services regularly
+        // poll their rendez-vous nodes").  0 = off.  Timers on crashed
+        // hosts do not fire, so dead servers stop refreshing automatically.
+        sim::time_point refresh_period = 0;
+        // Client-side reply caching (Section 2.1): locates answered from the
+        // local cache cost zero messages; the cached address is a *hint*
+        // that can go stale until its TTL lapses or a purge removes it.
+        bool client_caching = false;
+        // Two-phase (Valiant) relaying: posts and queries travel via a
+        // random intermediate node first - Section 3.2's cure for
+        // "excessive clogging at intermediate nodes".
+        bool valiant_relay = false;
+        std::uint64_t valiant_seed = 1;
+    };
+
     // Attaches a service_node to every node of the simulator's network.
     // The strategy is the default for all operations; both must outlive the
     // name_service.
+    name_service(sim::simulator& sim, const core::locate_strategy& strategy, options opts);
     name_service(sim::simulator& sim, const core::locate_strategy& strategy);
 
-    // --- server side -------------------------------------------------------
-    // Posts (port, at) at P(at); runs the simulator until the posts settle.
-    void register_server(core::port_id port, net::node_id at);
+    // --- asynchronous operation handles ------------------------------------
+    // Each begin_* issues the operation's first messages immediately and
+    // returns; the operation then advances inside the event loop.  Any
+    // number of operations may be in flight at once.
+
+    // Posts (port, at) at P(at); completes when the posts settled.
+    op_id begin_register(core::port_id port, net::node_id at);
     // Removes the binding from P(at).
+    op_id begin_deregister(core::port_id port, net::node_id at);
+    // Atomic move: posts at `to` with a fresh timestamp (stale caches are
+    // out-ranked), then - once those posts settled - withdraws `from`'s.
+    op_id begin_migrate(core::port_id port, net::node_id from, net::node_id to);
+    // Queries Q(client); completes at the first reply, or once every query
+    // provably failed (exact settle deadline, no extra messages).
+    op_id begin_locate(core::port_id port, net::node_id client);
+    // Locate that always consults the network, bypassing the local hint.
+    op_id begin_locate_fresh(core::port_id port, net::node_id client);
+    // Section 3.5's staged locate: query stage 1 first, escalate stage by
+    // stage only on failure.  Uses the strategy's staging capability
+    // (staged_levels / staged_query_set); for strategies without staging it
+    // degenerates to a plain locate.
+    op_id begin_locate_staged(core::port_id port, net::node_id client);
+    // Section 5's rehash recovery: try the default strategy's rendezvous
+    // first; on failure re-post live servers at each strategy of
+    // strategy().fallback_chain() in order and retry there.
+    op_id begin_locate_with_fallback(core::port_id port, net::node_id client);
+
+    // Completed result, if the operation finished.  message_passes reads the
+    // operation's live per-tag hop counter, so stragglers still in flight
+    // finalize once the run drains.
+    [[nodiscard]] std::optional<locate_result> poll(op_id op) const;
+    // Runs the simulator until every listed operation completed (or nothing
+    // can make progress anymore, which fails the survivors - e.g. a locate
+    // whose client host crashed mid-operation).
+    void run_until_complete(std::span<const op_id> ops);
+    void run_until_complete(std::initializer_list<op_id> ops) {
+        run_until_complete(std::span<const op_id>{ops.begin(), ops.size()});
+    }
+    // Forgets a completed operation and releases its accounting (optional;
+    // useful for million-operation workloads).  Throws std::logic_error for
+    // an operation still in flight - abandoning e.g. a half-done migrate
+    // would strand its second leg.
+    void forget(op_id op);
+
+    // --- synchronous wrappers (begin + run_until_complete) -----------------
+    void register_server(core::port_id port, net::node_id at);
     void deregister_server(core::port_id port, net::node_id at);
-    // Atomic move: register at `to` with a fresh timestamp (stale caches are
-    // out-ranked), then withdraw the posts of `from`.
     void migrate_server(core::port_id port, net::node_id from, net::node_id to);
+    [[nodiscard]] locate_result locate(core::port_id port, net::node_id client);
+    [[nodiscard]] locate_result locate_fresh(core::port_id port, net::node_id client);
+    [[nodiscard]] locate_result locate_staged(core::port_id port, net::node_id client);
+    [[nodiscard]] locate_result locate_with_fallback(core::port_id port, net::node_id client);
+
     // Re-posts every live registration (recovery after crashes).
     void repost_all();
-
-    // --- client side -------------------------------------------------------
-    // Queries Q(client); runs the simulator until an answer arrives or all
-    // queries provably failed.
-    [[nodiscard]] locate_result locate(core::port_id port, net::node_id client);
-
-    // Section 3.5's staged locate: query level 1 gateways first, escalate
-    // level by level only on failure.  Requires the hierarchical strategy.
-    [[nodiscard]] locate_result locate_staged(core::port_id port, net::node_id client,
-                                              const strategies::hierarchical_strategy& h);
-
-    // Section 5's rehash recovery: try the default strategy's rendezvous
-    // first; on failure re-register live servers and retry with each
-    // fallback strategy in order (e.g. hash attempts 1, 2, ...).
-    [[nodiscard]] locate_result locate_with_fallback(
-        core::port_id port, net::node_id client,
-        const std::vector<const core::locate_strategy*>& fallbacks);
 
     // --- faults ------------------------------------------------------------
     // Fail-stop crash: wipes the node's directory; registrations hosted at v
@@ -119,40 +214,14 @@ public:
     // alive".
     void purge_binding(core::port_id port, net::node_id dead_address);
 
-    // --- soft-state policies -------------------------------------------------
-    // Every post carries this time-to-live; rendezvous entries silently die
-    // ttl ticks after arrival (-1 = never).  With auto-refresh enabled and
-    // period < ttl, live servers stay cached while crashed servers'
-    // bindings clean themselves up - no tombstone protocol needed.
-    void set_entry_ttl(sim::time_point ttl) noexcept { entry_ttl_ = ttl; }
-
-    // Timer-driven periodic re-posting: every server host re-advertises its
-    // registrations each `period` ticks (the paper's "services regularly
-    // poll their rendez-vous nodes").  Timers on crashed hosts do not fire,
-    // so dead servers stop refreshing automatically.
-    void enable_auto_refresh(sim::time_point period);
-
-    // Two-phase (Valiant) relaying: posts and queries travel via a random
-    // intermediate node first - Section 3.2's cure for "excessive clogging
-    // at intermediate nodes".
-    void enable_valiant_relay(std::uint64_t seed);
-
-    // Client-side reply caching (Section 2.1: "Entries are made or updated
-    // whenever ... a reply from a locate operation is received").  Locates
-    // answered from the local cache cost zero messages; the cached address
-    // is a *hint* - it can go stale until its TTL lapses or a purge removes
-    // it.  Off by default.
-    void enable_client_caching() noexcept { client_caching_ = true; }
-
-    // Locate that always consults the network, bypassing the local hint.
-    [[nodiscard]] locate_result locate_fresh(core::port_id port, net::node_id client);
-
-    // Advances simulated time (timers fire, refreshes happen).
+    // Advances simulated time (timers fire, refreshes happen, in-flight
+    // operations progress).
     void run_for(sim::time_point duration);
 
     [[nodiscard]] service_node& node(net::node_id v);
     [[nodiscard]] sim::simulator& simulator() noexcept { return *sim_; }
     [[nodiscard]] const core::locate_strategy& strategy() const noexcept { return *strategy_; }
+    [[nodiscard]] const options& policy() const noexcept { return options_; }
 
     // Total (port, address) entries currently cached network-wide, and the
     // largest single cache - the paper's storage measures.
@@ -162,24 +231,70 @@ public:
 private:
     static constexpr std::int64_t refresh_timer_id = 1;
 
+    enum class op_kind { post, remove, migrate, locate, locate_staged, locate_fallback };
+    enum class op_phase { posting, querying };
+
+    struct operation {
+        op_kind kind = op_kind::locate;
+        op_phase phase = op_phase::querying;
+        core::port_id port = 0;
+        net::node_id actor = net::invalid_node;  // client / (new) host
+        net::node_id migrate_from = net::invalid_node;
+        int stage = 0;  // 1-based attempt/level currently running
+        bool use_cache = false;
+        bool complete = false;
+        bool watched = false;  // counted in watched_pending_ (run_until_complete)
+        sim::time_point phase_deadline = 0;
+        locate_result result;
+        core::node_set queried;  // staged dedup across levels
+        // Fallback chain snapshot, fetched once at begin (the pointed-to
+        // strategies are owned by the primary strategy and outlive the op).
+        std::vector<const core::locate_strategy*> fallbacks;
+    };
+
     sim::simulator* sim_;
     const core::locate_strategy* strategy_;
+    options options_;
     std::vector<std::shared_ptr<service_node>> nodes_;
     std::vector<std::pair<core::port_id, net::node_id>> registrations_;
-    std::int64_t next_tag_ = 1;
-    sim::time_point entry_ttl_ = -1;
-    sim::time_point refresh_period_ = 0;  // 0 = auto-refresh off
+    std::unordered_map<op_id, operation> ops_;
+    op_id next_op_ = 1;
+    std::size_t watched_pending_ = 0;  // listed-and-pending ops of the active run_until_complete
+    // Forgotten ops whose tag counter cannot be released yet because their
+    // messages may still be in flight: (safe-release tick, tag), min-first.
+    std::priority_queue<std::pair<sim::time_point, op_id>,
+                        std::vector<std::pair<sim::time_point, op_id>>,
+                        std::greater<>>
+        retired_tags_;
     std::vector<char> refresh_armed_;
-    bool valiant_ = false;
     std::uint64_t valiant_state_ = 0;
-    bool client_caching_ = false;
 
-    void send_application(sim::message msg);
-    void post_to(core::port_id port, net::node_id at, const core::node_set& where);
-    [[nodiscard]] locate_result query_and_wait(core::port_id port, net::node_id client,
-                                               const core::node_set& where);
-    void drain();
+    // Sends through the (optional) Valiant relay and returns the exact tick
+    // the message settles at its final destination (routing distances are
+    // deterministic; all shortest paths have equal length).
+    sim::time_point send_application(sim::message msg);
+    // Posts (port, at) at `where` with messages tagged `tag`; returns the
+    // settle tick of the slowest post.
+    sim::time_point post_to(core::port_id port, net::node_id at, const core::node_set& where,
+                            std::int64_t tag);
+    sim::time_point remove_from(core::port_id port, net::node_id at, const core::node_set& where,
+                                std::int64_t tag);
+    // Issues one stage of queries and returns the latest possible reply tick.
+    sim::time_point issue_queries(operation& op, op_id id, const core::node_set& where);
+    op_id begin_locate_op(op_kind kind, core::port_id port, net::node_id client, bool use_cache);
+    // Shared construction of the post-kind operations (register, deregister,
+    // migrate leg 1, repost).
+    op_id begin_post_op(op_kind kind, core::port_id port, net::node_id actor,
+                        net::node_id migrate_from);
+    // Starts the posting or querying leg of the operation's current stage.
+    void start_stage(operation& op, op_id id);
+    [[nodiscard]] const core::locate_strategy* stage_strategy(const operation& op) const;
+    void arm_op_timer(const operation& op, op_id id);
+    void advance_op(op_id id);
+    void complete_op(operation& op, bool found, core::address where, sim::time_point at);
+    [[nodiscard]] locate_result take_result(op_id id);
     void handle_timer(sim::simulator& sim, net::node_id at, std::int64_t timer_id);
+    void handle_reply(sim::simulator& sim, std::int64_t tag);
     void arm_refresh(net::node_id at);
     [[nodiscard]] net::node_id random_relay(net::node_id source, net::node_id destination);
 };

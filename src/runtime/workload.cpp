@@ -1,0 +1,178 @@
+#include "runtime/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "sim/rng.h"
+
+namespace mm::runtime {
+
+namespace {
+
+// Percentile over a sorted vector (nearest-rank).
+sim::time_point percentile(const std::vector<sim::time_point>& sorted, double p) {
+    if (sorted.empty()) return 0;
+    const auto rank = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(sorted.size()) - 1.0,
+                         std::ceil(p * static_cast<double>(sorted.size())) - 1.0));
+    return sorted[rank];
+}
+
+}  // namespace
+
+workload_stats run_workload(name_service& ns, const workload_options& opts) {
+    if (opts.operations < 0) throw std::invalid_argument{"run_workload: operations < 0"};
+    if (opts.ports < 1) throw std::invalid_argument{"run_workload: need >= 1 port"};
+    if (opts.mean_interarrival < 0)
+        throw std::invalid_argument{"run_workload: negative inter-arrival"};
+
+    auto& sim = ns.simulator();
+    const net::node_id n = sim.network().node_count();
+    sim::rng random{opts.seed};
+
+    // Bootstrap: register every port's replicas before the clock starts;
+    // track host sets locally so migrations can pick real sources.
+    std::vector<core::port_id> ports(static_cast<std::size_t>(opts.ports));
+    std::vector<std::vector<net::node_id>> hosts(static_cast<std::size_t>(opts.ports));
+    for (int p = 0; p < opts.ports; ++p) {
+        ports[static_cast<std::size_t>(p)] = core::port_of("wl-" + std::to_string(p));
+        for (int r = 0; r < opts.servers_per_port; ++r) {
+            const auto at = static_cast<net::node_id>(random.uniform(0, n - 1));
+            ns.register_server(ports[static_cast<std::size_t>(p)], at);
+            hosts[static_cast<std::size_t>(p)].push_back(at);
+        }
+    }
+
+    workload_stats stats;
+    stats.global_message_passes = -sim.stats().get(sim::counter_hops);
+
+    const double total_weight = opts.locate_weight + opts.register_weight +
+                                opts.migrate_weight + opts.crash_weight;
+    if (total_weight <= 0) throw std::invalid_argument{"run_workload: zero-weight mix"};
+
+    const auto pick_live_node = [&]() -> net::node_id {
+        for (int tries = 0; tries < 64; ++tries) {
+            const auto v = static_cast<net::node_id>(random.uniform(0, n - 1));
+            if (!sim.crashed(v)) return v;
+        }
+        return net::invalid_node;
+    };
+
+    std::vector<op_id> ids;
+    ids.reserve(static_cast<std::size_t>(opts.operations));
+    std::vector<char> is_locate;
+    is_locate.reserve(static_cast<std::size_t>(opts.operations));
+    std::vector<std::pair<sim::time_point, net::node_id>> recoveries;  // sorted by time
+    const sim::time_point first_issue = sim.now();
+    sim::time_point arrival = sim.now();
+
+    for (int i = 0; i < opts.operations; ++i) {
+        // Open-loop arrivals: exponential inter-arrival, issued regardless
+        // of how many operations are still in flight.
+        if (opts.mean_interarrival > 0) {
+            const double u = random.uniform01();
+            arrival += static_cast<sim::time_point>(
+                std::llround(-opts.mean_interarrival * std::log(1.0 - u)));
+        }
+        if (arrival > sim.now()) sim.run_until(arrival);
+        while (!recoveries.empty() && recoveries.front().first <= sim.now()) {
+            ns.recover_node(recoveries.front().second);
+            recoveries.erase(recoveries.begin());
+        }
+
+        const double dice = random.uniform01() * total_weight;
+        const auto pi = static_cast<std::size_t>(random.uniform(0, opts.ports - 1));
+        const core::port_id port = ports[pi];
+        if (dice < opts.locate_weight) {
+            const auto client = pick_live_node();
+            if (client == net::invalid_node) continue;
+            ids.push_back(ns.begin_locate(port, client));
+            is_locate.push_back(1);
+            ++stats.issued;
+        } else if (dice < opts.locate_weight + opts.register_weight) {
+            const auto at = pick_live_node();
+            if (at == net::invalid_node) continue;
+            ids.push_back(ns.begin_register(port, at));
+            is_locate.push_back(0);
+            hosts[pi].push_back(at);
+            ++stats.issued;
+        } else if (dice < opts.locate_weight + opts.register_weight + opts.migrate_weight) {
+            if (hosts[pi].empty()) continue;
+            const auto hi = static_cast<std::size_t>(
+                random.uniform(0, static_cast<std::int64_t>(hosts[pi].size()) - 1));
+            const net::node_id from = hosts[pi][hi];
+            const auto to = pick_live_node();
+            if (to == net::invalid_node || to == from || sim.crashed(from)) continue;
+            ids.push_back(ns.begin_migrate(port, from, to));
+            is_locate.push_back(0);
+            hosts[pi][hi] = to;
+            ++stats.issued;
+        } else {
+            const auto victim = pick_live_node();
+            if (victim == net::invalid_node) continue;
+            ns.crash_node(victim);
+            for (auto& hs : hosts) std::erase(hs, victim);
+            recoveries.emplace_back(sim.now() + opts.crash_downtime, victim);
+            ++stats.crashes;
+        }
+    }
+
+    ns.run_until_complete(ids);
+    // Let stragglers (queries/replies of already-completed operations) land
+    // so the per-tag hop counters are final.  Bounded, because periodic
+    // refresh timers keep the event queue non-empty forever.
+    if (ns.policy().refresh_period > 0) {
+        ns.run_for(4 * n + 8);
+    } else {
+        sim.run();
+    }
+
+    std::vector<sim::time_point> durations;
+    durations.reserve(ids.size());
+    std::vector<std::pair<sim::time_point, int>> flight;  // (+1 issue, -1 done)
+    flight.reserve(2 * ids.size());
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+        const auto result = ns.poll(ids[k]);
+        if (!result) continue;  // actor crashed mid-flight and never resolved
+        ++stats.completed;
+        if (is_locate[k]) {
+            ++stats.locates;
+            if (result->found) ++stats.locates_found;
+        }
+        stats.per_op_message_passes += result->message_passes;
+        stats.makespan = std::max(stats.makespan, result->completed_at - first_issue);
+        durations.push_back(result->completed_at - result->issued_at);
+        flight.emplace_back(result->issued_at, 1);
+        flight.emplace_back(result->completed_at, -1);
+        stats.results.push_back(*result);
+    }
+    for (const op_id id : ids) ns.forget(id);
+    stats.global_message_passes += sim.stats().get(sim::counter_hops);
+
+    std::sort(flight.begin(), flight.end(), [](const auto& a, const auto& b) {
+        // Starts before ends at the same tick: same-tick overlap counts.
+        return a.first != b.first ? a.first < b.first : a.second > b.second;
+    });
+    int in_flight = 0;
+    for (const auto& [when, delta] : flight) {
+        (void)when;
+        in_flight += delta;
+        stats.max_in_flight = std::max(stats.max_in_flight, in_flight);
+    }
+
+    std::sort(durations.begin(), durations.end());
+    stats.latency_p50 = percentile(durations, 0.50);
+    stats.latency_p95 = percentile(durations, 0.95);
+    stats.latency_p99 = percentile(durations, 0.99);
+    stats.latency_max = durations.empty() ? 0 : durations.back();
+    stats.throughput = stats.makespan > 0
+                           ? static_cast<double>(stats.completed) /
+                                 static_cast<double>(stats.makespan)
+                           : static_cast<double>(stats.completed);
+    return stats;
+}
+
+}  // namespace mm::runtime

@@ -1,0 +1,74 @@
+// workload.h - open-loop workload driver for the asynchronous name service.
+//
+// The paper's complexity measures (message passes, clogging) only become
+// interesting under concurrent load: "the network is designed to support
+// heavy traffic from millions of users".  This driver issues a reproducible
+// open-loop stream of mixed operations - locates, registrations, migrations,
+// crashes/recoveries - against one name_service, with arrivals drawn from a
+// seeded exponential process.  Operations overlap freely in one simulator
+// run (the begin_*/run_until_complete API); the result aggregates per-op
+// latency percentiles, throughput, and the message-pass accounting check
+// that per-operation tag counters sum back to the simulator's global hop
+// counter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/name_service.h"
+
+namespace mm::runtime {
+
+struct workload_options {
+    std::uint64_t seed = 1;
+    // Operations to issue after the initial registrations.
+    int operations = 1000;
+    // Mean ticks between arrivals (exponential inter-arrival; 0 = burst:
+    // every operation issued at the same tick).
+    double mean_interarrival = 1.0;
+    // Distinct service ports, each pre-registered at `servers_per_port`
+    // deterministic-random hosts before the clock starts.
+    int ports = 16;
+    int servers_per_port = 1;
+    // Relative weights of the operation mix (need not sum to 1).
+    double locate_weight = 0.90;
+    double register_weight = 0.04;
+    double migrate_weight = 0.04;
+    double crash_weight = 0.02;  // crash a random non-server host; recovers
+                                 // after crash_downtime ticks of sim time
+    sim::time_point crash_downtime = 50;
+};
+
+struct workload_stats {
+    std::int64_t issued = 0;
+    std::int64_t completed = 0;
+    std::int64_t locates = 0;
+    std::int64_t locates_found = 0;
+    std::int64_t crashes = 0;
+    // Sum of per-operation tag hop counters vs. the simulator's global hop
+    // counter over the run; equal when nothing else (refresh) sends.
+    std::int64_t per_op_message_passes = 0;
+    std::int64_t global_message_passes = 0;
+    // Peak number of operations simultaneously in flight.
+    int max_in_flight = 0;
+    // First issue to last completion, in ticks.
+    sim::time_point makespan = 0;
+    double throughput = 0;  // completed operations per tick
+    // Latency distribution over ALL completed operations, in ticks: found
+    // locates and settled posts report answer/settle time, failed locates
+    // report their full settle deadline (the time a caller actually waited
+    // for the negative answer) - so crash-heavy mixes show fatter tails.
+    sim::time_point latency_p50 = 0;
+    sim::time_point latency_p95 = 0;
+    sim::time_point latency_p99 = 0;
+    sim::time_point latency_max = 0;
+    // Per-operation results in issue order (locate-kind ops and post-kind
+    // ops alike), for determinism checks and custom aggregation.
+    std::vector<locate_result> results;
+};
+
+// Runs the workload to completion.  Deterministic: the same options against
+// the same name_service/simulator state produce identical stats.
+workload_stats run_workload(name_service& ns, const workload_options& opts);
+
+}  // namespace mm::runtime

@@ -43,6 +43,11 @@ void simulator::reset_traffic() {
     transit_.assign(transit_.size(), 0);
 }
 
+std::int64_t simulator::tag_hops(std::int64_t tag) const {
+    const auto it = tag_hops_.find(tag);
+    return it == tag_hops_.end() ? 0 : it->second;
+}
+
 void simulator::attach(net::node_id v, std::shared_ptr<node_handler> handler) {
     if (!graph_->valid_node(v)) throw std::out_of_range{"simulator::attach: bad node"};
     handlers_[static_cast<std::size_t>(v)] = std::move(handler);
@@ -62,7 +67,7 @@ void simulator::send(message msg) {
     e.at = now_;
     e.kind = event_kind::hop;
     e.node = msg.source;
-    e.msg = msg;
+    e.msg = std::move(msg);
     push(std::move(e));
 }
 
@@ -108,6 +113,7 @@ void simulator::arrive(net::node_id at, const message& msg) {
     // Forward one hop toward the destination; the hop lands one tick later.
     ++transit_[static_cast<std::size_t>(at)];
     metrics_.add(counter_hops);
+    if (msg.tag != 0) ++tag_hops_[msg.tag];
     event e;
     e.at = now_ + 1;
     e.kind = event_kind::hop;
@@ -155,15 +161,24 @@ net::node_id simulator::pick_next_hop(net::node_id at, net::node_id dest) {
 
 void simulator::run() { run_until(std::numeric_limits<time_point>::max()); }
 
+bool simulator::step() {
+    if (events_.empty()) return false;
+    if (++processed_ > event_cap_)
+        throw std::runtime_error{"simulator: event cap exceeded (protocol loop?)"};
+    // priority_queue::top is const; the element is dead after pop, so moving
+    // out of it is safe and saves copying the message payload.
+    const event e = std::move(const_cast<event&>(events_.top()));
+    events_.pop();
+    process(e);
+    return true;
+}
+
 void simulator::run_until(time_point t) {
-    while (!events_.empty() && events_.top().at <= t) {
-        if (++processed_ > event_cap_)
-            throw std::runtime_error{"simulator: event cap exceeded (protocol loop?)"};
-        const event e = events_.top();
-        events_.pop();
-        process(e);
-    }
-    if (events_.empty() && t != std::numeric_limits<time_point>::max()) now_ = std::max(now_, t);
+    while (!events_.empty() && events_.top().at <= t) step();
+    // Advance the clock to the horizon even when future events remain
+    // (otherwise an armed periodic timer would stall simulated time and
+    // TTL-based soft state could never age out between runs).
+    if (t != std::numeric_limits<time_point>::max()) now_ = std::max(now_, t);
 }
 
 }  // namespace mm::sim

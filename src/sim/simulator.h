@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "net/graph.h"
@@ -86,6 +87,11 @@ public:
     void run();
     // Runs events with time <= t.
     void run_until(time_point t);
+    // Processes the single next event regardless of its time; returns false
+    // (and does nothing) when the queue is empty.  The building block for
+    // callers that interleave simulation with their own completion checks
+    // (name_service::run_until_complete).
+    bool step();
     // True if no events remain.
     [[nodiscard]] bool idle() const noexcept { return events_.empty(); }
 
@@ -104,6 +110,14 @@ public:
     [[nodiscard]] std::int64_t transit_traffic(net::node_id v) const;
     [[nodiscard]] std::int64_t max_transit_traffic() const;
     void reset_traffic();
+
+    // Per-tag hop accounting: every hop of a message with tag != 0 is also
+    // credited to that tag, so concurrent operations sharing one run can be
+    // costed in isolation.  The per-tag counts partition counter_hops when
+    // every message carries a tag.  Unknown tags read 0.
+    [[nodiscard]] std::int64_t tag_hops(std::int64_t tag) const;
+    // Releases a finished tag's counter (bounded memory for long workloads).
+    void drop_tag(std::int64_t tag) { tag_hops_.erase(tag); }
 
     // Safety cap on processed events (default 50M); run() throws
     // std::runtime_error when exceeded, which always indicates a protocol
@@ -147,6 +161,7 @@ private:
     std::int64_t next_seq_ = 0;
     std::int64_t processed_ = 0;
     std::int64_t event_cap_ = 50'000'000;
+    std::unordered_map<std::int64_t, std::int64_t> tag_hops_;
     metrics metrics_;
     bool randomized_routing_ = false;
     std::uint64_t route_rng_state_ = 0;

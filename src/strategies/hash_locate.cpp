@@ -6,12 +6,26 @@
 
 namespace mm::strategies {
 
-hash_locate_strategy::hash_locate_strategy(net::node_id n, int replicas, int rehash_attempt)
+hash_locate_strategy::hash_locate_strategy(net::node_id n, int replicas, int rehash_attempt,
+                                           int rehash_fallbacks)
     : n_{n}, replicas_{replicas}, rehash_attempt_{rehash_attempt} {
     if (n < 1) throw std::invalid_argument{"hash_locate_strategy: need n >= 1"};
     if (replicas < 1 || replicas > n)
         throw std::invalid_argument{"hash_locate_strategy: need 1 <= replicas <= n"};
     if (rehash_attempt < 0) throw std::invalid_argument{"hash_locate_strategy: bad attempt"};
+    if (rehash_fallbacks < 0)
+        throw std::invalid_argument{"hash_locate_strategy: bad fallback count"};
+    fallbacks_.reserve(static_cast<std::size_t>(rehash_fallbacks));
+    for (int k = 1; k <= rehash_fallbacks; ++k)
+        fallbacks_.push_back(
+            std::make_unique<hash_locate_strategy>(n, replicas, rehash_attempt + k));
+}
+
+std::vector<const core::locate_strategy*> hash_locate_strategy::fallback_chain() const {
+    std::vector<const core::locate_strategy*> chain;
+    chain.reserve(fallbacks_.size());
+    for (const auto& f : fallbacks_) chain.push_back(f.get());
+    return chain;
 }
 
 std::string hash_locate_strategy::name() const {

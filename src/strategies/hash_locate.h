@@ -10,6 +10,9 @@
 // the hash to a backup rendezvous node when the primary is down).
 #pragma once
 
+#include <memory>
+#include <vector>
+
 #include "core/strategy.h"
 
 namespace mm::strategies {
@@ -19,12 +22,19 @@ public:
     // replicas: how many distinct nodes each port hashes onto (>= 1).
     // rehash_attempt: shifts the whole hash sequence; attempt a uses hash
     // indices [a, a + replicas).
-    explicit hash_locate_strategy(net::node_id n, int replicas = 1, int rehash_attempt = 0);
+    // rehash_fallbacks: how many backup strategies (attempts rehash_attempt+1,
+    // +2, ...) this strategy owns and exposes through fallback_chain(), for
+    // the runtime's rehash-recovery locate.
+    explicit hash_locate_strategy(net::node_id n, int replicas = 1, int rehash_attempt = 0,
+                                  int rehash_fallbacks = 0);
 
     [[nodiscard]] std::string name() const override;
     [[nodiscard]] net::node_id node_count() const override { return n_; }
     [[nodiscard]] core::node_set post_set(net::node_id server, core::port_id port) const override;
     [[nodiscard]] core::node_set query_set(net::node_id client, core::port_id port) const override;
+
+    // Fallback capability: the owned backup strategies, nearest attempt first.
+    [[nodiscard]] std::vector<const core::locate_strategy*> fallback_chain() const override;
 
     // The h-th rendezvous node for a port (h = 0, 1, ...): a deterministic,
     // well-spread sequence with no two equal consecutive values for n > 1.
@@ -37,6 +47,7 @@ private:
     net::node_id n_;
     int replicas_;
     int rehash_attempt_;
+    std::vector<std::unique_ptr<hash_locate_strategy>> fallbacks_;
 };
 
 }  // namespace mm::strategies

@@ -31,6 +31,14 @@ public:
     [[nodiscard]] core::node_set level_post_set(net::node_id server, int level) const;
     [[nodiscard]] core::node_set level_query_set(net::node_id client, int level) const;
 
+    // Staging capability: the runtime escalates through the hierarchy levels
+    // without ever naming this concrete type.
+    [[nodiscard]] int staged_levels() const override { return hierarchy_.levels(); }
+    [[nodiscard]] core::node_set staged_query_set(net::node_id client, int level,
+                                                  core::port_id /*port*/) const override {
+        return level_query_set(client, level);
+    }
+
     // The level at which server and client first share a cluster (1-based).
     [[nodiscard]] int meeting_level(net::node_id a, net::node_id b) const;
 

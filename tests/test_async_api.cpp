@@ -1,0 +1,299 @@
+// Tests for the asynchronous operation-handle API: overlapping operations
+// in one simulator run, per-operation message-pass isolation (tag counters
+// partition the global hop counter), poll/run_until_complete semantics,
+// same-seed determinism of concurrent mixed workloads, and the capability
+// interface (staged_levels / fallback_chain) that replaced concrete-type
+// coupling.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/hierarchy.h"
+#include "net/topologies.h"
+#include "runtime/name_service.h"
+#include "runtime/workload.h"
+#include "strategies/checkerboard.h"
+#include "strategies/grid.h"
+#include "strategies/hash_locate.h"
+#include "strategies/hierarchical.h"
+
+namespace mm::runtime {
+namespace {
+
+const core::port_id file_port = core::port_of("file-server");
+
+TEST(async_api, begin_poll_run_until_complete_roundtrip) {
+    const auto g = net::make_grid(4, 4);
+    sim::simulator sim{g};
+    const strategies::manhattan_strategy strategy{4, 4};
+    name_service ns{sim, strategy};
+
+    const op_id reg = ns.begin_register(file_port, 5);
+    EXPECT_FALSE(ns.poll(reg).has_value());  // posts still in flight
+    ns.run_until_complete({reg});
+    const auto posted = ns.poll(reg);
+    ASSERT_TRUE(posted.has_value());
+    EXPECT_TRUE(posted->found);
+    EXPECT_EQ(posted->where, 5);
+
+    const op_id loc = ns.begin_locate(file_port, 10);
+    EXPECT_FALSE(ns.poll(loc).has_value());
+    ns.run_until_complete({loc});
+    const auto result = ns.poll(loc);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_TRUE(result->found);
+    EXPECT_EQ(result->where, 5);
+    EXPECT_GT(result->message_passes, 0);
+    EXPECT_GE(result->completed_at, result->issued_at);
+    EXPECT_EQ(result->latency, result->completed_at - result->issued_at);
+    EXPECT_THROW((void)ns.poll(999), std::out_of_range);
+}
+
+TEST(async_api, hundred_overlapping_locates_isolate_message_passes) {
+    const auto g = net::make_complete(100);
+    sim::simulator sim{g};
+    const strategies::checkerboard_strategy strategy{100};
+    name_service ns{sim, strategy};
+    for (int s = 0; s < 10; ++s)
+        ns.register_server(core::port_of("svc" + std::to_string(s)),
+                           static_cast<net::node_id>(s * 7 % 100));
+
+    const auto hops_before = sim.stats().get(sim::counter_hops);
+    std::vector<op_id> ids;
+    for (int k = 0; k < 100; ++k) {
+        const auto port = core::port_of("svc" + std::to_string(k % 10));
+        ids.push_back(ns.begin_locate(port, static_cast<net::node_id>(k)));
+    }
+    ns.run_until_complete(ids);
+    sim.run();  // land stragglers so per-tag counts are final
+
+    std::int64_t per_op_total = 0;
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+        const auto result = ns.poll(ids[k]);
+        ASSERT_TRUE(result.has_value());
+        EXPECT_TRUE(result->found) << k;
+        EXPECT_EQ(result->where, static_cast<net::node_id>((k % 10) * 7 % 100));
+        EXPECT_GT(result->message_passes, 0) << k;
+        per_op_total += result->message_passes;
+    }
+    // The tag counters partition the global hop counter exactly: nothing is
+    // double-charged across the 100 concurrent operations and nothing leaks.
+    EXPECT_EQ(per_op_total, sim.stats().get(sim::counter_hops) - hops_before);
+}
+
+TEST(async_api, thousand_in_flight_locates_share_one_run) {
+    const auto g = net::make_complete(64);
+    sim::simulator sim{g};
+    const strategies::checkerboard_strategy strategy{64};
+    name_service ns{sim, strategy};
+    ns.register_server(file_port, 9);
+
+    std::vector<op_id> ids;
+    for (int k = 0; k < 1200; ++k)
+        ids.push_back(ns.begin_locate(file_port, static_cast<net::node_id>(k % 64)));
+    // All issued at the same tick and none completed: 1200 in flight.
+    for (const op_id id : ids) EXPECT_FALSE(ns.poll(id).has_value());
+    ns.run_until_complete(ids);
+    for (const op_id id : ids) {
+        const auto result = ns.poll(id);
+        ASSERT_TRUE(result.has_value());
+        EXPECT_TRUE(result->found);
+        EXPECT_EQ(result->where, 9);
+    }
+}
+
+TEST(async_api, concurrent_posts_and_locates_interleave) {
+    const auto g = net::make_complete(25);
+    sim::simulator sim{g};
+    const strategies::checkerboard_strategy strategy{25};
+    name_service ns{sim, strategy};
+    ns.register_server(file_port, 3);
+
+    // A migrate and a locate of the same port in flight together: the
+    // locate resolves against whichever binding its reply raced to, but
+    // both operations complete and the post-migration state is consistent.
+    const op_id mig = ns.begin_migrate(file_port, 3, 21);
+    const op_id loc = ns.begin_locate(file_port, 12);
+    std::vector<op_id> both{mig, loc};
+    ns.run_until_complete(both);
+    ASSERT_TRUE(ns.poll(mig)->found);
+    ASSERT_TRUE(ns.poll(loc).has_value());
+    EXPECT_EQ(ns.locate(file_port, 12).where, 21);
+}
+
+TEST(async_api, failed_locate_completes_at_exact_deadline) {
+    const auto g = net::make_grid(3, 3);
+    sim::simulator sim{g};
+    const strategies::manhattan_strategy strategy{3, 3};
+    name_service ns{sim, strategy};
+    const op_id id = ns.begin_locate(core::port_of("nobody"), 4);
+    ns.run_until_complete({id});
+    const auto result = ns.poll(id);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_FALSE(result->found);
+    EXPECT_EQ(result->latency, 0);
+    EXPECT_GT(result->nodes_queried, 0);
+}
+
+TEST(async_api, locate_from_crashed_client_resolves_as_failure) {
+    const auto g = net::make_complete(9);
+    sim::simulator sim{g};
+    const strategies::checkerboard_strategy strategy{9};
+    name_service ns{sim, strategy};
+    ns.register_server(file_port, 2);
+    ns.crash_node(5);
+    const op_id id = ns.begin_locate(file_port, 5);
+    ns.run_until_complete({id});  // must terminate, not hang
+    const auto result = ns.poll(id);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_FALSE(result->found);
+}
+
+TEST(async_api, stale_client_hints_never_answer_network_queries) {
+    // Manhattan clients sit in their own query column, so a stale reply
+    // hint stored at the client would win the reply race against the
+    // migrated server's farther rendezvous - unless hints are kept out of
+    // the rendezvous directory, which is exactly what locate_fresh's
+    // "bypass the hint" contract requires.
+    const auto g = net::make_grid(4, 4);
+    sim::simulator sim{g};
+    const strategies::manhattan_strategy strategy{4, 4};
+    name_service ns{sim, strategy, {.client_caching = true}};
+    ns.register_server(file_port, 5);
+    ASSERT_EQ(ns.locate(file_port, 10).where, 5);  // hint cached at client 10
+    ns.migrate_server(file_port, 5, 15);
+    EXPECT_EQ(ns.locate(file_port, 10).where, 5);  // the hint, locally
+    EXPECT_EQ(ns.locate_fresh(file_port, 10).where, 15);  // the network
+}
+
+TEST(async_api, forget_refuses_in_flight_operations) {
+    const auto g = net::make_complete(9);
+    sim::simulator sim{g};
+    const strategies::checkerboard_strategy strategy{9};
+    name_service ns{sim, strategy};
+    const op_id mig = ns.begin_migrate(file_port, 1, 8);
+    EXPECT_THROW(ns.forget(mig), std::logic_error);  // withdrawal leg pending
+    ns.run_until_complete({mig});
+    ns.forget(mig);  // completed: fine
+    EXPECT_THROW((void)ns.poll(mig), std::out_of_range);
+}
+
+TEST(async_api, options_validation) {
+    const auto g = net::make_complete(4);
+    sim::simulator sim{g};
+    const strategies::checkerboard_strategy strategy{4};
+    EXPECT_THROW((name_service{sim, strategy, {.refresh_period = -1}}),
+                 std::invalid_argument);
+    EXPECT_THROW((name_service{sim, strategy, {.entry_ttl = -2}}), std::invalid_argument);
+}
+
+TEST(capability, staged_locate_needs_no_concrete_type) {
+    const net::hierarchy h{{4, 4}};
+    const auto g = net::make_hierarchical_graph(h);
+    sim::simulator sim{g};
+    const strategies::hierarchical_strategy strategy{h};
+    EXPECT_EQ(strategy.staged_levels(), 2);
+    // Through the base interface only.
+    const core::locate_strategy& base = strategy;
+    EXPECT_EQ(base.staged_query_set(2, 1, 0), strategy.level_query_set(2, 1));
+
+    name_service ns{sim, base};
+    ns.register_server(file_port, 1);
+    const auto local = ns.locate_staged(file_port, 2);
+    EXPECT_TRUE(local.found);
+    EXPECT_EQ(local.stages, 1);
+    const auto remote = ns.locate_staged(file_port, 9);
+    EXPECT_TRUE(remote.found);
+    EXPECT_EQ(remote.stages, 2);
+}
+
+TEST(capability, staged_locate_degenerates_without_staging) {
+    const auto g = net::make_complete(16);
+    sim::simulator sim{g};
+    const strategies::checkerboard_strategy strategy{16};
+    EXPECT_EQ(strategy.staged_levels(), 1);
+    name_service ns{sim, strategy};
+    ns.register_server(file_port, 3);
+    const auto result = ns.locate_staged(file_port, 7);
+    EXPECT_TRUE(result.found);
+    EXPECT_EQ(result.stages, 1);
+    EXPECT_EQ(result.where, 3);
+}
+
+TEST(capability, fallback_chain_is_owned_by_the_strategy) {
+    const strategies::hash_locate_strategy primary{32, 1, 0, 2};
+    const auto chain = primary.fallback_chain();
+    ASSERT_EQ(chain.size(), 2u);
+    // Attempts shift by one per fallback.
+    EXPECT_EQ(chain[0]->post_set(0, 42),
+              (strategies::hash_locate_strategy{32, 1, 1}.post_set(0, 42)));
+    EXPECT_EQ(chain[1]->post_set(0, 42),
+              (strategies::hash_locate_strategy{32, 1, 2}.post_set(0, 42)));
+    // Default capability: no fallbacks.
+    const strategies::checkerboard_strategy plain{16};
+    EXPECT_TRUE(plain.fallback_chain().empty());
+}
+
+TEST(workload, same_seed_is_deterministic) {
+    const auto run = [] {
+        const auto g = net::make_grid(8, 8);
+        sim::simulator sim{g};
+        const strategies::manhattan_strategy strategy{8, 8};
+        name_service ns{sim, strategy};
+        workload_options opts;
+        opts.seed = 42;
+        opts.operations = 400;
+        opts.mean_interarrival = 1.5;
+        opts.ports = 8;
+        opts.servers_per_port = 2;
+        opts.locate_weight = 0.85;
+        opts.register_weight = 0.05;
+        opts.migrate_weight = 0.06;
+        opts.crash_weight = 0.04;
+        return run_workload(ns, opts);
+    };
+    const auto a = run();
+    const auto b = run();
+    ASSERT_EQ(a.results.size(), b.results.size());
+    EXPECT_GT(a.completed, 0);
+    EXPECT_GT(a.crashes, 0);
+    for (std::size_t k = 0; k < a.results.size(); ++k) {
+        EXPECT_EQ(a.results[k].found, b.results[k].found) << k;
+        EXPECT_EQ(a.results[k].where, b.results[k].where) << k;
+        EXPECT_EQ(a.results[k].latency, b.results[k].latency) << k;
+        EXPECT_EQ(a.results[k].message_passes, b.results[k].message_passes) << k;
+        EXPECT_EQ(a.results[k].issued_at, b.results[k].issued_at) << k;
+        EXPECT_EQ(a.results[k].completed_at, b.results[k].completed_at) << k;
+    }
+    EXPECT_EQ(a.per_op_message_passes, b.per_op_message_passes);
+    EXPECT_EQ(a.global_message_passes, b.global_message_passes);
+    EXPECT_EQ(a.max_in_flight, b.max_in_flight);
+    EXPECT_EQ(a.latency_p99, b.latency_p99);
+}
+
+TEST(workload, burst_reaches_thousand_in_flight_and_accounts_exactly) {
+    const auto g = net::make_complete(128);
+    sim::simulator sim{g};
+    const strategies::checkerboard_strategy strategy{128};
+    name_service ns{sim, strategy};
+    workload_options opts;
+    opts.seed = 9;
+    opts.operations = 1100;
+    opts.mean_interarrival = 0;  // burst: all in flight together
+    opts.ports = 16;
+    opts.locate_weight = 1.0;
+    opts.register_weight = 0;
+    opts.migrate_weight = 0;
+    opts.crash_weight = 0;
+    const auto stats = run_workload(ns, opts);
+    EXPECT_EQ(stats.completed, 1100);
+    EXPECT_GE(stats.max_in_flight, 1000);
+    EXPECT_EQ(stats.locates_found, stats.locates);
+    // Every message of the run is tagged by exactly one operation.
+    EXPECT_EQ(stats.per_op_message_passes, stats.global_message_passes);
+    EXPECT_GT(stats.per_op_message_passes, 0);
+    EXPECT_GE(stats.latency_p99, stats.latency_p50);
+}
+
+}  // namespace
+}  // namespace mm::runtime

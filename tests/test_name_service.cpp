@@ -165,11 +165,11 @@ TEST(name_service_suite, staged_locate_stays_local_for_local_services) {
     name_service ns{sim, strategy};
     // Server and client in the same level-1 cluster.
     ns.register_server(file_port, 1);
-    const auto local = ns.locate_staged(file_port, 2, strategy);
+    const auto local = ns.locate_staged(file_port, 2);
     EXPECT_TRUE(local.found);
     EXPECT_EQ(local.stages, 1);  // resolved inside the cluster
     // Remote client needs the second level.
-    const auto remote = ns.locate_staged(file_port, 9, strategy);
+    const auto remote = ns.locate_staged(file_port, 9);
     EXPECT_TRUE(remote.found);
     EXPECT_EQ(remote.stages, 2);
     EXPECT_EQ(remote.where, 1);
@@ -182,7 +182,7 @@ TEST(name_service_suite, staged_locate_costs_less_for_local_traffic) {
     const strategies::hierarchical_strategy strategy{h};
     name_service ns{sim, strategy};
     ns.register_server(file_port, 0);
-    const auto staged = ns.locate_staged(file_port, 1, strategy);
+    const auto staged = ns.locate_staged(file_port, 1);
     const auto flat = ns.locate(file_port, 2);
     EXPECT_TRUE(staged.found);
     EXPECT_TRUE(flat.found);
@@ -192,20 +192,19 @@ TEST(name_service_suite, staged_locate_costs_less_for_local_traffic) {
 TEST(name_service_suite, hash_locate_with_rehash_fallback) {
     const auto g = net::make_complete(32);
     sim::simulator sim{g};
-    const strategies::hash_locate_strategy primary{32, 1, 0};
-    const strategies::hash_locate_strategy backup1{32, 1, 1};
-    const strategies::hash_locate_strategy backup2{32, 1, 2};
+    // Two rehash backups (attempts 1 and 2) exposed via fallback_chain().
+    const strategies::hash_locate_strategy primary{32, 1, 0, 2};
     name_service ns{sim, primary};
     ns.register_server(db_port, 3);
 
     // Healthy: resolved at the primary rendezvous in one stage.
-    auto result = ns.locate_with_fallback(db_port, 9, {&backup1, &backup2});
+    auto result = ns.locate_with_fallback(db_port, 9);
     EXPECT_TRUE(result.found);
     EXPECT_EQ(result.stages, 1);
 
     // Kill the primary rendezvous node: the fallback rehash must kick in.
     ns.crash_node(primary.rendezvous_node(db_port, 0));
-    result = ns.locate_with_fallback(db_port, 9, {&backup1, &backup2});
+    result = ns.locate_with_fallback(db_port, 9);
     EXPECT_TRUE(result.found);
     EXPECT_EQ(result.where, 3);
     EXPECT_GT(result.stages, 1);

@@ -17,8 +17,7 @@ TEST(soft_state, entries_expire_without_refresh) {
     const auto g = net::make_complete(16);
     sim::simulator sim{g};
     const strategies::checkerboard_strategy strategy{16};
-    name_service ns{sim, strategy};
-    ns.set_entry_ttl(50);
+    name_service ns{sim, strategy, {.entry_ttl = 50}};
     ns.register_server(port, 3);
     EXPECT_TRUE(ns.locate(port, 9).found);
     ns.run_for(100);  // past the TTL, nobody refreshed
@@ -29,9 +28,7 @@ TEST(soft_state, refresh_keeps_entries_alive) {
     const auto g = net::make_complete(16);
     sim::simulator sim{g};
     const strategies::checkerboard_strategy strategy{16};
-    name_service ns{sim, strategy};
-    ns.set_entry_ttl(50);
-    ns.enable_auto_refresh(20);
+    name_service ns{sim, strategy, {.entry_ttl = 50, .refresh_period = 20}};
     ns.register_server(port, 3);
     ns.run_for(500);  // many TTL periods
     EXPECT_TRUE(ns.locate(port, 9).found);
@@ -43,9 +40,7 @@ TEST(soft_state, crashed_server_bindings_age_out) {
     const auto g = net::make_complete(16);
     sim::simulator sim{g};
     const strategies::checkerboard_strategy strategy{16};
-    name_service ns{sim, strategy};
-    ns.set_entry_ttl(50);
-    ns.enable_auto_refresh(20);
+    name_service ns{sim, strategy, {.entry_ttl = 50, .refresh_period = 20}};
     ns.register_server(port, 3);
     ns.run_for(200);
     ASSERT_TRUE(ns.locate(port, 9).found);
@@ -58,9 +53,7 @@ TEST(soft_state, surviving_replica_takes_over_after_ttl) {
     const auto g = net::make_complete(16);
     sim::simulator sim{g};
     const strategies::checkerboard_strategy strategy{16};
-    name_service ns{sim, strategy};
-    ns.set_entry_ttl(60);
-    ns.enable_auto_refresh(25);
+    name_service ns{sim, strategy, {.entry_ttl = 60, .refresh_period = 25}};
     ns.register_server(port, 3);
     ns.run_for(10);
     ns.register_server(port, 7);  // fresher replica
@@ -76,9 +69,7 @@ TEST(soft_state, deregistered_host_stops_refreshing) {
     const auto g = net::make_complete(9);
     sim::simulator sim{g};
     const strategies::checkerboard_strategy strategy{9};
-    name_service ns{sim, strategy};
-    ns.set_entry_ttl(40);
-    ns.enable_auto_refresh(15);
+    name_service ns{sim, strategy, {.entry_ttl = 40, .refresh_period = 15}};
     ns.register_server(port, 2);
     ns.run_for(100);
     ASSERT_TRUE(ns.locate(port, 5).found);
@@ -91,21 +82,19 @@ TEST(soft_state, refresh_enabled_before_any_registration) {
     const auto g = net::make_complete(9);
     sim::simulator sim{g};
     const strategies::checkerboard_strategy strategy{9};
-    name_service ns{sim, strategy};
-    ns.enable_auto_refresh(10);
-    ns.set_entry_ttl(30);
+    name_service ns{sim, strategy, {.entry_ttl = 30, .refresh_period = 10}};
     ns.register_server(port, 4);
     ns.run_for(200);
     EXPECT_TRUE(ns.locate(port, 1).found);
-    EXPECT_THROW(ns.enable_auto_refresh(0), std::invalid_argument);
+    EXPECT_THROW((name_service{sim, strategy, {.refresh_period = -1}}),
+                 std::invalid_argument);
 }
 
 TEST(client_caching, repeat_locates_are_free) {
     const auto g = net::make_complete(16);
     sim::simulator sim{g};
     const strategies::checkerboard_strategy strategy{16};
-    name_service ns{sim, strategy};
-    ns.enable_client_caching();
+    name_service ns{sim, strategy, {.client_caching = true}};
     ns.register_server(port, 3);
     const auto first = ns.locate(port, 9);
     ASSERT_TRUE(first.found);
@@ -121,12 +110,10 @@ TEST(client_caching, hint_can_go_stale_until_ttl) {
     const auto g = net::make_complete(16);
     sim::simulator sim{g};
     const strategies::checkerboard_strategy strategy{16};
-    name_service ns{sim, strategy};
-    // TTL comfortably larger than the drain windows so the hint outlives
+    // TTL comfortably larger than the settle windows so the hint outlives
     // the migration and its staleness is observable.
-    ns.set_entry_ttl(400);
-    ns.enable_auto_refresh(50);
-    ns.enable_client_caching();
+    name_service ns{sim, strategy,
+                    {.entry_ttl = 400, .refresh_period = 50, .client_caching = true}};
     ns.register_server(port, 3);
     ASSERT_EQ(ns.locate(port, 9).where, 3);
     ns.migrate_server(port, 3, 12);
@@ -154,8 +141,7 @@ TEST(valiant_relay, locates_still_succeed) {
     const auto g = net::make_hypercube(5);
     sim::simulator sim{g};
     const strategies::hypercube_strategy strategy{5};
-    name_service ns{sim, strategy};
-    ns.enable_valiant_relay(42);
+    name_service ns{sim, strategy, {.valiant_relay = true, .valiant_seed = 42}};
     for (net::node_id server = 0; server < 8; ++server) {
         const auto p = core::port_of("svc" + std::to_string(server));
         ns.register_server(p, server);
@@ -176,8 +162,8 @@ TEST(valiant_relay, spreads_traffic_on_hot_rendezvous) {
 
     const auto hot_traffic = [&](bool relay) {
         sim::simulator sim{g};
-        name_service ns{sim, strategy};
-        if (relay) ns.enable_valiant_relay(7);
+        name_service ns{sim, strategy,
+                        {.valiant_relay = relay, .valiant_seed = 7}};
         sim.reset_traffic();
         // Many clients on one side of the cube query the same far server.
         ns.register_server(port, 63);
