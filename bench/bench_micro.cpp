@@ -98,11 +98,24 @@ void bm_routing_build(benchmark::State& state) {
                                   static_cast<net::node_id>(state.range(0)));
     for (auto _ : state) {
         net::routing_table routes{g};
-        // Force one full row so lazy evaluation does real work.
-        benchmark::DoNotOptimize(routes.distance(0, g.node_count() - 1));
+        // path() materializes one full BFS row; plain distance() would take
+        // the row-free bidirectional fast path and build nothing.
+        benchmark::DoNotOptimize(routes.path(0, g.node_count() - 1));
     }
 }
 BENCHMARK(bm_routing_build)->Arg(16)->Arg(32)->Arg(64);
+
+void bm_routing_bidirectional_distance(benchmark::State& state) {
+    const auto g = net::make_grid(static_cast<net::node_id>(state.range(0)),
+                                  static_cast<net::node_id>(state.range(0)));
+    const net::routing_table routes{g};  // cold: no rows ever materialize
+    net::node_id a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(routes.distance(a, g.node_count() - 1 - a));
+        a = (a + 1) % g.node_count();
+    }
+}
+BENCHMARK(bm_routing_bidirectional_distance)->Arg(32)->Arg(64);
 
 void bm_partition(benchmark::State& state) {
     const auto g = net::make_grid(static_cast<net::node_id>(state.range(0)),
@@ -111,11 +124,21 @@ void bm_partition(benchmark::State& state) {
 }
 BENCHMARK(bm_partition)->Arg(8)->Arg(32);
 
+// No-op receiver: an unattached destination would short-circuit the send.
+class sink final : public sim::node_handler {
+public:
+    void on_message(sim::simulator&, const sim::message&) override {}
+};
+
 void bm_simulator_unicast(benchmark::State& state) {
     const auto g = net::make_grid(16, 16);
+    const bool batched = state.range(0) != 0;
     for (auto _ : state) {
         state.PauseTiming();
         sim::simulator sim{g};
+        sim.set_batched_delivery(batched);
+        auto rx = std::make_shared<sink>();
+        for (int k = 0; k < 64; ++k) sim.attach(static_cast<net::node_id>(255 - k), rx);
         state.ResumeTiming();
         for (int k = 0; k < 64; ++k) {
             sim::message msg;
@@ -126,7 +149,7 @@ void bm_simulator_unicast(benchmark::State& state) {
         sim.run();
     }
 }
-BENCHMARK(bm_simulator_unicast);
+BENCHMARK(bm_simulator_unicast)->Arg(0)->Arg(1);
 
 void bm_certify(benchmark::State& state) {
     const strategies::checkerboard_strategy s{static_cast<net::node_id>(state.range(0))};

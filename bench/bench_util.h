@@ -1,9 +1,10 @@
 // bench_util.h - shared helpers for the experiment harness binaries.
 //
 // Every bench_eNN binary regenerates one table/figure/claim of the paper
-// (see DESIGN.md's experiment index) and prints it through these helpers so
-// outputs are uniform: a banner naming the paper artifact, the table, and a
-// PASS/FAIL shape check where the paper makes a sharp claim.
+// and prints it through these helpers so outputs are uniform: a banner
+// naming the paper artifact, the table, and a PASS/FAIL shape check where
+// the paper makes a sharp claim.  The emitted report schema is documented
+// in docs/BENCHMARKS.md.
 //
 // Each helper also mirrors what it prints into a json_reporter singleton;
 // when the environment variable MM_BENCH_JSON names a file, the report is
@@ -168,6 +169,34 @@ inline double routed_cost(const net::routing_table& routes, const core::locate_s
         }
     }
     return pairs == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(pairs);
+}
+
+// Resident-set sizes in MiB read from /proc/self/status (Linux); 0 on other
+// platforms.  current = VmRSS, peak = VmHWM (the high-water mark the kernel
+// tracks for the whole process - it only ever grows, so per-phase readings
+// of `peak` are cumulative).
+struct rss_reading {
+    double current_mb = 0;
+    double peak_mb = 0;
+};
+
+inline rss_reading read_rss() {
+    rss_reading out;
+#if defined(__linux__)
+    std::ifstream status{"/proc/self/status"};
+    std::string line;
+    while (std::getline(status, line)) {
+        double* field = nullptr;
+        if (line.rfind("VmRSS:", 0) == 0) field = &out.current_mb;
+        if (line.rfind("VmHWM:", 0) == 0) field = &out.peak_mb;
+        if (field != nullptr) {
+            long kb = 0;
+            if (std::sscanf(line.c_str() + 6, "%ld", &kb) == 1)
+                *field = static_cast<double>(kb) / 1024.0;
+        }
+    }
+#endif
+    return out;
 }
 
 struct cache_load {

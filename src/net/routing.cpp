@@ -1,25 +1,55 @@
 #include "net/routing.h"
 
+#include <algorithm>
 #include <queue>
 #include <stdexcept>
 
 namespace mm::net {
 
-routing_table::routing_table(const graph& g) : graph_{&g} {
+namespace {
+
+// Default row-cache budget: ~256 MiB of rows at 8 bytes per entry.
+constexpr std::size_t default_row_limit(node_id n) {
+    if (n <= 0) return 8;
+    const std::size_t rows = (std::size_t{1} << 25) / static_cast<std::size_t>(n);
+    return rows < 8 ? 8 : rows;
+}
+
+}  // namespace
+
+routing_table::routing_table(const graph& g)
+    : graph_{&g}, limit_{default_row_limit(g.node_count())} {
     rows_.resize(static_cast<std::size_t>(g.node_count()));
 }
 
-const routing_table::row& routing_table::row_for(node_id destination) const {
-    if (!graph_->valid_node(destination)) throw std::out_of_range{"routing_table: bad node"};
-    auto& slot = rows_[static_cast<std::size_t>(destination)];
+void routing_table::set_row_cache_limit(std::size_t limit) {
+    limit_ = limit;
+    if (limit_ == 0) return;
+    while (lru_.size() > limit_) {
+        rows_[static_cast<std::size_t>(lru_.back())].reset();
+        lru_.pop_back();
+    }
+}
+
+const routing_table::row* routing_table::resident_row(node_id root) const noexcept {
+    return rows_[static_cast<std::size_t>(root)].get();
+}
+
+void routing_table::touch(row& r) const {
+    if (r.lru_pos != lru_.begin()) lru_.splice(lru_.begin(), lru_, r.lru_pos);
+}
+
+const routing_table::row& routing_table::row_for(node_id root) const {
+    if (!graph_->valid_node(root)) throw std::out_of_range{"routing_table: bad node"};
+    auto& slot = rows_[static_cast<std::size_t>(root)];
     if (!slot) {
         auto r = std::make_unique<row>();
         const auto n = static_cast<std::size_t>(graph_->node_count());
         r->dist.assign(n, -1);
         r->toward.assign(n, invalid_node);
         std::queue<node_id> frontier;
-        r->dist[static_cast<std::size_t>(destination)] = 0;
-        frontier.push(destination);
+        r->dist[static_cast<std::size_t>(root)] = 0;
+        frontier.push(root);
         while (!frontier.empty()) {
             const node_id v = frontier.front();
             frontier.pop();
@@ -31,14 +61,83 @@ const routing_table::row& routing_table::row_for(node_id destination) const {
                 }
             }
         }
+        ++row_builds_;
+        lru_.push_front(root);
+        r->lru_pos = lru_.begin();
         slot = std::move(r);
+        // Evict the least recently used row over the cap - but never the one
+        // just built.
+        if (limit_ != 0 && lru_.size() > limit_) {
+            rows_[static_cast<std::size_t>(lru_.back())].reset();
+            lru_.pop_back();
+        }
+    } else {
+        touch(*slot);
     }
     return *slot;
 }
 
+int routing_table::bidirectional_distance(node_id from, node_id to) const {
+    if (from == to) return 0;
+    const auto n = static_cast<std::size_t>(graph_->node_count());
+    for (int side = 0; side < 2; ++side) {
+        if (seen_epoch_[side].size() != n) {
+            seen_epoch_[side].assign(n, 0);
+            seen_dist_[side].assign(n, 0);
+        }
+    }
+    const std::int64_t epoch = ++bfs_epoch_;
+    const auto seen = [&](int side, node_id v) {
+        return seen_epoch_[side][static_cast<std::size_t>(v)] == epoch;
+    };
+    const auto mark = [&](int side, node_id v, int d) {
+        seen_epoch_[side][static_cast<std::size_t>(v)] = epoch;
+        seen_dist_[side][static_cast<std::size_t>(v)] = d;
+    };
+    frontier_[0].assign(1, from);
+    frontier_[1].assign(1, to);
+    mark(0, from, 0);
+    mark(1, to, 0);
+    int depth[2] = {0, 0};
+    int best = -1;
+    std::vector<node_id> next;
+    while (!frontier_[0].empty() && !frontier_[1].empty()) {
+        // A meeting found at combined depth d rules out anything shorter
+        // once both search trees cover depth[0] + depth[1] >= d.
+        if (best >= 0 && best <= depth[0] + depth[1]) return best;
+        const int side = frontier_[0].size() <= frontier_[1].size() ? 0 : 1;
+        const int other = 1 - side;
+        next.clear();
+        for (const node_id v : frontier_[side]) {
+            for (const node_id w : graph_->neighbors(v)) {
+                if (seen(side, w)) continue;
+                mark(side, w, depth[side] + 1);
+                if (seen(other, w)) {
+                    const int total = depth[side] + 1 + seen_dist_[other][static_cast<std::size_t>(w)];
+                    if (best < 0 || total < best) best = total;
+                }
+                next.push_back(w);
+            }
+        }
+        frontier_[side].swap(next);
+        ++depth[side];
+    }
+    return best;
+}
+
 int routing_table::distance(node_id from, node_id to) const {
-    if (!graph_->valid_node(from)) throw std::out_of_range{"routing_table: bad node"};
-    const int d = row_for(to).dist[static_cast<std::size_t>(from)];
+    if (!graph_->valid_node(from) || !graph_->valid_node(to))
+        throw std::out_of_range{"routing_table: bad node"};
+    int d = -1;
+    if (const row* r = resident_row(from)) {
+        touch(*rows_[static_cast<std::size_t>(from)]);
+        d = r->dist[static_cast<std::size_t>(to)];
+    } else if (const row* rt = resident_row(to)) {
+        touch(*rows_[static_cast<std::size_t>(to)]);
+        d = rt->dist[static_cast<std::size_t>(from)];
+    } else {
+        d = bidirectional_distance(from, to);
+    }
     if (d < 0) throw std::invalid_argument{"routing_table: nodes not connected"};
     return d;
 }
@@ -52,12 +151,38 @@ node_id routing_table::next_hop(node_id from, node_id to) const {
 }
 
 std::vector<node_id> routing_table::path(node_id from, node_id to) const {
-    std::vector<node_id> p{from};
-    while (from != to) {
-        from = next_hop(from, to);
-        p.push_back(from);
+    if (!graph_->valid_node(from) || !graph_->valid_node(to))
+        throw std::out_of_range{"routing_table: bad node"};
+    if (from == to) return {from};
+    // Prefer a resident endpoint row; root at `from` when neither is
+    // resident (messages fan out from one source to many destinations, so
+    // the source row is the one that gets reused).
+    const row* src = resident_row(from);
+    if (src == nullptr) {
+        if (const row* dst = resident_row(to)) {
+            touch(*rows_[static_cast<std::size_t>(to)]);
+            // Walk from -> to down the tree rooted at `to`.
+            std::vector<node_id> p;
+            for (node_id v = from; v != invalid_node; v = dst->toward[static_cast<std::size_t>(v)]) {
+                p.push_back(v);
+                if (v == to) return p;
+            }
+            throw std::invalid_argument{"routing_table: nodes not connected"};
+        }
+        src = &row_for(from);
+    } else {
+        touch(*rows_[static_cast<std::size_t>(from)]);
     }
-    return p;
+    // Walk to -> from up the tree rooted at `from`, then reverse.
+    std::vector<node_id> p;
+    for (node_id v = to; v != invalid_node; v = src->toward[static_cast<std::size_t>(v)]) {
+        p.push_back(v);
+        if (v == from) {
+            std::reverse(p.begin(), p.end());
+            return p;
+        }
+    }
+    throw std::invalid_argument{"routing_table: nodes not connected"};
 }
 
 std::int64_t routing_table::multicast_cost(node_id source,

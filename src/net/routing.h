@@ -4,11 +4,34 @@
 // nodes together with the minimum cost to reach them and the neighbor at
 // which the minimum cost path starts" (Section 3).  routing_table is exactly
 // that: hop-count distances plus next-hop neighbors, built by breadth-first
-// search.  Rows are computed lazily per destination so that large networks
-// only pay for the destinations actually routed to.
+// search.
+//
+// Storage contract (the part the paper hand-waves and a 10^6-node simulation
+// cannot): a full table is n rows of n entries.  Rows are therefore built
+// lazily per root on first use AND the set of materialized rows is bounded
+// by an LRU cap (set_row_cache_limit; the default scales with the node count
+// so the cache stays within a fixed memory budget).  Evicted rows are
+// rebuilt transparently on their next use - answers never change, only the
+// rebuild cost - so "computed lazily" alone no longer describes the
+// lifecycle: rows come *and go*.
+//
+// Query fast paths on top of the row cache:
+//  * distance(a, b) answers from whichever endpoint's row is resident and
+//    otherwise runs a bidirectional BFS that touches only the neighborhood
+//    between the endpoints and materializes nothing.
+//  * path(a, b) walks the resident endpoint row when there is one and only
+//    builds (and caches) the row rooted at `a` when neither is resident.
+//    Either way it returns one deterministic shortest path; which of the
+//    equally-short paths you get depends on cache residency, so two runs
+//    issuing the same call sequence from construction see the same paths
+//    (everything here is deterministic), but call-order changes can legally
+//    change tie-breaks.  Hop counts and distances are tie-free.
 #pragma once
 
+#include <cstdint>
+#include <list>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "net/graph.h"
@@ -24,11 +47,13 @@ public:
     // Minimum number of hops between two nodes; 0 for from == to.
     [[nodiscard]] int distance(node_id from, node_id to) const;
 
-    // The neighbor of `from` on a shortest path to `to`.
-    // Precondition: from != to.
+    // The neighbor of `from` on a shortest path to `to`, read from the BFS
+    // tree rooted at `to` (materializes that row).  Precondition: from != to.
     [[nodiscard]] node_id next_hop(node_id from, node_id to) const;
 
-    // Full node sequence from -> ... -> to (inclusive on both ends).
+    // Full node sequence from -> ... -> to (inclusive on both ends); one
+    // shortest path, chosen deterministically as documented above.  This is
+    // what the simulator routes every deterministic message along.
     [[nodiscard]] std::vector<node_id> path(node_id from, node_id to) const;
 
     // Message passes needed to deliver one message from `source` to every
@@ -44,20 +69,47 @@ public:
     [[nodiscard]] std::int64_t unicast_cost(node_id source,
                                             std::span<const node_id> targets) const;
 
+    // --- row-cache bound ---------------------------------------------------
+    // At most `limit` BFS rows stay materialized (least recently used rows
+    // are evicted); 0 means unbounded.  The constructor picks a default that
+    // keeps the cache under ~256 MiB: max(8, 2^25 / node_count) rows.
+    void set_row_cache_limit(std::size_t limit);
+    [[nodiscard]] std::size_t row_cache_limit() const noexcept { return limit_; }
+    // Rows currently resident / total BFS row builds so far (a build counter
+    // that keeps climbing under a too-small cap is the thrash signal).
+    [[nodiscard]] std::size_t materialized_rows() const noexcept { return lru_.size(); }
+    [[nodiscard]] std::int64_t row_builds() const noexcept { return row_builds_; }
+
     [[nodiscard]] const graph& network() const noexcept { return *graph_; }
 
 private:
-    // One row per *destination*: dist[v] and next-hop-from-v toward the
-    // destination (== BFS parent of v in the tree rooted at the destination).
+    // One row per *root*: dist[v] and the BFS parent of v in the tree rooted
+    // at the root.  Read as "next hop from v toward the root".
     struct row {
         std::vector<int> dist;
         std::vector<node_id> toward;
+        std::list<node_id>::iterator lru_pos;
     };
 
     const graph* graph_;
     mutable std::vector<std::unique_ptr<row>> rows_;
+    mutable std::list<node_id> lru_;  // front = most recently used root
+    std::size_t limit_ = 0;
+    mutable std::int64_t row_builds_ = 0;
 
-    const row& row_for(node_id destination) const;
+    // Scratch for bidirectional BFS, epoch-stamped so queries do not pay an
+    // O(n) clear.  Index 0 = the `from` side, 1 = the `to` side.
+    mutable std::vector<std::int64_t> seen_epoch_[2];
+    mutable std::vector<int> seen_dist_[2];
+    mutable std::vector<node_id> frontier_[2];
+    mutable std::int64_t bfs_epoch_ = 0;
+
+    const row& row_for(node_id root) const;
+    [[nodiscard]] const row* resident_row(node_id root) const noexcept;
+    void touch(row& r) const;
+    // Exact hop distance via bidirectional BFS; materializes nothing.
+    // Returns -1 when the nodes are not connected.
+    [[nodiscard]] int bidirectional_distance(node_id from, node_id to) const;
 };
 
 }  // namespace mm::net

@@ -130,15 +130,16 @@ sim::time_point name_service::send_application(sim::message msg) {
         if (relay != dst && relay != src) {
             msg.relay_final = dst;
             msg.destination = relay;
-            const auto settle =
-                sim_->now() + routes.distance(src, relay) + routes.distance(relay, dst);
+            // Send first: routing the message materializes the source-rooted
+            // row, so the settle-deadline distances below are O(1) row reads
+            // instead of fresh searches.  send() never advances the clock,
+            // so the deadline is unchanged by the reorder.
             sim_->send(std::move(msg));
-            return settle;
+            return sim_->now() + routes.distance(src, relay) + routes.distance(relay, dst);
         }
     }
-    const auto settle = sim_->now() + routes.distance(src, dst);
     sim_->send(std::move(msg));
-    return settle;
+    return sim_->now() + routes.distance(src, dst);
 }
 
 void name_service::run_for(sim::time_point duration) { sim_->run_until(sim_->now() + duration); }

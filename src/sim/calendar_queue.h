@@ -1,0 +1,163 @@
+// calendar_queue.h - bucketed event scheduler keyed on integer ticks.
+//
+// The simulator's event queue is special: every event is scheduled at a
+// whole tick >= the current time, ties are broken by insertion order, and
+// almost all events land within a short horizon of "now" (one hop = one
+// tick; only settle-deadline and refresh timers reach further out).  A
+// calendar queue exploits that shape: a ring of FIFO buckets covers the
+// window [base, base + bucket_count) one tick per bucket, giving O(1)
+// push/pop for near events, while a sorted overflow map holds the sparse
+// far-future tail and is drained lap by lap.  This replaces the former
+// std::priority_queue, whose per-event heap reshuffling dominated large
+// runs.
+//
+// Ordering contract: events are popped in nondecreasing `at` order, FIFO
+// within a tick (insertion order == the simulator's former seq tiebreak).
+// Pushing an event earlier than the scan cursor (possible after run_until
+// peeked past a gap) rewinds the cursor, so no event is ever skipped.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace mm::sim {
+
+// Event must expose a public `std::int64_t at` (the scheduled tick, >= 0).
+template <class Event>
+class calendar_queue {
+public:
+    using time_point = std::int64_t;
+
+    // bucket_count must be a power of two; it fixes the ring window width in
+    // ticks, not a capacity (buckets grow, far events overflow to a map).
+    explicit calendar_queue(std::size_t bucket_count = 1024)
+        : buckets_(bucket_count), mask_(bucket_count - 1) {
+        assert(bucket_count > 0 && (bucket_count & mask_) == 0);
+    }
+
+    [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+    [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+    void push(Event e) {
+        assert(e.at >= 0);
+        if (e.at < cursor_) {
+            if (e.at >= base_) {
+                // The target tick is inside the window but behind the scan
+                // cursor (its bucket was already drained): rewind.  Drop the
+                // consumed prefix of the cursor's bucket first so the reset
+                // position index cannot replay popped events.
+                auto& current = bucket(cursor_);
+                current.erase(current.begin(),
+                              current.begin() + static_cast<std::ptrdiff_t>(pos_));
+                pos_ = 0;
+                cursor_ = e.at;
+            } else {
+                rebase(e.at);
+            }
+            bucket(e.at).push_back(std::move(e));
+        } else if (e.at < window_end()) {
+            bucket(e.at).push_back(std::move(e));
+        } else {
+            far_[e.at].push_back(std::move(e));
+        }
+        ++count_;
+    }
+
+    // Tick of the earliest pending event (advances the internal cursor past
+    // empty buckets; amortized O(1) per processed tick).
+    [[nodiscard]] std::optional<time_point> next_time() {
+        if (!advance()) return std::nullopt;
+        return cursor_;
+    }
+
+    // Pops the earliest event (FIFO within its tick).  Precondition: !empty().
+    Event pop() {
+        const bool ok = advance();
+        assert(ok);
+        (void)ok;
+        Event e = std::move(bucket(cursor_)[pos_++]);
+        --count_;
+        return e;
+    }
+
+    // Removes every pending event, earliest first (used by the simulator to
+    // rewrite in-flight batched deliveries when a node crashes).
+    [[nodiscard]] std::vector<Event> drain_in_order() {
+        std::vector<Event> out;
+        out.reserve(count_);
+        while (!empty()) out.push_back(pop());
+        return out;
+    }
+
+private:
+    std::vector<std::vector<Event>> buckets_;
+    std::map<time_point, std::vector<Event>> far_;  // at >= window_end()
+    std::size_t mask_;
+    time_point base_ = 0;    // ring window is [base_, base_ + bucket_count)
+    time_point cursor_ = 0;  // next tick to scan; base_ <= cursor_
+    std::size_t pos_ = 0;    // consumed prefix of the cursor's bucket
+    std::size_t count_ = 0;
+
+    [[nodiscard]] time_point window_end() const noexcept {
+        return base_ + static_cast<time_point>(buckets_.size());
+    }
+
+    [[nodiscard]] std::vector<Event>& bucket(time_point t) noexcept {
+        return buckets_[static_cast<std::size_t>(t) & mask_];
+    }
+
+    // Positions cursor_ on the earliest nonempty tick; false when empty.
+    bool advance() {
+        if (count_ == 0) return false;
+        for (;;) {
+            while (cursor_ < window_end()) {
+                auto& b = bucket(cursor_);
+                if (pos_ < b.size()) return true;
+                b.clear();
+                pos_ = 0;
+                ++cursor_;
+            }
+            // Ring exhausted; jump the window to the next far tick.
+            assert(!far_.empty());
+            base_ = far_.begin()->first;
+            cursor_ = base_;
+            pos_ = 0;
+            drain_far_into_window();
+        }
+    }
+
+    void drain_far_into_window() {
+        while (!far_.empty() && far_.begin()->first < window_end()) {
+            auto node = far_.extract(far_.begin());
+            auto& b = bucket(node.key());
+            if (b.empty()) {
+                b = std::move(node.mapped());
+            } else {
+                for (auto& e : node.mapped()) b.push_back(std::move(e));
+            }
+        }
+    }
+
+    // Push target below the window: spill the ring back into the overflow
+    // map, re-anchor the window at `at`, and re-drain.  Only reachable when
+    // user code schedules behind a window that already jumped far ahead -
+    // rare enough that the O(bucket_count + pending) cost never shows up.
+    void rebase(time_point at) {
+        auto& current = bucket(cursor_);
+        current.erase(current.begin(), current.begin() + static_cast<std::ptrdiff_t>(pos_));
+        pos_ = 0;
+        for (auto& b : buckets_) {
+            for (auto& e : b) far_[e.at].push_back(std::move(e));
+            b.clear();
+        }
+        base_ = at;
+        cursor_ = at;
+        drain_far_into_window();
+    }
+};
+
+}  // namespace mm::sim

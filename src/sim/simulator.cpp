@@ -53,22 +53,32 @@ void simulator::attach(net::node_id v, std::shared_ptr<node_handler> handler) {
     handlers_[static_cast<std::size_t>(v)] = std::move(handler);
 }
 
-void simulator::push(event e) {
-    e.seq = next_seq_++;
-    events_.push(std::move(e));
-}
-
 void simulator::send(message msg) {
     if (!graph_->valid_node(msg.source) || !graph_->valid_node(msg.destination))
         throw std::out_of_range{"simulator::send: bad endpoint"};
     if (crashed(msg.source)) return;
     metrics_.add(counter_messages_sent);
+    // A destination nobody listens at can only ever be dropped; short-circuit
+    // at the send instead of walking the full path first.  Both delivery
+    // paths share this check, so the accounting is identical either way.
+    if (!handlers_[static_cast<std::size_t>(msg.destination)]) {
+        metrics_.add(counter_messages_dropped);
+        return;
+    }
     event e;
     e.at = now_;
     e.kind = event_kind::hop;
+    e.sent_at = now_;
     e.node = msg.source;
+    if (!randomized_routing_) {
+        // Deterministic route, fixed for the whole flight; the first hop is
+        // a real event (anchoring same-tick FIFO order) and arrive_slow
+        // decides there whether the rest of the flight batches.
+        e.path = std::make_shared<const std::vector<net::node_id>>(
+            routes_.path(msg.source, msg.destination));
+    }
     e.msg = std::move(msg);
-    push(std::move(e));
+    events_.push(std::move(e));
 }
 
 void simulator::set_timer(net::node_id v, time_point delay, std::int64_t timer_id) {
@@ -79,19 +89,26 @@ void simulator::set_timer(net::node_id v, time_point delay, std::int64_t timer_i
     e.kind = event_kind::timer;
     e.node = v;
     e.timer_id = timer_id;
-    push(std::move(e));
+    events_.push(std::move(e));
 }
 
 void simulator::crash(net::node_id v) {
     if (!graph_->valid_node(v)) throw std::out_of_range{"simulator::crash: bad node"};
     if (crashed_[static_cast<std::size_t>(v)]) return;
     crashed_[static_cast<std::size_t>(v)] = 1;
+    ++crashed_count_;
+    // From here on every hop needs its crash check at its own tick: demote
+    // in-flight batched arrivals to hop-by-hop at their current position.
+    if (batched_in_flight_ > 0) devolve_batched_deliveries();
     if (auto& h = handlers_[static_cast<std::size_t>(v)]) h->on_crash(*this);
 }
 
 void simulator::recover(net::node_id v) {
     if (!graph_->valid_node(v)) throw std::out_of_range{"simulator::recover: bad node"};
-    crashed_[static_cast<std::size_t>(v)] = 0;
+    if (crashed_[static_cast<std::size_t>(v)]) {
+        crashed_[static_cast<std::size_t>(v)] = 0;
+        --crashed_count_;
+    }
 }
 
 bool simulator::crashed(net::node_id v) const {
@@ -99,34 +116,120 @@ bool simulator::crashed(net::node_id v) const {
     return crashed_[static_cast<std::size_t>(v)] != 0;
 }
 
-void simulator::arrive(net::node_id at, const message& msg) {
+void simulator::credit_hops(const std::vector<net::node_id>& path, std::int64_t first,
+                            std::int64_t last, std::int64_t tag) {
+    for (std::int64_t k = first; k < last; ++k) {
+        const auto v = static_cast<std::size_t>(path[static_cast<std::size_t>(k)]);
+        ++traffic_[v];
+        ++transit_[v];
+    }
+    if (last > first) {
+        metrics_.add(counter_hops, last - first);
+        if (tag != 0) tag_hops_[tag] += last - first;
+    }
+}
+
+void simulator::devolve_batched_deliveries() {
+    // Drain-and-rebuild costs O(pending events) per crash.  That is the
+    // deliberate trade: crashes are rare, the pending set is bounded by
+    // in-flight work (not by n), and a side index of batched arrivals would
+    // have to replicate the queue's delivery-tick FIFO anchoring.
+    auto pending = events_.drain_in_order();
+    for (auto& e : pending) {
+        if (e.kind != event_kind::deliver) {
+            events_.push(std::move(e));
+            continue;
+        }
+        --batched_in_flight_;
+        const auto len = static_cast<std::int64_t>(e.path->size()) - 1;
+        // Hop k's arrival happens at tick sent_at + k; arrivals up to the
+        // crash tick have happened (for top-level crash() callers the queue
+        // is drained that far - see the header contract).  The final arrival
+        // (k == len) is this pending event itself, never part of the prefix.
+        const std::int64_t hops_made = std::min(now_ - e.sent_at + 1, len);
+        credit_hops(*e.path, e.credited, hops_made, e.msg.tag);
+        e.kind = event_kind::hop;
+        e.hop_index = static_cast<std::int32_t>(hops_made);
+        e.at = e.sent_at + hops_made;
+        e.node = (*e.path)[static_cast<std::size_t>(hops_made)];
+        events_.push(std::move(e));
+    }
+}
+
+void simulator::arrive_batched(const event& e) {
+    const auto& path = *e.path;
+    const auto len = static_cast<std::int64_t>(path.size()) - 1;
+    const auto dest = static_cast<std::size_t>(path[static_cast<std::size_t>(len)]);
+    // The transit prefix was spent whether or not the delivery lands.
+    credit_hops(path, e.credited, len, e.msg.tag);
+    // crash() devolves pending batched arrivals before returning, so this
+    // mirror of the slow path's destination crash check is only reachable
+    // through a crash() from inside a handler racing this very tick.
+    if (crashed_[dest]) {
+        metrics_.add(counter_messages_dropped);
+        return;
+    }
+    ++traffic_[dest];
+    metrics_.add(counter_messages_delivered);
+    if (auto& h = handlers_[dest]) h->on_message(*this, e.msg);
+}
+
+void simulator::arrive_slow(event e) {
+    const net::node_id at =
+        e.path ? (*e.path)[static_cast<std::size_t>(e.hop_index)] : e.node;
     if (crashed(at)) {
         metrics_.add(counter_messages_dropped);
         return;
     }
     ++traffic_[static_cast<std::size_t>(at)];
-    if (at == msg.destination) {
+    if (at == e.msg.destination) {
         metrics_.add(counter_messages_delivered);
-        if (auto& h = handlers_[static_cast<std::size_t>(at)]) h->on_message(*this, msg);
+        if (auto& h = handlers_[static_cast<std::size_t>(at)]) h->on_message(*this, e.msg);
         return;
     }
     // Forward one hop toward the destination; the hop lands one tick later.
     ++transit_[static_cast<std::size_t>(at)];
     metrics_.add(counter_hops);
-    if (msg.tag != 0) ++tag_hops_[msg.tag];
-    event e;
-    e.at = now_ + 1;
-    e.kind = event_kind::hop;
-    e.node = pick_next_hop(at, msg.destination);
-    e.msg = msg;
-    push(std::move(e));
+    if (e.msg.tag != 0) ++tag_hops_[e.msg.tag];
+    if (e.path && batched_ && crashed_count_ == 0) {
+        // Fast path: nothing observable can happen until the destination, so
+        // the rest of the flight is one batched arrival event.
+        event arrival;
+        arrival.kind = event_kind::deliver;
+        arrival.sent_at = e.sent_at;
+        arrival.path = std::move(e.path);
+        arrival.at = e.sent_at + static_cast<time_point>(arrival.path->size()) - 1;
+        arrival.node = e.msg.destination;
+        arrival.credited = e.hop_index + 1;
+        arrival.msg = std::move(e.msg);
+        ++batched_in_flight_;
+        events_.push(std::move(arrival));
+        return;
+    }
+    event next;
+    next.at = now_ + 1;
+    next.kind = event_kind::hop;
+    next.sent_at = e.sent_at;
+    if (e.path) {
+        next.path = std::move(e.path);
+        next.hop_index = e.hop_index + 1;
+        next.node = (*next.path)[static_cast<std::size_t>(next.hop_index)];
+    } else {
+        next.node = pick_next_hop(at, e.msg.destination);
+    }
+    next.msg = std::move(e.msg);
+    events_.push(std::move(next));
 }
 
-void simulator::process(const event& e) {
+void simulator::process(event e) {
     now_ = e.at;
     switch (e.kind) {
         case event_kind::hop:
-            arrive(e.node, e.msg);
+            arrive_slow(std::move(e));
+            break;
+        case event_kind::deliver:
+            --batched_in_flight_;
+            arrive_batched(e);
             break;
         case event_kind::timer:
             if (!crashed(e.node)) {
@@ -143,7 +246,9 @@ void simulator::set_randomized_routing(std::uint64_t seed) {
 }
 
 net::node_id simulator::pick_next_hop(net::node_id at, net::node_id dest) {
-    if (!randomized_routing_) return routes_.next_hop(at, dest);
+    // next_hop first: it materializes (and LRU-pins) the destination-rooted
+    // row, so the per-neighbor distance probes below are O(1) lookups.
+    const net::node_id fallback = routes_.next_hop(at, dest);
     const int here = routes_.distance(at, dest);
     // Reservoir-sample uniformly among neighbors one hop closer.
     net::node_id chosen = net::invalid_node;
@@ -156,7 +261,7 @@ net::node_id simulator::pick_next_hop(net::node_id at, net::node_id dest) {
             route_rng_state_ % static_cast<std::uint64_t>(seen) == 0)
             chosen = w;
     }
-    return chosen == net::invalid_node ? routes_.next_hop(at, dest) : chosen;
+    return chosen == net::invalid_node ? fallback : chosen;
 }
 
 void simulator::run() { run_until(std::numeric_limits<time_point>::max()); }
@@ -165,16 +270,12 @@ bool simulator::step() {
     if (events_.empty()) return false;
     if (++processed_ > event_cap_)
         throw std::runtime_error{"simulator: event cap exceeded (protocol loop?)"};
-    // priority_queue::top is const; the element is dead after pop, so moving
-    // out of it is safe and saves copying the message payload.
-    const event e = std::move(const_cast<event&>(events_.top()));
-    events_.pop();
-    process(e);
+    process(events_.pop());
     return true;
 }
 
 void simulator::run_until(time_point t) {
-    while (!events_.empty() && events_.top().at <= t) step();
+    for (auto next = events_.next_time(); next && *next <= t; next = events_.next_time()) step();
     // Advance the clock to the horizon even when future events remain
     // (otherwise an armed periodic timer would stall simulated time and
     // TTL-based soft state could never age out between runs).

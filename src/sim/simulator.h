@@ -9,16 +9,60 @@
 //
 // Nodes can crash and recover; a crashed node silently drops everything
 // addressed to or routed through it (fail-stop, no Byzantine behavior).
+//
+// --- Delivery fast path / slow path contract --------------------------------
+//
+// Intermediate nodes never execute handler code: forwarding is transparent
+// store-and-forward, and on_message fires only at a message's destination
+// (or at a Valiant relay, which *is* the destination of that leg).  So while
+// no node is crashed and routing is deterministic, nothing observable can
+// happen to a message between its first hop and its arrival - and the
+// simulator exploits that (the "fast path"): a message's first hop is a real
+// event at the send tick (anchoring the message's place in same-tick FIFO
+// order exactly where a hop-by-hop run puts it), and the remaining hops
+// collapse into ONE batched arrival event at send_tick + distance(source,
+// destination).  The skipped hops' traffic/transit credits, the global hop
+// counter, and the per-tag hop counters are computed analytically from the
+// message's precomputed path when the arrival fires, so at any instant with
+// no batched message in flight (in particular at quiescence, where every
+// experiment reads them) all counters are bit-identical to a hop-by-hop run.
+// Mid-flight, counters lag a batched message between its first hop and its
+// arrival - per-hop-per-tick counter evolution is the only observable the
+// fast path gives up.
+//
+// The slow path - one event per hop along the same precomputed path, with a
+// crash check at every hop's arrival tick - is kept and used whenever
+// per-hop semantics can matter:
+//  * any node is crashed (messages launched or forwarded during a crash
+//    window may have to die at a specific hop at a specific tick),
+//  * randomized routing is enabled (the next hop is sampled per hop), or
+//  * batching is disabled via set_batched_delivery(false), the equivalence-
+//    testing switch.
+// A message on the slow path upgrades back to a batched arrival at its next
+// forwarding hop once every node has recovered.
+//
+// crash(v) rewrites every in-flight batched arrival into a slow-path message
+// positioned at the hop it occupies at the crash tick, crediting the hops
+// already made (arrival ticks <= now), so a crash window always gets exact
+// hop-by-hop treatment.  For callers that crash nodes from the top level -
+// between run()/run_until() calls, possibly after same-tick send()s, which
+// is every caller in this repository - the rewrite reproduces the hop-by-hop
+// run exactly.  Only a crash() issued from *inside* a handler can race the
+// current tick's not-yet-processed hop events; such a crash takes effect for
+// batched traffic from the next tick on.
+//
+// Routing state is bounded: the embedded routing_table keeps at most
+// set_route_cache_limit() BFS rows resident (LRU), see net/routing.h.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
 #include "net/graph.h"
 #include "net/routing.h"
+#include "sim/calendar_queue.h"
 #include "sim/metrics.h"
 
 namespace mm::sim {
@@ -69,16 +113,20 @@ public:
     // Attaches behavior to a node (replacing any previous handler).
     void attach(net::node_id v, std::shared_ptr<node_handler> handler);
 
-    // Injects a message at msg.source at the current time; it is routed
-    // hop-by-hop toward msg.destination.  Sending from a crashed node is a
-    // silent no-op (the process died with its host).
+    // Injects a message at msg.source at the current time; it travels toward
+    // msg.destination along one shortest path (batched or hop-by-hop per the
+    // fast/slow-path contract above).  Sending from a crashed node is a
+    // silent no-op (the process died with its host).  A destination with no
+    // handler attached is dropped at the send itself - counted once under
+    // counter_messages_dropped, zero hops spent - identically on both paths.
     void send(message msg);
 
     // Schedules on_timer(timer_id) at the given node after `delay` ticks.
     void set_timer(net::node_id v, time_point delay, std::int64_t timer_id);
 
     // Fail-stop crash; drops in-flight deliveries at v and future traffic
-    // through v until recover(v).
+    // through v until recover(v).  Demotes in-flight batched arrivals to
+    // hop-by-hop (see the contract above).
     void crash(net::node_id v);
     void recover(net::node_id v);
     [[nodiscard]] bool crashed(net::node_id v) const;
@@ -103,6 +151,7 @@ public:
 
     // Messages that visited node v (as a forwarding hop or final
     // destination); the "clogging" measure of Section 3.2's Valiant remark.
+    // Exact whenever no batched message is in flight (fast-path contract).
     [[nodiscard]] std::int64_t traffic(net::node_id v) const;
     [[nodiscard]] std::int64_t max_traffic() const;
     // Messages node v only carried (injected or forwarded toward someone
@@ -125,29 +174,43 @@ public:
     void set_event_cap(std::int64_t cap) noexcept { event_cap_ = cap; }
 
     // Randomized shortest-path routing: each hop picks uniformly among all
-    // neighbors that lie on some shortest path, instead of the fixed BFS
-    // parent.  Deterministic per seed.  Fixed routing concentrates load on
+    // neighbors that lie on some shortest path, instead of the fixed path.
+    // Deterministic per seed.  Fixed routing concentrates load on
     // low-numbered nodes (BFS tie-breaking); randomization spreads it - the
     // precondition for Valiant relaying to pay off (Section 3.2 remark).
+    // Forces the slow path: the route is only known one hop at a time.
     void set_randomized_routing(std::uint64_t seed);
 
+    // Equivalence-testing switch: with batching off every deterministic
+    // message is simulated hop by hop.  Counters, delivery times, and
+    // delivery order at quiescence are identical either way (asserted by
+    // tests/test_sim_equivalence.cpp); only the event count differs.
+    void set_batched_delivery(bool on) noexcept { batched_ = on; }
+    [[nodiscard]] bool batched_delivery() const noexcept { return batched_; }
+
+    // Bounds the resident BFS rows of the embedded routing table (LRU).
+    void set_route_cache_limit(std::size_t rows) { routes_.set_row_cache_limit(rows); }
+
 private:
-    enum class event_kind { hop, timer };
+    enum class event_kind {
+        hop,      // slow path: arrival at path[hop_index] (or at `node` when
+                  // routing is randomized and no path is precomputed)
+        deliver,  // fast path: batched arrival at the destination
+        timer,
+    };
 
     struct event {
         time_point at = 0;
-        std::int64_t seq = 0;  // tie-breaker for determinism
         event_kind kind = event_kind::hop;
         net::node_id node = net::invalid_node;  // where the event happens
         message msg;
         std::int64_t timer_id = 0;
-    };
-
-    struct event_later {
-        bool operator()(const event& a, const event& b) const noexcept {
-            if (a.at != b.at) return a.at > b.at;
-            return a.seq > b.seq;
-        }
+        // Precomputed route (deterministic modes); shared so per-hop events
+        // re-queue in O(1).
+        std::shared_ptr<const std::vector<net::node_id>> path;
+        std::int32_t hop_index = 0;  // position in *path for kind == hop
+        std::int32_t credited = 0;   // hops already credited (kind == deliver)
+        time_point sent_at = 0;      // when the message entered the network
     };
 
     const net::graph* graph_;
@@ -156,19 +219,31 @@ private:
     std::vector<char> crashed_;
     std::vector<std::int64_t> traffic_;
     std::vector<std::int64_t> transit_;
-    std::priority_queue<event, std::vector<event>, event_later> events_;
+    calendar_queue<event> events_;
     time_point now_ = 0;
-    std::int64_t next_seq_ = 0;
     std::int64_t processed_ = 0;
     std::int64_t event_cap_ = 50'000'000;
+    std::int64_t crashed_count_ = 0;
+    std::int64_t batched_in_flight_ = 0;
+    bool batched_ = true;
     std::unordered_map<std::int64_t, std::int64_t> tag_hops_;
     metrics metrics_;
     bool randomized_routing_ = false;
     std::uint64_t route_rng_state_ = 0;
 
-    void push(event e);
-    void process(const event& e);
-    void arrive(net::node_id at, const message& msg);
+    void process(event e);
+    // Slow path: one arrival, crash-checked; forwards one hop onward or
+    // upgrades the remainder of the route to a batched arrival.
+    void arrive_slow(event e);
+    // Fast path: batched arrival; credits the skipped hops analytically.
+    void arrive_batched(const event& e);
+    // Credits hops first..last-1 of `path` (traffic + transit + global and
+    // per-tag hop counters): the transit prefix a batched message skipped.
+    void credit_hops(const std::vector<net::node_id>& path, std::int64_t first,
+                     std::int64_t last, std::int64_t tag);
+    // Rewrites pending batched arrivals as slow-path events at their current
+    // position (called by crash()).
+    void devolve_batched_deliveries();
     [[nodiscard]] net::node_id pick_next_hop(net::node_id at, net::node_id dest);
 };
 

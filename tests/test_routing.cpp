@@ -127,5 +127,75 @@ TEST(routing, multicast_to_all_nodes_is_spanning_tree) {
     EXPECT_EQ(rt.multicast_cost(3, all), 15);
 }
 
+TEST(routing, row_cache_respects_lru_limit) {
+    const auto g = make_grid(6, 6);
+    routing_table rt{g};
+    rt.set_row_cache_limit(3);
+    EXPECT_EQ(rt.materialized_rows(), 0u);
+    for (node_id v = 0; v < 10; ++v) (void)rt.next_hop(0, v == 0 ? 1 : v);
+    EXPECT_LE(rt.materialized_rows(), 3u);
+    // Shrinking the cap evicts immediately.
+    rt.set_row_cache_limit(1);
+    EXPECT_LE(rt.materialized_rows(), 1u);
+}
+
+TEST(routing, answers_identical_under_tiny_row_cache) {
+    // Evicted rows are rebuilt transparently: every distance and every path
+    // stays a valid shortest path whatever the cap.
+    const auto g = make_grid(5, 5, wrap_mode::torus);
+    routing_table unbounded{g};
+    unbounded.set_row_cache_limit(0);
+    routing_table tiny{g};
+    tiny.set_row_cache_limit(1);
+    for (node_id a = 0; a < 25; ++a) {
+        for (node_id b = 0; b < 25; ++b) {
+            EXPECT_EQ(tiny.distance(a, b), unbounded.distance(a, b));
+            const auto p = tiny.path(a, b);
+            EXPECT_EQ(p.front(), a);
+            EXPECT_EQ(p.back(), b);
+            EXPECT_EQ(static_cast<int>(p.size()) - 1, unbounded.distance(a, b));
+            for (std::size_t i = 0; i + 1 < p.size(); ++i)
+                EXPECT_TRUE(g.has_edge(p[i], p[i + 1]));
+        }
+    }
+    EXPECT_LE(tiny.materialized_rows(), 1u);
+    // The build counter is the thrash signal: the tiny cache rebuilt rows
+    // over and over, the unbounded one built each root at most once.
+    EXPECT_LE(unbounded.row_builds(),
+              static_cast<std::int64_t>(g.node_count()));
+    EXPECT_GT(tiny.row_builds(), unbounded.row_builds());
+}
+
+TEST(routing, bidirectional_distance_needs_no_rows) {
+    // distance() on a cold table answers via bidirectional BFS without
+    // materializing anything.
+    const auto g = make_ccc(4);
+    const routing_table rt{g};
+    const auto g2 = make_ccc(4);
+    const routing_table reference{g2};
+    for (node_id a = 0; a < g.node_count(); a += 3) {
+        for (node_id b = 0; b < g.node_count(); b += 5) {
+            // Reference: force a materialized row via next_hop's table walk.
+            const int expect = a == b ? 0 : 1 + reference.distance(reference.next_hop(a, b), b);
+            EXPECT_EQ(rt.distance(a, b), expect);
+        }
+    }
+    EXPECT_EQ(rt.materialized_rows(), 0u);
+    EXPECT_EQ(rt.row_builds(), 0);
+}
+
+TEST(routing, path_choice_is_deterministic_per_call_sequence) {
+    // Two tables replaying the same call sequence return identical paths
+    // (the simulator's batched/hop-by-hop equivalence relies on this).
+    const auto g = make_grid(7, 7);
+    routing_table a{g};
+    routing_table b{g};
+    a.set_row_cache_limit(2);
+    b.set_row_cache_limit(2);
+    const std::pair<node_id, node_id> calls[] = {{0, 48}, {48, 0}, {3, 45}, {10, 38},
+                                                 {0, 48}, {45, 3}, {24, 0}, {0, 24}};
+    for (const auto& [from, to] : calls) EXPECT_EQ(a.path(from, to), b.path(from, to));
+}
+
 }  // namespace
 }  // namespace mm::net

@@ -1,0 +1,252 @@
+// Equivalence of the simulator's batched fast path and the hop-by-hop slow
+// path (the contract in sim/simulator.h): identical scripts run against a
+// batching simulator and a set_batched_delivery(false) simulator must
+// produce bit-identical hop counters, per-tag hop counters, per-node
+// traffic/transit, message counters, and delivery/completion times -
+// including across mid-flight crash() windows, which force the fast path to
+// devolve in-flight batched arrivals back to per-hop events.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/topologies.h"
+#include "runtime/workload.h"
+#include "sim/simulator.h"
+#include "strategies/grid.h"
+
+namespace mm {
+namespace {
+
+class recorder final : public sim::node_handler {
+public:
+    std::vector<std::pair<sim::time_point, int>> deliveries;  // (tick, msg.kind)
+
+    void on_message(sim::simulator& s, const sim::message& msg) override {
+        deliveries.emplace_back(s.now(), msg.kind);
+    }
+};
+
+// Runs `script` against a batched and an unbatched simulator on `g` and
+// asserts every observable counter matches.
+void expect_equivalent(const net::graph& g,
+                       const std::function<void(sim::simulator&, recorder&)>& script,
+                       std::span<const std::int64_t> tags) {
+    sim::simulator fast{g};
+    sim::simulator slow{g};
+    slow.set_batched_delivery(false);
+    recorder fast_rx;
+    recorder slow_rx;
+    script(fast, fast_rx);
+    script(slow, slow_rx);
+    EXPECT_EQ(fast.now(), slow.now());
+    for (const auto counter :
+         {sim::counter_hops, sim::counter_messages_sent, sim::counter_messages_delivered,
+          sim::counter_messages_dropped}) {
+        EXPECT_EQ(fast.stats().get(counter), slow.stats().get(counter)) << counter;
+    }
+    for (const std::int64_t tag : tags)
+        EXPECT_EQ(fast.tag_hops(tag), slow.tag_hops(tag)) << "tag " << tag;
+    for (net::node_id v = 0; v < g.node_count(); ++v) {
+        ASSERT_EQ(fast.traffic(v), slow.traffic(v)) << "traffic at " << v;
+        ASSERT_EQ(fast.transit_traffic(v), slow.transit_traffic(v)) << "transit at " << v;
+    }
+    EXPECT_EQ(fast_rx.deliveries, slow_rx.deliveries);
+}
+
+TEST(sim_equivalence, crash_window_mid_flight) {
+    // A message is in batched flight when a node on its path crashes: the
+    // fast path must devolve it and drop it at the crashed hop's exact tick.
+    const auto g = net::make_path(12);
+    const std::int64_t tags[] = {1, 2, 3, 4};
+    expect_equivalent(
+        g,
+        [](sim::simulator& s, recorder& rx) {
+            auto handler = std::shared_ptr<recorder>(&rx, [](recorder*) {});
+            s.attach(0, handler);
+            s.attach(11, handler);
+            sim::message msg;
+            msg.kind = 1;
+            msg.source = 0;
+            msg.destination = 11;
+            msg.tag = 1;
+            s.send(msg);            // batched arrival would land at tick 11
+            s.run_until(3);         // in flight, sitting at node 3
+            s.crash(5);             // ahead of the message: it must die at 5
+            sim::message back;      // sent inside the crash window: slow path
+            back.kind = 2;
+            back.source = 11;
+            back.destination = 0;
+            back.tag = 2;
+            s.send(back);
+            s.run_until(7);
+            s.recover(5);
+            sim::message again;     // clean network again: batched once more
+            again.kind = 3;
+            again.source = 0;
+            again.destination = 11;
+            again.tag = 3;
+            s.send(again);
+            s.run();
+        },
+        tags);
+}
+
+TEST(sim_equivalence, same_tick_send_then_crash) {
+    // crash() immediately after send() with no run in between: the message
+    // has not made its first hop yet, so it must die en route identically.
+    const auto g = net::make_path(6);
+    const std::int64_t tags[] = {1, 2};
+    expect_equivalent(
+        g,
+        [](sim::simulator& s, recorder& rx) {
+            auto handler = std::shared_ptr<recorder>(&rx, [](recorder*) {});
+            s.attach(0, handler);
+            s.attach(5, handler);
+            sim::message msg;
+            msg.kind = 1;
+            msg.source = 0;
+            msg.destination = 5;
+            msg.tag = 1;
+            s.send(msg);
+            s.crash(1);    // first hop target dies in the same tick
+            s.run_until(20);
+            s.recover(1);
+            sim::message retry;
+            retry.kind = 2;
+            retry.source = 0;
+            retry.destination = 5;
+            retry.tag = 2;
+            s.send(retry);
+            s.run();
+        },
+        tags);
+}
+
+TEST(sim_equivalence, crash_at_delivery_tick) {
+    // The destination crashes while the batched arrival is pending at that
+    // very tick horizon: both paths must drop at the destination after full
+    // transit spend.
+    const auto g = net::make_path(8);
+    const std::int64_t tags[] = {1};
+    expect_equivalent(
+        g,
+        [](sim::simulator& s, recorder& rx) {
+            auto handler = std::shared_ptr<recorder>(&rx, [](recorder*) {});
+            s.attach(7, handler);
+            sim::message msg;
+            msg.kind = 1;
+            msg.source = 0;
+            msg.destination = 7;
+            msg.tag = 1;
+            s.send(msg);
+            s.run_until(6);  // one tick before arrival
+            s.crash(7);
+            s.run();
+        },
+        tags);
+}
+
+// Field-by-field comparison of completed operation results.
+void expect_same_results(const runtime::workload_stats& a, const runtime::workload_stats& b) {
+    EXPECT_EQ(a.issued, b.issued);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.locates, b.locates);
+    EXPECT_EQ(a.locates_found, b.locates_found);
+    EXPECT_EQ(a.crashes, b.crashes);
+    EXPECT_EQ(a.per_op_message_passes, b.per_op_message_passes);
+    EXPECT_EQ(a.max_in_flight, b.max_in_flight);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.latency_p50, b.latency_p50);
+    EXPECT_EQ(a.latency_p95, b.latency_p95);
+    EXPECT_EQ(a.latency_p99, b.latency_p99);
+    EXPECT_EQ(a.latency_max, b.latency_max);
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (std::size_t i = 0; i < a.results.size(); ++i) {
+        const auto& ra = a.results[i];
+        const auto& rb = b.results[i];
+        EXPECT_EQ(ra.found, rb.found) << "op " << i;
+        EXPECT_EQ(ra.where, rb.where) << "op " << i;
+        EXPECT_EQ(ra.latency, rb.latency) << "op " << i;
+        EXPECT_EQ(ra.message_passes, rb.message_passes) << "op " << i;
+        EXPECT_EQ(ra.nodes_queried, rb.nodes_queried) << "op " << i;
+        EXPECT_EQ(ra.stages, rb.stages) << "op " << i;
+        EXPECT_EQ(ra.issued_at, rb.issued_at) << "op " << i;
+        EXPECT_EQ(ra.completed_at, rb.completed_at) << "op " << i;
+    }
+}
+
+TEST(sim_equivalence, seeded_mixed_workload_with_crashes) {
+    // The acceptance scenario: a seeded open-loop mix of locates, registers,
+    // migrates, and mid-flight fail-stop crashes, run to quiescence.  Per-op
+    // hop counters, the global hop counter, per-node traffic, and every
+    // completion time must match the hop-by-hop run exactly.
+    constexpr int rows = 12;
+    constexpr int cols = 12;
+    const auto g = net::make_grid(rows, cols);
+    const strategies::manhattan_strategy strategy{rows, cols};
+
+    runtime::workload_options opts;
+    opts.seed = 99;
+    opts.operations = 500;
+    opts.mean_interarrival = 1.5;
+    opts.ports = 24;
+    opts.servers_per_port = 2;
+    opts.locate_weight = 0.82;
+    opts.register_weight = 0.06;
+    opts.migrate_weight = 0.06;
+    opts.crash_weight = 0.06;
+    opts.crash_downtime = 40;
+
+    sim::simulator fast_sim{g};
+    runtime::name_service fast_ns{fast_sim, strategy, {.client_caching = true}};
+    const auto fast = runtime::run_workload(fast_ns, opts);
+
+    sim::simulator slow_sim{g};
+    slow_sim.set_batched_delivery(false);
+    runtime::name_service slow_ns{slow_sim, strategy, {.client_caching = true}};
+    const auto slow = runtime::run_workload(slow_ns, opts);
+
+    ASSERT_GT(fast.crashes, 0) << "scenario must exercise mid-flight crashes";
+    expect_same_results(fast, slow);
+    EXPECT_EQ(fast.global_message_passes, slow.global_message_passes);
+    EXPECT_EQ(fast_sim.now(), slow_sim.now());
+    for (net::node_id v = 0; v < g.node_count(); ++v) {
+        ASSERT_EQ(fast_sim.traffic(v), slow_sim.traffic(v)) << "traffic at " << v;
+        ASSERT_EQ(fast_sim.transit_traffic(v), slow_sim.transit_traffic(v))
+            << "transit at " << v;
+    }
+}
+
+TEST(sim_equivalence, workload_with_soft_state_refresh) {
+    // With TTL + periodic refresh the run never quiesces (timers re-arm), so
+    // global counters are read with refresh posts still in flight - but
+    // per-operation results and completion times must still match exactly.
+    constexpr int rows = 10;
+    constexpr int cols = 10;
+    const auto g = net::make_grid(rows, cols);
+    const strategies::manhattan_strategy strategy{rows, cols};
+    const runtime::name_service::options policy{.entry_ttl = 300, .refresh_period = 120};
+
+    runtime::workload_options opts;
+    opts.seed = 5;
+    opts.operations = 300;
+    opts.mean_interarrival = 2.0;
+    opts.ports = 16;
+    opts.crash_weight = 0.04;
+
+    sim::simulator fast_sim{g};
+    runtime::name_service fast_ns{fast_sim, strategy, policy};
+    const auto fast = runtime::run_workload(fast_ns, opts);
+
+    sim::simulator slow_sim{g};
+    slow_sim.set_batched_delivery(false);
+    runtime::name_service slow_ns{slow_sim, strategy, policy};
+    const auto slow = runtime::run_workload(slow_ns, opts);
+
+    expect_same_results(fast, slow);
+}
+
+}  // namespace
+}  // namespace mm

@@ -226,6 +226,8 @@ TEST(simulator, randomized_routing_spreads_transit) {
     simulator fixed_sim{g};
     simulator random_sim{g};
     random_sim.set_randomized_routing(3);
+    fixed_sim.attach(21, std::make_shared<recorder>());
+    random_sim.attach(21, std::make_shared<recorder>());
     for (auto* sim : {&fixed_sim, &random_sim}) {
         for (int k = 0; k < 60; ++k) {
             message msg;
@@ -247,6 +249,7 @@ TEST(simulator, randomized_routing_spreads_transit) {
 TEST(simulator, traffic_counters) {
     const auto g = net::make_path(4);
     simulator sim{g};
+    sim.attach(3, std::make_shared<recorder>());
     message msg;
     msg.source = 0;
     msg.destination = 3;
@@ -261,6 +264,63 @@ TEST(simulator, traffic_counters) {
     EXPECT_EQ(sim.max_traffic(), 1);
     sim.reset_traffic();
     EXPECT_EQ(sim.max_transit_traffic(), 0);
+}
+
+TEST(simulator, unattached_destination_short_circuits) {
+    // Nobody listens at node 3: the message is dropped at the send itself -
+    // no hops are spent walking the path, no traffic is credited.
+    const auto g = net::make_path(4);
+    for (const bool batched : {true, false}) {
+        simulator sim{g};
+        sim.set_batched_delivery(batched);
+        message msg;
+        msg.source = 0;
+        msg.destination = 3;
+        sim.send(msg);
+        sim.run();
+        EXPECT_EQ(sim.stats().get(counter_messages_sent), 1);
+        EXPECT_EQ(sim.stats().get(counter_messages_dropped), 1);
+        EXPECT_EQ(sim.stats().get(counter_hops), 0);
+        EXPECT_EQ(sim.max_traffic(), 0);
+        EXPECT_EQ(sim.now(), 0);
+    }
+}
+
+TEST(simulator, batched_delivery_matches_timing_and_counters) {
+    // The batched fast path must report the same clock, hop count, and
+    // delivery order as a hop-by-hop run.
+    const auto g = net::make_grid(5, 5);
+    simulator fast{g};
+    simulator slow{g};
+    slow.set_batched_delivery(false);
+    std::vector<std::shared_ptr<recorder>> received;
+    for (auto* sim : {&fast, &slow}) {
+        auto rx = std::make_shared<recorder>();
+        received.push_back(rx);
+        sim->attach(24, rx);
+        for (int k = 0; k < 4; ++k) {
+            message msg;
+            msg.kind = k;
+            msg.source = static_cast<net::node_id>(k);
+            msg.destination = 24;
+            msg.tag = 100 + k;
+            sim->send(msg);
+        }
+        sim->run();
+        ASSERT_EQ(rx->delivered.size(), 4u);
+    }
+    // Same delivery order and per-message arrival ticks in both runs.
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(received[0]->delivered[i].kind, received[1]->delivered[i].kind);
+        EXPECT_EQ(received[0]->delivery_times[i], received[1]->delivery_times[i]);
+    }
+    EXPECT_EQ(fast.now(), slow.now());
+    EXPECT_EQ(fast.stats().get(counter_hops), slow.stats().get(counter_hops));
+    for (int k = 0; k < 4; ++k) EXPECT_EQ(fast.tag_hops(100 + k), slow.tag_hops(100 + k));
+    for (net::node_id v = 0; v < 25; ++v) {
+        EXPECT_EQ(fast.traffic(v), slow.traffic(v)) << "node " << v;
+        EXPECT_EQ(fast.transit_traffic(v), slow.transit_traffic(v)) << "node " << v;
+    }
 }
 
 TEST(metrics, counters_accumulate) {

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repo's markdown docs.
+
+Scans README.md and docs/*.md for inline markdown links ``[text](target)``
+and verifies that every relative target resolves to an existing file or
+directory (anchors are stripped; absolute URLs and mailto: are skipped).
+Exits non-zero listing every broken link, so CI can gate on doc rot.
+
+usage: check_links.py [repo_root]
+"""
+import pathlib
+import re
+import sys
+
+# Inline links, tolerating one level of nested brackets in the text (e.g.
+# image-in-link).  Reference-style definitions are rare here; ignored.
+LINK = re.compile(r"\[(?:[^\[\]]|\[[^\]]*\])*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def check_file(md: pathlib.Path) -> list[str]:
+    errors = []
+    text = md.read_text(encoding="utf-8")
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                errors.append(f"{md}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else pathlib.Path(".")
+    files = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    errors = []
+    checked = 0
+    for md in files:
+        if not md.exists():
+            errors.append(f"{md}: expected markdown file is missing")
+            continue
+        checked += 1
+        errors.extend(check_file(md))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {checked} markdown file(s), {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
