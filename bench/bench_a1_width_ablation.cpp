@@ -45,6 +45,9 @@ int main() {
     }
     std::cout << t.to_string() << "\n";
 
+    bench::metric("best_width", best_w);
+    bench::metric("best_avg_message_passes", best_m, "messages");
+    bench::metric("bound_2sqrt_n", 2.0 * std::sqrt(static_cast<double>(n)), "messages");
     bench::shape_check("the optimum sits exactly at w = sqrt(n) = 16", best_w == 16);
     bench::shape_check("the optimal m equals the 2*sqrt(n) bound", best_m == 32.0);
     return 0;

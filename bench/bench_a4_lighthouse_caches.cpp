@@ -67,6 +67,11 @@ int main() {
                    analysis::table::num(point.median_time),
                    analysis::table::num(point.evictions),
                    analysis::table::num(point.located, 2)});
+        const std::string prefix = "capacity_" + std::to_string(capacity);
+        bench::metric(prefix + "_median_locate_time", static_cast<double>(point.median_time),
+                      "ticks");
+        bench::metric(prefix + "_mean_evictions", static_cast<double>(point.evictions));
+        bench::metric(prefix + "_located_fraction", point.located);
     }
     std::cout << t.to_string() << "\n";
 

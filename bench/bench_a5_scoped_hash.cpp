@@ -95,6 +95,14 @@ int main() {
                analysis::table::num(static_cast<std::int64_t>(flat_load.idle_nodes)),
                analysis::table::num(flat_load.busiest / flat_load.mean, 1)});
     std::cout << t.to_string() << "\n";
+    bench::metric("scoped_busiest_node_traffic", static_cast<double>(scoped_load.busiest),
+                  "messages");
+    bench::metric("flat_busiest_node_traffic", static_cast<double>(flat_load.busiest),
+                  "messages");
+    bench::metric("scoped_peak_over_mean", scoped_load.busiest / scoped_load.mean);
+    bench::metric("flat_peak_over_mean", flat_load.busiest / flat_load.mean);
+    bench::metric("scoped_mean_traffic", scoped_load.mean, "messages");
+    bench::metric("flat_mean_traffic", flat_load.mean, "messages");
     std::cout << "Scoped hashing keeps local locate traffic inside its cluster: both the\n"
                  "busiest node's absolute load and the peak/mean imbalance drop - \"the\n"
                  "burden ... distributed more or less evenly over the hosts at each\n"

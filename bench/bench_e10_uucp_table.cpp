@@ -114,6 +114,9 @@ int main() {
                   << "path-to-root m(n) = " << analysis::table::num(m, 2)
                   << " vs flat 2*sqrt(n) = " << analysis::table::num(flat, 1)
                   << " - the degree hierarchy makes the average locate cheap (Section 3.6).\n\n";
+        bench::metric("uucp_rebuild_avg_message_passes", m, "messages");
+        bench::metric("uucp_rebuild_flat_bound", flat, "messages");
+        bench::metric("uucp_rebuild_mean_tree_depth", mean_depth, "hops");
         bench::shape_check("exact rebuild: 1916 sites, 3848 edges, hub 641",
                            g.node_count() == 1916 && g.edge_count() == 3848 &&
                                g.degree(root) == 641);

@@ -54,6 +54,9 @@ int main() {
         // 2*ceil(sqrt(n)) nodes, so the routed broadcast is below ~2*sqrt(n).
         if (client_cost > 2.5 * std::sqrt(static_cast<double>(n))) client_cheap = false;
         const auto cache = bench::measure_cache_load(s);
+        std::string prefix = c.label.substr(0, c.label.find(' '));
+        bench::metric(prefix + "_server_routed_cost", server_cost, "hops");
+        bench::metric(prefix + "_client_routed_cost", client_cost, "hops");
         t.add_row({c.label, analysis::table::num(static_cast<std::int64_t>(n)),
                    analysis::table::num(static_cast<std::int64_t>(part.part_count())),
                    analysis::table::num(static_cast<std::int64_t>(part.label_count)),

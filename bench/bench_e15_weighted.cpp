@@ -31,6 +31,11 @@ int main() {
         const auto q = tuned.query_set(0).size();
         if (alpha > 1.0 && p < q) skews_right = false;
         if (alpha < 1.0 && p > q) skews_right = false;
+        if (alpha == 16.0) {
+            bench::metric("alpha16_tuned_cost", tuned_cost, "messages");
+            bench::metric("alpha16_balanced_cost", balanced_cost, "messages");
+            bench::metric("alpha16_saving", balanced_cost - tuned_cost, "messages");
+        }
         t.add_row({analysis::table::num(alpha, 4),
                    analysis::table::num(static_cast<std::int64_t>(tuned.width())),
                    analysis::table::num(static_cast<std::int64_t>(p)),

@@ -1,0 +1,253 @@
+// E18 - sharded parallel simulation of the e17 workloads.
+// The ROADMAP's next scaling step after batched delivery: the event loop
+// itself goes shard-parallel (sim::simulator::set_worker_threads, one shard
+// per worker over the paper's Erdos-Gerencser-Mate connected carve).  This
+// bench sweeps worker threads in {1, 2, 4, 8} over the e17 grid / hypercube
+// / hierarchical workloads at n = 10^5 and 10^6 and checks the two claims
+// that matter:
+//  * determinism - every global counter, per-op accounting sum, latency
+//    percentile, and completion count is bit-identical across thread
+//    counts (the 1-thread run is the serial reference), and
+//  * speedup - the 10^6-node hypercube workload runs >= 2.5x faster at 8
+//    threads than at 1 (asserted only on hardware with >= 8 CPUs; reported
+//    as a metric everywhere).
+// The 10^5 cases keep e17's fail-stop crashes (per-hop crash windows inside
+// a parallel run); the 10^6 cases are crash-free and injected as one burst,
+// the regime where per-tick parallelism - the BFS row builds of many
+// concurrent operations - is actually available to the workers.
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "net/hierarchy.h"
+#include "net/topologies.h"
+#include "runtime/workload.h"
+#include "strategies/cube.h"
+#include "strategies/grid.h"
+#include "strategies/hierarchical.h"
+
+// Like e17: the 10^6-node cases are budget claims about release builds;
+// under a sanitizer they would measure the sanitizer, so they are skipped.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MM_E18_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define MM_E18_SANITIZED 1
+#endif
+#endif
+#ifndef MM_E18_SANITIZED
+#define MM_E18_SANITIZED 0
+#endif
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point start) {
+    return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+// Full sweep on release builds; under a sanitizer the 10^5 cases alone are
+// expensive, so the sweep shrinks to the pair that still proves equality.
+const std::vector<int>& thread_sweep() {
+    static const std::vector<int> sweep =
+        MM_E18_SANITIZED ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+    return sweep;
+}
+
+struct run_result {
+    int threads = 1;
+    double setup_seconds = 0;
+    double run_seconds = 0;
+    std::int64_t hops = 0;
+    std::int64_t sent = 0;
+    std::int64_t delivered = 0;
+    std::int64_t dropped = 0;
+    std::int64_t per_op_passes = 0;
+    std::int64_t global_passes = 0;
+    std::int64_t issued = 0;
+    std::int64_t completed = 0;
+    std::int64_t locates_found = 0;
+    mm::sim::time_point latency_p50 = 0;
+    mm::sim::time_point latency_p99 = 0;
+    mm::sim::time_point makespan = 0;
+
+    [[nodiscard]] bool counters_equal(const run_result& other) const {
+        return hops == other.hops && sent == other.sent && delivered == other.delivered &&
+               dropped == other.dropped && per_op_passes == other.per_op_passes &&
+               global_passes == other.global_passes && issued == other.issued &&
+               completed == other.completed && locates_found == other.locates_found &&
+               latency_p50 == other.latency_p50 && latency_p99 == other.latency_p99 &&
+               makespan == other.makespan;
+    }
+};
+
+struct case_result {
+    std::string label;
+    mm::net::node_id n = 0;
+    std::vector<run_result> runs;  // one per thread count, runs[0] is serial
+    bool all_equal = true;
+
+    [[nodiscard]] double speedup_at(int threads) const {
+        for (const auto& r : runs)
+            if (r.threads == threads && r.run_seconds > 0)
+                return runs.front().run_seconds / r.run_seconds;
+        return 0;
+    }
+};
+
+mm::runtime::workload_options options_for(mm::net::node_id n, bool with_crashes) {
+    mm::runtime::workload_options opts;
+    opts.seed = 20260731;
+    // Same mix as e17; burst-ish injection so many operations share a tick
+    // and their route computation can actually fan out across shards.
+    opts.operations = n >= 1'000'000 ? 96 : 240;
+    opts.mean_interarrival = n >= 1'000'000 ? 0.0 : 0.25;
+    opts.ports = 16;
+    opts.servers_per_port = 1;
+    opts.locate_weight = 0.90;
+    opts.register_weight = 0.04;
+    opts.migrate_weight = 0.04;
+    opts.crash_weight = with_crashes ? 0.02 : 0.0;
+    opts.crash_downtime = 30;
+    return opts;
+}
+
+template <class Strategy>
+case_result run_case(const std::string& label, const mm::net::graph& g,
+                     const Strategy& strategy, bool with_crashes) {
+    using namespace mm;
+    case_result out;
+    out.label = label;
+    out.n = g.node_count();
+    const auto opts = options_for(out.n, with_crashes);
+    for (const int threads : thread_sweep()) {
+        const auto setup_start = clock_type::now();
+        sim::simulator sim{g};
+        sim.set_worker_threads(threads);
+        runtime::name_service ns{sim, strategy};
+        run_result r;
+        r.threads = threads;
+        r.setup_seconds = seconds_since(setup_start);
+
+        const auto run_start = clock_type::now();
+        const auto stats = runtime::run_workload(ns, opts);
+        r.run_seconds = seconds_since(run_start);
+
+        r.hops = sim.stats().get(sim::counter_hops);
+        r.sent = sim.stats().get(sim::counter_messages_sent);
+        r.delivered = sim.stats().get(sim::counter_messages_delivered);
+        r.dropped = sim.stats().get(sim::counter_messages_dropped);
+        r.per_op_passes = stats.per_op_message_passes;
+        r.global_passes = stats.global_message_passes;
+        r.issued = stats.issued;
+        r.completed = stats.completed;
+        r.locates_found = stats.locates_found;
+        r.latency_p50 = stats.latency_p50;
+        r.latency_p99 = stats.latency_p99;
+        r.makespan = stats.makespan;
+        if (!out.runs.empty()) out.all_equal = out.all_equal && r.counters_equal(out.runs.front());
+        out.runs.push_back(r);
+    }
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    using namespace mm;
+    bench::banner("E18: sharded parallel simulation",
+                  "set_worker_threads sweeps 1/2/4/8 workers over the e17 grid /\n"
+                  "hypercube / hierarchical workloads at n = 10^5 and 10^6.  Every\n"
+                  "counter must be bit-identical across thread counts; the 10^6\n"
+                  "hypercube workload must reach >= 2.5x at 8 threads (asserted on\n"
+                  ">= 8-CPU hosts).");
+
+    std::vector<case_result> results;
+
+    const auto grid_case = [&](net::node_id side, bool with_crashes) {
+        const auto g = net::make_grid(side, side);
+        const strategies::manhattan_strategy strategy{side, side};
+        results.push_back(run_case("grid " + std::to_string(side) + "x" + std::to_string(side),
+                                   g, strategy, with_crashes));
+    };
+    const auto cube_case = [&](int d, bool with_crashes) {
+        const auto g = net::make_hypercube(d);
+        const strategies::hypercube_strategy strategy{d};
+        results.push_back(run_case("hypercube d=" + std::to_string(d), g, strategy, with_crashes));
+    };
+    const auto hierarchy_case = [&](int levels, bool with_crashes) {
+        const net::hierarchy h{std::vector<int>(static_cast<std::size_t>(levels), 10)};
+        const auto g = net::make_hierarchical_graph(h);
+        const strategies::hierarchical_strategy strategy{h};
+        results.push_back(
+            run_case("hierarchy 10^" + std::to_string(levels), g, strategy, with_crashes));
+    };
+
+    grid_case(316, true);      // 99'856 nodes, with per-hop crash windows
+    cube_case(17, true);       // 131'072 nodes
+    hierarchy_case(5, true);   // 100'000 nodes
+    if (!MM_E18_SANITIZED) {
+        grid_case(1000, false);    // 10^6 nodes, crash-free burst
+        cube_case(20, false);      // the speedup acceptance case
+        hierarchy_case(6, false);
+    } else {
+        std::cout << "[sanitized build: skipping the 10^6-node sweep]\n";
+    }
+
+    analysis::table t{{"topology", "n", "threads", "run s", "speedup", "hops", "ops", "equal"}};
+    for (const auto& c : results) {
+        for (const auto& r : c.runs) {
+            t.add_row({c.label, analysis::table::num(static_cast<std::int64_t>(c.n)),
+                       analysis::table::num(static_cast<std::int64_t>(r.threads)),
+                       analysis::table::num(r.run_seconds, 2),
+                       analysis::table::num(c.runs.front().run_seconds /
+                                                (r.run_seconds > 0 ? r.run_seconds : 1e-9),
+                                            2),
+                       analysis::table::num(r.hops), analysis::table::num(r.completed),
+                       c.all_equal ? "yes" : "NO"});
+        }
+    }
+    std::cout << t.to_string() << "\n";
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::cout << "hardware_concurrency: " << hw << "\n\n";
+
+    bool all_equal = true;
+    bool all_completed = true;
+    for (const auto& c : results) {
+        all_equal = all_equal && c.all_equal;
+        for (const auto& r : c.runs)
+            all_completed = all_completed && r.completed == r.issued && r.completed > 0;
+        const std::string prefix =
+            c.label.substr(0, c.label.find(' ')) + "_" + std::to_string(c.n);
+        for (const auto& r : c.runs) {
+            bench::metric(prefix + "_t" + std::to_string(r.threads) + "_run_seconds",
+                          r.run_seconds, "s");
+        }
+        bench::metric(prefix + "_speedup_t8", c.speedup_at(8), "x");
+        bench::metric(prefix + "_message_passes",
+                      static_cast<double>(c.runs.front().global_passes), "hops");
+    }
+    bench::metric("hardware_concurrency", static_cast<double>(hw), "cpus");
+
+    bench::shape_check("all counters bit-identical across 1/2/4/8 worker threads", all_equal);
+    bench::shape_check("every workload completes all issued operations at every thread count",
+                       all_completed);
+    // The acceptance speedup only means something with the cores to run it.
+    if (!MM_E18_SANITIZED && hw >= 8) {
+        double cube_speedup = 0;
+        for (const auto& c : results)
+            if (c.label == "hypercube d=20") cube_speedup = c.speedup_at(8);
+        bench::metric("cube_1M_speedup_t8", cube_speedup, "x");
+        bench::shape_check("10^6 hypercube workload >= 2.5x at 8 threads", cube_speedup >= 2.5);
+    } else {
+        std::cout << "[speedup assertion skipped: "
+                  << (MM_E18_SANITIZED ? "sanitized build" : "fewer than 8 CPUs") << "]\n";
+    }
+    return 0;
+}

@@ -68,6 +68,11 @@ int main() {
     }
     std::cout << "\n";
 
+    bench::metric("broadcast_avg_message_passes", r1.average_message_passes(), "messages");
+    bench::metric("sweep_avg_message_passes", r2.average_message_passes(), "messages");
+    bench::metric("central_avg_message_passes", r3.average_message_passes(), "messages");
+    bench::metric("checkerboard_avg_message_passes", r4.average_message_passes(), "messages");
+    bench::metric("cube3_avg_message_passes", r6.average_message_passes(), "messages");
     bench::shape_check("examples 1-4, 6 are total singleton matrices",
                        r1.total() && r1.singleton() && r2.total() && r3.total() &&
                            r3.singleton() && r4.total() && r4.singleton() && r6.total() &&

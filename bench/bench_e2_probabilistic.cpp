@@ -53,6 +53,16 @@ int main() {
     }
     std::cout << scan.to_string() << "\n";
 
+    bench::metric("crossing_p_plus_q_n256", crossing_sum);
+    {
+        // One representative accuracy figure for the trajectory: n = 256 at
+        // the threshold p = q = sqrt(n).
+        const strategies::random_strategy s{256, 16, 16, 1256u};
+        const auto est = analysis::estimate_intersection(s, samples, 7u);
+        bench::metric("n256_threshold_expected", est.expected);
+        bench::metric("n256_threshold_measured", est.mean);
+        bench::metric("n256_threshold_hit_rate", est.hit_rate);
+    }
     bench::shape_check("measured E[#(P n Q)] matches pq/n within sampling error", expectation_ok);
     bench::shape_check("expected intersection reaches 1 at p+q = 2*sqrt(256) = 32",
                        crossing_sum == 32);

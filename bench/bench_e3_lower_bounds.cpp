@@ -1,9 +1,11 @@
 // E3 - Sections 2.3.2-2.3.3, Propositions 1-2 and corollaries: every
 // strategy's m(n) against its own lower bound (2/n) * sum sqrt(k_i).
 // Centralized strategies bound at 2, truly distributed ones at 2*sqrt(n).
+#include <algorithm>
 #include <cmath>
 #include <iostream>
 #include <memory>
+#include <string>
 
 #include "analysis/table.h"
 #include "bench_util.h"
@@ -28,11 +30,16 @@ int main() {
                        "holds"}};
     bool all_hold = true;
     bool optimal_meet = true;
+    double worst_ratio = 0;
 
     const auto add = [&](const core::locate_strategy& s, bool expect_meets_bound = false) {
         const auto r = core::rendezvous_matrix::from_strategy(s, core::port_of("e3"));
         const auto report = core::check_bounds(r);
         all_hold = all_hold && report.all_hold();
+        worst_ratio = std::max(worst_ratio, report.optimality_ratio());
+        if (s.node_count() == 256)
+            bench::metric(std::string{s.name()} + "_256_avg_message_passes",
+                          report.average_messages, "messages");
         if (expect_meets_bound && report.optimality_ratio() > 1.0001) optimal_meet = false;
         t.add_row({s.name(), analysis::table::num(static_cast<std::int64_t>(s.node_count())),
                    analysis::table::num(report.average_messages, 2),
@@ -58,6 +65,7 @@ int main() {
     add(strategies::hierarchical_strategy{net::hierarchy{{4, 4, 4}}});
 
     std::cout << t.to_string() << "\n";
+    bench::metric("worst_optimality_ratio", worst_ratio);
     bench::shape_check("Propositions 1 and 2 hold for every strategy", all_hold);
     bench::shape_check(
         "central, checkerboard, square manhattan and hypercube exactly meet their bounds",

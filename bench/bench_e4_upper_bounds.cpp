@@ -1,6 +1,7 @@
 // E4 - Section 2.3.4, Propositions 3-4: the checkerboard construction
 // (nearly) meets the 2*sqrt(n) lower bound at every n, and the lifting
 // R -> R' scales any strategy to 4n nodes with m'(4n) = 2*m(n).
+#include <algorithm>
 #include <cmath>
 #include <iostream>
 
@@ -31,12 +32,15 @@ int main() {
 
     analysis::table prop3{{"n", "m(n)", "2*sqrt(n)", "ratio"}};
     bool near_optimal = true;
+    double worst_ratio = 0;
     for (const net::node_id n :
          {4, 9, 16, 25, 30, 36, 64, 77, 100, 144, 256, 500, 529, 1024, 2000, 2025, 4096}) {
         const strategies::checkerboard_strategy s{n};
         const double m = core::average_message_passes(s);
         const double bound = core::truly_distributed_bound(n);
         const double ratio = m / bound;
+        worst_ratio = std::max(worst_ratio, ratio);
+        if (n == 4096) bench::metric("checkerboard_4096_avg_message_passes", m, "messages");
         // Proposition 3: #P + #Q <= 2*ceil(sqrt(n)) + 1 slack for ragged n.
         if (ratio > 1.3) near_optimal = false;
         prop3.add_row({analysis::table::num(static_cast<std::int64_t>(n)),
@@ -68,6 +72,9 @@ int main() {
     std::cout << "Proposition 4 - lifting R (n=4 checkerboard) through 4 steps:\n"
               << prop4.to_string() << "\n";
 
+    bench::metric("checkerboard_worst_ratio_vs_bound", worst_ratio);
+    bench::metric("lifted_final_n", static_cast<double>(matrix.size()), "nodes");
+    bench::metric("lifted_final_avg_message_passes", previous, "messages");
     bench::shape_check("checkerboard within 1.3x of 2*sqrt(n) at every n", near_optimal);
     bench::shape_check("each lift exactly doubles m(n) (m'(4n) = 2m(n))", doubling_exact);
     return 0;

@@ -35,6 +35,12 @@ int main() {
         const double m = core::average_message_passes(s);
         const auto cache = bench::measure_cache_load(s);
         if (p == q && std::abs(m - 2.0 * p) > 1e-9) square_optimal = false;
+        if (p == 16 && q == 16) {
+            bench::metric("grid16_avg_message_passes", m, "messages");
+            bench::metric("grid16_routed_cost", bench::routed_cost(grid_routes, s, 2), "hops");
+            bench::metric("torus16_routed_cost", bench::routed_cost(torus_routes, s, 2), "hops");
+            bench::metric("grid16_cache_max", static_cast<double>(cache.max), "entries");
+        }
         sweep.add_row({analysis::table::num(static_cast<std::int64_t>(p)),
                        analysis::table::num(static_cast<std::int64_t>(q)),
                        analysis::table::num(static_cast<std::int64_t>(p * q)),
@@ -58,6 +64,7 @@ int main() {
         const double m = core::average_message_passes(s);
         const double predicted = 2.0 * std::pow(n, (d - 1.0) / d);
         if (d >= 2 && std::abs(m / predicted - 1.0) > 0.01) exponent_ok = false;
+        bench::metric("mesh_d" + std::to_string(d) + "_ratio_vs_bound", m / predicted);
         mesh.add_row({analysis::table::num(static_cast<std::int64_t>(d)),
                       analysis::table::num(static_cast<std::int64_t>(side)),
                       analysis::table::num(static_cast<std::int64_t>(shape.node_count())),

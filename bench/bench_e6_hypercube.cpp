@@ -24,11 +24,14 @@ int main() {
         const double m = core::average_message_passes(s);
         const double bound = 2.0 * std::sqrt(static_cast<double>(n));
         if (d % 2 == 0 && std::abs(m - bound) > 1e-9) meets_bound = false;
+        if (d == 14) bench::metric("cube_d14_avg_message_passes", m, "messages");
         std::string routed = "-";
         if (d <= 8) {
             const auto g = net::make_hypercube(d);
             const net::routing_table routes{g};
-            routed = analysis::table::num(bench::routed_cost(routes, s, d >= 7 ? 8 : 1), 1);
+            const double cost = bench::routed_cost(routes, s, d >= 7 ? 8 : 1);
+            if (d == 8) bench::metric("cube_d8_routed_cost", cost, "hops");
+            routed = analysis::table::num(cost, 1);
         }
         const auto cache = bench::measure_cache_load(s);
         sweep.add_row({analysis::table::num(static_cast<std::int64_t>(d)),
@@ -60,6 +63,8 @@ int main() {
     std::cout << "epsilon-split on d = 10 (weighted: clients locate 8x more often):\n"
               << split.to_string() << "\n";
 
+    bench::metric("epsilon_split_best_h", static_cast<double>(best_h));
+    bench::metric("epsilon_split_best_weighted_m", best_weighted, "messages");
     bench::shape_check("even-d cubes meet m(n) = 2*sqrt(n) exactly", meets_bound);
     bench::shape_check("frequent clients push the optimum toward larger server sides (h > 5)",
                        best_h > 5);

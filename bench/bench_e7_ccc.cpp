@@ -28,6 +28,10 @@ int main() {
             2.0 * std::sqrt(static_cast<double>(n) * std::log2(static_cast<double>(n)));
         const double ratio = m / predicted;
         if (ratio < 0.4 || ratio > 1.6) tracks = false;
+        if (d == 9) {
+            bench::metric("ccc_d9_avg_message_passes", m, "messages");
+            bench::metric("ccc_d9_ratio_vs_sqrt_nlogn", ratio);
+        }
         std::string routed = "-";
         if (d <= 6) {
             const auto g = net::make_ccc(d);

@@ -23,6 +23,10 @@ int main() {
         const double m = core::average_message_passes(s);
         const double bound = 2.0 * std::sqrt(static_cast<double>(n));
         if (m / bound > 1.15) near_bound = false;
+        if (k == 19) {
+            bench::metric("pg19_avg_message_passes", m, "messages");
+            bench::metric("pg19_ratio_vs_bound", m / bound);
+        }
         const auto cache = bench::measure_cache_load(s);
         sweep.add_row({analysis::table::num(static_cast<std::int64_t>(k)),
                        analysis::table::num(static_cast<std::int64_t>(n)),
@@ -67,6 +71,8 @@ int main() {
     std::cout << "Line-failure drill (k=" << k << "): " << recovered << "/" << total
               << " surviving pairs re-matched after killing one full line.\n\n";
 
+    bench::metric("line_failure_recovered_pairs", static_cast<double>(recovered), "pairs");
+    bench::metric("line_failure_total_pairs", static_cast<double>(total), "pairs");
     bench::shape_check("m stays within 1.15x of 2*sqrt(n) for all k", near_bound);
     bench::shape_check("all surviving pairs recover from a full line failure",
                        total > 0 && recovered == total);

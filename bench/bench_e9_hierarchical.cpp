@@ -73,6 +73,11 @@ int main() {
     const auto global = report("global", global_port);
     std::cout << staged.to_string() << "\n";
 
+    bench::metric("best_level_count", static_cast<double>(best_k), "levels");
+    bench::metric("best_avg_message_passes", best_m, "messages");
+    bench::metric("staged_local_nodes_queried", static_cast<double>(local.nodes_queried));
+    bench::metric("staged_campus_nodes_queried", static_cast<double>(campus.nodes_queried));
+    bench::metric("staged_global_nodes_queried", static_cast<double>(global.nodes_queried));
     bench::shape_check("the m(n) minimum lies at k >= 3 levels (toward (1/2)log n = 6)",
                        best_k >= 3);
     bench::shape_check("deep hierarchy beats the flat 2*sqrt(n) = 128",

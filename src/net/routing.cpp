@@ -156,8 +156,11 @@ std::vector<node_id> routing_table::path(node_id from, node_id to) const {
     if (from == to) return {from};
     // Prefer a resident endpoint row; root at `from` when neither is
     // resident (messages fan out from one source to many destinations, so
-    // the source row is the one that gets reused).
+    // the source row is the one that gets reused).  In source-rooted mode
+    // the dest-row shortcut is skipped so the answer is a pure function of
+    // the endpoints (see header).
     const row* src = resident_row(from);
+    if (src == nullptr && source_rooted_paths_) src = &row_for(from);
     if (src == nullptr) {
         if (const row* dst = resident_row(to)) {
             touch(*rows_[static_cast<std::size_t>(to)]);

@@ -69,6 +69,18 @@ public:
     [[nodiscard]] std::int64_t unicast_cost(node_id source,
                                             std::span<const node_id> targets) const;
 
+    // --- canonical (source-rooted) paths ------------------------------------
+    // With this mode on, path(a, b) always walks the BFS tree rooted at `a`
+    // (building that row if it is not resident) instead of serving from
+    // whichever endpoint row happens to be cached.  The returned path then
+    // is a pure function of (a, b) - independent of call order, cache
+    // residency, and of which of several routing tables answers.  The
+    // parallel simulator turns this on for all of its tables so that every
+    // worker computes the exact same routes the serial engine computes;
+    // distance() needs no such mode (hop counts are tie-free).
+    void set_source_rooted_paths(bool on) noexcept { source_rooted_paths_ = on; }
+    [[nodiscard]] bool source_rooted_paths() const noexcept { return source_rooted_paths_; }
+
     // --- row-cache bound ---------------------------------------------------
     // At most `limit` BFS rows stay materialized (least recently used rows
     // are evicted); 0 means unbounded.  The constructor picks a default that
@@ -95,6 +107,7 @@ private:
     mutable std::vector<std::unique_ptr<row>> rows_;
     mutable std::list<node_id> lru_;  // front = most recently used root
     std::size_t limit_ = 0;
+    bool source_rooted_paths_ = false;
     mutable std::int64_t row_builds_ = 0;
 
     // Scratch for bidirectional BFS, epoch-stamped so queries do not pay an

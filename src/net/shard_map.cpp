@@ -1,0 +1,58 @@
+#include "net/shard_map.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "net/partition.h"
+
+namespace mm::net {
+
+shard_map::shard_map(std::vector<int> owner, int shard_count)
+    : owner_{std::move(owner)}, shard_count_{shard_count} {
+    if (shard_count_ < 1) throw std::invalid_argument{"shard_map: shard_count < 1"};
+    sizes_.assign(static_cast<std::size_t>(shard_count_), 0);
+    for (const int s : owner_) {
+        if (s < 0 || s >= shard_count_)
+            throw std::invalid_argument{"shard_map: owner id out of range"};
+        ++sizes_[static_cast<std::size_t>(s)];
+    }
+}
+
+shard_map make_shard_map(const graph& g, int shards) {
+    const node_id n = g.node_count();
+    if (n <= 0) throw std::invalid_argument{"make_shard_map: empty graph"};
+    shards = std::clamp(shards, 1, static_cast<int>(n));
+    if (shards == 1) return shard_map{std::vector<int>(static_cast<std::size_t>(n), 0), 1};
+
+    // Carve into several connected parts per shard; partition_connected
+    // caps parts at 2 * target, so target n/(4*shards) keeps every part at
+    // or below ~n/(2*shards) and the packing below can balance.
+    const int target = std::max(1, static_cast<int>(n) / (4 * shards));
+    const graph_partition parts = partition_connected(g, target);
+
+    // LPT bin-packing: largest part first onto the lightest shard.  Ties on
+    // part size break by part index and ties on shard load by shard index,
+    // so the result is deterministic.
+    std::vector<int> order(static_cast<std::size_t>(parts.part_count()));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        const auto sa = parts.parts[static_cast<std::size_t>(a)].size();
+        const auto sb = parts.parts[static_cast<std::size_t>(b)].size();
+        return sa != sb ? sa > sb : a < b;
+    });
+
+    std::vector<int> owner(static_cast<std::size_t>(n), 0);
+    std::vector<std::size_t> load(static_cast<std::size_t>(shards), 0);
+    for (const int p : order) {
+        const auto lightest = static_cast<int>(
+            std::min_element(load.begin(), load.end()) - load.begin());
+        for (const node_id v : parts.parts[static_cast<std::size_t>(p)])
+            owner[static_cast<std::size_t>(v)] = lightest;
+        load[static_cast<std::size_t>(lightest)] +=
+            parts.parts[static_cast<std::size_t>(p)].size();
+    }
+    return shard_map{std::move(owner), shards};
+}
+
+}  // namespace mm::net

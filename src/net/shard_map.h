@@ -1,0 +1,65 @@
+// shard_map.h - locality-preserving node -> shard assignment for the
+// parallel simulator.
+//
+// The paper's network model is embarrassingly parallel within a tick: nodes
+// only interact through messages, and a message needs at least one tick per
+// hop.  The parallel engine (sim/simulator.h, set_worker_threads) therefore
+// pins every node to one *shard*; all events at a node execute on the
+// worker that owns the node's shard, and cross-shard messages travel
+// through mailboxes that are merged at tick barriers.
+//
+// The assignment is built from net::partition_connected - the paper's
+// Erdos-Gerencser-Mate O(sqrt n) carve of a connected graph into connected
+// parts (Section 3) - so each shard is a union of connected, local regions
+// rather than a hash-scatter: messages between nearby nodes tend to stay
+// within one shard, which keeps the mailbox volume low.  Parts are packed
+// into shards largest-first onto the currently lightest shard, a
+// deterministic LPT bin-packing, so shard sizes stay balanced even when the
+// carve produces uneven parts (hierarchies with high-degree gateways).
+//
+// Everything here is a pure function of (graph, shard_count) - two builds
+// over the same graph yield the identical map, which the parallel engine's
+// determinism contract relies on.
+#pragma once
+
+#include <vector>
+
+#include "net/graph.h"
+
+namespace mm::net {
+
+class shard_map {
+public:
+    // Trivial map: every node in shard 0.
+    shard_map() = default;
+
+    // Explicit assignment (region hints): owner[v] = shard of node v.
+    // Values must cover 0..shard_count-1 with no gaps in use; shard ids
+    // outside [0, shard_count) throw.
+    shard_map(std::vector<int> owner, int shard_count);
+
+    [[nodiscard]] int shard_count() const noexcept { return shard_count_; }
+    [[nodiscard]] node_id node_count() const noexcept {
+        return static_cast<node_id>(owner_.size());
+    }
+
+    [[nodiscard]] int shard_of(node_id v) const {
+        return owner_[static_cast<std::size_t>(v)];
+    }
+
+    // Nodes per shard (for balance checks and worker sizing).
+    [[nodiscard]] const std::vector<node_id>& shard_sizes() const noexcept { return sizes_; }
+
+private:
+    std::vector<int> owner_;
+    std::vector<node_id> sizes_;
+    int shard_count_ = 1;
+};
+
+// Builds a shard map over a connected graph: carve with partition_connected
+// (part target ~ n / (4 * shards), so each shard packs several connected
+// regions), then LPT-pack parts into `shards` bins.  shards is clamped to
+// [1, node_count].  Deterministic.
+[[nodiscard]] shard_map make_shard_map(const graph& g, int shards);
+
+}  // namespace mm::net

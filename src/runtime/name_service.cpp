@@ -1,6 +1,7 @@
 #include "runtime/name_service.h"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
 
 #include "sim/rng.h"
@@ -98,6 +99,9 @@ name_service::name_service(sim::simulator& sim, const core::locate_strategy& str
         throw std::invalid_argument{"name_service: entry_ttl must be >= -1 (-1 = never)"};
     if (options_.valiant_relay) valiant_state_ = options_.valiant_seed | 1;
     const net::node_id n = sim.network().node_count();
+    if (options_.valiant_relay)
+        valiant_counters_ =
+            std::make_unique<std::atomic<std::uint64_t>[]>(static_cast<std::size_t>(n));
     nodes_.reserve(static_cast<std::size_t>(n));
     refresh_armed_.assign(static_cast<std::size_t>(n), 0);
     for (net::node_id v = 0; v < n; ++v) {
@@ -112,10 +116,25 @@ name_service::name_service(sim::simulator& sim, const core::locate_strategy& str
     }
 }
 
+bool name_service::deferred() const noexcept { return sim_->parallel(); }
+
 net::node_id name_service::random_relay(net::node_id source, net::node_id destination) {
+    const auto n = static_cast<std::uint64_t>(sim_->network().node_count());
+    if (deferred()) {
+        // Parallel regime: draw k of node v is a pure function of
+        // (valiant_seed, v, k), so relay choices cannot depend on how shard
+        // execution interleaved - per-node streams instead of one shared
+        // sequential stream.
+        const auto draw = valiant_counters_[static_cast<std::size_t>(source)].fetch_add(
+            1, std::memory_order_relaxed);
+        const auto mixed = sim::splitmix64(
+            (options_.valiant_seed | 1) ^
+            sim::splitmix64((static_cast<std::uint64_t>(source) << 32) ^ draw));
+        (void)destination;
+        return static_cast<net::node_id>(mixed % n);
+    }
     valiant_state_ = sim::splitmix64(valiant_state_);
-    auto relay = static_cast<net::node_id>(valiant_state_ %
-                                           static_cast<std::uint64_t>(sim_->network().node_count()));
+    auto relay = static_cast<net::node_id>(valiant_state_ % n);
     // A relay equal to either endpoint degenerates to direct delivery.
     (void)source, (void)destination;
     return relay;
@@ -158,10 +177,17 @@ void name_service::handle_timer(sim::simulator& sim, net::node_id at, std::int64
     if (timer_id != refresh_timer_id) return;
     refresh_armed_[static_cast<std::size_t>(at)] = 0;
     node(at).directory().expire(sim.now());
-    bool hosting = false;
-    for (const auto& [port, host] : registrations_) {
-        if (host != at) continue;
-        hosting = true;
+    // Collect this host's own ports under the shared lock, then send with
+    // the lock released.  Only `at`'s shard ever erases (port, at) entries
+    // mid-run (migrate withdrawals run at the old host), so the scan result
+    // is deterministic regardless of what other shards are doing.
+    std::vector<core::port_id> mine;
+    {
+        const std::shared_lock lk{reg_mu_};
+        for (const auto& [port, host] : registrations_)
+            if (host == at) mine.push_back(port);
+    }
+    for (const core::port_id port : mine) {
         for (const net::node_id target : strategy_->post_set(at, port)) {
             sim::message msg;
             msg.kind = msg_post;
@@ -174,7 +200,7 @@ void name_service::handle_timer(sim::simulator& sim, net::node_id at, std::int64
             send_application(std::move(msg));
         }
     }
-    if (hosting) arm_refresh(at);  // keep refreshing while still a host
+    if (!mine.empty()) arm_refresh(at);  // keep refreshing while still a host
 }
 
 service_node& name_service::node(net::node_id v) {
@@ -241,10 +267,20 @@ sim::time_point name_service::issue_queries(operation& op, op_id id,
     return deadline;
 }
 
+net::node_id name_service::op_timer_node(const operation& op) const {
+    // Parallel regime: migrate deadline timers run at the old host, whose
+    // shard owns the registration withdrawal (and the remove messages that
+    // leave from it), keeping the erase sequentially ordered against the
+    // host's own refresh scans.
+    if (deferred() && op.kind == op_kind::migrate && op.migrate_from != net::invalid_node)
+        return op.migrate_from;
+    return op.actor;
+}
+
 void name_service::arm_op_timer(const operation& op, op_id id) {
     // +1: the timer was queued before any same-tick arrival events, so give
     // replies landing exactly at the deadline their tick.
-    sim_->set_timer(op.actor, op.phase_deadline - sim_->now() + 1, -id);
+    sim_->set_timer(op_timer_node(op), op.phase_deadline - sim_->now() + 1, -id);
 }
 
 const core::locate_strategy* name_service::stage_strategy(const operation& op) const {
@@ -261,7 +297,11 @@ void name_service::start_stage(operation& op, op_id id) {
         // rendez-vous nodes to see if they are still alive").
         const core::locate_strategy* fallback = stage_strategy(op);
         sim::time_point settle = sim_->now();
-        const auto live = registrations_;
+        std::vector<std::pair<core::port_id, net::node_id>> live;
+        {
+            const std::shared_lock lk{reg_mu_};
+            live = registrations_;
+        }
         for (const auto& [p, at] : live) {
             if (p != op.port || sim_->crashed(at)) continue;
             settle = std::max(settle, post_to(p, at, fallback->post_set(at, p), id));
@@ -289,6 +329,8 @@ void name_service::start_stage(operation& op, op_id id) {
 
 op_id name_service::begin_locate_op(op_kind kind, core::port_id port, net::node_id client,
                                     bool use_cache) {
+    if (sim_->in_parallel_round())
+        throw std::logic_error{"name_service::begin_*: top-level only under the parallel engine"};
     const op_id id = next_op_++;
     operation op;
     op.kind = kind;
@@ -315,8 +357,17 @@ op_id name_service::begin_locate_op(op_kind kind, core::port_id port, net::node_
     }
     op.stage = 1;
     op.phase = op_phase::querying;
+    op.phase_deadline = sim_->now();
     auto [it, inserted] = ops_.emplace(id, std::move(op));
-    start_stage(it->second, id);
+    if (deferred()) {
+        // Route the fan-out through the client's shard: the zero-delay
+        // start timer fires inside the event loop, where route computation
+        // runs shard-parallel.
+        it->second.started = false;
+        sim_->set_timer(client, 0, -id);
+    } else {
+        start_stage(it->second, id);
+    }
     return id;
 }
 
@@ -338,6 +389,8 @@ op_id name_service::begin_locate_with_fallback(core::port_id port, net::node_id 
 
 op_id name_service::begin_post_op(op_kind kind, core::port_id port, net::node_id actor,
                                   net::node_id migrate_from) {
+    if (sim_->in_parallel_round())
+        throw std::logic_error{"name_service::begin_*: top-level only under the parallel engine"};
     const op_id id = next_op_++;
     operation op;
     op.kind = kind;
@@ -347,13 +400,29 @@ op_id name_service::begin_post_op(op_kind kind, core::port_id port, net::node_id
     op.stage = 1;
     op.phase = op_phase::posting;
     op.result.issued_at = sim_->now();
-    const auto where = strategy_->post_set(actor, port);
-    op.result.nodes_queried = static_cast<int>(where.size());
-    op.phase_deadline = kind == op_kind::remove ? remove_from(port, actor, where, id)
-                                                : post_to(port, actor, where, id);
+    op.phase_deadline = sim_->now();
     auto [it, inserted] = ops_.emplace(id, std::move(op));
-    arm_op_timer(it->second, id);
+    if (deferred()) {
+        it->second.started = false;
+        sim_->set_timer(actor, 0, -id);
+    } else {
+        start_op(it->second, id);
+    }
     return id;
+}
+
+void name_service::start_op(operation& op, op_id id) {
+    if (op.phase == op_phase::posting &&
+        (op.kind == op_kind::post || op.kind == op_kind::remove || op.kind == op_kind::migrate)) {
+        const auto where = strategy_->post_set(op.actor, op.port);
+        op.result.nodes_queried = static_cast<int>(where.size());
+        op.phase_deadline = op.kind == op_kind::remove
+                                ? remove_from(op.port, op.actor, where, id)
+                                : post_to(op.port, op.actor, where, id);
+        arm_op_timer(op, id);
+        return;
+    }
+    start_stage(op, id);
 }
 
 op_id name_service::begin_register(core::port_id port, net::node_id at) {
@@ -361,13 +430,19 @@ op_id name_service::begin_register(core::port_id port, net::node_id at) {
     // first refresh lands one period after the posts, not one period after
     // the settle window (entries with TTL < window would otherwise die
     // before their first renewal).
-    registrations_.emplace_back(port, at);
+    {
+        const std::unique_lock lk{reg_mu_};
+        registrations_.emplace_back(port, at);
+    }
     arm_refresh(at);
     return begin_post_op(op_kind::post, port, at, net::invalid_node);
 }
 
 op_id name_service::begin_deregister(core::port_id port, net::node_id at) {
-    std::erase(registrations_, std::pair{port, at});
+    {
+        const std::unique_lock lk{reg_mu_};
+        std::erase(registrations_, std::pair{port, at});
+    }
     return begin_post_op(op_kind::remove, port, at, net::invalid_node);
 }
 
@@ -375,7 +450,10 @@ op_id name_service::begin_migrate(core::port_id port, net::node_id from, net::no
     // Order matters: post the new address first (it carries a fresher stamp
     // and wins conflicts), then - once those posts settled - withdraw the
     // old posts.
-    registrations_.emplace_back(port, to);
+    {
+        const std::unique_lock lk{reg_mu_};
+        registrations_.emplace_back(port, to);
+    }
     arm_refresh(to);
     return begin_post_op(op_kind::migrate, port, to, from);
 }
@@ -391,7 +469,7 @@ void name_service::complete_op(operation& op, bool found, core::address where,
     }
     if (op.watched) {
         op.watched = false;
-        if (watched_pending_ > 0) --watched_pending_;
+        watched_pending_.fetch_sub(1, std::memory_order_relaxed);
     }
 }
 
@@ -400,6 +478,13 @@ void name_service::advance_op(op_id id) {
     if (it == ops_.end()) return;  // forgotten mid-flight
     operation& op = it->second;
     if (op.complete) return;  // a reply beat the deadline timer
+    if (!op.started) {
+        // Parallel regime: the zero-delay start timer fired on the actor's
+        // shard - issue the fan-out there.
+        op.started = true;
+        start_op(op, id);
+        return;
+    }
     switch (op.kind) {
         case op_kind::post:
         case op_kind::remove:
@@ -409,7 +494,10 @@ void name_service::advance_op(op_id id) {
             if (op.stage == 1) {
                 // New posts settled everywhere: now withdraw the old host.
                 op.stage = 2;
-                std::erase(registrations_, std::pair{op.port, op.migrate_from});
+                {
+                    const std::unique_lock lk{reg_mu_};
+                    std::erase(registrations_, std::pair{op.port, op.migrate_from});
+                }
                 op.phase_deadline =
                     remove_from(op.port, op.migrate_from,
                                 strategy_->post_set(op.migrate_from, op.port), id);
@@ -466,6 +554,8 @@ void name_service::handle_reply(sim::simulator& sim, std::int64_t tag) {
 }
 
 std::optional<locate_result> name_service::poll(op_id op) const {
+    if (sim_->in_parallel_round())
+        throw std::logic_error{"name_service::poll: top-level only under the parallel engine"};
     const auto it = ops_.find(op);
     if (it == ops_.end()) throw std::out_of_range{"name_service::poll: unknown op"};
     if (!it->second.complete) return std::nullopt;
@@ -475,6 +565,8 @@ std::optional<locate_result> name_service::poll(op_id op) const {
 }
 
 void name_service::forget(op_id op) {
+    if (sim_->in_parallel_round())
+        throw std::logic_error{"name_service::forget: top-level only under the parallel engine"};
     const auto it = ops_.find(op);
     if (it != ops_.end()) {
         if (!it->second.complete)
@@ -494,6 +586,15 @@ void name_service::forget(op_id op) {
 }
 
 void name_service::run_until_complete(std::span<const op_id> ops) {
+    if (sim_->in_parallel_round())
+        throw std::logic_error{
+            "name_service::run_until_complete: top-level only under the parallel engine"};
+    // A previous run_until_complete may have been aborted by an exception
+    // (event cap) with operations still marked watched; clear the marks so
+    // a late completion of a stale watcher cannot underflow the counter
+    // reset below.
+    for (auto& [id, op] : ops_)
+        if (op.watched) op.watched = false;
     // Sweeps the listed operations: resolves as failed any whose phase
     // timer was provably skipped (the actor was down when it should have
     // fired), and marks the rest watched so complete_op can maintain the
@@ -509,14 +610,14 @@ void name_service::run_until_complete(std::span<const op_id> ops) {
                 complete_op(op, false, net::invalid_node, sim_->now());
             } else if (!op.watched) {
                 op.watched = true;
-                ++watched_pending_;
+                watched_pending_.fetch_add(1, std::memory_order_relaxed);
             }
         }
     };
-    watched_pending_ = 0;
+    watched_pending_.store(0, std::memory_order_relaxed);
     sweep();
     std::int64_t steps = 0;
-    while (watched_pending_ > 0) {
+    while (watched_pending_.load(std::memory_order_relaxed) > 0) {
         if (!sim_->step()) {
             // Nothing left in the event queue: fail the survivors (their
             // timers were skipped while the actor was crashed).
@@ -590,7 +691,11 @@ locate_result name_service::locate_with_fallback(core::port_id port, net::node_i
 
 void name_service::repost_all() {
     std::vector<op_id> ids;
-    const auto live = registrations_;
+    std::vector<std::pair<core::port_id, net::node_id>> live;
+    {
+        const std::shared_lock lk{reg_mu_};
+        live = registrations_;
+    }
     ids.reserve(live.size());
     for (const auto& [port, at] : live) {
         if (sim_->crashed(at)) continue;
@@ -603,7 +708,10 @@ void name_service::repost_all() {
 
 void name_service::crash_node(net::node_id v) {
     sim_->crash(v);
-    std::erase_if(registrations_, [&](const auto& reg) { return reg.second == v; });
+    {
+        const std::unique_lock lk{reg_mu_};
+        std::erase_if(registrations_, [&](const auto& reg) { return reg.second == v; });
+    }
     // A pending refresh timer is silently skipped while the node is down;
     // clear the armed flag so a later repost_all can re-arm the host.
     refresh_armed_[static_cast<std::size_t>(v)] = 0;

@@ -23,14 +23,40 @@
 // timer at its settle deadline (computed exactly from routing distances),
 // so escalation (staged levels, rehash fallbacks) and failure detection
 // need no out-of-band polling and cost zero extra messages.
+//
+// --- Parallel regime --------------------------------------------------------
+// When the simulator runs its sharded engine (sim::simulator::
+// set_worker_threads), the name service switches into a matching regime so
+// results stay bit-identical for every thread count:
+//  * begin_* defers the operation's fan-out into the event loop: a
+//    zero-delay start timer at the actor routes the injection through the
+//    owning shard's queue, so route computation (the BFS row builds that
+//    dominate million-node runs) parallelizes across shards.
+//  * Migrate deadline timers run at the *old* host, whose shard owns the
+//    registration withdrawal - keeping the withdrawal sequentially ordered
+//    against that host's own refresh scans.  (Consequence: a migrate whose
+//    old host is down when the withdrawal is due resolves as failed at the
+//    run's quiescence sweep instead of completing.)
+//  * Valiant relays draw from per-node counter-hashed streams seeded by
+//    (valiant_seed, node) instead of one shared sequential stream.
+//  * The shared registration list is guarded by a reader/writer lock; all
+//    other operation state is only ever touched by its actor's shard.
+// begin_*/poll/run_until_complete remain top-level calls (they throw when
+// invoked from inside a parallel round).  The one documented determinism
+// gap: locate_with_fallback's network-wide re-post scan reads other hosts'
+// registrations, so combining fallback locates with same-tick migrations
+// (or with Valiant relays) of the same port may legally reorder against the
+// serial run.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <initializer_list>
 #include <memory>
 #include <optional>
 #include <queue>
+#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <utility>
@@ -244,6 +270,9 @@ private:
         bool use_cache = false;
         bool complete = false;
         bool watched = false;  // counted in watched_pending_ (run_until_complete)
+        // False while a parallel-regime operation waits for its zero-delay
+        // start timer to route the fan-out through the actor's shard.
+        bool started = true;
         sim::time_point phase_deadline = 0;
         locate_result result;
         core::node_set queried;  // staged dedup across levels
@@ -256,10 +285,16 @@ private:
     const core::locate_strategy* strategy_;
     options options_;
     std::vector<std::shared_ptr<service_node>> nodes_;
+    // Who hosts what.  Mutated at top level and - for migrate withdrawals -
+    // from inside the event loop; cross-shard readers (refresh scans,
+    // fallback re-posts) take the shared side of reg_mu_.
     std::vector<std::pair<core::port_id, net::node_id>> registrations_;
+    mutable std::shared_mutex reg_mu_;
     std::unordered_map<op_id, operation> ops_;
     op_id next_op_ = 1;
-    std::size_t watched_pending_ = 0;  // listed-and-pending ops of the active run_until_complete
+    // Listed-and-pending ops of the active run_until_complete; decremented
+    // by completions, which under the parallel engine land on worker threads.
+    std::atomic<std::size_t> watched_pending_{0};
     // Forgotten ops whose tag counter cannot be released yet because their
     // messages may still be in flight: (safe-release tick, tag), min-first.
     std::priority_queue<std::pair<sim::time_point, op_id>,
@@ -268,6 +303,8 @@ private:
         retired_tags_;
     std::vector<char> refresh_armed_;
     std::uint64_t valiant_state_ = 0;
+    // Parallel regime: per-node Valiant draw counters (see random_relay).
+    std::unique_ptr<std::atomic<std::uint64_t>[]> valiant_counters_;
 
     // Sends through the (optional) Valiant relay and returns the exact tick
     // the message settles at its final destination (routing distances are
@@ -286,6 +323,14 @@ private:
     // migrate leg 1, repost).
     op_id begin_post_op(op_kind kind, core::port_id port, net::node_id actor,
                         net::node_id migrate_from);
+    // True when the simulator runs the sharded engine and begin_* therefore
+    // routes fan-out through the actor's shard (see the header contract).
+    [[nodiscard]] bool deferred() const noexcept;
+    // Issues the operation's first messages (immediately at begin in the
+    // serial regime; from the actor-shard start timer in the parallel one).
+    void start_op(operation& op, op_id id);
+    // Node whose shard owns the operation's deadline timers.
+    [[nodiscard]] net::node_id op_timer_node(const operation& op) const;
     // Starts the posting or querying leg of the operation's current stage.
     void start_stage(operation& op, op_id id);
     [[nodiscard]] const core::locate_strategy* stage_strategy(const operation& op) const;

@@ -1,46 +1,212 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <functional>
+#include <iterator>
 #include <limits>
+#include <mutex>
+#include <optional>
 #include <stdexcept>
+#include <thread>
 
 #include "sim/rng.h"
 
 namespace mm::sim {
+
+namespace {
+
+// Canonical event order: key order == the serial engine's FIFO order (keys
+// are unique, so these comparators induce a strict total order).
+template <class Event>
+bool key_less(const Event& a, const Event& b) {
+    return a.key_seq != b.key_seq ? a.key_seq < b.key_seq : a.key_idx < b.key_idx;
+}
+
+template <class Event>
+bool at_key_less(const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return key_less(a, b);
+}
+
+}  // namespace
+
+// --- parallel engine state ---------------------------------------------------
+
+struct simulator::parallel_state {
+    struct shard {
+        calendar_queue<event> queue;
+        std::vector<event> round;  // events of the current round, key-sorted
+        std::vector<std::vector<event>> out_now;     // same-tick pushes, per dest shard
+        std::vector<std::vector<event>> out_future;  // later-tick pushes, per dest shard
+        hot_counters counters;
+        std::unordered_map<std::int64_t, std::int64_t> tags;
+        std::unique_ptr<net::routing_table> routes;  // lazy, source-rooted
+        std::exception_ptr error;
+    };
+
+    net::shard_map map;
+    std::vector<shard> shards;
+    int workers = 1;
+    std::size_t row_limit_share = 0;  // per-shard routing row budget
+    bool in_round = false;            // toggled by the coordinator
+
+    // Worker pool: `workers - 1` threads plus the coordinating caller.
+    std::vector<std::thread> threads;
+    std::mutex mu;
+    std::condition_variable cv_work;
+    std::condition_variable cv_done;
+    std::uint64_t generation = 0;
+    int active = 0;
+    bool stopping = false;
+    std::function<void(int)> job;
+
+    // Execution context of the current thread (which shard it is running,
+    // and for which simulator - handlers could in principle drive a second,
+    // serial simulator from inside a round).
+    static thread_local shard* tl_shard;
+    static thread_local const simulator* tl_sim;
+    static thread_local std::int64_t tl_seq;    // seq of the executing event
+    static thread_local std::int32_t tl_child;  // its next push index
+
+    ~parallel_state() {
+        {
+            const std::lock_guard lk{mu};
+            stopping = true;
+        }
+        cv_work.notify_all();
+        for (auto& t : threads) t.join();
+    }
+
+    void worker_main(int w) {
+        std::unique_lock lk{mu};
+        std::uint64_t seen = 0;
+        for (;;) {
+            cv_work.wait(lk, [&] { return stopping || generation != seen; });
+            if (stopping) return;
+            seen = generation;
+            const auto fn = job;
+            lk.unlock();
+            fn(w);
+            lk.lock();
+            if (--active == 0) cv_done.notify_one();
+        }
+    }
+
+    // Runs fn(shard_index) over every shard: striped across the pool when
+    // `parallel_ok`, inline on the caller otherwise.  Barrier semantics -
+    // returns only after every shard finished.
+    template <class Fn>
+    void for_shards(bool parallel_ok, Fn&& fn) {
+        const int count = static_cast<int>(shards.size());
+        if (!parallel_ok || threads.empty()) {
+            for (int s = 0; s < count; ++s) fn(s);
+            return;
+        }
+        const int stride = workers;
+        {
+            const std::lock_guard lk{mu};
+            job = [&fn, count, stride](int w) {
+                for (int s = w; s < count; s += stride) fn(s);
+            };
+            ++generation;
+            active = static_cast<int>(threads.size());
+        }
+        cv_work.notify_all();
+        for (int s = 0; s < count; s += stride) fn(s);  // coordinator = worker 0
+        std::unique_lock lk{mu};
+        cv_done.wait(lk, [&] { return active == 0; });
+        job = nullptr;
+    }
+};
+
+thread_local simulator::parallel_state::shard* simulator::parallel_state::tl_shard = nullptr;
+thread_local const simulator* simulator::parallel_state::tl_sim = nullptr;
+thread_local std::int64_t simulator::parallel_state::tl_seq = 0;
+thread_local std::int32_t simulator::parallel_state::tl_child = 0;
+
+// --- construction ------------------------------------------------------------
 
 simulator::simulator(const net::graph& g)
     : graph_{&g},
       routes_{g},
       handlers_(static_cast<std::size_t>(g.node_count())),
       crashed_(static_cast<std::size_t>(g.node_count()), 0),
-      traffic_(static_cast<std::size_t>(g.node_count()), 0),
-      transit_(static_cast<std::size_t>(g.node_count()), 0) {}
+      traffic_(static_cast<std::size_t>(g.node_count())),
+      transit_(static_cast<std::size_t>(g.node_count())) {
+    route_rows_total_ = routes_.row_cache_limit();
+}
+
+simulator::~simulator() = default;
+
+// --- counter sinks -----------------------------------------------------------
+
+bool simulator::in_this_sims_round() const noexcept {
+    return parallel_state::tl_shard != nullptr && parallel_state::tl_sim == this;
+}
+
+void simulator::note_hops(std::int64_t n) {
+    if (in_this_sims_round())
+        parallel_state::tl_shard->counters.hops += n;
+    else
+        metrics_.add(counter_hops, n);
+}
+
+void simulator::note_sent() {
+    if (in_this_sims_round())
+        ++parallel_state::tl_shard->counters.sent;
+    else
+        metrics_.add(counter_messages_sent);
+}
+
+void simulator::note_delivered() {
+    if (in_this_sims_round())
+        ++parallel_state::tl_shard->counters.delivered;
+    else
+        metrics_.add(counter_messages_delivered);
+}
+
+void simulator::note_dropped() {
+    if (in_this_sims_round())
+        ++parallel_state::tl_shard->counters.dropped;
+    else
+        metrics_.add(counter_messages_dropped);
+}
+
+void simulator::credit_tag(std::int64_t tag, std::int64_t n) {
+    if (in_this_sims_round())
+        parallel_state::tl_shard->tags[tag] += n;
+    else
+        tag_hops_[tag] += n;
+}
+
+// --- accounting reads --------------------------------------------------------
 
 std::int64_t simulator::traffic(net::node_id v) const {
     if (!graph_->valid_node(v)) throw std::out_of_range{"simulator::traffic: bad node"};
-    return traffic_[static_cast<std::size_t>(v)];
+    return traffic_[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
 }
 
 std::int64_t simulator::max_traffic() const {
     std::int64_t best = 0;
-    for (const auto t : traffic_) best = std::max(best, t);
+    for (const auto& t : traffic_) best = std::max(best, t.load(std::memory_order_relaxed));
     return best;
 }
 
 std::int64_t simulator::transit_traffic(net::node_id v) const {
     if (!graph_->valid_node(v)) throw std::out_of_range{"simulator::transit_traffic: bad node"};
-    return transit_[static_cast<std::size_t>(v)];
+    return transit_[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
 }
 
 std::int64_t simulator::max_transit_traffic() const {
     std::int64_t best = 0;
-    for (const auto t : transit_) best = std::max(best, t);
+    for (const auto& t : transit_) best = std::max(best, t.load(std::memory_order_relaxed));
     return best;
 }
 
 void simulator::reset_traffic() {
-    traffic_.assign(traffic_.size(), 0);
-    transit_.assign(transit_.size(), 0);
+    for (auto& t : traffic_) t.store(0, std::memory_order_relaxed);
+    for (auto& t : transit_) t.store(0, std::memory_order_relaxed);
 }
 
 std::int64_t simulator::tag_hops(std::int64_t tag) const {
@@ -48,21 +214,81 @@ std::int64_t simulator::tag_hops(std::int64_t tag) const {
     return it == tag_hops_.end() ? 0 : it->second;
 }
 
+// --- topology / routing views ------------------------------------------------
+
+const net::routing_table& simulator::routes() const {
+    auto* sh = parallel_state::tl_shard;
+    if (sh != nullptr && parallel_state::tl_sim == this) {
+        if (!sh->routes) {
+            sh->routes = std::make_unique<net::routing_table>(*graph_);
+            sh->routes->set_source_rooted_paths(true);
+            sh->routes->set_row_cache_limit(par_->row_limit_share);
+        }
+        return *sh->routes;
+    }
+    return routes_;
+}
+
+void simulator::set_route_cache_limit(std::size_t rows) {
+    route_rows_total_ = rows;
+    if (!par_) {
+        routes_.set_row_cache_limit(rows);
+        return;
+    }
+    // One budget over every routing view: the simulator's own table (used
+    // by top-level sends) plus the shard tables split it evenly, floored
+    // at 4 rows per view so no view thrashes on a single flight.
+    const auto views = static_cast<std::size_t>(par_->map.shard_count()) + 1;
+    par_->row_limit_share = rows == 0 ? 0 : std::max<std::size_t>(4, rows / views);
+    routes_.set_row_cache_limit(par_->row_limit_share);
+    for (auto& sh : par_->shards)
+        if (sh.routes) sh.routes->set_row_cache_limit(par_->row_limit_share);
+}
+
 void simulator::attach(net::node_id v, std::shared_ptr<node_handler> handler) {
     if (!graph_->valid_node(v)) throw std::out_of_range{"simulator::attach: bad node"};
+    if (in_parallel_round())
+        throw std::logic_error{"simulator::attach: top-level only while the parallel engine runs"};
     handlers_[static_cast<std::size_t>(v)] = std::move(handler);
+}
+
+// --- event intake ------------------------------------------------------------
+
+void simulator::push_event(event e) {
+    if (in_this_sims_round()) {
+        // Children inherit the executing event's merged seq; the push index
+        // breaks ties exactly like the serial queue's append order.
+        e.key_seq = parallel_state::tl_seq;
+        e.key_idx = parallel_state::tl_child++;
+        auto& sh = *parallel_state::tl_shard;
+        const auto dest = static_cast<std::size_t>(par_->map.shard_of(e.node));
+        auto& box = e.at == now_ ? sh.out_now : sh.out_future;
+        box[dest].push_back(std::move(e));
+        return;
+    }
+    // Top-level (or serial-engine) push: stamp a fresh point in the global
+    // order.  Keys stay monotone in push order, so per-tick bucket FIFO
+    // order and key order coincide.
+    e.key_seq = seq_counter_++;
+    e.key_idx = 0;
+    if (par_) {
+        par_->shards[static_cast<std::size_t>(par_->map.shard_of(e.node))].queue.push(
+            std::move(e));
+        return;
+    }
+    events_.push(std::move(e));
 }
 
 void simulator::send(message msg) {
     if (!graph_->valid_node(msg.source) || !graph_->valid_node(msg.destination))
         throw std::out_of_range{"simulator::send: bad endpoint"};
     if (crashed(msg.source)) return;
-    metrics_.add(counter_messages_sent);
+    note_sent();
     // A destination nobody listens at can only ever be dropped; short-circuit
     // at the send instead of walking the full path first.  Both delivery
     // paths share this check, so the accounting is identical either way.
     if (!handlers_[static_cast<std::size_t>(msg.destination)]) {
-        metrics_.add(counter_messages_dropped);
+        note_dropped();
         return;
     }
     event e;
@@ -75,10 +301,10 @@ void simulator::send(message msg) {
         // a real event (anchoring same-tick FIFO order) and arrive_slow
         // decides there whether the rest of the flight batches.
         e.path = std::make_shared<const std::vector<net::node_id>>(
-            routes_.path(msg.source, msg.destination));
+            routes().path(msg.source, msg.destination));
     }
     e.msg = std::move(msg);
-    events_.push(std::move(e));
+    push_event(std::move(e));
 }
 
 void simulator::set_timer(net::node_id v, time_point delay, std::int64_t timer_id) {
@@ -89,22 +315,28 @@ void simulator::set_timer(net::node_id v, time_point delay, std::int64_t timer_i
     e.kind = event_kind::timer;
     e.node = v;
     e.timer_id = timer_id;
-    events_.push(std::move(e));
+    push_event(std::move(e));
 }
+
+// --- crash / recover ---------------------------------------------------------
 
 void simulator::crash(net::node_id v) {
     if (!graph_->valid_node(v)) throw std::out_of_range{"simulator::crash: bad node"};
+    if (in_parallel_round())
+        throw std::logic_error{"simulator::crash: top-level only while the parallel engine runs"};
     if (crashed_[static_cast<std::size_t>(v)]) return;
     crashed_[static_cast<std::size_t>(v)] = 1;
     ++crashed_count_;
     // From here on every hop needs its crash check at its own tick: demote
     // in-flight batched arrivals to hop-by-hop at their current position.
-    if (batched_in_flight_ > 0) devolve_batched_deliveries();
+    if (batched_in_flight_.load(std::memory_order_relaxed) > 0) devolve_batched_deliveries();
     if (auto& h = handlers_[static_cast<std::size_t>(v)]) h->on_crash(*this);
 }
 
 void simulator::recover(net::node_id v) {
     if (!graph_->valid_node(v)) throw std::out_of_range{"simulator::recover: bad node"};
+    if (in_parallel_round())
+        throw std::logic_error{"simulator::recover: top-level only while the parallel engine runs"};
     if (crashed_[static_cast<std::size_t>(v)]) {
         crashed_[static_cast<std::size_t>(v)] = 0;
         --crashed_count_;
@@ -116,17 +348,36 @@ bool simulator::crashed(net::node_id v) const {
     return crashed_[static_cast<std::size_t>(v)] != 0;
 }
 
+// --- delivery ----------------------------------------------------------------
+
 void simulator::credit_hops(const std::vector<net::node_id>& path, std::int64_t first,
                             std::int64_t last, std::int64_t tag) {
     for (std::int64_t k = first; k < last; ++k) {
         const auto v = static_cast<std::size_t>(path[static_cast<std::size_t>(k)]);
-        ++traffic_[v];
-        ++transit_[v];
+        traffic_[v].fetch_add(1, std::memory_order_relaxed);
+        transit_[v].fetch_add(1, std::memory_order_relaxed);
     }
     if (last > first) {
-        metrics_.add(counter_hops, last - first);
-        if (tag != 0) tag_hops_[tag] += last - first;
+        note_hops(last - first);
+        if (tag != 0) credit_tag(tag, last - first);
     }
+}
+
+std::vector<simulator::event> simulator::drain_all_pending() {
+    std::vector<event> out;
+    if (par_) {
+        for (auto& sh : par_->shards) {
+            auto drained = sh.queue.drain_in_order();
+            out.insert(out.end(), std::make_move_iterator(drained.begin()),
+                       std::make_move_iterator(drained.end()));
+        }
+        // Per-shard streams are (at, key)-sorted; the global serial order is
+        // the key-merge of them.
+        std::sort(out.begin(), out.end(), at_key_less<event>);
+    } else {
+        out = events_.drain_in_order();
+    }
+    return out;
 }
 
 void simulator::devolve_batched_deliveries() {
@@ -134,25 +385,33 @@ void simulator::devolve_batched_deliveries() {
     // deliberate trade: crashes are rare, the pending set is bounded by
     // in-flight work (not by n), and a side index of batched arrivals would
     // have to replicate the queue's delivery-tick FIFO anchoring.
-    auto pending = events_.drain_in_order();
+    auto pending = drain_all_pending();
     for (auto& e : pending) {
-        if (e.kind != event_kind::deliver) {
-            events_.push(std::move(e));
-            continue;
+        if (e.kind == event_kind::deliver) {
+            batched_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+            const auto len = static_cast<std::int64_t>(e.path->size()) - 1;
+            // Hop k's arrival happens at tick sent_at + k; arrivals up to the
+            // crash tick have happened (for top-level crash() callers the queue
+            // is drained that far - see the header contract).  The final arrival
+            // (k == len) is this pending event itself, never part of the prefix.
+            const std::int64_t hops_made = std::min(now_ - e.sent_at + 1, len);
+            credit_hops(*e.path, e.credited, hops_made, e.msg.tag);
+            e.kind = event_kind::hop;
+            e.hop_index = static_cast<std::int32_t>(hops_made);
+            e.at = e.sent_at + hops_made;
+            e.node = (*e.path)[static_cast<std::size_t>(hops_made)];
         }
-        --batched_in_flight_;
-        const auto len = static_cast<std::int64_t>(e.path->size()) - 1;
-        // Hop k's arrival happens at tick sent_at + k; arrivals up to the
-        // crash tick have happened (for top-level crash() callers the queue
-        // is drained that far - see the header contract).  The final arrival
-        // (k == len) is this pending event itself, never part of the prefix.
-        const std::int64_t hops_made = std::min(now_ - e.sent_at + 1, len);
-        credit_hops(*e.path, e.credited, hops_made, e.msg.tag);
-        e.kind = event_kind::hop;
-        e.hop_index = static_cast<std::int32_t>(hops_made);
-        e.at = e.sent_at + hops_made;
-        e.node = (*e.path)[static_cast<std::size_t>(hops_made)];
-        events_.push(std::move(e));
+        if (par_) {
+            // Re-keyed in drain order: rewritten arrivals take their place
+            // *after* everything already queued at their new tick, exactly
+            // where the serial engine's drain-and-push puts them.
+            e.key_seq = seq_counter_++;
+            e.key_idx = 0;
+            par_->shards[static_cast<std::size_t>(par_->map.shard_of(e.node))].queue.push(
+                std::move(e));
+        } else {
+            events_.push(std::move(e));
+        }
     }
 }
 
@@ -166,11 +425,11 @@ void simulator::arrive_batched(const event& e) {
     // mirror of the slow path's destination crash check is only reachable
     // through a crash() from inside a handler racing this very tick.
     if (crashed_[dest]) {
-        metrics_.add(counter_messages_dropped);
+        note_dropped();
         return;
     }
-    ++traffic_[dest];
-    metrics_.add(counter_messages_delivered);
+    traffic_[dest].fetch_add(1, std::memory_order_relaxed);
+    note_delivered();
     if (auto& h = handlers_[dest]) h->on_message(*this, e.msg);
 }
 
@@ -178,19 +437,19 @@ void simulator::arrive_slow(event e) {
     const net::node_id at =
         e.path ? (*e.path)[static_cast<std::size_t>(e.hop_index)] : e.node;
     if (crashed(at)) {
-        metrics_.add(counter_messages_dropped);
+        note_dropped();
         return;
     }
-    ++traffic_[static_cast<std::size_t>(at)];
+    traffic_[static_cast<std::size_t>(at)].fetch_add(1, std::memory_order_relaxed);
     if (at == e.msg.destination) {
-        metrics_.add(counter_messages_delivered);
+        note_delivered();
         if (auto& h = handlers_[static_cast<std::size_t>(at)]) h->on_message(*this, e.msg);
         return;
     }
     // Forward one hop toward the destination; the hop lands one tick later.
-    ++transit_[static_cast<std::size_t>(at)];
-    metrics_.add(counter_hops);
-    if (e.msg.tag != 0) ++tag_hops_[e.msg.tag];
+    transit_[static_cast<std::size_t>(at)].fetch_add(1, std::memory_order_relaxed);
+    note_hops(1);
+    if (e.msg.tag != 0) credit_tag(e.msg.tag, 1);
     if (e.path && batched_ && crashed_count_ == 0) {
         // Fast path: nothing observable can happen until the destination, so
         // the rest of the flight is one batched arrival event.
@@ -202,8 +461,8 @@ void simulator::arrive_slow(event e) {
         arrival.node = e.msg.destination;
         arrival.credited = e.hop_index + 1;
         arrival.msg = std::move(e.msg);
-        ++batched_in_flight_;
-        events_.push(std::move(arrival));
+        batched_in_flight_.fetch_add(1, std::memory_order_relaxed);
+        push_event(std::move(arrival));
         return;
     }
     event next;
@@ -218,17 +477,16 @@ void simulator::arrive_slow(event e) {
         next.node = pick_next_hop(at, e.msg.destination);
     }
     next.msg = std::move(e.msg);
-    events_.push(std::move(next));
+    push_event(std::move(next));
 }
 
 void simulator::process(event e) {
-    now_ = e.at;
     switch (e.kind) {
         case event_kind::hop:
             arrive_slow(std::move(e));
             break;
         case event_kind::deliver:
-            --batched_in_flight_;
+            batched_in_flight_.fetch_sub(1, std::memory_order_relaxed);
             arrive_batched(e);
             break;
         case event_kind::timer:
@@ -246,15 +504,16 @@ void simulator::set_randomized_routing(std::uint64_t seed) {
 }
 
 net::node_id simulator::pick_next_hop(net::node_id at, net::node_id dest) {
+    const auto& table = routes();
     // next_hop first: it materializes (and LRU-pins) the destination-rooted
     // row, so the per-neighbor distance probes below are O(1) lookups.
-    const net::node_id fallback = routes_.next_hop(at, dest);
-    const int here = routes_.distance(at, dest);
+    const net::node_id fallback = table.next_hop(at, dest);
+    const int here = table.distance(at, dest);
     // Reservoir-sample uniformly among neighbors one hop closer.
     net::node_id chosen = net::invalid_node;
     int seen = 0;
     for (const net::node_id w : graph_->neighbors(at)) {
-        if (routes_.distance(w, dest) != here - 1) continue;
+        if (table.distance(w, dest) != here - 1) continue;
         ++seen;
         route_rng_state_ = splitmix64(route_rng_state_);
         if (chosen == net::invalid_node ||
@@ -264,22 +523,259 @@ net::node_id simulator::pick_next_hop(net::node_id at, net::node_id dest) {
     return chosen == net::invalid_node ? fallback : chosen;
 }
 
+// --- serial engine -----------------------------------------------------------
+
 void simulator::run() { run_until(std::numeric_limits<time_point>::max()); }
 
 bool simulator::step() {
+    if (par_) return run_parallel_tick(std::numeric_limits<time_point>::max());
     if (events_.empty()) return false;
     if (++processed_ > event_cap_)
         throw std::runtime_error{"simulator: event cap exceeded (protocol loop?)"};
-    process(events_.pop());
+    event e = events_.pop();
+    now_ = e.at;
+    process(std::move(e));
     return true;
 }
 
 void simulator::run_until(time_point t) {
-    for (auto next = events_.next_time(); next && *next <= t; next = events_.next_time()) step();
-    // Advance the clock to the horizon even when future events remain
-    // (otherwise an armed periodic timer would stall simulated time and
-    // TTL-based soft state could never age out between runs).
+    if (par_) {
+        while (run_parallel_tick(t)) {
+        }
+    } else {
+        for (auto next = events_.next_time(); next && *next <= t; next = events_.next_time())
+            step();
+    }
+    // Advance the clock to the horizon even when future events remain, or
+    // when some (or all) shards have nothing pending (otherwise an armed
+    // periodic timer would stall simulated time and TTL-based soft state
+    // could never age out between runs).
     if (t != std::numeric_limits<time_point>::max()) now_ = std::max(now_, t);
+}
+
+bool simulator::idle() const noexcept {
+    if (par_) {
+        for (const auto& sh : par_->shards)
+            if (!sh.queue.empty()) return false;
+        return true;
+    }
+    return events_.empty();
+}
+
+// --- parallel engine ---------------------------------------------------------
+
+int simulator::worker_threads() const noexcept { return par_ ? par_->workers : 0; }
+
+bool simulator::in_parallel_round() const noexcept { return par_ && par_->in_round; }
+
+const net::shard_map& simulator::shard_assignment() const {
+    if (!par_) throw std::logic_error{"simulator::shard_assignment: serial engine active"};
+    return par_->map;
+}
+
+void simulator::set_worker_threads(int threads) {
+    set_worker_threads(threads, net::make_shard_map(*graph_, std::max(1, threads)));
+}
+
+void simulator::set_worker_threads(int threads, net::shard_map map) {
+    if (threads < 1) throw std::invalid_argument{"simulator::set_worker_threads: threads < 1"};
+    if (in_parallel_round())
+        throw std::logic_error{"simulator::set_worker_threads: top-level only"};
+    if (map.node_count() != graph_->node_count())
+        throw std::invalid_argument{"simulator::set_worker_threads: shard map node count"};
+
+    // Gather what is pending in global serial order, then rebuild.
+    auto pending = drain_all_pending();
+    par_.reset();  // joins any previous pool
+
+    auto st = std::make_unique<parallel_state>();
+    st->map = std::move(map);
+    const int shard_count = st->map.shard_count();
+    st->workers = std::min(threads, shard_count);
+    st->shards.resize(static_cast<std::size_t>(shard_count));
+    for (auto& sh : st->shards) {
+        sh.out_now.resize(static_cast<std::size_t>(shard_count));
+        sh.out_future.resize(static_cast<std::size_t>(shard_count));
+    }
+    st->row_limit_share =
+        route_rows_total_ == 0
+            ? 0
+            : std::max<std::size_t>(
+                  4, route_rows_total_ / (static_cast<std::size_t>(shard_count) + 1));
+    routes_.set_row_cache_limit(st->row_limit_share);
+    // Purity requirement of the determinism contract: every routing view
+    // must answer path() identically, so tie-breaks may not depend on cache
+    // residency anywhere.
+    routes_.set_source_rooted_paths(true);
+
+    for (auto& e : pending) {
+        e.key_seq = seq_counter_++;  // re-key in serial order
+        e.key_idx = 0;
+        st->shards[static_cast<std::size_t>(st->map.shard_of(e.node))].queue.push(std::move(e));
+    }
+
+    if (st->workers > 1) {
+        st->threads.reserve(static_cast<std::size_t>(st->workers - 1));
+        for (int w = 1; w < st->workers; ++w)
+            st->threads.emplace_back([ps = st.get(), w] { ps->worker_main(w); });
+    }
+    par_ = std::move(st);
+}
+
+void simulator::assign_round_seqs() {
+    auto& st = *par_;
+    std::size_t total = 0;
+    for (const auto& sh : st.shards) total += sh.round.size();
+    std::vector<event*> all;
+    all.reserve(total);
+    for (auto& sh : st.shards)
+        for (auto& e : sh.round) all.push_back(&e);
+    std::sort(all.begin(), all.end(),
+              [](const event* a, const event* b) { return key_less(*a, *b); });
+    for (event* e : all) e->seq = seq_counter_++;
+}
+
+void simulator::merge_shard_accumulators() {
+    for (auto& sh : par_->shards) {
+        auto& c = sh.counters;
+        if (c.hops != 0) metrics_.add(counter_hops, c.hops);
+        if (c.sent != 0) metrics_.add(counter_messages_sent, c.sent);
+        if (c.delivered != 0) metrics_.add(counter_messages_delivered, c.delivered);
+        if (c.dropped != 0) metrics_.add(counter_messages_dropped, c.dropped);
+        c = hot_counters{};
+        for (const auto& [tag, n] : sh.tags) tag_hops_[tag] += n;
+        sh.tags.clear();
+    }
+}
+
+bool simulator::run_parallel_tick(time_point horizon) {
+    auto& st = *par_;
+    std::optional<time_point> t;
+    for (auto& sh : st.shards) {
+        const auto nt = sh.queue.next_time();
+        if (nt && (!t || *nt < *t)) t = nt;
+    }
+    if (!t || *t > horizon) return false;
+    now_ = *t;
+
+    // Randomized routing draws per-hop from one sequential stream; keep the
+    // canonical order but execute it single-threaded.
+    const bool threads_ok = !randomized_routing_;
+
+    // Round 0: this tick's queued events, per shard (bucket FIFO == key order).
+    std::int64_t round_events = 0;
+    for (auto& sh : st.shards) {
+        for (auto nt = sh.queue.next_time(); nt && *nt == *t; nt = sh.queue.next_time())
+            sh.round.push_back(sh.queue.pop());
+        round_events += static_cast<std::int64_t>(sh.round.size());
+    }
+
+    while (round_events > 0) {
+        processed_ += round_events;
+        if (processed_ > event_cap_) {
+            for (auto& sh : st.shards) {
+                sh.round.clear();
+                for (auto& box : sh.out_now) box.clear();
+                for (auto& box : sh.out_future) box.clear();
+            }
+            merge_shard_accumulators();
+            throw std::runtime_error{"simulator: event cap exceeded (protocol loop?)"};
+        }
+        assign_round_seqs();
+        int busy = 0;
+        for (const auto& sh : st.shards) busy += sh.round.empty() ? 0 : 1;
+        st.in_round = true;
+        if (!threads_ok) {
+            // Sequential RNG streams (randomized routing) must draw in the
+            // serial engine's exact order, which interleaves shards by key -
+            // so execute the whole round single-threaded in merged seq
+            // order, not shard-major.
+            std::vector<std::pair<event*, parallel_state::shard*>> order;
+            for (auto& sh : st.shards)
+                for (auto& e : sh.round) order.emplace_back(&e, &sh);
+            std::sort(order.begin(), order.end(),
+                      [](const auto& a, const auto& b) { return a.first->seq < b.first->seq; });
+            parallel_state::tl_sim = this;
+            try {
+                for (auto& [e, sh] : order) {
+                    parallel_state::tl_shard = sh;
+                    parallel_state::tl_seq = e->seq;
+                    parallel_state::tl_child = 0;
+                    process(std::move(*e));
+                }
+            } catch (...) {
+                st.shards.front().error = std::current_exception();
+            }
+            parallel_state::tl_shard = nullptr;
+            parallel_state::tl_sim = nullptr;
+            for (auto& sh : st.shards) sh.round.clear();
+        } else {
+            st.for_shards(busy > 1, [this, &st](int s) {
+                auto& sh = st.shards[static_cast<std::size_t>(s)];
+                if (sh.round.empty()) return;
+                parallel_state::tl_shard = &sh;
+                parallel_state::tl_sim = this;
+                try {
+                    for (auto& e : sh.round) {
+                        parallel_state::tl_seq = e.seq;
+                        parallel_state::tl_child = 0;
+                        process(std::move(e));
+                    }
+                } catch (...) {
+                    sh.error = std::current_exception();
+                }
+                parallel_state::tl_shard = nullptr;
+                parallel_state::tl_sim = nullptr;
+                sh.round.clear();
+            });
+        }
+        st.in_round = false;
+        for (auto& sh : st.shards) {
+            if (!sh.error) continue;
+            const auto err = sh.error;
+            sh.error = nullptr;
+            for (auto& other : st.shards) {
+                other.round.clear();
+                for (auto& box : other.out_now) box.clear();
+                for (auto& box : other.out_future) box.clear();
+            }
+            merge_shard_accumulators();
+            std::rethrow_exception(err);
+        }
+        // Same-tick cascades become the next round, key-sorted per shard;
+        // the serial engine's FIFO appends them in exactly this generation
+        // order.
+        round_events = 0;
+        for (std::size_t d = 0; d < st.shards.size(); ++d) {
+            auto& round = st.shards[d].round;
+            for (auto& src : st.shards) {
+                auto& box = src.out_now[d];
+                round.insert(round.end(), std::make_move_iterator(box.begin()),
+                             std::make_move_iterator(box.end()));
+                box.clear();
+            }
+            std::sort(round.begin(), round.end(), key_less<event>);
+            round_events += static_cast<std::int64_t>(round.size());
+        }
+    }
+
+    // Tick barrier: drain future mailboxes into the owning shards' queues
+    // ((at, key)-sorted, so per-bucket FIFO stays key order), then fold the
+    // per-shard accumulators into the global counters.
+    std::vector<event> future;
+    for (std::size_t d = 0; d < st.shards.size(); ++d) {
+        future.clear();
+        for (auto& src : st.shards) {
+            auto& box = src.out_future[d];
+            future.insert(future.end(), std::make_move_iterator(box.begin()),
+                          std::make_move_iterator(box.end()));
+            box.clear();
+        }
+        std::sort(future.begin(), future.end(), at_key_less<event>);
+        for (auto& e : future) st.shards[d].queue.push(std::move(e));
+    }
+    merge_shard_accumulators();
+    return true;
 }
 
 }  // namespace mm::sim

@@ -53,8 +53,48 @@
 //
 // Routing state is bounded: the embedded routing_table keeps at most
 // set_route_cache_limit() BFS rows resident (LRU), see net/routing.h.
+//
+// --- Parallel engine (set_worker_threads) -----------------------------------
+//
+// set_worker_threads(k) switches the simulator into a sharded tick-barrier
+// engine: nodes are pinned to shards (net::shard_map over the paper's
+// Erdos-Gerencser-Mate connected carve), every shard owns a calendar queue,
+// and all events of the current tick execute shard-parallel on a worker
+// pool, with cross-shard messages exchanged through mailboxes at barriers.
+// Results are *bit-identical for every k* (and equal to what the k = 1
+// configuration computes with today's exact serial loop) because execution
+// order is canonical, not thread-dependent:
+//
+//  * Every queued event carries an ordering key (parent seq, child index):
+//    the globally-merged processing sequence number of the event that
+//    pushed it, plus the push's index within that parent.  Sorting a tick's
+//    events by key reproduces exactly the serial engine's FIFO order, so
+//    handler execution order - and therefore every counter, RNG draw, and
+//    latency histogram - is independent of the thread count.
+//  * Same-tick cascades (an event pushing another event at the current
+//    tick) run as sub-rounds: all pushes of round r are collected at a
+//    barrier, key-sorted, and executed as round r+1; a tick ends when a
+//    round produces no same-tick work.  This is precisely the serial
+//    queue's generation order.
+//  * Shared counters (hops, traffic, per-tag) are commutative sums,
+//    accumulated per shard or with relaxed atomics and merged at barriers.
+//  * Each shard owns a routing table in source-rooted-paths mode
+//    (net::routing_table::set_source_rooted_paths), which makes path(a, b)
+//    a pure function of the endpoints - so routes, and hence crash
+//    outcomes, cannot depend on which shard's cache answers.
+//
+// In parallel mode the scheduling quantum is one tick: step() executes all
+// events of the earliest pending tick (run_until and run are unchanged
+// callers of it).  The clock still advances to the horizon of run_until
+// even when some - or all - shards have no pending events.  Randomized
+// routing draws per-hop from one sequential stream, so it forces the rounds
+// of a parallel run to execute single-threaded (still canonically ordered
+// and deterministic).  crash()/recover()/attach() and the begin_*/poll API
+// of the runtime layer remain top-level calls: invoking them from inside a
+// handler while a parallel round is executing throws.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -62,6 +102,7 @@
 
 #include "net/graph.h"
 #include "net/routing.h"
+#include "net/shard_map.h"
 #include "sim/calendar_queue.h"
 #include "sim/metrics.h"
 
@@ -94,6 +135,10 @@ class simulator;
 
 // Behavior attached to a node.  Handlers are invoked only while the node is
 // up; a crash wipes whatever soft state the handler keeps (on_crash).
+// Under the parallel engine a handler runs on the worker that owns its
+// node's shard; handlers may freely touch their own node's state and call
+// send()/set_timer(), but cross-node shared state they reach must be
+// commutative or synchronized (see the runtime layer for the pattern).
 class node_handler {
 public:
     virtual ~node_handler() = default;
@@ -106,6 +151,7 @@ class simulator {
 public:
     // The graph must outlive the simulator and be connected.
     explicit simulator(const net::graph& g);
+    ~simulator();
 
     simulator(const simulator&) = delete;
     simulator& operator=(const simulator&) = delete;
@@ -126,7 +172,8 @@ public:
 
     // Fail-stop crash; drops in-flight deliveries at v and future traffic
     // through v until recover(v).  Demotes in-flight batched arrivals to
-    // hop-by-hop (see the contract above).
+    // hop-by-hop (see the contract above).  Top-level only in parallel mode
+    // (throws from inside a round).
     void crash(net::node_id v);
     void recover(net::node_id v);
     [[nodiscard]] bool crashed(net::node_id v) const;
@@ -135,19 +182,44 @@ public:
     void run();
     // Runs events with time <= t.
     void run_until(time_point t);
-    // Processes the single next event regardless of its time; returns false
-    // (and does nothing) when the queue is empty.  The building block for
-    // callers that interleave simulation with their own completion checks
+    // Serial engine: processes the single next event regardless of its time.
+    // Parallel engine: processes every event of the earliest pending tick
+    // (the scheduling quantum is a tick).  Returns false (and does nothing)
+    // when no events remain.  The building block for callers that
+    // interleave simulation with their own completion checks
     // (name_service::run_until_complete).
     bool step();
     // True if no events remain.
-    [[nodiscard]] bool idle() const noexcept { return events_.empty(); }
+    [[nodiscard]] bool idle() const noexcept;
 
     [[nodiscard]] time_point now() const noexcept { return now_; }
     [[nodiscard]] metrics& stats() noexcept { return metrics_; }
     [[nodiscard]] const metrics& stats() const noexcept { return metrics_; }
     [[nodiscard]] const net::graph& network() const noexcept { return *graph_; }
-    [[nodiscard]] const net::routing_table& routes() const noexcept { return routes_; }
+    // The routing view of the calling context: inside a parallel round this
+    // is the executing shard's table (source-rooted, so path answers are
+    // identical everywhere); at top level it is the simulator's own table.
+    [[nodiscard]] const net::routing_table& routes() const;
+
+    // --- parallel execution -------------------------------------------------
+    // Switches to the sharded tick-barrier engine with `threads` workers and
+    // one shard per worker (node -> shard via net::make_shard_map; the
+    // overload takes an explicit map, e.g. region hints from a hierarchy).
+    // Callable at top level at any time; pending events are re-distributed.
+    // threads = 1 runs the same canonical tick order single-threaded, and
+    // any two thread counts produce bit-identical results (see the engine
+    // contract above).  Also flips every routing view into source-rooted-
+    // paths mode, the purity requirement of that contract.
+    void set_worker_threads(int threads);
+    void set_worker_threads(int threads, net::shard_map map);
+    // 0 when the serial engine is active (set_worker_threads never called).
+    [[nodiscard]] int worker_threads() const noexcept;
+    [[nodiscard]] bool parallel() const noexcept { return par_ != nullptr; }
+    // True while a parallel round is executing handler code (used by the
+    // runtime layer to reject re-entrant top-level-only calls).
+    [[nodiscard]] bool in_parallel_round() const noexcept;
+    // The node -> shard assignment (parallel mode only; throws otherwise).
+    [[nodiscard]] const net::shard_map& shard_assignment() const;
 
     // Messages that visited node v (as a forwarding hop or final
     // destination); the "clogging" measure of Section 3.2's Valiant remark.
@@ -170,7 +242,7 @@ public:
 
     // Safety cap on processed events (default 50M); run() throws
     // std::runtime_error when exceeded, which always indicates a protocol
-    // loop in a handler.
+    // loop in a handler.  The parallel engine checks the cap per round.
     void set_event_cap(std::int64_t cap) noexcept { event_cap_ = cap; }
 
     // Randomized shortest-path routing: each hop picks uniformly among all
@@ -178,7 +250,9 @@ public:
     // Deterministic per seed.  Fixed routing concentrates load on
     // low-numbered nodes (BFS tie-breaking); randomization spreads it - the
     // precondition for Valiant relaying to pay off (Section 3.2 remark).
-    // Forces the slow path: the route is only known one hop at a time.
+    // Forces the slow path: the route is only known one hop at a time.  In
+    // parallel mode it also forces rounds to execute single-threaded (the
+    // per-hop draws are one sequential stream).
     void set_randomized_routing(std::uint64_t seed);
 
     // Equivalence-testing switch: with batching off every deterministic
@@ -188,8 +262,10 @@ public:
     void set_batched_delivery(bool on) noexcept { batched_ = on; }
     [[nodiscard]] bool batched_delivery() const noexcept { return batched_; }
 
-    // Bounds the resident BFS rows of the embedded routing table (LRU).
-    void set_route_cache_limit(std::size_t rows) { routes_.set_row_cache_limit(rows); }
+    // Bounds the resident BFS rows of the routing views (LRU).  In parallel
+    // mode the budget is divided evenly over the simulator's own table plus
+    // every shard table, each view keeping at least 4 rows.
+    void set_route_cache_limit(std::size_t rows);
 
 private:
     enum class event_kind {
@@ -211,25 +287,51 @@ private:
         std::int32_t hop_index = 0;  // position in *path for kind == hop
         std::int32_t credited = 0;   // hops already credited (kind == deliver)
         time_point sent_at = 0;      // when the message entered the network
+        // Canonical ordering key: the processing sequence number of the
+        // event (or top-level call) that pushed this one, plus the push's
+        // index within that parent.  Key order == the serial engine's FIFO
+        // order; the parallel engine sorts and merges by it.
+        std::int64_t key_seq = 0;
+        std::int32_t key_idx = 0;
+        // This event's own globally-merged processing sequence number,
+        // assigned just before it executes (children inherit it as key_seq).
+        std::int64_t seq = 0;
     };
+
+    struct hot_counters {
+        std::int64_t hops = 0;
+        std::int64_t sent = 0;
+        std::int64_t delivered = 0;
+        std::int64_t dropped = 0;
+    };
+
+    struct parallel_state;
 
     const net::graph* graph_;
     net::routing_table routes_;
     std::vector<std::shared_ptr<node_handler>> handlers_;
     std::vector<char> crashed_;
-    std::vector<std::int64_t> traffic_;
-    std::vector<std::int64_t> transit_;
-    calendar_queue<event> events_;
+    // Relaxed atomics: increments are commutative, so parallel rounds can
+    // credit path prefixes that cross shard boundaries lock-free and the
+    // totals still match the serial run bit for bit.
+    std::vector<std::atomic<std::int64_t>> traffic_;
+    std::vector<std::atomic<std::int64_t>> transit_;
+    calendar_queue<event> events_;  // serial engine's queue (unused once parallel)
     time_point now_ = 0;
     std::int64_t processed_ = 0;
     std::int64_t event_cap_ = 50'000'000;
     std::int64_t crashed_count_ = 0;
-    std::int64_t batched_in_flight_ = 0;
+    std::atomic<std::int64_t> batched_in_flight_{0};
     bool batched_ = true;
     std::unordered_map<std::int64_t, std::int64_t> tag_hops_;
     metrics metrics_;
     bool randomized_routing_ = false;
     std::uint64_t route_rng_state_ = 0;
+    std::int64_t seq_counter_ = 0;  // feeds event keys (serial and parallel)
+    // The caller's total routing-row budget; in parallel mode it is divided
+    // evenly over the simulator's table plus every shard table (min 4 each).
+    std::size_t route_rows_total_ = 0;
+    std::unique_ptr<parallel_state> par_;
 
     void process(event e);
     // Slow path: one arrival, crash-checked; forwards one hop onward or
@@ -242,9 +344,27 @@ private:
     void credit_hops(const std::vector<net::node_id>& path, std::int64_t first,
                      std::int64_t last, std::int64_t tag);
     // Rewrites pending batched arrivals as slow-path events at their current
-    // position (called by crash()).
+    // position (called by crash()), preserving global FIFO order.
     void devolve_batched_deliveries();
     [[nodiscard]] net::node_id pick_next_hop(net::node_id at, net::node_id dest);
+
+    // Stamps the canonical key and routes the event to the right queue or
+    // mailbox for the calling context.
+    void push_event(event e);
+    // Counter sinks that dispatch to the executing shard's accumulator
+    // inside a parallel round and to the global metrics otherwise.
+    void note_hops(std::int64_t n);
+    void note_sent();
+    void note_delivered();
+    void note_dropped();
+    void credit_tag(std::int64_t tag, std::int64_t n);
+    [[nodiscard]] bool in_this_sims_round() const noexcept;
+
+    // Parallel engine internals (defined with parallel_state in the .cpp).
+    bool run_parallel_tick(time_point horizon);
+    void assign_round_seqs();
+    void merge_shard_accumulators();
+    [[nodiscard]] std::vector<event> drain_all_pending();
 };
 
 }  // namespace mm::sim

@@ -1,0 +1,383 @@
+// test_parallel_sim.cpp - determinism contract of the sharded parallel
+// engine (sim::simulator::set_worker_threads).
+//
+// The headline guarantee: for any worker count k, the parallel engine
+// produces bit-identical results - every global counter, per-tag counter,
+// per-operation outcome, latency, and per-node traffic cell - because
+// execution order is canonical (tick, merged key order), routing paths are
+// pure functions of their endpoints (source-rooted mode), and all shared
+// accumulation is commutative.  These tests run seeded mixed workloads
+// (with crashes, TTL/refresh soft state, and Valiant relays) at 1 vs N
+// worker threads and demand full equality, plus targeted tests for the
+// cross-shard same-tick FIFO order and the zero-event-shard clock advance.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/shard_map.h"
+#include "net/topologies.h"
+#include "runtime/workload.h"
+#include "strategies/cube.h"
+#include "strategies/grid.h"
+
+namespace {
+
+using namespace mm;
+
+// Everything observable about one workload run.
+struct run_output {
+    runtime::workload_stats stats;
+    std::int64_t hops = 0;
+    std::int64_t sent = 0;
+    std::int64_t delivered = 0;
+    std::int64_t dropped = 0;
+    std::int64_t max_traffic = 0;
+    std::int64_t max_transit = 0;
+    std::vector<std::int64_t> traffic;
+};
+
+template <class Strategy>
+run_output run_grid_workload(int threads, net::node_id side, const Strategy& strategy,
+                             const net::graph& g, runtime::name_service::options ns_opts,
+                             const runtime::workload_options& wl) {
+    (void)side;
+    sim::simulator sim{g};
+    sim.set_worker_threads(threads);
+    runtime::name_service ns{sim, strategy, ns_opts};
+    run_output out;
+    out.stats = runtime::run_workload(ns, wl);
+    out.hops = sim.stats().get(sim::counter_hops);
+    out.sent = sim.stats().get(sim::counter_messages_sent);
+    out.delivered = sim.stats().get(sim::counter_messages_delivered);
+    out.dropped = sim.stats().get(sim::counter_messages_dropped);
+    out.max_traffic = sim.max_traffic();
+    out.max_transit = sim.max_transit_traffic();
+    out.traffic.reserve(static_cast<std::size_t>(g.node_count()));
+    for (net::node_id v = 0; v < g.node_count(); ++v) out.traffic.push_back(sim.traffic(v));
+    return out;
+}
+
+void expect_equal_runs(const run_output& a, const run_output& b) {
+    EXPECT_EQ(a.hops, b.hops);
+    EXPECT_EQ(a.sent, b.sent);
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.dropped, b.dropped);
+    EXPECT_EQ(a.max_traffic, b.max_traffic);
+    EXPECT_EQ(a.max_transit, b.max_transit);
+    EXPECT_EQ(a.traffic, b.traffic);
+
+    const auto& sa = a.stats;
+    const auto& sb = b.stats;
+    EXPECT_EQ(sa.issued, sb.issued);
+    EXPECT_EQ(sa.completed, sb.completed);
+    EXPECT_EQ(sa.locates, sb.locates);
+    EXPECT_EQ(sa.locates_found, sb.locates_found);
+    EXPECT_EQ(sa.crashes, sb.crashes);
+    EXPECT_EQ(sa.per_op_message_passes, sb.per_op_message_passes);
+    EXPECT_EQ(sa.global_message_passes, sb.global_message_passes);
+    EXPECT_EQ(sa.max_in_flight, sb.max_in_flight);
+    EXPECT_EQ(sa.makespan, sb.makespan);
+    EXPECT_EQ(sa.latency_p50, sb.latency_p50);
+    EXPECT_EQ(sa.latency_p95, sb.latency_p95);
+    EXPECT_EQ(sa.latency_p99, sb.latency_p99);
+    EXPECT_EQ(sa.latency_max, sb.latency_max);
+    ASSERT_EQ(sa.results.size(), sb.results.size());
+    for (std::size_t i = 0; i < sa.results.size(); ++i) {
+        const auto& ra = sa.results[i];
+        const auto& rb = sb.results[i];
+        EXPECT_EQ(ra.found, rb.found) << "op " << i;
+        EXPECT_EQ(ra.where, rb.where) << "op " << i;
+        EXPECT_EQ(ra.latency, rb.latency) << "op " << i;
+        EXPECT_EQ(ra.message_passes, rb.message_passes) << "op " << i;
+        EXPECT_EQ(ra.nodes_queried, rb.nodes_queried) << "op " << i;
+        EXPECT_EQ(ra.stages, rb.stages) << "op " << i;
+        EXPECT_EQ(ra.issued_at, rb.issued_at) << "op " << i;
+        EXPECT_EQ(ra.completed_at, rb.completed_at) << "op " << i;
+    }
+}
+
+TEST(parallel_equivalence, mixed_workload_with_crashes) {
+    const net::node_id side = 10;
+    const auto g = net::make_grid(side, side);
+    const strategies::manhattan_strategy strategy{side, side};
+    for (const std::uint64_t seed : {1ULL, 20260731ULL}) {
+        runtime::workload_options wl;
+        wl.seed = seed;
+        wl.operations = 150;
+        wl.mean_interarrival = 1.0;
+        wl.ports = 8;
+        wl.servers_per_port = 2;
+        wl.locate_weight = 0.80;
+        wl.register_weight = 0.06;
+        wl.migrate_weight = 0.06;
+        wl.crash_weight = 0.08;
+        wl.crash_downtime = 25;
+        const auto serial = run_grid_workload(1, side, strategy, g, {}, wl);
+        const auto par3 = run_grid_workload(3, side, strategy, g, {}, wl);
+        const auto par4 = run_grid_workload(4, side, strategy, g, {}, wl);
+        expect_equal_runs(serial, par3);
+        expect_equal_runs(serial, par4);
+        EXPECT_EQ(serial.stats.issued, serial.stats.completed);
+        EXPECT_GT(serial.stats.locates_found, 0);
+        EXPECT_GT(serial.stats.crashes, 0);
+    }
+}
+
+TEST(parallel_equivalence, ttl_refresh_soft_state) {
+    const net::node_id side = 8;
+    const auto g = net::make_grid(side, side);
+    const strategies::manhattan_strategy strategy{side, side};
+    runtime::name_service::options opts;
+    opts.entry_ttl = 60;
+    opts.refresh_period = 24;
+    runtime::workload_options wl;
+    wl.seed = 99;
+    wl.operations = 120;
+    wl.mean_interarrival = 2.0;
+    wl.ports = 6;
+    wl.servers_per_port = 1;
+    wl.locate_weight = 0.78;
+    wl.register_weight = 0.08;
+    wl.migrate_weight = 0.10;
+    wl.crash_weight = 0.04;
+    wl.crash_downtime = 40;
+    const auto serial = run_grid_workload(1, side, strategy, g, opts, wl);
+    const auto par = run_grid_workload(4, side, strategy, g, opts, wl);
+    expect_equal_runs(serial, par);
+    EXPECT_GT(serial.stats.locates_found, 0);
+}
+
+TEST(parallel_equivalence, valiant_relays) {
+    const auto g = net::make_hypercube(6);
+    const strategies::hypercube_strategy strategy{6};
+    runtime::name_service::options opts;
+    opts.valiant_relay = true;
+    opts.valiant_seed = 42;
+    runtime::workload_options wl;
+    wl.seed = 5;
+    wl.operations = 100;
+    wl.mean_interarrival = 1.0;
+    wl.ports = 8;
+    wl.crash_weight = 0.05;
+    wl.crash_downtime = 20;
+    const auto serial = run_grid_workload(1, 0, strategy, g, opts, wl);
+    const auto par = run_grid_workload(3, 0, strategy, g, opts, wl);
+    expect_equal_runs(serial, par);
+}
+
+TEST(parallel_equivalence, burst_injection) {
+    const net::node_id side = 12;
+    const auto g = net::make_grid(side, side);
+    const strategies::manhattan_strategy strategy{side, side};
+    runtime::workload_options wl;
+    wl.seed = 17;
+    wl.operations = 200;
+    wl.mean_interarrival = 0.0;  // all operations injected at one tick
+    wl.ports = 12;
+    wl.crash_weight = 0.0;
+    const auto serial = run_grid_workload(1, side, strategy, g, {}, wl);
+    const auto par2 = run_grid_workload(2, side, strategy, g, {}, wl);
+    const auto par4 = run_grid_workload(4, side, strategy, g, {}, wl);
+    expect_equal_runs(serial, par2);
+    expect_equal_runs(serial, par4);
+    EXPECT_GT(serial.stats.max_in_flight, 50);
+}
+
+TEST(parallel_equivalence, same_worker_count_is_reproducible) {
+    const net::node_id side = 9;
+    const auto g = net::make_grid(side, side);
+    const strategies::manhattan_strategy strategy{side, side};
+    runtime::workload_options wl;
+    wl.seed = 3;
+    wl.operations = 90;
+    wl.crash_weight = 0.05;
+    const auto a = run_grid_workload(4, side, strategy, g, {}, wl);
+    const auto b = run_grid_workload(4, side, strategy, g, {}, wl);
+    expect_equal_runs(a, b);
+}
+
+TEST(parallel_equivalence, randomized_routing_still_deterministic) {
+    // Randomized routing forces rounds single-threaded (one sequential draw
+    // stream) but stays canonical: any worker count gives the same run.
+    const net::node_id side = 6;
+    const auto g = net::make_grid(side, side);
+    const strategies::manhattan_strategy strategy{side, side};
+    const auto run = [&](int threads) {
+        sim::simulator sim{g};
+        sim.set_randomized_routing(77);
+        sim.set_worker_threads(threads);
+        runtime::name_service ns{sim, strategy};
+        ns.register_server(1234, 21);
+        std::vector<runtime::op_id> ids;
+        for (net::node_id c = 0; c < g.node_count(); c += 5)
+            ids.push_back(ns.begin_locate_fresh(1234, c));
+        ns.run_until_complete(ids);
+        sim.run();
+        std::vector<std::int64_t> out{sim.stats().get(sim::counter_hops), sim.max_traffic()};
+        for (const auto id : ids) {
+            const auto r = ns.poll(id);
+            out.push_back(r && r->found ? r->where : -1);
+            out.push_back(r ? r->latency : -1);
+        }
+        return out;
+    };
+    EXPECT_EQ(run(1), run(2));
+}
+
+// --- cross-shard same-tick FIFO ordering ------------------------------------
+
+// Records every message kind it sees, in arrival order.
+class recording_handler final : public sim::node_handler {
+public:
+    void on_message(sim::simulator& sim, const sim::message& msg) override {
+        (void)sim;
+        seen.push_back(msg.kind);
+    }
+    std::vector<int> seen;
+};
+
+// Replies to each incoming message with kind + 100 to itself (a same-tick
+// cascade), then records it.
+class echo_handler final : public sim::node_handler {
+public:
+    explicit echo_handler(net::node_id self) : self_{self} {}
+    void on_message(sim::simulator& sim, const sim::message& msg) override {
+        seen.push_back(msg.kind);
+        if (msg.kind < 100) {
+            sim::message echo;
+            echo.kind = msg.kind + 100;
+            echo.source = self_;
+            echo.destination = self_;
+            sim.send(echo);
+        }
+    }
+    std::vector<int> seen;
+
+private:
+    net::node_id self_;
+};
+
+std::vector<int> fifo_order(int threads) {
+    // Line 0-1-2: node 1 receives from both neighbors, which live in
+    // different shards of the explicit map below.
+    net::graph g{3};
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    sim::simulator sim{g};
+    sim.set_worker_threads(threads, net::shard_map{{0, 0, 1}, 2});
+    auto recorder = std::make_shared<echo_handler>(1);
+    sim.attach(1, recorder);
+    sim.attach(0, std::make_shared<recording_handler>());
+    sim.attach(2, std::make_shared<recording_handler>());
+    // Same tick, alternating source shards; arrival distance is 1 for both
+    // sources, so all six land at node 1 at tick 1 and FIFO order at the
+    // destination must be exactly the send order.
+    int kind = 1;
+    for (const net::node_id source : {2, 0, 2, 0, 0, 2}) {
+        sim::message m;
+        m.kind = kind++;
+        m.source = source;
+        m.destination = 1;
+        sim.send(m);
+    }
+    sim.run();
+    return recorder->seen;
+}
+
+TEST(parallel_order, cross_shard_same_tick_fifo_matches_send_order) {
+    const auto serial = fifo_order(1);
+    // Arrivals in send order, then the same-tick echo cascade in the same
+    // generation order.
+    const std::vector<int> expected{1, 2, 3, 4, 5, 6, 101, 102, 103, 104, 105, 106};
+    EXPECT_EQ(serial, expected);
+    EXPECT_EQ(fifo_order(2), serial);
+}
+
+// --- zero-event shards and the run_until horizon -----------------------------
+
+class counting_timer_handler final : public sim::node_handler {
+public:
+    void on_message(sim::simulator& sim, const sim::message& msg) override {
+        (void)sim, (void)msg;
+    }
+    void on_timer(sim::simulator& sim, std::int64_t timer_id) override {
+        ++fires;
+        sim.set_timer(0, 7, timer_id);  // periodic re-arm
+    }
+    int fires = 0;
+};
+
+TEST(parallel_time, horizon_advances_with_idle_shards) {
+    // Shard 1 never has a single event; the barrier must still advance the
+    // clock to the horizon (the per-shard mirror of the PR 2 time-stall
+    // fix), and the armed periodic timer must not stall it either.
+    net::graph g{4};
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 3);
+    sim::simulator sim{g};
+    sim.set_worker_threads(2, net::shard_map{{0, 0, 1, 1}, 2});
+    auto timers = std::make_shared<counting_timer_handler>();
+    sim.attach(0, timers);
+    sim.set_timer(0, 7, 1);
+    sim.run_until(50);
+    EXPECT_EQ(sim.now(), 50);
+    EXPECT_EQ(timers->fires, 7);  // ticks 7, 14, ..., 49
+    sim.run_until(70);
+    EXPECT_EQ(sim.now(), 70);
+    EXPECT_EQ(timers->fires, 10);
+    EXPECT_FALSE(sim.idle());  // the re-armed timer is still pending
+}
+
+TEST(parallel_time, empty_engine_still_reaches_horizon) {
+    net::graph g{2};
+    g.add_edge(0, 1);
+    sim::simulator sim{g};
+    sim.set_worker_threads(2);
+    sim.run_until(123);
+    EXPECT_EQ(sim.now(), 123);
+    EXPECT_TRUE(sim.idle());
+}
+
+// --- engine plumbing ---------------------------------------------------------
+
+TEST(parallel_engine, pending_events_survive_switching_thread_counts) {
+    net::graph g{4};
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 3);
+    sim::simulator sim{g};
+    auto recorder = std::make_shared<recording_handler>();
+    sim.attach(3, recorder);
+    sim.attach(0, std::make_shared<recording_handler>());
+    for (int k = 1; k <= 3; ++k) {
+        sim::message m;
+        m.kind = k;
+        m.source = 0;
+        m.destination = 3;
+        sim.send(m);
+    }
+    sim.set_worker_threads(2);  // re-distributes the three in-flight sends
+    sim.run();
+    EXPECT_EQ(recorder->seen, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.worker_threads(), 2);
+    EXPECT_EQ(sim.shard_assignment().node_count(), 4);
+}
+
+TEST(parallel_engine, worker_threads_reports_engine_state) {
+    net::graph g{2};
+    g.add_edge(0, 1);
+    sim::simulator sim{g};
+    EXPECT_EQ(sim.worker_threads(), 0);
+    EXPECT_FALSE(sim.parallel());
+    EXPECT_THROW((void)sim.shard_assignment(), std::logic_error);
+    sim.set_worker_threads(8);  // clamped to the 2-node graph's shard count
+    EXPECT_TRUE(sim.parallel());
+    EXPECT_LE(sim.worker_threads(), 2);
+    EXPECT_THROW(sim.set_worker_threads(0), std::invalid_argument);
+}
+
+}  // namespace

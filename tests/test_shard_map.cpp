@@ -1,0 +1,74 @@
+// test_shard_map.cpp - node -> shard assignment for the parallel engine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "net/hierarchy.h"
+#include "net/shard_map.h"
+#include "net/topologies.h"
+
+namespace {
+
+using namespace mm;
+
+void expect_valid_cover(const net::shard_map& map, net::node_id n, int shards) {
+    EXPECT_EQ(map.shard_count(), shards);
+    EXPECT_EQ(map.node_count(), n);
+    std::vector<net::node_id> counted(static_cast<std::size_t>(shards), 0);
+    for (net::node_id v = 0; v < n; ++v) {
+        const int s = map.shard_of(v);
+        ASSERT_GE(s, 0);
+        ASSERT_LT(s, shards);
+        ++counted[static_cast<std::size_t>(s)];
+    }
+    EXPECT_EQ(counted, map.shard_sizes());
+    EXPECT_EQ(std::accumulate(counted.begin(), counted.end(), net::node_id{0}), n);
+}
+
+TEST(shard_map, covers_and_balances_a_grid) {
+    const auto g = net::make_grid(20, 20);
+    const auto map = net::make_shard_map(g, 4);
+    expect_valid_cover(map, 400, 4);
+    // LPT over parts of <= n/(2*shards) nodes keeps shards near n/shards.
+    const auto sizes = map.shard_sizes();
+    const auto largest = *std::max_element(sizes.begin(), sizes.end());
+    const auto smallest = *std::min_element(sizes.begin(), sizes.end());
+    EXPECT_LE(largest, 400 / 4 + 400 / (2 * 4) + 1);
+    EXPECT_GT(smallest, 0);
+}
+
+TEST(shard_map, covers_a_hypercube_and_a_hierarchy) {
+    const auto cube = net::make_hypercube(8);
+    expect_valid_cover(net::make_shard_map(cube, 8), 256, 8);
+
+    const net::hierarchy h{{4, 5, 6}};
+    const auto g = net::make_hierarchical_graph(h);
+    expect_valid_cover(net::make_shard_map(g, 3), g.node_count(), 3);
+}
+
+TEST(shard_map, deterministic_across_builds) {
+    const auto g = net::make_grid(13, 9);
+    const auto a = net::make_shard_map(g, 5);
+    const auto b = net::make_shard_map(g, 5);
+    for (net::node_id v = 0; v < g.node_count(); ++v) EXPECT_EQ(a.shard_of(v), b.shard_of(v));
+}
+
+TEST(shard_map, shard_count_clamps_to_node_count) {
+    const auto g = net::make_grid(2, 2);
+    const auto map = net::make_shard_map(g, 16);
+    expect_valid_cover(map, 4, 4);
+    const auto one = net::make_shard_map(g, 0);
+    expect_valid_cover(one, 4, 1);
+}
+
+TEST(shard_map, explicit_owner_vector_is_validated) {
+    net::shard_map ok{{0, 1, 0, 1}, 2};
+    EXPECT_EQ(ok.shard_count(), 2);
+    EXPECT_EQ(ok.shard_of(3), 1);
+    EXPECT_THROW((net::shard_map{{0, 2}, 2}), std::invalid_argument);
+    EXPECT_THROW((net::shard_map{{0, -1}, 2}), std::invalid_argument);
+    EXPECT_THROW((net::shard_map{{0}, 0}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json trajectory files (docs/BENCHMARKS.md schema).
+
+Flattens every aggregate to ``binary/metric -> value``, prints each metric
+whose relative change exceeds the threshold (plus metrics that appeared,
+disappeared, or flipped to/from null/zero), and reports shape-check flips.
+
+Exit status: 0 when nothing exceeded the threshold, 1 when something did,
+2 on bad input.  Use ``--strict`` in CI to also fail on added/removed
+metrics.
+
+Usage:
+    python3 tools/bench_diff.py BENCH_seed.json BENCH_new.json
+    python3 tools/bench_diff.py --threshold 0.10 old.json new.json
+    python3 tools/bench_diff.py --self-test
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+
+def flatten_metrics(aggregate: dict) -> dict[str, float | None]:
+    out: dict[str, float | None] = {}
+    for result in aggregate.get("results", []):
+        report = result.get("report") or {}
+        for metric in report.get("metrics", []):
+            out[f'{result["binary"]}/{metric["name"]}'] = metric["value"]
+    return out
+
+
+def flatten_checks(aggregate: dict) -> dict[str, bool]:
+    out: dict[str, bool] = {}
+    for result in aggregate.get("results", []):
+        report = result.get("report") or {}
+        for check in report.get("checks", []):
+            out[f'{result["binary"]}/{check["what"]}'] = bool(check["ok"])
+    return out
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"bench_diff: cannot read {path}: {err}")
+    if "results" not in data:
+        raise SystemExit(f"bench_diff: {path} is not a BENCH_*.json aggregate (no 'results')")
+    return data
+
+
+def diff(old_path: str, new_path: str, threshold: float, strict: bool) -> int:
+    old_aggregate = load(old_path)
+    new_aggregate = load(new_path)
+    old = flatten_metrics(old_aggregate)
+    new = flatten_metrics(new_aggregate)
+
+    regressions = 0
+    structural = 0
+    for key in sorted(old.keys() | new.keys()):
+        old_value, new_value = old.get(key), new.get(key)
+        if key not in old:
+            print(f"[added]   {key} = {new_value}")
+            structural += 1
+        elif key not in new:
+            print(f"[removed] {key} (was {old_value})")
+            structural += 1
+        elif old_value is None or new_value is None or old_value == 0:
+            # null (NaN/inf) or zero baselines cannot take a relative diff.
+            if old_value != new_value:
+                print(f"[changed] {key}: {old_value} -> {new_value}")
+                regressions += 1
+        else:
+            rel = (new_value - old_value) / abs(old_value)
+            if abs(rel) > threshold:
+                print(f"[delta]   {key}: {old_value:.6g} -> {new_value:.6g}  ({rel:+.1%})")
+                regressions += 1
+
+    old_checks = flatten_checks(old_aggregate)
+    new_checks = flatten_checks(new_aggregate)
+    for key in sorted(old_checks.keys() & new_checks.keys()):
+        if old_checks[key] and not new_checks[key]:
+            print(f"[check]   {key}: PASS -> FAIL")
+            regressions += 1
+
+    flagged = regressions + (structural if strict else 0)
+    if flagged == 0:
+        print(f"bench_diff: no metric moved more than {threshold:.0%} "
+              f"({len(old.keys() | new.keys())} metrics compared)")
+    return 1 if flagged else 0
+
+
+def self_test() -> int:
+    """Round-trip smoke test over synthetic aggregates (run by CTest)."""
+    base = {
+        "schema": "mm-bench-v1",
+        "results": [
+            {
+                "binary": "bench_x",
+                "exit_code": 0,
+                "failed": False,
+                "wall_seconds": 1,
+                "report": {
+                    "metrics": [
+                        {"name": "speed", "value": 100.0, "unit": "ops"},
+                        {"name": "stable", "value": 5.0, "unit": ""},
+                        {"name": "gone", "value": 1.0, "unit": ""},
+                    ],
+                    "checks": [{"what": "fits", "ok": True}],
+                },
+            }
+        ],
+    }
+    import copy
+
+    changed = copy.deepcopy(base)
+    metrics = changed["results"][0]["report"]["metrics"]
+    metrics[0]["value"] = 120.0          # +20%: must be flagged
+    metrics[1]["value"] = 5.1            # +2%: inside the default threshold
+    del metrics[2]                       # removed: structural, strict-only
+    changed["results"][0]["report"]["checks"][0]["ok"] = False  # check flip
+
+    with tempfile.TemporaryDirectory() as tmp:
+        old_path = Path(tmp) / "old.json"
+        new_path = Path(tmp) / "new.json"
+        old_path.write_text(json.dumps(base))
+        new_path.write_text(json.dumps(changed))
+
+        assert diff(str(old_path), str(old_path), 0.05, strict=False) == 0, \
+            "identical files must not flag"
+        assert diff(str(old_path), str(new_path), 0.05, strict=False) == 1, \
+            "20% delta and check flip must flag"
+        assert diff(str(old_path), str(new_path), 0.50, strict=True) == 1, \
+            "strict mode must flag the removed metric"
+
+        bad = Path(tmp) / "bad.json"
+        bad.write_text("{}")
+        try:
+            diff(str(old_path), str(bad), 0.05, strict=False)
+        except SystemExit:
+            pass
+        else:
+            raise AssertionError("non-aggregate input must be rejected")
+
+    print("bench_diff self-test: OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("old", nargs="?", help="baseline BENCH_*.json")
+    parser.add_argument("new", nargs="?", help="candidate BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="relative change that counts as a regression (default 0.05)")
+    parser.add_argument("--strict", action="store_true",
+                        help="also fail on added/removed metrics")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in smoke test and exit")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.old or not args.new:
+        parser.error("need OLD and NEW aggregate paths (or --self-test)")
+    return diff(args.old, args.new, args.threshold, args.strict)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except SystemExit as err:
+        if isinstance(err.code, str):
+            print(err.code, file=sys.stderr)
+            sys.exit(2)
+        raise
