@@ -76,6 +76,15 @@ struct run_result {
     mm::sim::time_point latency_p50 = 0;
     mm::sim::time_point latency_p99 = 0;
     mm::sim::time_point makespan = 0;
+    // Barrier-pipeline instrumentation (sim/metrics.h).  Tick/round counts
+    // are part of the determinism contract; the phase nanoseconds are wall
+    // clock and only reported.
+    std::int64_t parallel_ticks = 0;
+    std::int64_t parallel_rounds = 0;
+    std::int64_t phase_execute_ns = 0;
+    std::int64_t phase_rank_ns = 0;
+    std::int64_t phase_flush_ns = 0;
+    std::int64_t phase_wait_ns = 0;
 
     [[nodiscard]] bool counters_equal(const run_result& other) const {
         return hops == other.hops && sent == other.sent && delivered == other.delivered &&
@@ -83,7 +92,8 @@ struct run_result {
                global_passes == other.global_passes && issued == other.issued &&
                completed == other.completed && locates_found == other.locates_found &&
                latency_p50 == other.latency_p50 && latency_p99 == other.latency_p99 &&
-               makespan == other.makespan;
+               makespan == other.makespan && parallel_ticks == other.parallel_ticks &&
+               parallel_rounds == other.parallel_rounds;
     }
 };
 
@@ -151,6 +161,12 @@ case_result run_case(const std::string& label, const mm::net::graph& g,
         r.latency_p50 = stats.latency_p50;
         r.latency_p99 = stats.latency_p99;
         r.makespan = stats.makespan;
+        r.parallel_ticks = sim.stats().get(sim::counter_parallel_ticks);
+        r.parallel_rounds = sim.stats().get(sim::counter_parallel_rounds);
+        r.phase_execute_ns = sim.stats().get(sim::counter_phase_round_execute_ns);
+        r.phase_rank_ns = sim.stats().get(sim::counter_phase_rank_merge_ns);
+        r.phase_flush_ns = sim.stats().get(sim::counter_phase_mailbox_flush_ns);
+        r.phase_wait_ns = sim.stats().get(sim::counter_phase_barrier_wait_ns);
         if (!out.runs.empty()) out.all_equal = out.all_equal && r.counters_equal(out.runs.front());
         out.runs.push_back(r);
     }
@@ -219,25 +235,53 @@ int main() {
 
     bool all_equal = true;
     bool all_completed = true;
+    bool all_instrumented = true;
     for (const auto& c : results) {
         all_equal = all_equal && c.all_equal;
-        for (const auto& r : c.runs)
+        for (const auto& r : c.runs) {
             all_completed = all_completed && r.completed == r.issued && r.completed > 0;
+            // Every swept thread count runs the parallel engine (t = 1 is
+            // the one-worker configuration), so the phase timers must be
+            // live in every run.
+            all_instrumented = all_instrumented && r.parallel_ticks > 0 &&
+                               r.parallel_rounds >= r.parallel_ticks && r.phase_execute_ns > 0;
+        }
         const std::string prefix =
             c.label.substr(0, c.label.find(' ')) + "_" + std::to_string(c.n);
         for (const auto& r : c.runs) {
             bench::metric(prefix + "_t" + std::to_string(r.threads) + "_run_seconds",
                           r.run_seconds, "s");
         }
+        // t4 next to t8: standard GitHub-hosted runners report 4 vCPUs, so
+        // t4 is the speedup trajectory CI can actually watch there (the
+        // hard >= 2.5x gate below stays tied to >= 8 real CPUs).
+        bench::metric(prefix + "_speedup_t4", c.speedup_at(4), "x");
         bench::metric(prefix + "_speedup_t8", c.speedup_at(8), "x");
         bench::metric(prefix + "_message_passes",
                       static_cast<double>(c.runs.front().global_passes), "hops");
+        // Phase breakdown of the widest sweep point: where the wall time of
+        // a tick goes (handler execution vs the merge/flush/wait residue
+        // the barrier pipeline is supposed to keep off the coordinator).
+        const auto& wide = c.runs.back();
+        const std::string tp = prefix + "_t" + std::to_string(wide.threads);
+        bench::metric(tp + "_phase_round_execute_s",
+                      static_cast<double>(wide.phase_execute_ns) / 1e9, "s");
+        bench::metric(tp + "_phase_rank_merge_s",
+                      static_cast<double>(wide.phase_rank_ns) / 1e9, "s");
+        bench::metric(tp + "_phase_mailbox_flush_s",
+                      static_cast<double>(wide.phase_flush_ns) / 1e9, "s");
+        bench::metric(tp + "_phase_barrier_wait_s",
+                      static_cast<double>(wide.phase_wait_ns) / 1e9, "s");
+        bench::metric(prefix + "_parallel_rounds",
+                      static_cast<double>(wide.parallel_rounds), "rounds");
     }
     bench::metric("hardware_concurrency", static_cast<double>(hw), "cpus");
 
     bench::shape_check("all counters bit-identical across 1/2/4/8 worker threads", all_equal);
     bench::shape_check("every workload completes all issued operations at every thread count",
                        all_completed);
+    bench::shape_check("phase timers live (ticks > 0, rounds >= ticks, execute > 0) in every run",
+                       all_instrumented);
     // The acceptance speedup only means something with the cores to run it.
     if (!MM_E18_SANITIZED && hw >= 8) {
         double cube_speedup = 0;

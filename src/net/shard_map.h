@@ -22,6 +22,10 @@
 // determinism contract relies on.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <utility>
 #include <vector>
 
 #include "net/graph.h"
@@ -61,5 +65,64 @@ private:
 // regions), then LPT-pack parts into `shards` bins.  shards is clamped to
 // [1, node_count].  Deterministic.
 [[nodiscard]] shard_map make_shard_map(const graph& g, int shards);
+
+// --- barrier-pipeline merge helpers ------------------------------------------
+//
+// The parallel engine's tick barrier has to merge per-shard, already-sorted
+// event runs (round lists, cross-shard mailboxes) without funnelling a
+// global O(R log R) sort through the coordinator.  Both helpers below work
+// on k sorted runs accessed through `run(s)` (any indexable, sized
+// container; `run_count` runs in total, each sorted by `less`), are pure,
+// and take caller-owned scratch, so every shard can execute its own merge
+// inside a barrier with no shared state.  Correctness needs elements to be
+// pairwise distinct under `less` across runs - event ordering keys are
+// globally unique, so the merged order is a strict total order.
+
+// Rank of every element of run `self` within the k-way merged order of all
+// runs: ranks[i] = i + the number of elements of every other run that sort
+// before run(self)[i].  These are exactly the positions a global sort of
+// the concatenated runs would assign, computed with O(sum of run lengths)
+// two-pointer walks - and independently per run, so k shards can rank a
+// round in parallel instead of serializing one big sort.
+template <class GetRun, class Less>
+void kway_merge_ranks(std::size_t run_count, GetRun&& run, std::size_t self, Less&& less,
+                      std::vector<std::int64_t>& ranks) {
+    const auto& mine = run(self);
+    const auto n = static_cast<std::size_t>(std::size(mine));
+    ranks.resize(n);
+    for (std::size_t i = 0; i < n; ++i) ranks[i] = static_cast<std::int64_t>(i);
+    for (std::size_t other = 0; other < run_count; ++other) {
+        if (other == self) continue;
+        const auto& theirs = run(other);
+        const auto m = static_cast<std::size_t>(std::size(theirs));
+        std::size_t j = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            while (j < m && less(theirs[j], mine[i])) ++j;
+            ranks[i] += static_cast<std::int64_t>(j);
+        }
+    }
+}
+
+// Merges the k sorted runs into one stream, invoking emit(element&&) in
+// merged order (elements are moved out of their runs).  Linear selection
+// over the k heads per element - k is the shard count, a handful - so the
+// merge is O(total * k) with zero allocation beyond the reused cursor
+// scratch.
+template <class GetRun, class Less, class Emit>
+void kway_merge(std::size_t run_count, GetRun&& run, Less&& less, Emit&& emit,
+                std::vector<std::size_t>& cursors) {
+    cursors.assign(run_count, 0);
+    for (;;) {
+        std::size_t best = run_count;
+        for (std::size_t s = 0; s < run_count; ++s) {
+            const auto& r = run(s);
+            if (cursors[s] >= static_cast<std::size_t>(std::size(r))) continue;
+            if (best == run_count || less(r[cursors[s]], run(best)[cursors[best]])) best = s;
+        }
+        if (best == run_count) return;
+        emit(std::move(run(best)[cursors[best]]));
+        ++cursors[best];
+    }
+}
 
 }  // namespace mm::net

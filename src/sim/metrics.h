@@ -31,4 +31,27 @@ inline constexpr std::string_view counter_messages_sent = "messages_sent";
 inline constexpr std::string_view counter_messages_delivered = "messages_delivered";
 inline constexpr std::string_view counter_messages_dropped = "messages_dropped";
 
+// Parallel-engine phase instrumentation (the barrier pipeline of
+// sim/simulator.h): how many ticks/rounds the sharded engine executed and
+// the nanoseconds the coordinator observed in each pipeline phase, so the
+// engine's serial residue is a measured number instead of a guess.  The
+// four phase timers are disjoint: coordinator idle time at worker-pool
+// barriers is subtracted from the enclosing rank/execute/flush window and
+// accounted once, under barrier-wait (the load-imbalance residue).
+// mailbox-flush covers all barrier data movement - the tick fill (calendar
+// queues -> round lists), same-tick cascade merges, the future-mailbox
+// flush, and the accumulator fold - so execute + rank + flush + wait
+// decomposes a tick's coordinator wall time up to the O(shards)
+// next-tick scan.  All six
+// counters are monotone over a simulator's lifetime and identically zero
+// while the serial engine runs (set_worker_threads never called).  The
+// wall-clock phases are measurements, not part of the determinism contract
+// - only the tick/round counts are bit-identical across worker counts.
+inline constexpr std::string_view counter_parallel_ticks = "parallel_ticks";
+inline constexpr std::string_view counter_parallel_rounds = "parallel_rounds";
+inline constexpr std::string_view counter_phase_round_execute_ns = "phase_round_execute_ns";
+inline constexpr std::string_view counter_phase_rank_merge_ns = "phase_rank_merge_ns";
+inline constexpr std::string_view counter_phase_mailbox_flush_ns = "phase_mailbox_flush_ns";
+inline constexpr std::string_view counter_phase_barrier_wait_ns = "phase_barrier_wait_ns";
+
 }  // namespace mm::sim

@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <iterator>
@@ -29,6 +30,18 @@ bool at_key_less(const Event& a, const Event& b) {
     return key_less(a, b);
 }
 
+std::int64_t ns_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+// Below this many items a barrier-pipeline merge runs inline on the
+// coordinator: waking the pool costs microseconds, so tiny merges would pay
+// more in wakeups than they save.  Results are identical either way - the
+// threshold only picks which threads do commutative, data-parallel work.
+constexpr std::int64_t merge_parallel_threshold = 256;
+
 }  // namespace
 
 // --- parallel engine state ---------------------------------------------------
@@ -43,6 +56,10 @@ struct simulator::parallel_state {
         std::unordered_map<std::int64_t, std::int64_t> tags;
         std::unique_ptr<net::routing_table> routes;  // lazy, source-rooted
         std::exception_ptr error;
+        // Reused merge scratch (capacity survives across rounds/ticks, so
+        // the barrier pipeline allocates nothing in steady state).
+        std::vector<std::int64_t> ranks;
+        std::vector<std::size_t> merge_cursors;
     };
 
     net::shard_map map;
@@ -50,6 +67,9 @@ struct simulator::parallel_state {
     int workers = 1;
     std::size_t row_limit_share = 0;  // per-shard routing row budget
     bool in_round = false;            // toggled by the coordinator
+    // Coordinator idle time inside for_shards barriers this tick (the
+    // load-imbalance component of the phase timers).
+    std::int64_t barrier_wait_ns = 0;
 
     // Worker pool: `workers - 1` threads plus the coordinating caller.
     std::vector<std::thread> threads;
@@ -114,8 +134,10 @@ struct simulator::parallel_state {
         }
         cv_work.notify_all();
         for (int s = 0; s < count; s += stride) fn(s);  // coordinator = worker 0
+        const auto wait_start = std::chrono::steady_clock::now();
         std::unique_lock lk{mu};
         cv_done.wait(lk, [&] { return active == 0; });
+        barrier_wait_ns += ns_since(wait_start);
         job = nullptr;
     }
 };
@@ -622,30 +644,103 @@ void simulator::set_worker_threads(int threads, net::shard_map map) {
     par_ = std::move(st);
 }
 
-void simulator::assign_round_seqs() {
+int simulator::assign_round_seqs() {
     auto& st = *par_;
-    std::size_t total = 0;
-    for (const auto& sh : st.shards) total += sh.round.size();
-    std::vector<event*> all;
-    all.reserve(total);
-    for (auto& sh : st.shards)
-        for (auto& e : sh.round) all.push_back(&e);
-    std::sort(all.begin(), all.end(),
-              [](const event* a, const event* b) { return key_less(*a, *b); });
-    for (event* e : all) e->seq = seq_counter_++;
+    std::int64_t total = 0;
+    int busy = 0;
+    for (const auto& sh : st.shards) {
+        total += static_cast<std::int64_t>(sh.round.size());
+        busy += sh.round.empty() ? 0 : 1;
+    }
+    const std::int64_t base = seq_counter_;
+    seq_counter_ += total;
+    // Every shard's round is already key-sorted (queue buckets and cascade
+    // merges both maintain key order), so the round's global sequence
+    // numbers are k-way merge ranks: each shard counts, with two-pointer
+    // walks, how many events of every other shard's round precede each of
+    // its own.  Same permutation the old coordinator-side global sort
+    // assigned, computed shard-parallel with no serial residue.
+    const std::size_t runs = st.shards.size();
+    st.for_shards(busy > 1 && total >= merge_parallel_threshold, [&st, base, runs](int s) {
+        auto& sh = st.shards[static_cast<std::size_t>(s)];
+        if (sh.round.empty()) return;
+        net::kway_merge_ranks(
+            runs,
+            [&st](std::size_t r) -> const std::vector<event>& { return st.shards[r].round; },
+            static_cast<std::size_t>(s),
+            [](const event& a, const event& b) { return key_less(a, b); }, sh.ranks);
+        for (std::size_t i = 0; i < sh.round.size(); ++i) sh.round[i].seq = base + sh.ranks[i];
+    });
+    return busy;
+}
+
+void simulator::flush_future_mailboxes() {
+    auto& st = *par_;
+    const std::size_t count = st.shards.size();
+    std::int64_t total = 0;
+    for (const auto& src : st.shards)
+        for (const auto& box : src.out_future) total += static_cast<std::int64_t>(box.size());
+    if (total == 0) return;
+    // Each destination shard key-merges its own inbound boxes (each box is
+    // key-sorted: a source shard executes in ascending seq order and seqs
+    // grow across rounds) and pushes into its own calendar queue.  Pushing
+    // a key-sorted stream appends to every tick bucket in key order, which
+    // is exactly the per-bucket FIFO the next round 0 reads - the global
+    // (at, key) sort the coordinator used to run is unnecessary, and no two
+    // shards touch the same queue or box.
+    st.for_shards(total >= merge_parallel_threshold, [&st, count](int d) {
+        auto& dst = st.shards[static_cast<std::size_t>(d)];
+        net::kway_merge(
+            count,
+            [&st, d](std::size_t s) -> std::vector<event>& {
+                return st.shards[s].out_future[static_cast<std::size_t>(d)];
+            },
+            [](const event& a, const event& b) { return key_less(a, b); },
+            [&dst](event&& e) { dst.queue.push(std::move(e)); }, dst.merge_cursors);
+        for (auto& src : st.shards) src.out_future[static_cast<std::size_t>(d)].clear();
+    });
 }
 
 void simulator::merge_shard_accumulators() {
-    for (auto& sh : par_->shards) {
-        auto& c = sh.counters;
-        if (c.hops != 0) metrics_.add(counter_hops, c.hops);
-        if (c.sent != 0) metrics_.add(counter_messages_sent, c.sent);
-        if (c.delivered != 0) metrics_.add(counter_messages_delivered, c.delivered);
-        if (c.dropped != 0) metrics_.add(counter_messages_dropped, c.dropped);
-        c = hot_counters{};
-        for (const auto& [tag, n] : sh.tags) tag_hops_[tag] += n;
-        sh.tags.clear();
+    auto& st = *par_;
+    const std::size_t count = st.shards.size();
+    std::size_t entries = 0;
+    for (const auto& sh : st.shards) entries += sh.tags.size();
+    // Pairwise tree fold: shard s absorbs shard s + gap level by level.
+    // Counter sums and tag-map merges are commutative and associative over
+    // int64, so the fold shape cannot change any total - parallelism here
+    // is free of determinism risk, and the maps' buckets are reused.
+    for (std::size_t gap = 1; gap < count; gap *= 2) {
+        const bool wide = count > 2 * gap;  // more than one fold at this level
+        st.for_shards(wide && entries >= static_cast<std::size_t>(merge_parallel_threshold),
+                      [&st, gap, count](int idx) {
+                          const auto s = static_cast<std::size_t>(idx);
+                          if (s % (2 * gap) != 0 || s + gap >= count) return;
+                          auto& dst = st.shards[s];
+                          auto& src = st.shards[s + gap];
+                          dst.counters.hops += src.counters.hops;
+                          dst.counters.sent += src.counters.sent;
+                          dst.counters.delivered += src.counters.delivered;
+                          dst.counters.dropped += src.counters.dropped;
+                          src.counters = hot_counters{};
+                          if (src.tags.empty()) return;
+                          if (dst.tags.empty()) {
+                              dst.tags.swap(src.tags);
+                          } else {
+                              for (const auto& [tag, n] : src.tags) dst.tags[tag] += n;
+                              src.tags.clear();
+                          }
+                      });
     }
+    auto& root = st.shards.front();
+    auto& c = root.counters;
+    if (c.hops != 0) metrics_.add(counter_hops, c.hops);
+    if (c.sent != 0) metrics_.add(counter_messages_sent, c.sent);
+    if (c.delivered != 0) metrics_.add(counter_messages_delivered, c.delivered);
+    if (c.dropped != 0) metrics_.add(counter_messages_dropped, c.dropped);
+    c = hot_counters{};
+    for (const auto& [tag, n] : root.tags) tag_hops_[tag] += n;
+    root.tags.clear();
 }
 
 bool simulator::run_parallel_tick(time_point horizon) {
@@ -662,15 +757,50 @@ bool simulator::run_parallel_tick(time_point horizon) {
     // canonical order but execute it single-threaded.
     const bool threads_ok = !randomized_routing_;
 
-    // Round 0: this tick's queued events, per shard (bucket FIFO == key order).
-    std::int64_t round_events = 0;
+    // Phase timers: wall-clock the coordinator observes per pipeline phase,
+    // accumulated over the tick's rounds and flushed into metrics_ at the
+    // barrier (see sim/metrics.h).  Coordinator idle time at for_shards
+    // barriers is subtracted out of the enclosing window, so the four
+    // timers are disjoint: barrier-wait alone carries the imbalance
+    // residue instead of being double-booked inside rank/execute/flush.
+    st.barrier_wait_ns = 0;
+    std::int64_t rank_ns = 0;
+    std::int64_t execute_ns = 0;
+    std::int64_t flush_ns = 0;
+    std::int64_t rounds = 0;
+    const auto phase_ns = [&st](std::chrono::steady_clock::time_point start,
+                                std::int64_t wait_before) {
+        return ns_since(start) - (st.barrier_wait_ns - wait_before);
+    };
+
+    // Round 0: each shard drains its own queue's current-tick events into
+    // its round list (bucket FIFO == key order), shard-parallel when the
+    // tick looks big enough to pay for waking the pool - total queue size
+    // is the cheap proxy, since the exact event count of the tick is only
+    // known once the buckets drain.
+    const auto fill_start = std::chrono::steady_clock::now();
+    const auto fill_wait = st.barrier_wait_ns;
+    const time_point tick = *t;
+    int busy_queues = 0;
+    std::int64_t pending = 0;
     for (auto& sh : st.shards) {
-        for (auto nt = sh.queue.next_time(); nt && *nt == *t; nt = sh.queue.next_time())
-            sh.round.push_back(sh.queue.pop());
-        round_events += static_cast<std::int64_t>(sh.round.size());
+        const auto nt = sh.queue.next_time();
+        if (nt && *nt == tick) {
+            ++busy_queues;
+            pending += static_cast<std::int64_t>(sh.queue.size());
+        }
     }
+    st.for_shards(busy_queues > 1 && pending >= merge_parallel_threshold, [&st, tick](int s) {
+        auto& sh = st.shards[static_cast<std::size_t>(s)];
+        for (auto nt = sh.queue.next_time(); nt && *nt == tick; nt = sh.queue.next_time())
+            sh.round.push_back(sh.queue.pop());
+    });
+    std::int64_t round_events = 0;
+    for (const auto& sh : st.shards) round_events += static_cast<std::int64_t>(sh.round.size());
+    flush_ns += phase_ns(fill_start, fill_wait);
 
     while (round_events > 0) {
+        ++rounds;
         processed_ += round_events;
         if (processed_ > event_cap_) {
             for (auto& sh : st.shards) {
@@ -681,10 +811,13 @@ bool simulator::run_parallel_tick(time_point horizon) {
             merge_shard_accumulators();
             throw std::runtime_error{"simulator: event cap exceeded (protocol loop?)"};
         }
-        assign_round_seqs();
-        int busy = 0;
-        for (const auto& sh : st.shards) busy += sh.round.empty() ? 0 : 1;
+        const auto rank_start = std::chrono::steady_clock::now();
+        const auto rank_wait = st.barrier_wait_ns;
+        const int busy = assign_round_seqs();
+        rank_ns += phase_ns(rank_start, rank_wait);
         st.in_round = true;
+        const auto execute_start = std::chrono::steady_clock::now();
+        const auto execute_wait = st.barrier_wait_ns;
         if (!threads_ok) {
             // Sequential RNG streams (randomized routing) must draw in the
             // serial engine's exact order, which interleaves shards by key -
@@ -729,6 +862,7 @@ bool simulator::run_parallel_tick(time_point horizon) {
                 sh.round.clear();
             });
         }
+        execute_ns += phase_ns(execute_start, execute_wait);
         st.in_round = false;
         for (auto& sh : st.shards) {
             if (!sh.error) continue;
@@ -742,39 +876,50 @@ bool simulator::run_parallel_tick(time_point horizon) {
             merge_shard_accumulators();
             std::rethrow_exception(err);
         }
-        // Same-tick cascades become the next round, key-sorted per shard;
-        // the serial engine's FIFO appends them in exactly this generation
-        // order.
-        round_events = 0;
-        for (std::size_t d = 0; d < st.shards.size(); ++d) {
-            auto& round = st.shards[d].round;
-            for (auto& src : st.shards) {
-                auto& box = src.out_now[d];
-                round.insert(round.end(), std::make_move_iterator(box.begin()),
-                             std::make_move_iterator(box.end()));
-                box.clear();
-            }
-            std::sort(round.begin(), round.end(), key_less<event>);
-            round_events += static_cast<std::int64_t>(round.size());
+        // Same-tick cascades become the next round: each destination shard
+        // key-merges its own inbound out_now boxes (each key-sorted, as in
+        // flush_future_mailboxes) straight into its round list - the serial
+        // engine's FIFO appends them in exactly this generation order.
+        const auto cascade_start = std::chrono::steady_clock::now();
+        const auto cascade_wait = st.barrier_wait_ns;
+        std::int64_t cascade_events = 0;
+        for (const auto& src : st.shards)
+            for (const auto& box : src.out_now)
+                cascade_events += static_cast<std::int64_t>(box.size());
+        if (cascade_events > 0) {
+            const std::size_t count = st.shards.size();
+            st.for_shards(cascade_events >= merge_parallel_threshold, [&st, count](int d) {
+                auto& dst = st.shards[static_cast<std::size_t>(d)];
+                net::kway_merge(
+                    count,
+                    [&st, d](std::size_t s) -> std::vector<event>& {
+                        return st.shards[s].out_now[static_cast<std::size_t>(d)];
+                    },
+                    [](const event& a, const event& b) { return key_less(a, b); },
+                    [&dst](event&& e) { dst.round.push_back(std::move(e)); },
+                    dst.merge_cursors);
+                for (auto& src : st.shards) src.out_now[static_cast<std::size_t>(d)].clear();
+            });
         }
+        round_events = cascade_events;
+        flush_ns += phase_ns(cascade_start, cascade_wait);
     }
 
-    // Tick barrier: drain future mailboxes into the owning shards' queues
-    // ((at, key)-sorted, so per-bucket FIFO stays key order), then fold the
-    // per-shard accumulators into the global counters.
-    std::vector<event> future;
-    for (std::size_t d = 0; d < st.shards.size(); ++d) {
-        future.clear();
-        for (auto& src : st.shards) {
-            auto& box = src.out_future[d];
-            future.insert(future.end(), std::make_move_iterator(box.begin()),
-                          std::make_move_iterator(box.end()));
-            box.clear();
-        }
-        std::sort(future.begin(), future.end(), at_key_less<event>);
-        for (auto& e : future) st.shards[d].queue.push(std::move(e));
-    }
+    // Tick barrier: every destination shard drains its own inbound future
+    // mailboxes into its queue, then the per-shard accumulators fold into
+    // the global counters - both shard-parallel, nothing serial left but
+    // the fold root.
+    const auto flush_start = std::chrono::steady_clock::now();
+    const auto flush_wait = st.barrier_wait_ns;
+    flush_future_mailboxes();
     merge_shard_accumulators();
+    flush_ns += phase_ns(flush_start, flush_wait);
+    metrics_.add(counter_parallel_ticks);
+    metrics_.add(counter_parallel_rounds, rounds);
+    if (rank_ns > 0) metrics_.add(counter_phase_rank_merge_ns, rank_ns);
+    if (execute_ns > 0) metrics_.add(counter_phase_round_execute_ns, execute_ns);
+    if (flush_ns > 0) metrics_.add(counter_phase_mailbox_flush_ns, flush_ns);
+    if (st.barrier_wait_ns > 0) metrics_.add(counter_phase_barrier_wait_ns, st.barrier_wait_ns);
     return true;
 }
 

@@ -73,11 +73,21 @@
 //    latency histogram - is independent of the thread count.
 //  * Same-tick cascades (an event pushing another event at the current
 //    tick) run as sub-rounds: all pushes of round r are collected at a
-//    barrier, key-sorted, and executed as round r+1; a tick ends when a
+//    barrier, key-merged, and executed as round r+1; a tick ends when a
 //    round produces no same-tick work.  This is precisely the serial
 //    queue's generation order.
 //  * Shared counters (hops, traffic, per-tag) are commutative sums,
 //    accumulated per shard or with relaxed atomics and merged at barriers.
+//  * No merge work funnels through the coordinator (the barrier pipeline):
+//    each shard fills its own round 0 from its own calendar queue;
+//    per-round sequence numbers are k-way merge *ranks* each shard computes
+//    for its own (already key-sorted) round with two-pointer walks over the
+//    other shards' rounds; same-tick and future cross-shard mailboxes are
+//    key-merged by the shard that owns the destination queue; and the
+//    per-shard counter accumulators fold pairwise (sums commute, so the
+//    fold tree's shape cannot change totals).  Per-tick phase timers
+//    (round-execute, rank-merge, mailbox-flush, barrier-wait; see
+//    sim/metrics.h) measure what serial residue remains.
 //  * Each shard owns a routing table in source-rooted-paths mode
 //    (net::routing_table::set_source_rooted_paths), which makes path(a, b)
 //    a pure function of the endpoints - so routes, and hence crash
@@ -362,7 +372,16 @@ private:
 
     // Parallel engine internals (defined with parallel_state in the .cpp).
     bool run_parallel_tick(time_point horizon);
-    void assign_round_seqs();
+    // Assigns the current round's global sequence numbers as shard-parallel
+    // k-way merge ranks (each shard ranks its own key-sorted round against
+    // the others; no coordinator-side sort).  Returns how many shards have
+    // a non-empty round (the execution step's parallelism gate).
+    int assign_round_seqs();
+    // Tick barrier: every destination shard key-merges its own inbound
+    // future mailboxes into its calendar queue.
+    void flush_future_mailboxes();
+    // Pairwise parallel fold of the per-shard counter/tag accumulators into
+    // the global metrics (commutative, so bit-identical for any fold shape).
     void merge_shard_accumulators();
     [[nodiscard]] std::vector<event> drain_all_pending();
 };

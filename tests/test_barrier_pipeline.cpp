@@ -1,0 +1,346 @@
+// test_barrier_pipeline.cpp - the parallel engine's barrier pipeline: the
+// k-way merge helpers that replaced the coordinator's serial merges
+// (net/shard_map.h), the shard-local future-mailbox flush contract, and the
+// phase-instrumentation counters (sim/metrics.h).
+//
+// The merge-path tests pin the two claims the engine's determinism now
+// rests on:
+//  * kway_merge_ranks assigns every round event exactly the sequence number
+//    the old coordinator-side global sort assigned (randomized rounds,
+//    empty runs, single runs, odd run counts), and
+//  * pushing a key-merged stream of future events into a calendar queue
+//    reproduces, tick for tick and pop for pop, the old global
+//    (at, key)-sorted flush - i.e. per-bucket FIFO stays key order across
+//    barriers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/shard_map.h"
+#include "net/topologies.h"
+#include "sim/calendar_queue.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace mm;
+
+// Stand-in for the engine's event: only the ordering fields matter.
+struct key_event {
+    std::int64_t at = 0;
+    std::int64_t key_seq = 0;
+    std::int32_t key_idx = 0;
+};
+
+bool key_less(const key_event& a, const key_event& b) {
+    return a.key_seq != b.key_seq ? a.key_seq < b.key_seq : a.key_idx < b.key_idx;
+}
+
+bool at_key_less(const key_event& a, const key_event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return key_less(a, b);
+}
+
+bool same_event(const key_event& a, const key_event& b) {
+    return a.at == b.at && a.key_seq == b.key_seq && a.key_idx == b.key_idx;
+}
+
+// Builds `runs` key-sorted runs holding `total` events with globally unique
+// (key_seq, key_idx) keys (duplicate key_seq values, disambiguated by
+// key_idx, mimic sibling pushes of one parent event).  Distribution across
+// runs is seeded-random, so some runs can come out empty.
+std::vector<std::vector<key_event>> random_runs(std::size_t runs, std::size_t total,
+                                                std::uint64_t seed) {
+    std::vector<std::vector<key_event>> out(runs);
+    std::uint64_t state = seed | 1;
+    for (std::size_t i = 0; i < total; ++i) {
+        key_event e;
+        e.key_seq = static_cast<std::int64_t>(i / 3);  // duplicates across idx
+        e.key_idx = static_cast<std::int32_t>(i % 3);
+        state = sim::splitmix64(state);
+        e.at = static_cast<std::int64_t>(state % 50);
+        state = sim::splitmix64(state);
+        out[state % runs].push_back(e);
+    }
+    // Runs receive events in ascending key order already, but keep the sort
+    // explicit so the precondition is visible.
+    for (auto& run : out) std::sort(run.begin(), run.end(), key_less);
+    return out;
+}
+
+// --- kway_merge_ranks vs the serial sort -------------------------------------
+
+TEST(barrier_pipeline, merge_ranks_equal_serial_sort_on_randomized_rounds) {
+    for (const std::size_t runs : {1u, 2u, 3u, 5u, 7u, 8u}) {
+        for (const std::size_t total : {0u, 1u, 2u, 17u, 400u}) {
+            const auto boxes = random_runs(runs, total, runs * 1000 + total);
+            // Reference: the old coordinator behavior - one global key sort.
+            std::vector<key_event> all;
+            for (const auto& run : boxes) all.insert(all.end(), run.begin(), run.end());
+            std::sort(all.begin(), all.end(), key_less);
+            // Each run ranks itself independently (as each shard does).
+            for (std::size_t self = 0; self < runs; ++self) {
+                std::vector<std::int64_t> ranks;
+                net::kway_merge_ranks(
+                    runs, [&boxes](std::size_t r) -> const std::vector<key_event>& {
+                        return boxes[r];
+                    },
+                    self, key_less, ranks);
+                ASSERT_EQ(ranks.size(), boxes[self].size());
+                for (std::size_t i = 0; i < ranks.size(); ++i) {
+                    ASSERT_GE(ranks[i], 0);
+                    ASSERT_LT(ranks[i], static_cast<std::int64_t>(all.size()));
+                    EXPECT_TRUE(same_event(all[static_cast<std::size_t>(ranks[i])],
+                                           boxes[self][i]))
+                        << "runs=" << runs << " total=" << total << " self=" << self
+                        << " i=" << i;
+                }
+            }
+        }
+    }
+}
+
+TEST(barrier_pipeline, merge_ranks_with_all_events_in_one_run) {
+    // Odd run count with every event in one run and the rest empty: ranks
+    // must be the identity (the run is sorted), empty runs rank nothing.
+    auto boxes = random_runs(1, 60, 9);
+    boxes.resize(5);  // runs 1..4 stay empty
+    for (std::size_t self = 0; self < 5; ++self) {
+        std::vector<std::int64_t> ranks;
+        net::kway_merge_ranks(
+            5, [&boxes](std::size_t r) -> const std::vector<key_event>& { return boxes[r]; },
+            self, key_less, ranks);
+        if (self == 0) {
+            ASSERT_EQ(ranks.size(), 60u);
+            for (std::size_t i = 0; i < ranks.size(); ++i)
+                EXPECT_EQ(ranks[i], static_cast<std::int64_t>(i));
+        } else {
+            EXPECT_TRUE(ranks.empty());
+        }
+    }
+}
+
+// --- kway_merge --------------------------------------------------------------
+
+TEST(barrier_pipeline, kway_merge_equals_sorted_concatenation) {
+    for (const std::size_t runs : {1u, 2u, 4u, 7u}) {
+        auto boxes = random_runs(runs, 123, 7 * runs + 1);
+        std::vector<key_event> expected;
+        for (const auto& run : boxes) expected.insert(expected.end(), run.begin(), run.end());
+        std::sort(expected.begin(), expected.end(), key_less);
+
+        std::vector<key_event> merged;
+        std::vector<std::size_t> cursors;
+        net::kway_merge(
+            runs, [&boxes](std::size_t r) -> std::vector<key_event>& { return boxes[r]; },
+            key_less, [&merged](key_event&& e) { merged.push_back(e); }, cursors);
+        ASSERT_EQ(merged.size(), expected.size());
+        for (std::size_t i = 0; i < merged.size(); ++i)
+            EXPECT_TRUE(same_event(merged[i], expected[i])) << "runs=" << runs << " i=" << i;
+    }
+}
+
+// --- shard-local future flush vs the old coordinator flush -------------------
+
+// Drives two calendar queues through the same sequence of barrier flushes
+// and pops: one fed per-barrier by the new key-merged stream, one by the
+// old global (at, key) sort.  Their pop sequences must be identical at
+// every step - the engine's "per-bucket FIFO == key order" contract.
+TEST(barrier_pipeline, shard_local_flush_preserves_at_key_fifo_across_ticks) {
+    constexpr std::size_t boxes_per_barrier = 4;
+    sim::calendar_queue<key_event> merged_queue;
+    sim::calendar_queue<key_event> sorted_queue;
+    std::uint64_t state = 20260731;
+    std::int64_t next_seq = 0;
+
+    const auto pop_until = [](sim::calendar_queue<key_event>& q, std::int64_t horizon) {
+        std::vector<key_event> out;
+        for (auto nt = q.next_time(); nt && *nt <= horizon; nt = q.next_time())
+            out.push_back(q.pop());
+        return out;
+    };
+
+    for (std::int64_t tick = 0; tick < 60; tick += 5) {
+        // One barrier: the engine invariant is that every box is key-sorted
+        // and all keys exceed every key of earlier barriers (sequence
+        // numbers grow monotonically across rounds and ticks), while `at`
+        // varies freely in the future (timers of arbitrary delay).
+        std::vector<std::vector<key_event>> boxes(boxes_per_barrier);
+        for (int i = 0; i < 40; ++i) {
+            key_event e;
+            e.key_seq = next_seq++;
+            e.key_idx = 0;
+            state = sim::splitmix64(state);
+            e.at = tick + 1 + static_cast<std::int64_t>(state % 25);  // non-monotone at
+            state = sim::splitmix64(state);
+            boxes[state % boxes_per_barrier].push_back(e);
+        }
+
+        // New scheme: destination merges its boxes by key and pushes.
+        std::vector<std::size_t> cursors;
+        auto boxes_copy = boxes;
+        net::kway_merge(
+            boxes_per_barrier,
+            [&boxes_copy](std::size_t r) -> std::vector<key_event>& { return boxes_copy[r]; },
+            key_less, [&merged_queue](key_event&& e) { merged_queue.push(e); }, cursors);
+
+        // Old scheme: concatenate everything, sort by (at, key), push.
+        std::vector<key_event> flat;
+        for (const auto& b : boxes) flat.insert(flat.end(), b.begin(), b.end());
+        std::sort(flat.begin(), flat.end(), at_key_less);
+        for (const auto& e : flat) sorted_queue.push(e);
+
+        // Advance both queues to the next barrier's tick; pop order must
+        // match event for event, including events pushed at older barriers.
+        const auto a = pop_until(merged_queue, tick + 5);
+        const auto b = pop_until(sorted_queue, tick + 5);
+        ASSERT_EQ(a.size(), b.size()) << "tick " << tick;
+        for (std::size_t i = 0; i < a.size(); ++i)
+            EXPECT_TRUE(same_event(a[i], b[i])) << "tick " << tick << " pop " << i;
+    }
+    // Drain the tails.
+    const auto a = pop_until(merged_queue, 1'000'000);
+    const auto b = pop_until(sorted_queue, 1'000'000);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(same_event(a[i], b[i]));
+    EXPECT_TRUE(merged_queue.empty());
+    EXPECT_TRUE(sorted_queue.empty());
+}
+
+// --- end-to-end: cross-shard timers with non-monotone delays -----------------
+
+// Node 1 turns each incoming message into a timer whose delay varies
+// non-monotonically with the message kind, and each timer fires a message
+// to node 3 across the shard boundary - so the future mailboxes carry
+// events whose `at` order disagrees with their key order, exactly the case
+// the shard-local key-merge must still deliver in serial FIFO order.
+class delay_fanout_handler final : public sim::node_handler {
+public:
+    void on_message(sim::simulator& sim, const sim::message& msg) override {
+        // Delays 8, 3, 12, 7, 2, 11, 6, 1 for kinds 1..8: later sends fire
+        // earlier timers.
+        const std::int64_t delay = 1 + ((msg.kind * 5) % 13);
+        sim.set_timer(1, delay, msg.kind);
+    }
+    void on_timer(sim::simulator& sim, std::int64_t timer_id) override {
+        sim::message m;
+        m.kind = 100 + static_cast<int>(timer_id);
+        m.source = 1;
+        m.destination = 3;
+        sim.send(m);
+    }
+};
+
+class recording_handler final : public sim::node_handler {
+public:
+    void on_message(sim::simulator& sim, const sim::message& msg) override {
+        arrivals.emplace_back(sim.now(), msg.kind);
+    }
+    std::vector<std::pair<sim::time_point, int>> arrivals;
+};
+
+std::vector<std::pair<sim::time_point, int>> timer_fanout_arrivals(int threads) {
+    net::graph g{4};
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 3);
+    sim::simulator sim{g};
+    if (threads > 0) sim.set_worker_threads(threads, net::shard_map{{0, 0, 1, 1}, 2});
+    sim.attach(1, std::make_shared<delay_fanout_handler>());
+    auto recorder = std::make_shared<recording_handler>();
+    sim.attach(3, recorder);
+    for (int kind = 1; kind <= 8; ++kind) {
+        sim::message m;
+        m.kind = kind;
+        m.source = 0;
+        m.destination = 1;
+        sim.send(m);
+    }
+    sim.run();
+    return recorder->arrivals;
+}
+
+TEST(barrier_pipeline, cross_shard_timer_fanout_matches_serial_engine) {
+    const auto serial_engine = timer_fanout_arrivals(0);   // serial event loop
+    const auto one_worker = timer_fanout_arrivals(1);      // parallel engine, 1 worker
+    const auto two_workers = timer_fanout_arrivals(2);
+    ASSERT_EQ(serial_engine.size(), 8u);
+    EXPECT_EQ(one_worker, serial_engine);
+    EXPECT_EQ(two_workers, serial_engine);
+}
+
+// --- phase instrumentation ---------------------------------------------------
+
+std::vector<std::string_view> phase_counter_names() {
+    return {sim::counter_parallel_ticks,         sim::counter_parallel_rounds,
+            sim::counter_phase_round_execute_ns, sim::counter_phase_rank_merge_ns,
+            sim::counter_phase_mailbox_flush_ns, sim::counter_phase_barrier_wait_ns};
+}
+
+TEST(phase_timers, all_zero_in_serial_mode) {
+    const auto g = net::make_grid(6, 6);
+    sim::simulator sim{g};
+    auto recorder = std::make_shared<recording_handler>();
+    sim.attach(35, recorder);
+    for (net::node_id v = 0; v < 8; ++v) {
+        sim::message m;
+        m.kind = static_cast<int>(v);
+        m.source = v;
+        m.destination = 35;
+        sim.send(m);
+    }
+    sim.run();
+    ASSERT_EQ(recorder->arrivals.size(), 8u);
+    for (const auto name : phase_counter_names())
+        EXPECT_EQ(sim.stats().get(name), 0) << name;
+    // Not even a zero-valued entry: the serial engine never touches them.
+    for (const auto& [name, value] : sim.stats().counters()) {
+        (void)value;
+        EXPECT_EQ(name.rfind("phase_", 0), std::string::npos) << name;
+        EXPECT_EQ(name.rfind("parallel_", 0), std::string::npos) << name;
+    }
+}
+
+TEST(phase_timers, present_and_monotone_under_the_parallel_engine) {
+    const auto g = net::make_grid(8, 8);
+    sim::simulator sim{g};
+    sim.set_worker_threads(2);
+    auto recorder = std::make_shared<recording_handler>();
+    sim.attach(63, recorder);
+    const auto inject = [&](int base) {
+        for (net::node_id v = 0; v < 16; ++v) {
+            sim::message m;
+            m.kind = base + static_cast<int>(v);
+            m.source = v;
+            m.destination = 63;
+            sim.send(m);
+        }
+        sim.run();
+    };
+    inject(0);
+    const auto ticks = sim.stats().get(sim::counter_parallel_ticks);
+    const auto rounds = sim.stats().get(sim::counter_parallel_rounds);
+    EXPECT_GT(ticks, 0);
+    EXPECT_GE(rounds, ticks);  // every executed tick runs at least one round
+    EXPECT_GT(sim.stats().get(sim::counter_phase_round_execute_ns), 0);
+    EXPECT_GT(sim.stats().get(sim::counter_phase_rank_merge_ns), 0);
+    EXPECT_GT(sim.stats().get(sim::counter_phase_mailbox_flush_ns), 0);
+    EXPECT_GE(sim.stats().get(sim::counter_phase_barrier_wait_ns), 0);
+
+    std::vector<std::int64_t> before;
+    for (const auto name : phase_counter_names()) before.push_back(sim.stats().get(name));
+    inject(1000);
+    std::size_t i = 0;
+    for (const auto name : phase_counter_names()) {
+        EXPECT_GE(sim.stats().get(name), before[i]) << name;  // monotone
+        ++i;
+    }
+    EXPECT_GT(sim.stats().get(sim::counter_parallel_ticks), ticks);
+}
+
+}  // namespace

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Slice one binary's report out of a BENCH_*.json aggregate.
+
+The CI jobs upload per-bench artifacts (scaling sweep, parallel sweep, perf
+phase timers) next to the full aggregate; this tool replaces the
+copy-pasted inline-python extraction steps.  It exits non-zero when the
+bench is missing from the aggregate or its run failed, so a CI step using
+it goes red instead of uploading a stale or broken artifact.
+
+Usage:
+    python3 tools/extract_bench.py AGGREGATE BINARY OUTPUT
+    python3 tools/extract_bench.py build/BENCH_seed.json bench_e18_parallel \
+        build/BENCH_e18_parallel.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def extract(aggregate_path: str, binary: str, output_path: str) -> int:
+    try:
+        with open(aggregate_path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"extract_bench: cannot read {aggregate_path}: {err}", file=sys.stderr)
+        return 2
+    results = data.get("results")
+    if not isinstance(results, list):
+        print(f"extract_bench: {aggregate_path} is not a BENCH_*.json aggregate "
+              "(no 'results')", file=sys.stderr)
+        return 2
+    matches = [r for r in results if r.get("binary") == binary]
+    if not matches:
+        print(f"extract_bench: {binary} missing from {aggregate_path}", file=sys.stderr)
+        return 1
+    report = matches[0]
+    if report.get("failed"):
+        print(f"extract_bench: {binary} is marked failed in {aggregate_path}",
+              file=sys.stderr)
+        return 1
+    try:
+        with open(output_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+    except OSError as err:
+        print(f"extract_bench: cannot write {output_path}: {err}", file=sys.stderr)
+        return 2
+    print(f"extract_bench: wrote {output_path} ({binary})")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 4:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    return extract(argv[1], argv[2], argv[3])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
