@@ -17,6 +17,7 @@
 // concurrent operations - is actually available to the workers.
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -60,6 +61,20 @@ const std::vector<int>& thread_sweep() {
     return sweep;
 }
 
+// The parallel engine's sequential-cutover knob, overridable per run so CI
+// and local sweeps can probe the threshold without a rebuild.  Unset or
+// unparsable -> the simulator's built-in default.
+std::int64_t merge_threshold() {
+    static const std::int64_t value = [] {
+        if (const char* env = std::getenv("MM_MERGE_PARALLEL_THRESHOLD")) {
+            const long long parsed = std::atoll(env);
+            if (parsed > 0) return static_cast<std::int64_t>(parsed);
+        }
+        return std::int64_t{-1};
+    }();
+    return value;
+}
+
 struct run_result {
     int threads = 1;
     double setup_seconds = 0;
@@ -81,6 +96,7 @@ struct run_result {
     // clock and only reported.
     std::int64_t parallel_ticks = 0;
     std::int64_t parallel_rounds = 0;
+    std::int64_t merge_threshold = 0;  // effective knob value this run used
     std::int64_t phase_execute_ns = 0;
     std::int64_t phase_rank_ns = 0;
     std::int64_t phase_flush_ns = 0;
@@ -140,6 +156,7 @@ case_result run_case(const std::string& label, const mm::net::graph& g,
         const auto setup_start = clock_type::now();
         sim::simulator sim{g};
         sim.set_worker_threads(threads);
+        if (merge_threshold() > 0) sim.set_merge_parallel_threshold(merge_threshold());
         runtime::name_service ns{sim, strategy};
         run_result r;
         r.threads = threads;
@@ -163,6 +180,7 @@ case_result run_case(const std::string& label, const mm::net::graph& g,
         r.makespan = stats.makespan;
         r.parallel_ticks = sim.stats().get(sim::counter_parallel_ticks);
         r.parallel_rounds = sim.stats().get(sim::counter_parallel_rounds);
+        r.merge_threshold = sim.merge_parallel_threshold();
         r.phase_execute_ns = sim.stats().get(sim::counter_phase_round_execute_ns);
         r.phase_rank_ns = sim.stats().get(sim::counter_phase_rank_merge_ns);
         r.phase_flush_ns = sim.stats().get(sim::counter_phase_mailbox_flush_ns);
@@ -276,6 +294,15 @@ int main() {
                       static_cast<double>(wide.parallel_rounds), "rounds");
     }
     bench::metric("hardware_concurrency", static_cast<double>(hw), "cpus");
+    if (!results.empty() && !results.front().runs.empty()) {
+        // The engine's sequential-cutover knob (MM_MERGE_PARALLEL_THRESHOLD
+        // env override, simulator default otherwise) next to the phase
+        // timers it shapes, so perf artifacts record the configuration that
+        // produced them.
+        bench::metric("merge_parallel_threshold",
+                      static_cast<double>(results.front().runs.front().merge_threshold),
+                      "entries");
+    }
 
     bench::shape_check("all counters bit-identical across 1/2/4/8 worker threads", all_equal);
     bench::shape_check("every workload completes all issued operations at every thread count",

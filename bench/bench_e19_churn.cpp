@@ -1,0 +1,348 @@
+// E19 - dynamic membership churn at scale.
+// The paper's network is "designed to support heavy traffic from millions
+// of users" whose machines come and go; this bench drives the e18 parallel
+// workloads with live join/leave/rejoin churn mixed into the operation
+// stream and checks the three claims that make dynamic membership a
+// first-class feature instead of a rebuild-the-world loop:
+//  * determinism - every counter (hops, completions, latency percentiles,
+//    membership event counts) is bit-identical across 1/2/4/8 worker
+//    threads, and for the 10^5 cases also identical to the serial engine,
+//  * repair locality - one pendant join into a ~10^5-node routing table
+//    invalidates / rebuilds o(n) rows, not Theta(n) (the incremental-repair
+//    contract of net::routing_table), and
+//  * budget - the 10^6-node churn workload still fits the e17 envelope of
+//    60 s / 4 GiB.
+// The 10^5 cases churn with fail-stop crashes mixed in; the 10^6 case is
+// crash-free burst injection, the regime where per-tick parallelism is
+// actually available to the workers.
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "net/hierarchy.h"
+#include "net/routing.h"
+#include "net/topologies.h"
+#include "runtime/workload.h"
+#include "strategies/cube.h"
+#include "strategies/grid.h"
+#include "strategies/hierarchical.h"
+
+// Like e17/e18: the 10^6-node case is a budget claim about release builds;
+// under a sanitizer it would measure the sanitizer, so it is skipped.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MM_E19_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define MM_E19_SANITIZED 1
+#endif
+#endif
+#ifndef MM_E19_SANITIZED
+#define MM_E19_SANITIZED 0
+#endif
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point start) {
+    return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+// As in e18, the 1-worker run is the serial-order reference every wider
+// worker count must reproduce bit for bit.  (The plain serial engine keeps
+// residency-dependent shortest-path tie-breaks, so once leaves/crashes
+// decide which in-flight messages die, it is deliberately NOT part of this
+// equality set - test_churn covers where it does and does not agree.)
+const std::vector<int>& thread_sweep() {
+    static const std::vector<int> sweep =
+        MM_E19_SANITIZED ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+    return sweep;
+}
+
+struct run_result {
+    int threads = 1;
+    double setup_seconds = 0;
+    double run_seconds = 0;
+    std::int64_t hops = 0;
+    std::int64_t sent = 0;
+    std::int64_t delivered = 0;
+    std::int64_t dropped = 0;
+    std::int64_t membership_events = 0;
+    std::int64_t joins = 0;
+    std::int64_t leaves = 0;
+    std::int64_t rejoins = 0;
+    std::int64_t live_nodes = 0;
+    std::int64_t per_op_passes = 0;
+    std::int64_t global_passes = 0;
+    std::int64_t issued = 0;
+    std::int64_t completed = 0;
+    std::int64_t locates_found = 0;
+    mm::sim::time_point latency_p50 = 0;
+    mm::sim::time_point latency_p99 = 0;
+    mm::sim::time_point makespan = 0;
+
+    [[nodiscard]] bool counters_equal(const run_result& other) const {
+        return hops == other.hops && sent == other.sent && delivered == other.delivered &&
+               dropped == other.dropped && membership_events == other.membership_events &&
+               joins == other.joins && leaves == other.leaves && rejoins == other.rejoins &&
+               live_nodes == other.live_nodes && per_op_passes == other.per_op_passes &&
+               global_passes == other.global_passes && issued == other.issued &&
+               completed == other.completed && locates_found == other.locates_found &&
+               latency_p50 == other.latency_p50 && latency_p99 == other.latency_p99 &&
+               makespan == other.makespan;
+    }
+};
+
+struct case_result {
+    std::string label;
+    mm::net::node_id n = 0;
+    std::vector<run_result> runs;
+    bool all_equal = true;
+};
+
+mm::runtime::workload_options options_for(mm::net::node_id n, bool with_crashes) {
+    mm::runtime::workload_options opts;
+    opts.seed = 20260731;
+    opts.operations = n >= 1'000'000 ? 96 : 240;
+    opts.mean_interarrival = n >= 1'000'000 ? 0.0 : 0.25;
+    opts.ports = 16;
+    opts.servers_per_port = 1;
+    // The e18 mix with ~12% of the dice reassigned to membership churn.
+    opts.locate_weight = 0.80;
+    opts.register_weight = 0.03;
+    opts.migrate_weight = 0.03;
+    opts.crash_weight = with_crashes ? 0.02 : 0.0;
+    opts.crash_downtime = 30;
+    opts.join_weight = 0.06;
+    opts.leave_weight = 0.04;
+    opts.rejoin_weight = 0.02;
+    opts.join_edges = 2;
+    return opts;
+}
+
+template <class Strategy>
+case_result run_case(const std::string& label, const mm::net::graph& base,
+                     const Strategy& strategy, bool with_crashes) {
+    using namespace mm;
+    case_result out;
+    out.label = label;
+    out.n = base.node_count();
+    const auto opts = options_for(out.n, with_crashes);
+    for (const int threads : thread_sweep()) {
+        const auto setup_start = clock_type::now();
+        // Churn mutates the graph, so every run starts from a fresh copy of
+        // the pristine topology.
+        net::graph g = base;
+        sim::simulator sim{g};
+        sim.set_worker_threads(threads);
+        runtime::name_service ns{sim, strategy};
+        run_result r;
+        r.threads = threads;
+        r.setup_seconds = seconds_since(setup_start);
+
+        const auto run_start = clock_type::now();
+        const auto stats = runtime::run_workload(ns, opts);
+        r.run_seconds = seconds_since(run_start);
+
+        r.hops = sim.stats().get(sim::counter_hops);
+        r.sent = sim.stats().get(sim::counter_messages_sent);
+        r.delivered = sim.stats().get(sim::counter_messages_delivered);
+        r.dropped = sim.stats().get(sim::counter_messages_dropped);
+        r.membership_events = sim.stats().get(sim::counter_membership_events);
+        r.joins = stats.joins;
+        r.leaves = stats.leaves;
+        r.rejoins = stats.rejoins;
+        r.live_nodes = g.live_node_count();
+        r.per_op_passes = stats.per_op_message_passes;
+        r.global_passes = stats.global_message_passes;
+        r.issued = stats.issued;
+        r.completed = stats.completed;
+        r.locates_found = stats.locates_found;
+        r.latency_p50 = stats.latency_p50;
+        r.latency_p99 = stats.latency_p99;
+        r.makespan = stats.makespan;
+        if (!out.runs.empty()) out.all_equal = out.all_equal && r.counters_equal(out.runs.front());
+        out.runs.push_back(r);
+    }
+    return out;
+}
+
+// Repair-locality measurement: warm a set of BFS rows in a ~10^5-node
+// routing table, make one pendant join, re-query every warmed root, and
+// count how many rows the table had to drop or rebuild.  The leaf-patch
+// rule says: none - a new degree-1 node is patched into every resident row.
+struct repair_measurement {
+    mm::net::node_id n = 0;
+    std::size_t warmed_rows = 0;
+    std::int64_t builds_after_join = 0;
+    std::int64_t invalidations_after_join = 0;
+    std::int64_t builds_after_two_edge_join = 0;
+    std::int64_t invalidations_after_two_edge_join = 0;
+};
+
+repair_measurement measure_repair_locality() {
+    using namespace mm;
+    repair_measurement out;
+    const net::node_id side = 316;
+    net::graph g = net::make_grid(side, side);
+    out.n = g.node_count();
+    net::routing_table routes{g};
+
+    // Warm 64 rows at distinct roots spread over the grid.
+    const net::node_id stride = out.n / 64;
+    std::vector<net::node_id> roots;
+    for (net::node_id r = 0; r < out.n && roots.size() < 64; r += stride) roots.push_back(r);
+    // next_hop(from, to) materializes the row rooted at `to`; distance()
+    // alone would answer via bidirectional BFS probes and warm nothing.
+    for (const auto r : roots) (void)routes.next_hop(r == 0 ? 1 : 0, r);
+    out.warmed_rows = routes.materialized_rows();
+
+    // Single pendant join: one fresh node, one edge.
+    auto builds = routes.row_builds();
+    auto drops = routes.row_invalidations();
+    const net::node_id v1 = g.add_node();
+    g.add_edge(v1, out.n / 2);
+    g.finalize();
+    for (const auto r : roots) (void)routes.distance(r, v1);
+    out.builds_after_join = routes.row_builds() - builds;
+    out.invalidations_after_join = routes.row_invalidations() - drops;
+
+    // Two-edge join for contrast: the second edge usually links nodes at
+    // different BFS depths, so rows legitimately drop; reported, not gated.
+    builds = routes.row_builds();
+    drops = routes.row_invalidations();
+    const net::node_id v2 = g.add_node();
+    g.add_edge(v2, 1);
+    g.add_edge(v2, out.n / 4);
+    g.finalize();
+    for (const auto r : roots) (void)routes.distance(r, v2);
+    out.builds_after_two_edge_join = routes.row_builds() - builds;
+    out.invalidations_after_two_edge_join = routes.row_invalidations() - drops;
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    using namespace mm;
+    bench::banner("E19: dynamic membership churn",
+                  "join/leave/rejoin churn mixed into the e18 workloads at n = 10^5\n"
+                  "and 10^6.  Counters must be bit-identical across 1/2/4/8 worker\n"
+                  "threads; one pendant join must repair o(n) routing rows; the\n"
+                  "10^6-node churn workload must fit the 60 s / 4 GiB envelope.");
+
+    const auto repair = measure_repair_locality();
+    std::cout << "repair locality (grid 316x316, " << repair.warmed_rows << " warm rows):\n"
+              << "  pendant join:  " << repair.builds_after_join << " rebuilds, "
+              << repair.invalidations_after_join << " invalidations\n"
+              << "  two-edge join: " << repair.builds_after_two_edge_join << " rebuilds, "
+              << repair.invalidations_after_two_edge_join << " invalidations\n\n";
+
+    std::vector<case_result> results;
+    const auto grid_case = [&](net::node_id side, bool with_crashes) {
+        const auto g = net::make_grid(side, side);
+        const strategies::manhattan_strategy strategy{side, side};
+        results.push_back(run_case("grid " + std::to_string(side) + "x" + std::to_string(side),
+                                   g, strategy, with_crashes));
+    };
+    const auto cube_case = [&](int d, bool with_crashes) {
+        const auto g = net::make_hypercube(d);
+        const strategies::hypercube_strategy strategy{d};
+        results.push_back(run_case("hypercube d=" + std::to_string(d), g, strategy, with_crashes));
+    };
+    const auto hierarchy_case = [&](int levels, bool with_crashes) {
+        const net::hierarchy h{std::vector<int>(static_cast<std::size_t>(levels), 10)};
+        const auto g = net::make_hierarchical_graph(h);
+        const strategies::hierarchical_strategy strategy{h};
+        results.push_back(
+            run_case("hierarchy 10^" + std::to_string(levels), g, strategy, with_crashes));
+    };
+
+    grid_case(316, true);      // 99'856 nodes, churn + per-hop crash windows
+    cube_case(17, true);       // 131'072 nodes
+    hierarchy_case(5, true);   // 100'000 nodes
+    if (!MM_E19_SANITIZED) {
+        grid_case(1000, false);  // 10^6 nodes, crash-free churn burst
+    } else {
+        std::cout << "[sanitized build: skipping the 10^6-node budget case]\n";
+    }
+
+    analysis::table t{{"topology", "n", "threads", "run s", "hops", "ops", "join/leave/rejoin",
+                       "live", "equal"}};
+    for (const auto& c : results) {
+        for (const auto& r : c.runs) {
+            t.add_row({c.label, analysis::table::num(static_cast<std::int64_t>(c.n)),
+                       analysis::table::num(static_cast<std::int64_t>(r.threads)),
+                       analysis::table::num(r.run_seconds, 2), analysis::table::num(r.hops),
+                       analysis::table::num(r.completed),
+                       analysis::table::num(r.joins) + "/" + analysis::table::num(r.leaves) +
+                           "/" + analysis::table::num(r.rejoins),
+                       analysis::table::num(r.live_nodes), c.all_equal ? "yes" : "NO"});
+        }
+    }
+    std::cout << t.to_string() << "\n";
+
+    bool all_equal = true;
+    bool all_completed = true;
+    bool all_churned = true;
+    for (const auto& c : results) {
+        all_equal = all_equal && c.all_equal;
+        const auto& front = c.runs.front();
+        for (const auto& r : c.runs) {
+            all_completed = all_completed && r.completed == r.issued && r.completed > 0;
+            all_churned = all_churned &&
+                          r.membership_events == r.joins + r.leaves + r.rejoins &&
+                          r.joins > 0 && r.leaves > 0;
+        }
+        const std::string prefix =
+            c.label.substr(0, c.label.find(' ')) + "_" + std::to_string(c.n);
+        for (const auto& r : c.runs) {
+            bench::metric(prefix + "_t" + std::to_string(r.threads) + "_run_seconds",
+                          r.run_seconds, "s");
+        }
+        bench::metric(prefix + "_message_passes", static_cast<double>(front.global_passes),
+                      "hops");
+        bench::metric(prefix + "_membership_events",
+                      static_cast<double>(front.membership_events), "operations");
+        bench::metric(prefix + "_live_nodes", static_cast<double>(front.live_nodes), "nodes");
+    }
+
+    bench::metric("repair_warm_rows", static_cast<double>(repair.warmed_rows), "entries");
+    bench::metric("repair_pendant_join_row_builds",
+                  static_cast<double>(repair.builds_after_join), "entries");
+    bench::metric("repair_pendant_join_invalidations",
+                  static_cast<double>(repair.invalidations_after_join), "entries");
+    bench::metric("repair_two_edge_join_row_builds",
+                  static_cast<double>(repair.builds_after_two_edge_join), "entries");
+    bench::metric("repair_two_edge_join_invalidations",
+                  static_cast<double>(repair.invalidations_after_two_edge_join), "entries");
+
+    bench::shape_check("counters bit-identical across 1/2/4/8 worker threads", all_equal);
+    bench::shape_check("every churn workload completes all issued operations", all_completed);
+    bench::shape_check("membership events fire and reconcile with workload stats", all_churned);
+    // Repair locality: a pendant join into a 99'856-node table must touch a
+    // bounded number of rows - o(n) in spirit, <= 4 in practice (the fresh
+    // node's own row plus slack), against 64 warm rows it must NOT drop.
+    bench::shape_check("pendant join repairs o(n) rows (builds + invalidations <= 4)",
+                       repair.builds_after_join + repair.invalidations_after_join <= 4);
+
+    if (!MM_E19_SANITIZED) {
+        bool million_in_budget = true;
+        for (const auto& c : results) {
+            if (c.n < 1'000'000) continue;
+            for (const auto& r : c.runs)
+                million_in_budget =
+                    million_in_budget && (r.setup_seconds + r.run_seconds) < 60.0;
+        }
+        bench::shape_check("each 10^6-node churn run finishes inside 60 s", million_in_budget);
+        const auto rss = bench::read_rss();
+        bench::metric("peak_rss", rss.peak_mb, "MiB");
+        if (rss.peak_mb > 0)
+            bench::shape_check("peak RSS stays under the 4 GiB budget", rss.peak_mb < 4096.0);
+    }
+    return 0;
+}

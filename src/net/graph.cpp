@@ -8,6 +8,7 @@ namespace mm::net {
 graph::graph(node_id node_count) {
     if (node_count < 0) throw std::invalid_argument{"graph: negative node count"};
     adjacency_.resize(static_cast<std::size_t>(node_count));
+    live_count_ = node_count;
 }
 
 void graph::require_valid(node_id v, const char* what) const {
@@ -17,15 +18,30 @@ void graph::require_valid(node_id v, const char* what) const {
     }
 }
 
+void graph::require_present(node_id v, const char* what) const {
+    require_valid(v, what);
+    if (!present(v)) {
+        throw std::invalid_argument{std::string{"graph: removed node in "} + what + ": " +
+                                    std::to_string(v)};
+    }
+}
+
+void graph::record(change_kind kind, node_id a, node_id b) {
+    ++generation_;
+    if (log_.size() == log_capacity) log_.pop_front();
+    log_.push_back(change{kind, a, b});
+}
+
 void graph::add_edge(node_id a, node_id b) {
-    require_valid(a, "add_edge");
-    require_valid(b, "add_edge");
+    require_present(a, "add_edge");
+    require_present(b, "add_edge");
     if (a == b) throw std::invalid_argument{"graph: self-loop rejected"};
     if (has_edge(a, b)) throw std::invalid_argument{"graph: parallel edge rejected"};
     adjacency_[static_cast<std::size_t>(a)].push_back(b);
     adjacency_[static_cast<std::size_t>(b)].push_back(a);
     ++edge_count_;
     finalized_ = false;
+    record(change_kind::edge_added, a, b);
 }
 
 void graph::remove_edge(node_id a, node_id b) {
@@ -40,6 +56,35 @@ void graph::remove_edge(node_id a, node_id b) {
     adj_a.erase(it_a);
     adj_b.erase(it_b);
     --edge_count_;
+    record(change_kind::edge_removed, a, b);
+}
+
+node_id graph::add_node() {
+    const node_id v = node_count();
+    adjacency_.emplace_back();
+    if (!present_.empty()) present_.push_back(1);
+    ++live_count_;
+    record(change_kind::node_added, v, invalid_node);
+    return v;
+}
+
+void graph::add_node(node_id v) {
+    require_valid(v, "add_node");
+    if (present(v)) throw std::invalid_argument{"graph: add_node on present node"};
+    present_[static_cast<std::size_t>(v)] = 1;
+    ++live_count_;
+    record(change_kind::node_added, v, invalid_node);
+}
+
+void graph::remove_node(node_id v) {
+    require_present(v, "remove_node");
+    // Detach incident edges first so the change log replays cleanly.
+    while (!adjacency_[static_cast<std::size_t>(v)].empty())
+        remove_edge(v, adjacency_[static_cast<std::size_t>(v)].back());
+    if (present_.empty()) present_.assign(adjacency_.size(), 1);
+    present_[static_cast<std::size_t>(v)] = 0;
+    --live_count_;
+    record(change_kind::node_removed, v, invalid_node);
 }
 
 bool graph::has_edge(node_id a, node_id b) const {
@@ -67,18 +112,23 @@ int graph::max_degree() const {
 }
 
 int graph::min_degree() const {
-    if (adjacency_.empty()) return 0;
-    int best = static_cast<int>(adjacency_.front().size());
-    for (const auto& adj : adjacency_) best = std::min(best, static_cast<int>(adj.size()));
-    return best;
+    int best = -1;
+    for (node_id v = 0; v < node_count(); ++v) {
+        if (!present(v)) continue;
+        const int d = static_cast<int>(adjacency_[static_cast<std::size_t>(v)].size());
+        if (best < 0 || d < best) best = d;
+    }
+    return best < 0 ? 0 : best;
 }
 
 bool graph::connected() const {
+    if (live_count_ == 0) return false;
     const node_id n = node_count();
-    if (n == 0) return false;
+    node_id root = 0;
+    while (!present(root)) ++root;
     std::vector<char> seen(static_cast<std::size_t>(n), 0);
-    std::vector<node_id> stack{0};
-    seen[0] = 1;
+    std::vector<node_id> stack{root};
+    seen[static_cast<std::size_t>(root)] = 1;
     node_id reached = 1;
     while (!stack.empty()) {
         const node_id v = stack.back();
@@ -91,13 +141,23 @@ bool graph::connected() const {
             }
         }
     }
-    return reached == n;
+    return reached == live_count_;
 }
 
 void graph::finalize() {
     if (finalized_) return;
     for (auto& adj : adjacency_) std::sort(adj.begin(), adj.end());
     finalized_ = true;
+}
+
+bool graph::changes_since(std::int64_t gen, std::vector<change>& out) const {
+    out.clear();
+    if (gen == generation_) return true;
+    if (gen > generation_ || generation_ - gen > static_cast<std::int64_t>(log_.size()))
+        return false;
+    const auto count = static_cast<std::size_t>(generation_ - gen);
+    out.assign(log_.end() - static_cast<std::ptrdiff_t>(count), log_.end());
+    return true;
 }
 
 std::string graph::summary() const {
@@ -107,6 +167,7 @@ std::string graph::summary() const {
 std::string graph::to_dot() const {
     std::string out = "graph g {\n";
     for (node_id v = 0; v < node_count(); ++v) {
+        if (!present(v)) continue;
         if (adjacency_[static_cast<std::size_t>(v)].empty())
             out += "  " + std::to_string(v) + ";\n";
         for (node_id w : adjacency_[static_cast<std::size_t>(v)])

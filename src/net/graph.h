@@ -5,9 +5,18 @@
 // bidirectional, non-interfering communication channels.  This class is the
 // substrate every topology, routing table and strategy in this library is
 // built on.
+//
+// Membership is dynamic: nodes can join (add_node), leave (remove_node) and
+// rejoin (add_node(v) on a previously removed id).  Node ids are stable for
+// the lifetime of the graph -- a removed node keeps its id (absent, degree 0)
+// so that routing tables, simulators and services indexed by node_id never
+// need re-numbering.  Every structural change bumps a generation counter and
+// is appended to a bounded change log, which lets dependents (routing tables,
+// shard maps) repair themselves incrementally instead of rebuilding.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <span>
 #include <string>
 #include <vector>
@@ -19,7 +28,20 @@ using node_id = std::int32_t;
 
 inline constexpr node_id invalid_node = -1;
 
-// An undirected simple graph with a fixed node count.
+// One structural mutation, as replayed by incremental-repair consumers.
+// Node events carry the node in `a` (`b` is invalid_node); edge events carry
+// both endpoints.  remove_node emits edge_removed for every incident edge
+// *before* its node_removed record, so replaying the log edge-by-edge is
+// always consistent.
+enum class change_kind : std::uint8_t { node_added, node_removed, edge_added, edge_removed };
+
+struct change {
+    change_kind kind;
+    node_id a;
+    node_id b;
+};
+
+// An undirected simple graph over a stable id space with dynamic membership.
 //
 // Edges may be added after construction; parallel edges and self-loops are
 // rejected.  Adjacency lists are kept sorted on demand (finalize()) so that
@@ -30,7 +52,7 @@ public:
     graph() = default;
     explicit graph(node_id node_count);
 
-    // Adds the undirected edge {a, b}.  Precondition: a != b, both valid,
+    // Adds the undirected edge {a, b}.  Precondition: a != b, both present,
     // and the edge is not already present (checked; throws std::invalid_argument).
     void add_edge(node_id a, node_id b);
 
@@ -41,6 +63,34 @@ public:
     // True if {a, b} is an edge.
     [[nodiscard]] bool has_edge(node_id a, node_id b) const;
 
+    // Appends a fresh node (present, no edges) and returns its id.
+    node_id add_node();
+
+    // Restores a previously removed node id (rejoin).  Throws
+    // std::invalid_argument if v is already present.
+    void add_node(node_id v);
+
+    // Removes a present node: detaches every incident edge (each emitted as
+    // an edge_removed change) and marks the id absent.  The id stays valid
+    // and can be restored later with add_node(v).
+    void remove_node(node_id v);
+
+    // True iff v is a valid id that is currently a member of the network.
+    [[nodiscard]] bool present(node_id v) const noexcept {
+        return valid_node(v) && (present_.empty() || present_[static_cast<std::size_t>(v)]);
+    }
+
+    // Number of present nodes (node_count() minus removed ids).
+    [[nodiscard]] node_id live_node_count() const noexcept { return live_count_; }
+
+    // Monotone structure-generation counter: bumped once per change record.
+    [[nodiscard]] std::int64_t generation() const noexcept { return generation_; }
+
+    // Copies every change after `gen` into `out` (oldest first) and returns
+    // true, or returns false when `gen` is older than the bounded log window
+    // -- the caller must then fall back to a full rebuild.
+    [[nodiscard]] bool changes_since(std::int64_t gen, std::vector<change>& out) const;
+
     [[nodiscard]] node_id node_count() const noexcept { return static_cast<node_id>(adjacency_.size()); }
     [[nodiscard]] std::int64_t edge_count() const noexcept { return edge_count_; }
 
@@ -49,7 +99,8 @@ public:
     [[nodiscard]] int max_degree() const;
     [[nodiscard]] int min_degree() const;
 
-    // True iff every node is reachable from node 0 (and the graph is nonempty).
+    // True iff every present node is reachable from the first present node
+    // (and at least one node is present).
     [[nodiscard]] bool connected() const;
 
     // Sorts all adjacency lists; idempotent.  Called automatically by
@@ -68,10 +119,20 @@ public:
 
 private:
     std::vector<std::vector<node_id>> adjacency_;
+    // Empty until the first remove_node: the common fully-present case pays
+    // no per-node flag. Once materialised, present_[v] == 1 iff v is a member.
+    std::vector<char> present_;
     std::int64_t edge_count_ = 0;
+    node_id live_count_ = 0;
+    std::int64_t generation_ = 0;
+    std::deque<change> log_;
     bool finalized_ = true;  // an edgeless graph is trivially sorted
 
+    static constexpr std::size_t log_capacity = 4096;
+
+    void record(change_kind kind, node_id a, node_id b);
     void require_valid(node_id v, const char* what) const;
+    void require_present(node_id v, const char* what) const;
 };
 
 }  // namespace mm::net

@@ -18,8 +18,96 @@ constexpr std::size_t default_row_limit(node_id n) {
 }  // namespace
 
 routing_table::routing_table(const graph& g)
-    : graph_{&g}, limit_{default_row_limit(g.node_count())} {
+    : graph_{&g}, limit_{default_row_limit(g.node_count())}, synced_gen_{g.generation()} {
     rows_.resize(static_cast<std::size_t>(g.node_count()));
+}
+
+void routing_table::drop_row(node_id root) const {
+    auto& slot = rows_[static_cast<std::size_t>(root)];
+    if (!slot) return;
+    lru_.erase(slot->lru_pos);
+    slot.reset();
+    ++row_invalidations_;
+}
+
+void routing_table::apply_change(const change& c) const {
+    const auto idx = [](node_id v) { return static_cast<std::size_t>(v); };
+    switch (c.kind) {
+        case change_kind::node_added: {
+            // Fresh id: grow the slot array and every resident row.  The new
+            // node has no edges yet, so "unreachable" is exactly what a
+            // fresh BFS would record for it; a restored id already carries
+            // unreachable entries (its incident edges were removed first).
+            const auto n = static_cast<std::size_t>(graph_->node_count());
+            if (rows_.size() < n) rows_.resize(n);
+            for (const node_id root : lru_) {
+                auto& r = *rows_[idx(root)];
+                r.dist.resize(n, -1);
+                r.toward.resize(n, invalid_node);
+            }
+            return;
+        }
+        case change_kind::node_removed:
+            // remove_node detaches edges first; those edge_removed records
+            // already dropped every row that could reach (or was rooted at)
+            // the node.  Nothing left to repair.
+            return;
+        case change_kind::edge_added: {
+            for (auto it = lru_.begin(); it != lru_.end();) {
+                const node_id root = *it;
+                ++it;  // advance before a potential drop invalidates *it
+                auto& r = *rows_[idx(root)];
+                const int da = r.dist[idx(c.a)];
+                const int db = r.dist[idx(c.b)];
+                if (da >= 0 && db >= 0) {
+                    // Same-level edges change no distance and no parent; any
+                    // level difference can shift BFS tie-breaks, so only the
+                    // da == db case provably equals a fresh rebuild.
+                    if (da != db) drop_row(root);
+                } else if (da >= 0 || db >= 0) {
+                    // One endpoint newly reachable.  A pendant (degree-1)
+                    // endpoint is a leaf in every BFS tree of the final
+                    // graph: patch it in place of a rebuild.
+                    const node_id reach = da >= 0 ? c.a : c.b;
+                    const node_id fresh = da >= 0 ? c.b : c.a;
+                    if (graph_->degree(fresh) == 1 && graph_->has_edge(reach, fresh)) {
+                        r.dist[idx(fresh)] = r.dist[idx(reach)] + 1;
+                        r.toward[idx(fresh)] = reach;
+                    } else {
+                        drop_row(root);
+                    }
+                }
+                // Neither endpoint reachable: the row cannot see the edge.
+            }
+            return;
+        }
+        case change_kind::edge_removed: {
+            for (auto it = lru_.begin(); it != lru_.end();) {
+                const node_id root = *it;
+                ++it;
+                auto& r = *rows_[idx(root)];
+                // Only a tree edge carries routes; removing a non-tree edge
+                // changes neither distances nor BFS parent choices.
+                if (r.toward[idx(c.a)] == c.b || r.toward[idx(c.b)] == c.a) drop_row(root);
+            }
+            return;
+        }
+    }
+}
+
+void routing_table::sync() const {
+    const std::int64_t gen = graph_->generation();
+    if (gen == synced_gen_) return;
+    if (graph_->changes_since(synced_gen_, delta_)) {
+        for (const change& c : delta_) apply_change(c);
+    } else {
+        // Change-log window exceeded: full reset.
+        row_invalidations_ += static_cast<std::int64_t>(lru_.size());
+        lru_.clear();
+        rows_.clear();
+        rows_.resize(static_cast<std::size_t>(graph_->node_count()));
+    }
+    synced_gen_ = gen;
 }
 
 void routing_table::set_row_cache_limit(std::size_t limit) {
@@ -126,6 +214,7 @@ int routing_table::bidirectional_distance(node_id from, node_id to) const {
 }
 
 int routing_table::distance(node_id from, node_id to) const {
+    sync();
     if (!graph_->valid_node(from) || !graph_->valid_node(to))
         throw std::out_of_range{"routing_table: bad node"};
     int d = -1;
@@ -143,6 +232,7 @@ int routing_table::distance(node_id from, node_id to) const {
 }
 
 node_id routing_table::next_hop(node_id from, node_id to) const {
+    sync();
     if (from == to) throw std::invalid_argument{"routing_table: next_hop of a node to itself"};
     if (!graph_->valid_node(from)) throw std::out_of_range{"routing_table: bad node"};
     const node_id hop = row_for(to).toward[static_cast<std::size_t>(from)];
@@ -151,6 +241,7 @@ node_id routing_table::next_hop(node_id from, node_id to) const {
 }
 
 std::vector<node_id> routing_table::path(node_id from, node_id to) const {
+    sync();
     if (!graph_->valid_node(from) || !graph_->valid_node(to))
         throw std::out_of_range{"routing_table: bad node"};
     if (from == to) return {from};
@@ -190,6 +281,7 @@ std::vector<node_id> routing_table::path(node_id from, node_id to) const {
 
 std::int64_t routing_table::multicast_cost(node_id source,
                                            std::span<const node_id> targets) const {
+    sync();
     const auto& r = row_for(source);
     std::vector<char> reached(static_cast<std::size_t>(graph_->node_count()), 0);
     reached[static_cast<std::size_t>(source)] = 1;
@@ -210,6 +302,7 @@ std::int64_t routing_table::multicast_cost(node_id source,
 
 std::int64_t routing_table::unicast_cost(node_id source,
                                          std::span<const node_id> targets) const {
+    sync();
     std::int64_t total = 0;
     for (node_id t : targets) total += distance(source, t);
     return total;

@@ -44,6 +44,19 @@ public:
     // connected (checked lazily, on first use of an unreachable pair).
     explicit routing_table(const graph& g);
 
+    // --- dynamic membership -------------------------------------------------
+    // The table tracks the graph's structure generation.  Every public query
+    // first replays the graph's change log since the last sync and repairs
+    // the row cache *incrementally*: a membership event invalidates only the
+    // rows whose cached BFS tree actually crosses a changed edge, and a
+    // pendant join (new degree-1 node) is leaf-patched into resident rows
+    // without any rebuild at all.  The repair rules are deliberately exact:
+    // a row that survives a sync is bit-identical to the row a fresh BFS
+    // would build on the current graph, which is what keeps path() a pure
+    // function of its endpoints (see source-rooted mode below) across
+    // membership churn.  When the change log window has been exceeded the
+    // table falls back to a full reset.
+
     // Minimum number of hops between two nodes; 0 for from == to.
     [[nodiscard]] int distance(node_id from, node_id to) const;
 
@@ -91,6 +104,12 @@ public:
     // that keeps climbing under a too-small cap is the thrash signal).
     [[nodiscard]] std::size_t materialized_rows() const noexcept { return lru_.size(); }
     [[nodiscard]] std::int64_t row_builds() const noexcept { return row_builds_; }
+    // Rows dropped by incremental repair (membership churn), not by LRU
+    // eviction.  `row_builds() + row_invalidations()` staying o(n) across a
+    // join is the repair-locality signal bench_e19_churn measures.
+    [[nodiscard]] std::int64_t row_invalidations() const noexcept { return row_invalidations_; }
+    // Generation of graph structure the row cache currently reflects.
+    [[nodiscard]] std::int64_t synced_generation() const noexcept { return synced_gen_; }
 
     [[nodiscard]] const graph& network() const noexcept { return *graph_; }
 
@@ -109,6 +128,9 @@ private:
     std::size_t limit_ = 0;
     bool source_rooted_paths_ = false;
     mutable std::int64_t row_builds_ = 0;
+    mutable std::int64_t row_invalidations_ = 0;
+    mutable std::int64_t synced_gen_ = 0;
+    mutable std::vector<change> delta_;  // scratch for sync()
 
     // Scratch for bidirectional BFS, epoch-stamped so queries do not pay an
     // O(n) clear.  Index 0 = the `from` side, 1 = the `to` side.
@@ -120,6 +142,10 @@ private:
     const row& row_for(node_id root) const;
     [[nodiscard]] const row* resident_row(node_id root) const noexcept;
     void touch(row& r) const;
+    // Replays the graph's change log since synced_gen_ (see class comment).
+    void sync() const;
+    void apply_change(const change& c) const;
+    void drop_row(node_id root) const;
     // Exact hop distance via bidirectional BFS; materializes nothing.
     // Returns -1 when the nodes are not connected.
     [[nodiscard]] int bidirectional_distance(node_id from, node_id to) const;

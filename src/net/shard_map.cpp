@@ -19,9 +19,58 @@ shard_map::shard_map(std::vector<int> owner, int shard_count)
     }
 }
 
+int shard_map::absorb(const graph& g, node_id v) {
+    if (!g.valid_node(v)) throw std::out_of_range{"shard_map::absorb: bad node"};
+    const auto idx = static_cast<std::size_t>(v);
+    if (idx > owner_.size())
+        throw std::invalid_argument{"shard_map::absorb: node id beyond the next fresh id"};
+    if (idx == owner_.size()) owner_.push_back(0);
+    // A default-constructed map has no size accounting yet.
+    if (sizes_.size() != static_cast<std::size_t>(shard_count_))
+        sizes_.resize(static_cast<std::size_t>(shard_count_), 0);
+
+    // Locality rule: count v's present neighbors per shard.
+    std::vector<node_id> votes(static_cast<std::size_t>(shard_count_), 0);
+    for (const node_id w : g.neighbors(v)) {
+        const auto wi = static_cast<std::size_t>(w);
+        if (wi < owner_.size() && wi != idx) ++votes[static_cast<std::size_t>(owner_[wi])];
+    }
+    int chosen = 0;
+    for (int s = 1; s < shard_count_; ++s)
+        if (votes[static_cast<std::size_t>(s)] > votes[static_cast<std::size_t>(chosen)])
+            chosen = s;
+
+    // Re-balance rule: no neighbors to follow, or the neighbor-majority
+    // shard already carries more than twice the mean live load -> lightest
+    // shard (ties to the lowest id), the LPT step.
+    const auto live = std::accumulate(sizes_.begin(), sizes_.end(), std::int64_t{0});
+    const bool overloaded =
+        static_cast<std::int64_t>(sizes_[static_cast<std::size_t>(chosen)]) * shard_count_ >
+        2 * (live + 1);
+    if (votes[static_cast<std::size_t>(chosen)] == 0 || overloaded) {
+        chosen = static_cast<int>(std::min_element(sizes_.begin(), sizes_.end()) -
+                                  sizes_.begin());
+    }
+    owner_[idx] = chosen;
+    ++sizes_[static_cast<std::size_t>(chosen)];
+    return chosen;
+}
+
+void shard_map::release(node_id v) {
+    const auto idx = static_cast<std::size_t>(v);
+    if (v < 0 || idx >= owner_.size()) throw std::out_of_range{"shard_map::release: bad node"};
+    auto& size = sizes_[static_cast<std::size_t>(owner_[idx])];
+    if (size <= 0) throw std::logic_error{"shard_map::release: shard already empty"};
+    --size;
+}
+
 shard_map make_shard_map(const graph& g, int shards) {
     const node_id n = g.node_count();
     if (n <= 0) throw std::invalid_argument{"make_shard_map: empty graph"};
+    if (g.live_node_count() != n)
+        throw std::invalid_argument{
+            "make_shard_map: graph has removed nodes; build the map before membership "
+            "churn and grow it with absorb()/release()"};
     shards = std::clamp(shards, 1, static_cast<int>(n));
     if (shards == 1) return shard_map{std::vector<int>(static_cast<std::size_t>(n), 0), 1};
 

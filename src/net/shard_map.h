@@ -54,6 +54,24 @@ public:
     // Nodes per shard (for balance checks and worker sizing).
     [[nodiscard]] const std::vector<node_id>& shard_sizes() const noexcept { return sizes_; }
 
+    // --- dynamic membership -------------------------------------------------
+    // Absorbs a joining (or rejoining) node into an existing shard and
+    // returns the chosen shard.  Preference order, all deterministic:
+    //  1. the shard owning the most of v's present neighbors in `g` (ties to
+    //     the lowest shard id) - the locality rule, a join usually lands
+    //     where its attachment edges already live;
+    //  2. when that shard is overloaded (more than twice the mean live
+    //     load), the lightest shard instead - the occasional LPT re-balance
+    //     step that replaces a full re-pack.
+    // The choice is a pure function of (current map state, g, v), so every
+    // engine replaying the same membership sequence builds the same map.
+    int absorb(const graph& g, node_id v);
+
+    // Releases a leaving node: its shard keeps the id (shard_of(v) stays
+    // defined for stale lookups) but the load accounting drops it, so later
+    // absorbs re-balance against live load only.
+    void release(node_id v);
+
 private:
     std::vector<int> owner_;
     std::vector<node_id> sizes_;

@@ -100,20 +100,25 @@ name_service::name_service(sim::simulator& sim, const core::locate_strategy& str
     if (options_.valiant_relay) valiant_state_ = options_.valiant_seed | 1;
     const net::node_id n = sim.network().node_count();
     if (options_.valiant_relay)
-        valiant_counters_ =
-            std::make_unique<std::atomic<std::uint64_t>[]>(static_cast<std::size_t>(n));
+        valiant_counters_.resize(static_cast<std::size_t>(n));
     nodes_.reserve(static_cast<std::size_t>(n));
     refresh_armed_.assign(static_cast<std::size_t>(n), 0);
-    for (net::node_id v = 0; v < n; ++v) {
-        auto handler = std::make_shared<service_node>(v);
-        handler->set_timer_hook([this](sim::simulator& s, net::node_id at, std::int64_t id) {
-            handle_timer(s, at, id);
-        });
-        handler->set_reply_hook(
-            [this](sim::simulator& s, std::int64_t tag) { handle_reply(s, tag); });
+    for (net::node_id v = 0; v < n; ++v) attach_service_node(v);
+}
+
+void name_service::attach_service_node(net::node_id v) {
+    auto handler = std::make_shared<service_node>(v);
+    handler->set_timer_hook([this](sim::simulator& s, net::node_id at, std::int64_t id) {
+        handle_timer(s, at, id);
+    });
+    handler->set_reply_hook(
+        [this](sim::simulator& s, std::int64_t tag) { handle_reply(s, tag); });
+    const auto idx = static_cast<std::size_t>(v);
+    if (idx < nodes_.size())
+        nodes_[idx] = handler;
+    else
         nodes_.push_back(handler);
-        sim.attach(v, handler);
-    }
+    sim_->attach(v, handler);
 }
 
 bool name_service::deferred() const noexcept { return sim_->parallel(); }
@@ -718,6 +723,43 @@ void name_service::crash_node(net::node_id v) {
 }
 
 void name_service::recover_node(net::node_id v) { sim_->recover(v); }
+
+net::node_id name_service::join_node(std::span<const net::node_id> attach) {
+    const net::node_id v = sim_->join(attach);
+    refresh_armed_.resize(static_cast<std::size_t>(sim_->network().node_count()), 0);
+    if (options_.valiant_relay)
+        while (valiant_counters_.size() <
+               static_cast<std::size_t>(sim_->network().node_count()))
+            valiant_counters_.emplace_back(0);
+    attach_service_node(v);
+    return v;
+}
+
+void name_service::leave_node(net::node_id v) {
+    // A leave is graceful where a crash is fail-stop: the departing machine
+    // can still deregister itself, so its bindings are purged from the
+    // rendezvous nodes before the simulator tears the node down.
+    std::vector<core::port_id> ports;
+    {
+        const std::unique_lock lk{reg_mu_};
+        for (const auto& [port, at] : registrations_)
+            if (at == v) ports.push_back(port);
+        std::erase_if(registrations_, [&](const auto& reg) { return reg.second == v; });
+    }
+    // Joined (churner) hosts live outside the strategy's id space and can
+    // never have posted, so there is nothing to purge for them.
+    if (v < strategy_->node_count())
+        for (const core::port_id port : ports) purge_binding(port, v);
+    refresh_armed_[static_cast<std::size_t>(v)] = 0;
+    sim_->leave(v);
+}
+
+void name_service::rejoin_node(net::node_id v, std::span<const net::node_id> attach) {
+    sim_->rejoin(v, attach);
+    // A rejoining machine remembers nothing: fresh service_node, empty
+    // caches, no registrations.
+    attach_service_node(v);
+}
 
 void name_service::purge_binding(core::port_id port, net::node_id dead_address) {
     for (const net::node_id target : strategy_->post_set(dead_address, port)) {

@@ -51,6 +51,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <initializer_list>
 #include <memory>
@@ -231,6 +232,19 @@ public:
     void crash_node(net::node_id v);
     void recover_node(net::node_id v);
 
+    // --- dynamic membership -------------------------------------------------
+    // Requires a simulator built over a mutable graph (topology_mutable());
+    // top-level calls, like crash_node.  join_node adds a fresh node wired to
+    // the present nodes in `attach`, equips it with a service_node and
+    // returns its id; leave_node removes a node for good (its registrations
+    // and directory die with it, in-flight traffic through it is dropped at
+    // its hop); rejoin_node brings a departed id back with new attachment
+    // edges and a fresh, empty service_node (a rejoining machine remembers
+    // nothing).
+    net::node_id join_node(std::span<const net::node_id> attach);
+    void leave_node(net::node_id v);
+    void rejoin_node(net::node_id v, std::span<const net::node_id> attach);
+
     // Purges a dead server's binding from the rendezvous nodes it posted at.
     // A fail-stop server cannot deregister itself; a survivor that detects
     // the crash can, because P(dead_address) is deterministic.  Surviving
@@ -304,7 +318,8 @@ private:
     std::vector<char> refresh_armed_;
     std::uint64_t valiant_state_ = 0;
     // Parallel regime: per-node Valiant draw counters (see random_relay).
-    std::unique_ptr<std::atomic<std::uint64_t>[]> valiant_counters_;
+    // A deque so join_node can grow it in place (atomics cannot relocate).
+    std::deque<std::atomic<std::uint64_t>> valiant_counters_;
 
     // Sends through the (optional) Valiant relay and returns the exact tick
     // the message settles at its final destination (routing distances are
@@ -342,6 +357,9 @@ private:
     void handle_reply(sim::simulator& sim, std::int64_t tag);
     void arm_refresh(net::node_id at);
     [[nodiscard]] net::node_id random_relay(net::node_id source, net::node_id destination);
+    // Builds a fresh service_node wired to this name_service's hooks and
+    // attaches it at v (construction, join_node, rejoin_node).
+    void attach_service_node(net::node_id v);
 };
 
 }  // namespace mm::runtime

@@ -49,16 +49,45 @@ workload_stats run_workload(name_service& ns, const workload_options& opts) {
     workload_stats stats;
     stats.global_message_passes = -sim.stats().get(sim::counter_hops);
 
+    const double churn_weight =
+        opts.join_weight + opts.leave_weight + opts.rejoin_weight;
+    if (churn_weight > 0) {
+        if (!sim.topology_mutable())
+            throw std::invalid_argument{
+                "run_workload: churn weights need a simulator built over a "
+                "mutable graph (simulator(net::graph&))"};
+        if (opts.join_edges < 1)
+            throw std::invalid_argument{"run_workload: join_edges < 1"};
+    }
     const double total_weight = opts.locate_weight + opts.register_weight +
-                                opts.migrate_weight + opts.crash_weight;
+                                opts.migrate_weight + opts.crash_weight +
+                                churn_weight;
     if (total_weight <= 0) throw std::invalid_argument{"run_workload: zero-weight mix"};
 
+    // All base-population draws use the pre-churn node count `n`, so the
+    // locate/register/migrate/crash mix targets the same stream of nodes
+    // whatever the churn settings; joined nodes live in their own pools.
     const auto pick_live_node = [&]() -> net::node_id {
         for (int tries = 0; tries < 64; ++tries) {
             const auto v = static_cast<net::node_id>(random.uniform(0, n - 1));
             if (!sim.crashed(v)) return v;
         }
         return net::invalid_node;
+    };
+
+    std::vector<net::node_id> churners_live;  // joined, currently present
+    std::vector<net::node_id> churners_gone;  // joined, then departed
+    std::vector<net::node_id> attach;
+    const auto pick_attach = [&]() -> bool {
+        attach.clear();
+        for (int tries = 0;
+             tries < 64 && static_cast<int>(attach.size()) < opts.join_edges; ++tries) {
+            const auto v = static_cast<net::node_id>(random.uniform(0, n - 1));
+            if (!sim.crashed(v) &&
+                std::find(attach.begin(), attach.end(), v) == attach.end())
+                attach.push_back(v);
+        }
+        return static_cast<int>(attach.size()) == opts.join_edges;
     };
 
     std::vector<op_id> ids;
@@ -86,20 +115,26 @@ workload_stats run_workload(name_service& ns, const workload_options& opts) {
         const double dice = random.uniform01() * total_weight;
         const auto pi = static_cast<std::size_t>(random.uniform(0, opts.ports - 1));
         const core::port_id port = ports[pi];
-        if (dice < opts.locate_weight) {
+        const double w_locate = opts.locate_weight;
+        const double w_register = w_locate + opts.register_weight;
+        const double w_migrate = w_register + opts.migrate_weight;
+        const double w_join = w_migrate + opts.join_weight;
+        const double w_leave = w_join + opts.leave_weight;
+        const double w_rejoin = w_leave + opts.rejoin_weight;
+        if (dice < w_locate) {
             const auto client = pick_live_node();
             if (client == net::invalid_node) continue;
             ids.push_back(ns.begin_locate(port, client));
             is_locate.push_back(1);
             ++stats.issued;
-        } else if (dice < opts.locate_weight + opts.register_weight) {
+        } else if (dice < w_register) {
             const auto at = pick_live_node();
             if (at == net::invalid_node) continue;
             ids.push_back(ns.begin_register(port, at));
             is_locate.push_back(0);
             hosts[pi].push_back(at);
             ++stats.issued;
-        } else if (dice < opts.locate_weight + opts.register_weight + opts.migrate_weight) {
+        } else if (dice < w_migrate) {
             if (hosts[pi].empty()) continue;
             const auto hi = static_cast<std::size_t>(
                 random.uniform(0, static_cast<std::int64_t>(hosts[pi].size()) - 1));
@@ -110,6 +145,30 @@ workload_stats run_workload(name_service& ns, const workload_options& opts) {
             is_locate.push_back(0);
             hosts[pi][hi] = to;
             ++stats.issued;
+        } else if (dice < w_join) {
+            if (!pick_attach()) continue;
+            churners_live.push_back(ns.join_node(attach));
+            ++stats.joins;
+        } else if (dice < w_leave) {
+            if (churners_live.empty()) continue;
+            const auto ci = static_cast<std::size_t>(random.uniform(
+                0, static_cast<std::int64_t>(churners_live.size()) - 1));
+            const net::node_id v = churners_live[ci];
+            churners_live.erase(churners_live.begin() +
+                                static_cast<std::ptrdiff_t>(ci));
+            ns.leave_node(v);
+            churners_gone.push_back(v);
+            ++stats.leaves;
+        } else if (dice < w_rejoin) {
+            if (churners_gone.empty() || !pick_attach()) continue;
+            const auto ci = static_cast<std::size_t>(random.uniform(
+                0, static_cast<std::int64_t>(churners_gone.size()) - 1));
+            const net::node_id v = churners_gone[ci];
+            churners_gone.erase(churners_gone.begin() +
+                                static_cast<std::ptrdiff_t>(ci));
+            ns.rejoin_node(v, attach);
+            churners_live.push_back(v);
+            ++stats.rejoins;
         } else {
             const auto victim = pick_live_node();
             if (victim == net::invalid_node) continue;

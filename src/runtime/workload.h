@@ -37,6 +37,19 @@ struct workload_options {
     double crash_weight = 0.02;  // crash a random non-server host; recovers
                                  // after crash_downtime ticks of sim time
     sim::time_point crash_downtime = 50;
+    // Churn regime (dynamic membership).  Any weight > 0 requires a
+    // simulator constructed over a mutable graph (topology_mutable()).
+    // Joins attach a brand-new node to `join_edges` distinct base nodes;
+    // leaves remove a previously-joined node; rejoins bring a departed
+    // joiner back at fresh attach points with empty state.  Churners are
+    // tracked separately from the base population, so the locate/register/
+    // migrate/crash mix above always targets nodes that exist for the
+    // whole run and the stream of base-node draws stays comparable across
+    // churn settings.
+    double join_weight = 0;
+    double leave_weight = 0;
+    double rejoin_weight = 0;
+    int join_edges = 2;
 };
 
 struct workload_stats {
@@ -45,6 +58,9 @@ struct workload_stats {
     std::int64_t locates = 0;
     std::int64_t locates_found = 0;
     std::int64_t crashes = 0;
+    std::int64_t joins = 0;
+    std::int64_t leaves = 0;
+    std::int64_t rejoins = 0;
     // Sum of per-operation tag hop counters vs. the simulator's global hop
     // counter over the run; equal when nothing else (refresh) sends.
     std::int64_t per_op_message_passes = 0;

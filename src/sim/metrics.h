@@ -31,6 +31,10 @@ inline constexpr std::string_view counter_messages_sent = "messages_sent";
 inline constexpr std::string_view counter_messages_delivered = "messages_delivered";
 inline constexpr std::string_view counter_messages_dropped = "messages_dropped";
 
+// Dynamic membership: one count per join()/leave()/rejoin() the simulator
+// executed (deterministic - part of the serial-vs-parallel equality set).
+inline constexpr std::string_view counter_membership_events = "membership_events";
+
 // Parallel-engine phase instrumentation (the barrier pipeline of
 // sim/simulator.h): how many ticks/rounds the sharded engine executed and
 // the nanoseconds the coordinator observed in each pipeline phase, so the

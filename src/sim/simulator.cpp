@@ -9,7 +9,9 @@
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <thread>
+#include <utility>
 
 #include "sim/rng.h"
 
@@ -35,12 +37,6 @@ std::int64_t ns_since(std::chrono::steady_clock::time_point start) {
                std::chrono::steady_clock::now() - start)
         .count();
 }
-
-// Below this many items a barrier-pipeline merge runs inline on the
-// coordinator: waking the pool costs microseconds, so tiny merges would pay
-// more in wakeups than they save.  Results are identical either way - the
-// threshold only picks which threads do commutative, data-parallel work.
-constexpr std::int64_t merge_parallel_threshold = 256;
 
 }  // namespace
 
@@ -154,10 +150,13 @@ simulator::simulator(const net::graph& g)
       routes_{g},
       handlers_(static_cast<std::size_t>(g.node_count())),
       crashed_(static_cast<std::size_t>(g.node_count()), 0),
+      departed_(static_cast<std::size_t>(g.node_count()), 0),
       traffic_(static_cast<std::size_t>(g.node_count())),
       transit_(static_cast<std::size_t>(g.node_count())) {
     route_rows_total_ = routes_.row_cache_limit();
 }
+
+simulator::simulator(net::graph& g) : simulator{std::as_const(g)} { graph_m_ = &g; }
 
 simulator::~simulator() = default;
 
@@ -346,6 +345,7 @@ void simulator::crash(net::node_id v) {
     if (!graph_->valid_node(v)) throw std::out_of_range{"simulator::crash: bad node"};
     if (in_parallel_round())
         throw std::logic_error{"simulator::crash: top-level only while the parallel engine runs"};
+    if (departed_[static_cast<std::size_t>(v)]) return;  // already out of the network
     if (crashed_[static_cast<std::size_t>(v)]) return;
     crashed_[static_cast<std::size_t>(v)] = 1;
     ++crashed_count_;
@@ -367,7 +367,97 @@ void simulator::recover(net::node_id v) {
 
 bool simulator::crashed(net::node_id v) const {
     if (!graph_->valid_node(v)) throw std::out_of_range{"simulator::crashed: bad node"};
-    return crashed_[static_cast<std::size_t>(v)] != 0;
+    return crashed_[static_cast<std::size_t>(v)] != 0 ||
+           departed_[static_cast<std::size_t>(v)] != 0;
+}
+
+bool simulator::departed(net::node_id v) const {
+    if (!graph_->valid_node(v)) throw std::out_of_range{"simulator::departed: bad node"};
+    return departed_[static_cast<std::size_t>(v)] != 0;
+}
+
+// --- dynamic membership ------------------------------------------------------
+
+void simulator::require_membership_call(const char* what) const {
+    if (graph_m_ == nullptr)
+        throw std::logic_error{std::string{what} +
+                               ": needs the mutable-graph constructor (topology_mutable())"};
+    if (in_parallel_round())
+        throw std::logic_error{std::string{what} +
+                               ": top-level only while the parallel engine runs"};
+}
+
+bool simulator::crosses_departed(const std::vector<net::node_id>& path,
+                                 std::int64_t from) const {
+    for (auto k = static_cast<std::size_t>(from); k < path.size(); ++k)
+        if (departed_[static_cast<std::size_t>(path[k])]) return true;
+    return false;
+}
+
+void simulator::grow_node_state() {
+    const auto n = static_cast<std::size_t>(graph_->node_count());
+    handlers_.resize(n);
+    crashed_.resize(n, 0);
+    departed_.resize(n, 0);
+    while (traffic_.size() < n) traffic_.emplace_back(0);
+    while (transit_.size() < n) transit_.emplace_back(0);
+}
+
+net::node_id simulator::join(std::span<const net::node_id> attach) {
+    require_membership_call("simulator::join");
+    if (attach.empty())
+        throw std::invalid_argument{"simulator::join: need at least one attachment point"};
+    for (const net::node_id w : attach)
+        if (!graph_m_->present(w))
+            throw std::invalid_argument{"simulator::join: attachment point not present"};
+    const net::node_id v = graph_m_->add_node();
+    for (const net::node_id w : attach) graph_m_->add_edge(v, w);
+    graph_m_->finalize();
+    grow_node_state();
+    if (par_) par_->map.absorb(*graph_, v);
+    metrics_.add(counter_membership_events);
+    return v;
+}
+
+void simulator::leave(net::node_id v) {
+    require_membership_call("simulator::leave");
+    if (!graph_->valid_node(v)) throw std::out_of_range{"simulator::leave: bad node"};
+    if (departed_[static_cast<std::size_t>(v)]) return;
+    // A leave subsumes a crash: the node is gone, not just down.
+    if (crashed_[static_cast<std::size_t>(v)]) {
+        crashed_[static_cast<std::size_t>(v)] = 0;
+        --crashed_count_;
+    }
+    departed_[static_cast<std::size_t>(v)] = 1;
+    ++departed_count_;
+    // In-flight batched arrivals crossing v must die at v's hop at the right
+    // tick: demote them to hop-by-hop, exactly as crash() does.
+    if (batched_in_flight_.load(std::memory_order_relaxed) > 0) devolve_batched_deliveries();
+    if (auto& h = handlers_[static_cast<std::size_t>(v)]) h->on_crash(*this);
+    handlers_[static_cast<std::size_t>(v)].reset();
+    graph_m_->remove_node(v);
+    graph_m_->finalize();
+    if (par_) par_->map.release(v);
+    metrics_.add(counter_membership_events);
+}
+
+void simulator::rejoin(net::node_id v, std::span<const net::node_id> attach) {
+    require_membership_call("simulator::rejoin");
+    if (!graph_->valid_node(v)) throw std::out_of_range{"simulator::rejoin: bad node"};
+    if (!departed_[static_cast<std::size_t>(v)])
+        throw std::invalid_argument{"simulator::rejoin: node never left"};
+    if (attach.empty())
+        throw std::invalid_argument{"simulator::rejoin: need at least one attachment point"};
+    for (const net::node_id w : attach)
+        if (!graph_m_->present(w))
+            throw std::invalid_argument{"simulator::rejoin: attachment point not present"};
+    graph_m_->add_node(v);
+    for (const net::node_id w : attach) graph_m_->add_edge(v, w);
+    graph_m_->finalize();
+    departed_[static_cast<std::size_t>(v)] = 0;
+    --departed_count_;
+    if (par_) par_->map.absorb(*graph_, v);
+    metrics_.add(counter_membership_events);
 }
 
 // --- delivery ----------------------------------------------------------------
@@ -443,10 +533,11 @@ void simulator::arrive_batched(const event& e) {
     const auto dest = static_cast<std::size_t>(path[static_cast<std::size_t>(len)]);
     // The transit prefix was spent whether or not the delivery lands.
     credit_hops(path, e.credited, len, e.msg.tag);
-    // crash() devolves pending batched arrivals before returning, so this
-    // mirror of the slow path's destination crash check is only reachable
-    // through a crash() from inside a handler racing this very tick.
-    if (crashed_[dest]) {
+    // crash()/leave() devolve pending batched arrivals before returning, so
+    // this mirror of the slow path's destination crash check is only
+    // reachable through a crash() from inside a handler racing this very
+    // tick.
+    if (crashed_[dest] || departed_[dest]) {
         note_dropped();
         return;
     }
@@ -472,9 +563,14 @@ void simulator::arrive_slow(event e) {
     transit_[static_cast<std::size_t>(at)].fetch_add(1, std::memory_order_relaxed);
     note_hops(1);
     if (e.msg.tag != 0) credit_tag(e.msg.tag, 1);
-    if (e.path && batched_ && crashed_count_ == 0) {
+    if (e.path && batched_ && crashed_count_ == 0 &&
+        (departed_count_ == 0 || !crosses_departed(*e.path, e.hop_index + 1))) {
         // Fast path: nothing observable can happen until the destination, so
-        // the rest of the flight is one batched arrival event.
+        // the rest of the flight is one batched arrival event.  A departed
+        // node elsewhere does not force the slow path (unlike a crash, a
+        // leave strips the node's edges, so no *new* route crosses it); only
+        // a pre-leave route whose own remainder crosses a departed node must
+        // stay hop-by-hop to die at that hop.
         event arrival;
         arrival.kind = event_kind::deliver;
         arrival.sent_at = e.sent_at;
@@ -518,6 +614,11 @@ void simulator::process(event e) {
             }
             break;
     }
+}
+
+void simulator::set_merge_parallel_threshold(std::int64_t items) {
+    if (items < 0) throw std::invalid_argument{"simulator::set_merge_parallel_threshold: < 0"};
+    merge_par_threshold_ = items;
 }
 
 void simulator::set_randomized_routing(std::uint64_t seed) {
@@ -661,7 +762,7 @@ int simulator::assign_round_seqs() {
     // its own.  Same permutation the old coordinator-side global sort
     // assigned, computed shard-parallel with no serial residue.
     const std::size_t runs = st.shards.size();
-    st.for_shards(busy > 1 && total >= merge_parallel_threshold, [&st, base, runs](int s) {
+    st.for_shards(busy > 1 && total >= merge_par_threshold_, [&st, base, runs](int s) {
         auto& sh = st.shards[static_cast<std::size_t>(s)];
         if (sh.round.empty()) return;
         net::kway_merge_ranks(
@@ -688,7 +789,7 @@ void simulator::flush_future_mailboxes() {
     // is exactly the per-bucket FIFO the next round 0 reads - the global
     // (at, key) sort the coordinator used to run is unnecessary, and no two
     // shards touch the same queue or box.
-    st.for_shards(total >= merge_parallel_threshold, [&st, count](int d) {
+    st.for_shards(total >= merge_par_threshold_, [&st, count](int d) {
         auto& dst = st.shards[static_cast<std::size_t>(d)];
         net::kway_merge(
             count,
@@ -712,7 +813,7 @@ void simulator::merge_shard_accumulators() {
     // is free of determinism risk, and the maps' buckets are reused.
     for (std::size_t gap = 1; gap < count; gap *= 2) {
         const bool wide = count > 2 * gap;  // more than one fold at this level
-        st.for_shards(wide && entries >= static_cast<std::size_t>(merge_parallel_threshold),
+        st.for_shards(wide && entries >= static_cast<std::size_t>(merge_par_threshold_),
                       [&st, gap, count](int idx) {
                           const auto s = static_cast<std::size_t>(idx);
                           if (s % (2 * gap) != 0 || s + gap >= count) return;
@@ -790,7 +891,7 @@ bool simulator::run_parallel_tick(time_point horizon) {
             pending += static_cast<std::int64_t>(sh.queue.size());
         }
     }
-    st.for_shards(busy_queues > 1 && pending >= merge_parallel_threshold, [&st, tick](int s) {
+    st.for_shards(busy_queues > 1 && pending >= merge_par_threshold_, [&st, tick](int s) {
         auto& sh = st.shards[static_cast<std::size_t>(s)];
         for (auto nt = sh.queue.next_time(); nt && *nt == tick; nt = sh.queue.next_time())
             sh.round.push_back(sh.queue.pop());
@@ -888,7 +989,7 @@ bool simulator::run_parallel_tick(time_point horizon) {
                 cascade_events += static_cast<std::int64_t>(box.size());
         if (cascade_events > 0) {
             const std::size_t count = st.shards.size();
-            st.for_shards(cascade_events >= merge_parallel_threshold, [&st, count](int d) {
+            st.for_shards(cascade_events >= merge_par_threshold_, [&st, count](int d) {
                 auto& dst = st.shards[static_cast<std::size_t>(d)];
                 net::kway_merge(
                     count,

@@ -106,7 +106,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -161,6 +163,11 @@ class simulator {
 public:
     // The graph must outlive the simulator and be connected.
     explicit simulator(const net::graph& g);
+    // Mutable-graph overload: same engine, but additionally enables the
+    // dynamic-membership API (join/leave/rejoin below), which mutates the
+    // graph through this reference.  The graph must not be mutated behind
+    // the simulator's back once handed over.
+    explicit simulator(net::graph& g);
     ~simulator();
 
     simulator(const simulator&) = delete;
@@ -186,7 +193,31 @@ public:
     // (throws from inside a round).
     void crash(net::node_id v);
     void recover(net::node_id v);
+    // True when v is crashed OR departed: both states drop traffic at v.
     [[nodiscard]] bool crashed(net::node_id v) const;
+
+    // --- dynamic membership -------------------------------------------------
+    // Available only with the mutable-graph constructor (topology_mutable());
+    // all three are top-level calls like crash()/recover().  Membership
+    // events are ordered against in-flight batched deliveries exactly the
+    // way crash() is: leave() demotes pending batched arrivals to hop-by-hop
+    // so a message crossing the leaving node dies at that hop at the right
+    // tick, and a message still in flight keeps following its launch-time
+    // route (store-and-forward does not reroute mid-flight).
+    //
+    // join(attach) adds a fresh node connected to the present nodes in
+    // `attach` (at least one; duplicates throw) and returns its id.
+    // leave(v) removes a present node: in-flight traffic through it is
+    // demoted and dropped at its hop, its handler gets on_crash and is
+    // detached, and its edges are removed from the graph (routing tables
+    // repair incrementally off the graph's change log).
+    // rejoin(v, attach) restores a departed id with new attachment edges;
+    // the caller re-attaches a handler afterwards.
+    [[nodiscard]] net::node_id join(std::span<const net::node_id> attach);
+    void leave(net::node_id v);
+    void rejoin(net::node_id v, std::span<const net::node_id> attach);
+    [[nodiscard]] bool departed(net::node_id v) const;
+    [[nodiscard]] bool topology_mutable() const noexcept { return graph_m_ != nullptr; }
 
     // Runs until the event queue is empty (or the safety cap is hit).
     void run();
@@ -277,6 +308,18 @@ public:
     // every shard table, each view keeping at least 4 rows.
     void set_route_cache_limit(std::size_t rows);
 
+    // Below this many items a barrier-pipeline merge runs inline on the
+    // coordinator instead of waking the worker pool (waking costs
+    // microseconds, so tiny merges would pay more in wakeups than they
+    // save).  Results are identical for any value - the threshold only picks
+    // which threads do commutative, data-parallel work - so it is exposed as
+    // a runtime tuning knob (bench_e18_parallel reads
+    // MM_MERGE_PARALLEL_THRESHOLD and records the value in its report).
+    void set_merge_parallel_threshold(std::int64_t items);
+    [[nodiscard]] std::int64_t merge_parallel_threshold() const noexcept {
+        return merge_par_threshold_;
+    }
+
 private:
     enum class event_kind {
         hop,      // slow path: arrival at path[hop_index] (or at `node` when
@@ -318,19 +361,24 @@ private:
     struct parallel_state;
 
     const net::graph* graph_;
+    net::graph* graph_m_ = nullptr;  // set by the mutable-graph constructor
     net::routing_table routes_;
     std::vector<std::shared_ptr<node_handler>> handlers_;
     std::vector<char> crashed_;
+    std::vector<char> departed_;
     // Relaxed atomics: increments are commutative, so parallel rounds can
     // credit path prefixes that cross shard boundaries lock-free and the
-    // totals still match the serial run bit for bit.
-    std::vector<std::atomic<std::int64_t>> traffic_;
-    std::vector<std::atomic<std::int64_t>> transit_;
+    // totals still match the serial run bit for bit.  Deques, not vectors:
+    // join() grows them in place and std::atomic cannot be relocated.
+    std::deque<std::atomic<std::int64_t>> traffic_;
+    std::deque<std::atomic<std::int64_t>> transit_;
     calendar_queue<event> events_;  // serial engine's queue (unused once parallel)
     time_point now_ = 0;
     std::int64_t processed_ = 0;
     std::int64_t event_cap_ = 50'000'000;
     std::int64_t crashed_count_ = 0;
+    std::int64_t departed_count_ = 0;
+    std::int64_t merge_par_threshold_ = 256;
     std::atomic<std::int64_t> batched_in_flight_{0};
     bool batched_ = true;
     std::unordered_map<std::int64_t, std::int64_t> tag_hops_;
@@ -357,6 +405,14 @@ private:
     // position (called by crash()), preserving global FIFO order.
     void devolve_batched_deliveries();
     [[nodiscard]] net::node_id pick_next_hop(net::node_id at, net::node_id dest);
+    // True when any of path[from..] is a departed node (a pre-leave route
+    // still in flight); such a remainder must stay hop-by-hop so the message
+    // dies at the departed hop at the right tick.
+    [[nodiscard]] bool crosses_departed(const std::vector<net::node_id>& path,
+                                        std::int64_t from) const;
+    // Grows the per-node state arrays to the graph's node count (join()).
+    void grow_node_state();
+    void require_membership_call(const char* what) const;
 
     // Stamps the canonical key and routes the event to the right queue or
     // mailbox for the calling context.

@@ -1,0 +1,339 @@
+// Tests for dynamic membership under load: simulator join/leave/rejoin
+// ordered against in-flight (batched) deliveries, the name_service churn
+// hooks, and serial-vs-parallel bit-equality of churning workloads.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "net/topologies.h"
+#include "runtime/workload.h"
+#include "sim/simulator.h"
+#include "strategies/grid.h"
+
+namespace mm {
+namespace {
+
+class recorder final : public sim::node_handler {
+public:
+    std::vector<sim::message> delivered;
+    void on_message(sim::simulator&, const sim::message& msg) override {
+        delivered.push_back(msg);
+    }
+};
+
+// --- simulator membership --------------------------------------------------
+
+TEST(churn_sim, join_leave_rejoin_basics) {
+    auto g = net::make_ring(6);
+    sim::simulator sim{g};
+    ASSERT_TRUE(sim.topology_mutable());
+
+    const std::array<net::node_id, 2> attach{0, 3};
+    const net::node_id v = sim.join(attach);
+    EXPECT_EQ(v, 6);
+    EXPECT_TRUE(g.present(v));
+    EXPECT_EQ(g.degree(v), 2);
+    EXPECT_FALSE(sim.crashed(v));
+
+    sim.leave(v);
+    EXPECT_TRUE(sim.departed(v));
+    EXPECT_TRUE(sim.crashed(v));  // departed implies unreachable
+    EXPECT_FALSE(g.present(v));
+    EXPECT_EQ(g.live_node_count(), 6);
+
+    const std::array<net::node_id, 1> fresh{2};
+    sim.rejoin(v, fresh);
+    EXPECT_FALSE(sim.departed(v));
+    EXPECT_TRUE(g.present(v));
+    EXPECT_EQ(g.degree(v), 1);
+    EXPECT_EQ(sim.stats().get(sim::counter_membership_events), 3);
+}
+
+TEST(churn_sim, immutable_simulator_rejects_membership_calls) {
+    const auto g = net::make_ring(4);
+    sim::simulator sim{g};
+    EXPECT_FALSE(sim.topology_mutable());
+    const std::array<net::node_id, 1> attach{0};
+    EXPECT_THROW((void)sim.join(attach), std::logic_error);
+    EXPECT_THROW(sim.leave(0), std::logic_error);
+}
+
+TEST(churn_sim, join_validation) {
+    auto g = net::make_ring(4);
+    sim::simulator sim{g};
+    EXPECT_THROW((void)sim.join({}), std::invalid_argument);  // no attach points
+    sim.leave(1);
+    const std::array<net::node_id, 1> gone{1};
+    EXPECT_THROW((void)sim.join(gone), std::invalid_argument);  // absent anchor
+    EXPECT_THROW(sim.rejoin(0, gone), std::invalid_argument);   // 0 never left
+}
+
+TEST(churn_sim, messages_route_through_joined_node) {
+    // Ring 0..5 plus a joined chord node: 0 - v - 3 shortens the 0->3 walk.
+    auto g = net::make_ring(6);
+    sim::simulator sim{g};
+    const std::array<net::node_id, 2> attach{0, 3};
+    const net::node_id v = sim.join(attach);
+
+    auto rx = std::make_shared<recorder>();
+    sim.attach(3, rx);
+    sim::message msg;
+    msg.source = 0;
+    msg.destination = 3;
+    sim.send(msg);
+    sim.run();
+    ASSERT_EQ(rx->delivered.size(), 1u);
+    EXPECT_EQ(sim.stats().get(sim::counter_hops), 2);  // via v, not 3 ring hops
+    EXPECT_GT(sim.transit_traffic(v), 0);
+}
+
+TEST(churn_sim, leave_devolves_in_flight_batched_deliveries) {
+    // A message already in flight across a node that then leaves must behave
+    // identically whether the fast batched path or the slow per-hop path
+    // carries it: hops made before the leave are counted, delivery fails.
+    std::vector<std::vector<std::int64_t>> outcomes;
+    for (const bool batched : {true, false}) {
+        auto g = net::make_path(6);  // 0-1-2-3-4-5
+        sim::simulator sim{g};
+        sim.set_batched_delivery(batched);
+        auto rx = std::make_shared<recorder>();
+        sim.attach(5, rx);
+
+        sim::message msg;
+        msg.source = 0;
+        msg.destination = 5;
+        sim.send(msg);
+        sim.run_until(2);  // the message sits mid-path, short of node 3
+        sim.leave(3);
+        sim.run();
+
+        EXPECT_EQ(rx->delivered.size(), 0u) << "batched=" << batched;
+        EXPECT_EQ(sim.stats().get(sim::counter_messages_dropped), 1) << "batched=" << batched;
+        outcomes.push_back({sim.stats().get(sim::counter_hops),
+                            sim.stats().get(sim::counter_messages_delivered), sim.now()});
+    }
+    EXPECT_EQ(outcomes[0], outcomes[1]);
+}
+
+TEST(churn_sim, rejoined_node_carries_new_traffic) {
+    auto g = net::make_path(4);  // 0-1-2-3
+    sim::simulator sim{g};
+    sim.leave(1);                // splits the path
+    const std::array<net::node_id, 2> attach{0, 2};
+    sim.rejoin(1, attach);       // heals it
+
+    auto rx = std::make_shared<recorder>();
+    sim.attach(3, rx);
+    sim::message msg;
+    msg.source = 0;
+    msg.destination = 3;
+    sim.send(msg);
+    sim.run();
+    ASSERT_EQ(rx->delivered.size(), 1u);
+    EXPECT_EQ(sim.stats().get(sim::counter_hops), 3);
+}
+
+// --- name_service churn hooks ----------------------------------------------
+
+TEST(churn_name_service, joined_node_serves_and_leave_forgets) {
+    auto g = net::make_grid(4, 4);
+    sim::simulator sim{g};
+    const strategies::manhattan_strategy strategy{4, 4};
+    runtime::name_service ns{sim, strategy};
+
+    const std::array<net::node_id, 2> attach{5, 6};
+    const net::node_id v = ns.join_node(attach);
+    EXPECT_EQ(v, 16);
+
+    const auto port = core::port_of("churn-svc");
+    ns.register_server(port, 5);
+    EXPECT_TRUE(ns.locate(port, 10).found);
+
+    ns.leave_node(5);  // the registration's host leaves for good
+    const auto after = ns.locate(port, 10);
+    EXPECT_FALSE(after.found);
+}
+
+TEST(churn_name_service, rejoined_node_starts_with_empty_state) {
+    auto g = net::make_grid(4, 4);
+    sim::simulator sim{g};
+    const strategies::manhattan_strategy strategy{4, 4};
+    runtime::name_service ns{sim, strategy};
+
+    const auto port = core::port_of("churn-svc");
+    ns.register_server(port, 9);
+    ASSERT_TRUE(ns.locate(port, 2).found);
+
+    ns.leave_node(9);
+    const std::array<net::node_id, 1> attach{8};
+    ns.rejoin_node(9, attach);
+    // The machine at id 9 is back but remembers nothing.
+    EXPECT_FALSE(ns.locate(port, 2).found);
+    ns.register_server(port, 9);
+    EXPECT_TRUE(ns.locate(port, 2).found);
+}
+
+// --- churning workloads: serial vs parallel bit-equality --------------------
+
+struct churn_run {
+    runtime::workload_stats stats;
+    std::int64_t hops = 0;
+    std::int64_t sent = 0;
+    std::int64_t delivered = 0;
+    std::int64_t dropped = 0;
+    std::int64_t membership_events = 0;
+    net::node_id live_nodes = 0;
+};
+
+churn_run run_churn_workload(int threads, const runtime::workload_options& wl) {
+    const net::node_id side = 8;
+    net::graph g = net::make_grid(side, side);
+    sim::simulator sim{g};
+    if (threads > 0) sim.set_worker_threads(threads);
+    const strategies::manhattan_strategy strategy{side, side};
+    runtime::name_service ns{sim, strategy};
+    churn_run out;
+    out.stats = runtime::run_workload(ns, wl);
+    out.hops = sim.stats().get(sim::counter_hops);
+    out.sent = sim.stats().get(sim::counter_messages_sent);
+    out.delivered = sim.stats().get(sim::counter_messages_delivered);
+    out.dropped = sim.stats().get(sim::counter_messages_dropped);
+    out.membership_events = sim.stats().get(sim::counter_membership_events);
+    out.live_nodes = g.live_node_count();
+    return out;
+}
+
+void expect_equal_runs(const churn_run& a, const churn_run& b) {
+    EXPECT_EQ(a.hops, b.hops);
+    EXPECT_EQ(a.sent, b.sent);
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.dropped, b.dropped);
+    EXPECT_EQ(a.membership_events, b.membership_events);
+    EXPECT_EQ(a.live_nodes, b.live_nodes);
+    const auto& sa = a.stats;
+    const auto& sb = b.stats;
+    EXPECT_EQ(sa.issued, sb.issued);
+    EXPECT_EQ(sa.completed, sb.completed);
+    EXPECT_EQ(sa.locates, sb.locates);
+    EXPECT_EQ(sa.locates_found, sb.locates_found);
+    EXPECT_EQ(sa.crashes, sb.crashes);
+    EXPECT_EQ(sa.joins, sb.joins);
+    EXPECT_EQ(sa.leaves, sb.leaves);
+    EXPECT_EQ(sa.rejoins, sb.rejoins);
+    EXPECT_EQ(sa.per_op_message_passes, sb.per_op_message_passes);
+    EXPECT_EQ(sa.global_message_passes, sb.global_message_passes);
+    EXPECT_EQ(sa.max_in_flight, sb.max_in_flight);
+    EXPECT_EQ(sa.makespan, sb.makespan);
+    EXPECT_EQ(sa.latency_p50, sb.latency_p50);
+    EXPECT_EQ(sa.latency_p95, sb.latency_p95);
+    EXPECT_EQ(sa.latency_p99, sb.latency_p99);
+    EXPECT_EQ(sa.latency_max, sb.latency_max);
+    ASSERT_EQ(sa.results.size(), sb.results.size());
+    for (std::size_t i = 0; i < sa.results.size(); ++i) {
+        const auto& ra = sa.results[i];
+        const auto& rb = sb.results[i];
+        EXPECT_EQ(ra.found, rb.found) << "op " << i;
+        EXPECT_EQ(ra.where, rb.where) << "op " << i;
+        EXPECT_EQ(ra.latency, rb.latency) << "op " << i;
+        EXPECT_EQ(ra.message_passes, rb.message_passes) << "op " << i;
+        EXPECT_EQ(ra.issued_at, rb.issued_at) << "op " << i;
+        EXPECT_EQ(ra.completed_at, rb.completed_at) << "op " << i;
+    }
+}
+
+runtime::workload_options churn_mix(std::uint64_t seed) {
+    runtime::workload_options wl;
+    wl.seed = seed;
+    wl.operations = 200;
+    wl.mean_interarrival = 1.0;
+    wl.ports = 8;
+    wl.servers_per_port = 2;
+    wl.locate_weight = 0.70;
+    wl.register_weight = 0.05;
+    wl.migrate_weight = 0.05;
+    wl.crash_weight = 0.04;
+    wl.crash_downtime = 25;
+    wl.join_weight = 0.08;
+    wl.leave_weight = 0.05;
+    wl.rejoin_weight = 0.03;
+    wl.join_edges = 2;
+    return wl;
+}
+
+TEST(churn_workload, worker_counts_bit_identical_under_churn) {
+    // The determinism contract of the parallel engine: the 1-worker run is
+    // the serial-order reference (as in e18/test_parallel_sim), and every
+    // wider worker count must reproduce it bit for bit - here with joins,
+    // leaves, rejoins and crashes all mixed into the stream.
+    for (const std::uint64_t seed : {1ULL, 20260731ULL}) {
+        const auto wl = churn_mix(seed);
+        const auto reference = run_churn_workload(1, wl);
+        EXPECT_GT(reference.stats.joins, 0);
+        EXPECT_GT(reference.stats.leaves, 0);
+        EXPECT_GT(reference.stats.rejoins, 0);
+        EXPECT_EQ(reference.membership_events,
+                  reference.stats.joins + reference.stats.leaves + reference.stats.rejoins);
+        EXPECT_EQ(reference.live_nodes, 64 + reference.stats.joins - reference.stats.leaves +
+                                            reference.stats.rejoins);
+        for (const int threads : {2, 4}) {
+            const auto par = run_churn_workload(threads, wl);
+            expect_equal_runs(reference, par);
+        }
+    }
+}
+
+TEST(churn_workload, serial_engine_runs_churn_deterministically) {
+    // The plain serial engine (no worker pool) is its own reference: two
+    // identical churning runs must agree bit for bit.  (Cross-engine
+    // equality is pinned at the 1-worker run instead - multicast trees
+    // follow shortest-path tie-breaks, which the serial engine leaves
+    // residency-dependent.)
+    const auto wl = churn_mix(20260807);
+    const auto first = run_churn_workload(0, wl);
+    const auto second = run_churn_workload(0, wl);
+    EXPECT_GT(first.stats.joins, 0);
+    EXPECT_GT(first.stats.leaves, 0);
+    expect_equal_runs(first, second);
+}
+
+TEST(churn_workload, churn_requires_a_mutable_graph) {
+    const auto g = net::make_grid(4, 4);
+    sim::simulator sim{g};  // const graph: topology is frozen
+    const strategies::manhattan_strategy strategy{4, 4};
+    runtime::name_service ns{sim, strategy};
+    auto wl = churn_mix(1);
+    wl.operations = 10;
+    EXPECT_THROW((void)runtime::run_workload(ns, wl), std::invalid_argument);
+}
+
+TEST(churn_workload, zero_churn_weights_reproduce_the_static_mix) {
+    // With churn weights at zero the dice stream and therefore the whole
+    // run must be identical over mutable and immutable simulators.
+    runtime::workload_options wl;
+    wl.seed = 99;
+    wl.operations = 120;
+    const net::node_id side = 6;
+    const strategies::manhattan_strategy strategy{side, side};
+
+    const auto g_const = net::make_grid(side, side);
+    sim::simulator sim_a{g_const};
+    runtime::name_service ns_a{sim_a, strategy};
+    const auto stats_a = runtime::run_workload(ns_a, wl);
+
+    net::graph g_mut = net::make_grid(side, side);
+    sim::simulator sim_b{g_mut};
+    runtime::name_service ns_b{sim_b, strategy};
+    const auto stats_b = runtime::run_workload(ns_b, wl);
+
+    EXPECT_EQ(stats_a.issued, stats_b.issued);
+    EXPECT_EQ(stats_a.completed, stats_b.completed);
+    EXPECT_EQ(stats_a.global_message_passes, stats_b.global_message_passes);
+    EXPECT_EQ(stats_a.makespan, stats_b.makespan);
+    EXPECT_EQ(stats_b.joins, 0);
+    EXPECT_EQ(stats_b.leaves, 0);
+}
+
+}  // namespace
+}  // namespace mm

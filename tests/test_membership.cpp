@@ -1,0 +1,281 @@
+// Tests for dynamic membership at the net layer: graph join/leave/rejoin
+// with the change log, incremental routing-table repair against a
+// rebuild-from-scratch oracle, and shard_map absorb/release.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/graph.h"
+#include "net/routing.h"
+#include "net/shard_map.h"
+#include "net/topologies.h"
+#include "sim/rng.h"
+
+namespace mm::net {
+namespace {
+
+// --- graph membership ------------------------------------------------------
+
+TEST(membership_graph, remove_node_detaches_and_marks_absent) {
+    auto g = make_ring(5);
+    ASSERT_TRUE(g.present(2));
+    ASSERT_EQ(g.live_node_count(), 5);
+    g.remove_node(2);
+    EXPECT_FALSE(g.present(2));
+    EXPECT_TRUE(g.valid_node(2));  // the id survives
+    EXPECT_EQ(g.live_node_count(), 4);
+    EXPECT_EQ(g.degree(2), 0);
+    EXPECT_EQ(g.degree(1), 1);
+    EXPECT_EQ(g.degree(3), 1);
+    EXPECT_EQ(g.edge_count(), 3);
+    EXPECT_TRUE(g.connected());  // ring minus a node is a path
+}
+
+TEST(membership_graph, add_node_appends_fresh_id) {
+    auto g = make_ring(4);
+    const node_id v = g.add_node();
+    EXPECT_EQ(v, 4);
+    EXPECT_EQ(g.node_count(), 5);
+    EXPECT_EQ(g.live_node_count(), 5);
+    EXPECT_TRUE(g.present(v));
+    EXPECT_EQ(g.degree(v), 0);
+    g.add_edge(v, 0);
+    g.add_edge(v, 2);
+    EXPECT_EQ(g.degree(v), 2);
+    EXPECT_TRUE(g.connected());
+}
+
+TEST(membership_graph, rejoin_restores_id_with_no_edges) {
+    auto g = make_ring(5);
+    g.remove_node(2);
+    g.add_node(2);
+    EXPECT_TRUE(g.present(2));
+    EXPECT_EQ(g.live_node_count(), 5);
+    EXPECT_EQ(g.degree(2), 0);      // a rejoining machine starts bare
+    EXPECT_FALSE(g.connected());    // until it attaches somewhere
+    g.add_edge(2, 1);
+    EXPECT_TRUE(g.connected());
+}
+
+TEST(membership_graph, generation_counts_every_change) {
+    auto g = make_path(3);  // 2 edge_added records
+    const auto gen0 = g.generation();
+    g.add_edge(0, 2);       // +1
+    g.remove_node(1);       // 2 edge_removed + 1 node_removed = +3
+    EXPECT_EQ(g.generation(), gen0 + 4);
+}
+
+TEST(membership_graph, change_log_replays_in_order) {
+    auto g = make_path(4);
+    const auto gen = g.generation();
+    g.remove_node(3);       // edge_removed{3,2}, node_removed{3}
+    const node_id v = g.add_node();
+    g.add_edge(v, 0);
+    std::vector<change> log;
+    ASSERT_TRUE(g.changes_since(gen, log));
+    ASSERT_EQ(log.size(), 4u);
+    EXPECT_EQ(log[0].kind, change_kind::edge_removed);
+    EXPECT_EQ(log[1].kind, change_kind::node_removed);
+    EXPECT_EQ(log[1].a, 3);
+    EXPECT_EQ(log[2].kind, change_kind::node_added);
+    EXPECT_EQ(log[2].a, v);
+    EXPECT_EQ(log[3].kind, change_kind::edge_added);
+}
+
+TEST(membership_graph, change_log_window_is_bounded) {
+    auto g = make_path(2);
+    const auto gen = g.generation();
+    for (int i = 0; i < 2100; ++i) {  // 4200 changes > the 4096-record window
+        g.remove_edge(0, 1);
+        g.add_edge(0, 1);
+    }
+    std::vector<change> log;
+    EXPECT_FALSE(g.changes_since(gen, log));
+    // A recent generation still replays.
+    const auto recent = g.generation();
+    g.remove_edge(0, 1);
+    EXPECT_TRUE(g.changes_since(recent, log));
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(log[0].kind, change_kind::edge_removed);
+}
+
+TEST(membership_graph, validation) {
+    auto g = make_ring(4);
+    EXPECT_THROW(g.add_node(2), std::invalid_argument);   // already present
+    g.remove_node(2);
+    EXPECT_THROW(g.remove_node(2), std::invalid_argument);  // already absent
+    EXPECT_THROW(g.add_edge(1, 2), std::invalid_argument);  // absent endpoint
+    EXPECT_THROW(g.remove_node(99), std::out_of_range);
+}
+
+// --- incremental routing repair vs. full-rebuild oracle --------------------
+
+// Compares the incrementally repaired table against a table built fresh on
+// the mutated graph.  Both use source-rooted paths, so path() is a pure
+// function of its endpoints and must agree exactly -- this is the row-purity
+// invariant (a surviving row is bit-identical to a fresh BFS row).
+void expect_matches_fresh(const graph& g, const routing_table& incremental) {
+    routing_table fresh{g};
+    fresh.set_source_rooted_paths(true);
+    const node_id n = g.node_count();
+    for (node_id a = 0; a < n; ++a) {
+        if (!g.present(a)) continue;
+        for (node_id b = 0; b < n; ++b) {
+            if (!g.present(b)) continue;
+            EXPECT_EQ(incremental.distance(a, b), fresh.distance(a, b))
+                << "distance(" << a << ", " << b << ")";
+            if (a != b) {
+                EXPECT_EQ(incremental.path(a, b), fresh.path(a, b))
+                    << "path(" << a << ", " << b << ")";
+            }
+        }
+    }
+}
+
+TEST(membership_routing, repair_matches_rebuild_over_random_churn) {
+    auto g = make_grid(5, 5);
+    routing_table rt{g};
+    rt.set_source_rooted_paths(true);
+    sim::rng random{7};
+
+    // Warm every row so repair has maximal state to keep consistent.
+    for (node_id v = 1; v < g.node_count(); ++v) (void)rt.next_hop(0, v);
+
+    std::vector<node_id> joined;
+    for (int step = 0; step < 40; ++step) {
+        const auto dice = random.uniform(0, 3);
+        if (dice == 0) {  // join a fresh node at 1-2 attach points
+            std::vector<node_id> attach;
+            for (int tries = 0; tries < 16 && attach.size() < 2; ++tries) {
+                const auto v = static_cast<node_id>(random.uniform(0, g.node_count() - 1));
+                if (g.present(v) && std::find(attach.begin(), attach.end(), v) == attach.end())
+                    attach.push_back(v);
+            }
+            if (attach.empty()) continue;
+            const node_id v = g.add_node();
+            for (const auto a : attach) g.add_edge(v, a);
+            joined.push_back(v);
+        } else if (dice == 1 && !joined.empty()) {  // leave a joined node
+            const auto ji = static_cast<std::size_t>(
+                random.uniform(0, static_cast<std::int64_t>(joined.size()) - 1));
+            g.remove_node(joined[ji]);
+            joined.erase(joined.begin() + static_cast<std::ptrdiff_t>(ji));
+        } else {  // toggle a random extra edge between present base nodes
+            const auto a = static_cast<node_id>(random.uniform(0, 24));
+            const auto b = static_cast<node_id>(random.uniform(0, 24));
+            if (a == b || !g.present(a) || !g.present(b)) continue;
+            if (g.has_edge(a, b)) {
+                g.remove_edge(a, b);
+                if (!g.connected()) g.add_edge(a, b);  // keep the oracle total
+            } else {
+                g.add_edge(a, b);
+            }
+        }
+        g.finalize();
+        expect_matches_fresh(g, rt);
+    }
+}
+
+TEST(membership_routing, pendant_join_is_leaf_patched_without_rebuilds) {
+    auto g = make_grid(6, 6);
+    routing_table rt{g};
+    // Warm a handful of rows.
+    for (node_id v : {1, 7, 14, 21, 35}) (void)rt.next_hop(0, v);
+    const auto rows_before = rt.materialized_rows();
+    const auto builds_before = rt.row_builds();
+
+    const node_id v = g.add_node();
+    g.add_edge(v, 14);
+    g.finalize();
+
+    // Every warmed row answers for the new node without a single rebuild.
+    for (node_id root : {1, 7, 14, 21, 35})
+        EXPECT_EQ(rt.distance(root, v), rt.distance(root, 14) + 1);
+    EXPECT_EQ(rt.row_builds(), builds_before);
+    EXPECT_EQ(rt.row_invalidations(), 0);
+    EXPECT_EQ(rt.materialized_rows(), rows_before);
+    EXPECT_EQ(rt.synced_generation(), g.generation());
+}
+
+TEST(membership_routing, log_overflow_falls_back_to_full_reset) {
+    auto g = make_path(3);
+    routing_table rt{g};
+    (void)rt.next_hop(0, 2);  // one resident row
+    for (int i = 0; i < 2100; ++i) {  // blow the 4096-record change window
+        g.remove_edge(0, 1);
+        g.add_edge(0, 1);
+    }
+    const node_id v = g.add_node();
+    g.add_edge(v, 2);
+    g.finalize();
+    (void)rt.distance(0, 2);  // first query after the overflow triggers sync
+    EXPECT_GE(rt.row_invalidations(), 1);  // dropped on reset, not repaired
+    expect_matches_fresh(g, rt);
+}
+
+// --- shard_map absorb / release --------------------------------------------
+
+TEST(membership_shard, absorb_follows_neighbor_majority) {
+    // Two halves of a path, one shard each.
+    auto g = make_path(8);
+    shard_map m{std::vector<int>{0, 0, 0, 0, 1, 1, 1, 1}, 2};
+    const node_id v = g.add_node();
+    g.add_edge(v, 5);
+    g.add_edge(v, 6);
+    g.add_edge(v, 0);
+    g.finalize();
+    EXPECT_EQ(m.absorb(g, v), 1);  // two of three neighbors live in shard 1
+    EXPECT_EQ(m.shard_of(v), 1);
+}
+
+TEST(membership_shard, absorb_overloaded_majority_goes_to_lightest) {
+    // Shard 0 holds 7 of 9 nodes; with 3 shards that exceeds twice the mean
+    // live load, so a joiner is re-balanced to the lightest shard even when
+    // all its neighbors vote for shard 0.
+    auto g = make_path(9);
+    shard_map m{std::vector<int>{0, 0, 0, 0, 0, 0, 0, 1, 2}, 3};
+    const node_id v = g.add_node();
+    g.add_edge(v, 0);
+    g.add_edge(v, 1);
+    g.finalize();
+    EXPECT_EQ(m.absorb(g, v), 1);  // lightest, ties broken to the lowest id
+}
+
+TEST(membership_shard, absorb_isolated_node_goes_to_lightest) {
+    auto g = make_path(4);
+    shard_map m{std::vector<int>{0, 0, 0, 1}, 2};
+    const node_id v = g.add_node();  // no edges yet: zero votes everywhere
+    EXPECT_EQ(m.absorb(g, v), 1);
+}
+
+TEST(membership_shard, absorb_release_is_deterministic) {
+    auto g1 = make_grid(4, 4);
+    auto g2 = make_grid(4, 4);
+    auto m1 = make_shard_map(g1, 4);
+    auto m2 = make_shard_map(g2, 4);
+    for (int i = 0; i < 12; ++i) {
+        const node_id v1 = g1.add_node();
+        const node_id v2 = g2.add_node();
+        ASSERT_EQ(v1, v2);
+        g1.add_edge(v1, static_cast<node_id>(i % 16));
+        g2.add_edge(v2, static_cast<node_id>(i % 16));
+        ASSERT_EQ(m1.absorb(g1, v1), m2.absorb(g2, v2));
+        if (i % 3 == 2) {
+            m1.release(v1);
+            m2.release(v2);
+            g1.remove_node(v1);
+            g2.remove_node(v2);
+        }
+    }
+    for (node_id v = 0; v < g1.node_count(); ++v) EXPECT_EQ(m1.shard_of(v), m2.shard_of(v));
+}
+
+TEST(membership_shard, make_shard_map_rejects_churned_graph) {
+    auto g = make_grid(4, 4);
+    g.remove_node(5);
+    EXPECT_THROW(make_shard_map(g, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mm::net

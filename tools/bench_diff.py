@@ -24,11 +24,17 @@ import tempfile
 from pathlib import Path
 
 
-def flatten_metrics(aggregate: dict) -> dict[str, float | None]:
+def flatten_metrics(aggregate: dict,
+                    units: set[str] | None = None) -> dict[str, float | None]:
+    """Flattens to ``binary/metric -> value``; with ``units``, keeps only
+    metrics whose ``unit`` field is in that set (the deterministic-counter
+    gate passes the counter units, leaving wall-clock metrics out)."""
     out: dict[str, float | None] = {}
     for result in aggregate.get("results", []):
         report = result.get("report") or {}
         for metric in report.get("metrics", []):
+            if units is not None and metric.get("unit", "") not in units:
+                continue
             out[f'{result["binary"]}/{metric["name"]}'] = metric["value"]
     return out
 
@@ -53,11 +59,12 @@ def load(path: str) -> dict:
     return data
 
 
-def diff(old_path: str, new_path: str, threshold: float, strict: bool) -> int:
+def diff(old_path: str, new_path: str, threshold: float, strict: bool,
+         units: set[str] | None = None) -> int:
     old_aggregate = load(old_path)
     new_aggregate = load(new_path)
-    old = flatten_metrics(old_aggregate)
-    new = flatten_metrics(new_aggregate)
+    old = flatten_metrics(old_aggregate, units)
+    new = flatten_metrics(new_aggregate, units)
 
     regressions = 0
     structural = 0
@@ -89,8 +96,9 @@ def diff(old_path: str, new_path: str, threshold: float, strict: bool) -> int:
 
     flagged = regressions + (structural if strict else 0)
     if flagged == 0:
+        scope = f" (units: {', '.join(sorted(units))})" if units else ""
         print(f"bench_diff: no metric moved more than {threshold:.0%} "
-              f"({len(old.keys() | new.keys())} metrics compared)")
+              f"({len(old.keys() | new.keys())} metrics compared){scope}")
     return 1 if flagged else 0
 
 
@@ -136,6 +144,20 @@ def self_test() -> int:
             "20% delta and check flip must flag"
         assert diff(str(old_path), str(new_path), 0.50, strict=True) == 1, \
             "strict mode must flag the removed metric"
+        # The unit filter scopes the diff: restricted to "ops" the +20%
+        # regression is still caught, but restricted to "hops" (absent here)
+        # only the check flip remains -- checks are never filtered out.
+        assert diff(str(old_path), str(new_path), 0.05, strict=True,
+                    units={"ops"}) == 1, \
+            "unit filter must keep the ops-unit regression"
+        changed["results"][0]["report"]["checks"][0]["ok"] = True
+        new_path.write_text(json.dumps(changed))
+        assert diff(str(old_path), str(new_path), 0.05, strict=True,
+                    units={"hops"}) == 0, \
+            "unit filter must drop metrics outside the named units"
+        assert diff(str(old_path), str(new_path), 0.0, strict=False,
+                    units={""}) == 1, \
+            "zero threshold over unitless metrics must flag the 2% drift"
 
         bad = Path(tmp) / "bad.json"
         bad.write_text("{}")
@@ -159,6 +181,11 @@ def main() -> int:
                         help="relative change that counts as a regression (default 0.05)")
     parser.add_argument("--strict", action="store_true",
                         help="also fail on added/removed metrics")
+    parser.add_argument("--units", default=None,
+                        help="comma-separated list of metric units to compare; "
+                             "metrics with any other unit are ignored "
+                             "(e.g. --units hops,operations for the "
+                             "deterministic-counter gate)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in smoke test and exit")
     args = parser.parse_args()
@@ -166,7 +193,10 @@ def main() -> int:
         return self_test()
     if not args.old or not args.new:
         parser.error("need OLD and NEW aggregate paths (or --self-test)")
-    return diff(args.old, args.new, args.threshold, args.strict)
+    units = None
+    if args.units is not None:
+        units = {unit.strip() for unit in args.units.split(",")}
+    return diff(args.old, args.new, args.threshold, args.strict, units)
 
 
 if __name__ == "__main__":
