@@ -1,0 +1,164 @@
+// bench_e20: real-transport daemon loopback - locate round-trip latency
+// and throughput against a live mmd_server over 127.0.0.1 TCP.
+//
+// This is the repo's first wall-clock experiment on the real transport
+// stack (everything up to e19 measures simulator ticks): one in-process
+// daemon hosting a hash match-maker universe, then 1 / 8 / 64 concurrent
+// clients - each its own thread, tcp_transport and mm_client, like real
+// processes - hammering locate_fresh and recording per-operation RTTs.
+//
+// Reported metrics are latency percentiles (p50/p95/p99, microseconds)
+// and aggregate ops/s per concurrency level.  All of them are wall-clock
+// quantities: bench_diff tracks them warn-only, never as a blocking gate
+// (counter metrics stay the gate; docs/BENCHMARKS.md).
+//
+// Shape checks are correctness, not speed: every locate finds the server
+// at the right address, and the daemon thread shuts down cleanly.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "daemon/mm_client.h"
+#include "daemon/mmd_server.h"
+#include "daemon/strategy_factory.h"
+#include "transport/tcp_transport.h"
+
+// Under a sanitizer the measurements would measure the sanitizer; keep the
+// shape checks but shrink the operation counts.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MM_E20_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define MM_E20_SANITIZED 1
+#endif
+#endif
+#ifndef MM_E20_SANITIZED
+#define MM_E20_SANITIZED 0
+#endif
+
+namespace {
+
+constexpr mm::net::node_id kNodes = 64;
+constexpr int kReplicas = 3;
+constexpr int kPorts = 16;
+constexpr int kLocatesPerClient = MM_E20_SANITIZED ? 40 : 400;
+
+double percentile(std::vector<double>& sorted, double p) {
+    if (sorted.empty()) return 0.0;
+    const auto rank = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+    return sorted[rank];
+}
+
+struct level_result {
+    std::vector<double> rtt_us;
+    double elapsed_s = 0;
+    std::int64_t wrong = 0;  // locates that missed or found the wrong host
+};
+
+level_result run_level(std::uint16_t port, const mm::core::locate_strategy& strategy,
+                       int clients) {
+    level_result out;
+    std::vector<std::vector<double>> per_client(static_cast<std::size_t>(clients));
+    std::atomic<std::int64_t> wrong{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+        workers.emplace_back([&, c] {
+            mm::transport::tcp_transport net;
+            for (mm::net::node_id v = 0; v < kNodes; ++v)
+                net.add_route(v, "127.0.0.1", port);
+            mm::daemon::mm_client client{net, strategy};
+            auto& samples = per_client[static_cast<std::size_t>(c)];
+            samples.reserve(kLocatesPerClient);
+            for (int i = 0; i < kLocatesPerClient; ++i) {
+                const auto target_port = static_cast<mm::core::port_id>(1 + (c + i) % kPorts);
+                const auto actor = static_cast<mm::net::node_id>((c * 7 + i) % kNodes);
+                const auto begin = std::chrono::steady_clock::now();
+                const auto res = client.locate_fresh(target_port, actor);
+                const auto end = std::chrono::steady_clock::now();
+                samples.push_back(
+                    std::chrono::duration<double, std::micro>(end - begin).count());
+                const auto expected =
+                    static_cast<mm::core::address>(target_port % kNodes);
+                if (!res.found || res.where != expected)
+                    wrong.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (auto& w : workers) w.join();
+    out.elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    for (auto& samples : per_client)
+        out.rtt_us.insert(out.rtt_us.end(), samples.begin(), samples.end());
+    std::sort(out.rtt_us.begin(), out.rtt_us.end());
+    out.wrong = wrong.load();
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    mm::bench::banner(
+        "e20: daemon loopback latency/throughput",
+        "A real mmd daemon on 127.0.0.1 answers locates with the same visible results as "
+        "the simulator oracle; RTT percentiles and ops/s at 1/8/64 concurrent clients.");
+
+    const auto strategy = mm::daemon::make_strategy("hash", kNodes, kReplicas);
+
+    // The daemon, exactly as tools/mmd.cpp runs it, in a background thread.
+    mm::transport::tcp_transport daemon_net;
+    const auto port = daemon_net.listen_on(0);
+    mm::daemon::mmd_server server{daemon_net, *strategy};
+    std::atomic<bool> stop{false};
+    std::thread daemon_thread{[&] { server.serve(stop, 5); }};
+
+    {
+        // Seed one server binding per port: port p lives at node p % kNodes.
+        mm::transport::tcp_transport net;
+        for (mm::net::node_id v = 0; v < kNodes; ++v) net.add_route(v, "127.0.0.1", port);
+        mm::daemon::mm_client seed{net, *strategy};
+        for (int p = 1; p <= kPorts; ++p)
+            seed.register_server(static_cast<mm::core::port_id>(p),
+                                 static_cast<mm::net::node_id>(p % kNodes));
+    }
+
+    std::printf("%8s %10s %10s %10s %10s %12s\n", "clients", "locates", "p50_us", "p95_us",
+                "p99_us", "ops/s");
+    bool all_correct = true;
+    for (const int clients : {1, 8, 64}) {
+        auto level = run_level(port, *strategy, clients);
+        const auto total = static_cast<double>(level.rtt_us.size());
+        const double p50 = percentile(level.rtt_us, 0.50);
+        const double p95 = percentile(level.rtt_us, 0.95);
+        const double p99 = percentile(level.rtt_us, 0.99);
+        const double ops = level.elapsed_s > 0 ? total / level.elapsed_s : 0;
+        std::printf("%8d %10.0f %10.1f %10.1f %10.1f %12.0f\n", clients, total, p50, p95, p99,
+                    ops);
+        char name[64];
+        std::snprintf(name, sizeof name, "locate_rtt_p50_c%d", clients);
+        mm::bench::metric(name, p50, "us");
+        std::snprintf(name, sizeof name, "locate_rtt_p95_c%d", clients);
+        mm::bench::metric(name, p95, "us");
+        std::snprintf(name, sizeof name, "locate_rtt_p99_c%d", clients);
+        mm::bench::metric(name, p99, "us");
+        std::snprintf(name, sizeof name, "locate_ops_per_s_c%d", clients);
+        mm::bench::metric(name, ops, "ops/s");
+        all_correct = all_correct && level.wrong == 0;
+    }
+
+    stop.store(true);
+    daemon_thread.join();
+
+    mm::bench::shape_check("every locate found its server at the registered address",
+                           all_correct);
+    mm::bench::shape_check("daemon served every frame it parsed (no bad frames)",
+                           server.stat().bad_frames == 0);
+    mm::bench::shape_check("daemon shut down cleanly on the stop flag", true);
+    return all_correct ? 0 : 1;
+}

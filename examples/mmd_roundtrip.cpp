@@ -1,0 +1,89 @@
+// mmd_roundtrip - the real-transport quickstart: register, locate and
+// migrate a service through the match-making daemon over loopback TCP.
+//
+// Two modes:
+//  * bare run (the CTest smoke test): starts an in-process daemon on an
+//    ephemeral port, runs the round trip against it, exits 0 - fully
+//    self-contained.
+//  * --connect PORT: skips the in-process daemon and talks to an mmd
+//    already listening on 127.0.0.1:PORT - the README's two-process
+//    quickstart (`mmd --port 7000 &` then `mmd_roundtrip --connect 7000`),
+//    also driven by tools/loopback_smoke.sh in CI.
+//
+// Either way the client side is identical: a strategy shared with the
+// daemon by construction (hash, n = 16, 3 replicas), a route table mapping
+// every abstract node to the daemon's endpoint, and the same op-handle
+// calls the simulator runtime exposes.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+#include "daemon/mm_client.h"
+#include "daemon/mmd_server.h"
+#include "daemon/strategy_factory.h"
+#include "transport/tcp_transport.h"
+
+namespace {
+
+constexpr mm::net::node_id kNodes = 16;
+constexpr int kReplicas = 3;
+
+int run_roundtrip(std::uint16_t port) {
+    const auto strategy = mm::daemon::make_strategy("hash", kNodes, kReplicas);
+    mm::transport::tcp_transport net;
+    for (mm::net::node_id v = 0; v < kNodes; ++v) net.add_route(v, "127.0.0.1", port);
+    mm::daemon::mm_client client{net, *strategy};
+
+    std::printf("registering port 7 at node 3...\n");
+    client.register_server(7, 3);
+
+    auto res = client.locate(7, 11);
+    std::printf("locate(7) from node 11: found=%s where=%d (queried %d rendezvous nodes)\n",
+                res.found ? "yes" : "no", res.where, res.nodes_queried);
+    if (!res.found || res.where != 3) return 1;
+
+    std::printf("migrating port 7 from node 3 to node 9...\n");
+    client.migrate_server(7, 3, 9);
+    res = client.locate_fresh(7, 11);
+    std::printf("locate_fresh(7): found=%s where=%d\n", res.found ? "yes" : "no", res.where);
+    if (!res.found || res.where != 9) return 1;
+
+    client.deregister_server(7, 9);
+    res = client.locate_fresh(7, 11);
+    std::printf("after deregister: found=%s\n", res.found ? "yes" : "no");
+    if (res.found) return 1;
+
+    std::printf("round trip OK\n");
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc == 3 && std::strcmp(argv[1], "--connect") == 0) {
+        const auto port = static_cast<std::uint16_t>(std::atoi(argv[2]));
+        return run_roundtrip(port);
+    }
+    if (argc != 1) {
+        std::fprintf(stderr, "usage: %s [--connect PORT]\n", argv[0]);
+        return 2;
+    }
+
+    // Self-contained mode: daemon and client in one process, real sockets.
+    const auto strategy = mm::daemon::make_strategy("hash", kNodes, kReplicas);
+    mm::transport::tcp_transport daemon_net;
+    const auto port = daemon_net.listen_on(0);
+    mm::daemon::mmd_server server{daemon_net, *strategy};
+    std::atomic<bool> stop{false};
+    std::thread daemon_thread{[&] { server.serve(stop, 5); }};
+    std::printf("in-process mmd listening on 127.0.0.1:%u\n", static_cast<unsigned>(port));
+
+    const int rc = run_roundtrip(port);
+
+    stop.store(true);
+    daemon_thread.join();
+    return rc;
+}

@@ -1,0 +1,59 @@
+#include "core/codec.h"
+
+namespace mm::core {
+
+void byte_writer::u8(std::uint8_t v) { out_->push_back(v); }
+
+void byte_writer::u16(std::uint16_t v) {
+    out_->push_back(static_cast<std::uint8_t>(v));
+    out_->push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void byte_writer::u32(std::uint32_t v) {
+    for (int shift = 0; shift < 32; shift += 8)
+        out_->push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void byte_writer::u64(std::uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8)
+        out_->push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+bool byte_reader::take(std::size_t n) noexcept {
+    if (!ok_ || size_ - pos_ < n) {
+        ok_ = false;
+        return false;
+    }
+    return true;
+}
+
+std::uint8_t byte_reader::u8() {
+    if (!take(1)) return 0;
+    return data_[pos_++];
+}
+
+std::uint16_t byte_reader::u16() {
+    if (!take(2)) return 0;
+    std::uint16_t v = 0;
+    for (int shift = 0; shift < 16; shift += 8)
+        v = static_cast<std::uint16_t>(v | static_cast<std::uint16_t>(data_[pos_++]) << shift);
+    return v;
+}
+
+std::uint32_t byte_reader::u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int shift = 0; shift < 32; shift += 8)
+        v |= static_cast<std::uint32_t>(data_[pos_++]) << shift;
+    return v;
+}
+
+std::uint64_t byte_reader::u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 8)
+        v |= static_cast<std::uint64_t>(data_[pos_++]) << shift;
+    return v;
+}
+
+}  // namespace mm::core

@@ -1,0 +1,68 @@
+// codec.h - bounds-checked little-endian byte (de)serialization primitives.
+//
+// The transport layer's wire format (transport/wire.h) and any future
+// persistent trace format build on these two classes instead of casting
+// struct memory: explicit byte composition is endian-portable, alignment-
+// safe, and - crucially for frames arriving off a real socket - impossible
+// to read out of bounds.  A byte_reader never throws on malformed input; it
+// latches a failure flag and returns zeros, so decoders can run a whole
+// fixed layout and check ok() once at the end.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace mm::core {
+
+// Appends fixed-width little-endian values to a growable byte buffer.
+class byte_writer {
+public:
+    byte_writer() = default;
+    // Appends into an existing buffer (e.g. a connection's output queue).
+    explicit byte_writer(std::vector<std::uint8_t>& out) : out_{&out} {}
+
+    void u8(std::uint8_t v);
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+    [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return *out_; }
+    [[nodiscard]] std::size_t size() const noexcept { return out_->size(); }
+
+private:
+    std::vector<std::uint8_t> own_;
+    std::vector<std::uint8_t>* out_ = &own_;
+};
+
+// Consumes fixed-width little-endian values from a byte span.  A read past
+// the end clears ok() and yields 0; subsequent reads keep yielding 0, so a
+// decoder can parse a full layout unconditionally and test ok() once.
+class byte_reader {
+public:
+    byte_reader(const std::uint8_t* data, std::size_t size) : data_{data}, size_{size} {}
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+    [[nodiscard]] bool ok() const noexcept { return ok_; }
+    [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+    // True when the reader consumed the span exactly and never ran short.
+    [[nodiscard]] bool exhausted() const noexcept { return ok_ && pos_ == size_; }
+
+private:
+    [[nodiscard]] bool take(std::size_t n) noexcept;
+
+    const std::uint8_t* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+}  // namespace mm::core

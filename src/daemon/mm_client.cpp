@@ -1,0 +1,300 @@
+#include "daemon/mm_client.h"
+
+#include <stdexcept>
+
+namespace mm::daemon {
+
+namespace wire = transport::wire;
+
+namespace {
+// Op-timeout timers encode (op id, generation): a stale generation firing
+// after its stage already advanced must not fail the operation.
+constexpr int timer_gen_bits = 8;
+constexpr std::int64_t timer_gen_mask = (1 << timer_gen_bits) - 1;
+}  // namespace
+
+mm_client::mm_client(transport::transport& net, const core::locate_strategy& strategy,
+                     client_options opts)
+    : net_{net}, strategy_{strategy}, opts_{opts} {}
+
+runtime::op_id mm_client::new_op(op_kind kind, core::port_id port, net::node_id actor) {
+    const runtime::op_id id = next_op_++;
+    operation op;
+    op.kind = kind;
+    op.port = port;
+    op.actor = actor;
+    op.result.issued_at = net_.now();
+    ops_.emplace(id, op);
+    ++incomplete_;
+    return id;
+}
+
+int mm_client::fan_out(std::uint8_t verb, core::port_id port, net::node_id from,
+                       const core::node_set& targets, net::node_id subject, std::int64_t stamp,
+                       std::int64_t ttl, runtime::op_id tag) {
+    int sent = 0;
+    for (const auto target : targets) {
+        wire::frame f;
+        f.kind = verb;
+        f.port = port;
+        f.source = from;
+        f.destination = target;
+        f.subject_address = subject;
+        f.stamp = stamp;
+        f.tag = tag;
+        f.ttl = ttl;
+        if (net_.send(f)) ++sent;
+    }
+    return sent;
+}
+
+void mm_client::arm_op_timeout(runtime::op_id id, operation& op) {
+    ++op.timer_gen;
+    net_.arm_timer(opts_.op_timeout, (id << timer_gen_bits) | (op.timer_gen & timer_gen_mask));
+}
+
+void mm_client::complete_op(operation& op, bool found, core::address where) {
+    op.complete = true;
+    op.result.found = found;
+    op.result.completed_at = net_.now();
+    if (found) {
+        op.result.where = where;
+        op.result.latency = op.result.completed_at - op.result.issued_at;
+    }
+    --incomplete_;
+}
+
+runtime::op_id mm_client::begin_register(core::port_id port, net::node_id at) {
+    const auto id = new_op(op_kind::post, port, at);
+    auto& op = ops_.at(id);
+    const auto targets = strategy_.post_set(at, port);
+    op.result.nodes_queried = static_cast<int>(targets.size());
+    op.pending = fan_out(wire::v_post, port, at, targets, at, next_stamp_++, opts_.entry_ttl, id);
+    op.result.message_passes += op.pending;
+    // Unreachable rendezvous nodes mirror the simulator's best-effort posts:
+    // the operation still settles found = true at its host.
+    if (op.pending == 0)
+        complete_op(op, true, at);
+    else
+        arm_op_timeout(id, op);
+    return id;
+}
+
+runtime::op_id mm_client::begin_deregister(core::port_id port, net::node_id at) {
+    const auto id = new_op(op_kind::remove, port, at);
+    auto& op = ops_.at(id);
+    const auto targets = strategy_.post_set(at, port);
+    op.result.nodes_queried = static_cast<int>(targets.size());
+    op.pending = fan_out(wire::v_remove, port, at, targets, at, next_stamp_++, -1, id);
+    op.result.message_passes += op.pending;
+    if (op.pending == 0)
+        complete_op(op, true, at);
+    else
+        arm_op_timeout(id, op);
+    return id;
+}
+
+runtime::op_id mm_client::begin_migrate(core::port_id port, net::node_id from, net::node_id to) {
+    const auto id = new_op(op_kind::migrate, port, to);
+    auto& op = ops_.at(id);
+    op.migrate_from = from;
+    const auto targets = strategy_.post_set(to, port);
+    op.result.nodes_queried = static_cast<int>(targets.size());
+    // Leg 1: post the new address under a fresh stamp (stale caches lose).
+    op.pending = fan_out(wire::v_post, port, to, targets, to, next_stamp_++, opts_.entry_ttl, id);
+    op.result.message_passes += op.pending;
+    if (op.pending == 0) {
+        op.stage = 2;
+        const auto old = strategy_.post_set(from, port);
+        op.pending = fan_out(wire::v_remove, port, from, old, from, next_stamp_++, -1, id);
+        op.result.message_passes += op.pending;
+        if (op.pending == 0) {
+            complete_op(op, true, to);
+            return id;
+        }
+    }
+    arm_op_timeout(id, op);
+    return id;
+}
+
+runtime::op_id mm_client::begin_locate(core::port_id port, net::node_id client) {
+    if (opts_.client_caching) {
+        if (const auto hint = hints(client).lookup(port, net_.now())) {
+            // Answered from the local cache: zero messages, zero latency.
+            const auto id = new_op(op_kind::locate, port, client);
+            auto& op = ops_.at(id);
+            op.result.nodes_queried = 0;
+            complete_op(op, true, hint->where);
+            return id;
+        }
+    }
+    return begin_locate_fresh(port, client);
+}
+
+runtime::op_id mm_client::begin_locate_fresh(core::port_id port, net::node_id client) {
+    const auto id = new_op(op_kind::locate, port, client);
+    auto& op = ops_.at(id);
+    const auto targets = strategy_.query_set(client, port);
+    op.result.nodes_queried = static_cast<int>(targets.size());
+    op.pending = fan_out(wire::v_query, port, client, targets, client, net_.now(), -1, id);
+    op.result.message_passes += op.pending;
+    if (op.pending == 0)
+        complete_op(op, false, net::invalid_node);
+    else
+        arm_op_timeout(id, op);
+    return id;
+}
+
+void mm_client::handle(const transport::completion& c) {
+    switch (c.what) {
+        case transport::completion::kind::message:
+            switch (c.msg.kind) {
+                case wire::v_ack:
+                    on_ack(c.msg);
+                    break;
+                case wire::v_reply:
+                    on_reply(c.msg);
+                    break;
+                case wire::v_miss:
+                    on_miss(c.msg);
+                    break;
+                default:
+                    break;  // daemon-bound verbs; not ours to answer
+            }
+            break;
+        case transport::completion::kind::timer:
+            on_timeout(c.timer_id);
+            break;
+        case transport::completion::kind::peer_down:
+            // The op-timeout timer resolves any operation stranded by a dead
+            // peer - same recovery discipline as the simulator's deadlines.
+            break;
+    }
+}
+
+void mm_client::on_ack(const wire::frame& f) {
+    const auto it = ops_.find(f.tag);
+    if (it == ops_.end() || it->second.complete) return;
+    auto& op = it->second;
+    if (op.kind == op_kind::locate) return;  // acks never answer a locate
+    ++op.result.message_passes;
+    if (--op.pending > 0) return;
+    if (op.kind == op_kind::migrate && op.stage == 1) {
+        // New posts acked everywhere: now withdraw the old host's bindings.
+        op.stage = 2;
+        const auto old = strategy_.post_set(op.migrate_from, op.port);
+        op.pending = fan_out(wire::v_remove, op.port, op.migrate_from, old, op.migrate_from,
+                             next_stamp_++, -1, f.tag);
+        op.result.message_passes += op.pending;
+        if (op.pending == 0)
+            complete_op(op, true, op.actor);
+        else
+            arm_op_timeout(f.tag, op);
+        return;
+    }
+    complete_op(op, true, op.actor);
+}
+
+void mm_client::on_reply(const wire::frame& f) {
+    const auto it = ops_.find(f.tag);
+    if (it == ops_.end() || it->second.complete) return;
+    auto& op = it->second;
+    if (op.kind != op_kind::locate) return;
+    ++op.result.message_passes;
+    // First reply wins, exactly like the simulator's handle_reply; later
+    // answers land on a completed op and are dropped above.
+    complete_op(op, true, f.subject_address);
+    if (opts_.client_caching) {
+        core::port_entry hint;
+        hint.port = op.port;
+        hint.where = f.subject_address;
+        hint.stamp = net_.now();
+        hint.expires_at = opts_.entry_ttl >= 0 ? net_.now() + opts_.entry_ttl : -1;
+        hints(op.actor).post(hint);
+    }
+}
+
+void mm_client::on_miss(const wire::frame& f) {
+    const auto it = ops_.find(f.tag);
+    if (it == ops_.end() || it->second.complete) return;
+    auto& op = it->second;
+    if (op.kind != op_kind::locate) return;
+    ++op.result.message_passes;
+    if (--op.pending == 0) complete_op(op, false, net::invalid_node);
+}
+
+void mm_client::on_timeout(std::int64_t timer_id) {
+    const auto id = timer_id >> timer_gen_bits;
+    const auto gen = timer_id & timer_gen_mask;
+    const auto it = ops_.find(id);
+    if (it == ops_.end() || it->second.complete) return;
+    if ((it->second.timer_gen & timer_gen_mask) != gen) return;  // stale stage timer
+    complete_op(it->second, false, net::invalid_node);
+}
+
+std::size_t mm_client::pump(std::int64_t max_wait) {
+    std::vector<transport::completion> batch;
+    net_.poll(batch, max_wait);
+    for (const auto& c : batch) handle(c);
+    return batch.size();
+}
+
+std::optional<runtime::locate_result> mm_client::poll(runtime::op_id op) const {
+    const auto it = ops_.find(op);
+    if (it == ops_.end()) throw std::out_of_range{"mm_client::poll: unknown op"};
+    if (!it->second.complete) return std::nullopt;
+    return it->second.result;
+}
+
+void mm_client::run_until_complete(std::span<const runtime::op_id> ops) {
+    const auto all_done = [&] {
+        for (const auto id : ops)
+            if (!ops_.at(id).complete) return false;
+        return true;
+    };
+    while (!all_done()) pump(20);
+}
+
+void mm_client::forget(runtime::op_id op) {
+    const auto it = ops_.find(op);
+    if (it == ops_.end()) throw std::out_of_range{"mm_client::forget: unknown op"};
+    if (!it->second.complete)
+        throw std::logic_error{"mm_client::forget: operation still in flight"};
+    ops_.erase(it);
+}
+
+void mm_client::register_server(core::port_id port, net::node_id at) {
+    const auto id = begin_register(port, at);
+    run_until_complete({id});
+    forget(id);
+}
+
+void mm_client::deregister_server(core::port_id port, net::node_id at) {
+    const auto id = begin_deregister(port, at);
+    run_until_complete({id});
+    forget(id);
+}
+
+void mm_client::migrate_server(core::port_id port, net::node_id from, net::node_id to) {
+    const auto id = begin_migrate(port, from, to);
+    run_until_complete({id});
+    forget(id);
+}
+
+runtime::locate_result mm_client::locate(core::port_id port, net::node_id client) {
+    const auto id = begin_locate(port, client);
+    run_until_complete({id});
+    auto result = *poll(id);
+    forget(id);
+    return result;
+}
+
+runtime::locate_result mm_client::locate_fresh(core::port_id port, net::node_id client) {
+    const auto id = begin_locate_fresh(port, client);
+    run_until_complete({id});
+    auto result = *poll(id);
+    forget(id);
+    return result;
+}
+
+}  // namespace mm::daemon

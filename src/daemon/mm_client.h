@@ -1,0 +1,124 @@
+// mm_client.h - the client side of the match-making daemon: the same
+// op-handle API as runtime::name_service (begin_* returning an op id,
+// poll, run_until_complete, forget, plus the blocking wrappers), but
+// executed over a transport::transport against mmd instead of inside the
+// simulator.
+//
+// Semantics are held to the simulator's, visible-result for visible-result
+// (tests/test_daemon_loopback.cpp runs identical scripts through both):
+//  * register/deregister complete found = true, where = the host, once
+//    every rendezvous node acked; nodes_queried = |P(host)|.
+//  * migrate posts P(to) under a fresh stamp, and only after *all* those
+//    acks withdraws P(from); completes found = true, where = to,
+//    nodes_queried = |P(to)| - the same two-leg ordering (and the same
+//    accounting) as name_service::begin_migrate.
+//  * locate completes at the first v_reply (found = true, where = the
+//    replied address) or once every queried node answered v_miss
+//    (found = false); nodes_queried = |Q(client)|.  With client_caching
+//    on, a fresh local hint answers instantly with nodes_queried = 0, and
+//    every successful locate deposits a hint - the paper's cache-as-hint
+//    discipline, stale answers included.
+//  * Where the simulator computes exact settle deadlines, the client arms
+//    a coarse op_timeout timer: an operation that cannot finish (daemon
+//    gone, frames lost) fails with found = false instead of hanging.
+//
+// Stamps are a logical counter, not wall-clock: determinism for the oracle
+// comparison, and exactly enough order for newest-post-wins.
+//
+// Single-threaded like the transport it drives; one mm_client per thread.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+
+#include "core/cache.h"
+#include "core/strategy.h"
+#include "runtime/name_service.h"
+#include "transport/transport.h"
+
+namespace mm::daemon {
+
+struct client_options {
+    bool client_caching = false;
+    // TTL carried on every post and on deposited hints (-1 = never).
+    std::int64_t entry_ttl = -1;
+    // Clock units (transport ticks / ms) before an operation that has
+    // not completed fails with found = false.
+    std::int64_t op_timeout = 5000;
+};
+
+class mm_client {
+public:
+    mm_client(transport::transport& net, const core::locate_strategy& strategy,
+              client_options opts = {});
+
+    // --- op-handle API (mirrors runtime::name_service) ----------------------
+    runtime::op_id begin_register(core::port_id port, net::node_id at);
+    runtime::op_id begin_deregister(core::port_id port, net::node_id at);
+    runtime::op_id begin_migrate(core::port_id port, net::node_id from, net::node_id to);
+    runtime::op_id begin_locate(core::port_id port, net::node_id client);
+    runtime::op_id begin_locate_fresh(core::port_id port, net::node_id client);
+
+    [[nodiscard]] std::optional<runtime::locate_result> poll(runtime::op_id op) const;
+    void run_until_complete(std::span<const runtime::op_id> ops);
+    void run_until_complete(std::initializer_list<runtime::op_id> ops) {
+        run_until_complete(std::span<const runtime::op_id>{ops.begin(), ops.size()});
+    }
+    void forget(runtime::op_id op);
+
+    // --- blocking wrappers --------------------------------------------------
+    void register_server(core::port_id port, net::node_id at);
+    void deregister_server(core::port_id port, net::node_id at);
+    void migrate_server(core::port_id port, net::node_id from, net::node_id to);
+    [[nodiscard]] runtime::locate_result locate(core::port_id port, net::node_id client);
+    [[nodiscard]] runtime::locate_result locate_fresh(core::port_id port, net::node_id client);
+
+    // One poll-and-dispatch round (exposed so callers can interleave client
+    // progress with their own work); returns completions handled.
+    std::size_t pump(std::int64_t max_wait);
+
+    [[nodiscard]] std::size_t pending_ops() const noexcept { return incomplete_; }
+
+private:
+    enum class op_kind { post, remove, migrate, locate };
+
+    struct operation {
+        op_kind kind = op_kind::locate;
+        core::port_id port = 0;
+        net::node_id actor = net::invalid_node;
+        net::node_id migrate_from = net::invalid_node;
+        int stage = 1;          // migrate: 1 = posting P(to), 2 = removing P(from)
+        int pending = 0;        // outstanding acks / answers this stage
+        int timer_gen = 0;      // invalidates stale op-timeout timers
+        bool complete = false;
+        runtime::locate_result result;
+    };
+
+    runtime::op_id new_op(op_kind kind, core::port_id port, net::node_id actor);
+    // Fans one verb out to `targets` (subject riding along); returns how
+    // many sends the transport accepted.
+    int fan_out(std::uint8_t verb, core::port_id port, net::node_id from,
+                const core::node_set& targets, net::node_id subject, std::int64_t stamp,
+                std::int64_t ttl, runtime::op_id tag);
+    void arm_op_timeout(runtime::op_id id, operation& op);
+    void complete_op(operation& op, bool found, core::address where);
+    void handle(const transport::completion& c);
+    void on_ack(const transport::wire::frame& f);
+    void on_reply(const transport::wire::frame& f);
+    void on_miss(const transport::wire::frame& f);
+    void on_timeout(std::int64_t timer_id);
+    [[nodiscard]] core::port_cache& hints(net::node_id client) { return hints_[client]; }
+
+    transport::transport& net_;
+    const core::locate_strategy& strategy_;
+    client_options opts_;
+    std::unordered_map<runtime::op_id, operation> ops_;
+    std::unordered_map<net::node_id, core::port_cache> hints_;  // per-client hint caches
+    runtime::op_id next_op_ = 1;
+    std::int64_t next_stamp_ = 1;
+    std::size_t incomplete_ = 0;
+};
+
+}  // namespace mm::daemon

@@ -1,0 +1,113 @@
+#include "daemon/mmd_server.h"
+
+#include <stdexcept>
+
+#include "runtime/rendezvous_core.h"
+#include "transport/wire.h"
+
+namespace mm::daemon {
+
+namespace wire = transport::wire;
+
+mmd_server::mmd_server(transport::transport& net, const core::locate_strategy& strategy,
+                       net::node_id first_node, net::node_id node_count)
+    : net_{net}, strategy_{strategy}, first_{first_node} {
+    count_ = node_count < 0 ? strategy.node_count() - first_node : node_count;
+    if (first_ < 0 || count_ <= 0 || first_ + count_ > strategy.node_count())
+        throw std::invalid_argument{"mmd_server: hosted range outside the strategy universe"};
+    directories_.resize(static_cast<std::size_t>(count_));
+}
+
+void mmd_server::handle(const transport::completion& c) {
+    switch (c.what) {
+        case transport::completion::kind::message:
+            on_frame(c);
+            break;
+        case transport::completion::kind::timer:
+            // The daemon arms no timers today; TTL expiry happens lazily at
+            // lookup time (core::port_cache::lookup respects expires_at).
+            break;
+        case transport::completion::kind::peer_down:
+            // Rendezvous state is soft: a vanished client costs nothing, and
+            // its entries age out by TTL exactly as in the simulator.
+            break;
+    }
+}
+
+void mmd_server::on_frame(const transport::completion& c) {
+    const wire::frame& f = c.msg;
+    if (!hosts(f.destination)) {
+        ++stats_.bad_frames;
+        return;
+    }
+    switch (f.kind) {
+        case wire::v_post: {
+            ++stats_.posts;
+            runtime::rendezvous::apply_post(dir(f.destination), f.port, f.subject_address,
+                                            f.stamp, f.ttl, net_.now());
+            wire::frame ack;
+            ack.kind = wire::v_ack;
+            ack.port = f.port;
+            ack.source = f.destination;
+            ack.destination = f.source;
+            ack.subject_address = f.subject_address;
+            ack.stamp = f.stamp;
+            ack.tag = f.tag;
+            net_.reply(c.from, ack);
+            break;
+        }
+        case wire::v_remove: {
+            ++stats_.removes;
+            runtime::rendezvous::apply_remove(dir(f.destination), f.port, f.subject_address);
+            wire::frame ack;
+            ack.kind = wire::v_ack;
+            ack.port = f.port;
+            ack.source = f.destination;
+            ack.destination = f.source;
+            ack.subject_address = f.subject_address;
+            ack.stamp = f.stamp;
+            ack.tag = f.tag;
+            net_.reply(c.from, ack);
+            break;
+        }
+        case wire::v_query: {
+            ++stats_.queries;
+            const auto hit =
+                runtime::rendezvous::answer_query(dir(f.destination), f.port, net_.now());
+            wire::frame answer;
+            answer.port = f.port;
+            answer.source = f.destination;
+            answer.destination = f.source;
+            answer.tag = f.tag;
+            if (hit) {
+                ++stats_.hits;
+                answer.kind = wire::v_reply;
+                answer.subject_address = hit->where;
+                answer.stamp = hit->stamp;
+            } else {
+                ++stats_.misses;
+                answer.kind = wire::v_miss;
+            }
+            net_.reply(c.from, answer);
+            break;
+        }
+        default:
+            // v_reply / v_ack / v_miss are client-bound verbs; a daemon
+            // receiving one is talking to a confused peer.
+            ++stats_.bad_frames;
+            break;
+    }
+}
+
+std::size_t mmd_server::pump(std::int64_t max_wait) {
+    std::vector<transport::completion> batch;
+    net_.poll(batch, max_wait);
+    for (const auto& c : batch) handle(c);
+    return batch.size();
+}
+
+void mmd_server::serve(const std::atomic<bool>& stop, std::int64_t tick_ms) {
+    while (!stop.load(std::memory_order_relaxed)) pump(tick_ms);
+}
+
+}  // namespace mm::daemon

@@ -1,0 +1,82 @@
+// mmd_server.h - the match-making daemon's serving core: a set of hosted
+// rendezvous nodes (one core::port_cache each) driven by completions from
+// any transport::transport.
+//
+// The daemon is deliberately thin.  All rendezvous semantics live in
+// runtime::rendezvous_core - the same code path runtime::service_node runs
+// inside the simulator - so the daemon cannot drift from the oracle: it
+// only parses frames, indexes the hosted directory, and writes replies.
+// Where the simulator resolves posts and removes by settle-deadline
+// silence, a real wire needs explicit outcomes, so the daemon answers
+// every post/remove with v_ack and every missed query with v_miss; the
+// client library maps those back onto the exact op-handle semantics of
+// runtime::name_service (tests/test_daemon_loopback.cpp holds the two
+// substrates to identical visible results).
+//
+// mmd_server is transport-agnostic and single-threaded: construct it over
+// a tcp_transport for the real daemon (tools/mmd.cpp) or over any other
+// transport implementation in tests; drive it with pump()/serve() from the
+// owning thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/cache.h"
+#include "core/strategy.h"
+#include "transport/transport.h"
+
+namespace mm::daemon {
+
+class mmd_server {
+public:
+    struct stats {
+        std::int64_t posts = 0;
+        std::int64_t removes = 0;
+        std::int64_t queries = 0;
+        std::int64_t hits = 0;    // queries answered with v_reply
+        std::int64_t misses = 0;  // queries answered with v_miss
+        std::int64_t bad_frames = 0;  // unknown verb / destination not hosted
+    };
+
+    // Serves rendezvous nodes [first_node, first_node + node_count) of the
+    // strategy's universe; node_count < 0 hosts the whole universe.
+    mmd_server(transport::transport& net, const core::locate_strategy& strategy,
+               net::node_id first_node = 0, net::node_id node_count = -1);
+
+    // Handles one transport completion (a frame, a timer tick, or a peer
+    // loss).  Exposed so tests can drive the daemon completion-by-completion.
+    void handle(const transport::completion& c);
+
+    // One poll-and-dispatch round: waits up to max_wait clock units and
+    // handles everything that arrived.  Returns how many completions ran.
+    std::size_t pump(std::int64_t max_wait);
+
+    // Serves until *stop becomes true, pumping in tick_ms slices.  The flag
+    // is how tools/mmd.cpp wires SIGTERM into a clean shutdown.
+    void serve(const std::atomic<bool>& stop, std::int64_t tick_ms = 50);
+
+    [[nodiscard]] bool hosts(net::node_id node) const noexcept {
+        return node >= first_ && node < first_ + count_;
+    }
+    [[nodiscard]] const core::port_cache& directory(net::node_id node) const {
+        return directories_.at(static_cast<std::size_t>(node - first_));
+    }
+    [[nodiscard]] const stats& stat() const noexcept { return stats_; }
+
+private:
+    [[nodiscard]] core::port_cache& dir(net::node_id node) {
+        return directories_[static_cast<std::size_t>(node - first_)];
+    }
+    void on_frame(const transport::completion& c);
+
+    transport::transport& net_;
+    const core::locate_strategy& strategy_;
+    net::node_id first_ = 0;
+    net::node_id count_ = 0;
+    std::vector<core::port_cache> directories_;
+    stats stats_;
+};
+
+}  // namespace mm::daemon

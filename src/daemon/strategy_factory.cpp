@@ -1,0 +1,20 @@
+#include "daemon/strategy_factory.h"
+
+#include <stdexcept>
+
+#include "strategies/basic.h"
+#include "strategies/hash_locate.h"
+
+namespace mm::daemon {
+
+std::unique_ptr<core::locate_strategy> make_strategy(const std::string& name, net::node_id n,
+                                                     int replicas) {
+    if (name == "hash") return std::make_unique<strategies::hash_locate_strategy>(n, replicas);
+    if (name == "broadcast") return std::make_unique<strategies::broadcast_strategy>(n);
+    if (name == "sweep") return std::make_unique<strategies::sweep_strategy>(n);
+    if (name == "central") return std::make_unique<strategies::central_strategy>(n, 0);
+    throw std::invalid_argument{"unknown strategy '" + name +
+                                "' (expected hash | broadcast | sweep | central)"};
+}
+
+}  // namespace mm::daemon

@@ -1,0 +1,24 @@
+// strategy_factory.h - name -> core::locate_strategy construction shared
+// by the mmd binary, the loopback smoke example, and the daemon bench, so
+// "--strategy hash" means the same P/Q sets on every side of the wire.
+//
+// The daemon and its clients never exchange rendezvous sets: both derive
+// them from (strategy name, n, replicas), the match-making analogue of
+// agreeing on a hash function instead of shipping a membership list.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/strategy.h"
+
+namespace mm::daemon {
+
+// "hash" (the paper's distributed match-maker; `replicas` rendezvous nodes
+// per port), "broadcast", "sweep", or "central" (node 0 is the center).
+// Throws std::invalid_argument for an unknown name.
+[[nodiscard]] std::unique_ptr<core::locate_strategy> make_strategy(const std::string& name,
+                                                                   net::node_id n,
+                                                                   int replicas = 3);
+
+}  // namespace mm::daemon

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "runtime/rendezvous_core.h"
 #include "sim/rng.h"
 
 namespace mm::runtime {
@@ -19,21 +20,18 @@ void service_node::on_message(sim::simulator& sim, const sim::message& msg) {
         sim.send(onward);
         return;
     }
+    // The directory transitions live in rendezvous_core so the mmd daemon
+    // runs the identical state machine off TCP frames.
     switch (msg.kind) {
-        case msg_post: {
-            core::port_entry entry;
-            entry.port = msg.port;
-            entry.where = msg.subject_address;
-            entry.stamp = msg.stamp;
-            entry.expires_at = msg.ttl >= 0 ? sim.now() + msg.ttl : -1;
-            directory_.post(entry);
+        case msg_post:
+            rendezvous::apply_post(directory_, msg.port, msg.subject_address, msg.stamp,
+                                   msg.ttl, sim.now());
             break;
-        }
         case msg_remove:
-            directory_.remove(msg.port, msg.subject_address);
+            rendezvous::apply_remove(directory_, msg.port, msg.subject_address);
             break;
         case msg_query: {
-            const auto hit = directory_.lookup(msg.port, sim.now());
+            const auto hit = rendezvous::answer_query(directory_, msg.port, sim.now());
             if (hit) {
                 sim::message reply;
                 reply.kind = msg_reply;
@@ -54,7 +52,9 @@ void service_node::on_message(sim::simulator& sim, const sim::message& msg) {
         case msg_reply: {
             // Keep the freshest binding if several rendezvous nodes answer.
             auto it = replies_.find(msg.tag);
-            if (it == replies_.end() || msg.stamp > it->second.stamp) {
+            const std::optional<core::port_entry> current =
+                it == replies_.end() ? std::nullopt : std::optional{it->second};
+            if (rendezvous::reply_wins(current, msg.stamp)) {
                 core::port_entry entry;
                 entry.port = msg.port;
                 entry.where = msg.subject_address;

@@ -1,0 +1,28 @@
+#include "runtime/rendezvous_core.h"
+
+namespace mm::runtime::rendezvous {
+
+bool apply_post(core::port_cache& dir, core::port_id port, core::address where,
+                std::int64_t stamp, std::int64_t ttl, std::int64_t now) {
+    core::port_entry entry;
+    entry.port = port;
+    entry.where = where;
+    entry.stamp = stamp;
+    entry.expires_at = ttl >= 0 ? now + ttl : -1;
+    return dir.post(entry);
+}
+
+bool apply_remove(core::port_cache& dir, core::port_id port, core::address where) {
+    return dir.remove(port, where);
+}
+
+std::optional<core::port_entry> answer_query(const core::port_cache& dir, core::port_id port,
+                                             std::int64_t now) {
+    return dir.lookup(port, now);
+}
+
+bool reply_wins(const std::optional<core::port_entry>& current, std::int64_t incoming_stamp) {
+    return !current || incoming_stamp > current->stamp;
+}
+
+}  // namespace mm::runtime::rendezvous

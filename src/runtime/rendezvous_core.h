@@ -1,0 +1,43 @@
+// rendezvous_core.h - the transport-agnostic rendezvous-node state
+// machine, extracted from service_node so the simulator path and the real
+// mmd daemon run the *same* code for Section 2.1's cache discipline.
+//
+// A rendezvous node's entire behavior is three transitions over its
+// port_cache plus one client-side merge rule:
+//   post   -> store (port, address) stamped, TTL-bounded; stale posts lose;
+//   remove -> drop the binding iff it still names that address;
+//   query  -> answer with the current unexpired binding, if any;
+//   reply  -> (client side) keep the freshest of several answers.
+// runtime::service_node::on_message dispatches into these helpers inside
+// the simulator; daemon::mmd_server dispatches into them off a TCP frame.
+// The loopback oracle suite (tests/test_daemon_loopback.cpp) is what keeps
+// the two substrates glued to identical visible results.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/cache.h"
+
+namespace mm::runtime::rendezvous {
+
+// Applies a post: stores (port -> where) stamped `stamp`, expiring at
+// now + ttl (ttl < 0 = never).  Returns false when a fresher binding won.
+bool apply_post(core::port_cache& dir, core::port_id port, core::address where,
+                std::int64_t stamp, std::int64_t ttl, std::int64_t now);
+
+// Applies a remove: drops the binding iff it still maps to `where`.
+bool apply_remove(core::port_cache& dir, core::port_id port, core::address where);
+
+// Answers a query against the directory at time `now` (expiry respected).
+[[nodiscard]] std::optional<core::port_entry> answer_query(const core::port_cache& dir,
+                                                           core::port_id port,
+                                                           std::int64_t now);
+
+// Client-side first-answer merge: should an incoming reply stamped
+// `incoming_stamp` replace `current`?  (Keep the freshest binding if
+// several rendezvous nodes answer.)
+[[nodiscard]] bool reply_wins(const std::optional<core::port_entry>& current,
+                              std::int64_t incoming_stamp);
+
+}  // namespace mm::runtime::rendezvous

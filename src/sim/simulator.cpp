@@ -676,6 +676,18 @@ void simulator::run_until(time_point t) {
     if (t != std::numeric_limits<time_point>::max()) now_ = std::max(now_, t);
 }
 
+std::optional<time_point> simulator::next_event_time() {
+    if (par_) {
+        std::optional<time_point> best;
+        for (auto& sh : par_->shards) {
+            const auto t = sh.queue.next_time();
+            if (t && (!best || *t < *best)) best = t;
+        }
+        return best;
+    }
+    return events_.next_time();
+}
+
 bool simulator::idle() const noexcept {
     if (par_) {
         for (const auto& sh : par_->shards)

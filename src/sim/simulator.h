@@ -108,6 +108,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -221,7 +222,13 @@ public:
 
     // Runs until the event queue is empty (or the safety cap is hit).
     void run();
-    // Runs events with time <= t.
+    // Runs events with time <= t, then advances the clock to the horizon t
+    // itself - even when future events remain pending and even when the
+    // queue is empty (PR-2 semantics, asserted by
+    // tests/test_run_until_horizon.cpp).  Without this, an armed periodic
+    // timer would stall simulated time and TTL soft state could never age
+    // out between runs.  transport::transport::poll mirrors exactly this
+    // contract in real time: an idle poll still advances now() by max_wait.
     void run_until(time_point t);
     // Serial engine: processes the single next event regardless of its time.
     // Parallel engine: processes every event of the earliest pending tick
@@ -232,6 +239,11 @@ public:
     bool step();
     // True if no events remain.
     [[nodiscard]] bool idle() const noexcept;
+    // Tick of the earliest pending event, if any (either engine).  A peek
+    // for pollers - e.g. transport::sim_transport - that must not process
+    // events beyond a horizon.  Non-const because the serial calendar queue
+    // advances its cursor past empty buckets lazily.
+    [[nodiscard]] std::optional<time_point> next_event_time();
 
     [[nodiscard]] time_point now() const noexcept { return now_; }
     [[nodiscard]] metrics& stats() noexcept { return metrics_; }

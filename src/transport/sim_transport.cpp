@@ -1,0 +1,100 @@
+#include "transport/sim_transport.h"
+
+namespace mm::transport {
+
+wire::frame to_frame(const sim::message& msg) {
+    wire::frame f;
+    f.kind = static_cast<std::uint8_t>(msg.kind);
+    f.port = msg.port;
+    f.source = msg.source;
+    f.destination = msg.destination;
+    f.subject_address = msg.subject_address;
+    f.stamp = msg.stamp;
+    f.tag = msg.tag;
+    f.ttl = msg.ttl;
+    return f;
+}
+
+sim::message to_message(const wire::frame& f) {
+    sim::message msg;
+    msg.kind = f.kind;
+    msg.port = f.port;
+    msg.source = f.source;
+    msg.destination = f.destination;
+    msg.subject_address = f.subject_address;
+    msg.stamp = f.stamp;
+    msg.tag = f.tag;
+    msg.ttl = f.ttl;
+    return msg;
+}
+
+// The node handler that turns deliveries and timer fires into completions.
+class sim_transport::inbox final : public sim::node_handler {
+public:
+    void on_message(sim::simulator& /*sim*/, const sim::message& msg) override {
+        completion c;
+        c.what = completion::kind::message;
+        c.msg = to_frame(msg);
+        pending.push_back(c);
+    }
+    void on_timer(sim::simulator& /*sim*/, std::int64_t timer_id) override {
+        completion c;
+        c.what = completion::kind::timer;
+        c.timer_id = timer_id;
+        pending.push_back(c);
+    }
+    // A crash of the endpoint's own node loses its soft state; the inbox is
+    // exactly that.
+    void on_crash(sim::simulator& /*sim*/) override { pending.clear(); }
+
+    std::deque<completion> pending;
+};
+
+sim_transport::sim_transport(sim::simulator& sim, net::node_id self)
+    : sim_{&sim}, self_{self}, inbox_{std::make_shared<inbox>()} {
+    sim_->attach(self_, inbox_);
+}
+
+bool sim_transport::send(const wire::frame& msg) {
+    if (msg.destination < 0 || msg.destination >= sim_->network().node_count()) return false;
+    if (sim_->crashed(msg.destination)) return false;  // known unreachable now
+    sim::message m = to_message(msg);
+    m.source = self_;
+    sim_->send(std::move(m));
+    return true;
+}
+
+bool sim_transport::reply(peer_ref /*via*/, const wire::frame& msg) {
+    // The simulator addresses by node id only; every reply routes.
+    return send(msg);
+}
+
+void sim_transport::arm_timer(std::int64_t delay, std::int64_t timer_id) {
+    sim_->set_timer(self_, delay, timer_id);
+}
+
+std::int64_t sim_transport::now() const { return sim_->now(); }
+
+std::size_t sim_transport::poll(std::vector<completion>& out, std::int64_t max_wait) {
+    const std::size_t before = out.size();
+    const auto drain = [&] {
+        while (!inbox_->pending.empty()) {
+            out.push_back(inbox_->pending.front());
+            inbox_->pending.pop_front();
+        }
+    };
+    drain();
+    const sim::time_point horizon = sim_->now() + max_wait;
+    while (out.size() == before) {
+        const auto next = sim_->next_event_time();
+        if (!next || *next > horizon) break;
+        if (!sim_->step()) break;
+        drain();
+    }
+    // Mirror run_until's horizon semantics: an idle poll still advances the
+    // clock, so TTL soft state ages and armed deadlines stay meaningful.
+    if (out.size() == before && sim_->now() < horizon) sim_->run_until(horizon);
+    return out.size() - before;
+}
+
+}  // namespace mm::transport

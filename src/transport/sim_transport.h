@@ -1,0 +1,51 @@
+// sim_transport.h - the deterministic oracle implementation of the
+// transport contract: one endpoint bound to a node of a sim::simulator.
+//
+// Several sim_transports typically share one simulator (one per node the
+// test wants to speak for); whichever endpoint polls drives the shared
+// event loop, and every endpoint's inbox fills as its node receives
+// messages.  Single-threaded by construction, like the simulator itself.
+//
+// This adapter is what makes "the simulator stays the oracle" concrete:
+// the daemon/client protocol code runs unmodified over either this class
+// or transport::tcp_transport, and the loopback suite cross-checks the two
+// (tests/test_daemon_loopback.cpp).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "transport/transport.h"
+
+namespace mm::transport {
+
+// Lossless field-for-field conversions (relay_final excepted - Valiant
+// relaying is simulator routing, not wire payload).
+[[nodiscard]] wire::frame to_frame(const sim::message& msg);
+[[nodiscard]] sim::message to_message(const wire::frame& f);
+
+class sim_transport final : public transport {
+public:
+    // Attaches an inbox handler at `self` (replacing any previous handler);
+    // the simulator must outlive this object.
+    sim_transport(sim::simulator& sim, net::node_id self);
+
+    [[nodiscard]] net::node_id self() const noexcept { return self_; }
+
+    bool send(const wire::frame& msg) override;
+    bool reply(peer_ref via, const wire::frame& msg) override;
+    void arm_timer(std::int64_t delay, std::int64_t timer_id) override;
+    [[nodiscard]] std::int64_t now() const override;
+    std::size_t poll(std::vector<completion>& out, std::int64_t max_wait) override;
+
+private:
+    class inbox;
+
+    sim::simulator* sim_;
+    net::node_id self_;
+    std::shared_ptr<inbox> inbox_;
+};
+
+}  // namespace mm::transport

@@ -1,0 +1,377 @@
+#include "transport/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace mm::transport {
+
+namespace {
+
+std::int64_t mono_ms() {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void set_nonblocking(int fd) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+// Non-blocking dial; returns the fd (with `connecting` saying whether the
+// handshake is still in flight) or -1 on immediate failure.
+int open_socket_to(const std::string& host, std::uint16_t port, bool& connecting) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0) {
+        connecting = false;
+        return fd;
+    }
+    if (errno == EINPROGRESS) {
+        connecting = true;
+        return fd;
+    }
+    ::close(fd);
+    return -1;
+}
+
+}  // namespace
+
+tcp_transport::tcp_transport() : start_ms_{mono_ms()} {}
+
+tcp_transport::~tcp_transport() {
+    for (auto& [id, c] : conns_)
+        if (c.fd >= 0) ::close(c.fd);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+std::int64_t tcp_transport::now() const { return mono_ms() - start_ms_; }
+
+std::uint16_t tcp_transport::listen_on(std::uint16_t port) {
+    if (listen_fd_ >= 0) throw std::runtime_error{"tcp_transport: already listening"};
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw std::runtime_error{"tcp_transport: socket() failed"};
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+        ::listen(fd, 64) != 0) {
+        ::close(fd);
+        throw std::runtime_error{"tcp_transport: bind/listen on 127.0.0.1 failed"};
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+        ::close(fd);
+        throw std::runtime_error{"tcp_transport: getsockname failed"};
+    }
+    listen_fd_ = fd;
+    listen_port_ = ntohs(addr.sin_port);
+    return listen_port_;
+}
+
+void tcp_transport::add_route(net::node_id node, const std::string& host, std::uint16_t port) {
+    routes_[node] = {host, port};
+}
+
+tcp_transport::conn* tcp_transport::find_route_conn(const std::string& key) {
+    const auto it = route_conns_.find(key);
+    if (it == route_conns_.end()) return nullptr;
+    const auto cit = conns_.find(it->second);
+    if (cit == conns_.end()) {
+        route_conns_.erase(it);
+        return nullptr;
+    }
+    return &cit->second;
+}
+
+tcp_transport::conn* tcp_transport::dial(const std::string& key, net::node_id node) {
+    const auto sep = key.rfind(':');
+    const std::string host = key.substr(0, sep);
+    const auto port = static_cast<std::uint16_t>(std::stoi(key.substr(sep + 1)));
+    bool connecting = false;
+    const int fd = open_socket_to(host, port, connecting);
+    if (fd < 0) return nullptr;
+    const peer_ref id = next_ref_++;
+    conn c;
+    c.fd = fd;
+    c.id = id;
+    c.connecting = connecting;
+    c.route_key = key;
+    c.route_node = node;
+    c.dial_attempts = 1;
+    ++stats_.connects;
+    auto [it, inserted] = conns_.emplace(id, std::move(c));
+    route_conns_[key] = id;
+    return &it->second;
+}
+
+bool tcp_transport::send(const wire::frame& msg) {
+    const auto rit = routes_.find(msg.destination);
+    if (rit == routes_.end()) return false;
+    const std::string key = rit->second.first + ':' + std::to_string(rit->second.second);
+    conn* c = find_route_conn(key);
+    if (c == nullptr) c = dial(key, msg.destination);
+    if (c == nullptr) return false;
+    std::vector<std::uint8_t> bytes;
+    wire::encode(msg, bytes);
+    c->outq.push_back(std::move(bytes));
+    ++stats_.frames_sent;
+    return true;
+}
+
+bool tcp_transport::reply(peer_ref via, const wire::frame& msg) {
+    if (via != 0) {
+        const auto it = conns_.find(via);
+        if (it != conns_.end()) {
+            std::vector<std::uint8_t> bytes;
+            wire::encode(msg, bytes);
+            it->second.outq.push_back(std::move(bytes));
+            ++stats_.frames_sent;
+            return true;
+        }
+    }
+    return send(msg);
+}
+
+void tcp_transport::arm_timer(std::int64_t delay, std::int64_t timer_id) {
+    timers_.emplace(now() + std::max<std::int64_t>(0, delay), timer_seq_++, timer_id);
+}
+
+void tcp_transport::fire_due_timers(std::vector<completion>& out) {
+    while (!timers_.empty() && std::get<0>(timers_.top()) <= now()) {
+        completion c;
+        c.what = completion::kind::timer;
+        c.timer_id = std::get<2>(timers_.top());
+        timers_.pop();
+        out.push_back(c);
+    }
+}
+
+bool tcp_transport::flush_writes(conn& c) {
+    while (!c.outq.empty()) {
+        const auto& buf = c.outq.front();
+        const std::size_t left = buf.size() - c.out_pos;
+        const ssize_t n = ::send(c.fd, buf.data() + c.out_pos, left, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return true;
+            return false;  // hard write error
+        }
+        c.out_pos += static_cast<std::size_t>(n);
+        if (c.out_pos == buf.size()) {
+            c.outq.pop_front();
+            c.out_pos = 0;
+            // The peer accepted a whole frame: this dial worked, so a later
+            // failure earns a fresh reconnect attempt.
+            c.dial_attempts = 0;
+        }
+    }
+    return true;
+}
+
+void tcp_transport::read_frames(conn& c, std::vector<completion>& out) {
+    std::uint8_t buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+        if (n > 0) {
+            c.dial_attempts = 0;
+            c.in.feed(buf, static_cast<std::size_t>(n));
+            wire::frame f;
+            wire::decode_status status;
+            while ((status = c.in.next(f)) == wire::decode_status::ok) {
+                completion done;
+                done.what = completion::kind::message;
+                done.msg = f;
+                done.from = c.id;
+                out.push_back(done);
+                ++stats_.frames_received;
+            }
+            if (status == wire::decode_status::error) {
+                ++stats_.protocol_errors;
+                fail_conn(c.id, out, /*allow_redial=*/false);
+                return;
+            }
+            continue;
+        }
+        if (n == 0) {  // peer closed
+            if (c.in.buffered() > 0) ++stats_.dirty_disconnects;
+            fail_conn(c.id, out, /*allow_redial=*/true);
+            return;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        fail_conn(c.id, out, /*allow_redial=*/true);
+        return;
+    }
+}
+
+void tcp_transport::forget_conn(peer_ref id) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    if (it->second.fd >= 0) ::close(it->second.fd);
+    if (!it->second.route_key.empty()) {
+        const auto rit = route_conns_.find(it->second.route_key);
+        if (rit != route_conns_.end() && rit->second == id) route_conns_.erase(rit);
+    }
+    conns_.erase(it);
+}
+
+void tcp_transport::fail_conn(peer_ref id, std::vector<completion>& out, bool allow_redial) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    conn& c = it->second;
+    ::close(c.fd);
+    c.fd = -1;
+    const bool redial = allow_redial && !c.from_accept && !c.route_key.empty() &&
+                        !c.outq.empty() && c.dial_attempts < 2;
+    if (redial) {
+        bool connecting = false;
+        const auto sep = c.route_key.rfind(':');
+        const int fd = open_socket_to(
+            c.route_key.substr(0, sep),
+            static_cast<std::uint16_t>(std::stoi(c.route_key.substr(sep + 1))), connecting);
+        if (fd >= 0) {
+            ++stats_.reconnects;
+            ++c.dial_attempts;
+            c.fd = fd;
+            c.connecting = connecting;
+            c.out_pos = 0;  // resend the torn frame from its boundary
+            c.in = {};      // fresh inbound stream
+            return;
+        }
+    }
+    stats_.frames_dropped += static_cast<std::int64_t>(c.outq.size());
+    if (!c.route_key.empty()) {
+        completion down;
+        down.what = completion::kind::peer_down;
+        down.node = c.route_node;
+        down.from = id;
+        out.push_back(down);
+    }
+    forget_conn(id);
+}
+
+void tcp_transport::accept_pending(std::vector<completion>& /*out*/) {
+    for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) return;  // EAGAIN / EINTR / transient - retry next poll
+        set_nonblocking(fd);
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        const peer_ref id = next_ref_++;
+        conn c;
+        c.fd = fd;
+        c.id = id;
+        c.from_accept = true;
+        conns_.emplace(id, std::move(c));
+        ++stats_.accepts;
+    }
+}
+
+std::size_t tcp_transport::poll(std::vector<completion>& out, std::int64_t max_wait) {
+    const std::size_t before = out.size();
+    const std::int64_t deadline = now() + std::max<std::int64_t>(0, max_wait);
+    for (;;) {
+        fire_due_timers(out);
+
+        std::vector<pollfd> fds;
+        std::vector<peer_ref> refs;  // refs[i] = 0 for the listener
+        if (listen_fd_ >= 0) {
+            fds.push_back({listen_fd_, POLLIN, 0});
+            refs.push_back(0);
+        }
+        for (auto& [id, c] : conns_) {
+            short events = 0;
+            if (c.connecting)
+                events = POLLOUT;
+            else
+                events = static_cast<short>(POLLIN | (c.outq.empty() ? 0 : POLLOUT));
+            fds.push_back({c.fd, events, 0});
+            refs.push_back(id);
+        }
+
+        std::int64_t timeout = out.size() > before ? 0 : deadline - now();
+        if (!timers_.empty())
+            timeout = std::min(timeout, std::get<0>(timers_.top()) - now());
+        timeout = std::clamp<std::int64_t>(timeout, 0, 60'000);
+
+        const int rc = ::poll(fds.empty() ? nullptr : fds.data(),
+                              static_cast<nfds_t>(fds.size()), static_cast<int>(timeout));
+        if (rc < 0 && errno != EINTR && errno != EAGAIN)
+            throw std::runtime_error{"tcp_transport: poll() failed"};
+
+        if (rc > 0) {
+            for (std::size_t i = 0; i < fds.size(); ++i) {
+                if (fds[i].revents == 0) continue;
+                if (refs[i] == 0) {
+                    accept_pending(out);
+                    continue;
+                }
+                const auto it = conns_.find(refs[i]);
+                if (it == conns_.end()) continue;  // already failed this sweep
+                conn& c = it->second;
+                if (c.connecting && (fds[i].revents & (POLLOUT | POLLERR | POLLHUP)) != 0) {
+                    int err = 0;
+                    socklen_t len = sizeof err;
+                    ::getsockopt(c.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+                    if (err != 0) {
+                        fail_conn(c.id, out, /*allow_redial=*/true);
+                        continue;
+                    }
+                    c.connecting = false;
+                }
+                // Read before write: if the peer already closed (FIN queued
+                // behind POLLIN), the EOF must be seen while outq still holds
+                // the unsent frames - writing first would flush them into the
+                // dead socket and leave nothing for the redial to carry over.
+                if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0 && !c.connecting)
+                    read_frames(c, out);
+                // read_frames may have failed the connection: forgotten, or
+                // redialed onto a fresh fd poll(2) never reported on.  Only
+                // flush the socket this sweep actually saw.
+                const auto again = conns_.find(refs[i]);
+                if (again == conns_.end()) continue;
+                conn& cw = again->second;
+                if (cw.fd != fds[i].fd || cw.connecting) continue;
+                if ((fds[i].revents & POLLOUT) != 0) {
+                    if (!flush_writes(cw)) fail_conn(cw.id, out, /*allow_redial=*/true);
+                }
+            }
+        }
+
+        fire_due_timers(out);
+        if (out.size() > before) return out.size() - before;
+        if (now() >= deadline) return 0;
+    }
+}
+
+void tcp_transport::drop_connections() {
+    for (auto& [id, c] : conns_)
+        if (c.fd >= 0) ::close(c.fd);
+    conns_.clear();
+    route_conns_.clear();
+}
+
+}  // namespace mm::transport

@@ -1,0 +1,119 @@
+// tcp_transport.h - the real-network implementation of the transport
+// contract: non-blocking IPv4 TCP with a poll(2) event loop.
+//
+// Design (docs/DAEMON.md):
+//  * Frames are the length-prefixed wire format of transport/wire.h; a
+//    frame_splitter per connection reassembles across arbitrary read
+//    boundaries and a corrupt stream drops the connection (counted in
+//    stats - the daemon survives garbage, it does not parse it).
+//  * Node ids map to endpoints through an explicit route table
+//    (add_route); connections are cached per endpoint and shared by every
+//    node id routed there - the libqi-style client socket cache.
+//  * Reconnect-on-failure: a route-backed connection that dies (connect
+//    refused once established before, peer reset, write error) is retried
+//    once with its queued frames intact; a second failure drops the
+//    frames and reports peer_down.  A connection closed cleanly by the
+//    peer is simply forgotten - the next send() dials again.
+//  * Timers are a min-heap over steady-clock milliseconds; poll() uses the
+//    earliest deadline to bound the poll(2) timeout, and an idle poll
+//    advances now() to its horizon (the run_until mirror in the transport
+//    contract).
+//  * Everything is single-threaded: one tcp_transport belongs to one
+//    thread; cross-thread use is a data race by contract.
+//
+// Linux/POSIX only (the CI image); no external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "transport/transport.h"
+
+namespace mm::transport {
+
+class tcp_transport final : public transport {
+public:
+    struct stats {
+        std::int64_t frames_sent = 0;
+        std::int64_t frames_received = 0;
+        std::int64_t accepts = 0;
+        std::int64_t connects = 0;
+        std::int64_t reconnects = 0;
+        std::int64_t protocol_errors = 0;   // corrupt streams dropped
+        std::int64_t dirty_disconnects = 0; // peer vanished mid-frame
+        std::int64_t frames_dropped = 0;    // queued frames lost to a dead peer
+    };
+
+    tcp_transport();
+    ~tcp_transport() override;
+
+    // Binds and listens on 127.0.0.1:port (0 = ephemeral); returns the
+    // bound port.  Throws std::runtime_error on failure.  At most one
+    // listener per transport.
+    std::uint16_t listen_on(std::uint16_t port);
+    [[nodiscard]] std::uint16_t listen_port() const noexcept { return listen_port_; }
+
+    // Declares where a node id is hosted.  Many nodes may share one
+    // endpoint (a daemon hosting a whole node range); they share its
+    // cached connection too.
+    void add_route(net::node_id node, const std::string& host, std::uint16_t port);
+
+    bool send(const wire::frame& msg) override;
+    bool reply(peer_ref via, const wire::frame& msg) override;
+    void arm_timer(std::int64_t delay, std::int64_t timer_id) override;
+    [[nodiscard]] std::int64_t now() const override;
+    std::size_t poll(std::vector<completion>& out, std::int64_t max_wait) override;
+
+    [[nodiscard]] const stats& stat() const noexcept { return stats_; }
+    [[nodiscard]] std::size_t open_connections() const noexcept { return conns_.size(); }
+
+    // Drops every connection (cache reset; routes and the listener stay).
+    // The next send() redials - the reconnect path, exercisable by tests.
+    void drop_connections();
+
+private:
+    struct conn {
+        int fd = -1;
+        peer_ref id = 0;
+        bool connecting = false;   // non-blocking connect() in progress
+        bool from_accept = false;  // inbound: no route key, never redialed
+        int dial_attempts = 0;     // resets on first successful traffic
+        std::string route_key;     // "host:port" for outbound connections
+        net::node_id route_node = net::invalid_node;  // representative node
+        // Outbound queue as whole frames so a reconnect can resend from a
+        // frame boundary (a torn tail write must not corrupt the stream).
+        std::deque<std::vector<std::uint8_t>> outq;
+        std::size_t out_pos = 0;  // bytes of outq.front() already written
+        wire::frame_splitter in;
+    };
+
+    [[nodiscard]] conn* find_route_conn(const std::string& key);
+    conn* dial(const std::string& key, net::node_id node);
+    bool flush_writes(conn& c);
+    void read_frames(conn& c, std::vector<completion>& out);
+    // Terminal failure: optionally redial once (route conns with queued
+    // frames), else report peer_down and forget the connection.
+    void fail_conn(peer_ref id, std::vector<completion>& out, bool allow_redial);
+    void forget_conn(peer_ref id);
+    void fire_due_timers(std::vector<completion>& out);
+    void accept_pending(std::vector<completion>& out);
+
+    int listen_fd_ = -1;
+    std::uint16_t listen_port_ = 0;
+    std::map<peer_ref, conn> conns_;  // ordered: stable poll fd ordering
+    std::unordered_map<std::string, peer_ref> route_conns_;
+    std::unordered_map<net::node_id, std::pair<std::string, std::uint16_t>> routes_;
+    peer_ref next_ref_ = 1;
+    // (deadline ms, arm sequence, id): same-instant timers fire in arm order.
+    using timer_rec = std::tuple<std::int64_t, std::int64_t, std::int64_t>;
+    std::priority_queue<timer_rec, std::vector<timer_rec>, std::greater<>> timers_;
+    std::int64_t timer_seq_ = 0;
+    std::int64_t start_ms_ = 0;  // steady-clock origin of now()
+    stats stats_;
+};
+
+}  // namespace mm::transport

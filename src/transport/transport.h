@@ -1,0 +1,102 @@
+// transport.h - the message-delivery contract the match-making runtime
+// needs from its substrate, extracted from sim::simulator so the same
+// strategy/rendezvous core can be driven either by the deterministic
+// simulator (the oracle) or by a real network (transport/tcp_transport.h,
+// the production path).
+//
+// The contract is deliberately tiny - send a tagged message, arm a timer,
+// poll completions - because that is all the paper's protocol machinery
+// consumes: posts, queries, replies and removes are fire-and-forget frames
+// addressed to node ids, and every deadline the runtime relies on
+// (settle windows, escalation, failure detection) is a timer.
+//
+// Contract points every implementation must honor:
+//
+//  * Addressing: frames are addressed to abstract node ids (the strategy's
+//    universe U), not to sockets.  How a node id maps onto a deliverable
+//    endpoint is the implementation's business (the simulator routes over
+//    the topology graph; the TCP transport keeps a node -> host:port route
+//    table and a per-peer connection cache).
+//  * Tags ride along untouched: the frame's `tag` is the op-id wire tag of
+//    the in-simulator name_service, and per-operation accounting on either
+//    substrate keys off it.
+//  * Per-peer FIFO: two frames sent to the same destination are delivered
+//    in send order.  No ordering holds across destinations.
+//  * Timers: arm_timer(delay, id) fires a timer completion once now() has
+//    advanced by `delay`; timers due at the same instant fire in arm
+//    order.  The clock unit is the implementation's (simulator ticks /
+//    wall-clock milliseconds) - callers treat it as opaque durations.
+//  * Horizon semantics, mirrored from sim::simulator::run_until (PR 2):
+//    poll(out, max_wait) advances now() all the way to the horizon
+//    now() + max_wait even when no completion arrives - an idle poll is
+//    how soft state (TTL entries, pending deadlines) ages, so time must
+//    not stall just because the network is quiet.  run_until behaves the
+//    same way in the simulator even with future events pending; see
+//    tests/test_run_until_horizon.cpp.
+//  * Failure: best-effort datagram semantics at the frame level.  send()
+//    returns false only for a destination known to be unreachable right
+//    now (no route / node crashed); a true return is not a delivery
+//    guarantee.  Loss is surfaced, when detectable, as a peer_down
+//    completion; callers own end-to-end recovery via their deadline
+//    timers, exactly like the in-simulator runtime.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.h"
+#include "transport/wire.h"
+
+namespace mm::transport {
+
+// Opaque handle to the peer connection a completion arrived on; 0 = none.
+// Passing it back to reply() answers over that same connection - the
+// pattern a daemon needs, because the querying client is reachable through
+// its own inbound connection, not through the daemon's route table.
+using peer_ref = std::int64_t;
+
+struct completion {
+    enum class kind {
+        message,    // a frame arrived (msg, from)
+        timer,      // an armed timer fired (timer_id)
+        peer_down,  // a peer became unreachable (node, when known)
+    };
+    kind what = kind::message;
+    wire::frame msg{};
+    peer_ref from = 0;
+    std::int64_t timer_id = 0;
+    net::node_id node = net::invalid_node;
+};
+
+class transport {
+public:
+    virtual ~transport() = default;
+
+    transport() = default;
+    transport(const transport&) = delete;
+    transport& operator=(const transport&) = delete;
+
+    // Sends a tagged frame toward msg.destination.  False = known
+    // unreachable now (no route, node crashed); true = accepted for
+    // best-effort delivery.
+    virtual bool send(const wire::frame& msg) = 0;
+
+    // Sends back over the connection `via` arrived on; via == 0 falls back
+    // to destination routing (send).  Implementations without connections
+    // (the simulator) always route by destination.
+    virtual bool reply(peer_ref via, const wire::frame& msg) = 0;
+
+    // Arms a one-shot timer that fires after `delay` clock units.
+    virtual void arm_timer(std::int64_t delay, std::int64_t timer_id) = 0;
+
+    // The transport's clock: simulator ticks or milliseconds since start.
+    [[nodiscard]] virtual std::int64_t now() const = 0;
+
+    // Waits up to max_wait clock units for activity, appends completions to
+    // `out`, and returns how many were appended.  Advances now() to the
+    // horizon even when idle (see the contract above); returns as soon as
+    // at least one completion is available.
+    virtual std::size_t poll(std::vector<completion>& out, std::int64_t max_wait) = 0;
+};
+
+}  // namespace mm::transport

@@ -1,0 +1,63 @@
+#include "transport/wire.h"
+
+#include "core/codec.h"
+
+namespace mm::transport::wire {
+
+void encode(const frame& f, std::vector<std::uint8_t>& out) {
+    core::byte_writer w{out};
+    w.u32(static_cast<std::uint32_t>(payload_bytes));
+    w.u8(f.kind);
+    w.u64(f.port);
+    w.i32(f.source);
+    w.i32(f.destination);
+    w.i32(f.subject_address);
+    w.i64(f.stamp);
+    w.i64(f.tag);
+    w.i64(f.ttl);
+}
+
+decode_status decode(const std::uint8_t* data, std::size_t size, std::size_t& pos, frame& out) {
+    if (size - pos < 4) return decode_status::need_more;
+    core::byte_reader len_reader{data + pos, 4};
+    const std::uint32_t length = len_reader.u32();
+    // The protocol has exactly one frame shape, so any other length is
+    // garbage: a huge prefix must not make the splitter buffer toward it,
+    // and a short one must not be padded into a "valid" frame.
+    if (length != payload_bytes) return decode_status::error;
+    if (size - pos < 4 + static_cast<std::size_t>(length)) return decode_status::need_more;
+    core::byte_reader r{data + pos + 4, payload_bytes};
+    frame f;
+    f.kind = r.u8();
+    f.port = r.u64();
+    f.source = r.i32();
+    f.destination = r.i32();
+    f.subject_address = r.i32();
+    f.stamp = r.i64();
+    f.tag = r.i64();
+    f.ttl = r.i64();
+    if (!r.exhausted() || !verb_valid(f.kind)) return decode_status::error;
+    out = f;
+    pos += 4 + payload_bytes;
+    return decode_status::ok;
+}
+
+void frame_splitter::feed(const std::uint8_t* data, std::size_t n) {
+    if (corrupt_ || n == 0) return;
+    // Compact once the consumed prefix dominates, so a long-lived
+    // connection's buffer stays O(one frame), not O(bytes ever received).
+    if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+        buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+        pos_ = 0;
+    }
+    buf_.insert(buf_.end(), data, data + n);
+}
+
+decode_status frame_splitter::next(frame& out) {
+    if (corrupt_) return decode_status::error;
+    const decode_status status = decode(buf_.data(), buf_.size(), pos_, out);
+    if (status == decode_status::error) corrupt_ = true;
+    return status;
+}
+
+}  // namespace mm::transport::wire

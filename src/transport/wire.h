@@ -1,0 +1,99 @@
+// wire.h - the length-prefixed framed wire format of the match-making
+// transport (docs/DAEMON.md has the byte-level specification).
+//
+// A frame is [u32 length][payload]; the payload is the fixed little-endian
+// layout of `frame` below - the serializable form of the simulator's
+// sim::message, carrying the same op-id wire tag the in-simulator
+// name_service uses for per-operation accounting, plus the two daemon
+// control verbs (ack, miss) a real transport needs where the simulator
+// uses settle-deadline silence.
+//
+// Decoding is written for hostile bytes off a real socket: a length prefix
+// that is not exactly payload_bytes is a protocol error (this rejects
+// truncated and oversized frames alike), an unknown verb is a protocol
+// error, and a partial frame is simply "need more" - the frame_splitter
+// reassembles across arbitrary read boundaries and never crashes on
+// garbage (tests/test_wire_format.cpp fuzzes it).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mm::transport::wire {
+
+// Frame verbs.  1..4 are exactly runtime::msg_kind (post/query/reply/
+// remove); 5..6 exist only on the real transport: a daemon acknowledges
+// posts and removes (the simulator's settle deadline has no wire cost) and
+// answers a missed query explicitly (the simulator's rendezvous nodes stay
+// silent and the client's exact deadline timer resolves the miss).
+enum verb : std::uint8_t {
+    v_post = 1,
+    v_query = 2,
+    v_reply = 3,
+    v_remove = 4,
+    v_ack = 5,
+    v_miss = 6,
+};
+
+[[nodiscard]] constexpr bool verb_valid(std::uint8_t kind) noexcept {
+    return kind >= v_post && kind <= v_miss;
+}
+
+// The serializable message: field-for-field sim::message (minus the
+// simulator-internal relay_final - Valiant relaying is a simulator routing
+// concern, not a wire concern).
+struct frame {
+    std::uint8_t kind = 0;
+    std::uint64_t port = 0;
+    std::int32_t source = -1;
+    std::int32_t destination = -1;
+    std::int32_t subject_address = -1;
+    std::int64_t stamp = 0;
+    std::int64_t tag = 0;  // op-id wire tag, same accounting as sim::message
+    std::int64_t ttl = -1;
+
+    bool operator==(const frame&) const = default;
+};
+
+// Payload layout: kind u8 | port u64 | source i32 | destination i32 |
+// subject_address i32 | stamp i64 | tag i64 | ttl i64.
+inline constexpr std::size_t payload_bytes = 1 + 8 + 3 * 4 + 3 * 8;
+// Any length prefix above this is garbage, not a frame that needs more
+// bytes - the splitter rejects it instead of buffering toward it.
+inline constexpr std::uint32_t max_frame_bytes = 1024;
+
+// Appends the length-prefixed encoding of `f` to `out`.
+void encode(const frame& f, std::vector<std::uint8_t>& out);
+
+enum class decode_status { ok, need_more, error };
+
+// Decodes one length-prefixed frame from data[pos..size).  On `ok`, fills
+// `out` and advances pos past the frame; on `need_more`, pos is unchanged;
+// on `error`, pos is unchanged and the stream is unrecoverable (framing is
+// lost - the connection must be dropped).
+decode_status decode(const std::uint8_t* data, std::size_t size, std::size_t& pos, frame& out);
+
+// Incremental stream reassembler: feed() whatever a socket read returned,
+// then drain complete frames with next().  A protocol error is sticky -
+// once framing is lost there is no way to resynchronize mid-stream.
+class frame_splitter {
+public:
+    void feed(const std::uint8_t* data, std::size_t n);
+
+    // Pops the next complete frame: `ok` fills `out`; `need_more` means the
+    // buffer holds no complete frame; `error` means the stream is corrupt.
+    decode_status next(frame& out);
+
+    [[nodiscard]] bool corrupt() const noexcept { return corrupt_; }
+    // Bytes buffered but not yet consumed - nonzero at connection close
+    // means the peer disconnected mid-frame.
+    [[nodiscard]] std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+private:
+    std::vector<std::uint8_t> buf_;
+    std::size_t pos_ = 0;
+    bool corrupt_ = false;
+};
+
+}  // namespace mm::transport::wire

@@ -1,0 +1,170 @@
+// loopback_script.h - the shared sim-vs-daemon oracle harness: one
+// operation-script vocabulary executed either through runtime::name_service
+// inside the simulator (the oracle) or through daemon::mm_client against a
+// live mmd_server, with the visible outcome (found / where / nodes_queried)
+// captured per operation for exact comparison.
+//
+// Latency and hop counts are deliberately NOT compared: the simulator's
+// clock counts topology hops, the daemon's counts wall milliseconds.  What
+// the paper's protocol promises - who is found, where, and how many
+// rendezvous nodes were consulted - must agree bit-for-bit.
+#pragma once
+
+#include <functional>
+#include <random>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "daemon/mm_client.h"
+#include "net/topologies.h"
+#include "runtime/name_service.h"
+#include "sim/simulator.h"
+
+namespace mm::testing {
+
+struct script_op {
+    enum kind { register_server, deregister_server, migrate_server, locate, locate_fresh };
+    kind what = locate;
+    core::port_id port = 0;
+    net::node_id a = net::invalid_node;  // host / client
+    net::node_id b = net::invalid_node;  // migrate target
+};
+
+struct outcome {
+    bool found = false;
+    core::address where = net::invalid_node;
+    int nodes_queried = 0;
+
+    bool operator==(const outcome&) const = default;
+};
+
+// Runs the script sequentially through the in-simulator name service on a
+// complete graph over the strategy's universe - the deterministic oracle.
+inline std::vector<outcome> run_via_simulator(const core::locate_strategy& strategy,
+                                              std::span<const script_op> script,
+                                              bool client_caching = false) {
+    const auto g = net::make_complete(strategy.node_count());
+    sim::simulator sim{g};
+    runtime::name_service::options opts;
+    opts.client_caching = client_caching;
+    runtime::name_service svc{sim, strategy, opts};
+
+    std::vector<outcome> results;
+    results.reserve(script.size());
+    for (const auto& op : script) {
+        runtime::op_id id = 0;
+        switch (op.what) {
+            case script_op::register_server:
+                id = svc.begin_register(op.port, op.a);
+                break;
+            case script_op::deregister_server:
+                id = svc.begin_deregister(op.port, op.a);
+                break;
+            case script_op::migrate_server:
+                id = svc.begin_migrate(op.port, op.a, op.b);
+                break;
+            case script_op::locate:
+                id = svc.begin_locate(op.port, op.a);
+                break;
+            case script_op::locate_fresh:
+                id = svc.begin_locate_fresh(op.port, op.a);
+                break;
+        }
+        svc.run_until_complete({id});
+        const auto res = *svc.poll(id);
+        results.push_back({res.found, res.where, res.nodes_queried});
+        svc.forget(id);
+    }
+    return results;
+}
+
+// Runs the script sequentially through an mm_client.  `pump_server` is
+// called between client pumps for single-threaded daemon setups (pass a
+// no-op when the daemon runs in its own thread or process).
+inline std::vector<outcome> run_via_client(daemon::mm_client& client,
+                                           std::span<const script_op> script,
+                                           const std::function<void()>& pump_server) {
+    std::vector<outcome> results;
+    results.reserve(script.size());
+    for (const auto& op : script) {
+        runtime::op_id id = 0;
+        switch (op.what) {
+            case script_op::register_server:
+                id = client.begin_register(op.port, op.a);
+                break;
+            case script_op::deregister_server:
+                id = client.begin_deregister(op.port, op.a);
+                break;
+            case script_op::migrate_server:
+                id = client.begin_migrate(op.port, op.a, op.b);
+                break;
+            case script_op::locate:
+                id = client.begin_locate(op.port, op.a);
+                break;
+            case script_op::locate_fresh:
+                id = client.begin_locate_fresh(op.port, op.a);
+                break;
+        }
+        while (!client.poll(id)) {
+            client.pump(2);
+            pump_server();
+        }
+        const auto res = *client.poll(id);
+        results.push_back({res.found, res.where, res.nodes_queried});
+        client.forget(id);
+    }
+    return results;
+}
+
+// A seeded mixed workload: registrations, locates (hit and miss), migrates
+// and deregistrations over `ports` ports and the strategy's universe.
+// Sequential and conflict-free by construction, so both substrates must
+// produce identical outcomes regardless of reply interleaving.
+inline std::vector<script_op> make_mixed_script(std::uint32_t seed, net::node_id n, int ports,
+                                                int length) {
+    std::mt19937 rng{seed};
+    const auto node = [&] { return static_cast<net::node_id>(rng() % static_cast<unsigned>(n)); };
+    std::unordered_map<core::port_id, net::node_id> live;  // port -> current host
+    std::vector<script_op> script;
+    script.reserve(static_cast<std::size_t>(length));
+    for (int i = 0; i < length; ++i) {
+        const auto port = static_cast<core::port_id>(1 + rng() % static_cast<unsigned>(ports));
+        const auto it = live.find(port);
+        switch (rng() % 4) {
+            case 0:
+                if (it == live.end()) {
+                    const auto host = node();
+                    script.push_back({script_op::register_server, port, host, net::invalid_node});
+                    live[port] = host;
+                } else {
+                    script.push_back({script_op::locate_fresh, port, node(), net::invalid_node});
+                }
+                break;
+            case 1:
+                script.push_back({script_op::locate_fresh, port, node(), net::invalid_node});
+                break;
+            case 2:
+                if (it != live.end()) {
+                    const auto to = node();
+                    script.push_back({script_op::migrate_server, port, it->second, to});
+                    live[port] = to;
+                } else {
+                    script.push_back({script_op::locate_fresh, port, node(), net::invalid_node});
+                }
+                break;
+            default:
+                if (it != live.end()) {
+                    script.push_back({script_op::deregister_server, port, it->second,
+                                      net::invalid_node});
+                    live.erase(it);
+                } else {
+                    script.push_back({script_op::locate_fresh, port, node(), net::invalid_node});
+                }
+                break;
+        }
+    }
+    return script;
+}
+
+}  // namespace mm::testing

@@ -1,0 +1,294 @@
+// Sim-vs-daemon loopback oracle suite: identical operation scripts through
+// the in-simulator runtime::name_service and through daemon::mm_client
+// against a live mmd_server, asserting identical visible outcomes
+// (found / where / nodes_queried) for every operation kind - the glue that
+// keeps the real transport honest against the deterministic oracle.
+//
+// Three daemon substrates are exercised:
+//  * mmd_server over tcp_transport in a background thread (the deployment
+//    shape, real sockets on 127.0.0.1);
+//  * mmd_server over sim_transport (single-threaded, proves the daemon is
+//    transport-agnostic);
+//  * the actual mmd binary in a separate process (MMD_BINARY_PATH), with a
+//    clean SIGTERM shutdown asserted.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "daemon/mm_client.h"
+#include "daemon/mmd_server.h"
+#include "daemon/strategy_factory.h"
+#include "loopback_script.h"
+#include "strategies/basic.h"
+#include "transport/sim_transport.h"
+#include "transport/tcp_transport.h"
+
+namespace mm {
+namespace {
+
+using testing::outcome;
+using testing::script_op;
+
+// An in-process daemon: mmd_server over real loopback TCP, served from a
+// background thread exactly like the mmd binary's main loop.
+class loopback_daemon {
+public:
+    explicit loopback_daemon(const core::locate_strategy& strategy)
+        : port_{net_.listen_on(0)}, server_{net_, strategy} {
+        thread_ = std::thread{[this] { server_.serve(stop_, 5); }};
+    }
+    ~loopback_daemon() {
+        stop_.store(true);
+        thread_.join();
+    }
+
+    [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+    [[nodiscard]] const daemon::mmd_server::stats& stat() const noexcept { return server_.stat(); }
+
+private:
+    transport::tcp_transport net_;
+    std::uint16_t port_;
+    daemon::mmd_server server_;
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+};
+
+// Routes every node of the universe to the daemon and runs the script.
+std::vector<outcome> run_via_tcp_daemon(const core::locate_strategy& strategy,
+                                        std::span<const script_op> script,
+                                        bool client_caching = false) {
+    loopback_daemon daemon_box{strategy};
+    transport::tcp_transport net;
+    for (net::node_id v = 0; v < strategy.node_count(); ++v)
+        net.add_route(v, "127.0.0.1", daemon_box.port());
+    daemon::client_options opts;
+    opts.client_caching = client_caching;
+    daemon::mm_client client{net, strategy, opts};
+    return run_via_client(client, script, [] {});
+}
+
+void expect_same(const std::vector<outcome>& via_sim, const std::vector<outcome>& via_daemon,
+                 std::span<const script_op> script) {
+    ASSERT_EQ(via_sim.size(), via_daemon.size());
+    for (std::size_t i = 0; i < via_sim.size(); ++i) {
+        EXPECT_EQ(via_sim[i], via_daemon[i])
+            << "script op " << i << " (kind " << static_cast<int>(script[i].what) << ", port "
+            << script[i].port << "): sim {" << via_sim[i].found << ", " << via_sim[i].where
+            << ", " << via_sim[i].nodes_queried << "} daemon {" << via_daemon[i].found << ", "
+            << via_daemon[i].where << ", " << via_daemon[i].nodes_queried << "}";
+    }
+}
+
+// --- one scenario per operation kind (satellite: oracle coverage) -----------
+
+TEST(DaemonLoopback, RegisterThenLocateAgrees) {
+    const auto strategy = daemon::make_strategy("hash", 16, 3);
+    const std::vector<script_op> script{
+        {script_op::register_server, 7, 3, net::invalid_node},
+        {script_op::locate, 7, 11, net::invalid_node},
+        {script_op::locate, 99, 11, net::invalid_node},  // never registered: a miss
+    };
+    const auto via_sim = testing::run_via_simulator(*strategy, script);
+    const auto via_daemon = run_via_tcp_daemon(*strategy, script);
+    expect_same(via_sim, via_daemon, script);
+    EXPECT_TRUE(via_sim[1].found);
+    EXPECT_EQ(via_sim[1].where, 3);
+    EXPECT_FALSE(via_sim[2].found);
+}
+
+TEST(DaemonLoopback, DeregisterAgrees) {
+    const auto strategy = daemon::make_strategy("hash", 16, 3);
+    const std::vector<script_op> script{
+        {script_op::register_server, 5, 2, net::invalid_node},
+        {script_op::deregister_server, 5, 2, net::invalid_node},
+        {script_op::locate_fresh, 5, 9, net::invalid_node},
+    };
+    const auto via_sim = testing::run_via_simulator(*strategy, script);
+    const auto via_daemon = run_via_tcp_daemon(*strategy, script);
+    expect_same(via_sim, via_daemon, script);
+    EXPECT_FALSE(via_sim[2].found);
+}
+
+TEST(DaemonLoopback, MigrateAgrees) {
+    const auto strategy = daemon::make_strategy("hash", 16, 3);
+    const std::vector<script_op> script{
+        {script_op::register_server, 7, 3, net::invalid_node},
+        {script_op::migrate_server, 7, 3, 9},
+        {script_op::locate_fresh, 7, 1, net::invalid_node},
+    };
+    const auto via_sim = testing::run_via_simulator(*strategy, script);
+    const auto via_daemon = run_via_tcp_daemon(*strategy, script);
+    expect_same(via_sim, via_daemon, script);
+    EXPECT_TRUE(via_sim[2].found);
+    EXPECT_EQ(via_sim[2].where, 9);
+}
+
+TEST(DaemonLoopback, StaleHintThenLocateFreshAgrees) {
+    // The paper's cache-as-hint discipline, end to end: a cached locate
+    // serves the stale address for free; locate_fresh consults the network
+    // and finds the migrated server.
+    const auto strategy = daemon::make_strategy("hash", 16, 3);
+    const std::vector<script_op> script{
+        {script_op::register_server, 7, 3, net::invalid_node},
+        {script_op::locate, 7, 11, net::invalid_node},       // network; deposits the hint
+        {script_op::migrate_server, 7, 3, 9},                // hint at 11 is now stale
+        {script_op::locate, 7, 11, net::invalid_node},       // cached: stale 3, 0 queried
+        {script_op::locate_fresh, 7, 11, net::invalid_node},  // network: fresh 9
+    };
+    const auto via_sim = testing::run_via_simulator(*strategy, script, /*client_caching=*/true);
+    const auto via_daemon = run_via_tcp_daemon(*strategy, script, /*client_caching=*/true);
+    expect_same(via_sim, via_daemon, script);
+    EXPECT_EQ(via_sim[3].where, 3);
+    EXPECT_EQ(via_sim[3].nodes_queried, 0);
+    EXPECT_EQ(via_sim[4].where, 9);
+    EXPECT_GT(via_sim[4].nodes_queried, 0);
+}
+
+TEST(DaemonLoopback, BorderlineStrategiesAgree) {
+    // Broadcast, sweep and central exercise the extreme P/Q shapes
+    // (singleton posts + universal queries and vice versa).
+    for (const char* name : {"broadcast", "sweep", "central"}) {
+        SCOPED_TRACE(name);
+        const auto strategy = daemon::make_strategy(name, 8);
+        const std::vector<script_op> script{
+            {script_op::register_server, 4, 2, net::invalid_node},
+            {script_op::locate_fresh, 4, 6, net::invalid_node},
+            {script_op::migrate_server, 4, 2, 5},
+            {script_op::locate_fresh, 4, 0, net::invalid_node},
+            {script_op::deregister_server, 4, 5, net::invalid_node},
+            {script_op::locate_fresh, 4, 6, net::invalid_node},
+        };
+        const auto via_sim = testing::run_via_simulator(*strategy, script);
+        const auto via_daemon = run_via_tcp_daemon(*strategy, script);
+        expect_same(via_sim, via_daemon, script);
+    }
+}
+
+// --- seeded mixed workload ---------------------------------------------------
+
+TEST(DaemonLoopback, MixedSeededScriptAgrees) {
+    const auto strategy = daemon::make_strategy("hash", 32, 3);
+    const auto script = testing::make_mixed_script(0x20260807u, 32, 8, 60);
+    const auto via_sim = testing::run_via_simulator(*strategy, script);
+    const auto via_daemon = run_via_tcp_daemon(*strategy, script);
+    expect_same(via_sim, via_daemon, script);
+}
+
+// --- daemon over the simulator transport ------------------------------------
+
+TEST(DaemonLoopback, MmdServerIsTransportAgnostic) {
+    // The same mmd_server, driven by sim_transport completions instead of
+    // sockets: central match-making with the daemon hosting the center.
+    strategies::central_strategy strategy{2, 0};
+    const auto g = net::make_complete(2);
+    sim::simulator sim{g};
+    transport::sim_transport server_net{sim, 0};
+    transport::sim_transport client_net{sim, 1};
+    daemon::mmd_server server{server_net, strategy, 0, 1};
+    daemon::mm_client client{client_net, strategy};
+
+    const std::vector<script_op> script{
+        {script_op::register_server, 3, 1, net::invalid_node},
+        {script_op::locate_fresh, 3, 1, net::invalid_node},
+        {script_op::deregister_server, 3, 1, net::invalid_node},
+        {script_op::locate_fresh, 3, 1, net::invalid_node},
+    };
+    const auto via_daemon =
+        testing::run_via_client(client, script, [&] { server.pump(0); });
+    const auto via_sim = testing::run_via_simulator(strategy, script);
+    expect_same(via_sim, via_daemon, script);
+    EXPECT_EQ(server.stat().posts, 1);
+    EXPECT_EQ(server.stat().removes, 1);
+    EXPECT_EQ(server.stat().hits, 1);
+    EXPECT_EQ(server.stat().misses, 1);
+}
+
+// --- concurrency over one daemon --------------------------------------------
+
+TEST(DaemonLoopback, ConcurrentLocatesAllComplete) {
+    const auto strategy = daemon::make_strategy("hash", 16, 3);
+    loopback_daemon daemon_box{*strategy};
+    transport::tcp_transport net;
+    for (net::node_id v = 0; v < strategy->node_count(); ++v)
+        net.add_route(v, "127.0.0.1", daemon_box.port());
+    daemon::mm_client client{net, *strategy};
+
+    for (core::port_id port = 1; port <= 8; ++port)
+        client.register_server(port, static_cast<net::node_id>(port % 16));
+
+    std::vector<runtime::op_id> ops;
+    for (int i = 0; i < 32; ++i)
+        ops.push_back(client.begin_locate_fresh(1 + (i % 8), static_cast<net::node_id>(i % 16)));
+    client.run_until_complete(ops);
+    for (int i = 0; i < 32; ++i) {
+        const auto res = *client.poll(ops[static_cast<std::size_t>(i)]);
+        EXPECT_TRUE(res.found) << "locate " << i;
+        EXPECT_EQ(res.where, (1 + (i % 8)) % 16);
+    }
+    EXPECT_EQ(client.pending_ops(), 0u);
+}
+
+// --- the real binary, out of process ----------------------------------------
+
+TEST(DaemonLoopback, OutOfProcessMmdServesAndShutsDownCleanly) {
+    int out_pipe[2];
+    ASSERT_EQ(::pipe(out_pipe), 0);
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        ::dup2(out_pipe[1], STDOUT_FILENO);
+        ::close(out_pipe[0]);
+        ::close(out_pipe[1]);
+        ::execl(MMD_BINARY_PATH, "mmd", "--port", "0", "--nodes", "16", "--strategy", "hash",
+                "--replicas", "3", static_cast<char*>(nullptr));
+        _exit(127);
+    }
+    ::close(out_pipe[1]);
+
+    // First line of output is the ephemeral-port announcement.
+    FILE* from_daemon = ::fdopen(out_pipe[0], "r");
+    ASSERT_NE(from_daemon, nullptr);
+    unsigned port = 0;
+    ASSERT_EQ(std::fscanf(from_daemon, "LISTENING %u", &port), 1) << "no LISTENING line";
+    ASSERT_GT(port, 0u);
+
+    {
+        const auto strategy = daemon::make_strategy("hash", 16, 3);
+        transport::tcp_transport net;
+        for (net::node_id v = 0; v < 16; ++v)
+            net.add_route(v, "127.0.0.1", static_cast<std::uint16_t>(port));
+        daemon::mm_client client{net, *strategy};
+
+        client.register_server(7, 3);
+        auto found = client.locate(7, 11);
+        EXPECT_TRUE(found.found);
+        EXPECT_EQ(found.where, 3);
+
+        client.migrate_server(7, 3, 9);
+        found = client.locate_fresh(7, 11);
+        EXPECT_TRUE(found.found);
+        EXPECT_EQ(found.where, 9);
+
+        client.deregister_server(7, 9);
+        found = client.locate_fresh(7, 11);
+        EXPECT_FALSE(found.found);
+    }
+
+    ASSERT_EQ(::kill(pid, SIGTERM), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status)) << "mmd did not exit (signal?)";
+    EXPECT_EQ(WEXITSTATUS(status), 0) << "mmd shutdown was not clean";
+    std::fclose(from_daemon);
+}
+
+}  // namespace
+}  // namespace mm

@@ -1,0 +1,84 @@
+// run_until horizon semantics (the PR-2 contract the simulator.h comment
+// documents): run_until(t) advances now() all the way to t even when
+// events remain pending beyond t - soft state ages on the clock, not on
+// event arrival.  transport implementations mirror this in poll()
+// (test_transport.cpp covers that side).
+#include <gtest/gtest.h>
+
+#include "net/topologies.h"
+#include "sim/simulator.h"
+
+namespace mm::sim {
+namespace {
+
+class noop final : public node_handler {
+public:
+    int timers = 0;
+    void on_message(simulator&, const message&) override {}
+    void on_timer(simulator&, std::int64_t) override { ++timers; }
+};
+
+TEST(run_until_horizon, clock_reaches_horizon_with_future_events_pending) {
+    const auto g = net::make_complete(2);
+    simulator sim{g};
+    auto h = std::make_shared<noop>();
+    sim.attach(0, h);
+    sim.set_timer(0, 1000, 1);  // armed far beyond the horizon
+
+    sim.run_until(50);
+    EXPECT_EQ(sim.now(), 50) << "horizon not reached: soft state would stop aging";
+    EXPECT_EQ(h->timers, 0) << "future event ran early";
+    EXPECT_FALSE(sim.idle());
+
+    // The pending timer still fires at its original deadline.
+    sim.run_until(1000);
+    EXPECT_EQ(sim.now(), 1000);
+    EXPECT_EQ(h->timers, 1);
+}
+
+TEST(run_until_horizon, clock_reaches_horizon_on_empty_queue) {
+    const auto g = net::make_complete(2);
+    simulator sim{g};
+    sim.run_until(123);
+    EXPECT_EQ(sim.now(), 123);
+    EXPECT_TRUE(sim.idle());
+}
+
+TEST(run_until_horizon, horizon_in_the_past_is_a_no_op) {
+    const auto g = net::make_complete(2);
+    simulator sim{g};
+    sim.run_until(100);
+    sim.run_until(40);  // never rewinds
+    EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(run_until_horizon, parallel_engine_matches) {
+    const auto g = net::make_complete(4);
+    simulator sim{g};
+    sim.set_worker_threads(2);
+    auto h = std::make_shared<noop>();
+    sim.attach(1, h);
+    sim.set_timer(1, 500, 1);
+
+    sim.run_until(50);
+    EXPECT_EQ(sim.now(), 50);
+    EXPECT_EQ(h->timers, 0);
+    sim.run_until(600);
+    EXPECT_EQ(sim.now(), 600);
+    EXPECT_EQ(h->timers, 1);
+}
+
+TEST(run_until_horizon, next_event_time_peeks_without_running) {
+    const auto g = net::make_complete(2);
+    simulator sim{g};
+    sim.attach(0, std::make_shared<noop>());
+    EXPECT_FALSE(sim.next_event_time().has_value());
+    sim.set_timer(0, 70, 1);
+    const auto t = sim.next_event_time();
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(*t, 70);
+    EXPECT_EQ(sim.now(), 0) << "peeking must not advance the clock";
+}
+
+}  // namespace
+}  // namespace mm::sim

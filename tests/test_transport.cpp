@@ -1,0 +1,380 @@
+// Transport-contract tests: the TCP implementation against the real
+// loopback stack, the sim_transport oracle against the simulator, and one
+// cross-implementation script asserting the two substrates agree on
+// visible behavior (the contract of transport/transport.h).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/topologies.h"
+#include "sim/simulator.h"
+#include "transport/sim_transport.h"
+#include "transport/tcp_transport.h"
+#include "transport/wire.h"
+
+namespace transport = mm::transport;
+namespace wire = mm::transport::wire;
+
+namespace {
+
+wire::frame make_frame(std::uint8_t kind, mm::net::node_id from, mm::net::node_id to,
+                       std::int64_t tag) {
+    wire::frame f;
+    f.kind = kind;
+    f.port = 42;
+    f.source = from;
+    f.destination = to;
+    f.subject_address = from;
+    f.stamp = 1;
+    f.tag = tag;
+    f.ttl = -1;
+    return f;
+}
+
+// Pumps both endpoints until `sink` collected `want` message completions
+// (timers and peer_downs pass through into `sink` too) or ~5s elapsed.
+void pump_until(transport::transport& a, transport::transport& b,
+                std::vector<transport::completion>& sink, std::size_t want) {
+    for (int round = 0; round < 500; ++round) {
+        std::size_t messages = 0;
+        for (const auto& c : sink)
+            if (c.what == transport::completion::kind::message) ++messages;
+        if (messages >= want) return;
+        a.poll(sink, 5);
+        b.poll(sink, 5);
+    }
+}
+
+}  // namespace
+
+TEST(TcpTransport, RoundTripAndReply) {
+    transport::tcp_transport server;
+    const auto port = server.listen_on(0);
+    ASSERT_GT(port, 0);
+
+    transport::tcp_transport client;
+    client.add_route(0, "127.0.0.1", port);
+
+    ASSERT_TRUE(client.send(make_frame(wire::v_query, 9, 0, 7)));
+
+    // Server side: receive the query, answer over the inbound connection.
+    std::vector<transport::completion> at_server;
+    pump_until(server, client, at_server, 1);
+    ASSERT_EQ(at_server.size(), 1u);
+    ASSERT_EQ(at_server[0].what, transport::completion::kind::message);
+    EXPECT_EQ(at_server[0].msg, make_frame(wire::v_query, 9, 0, 7));
+    ASSERT_NE(at_server[0].from, 0);
+
+    ASSERT_TRUE(server.reply(at_server[0].from, make_frame(wire::v_reply, 0, 9, 7)));
+
+    std::vector<transport::completion> at_client;
+    pump_until(client, server, at_client, 1);
+    ASSERT_EQ(at_client.size(), 1u);
+    EXPECT_EQ(at_client[0].msg, make_frame(wire::v_reply, 0, 9, 7));
+
+    EXPECT_EQ(server.stat().accepts, 1);
+    EXPECT_EQ(client.stat().connects, 1);
+    EXPECT_EQ(client.stat().frames_sent, 1);
+    EXPECT_EQ(client.stat().frames_received, 1);
+}
+
+TEST(TcpTransport, ManyFramesArriveInSendOrder) {
+    transport::tcp_transport server;
+    const auto port = server.listen_on(0);
+    transport::tcp_transport client;
+    client.add_route(0, "127.0.0.1", port);
+
+    constexpr int n = 500;
+    for (int i = 0; i < n; ++i) ASSERT_TRUE(client.send(make_frame(wire::v_post, 1, 0, i)));
+
+    std::vector<transport::completion> got;
+    pump_until(server, client, got, n);
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(got[static_cast<std::size_t>(i)].what, transport::completion::kind::message);
+        EXPECT_EQ(got[static_cast<std::size_t>(i)].msg.tag, i) << "per-peer FIFO violated";
+    }
+    EXPECT_EQ(server.open_connections(), 1u) << "one endpoint = one cached connection";
+}
+
+TEST(TcpTransport, TwoListenersTalkBothWays) {
+    transport::tcp_transport a;
+    transport::tcp_transport b;
+    const auto pa = a.listen_on(0);
+    const auto pb = b.listen_on(0);
+    a.add_route(1, "127.0.0.1", pb);
+    b.add_route(0, "127.0.0.1", pa);
+
+    ASSERT_TRUE(a.send(make_frame(wire::v_post, 0, 1, 1)));
+    ASSERT_TRUE(b.send(make_frame(wire::v_post, 1, 0, 2)));
+
+    // Separate sinks: pump_until merges both endpoints' completions into
+    // one sink, which would mix up who received what.
+    std::vector<transport::completion> at_a, at_b;
+    for (int round = 0; round < 500 && (at_a.empty() || at_b.empty()); ++round) {
+        a.poll(at_a, 5);
+        b.poll(at_b, 5);
+    }
+    ASSERT_GE(at_a.size(), 1u);
+    ASSERT_GE(at_b.size(), 1u);
+    EXPECT_EQ(at_a[0].msg.tag, 2);
+    EXPECT_EQ(at_b[0].msg.tag, 1);
+}
+
+TEST(TcpTransport, TimersFireByDeadlineThenArmOrder) {
+    transport::tcp_transport t;
+    t.arm_timer(30, 1);
+    t.arm_timer(30, 2);  // same deadline: must fire after 1 (arm order)
+    t.arm_timer(5, 3);   // earlier deadline: fires first
+
+    std::vector<transport::completion> got;
+    const auto deadline = t.now() + 2000;
+    while (got.size() < 3 && t.now() < deadline) t.poll(got, 10);
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0].timer_id, 3);
+    EXPECT_EQ(got[1].timer_id, 1);
+    EXPECT_EQ(got[2].timer_id, 2);
+}
+
+TEST(TcpTransport, IdlePollAdvancesToHorizon) {
+    // The run_until mirror: a poll with nothing to deliver still advances
+    // now() to the horizon - quiet networks must not freeze time.
+    transport::tcp_transport t;
+    std::vector<transport::completion> out;
+    const auto before = t.now();
+    EXPECT_EQ(t.poll(out, 80), 0u);
+    EXPECT_TRUE(out.empty());
+    EXPECT_GE(t.now() - before, 80);
+}
+
+TEST(TcpTransport, SendWithoutRouteFails) {
+    transport::tcp_transport t;
+    EXPECT_FALSE(t.send(make_frame(wire::v_post, 0, 5, 1)));
+    EXPECT_FALSE(t.reply(0, make_frame(wire::v_post, 0, 5, 1)));  // via-0 falls back to routing
+}
+
+TEST(TcpTransport, ReconnectAfterConnectionDrop) {
+    transport::tcp_transport server;
+    const auto port = server.listen_on(0);
+    transport::tcp_transport client;
+    client.add_route(0, "127.0.0.1", port);
+
+    ASSERT_TRUE(client.send(make_frame(wire::v_post, 1, 0, 1)));
+    std::vector<transport::completion> got;
+    pump_until(server, client, got, 1);
+    ASSERT_EQ(got.size(), 1u);
+
+    // Sever the cached connection behind the client's back; the next send
+    // must dial a fresh one and still deliver.
+    client.drop_connections();
+    EXPECT_EQ(client.open_connections(), 0u);
+    ASSERT_TRUE(client.send(make_frame(wire::v_post, 1, 0, 2)));
+    pump_until(server, client, got, 2);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[1].msg.tag, 2);
+    EXPECT_EQ(server.stat().accepts, 2);
+}
+
+TEST(TcpTransport, ReconnectAfterServerRestartResendsQueuedFrame) {
+    transport::tcp_transport client;
+    std::uint16_t port = 0;
+    {
+        transport::tcp_transport first_server;
+        port = first_server.listen_on(0);
+        client.add_route(0, "127.0.0.1", port);
+        ASSERT_TRUE(client.send(make_frame(wire::v_post, 1, 0, 1)));
+        std::vector<transport::completion> got;
+        pump_until(first_server, client, got, 1);
+        ASSERT_EQ(got.size(), 1u);
+    }  // server gone; the client still holds a cached (now dead) connection
+
+    transport::tcp_transport second_server;
+    ASSERT_EQ(second_server.listen_on(port), port);  // SO_REUSEADDR restart
+
+    // The send lands on the dead cached connection; the poll loop notices
+    // the failure and redials once with the queued frame intact.
+    ASSERT_TRUE(client.send(make_frame(wire::v_post, 1, 0, 2)));
+    std::vector<transport::completion> got;
+    pump_until(second_server, client, got, 1);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].msg.tag, 2);
+    EXPECT_GE(client.stat().reconnects, 1);
+}
+
+TEST(TcpTransport, GarbageBytesDropConnectionNotDaemon) {
+    transport::tcp_transport server;
+    const auto port = server.listen_on(0);
+
+    // A hostile peer: raw socket, hostile length prefix, then hang up.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+    const std::uint8_t garbage[] = {0xff, 0xff, 0xff, 0xff, 0x00, 0x13, 0x37};
+    ASSERT_EQ(::send(fd, garbage, sizeof garbage, 0), static_cast<ssize_t>(sizeof garbage));
+
+    std::vector<transport::completion> out;
+    for (int i = 0; i < 100 && server.stat().protocol_errors == 0; ++i) server.poll(out, 5);
+    EXPECT_EQ(server.stat().protocol_errors, 1);
+    ::close(fd);
+
+    // And the server still serves well-formed peers afterwards.
+    transport::tcp_transport client;
+    client.add_route(0, "127.0.0.1", port);
+    ASSERT_TRUE(client.send(make_frame(wire::v_post, 1, 0, 9)));
+    std::vector<transport::completion> got;
+    pump_until(server, client, got, 1);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].msg.tag, 9);
+}
+
+TEST(TcpTransport, MidFrameDisconnectCountsDirty) {
+    transport::tcp_transport server;
+    const auto port = server.listen_on(0);
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+
+    // Half a valid frame, then a hard close.
+    std::vector<std::uint8_t> buf;
+    wire::encode(make_frame(wire::v_post, 1, 0, 1), buf);
+    ASSERT_EQ(::send(fd, buf.data(), buf.size() / 2, 0), static_cast<ssize_t>(buf.size() / 2));
+    std::vector<transport::completion> out;
+    server.poll(out, 20);
+    ::close(fd);
+    for (int i = 0; i < 100 && server.stat().dirty_disconnects == 0; ++i) server.poll(out, 5);
+    EXPECT_EQ(server.stat().dirty_disconnects, 1);
+    EXPECT_EQ(server.stat().frames_received, 0);
+}
+
+// --- the simulator-backed implementation ------------------------------------
+
+TEST(SimTransport, DeliversAcrossSimulatedTopology) {
+    const auto g = mm::net::make_complete(4);
+    auto sim = mm::sim::simulator{g};
+    transport::sim_transport a{sim, 0};
+    transport::sim_transport b{sim, 3};
+
+    ASSERT_TRUE(a.send(make_frame(wire::v_query, 0, 3, 5)));
+    std::vector<transport::completion> at_b;
+    b.poll(at_b, 10);
+    ASSERT_EQ(at_b.size(), 1u);
+    EXPECT_EQ(at_b[0].msg, make_frame(wire::v_query, 0, 3, 5));
+
+    ASSERT_TRUE(b.reply(at_b[0].from, make_frame(wire::v_reply, 3, 0, 5)));
+    std::vector<transport::completion> at_a;
+    a.poll(at_a, 10);
+    ASSERT_EQ(at_a.size(), 1u);
+    EXPECT_EQ(at_a[0].msg.kind, wire::v_reply);
+}
+
+TEST(SimTransport, SendToCrashedOrInvalidNodeFails) {
+    const auto g = mm::net::make_complete(3);
+    auto sim = mm::sim::simulator{g};
+    transport::sim_transport t{sim, 0};
+    EXPECT_FALSE(t.send(make_frame(wire::v_post, 0, 99, 1)));
+    sim.crash(2);
+    EXPECT_FALSE(t.send(make_frame(wire::v_post, 0, 2, 1)));
+}
+
+TEST(SimTransport, IdlePollAdvancesToHorizonWithFutureEventsPending) {
+    // The transport mirror of run_until's horizon semantics: now() lands on
+    // the horizon even though a timer remains armed beyond it.
+    const auto g = mm::net::make_complete(2);
+    auto sim = mm::sim::simulator{g};
+    transport::sim_transport t{sim, 0};
+    t.arm_timer(1000, 1);
+    std::vector<transport::completion> out;
+    EXPECT_EQ(t.poll(out, 50), 0u);
+    EXPECT_EQ(t.now(), 50);
+    EXPECT_EQ(sim.now(), 50);
+
+    // The armed timer still fires at its original deadline.
+    t.poll(out, 2000);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].timer_id, 1);
+    EXPECT_EQ(t.now(), 1000);
+}
+
+TEST(SimTransport, TimersFireByDeadlineThenArmOrder) {
+    const auto g = mm::net::make_complete(2);
+    auto sim = mm::sim::simulator{g};
+    transport::sim_transport t{sim, 0};
+    t.arm_timer(30, 1);
+    t.arm_timer(30, 2);
+    t.arm_timer(5, 3);
+    std::vector<transport::completion> got;
+    while (got.size() < 3) t.poll(got, 10);
+    EXPECT_EQ(got[0].timer_id, 3);
+    EXPECT_EQ(got[1].timer_id, 1);
+    EXPECT_EQ(got[2].timer_id, 2);
+}
+
+// --- cross-implementation agreement -----------------------------------------
+
+namespace {
+
+// A miniature request/response protocol run over any transport pair:
+// `client` sends queries 0..n-1 to `server_node`; the server echoes each as
+// a reply; returns the tags in client-arrival order.
+std::vector<std::int64_t> echo_script(transport::transport& client, transport::transport& server,
+                                      mm::net::node_id client_node, mm::net::node_id server_node,
+                                      int n) {
+    for (int i = 0; i < n; ++i)
+        EXPECT_TRUE(client.send(make_frame(wire::v_query, client_node, server_node, i)));
+    std::vector<std::int64_t> order;
+    std::vector<transport::completion> at_server, at_client;
+    for (int round = 0; round < 500 && order.size() < static_cast<std::size_t>(n); ++round) {
+        at_server.clear();
+        server.poll(at_server, 5);
+        for (const auto& c : at_server) {
+            if (c.what != transport::completion::kind::message) continue;
+            auto echo = c.msg;
+            echo.kind = wire::v_reply;
+            std::swap(echo.source, echo.destination);
+            EXPECT_TRUE(server.reply(c.from, echo));
+        }
+        at_client.clear();
+        client.poll(at_client, 5);
+        for (const auto& c : at_client)
+            if (c.what == transport::completion::kind::message) order.push_back(c.msg.tag);
+    }
+    return order;
+}
+
+}  // namespace
+
+TEST(TransportContract, SimAndTcpRunTheSameScriptIdentically) {
+    std::vector<std::int64_t> via_sim;
+    {
+        const auto g = mm::net::make_complete(2);
+    auto sim = mm::sim::simulator{g};
+        transport::sim_transport client{sim, 0};
+        transport::sim_transport server{sim, 1};
+        via_sim = echo_script(client, server, 0, 1, 32);
+    }
+    std::vector<std::int64_t> via_tcp;
+    {
+        transport::tcp_transport server;
+        const auto port = server.listen_on(0);
+        transport::tcp_transport client;
+        client.add_route(1, "127.0.0.1", port);
+        via_tcp = echo_script(client, server, 0, 1, 32);
+    }
+    ASSERT_EQ(via_sim.size(), 32u);
+    EXPECT_EQ(via_sim, via_tcp) << "the two substrates disagreed on delivery order";
+}

@@ -1,0 +1,44 @@
+#!/bin/sh
+# loopback_smoke.sh BUILD_DIR - the two-process daemon smoke test CI runs:
+# start the real mmd on an ephemeral loopback port, run the mmd_roundtrip
+# client from a second process against it, SIGTERM the daemon, and assert
+# both exited cleanly (client 0; daemon 0 after a clean SIGTERM shutdown).
+set -eu
+
+build_dir=${1:?usage: loopback_smoke.sh BUILD_DIR}
+mmd_bin="$build_dir/tools/mmd"
+client_bin="$build_dir/examples/mmd_roundtrip"
+out=$(mktemp)
+trap 'rm -f "$out"; [ -n "${mmd_pid:-}" ] && kill "$mmd_pid" 2>/dev/null || true' EXIT
+
+[ -x "$mmd_bin" ] || { echo "missing $mmd_bin (build first)"; exit 1; }
+[ -x "$client_bin" ] || { echo "missing $client_bin (build first)"; exit 1; }
+
+"$mmd_bin" --port 0 --nodes 16 --strategy hash --replicas 3 > "$out" &
+mmd_pid=$!
+
+# The first stdout line is "LISTENING <port>"; wait for it.
+port=""
+for _ in $(seq 1 100); do
+    port=$(head -n 1 "$out" 2>/dev/null | awk '/^LISTENING/ {print $2}')
+    [ -n "$port" ] && break
+    kill -0 "$mmd_pid" 2>/dev/null || { echo "mmd died before listening"; cat "$out"; exit 1; }
+    sleep 0.05
+done
+[ -n "$port" ] || { echo "mmd never announced its port"; cat "$out"; exit 1; }
+echo "mmd (pid $mmd_pid) listening on $port"
+
+"$client_bin" --connect "$port"
+client_rc=$?
+echo "client exit: $client_rc"
+
+kill -TERM "$mmd_pid"
+mmd_rc=0
+wait "$mmd_pid" || mmd_rc=$?
+mmd_pid=""
+echo "daemon exit: $mmd_rc"
+cat "$out"
+
+[ "$client_rc" -eq 0 ] || { echo "FAIL: client round trip failed"; exit 1; }
+[ "$mmd_rc" -eq 0 ] || { echo "FAIL: daemon shutdown was not clean"; exit 1; }
+echo "loopback smoke OK"

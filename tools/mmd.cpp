@@ -1,0 +1,110 @@
+// mmd - the match-making daemon: hosts the rendezvous nodes of a
+// match-making universe and serves register / deregister / locate /
+// migrate over framed TCP on loopback.
+//
+//   mmd [--port P] [--nodes N] [--strategy hash|broadcast|sweep|central]
+//       [--replicas R] [--host-first F] [--host-count C]
+//
+// Prints "LISTENING <port>" on stdout once the socket is bound (the line
+// scripts and tests parse to discover an ephemeral port), serves until
+// SIGTERM or SIGINT, then prints a one-line stats summary and exits 0 -
+// the clean-shutdown contract tools/loopback_smoke.sh asserts.
+//
+// Several daemons can split one universe (--host-first/--host-count) with
+// clients routing each node range to its daemon; a frame for a node this
+// daemon does not host is counted bad and dropped, never crashed on.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "daemon/mmd_server.h"
+#include "daemon/strategy_factory.h"
+#include "transport/tcp_transport.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+[[noreturn]] void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--port P] [--nodes N] [--strategy hash|broadcast|sweep|central]\n"
+                 "          [--replicas R] [--host-first F] [--host-count C]\n",
+                 argv0);
+    std::exit(2);
+}
+
+long arg_value(int argc, char** argv, int& i, const char* argv0) {
+    if (i + 1 >= argc) usage(argv0);
+    return std::strtol(argv[++i], nullptr, 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    long port = 0;
+    long nodes = 32;
+    long replicas = 3;
+    long host_first = 0;
+    long host_count = -1;
+    std::string strategy_name = "hash";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--port") == 0)
+            port = arg_value(argc, argv, i, argv[0]);
+        else if (std::strcmp(argv[i], "--nodes") == 0)
+            nodes = arg_value(argc, argv, i, argv[0]);
+        else if (std::strcmp(argv[i], "--replicas") == 0)
+            replicas = arg_value(argc, argv, i, argv[0]);
+        else if (std::strcmp(argv[i], "--host-first") == 0)
+            host_first = arg_value(argc, argv, i, argv[0]);
+        else if (std::strcmp(argv[i], "--host-count") == 0)
+            host_count = arg_value(argc, argv, i, argv[0]);
+        else if (std::strcmp(argv[i], "--strategy") == 0) {
+            if (i + 1 >= argc) usage(argv[0]);
+            strategy_name = argv[++i];
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (port < 0 || port > 65535 || nodes <= 0 || replicas <= 0) usage(argv[0]);
+
+    try {
+        const auto strategy = mm::daemon::make_strategy(
+            strategy_name, static_cast<mm::net::node_id>(nodes), static_cast<int>(replicas));
+
+        mm::transport::tcp_transport net;
+        const auto bound = net.listen_on(static_cast<std::uint16_t>(port));
+
+        mm::daemon::mmd_server server{net, *strategy,
+                                      static_cast<mm::net::node_id>(host_first),
+                                      static_cast<mm::net::node_id>(host_count)};
+
+        std::signal(SIGTERM, on_signal);
+        std::signal(SIGINT, on_signal);
+        std::signal(SIGPIPE, SIG_IGN);
+
+        std::printf("LISTENING %u\n", static_cast<unsigned>(bound));
+        std::fflush(stdout);
+
+        server.serve(g_stop);
+
+        const auto& s = server.stat();
+        const auto& t = net.stat();
+        std::printf("mmd: served posts=%lld removes=%lld queries=%lld hits=%lld misses=%lld "
+                    "bad=%lld frames_in=%lld frames_out=%lld\n",
+                    static_cast<long long>(s.posts), static_cast<long long>(s.removes),
+                    static_cast<long long>(s.queries), static_cast<long long>(s.hits),
+                    static_cast<long long>(s.misses), static_cast<long long>(s.bad_frames),
+                    static_cast<long long>(t.frames_received),
+                    static_cast<long long>(t.frames_sent));
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "mmd: %s\n", e.what());
+        return 1;
+    }
+}
