@@ -1,0 +1,121 @@
+// E21 - record/replay traces and the cross-engine differential canary.
+// The four execution engines' equivalence claim (serial / sharded-parallel
+// / batched / hop-by-hop) is enforced elsewhere test-by-test; this bench
+// turns it into trajectory metrics: how large the delivery trace of a
+// seeded workload is (records and digests are DETERMINISTIC counters - any
+// drift means the delivery stream itself changed, so bench_diff gates them
+// at threshold 0), how long recording and a full-sweep replay take, and
+// shape checks that the canary machinery holds: every engine in each
+// config's sweep replays the recorded trace, and re-recording is
+// byte-identical (the property committed golden traces depend on).
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "runtime/replay.h"
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point start) {
+    return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+struct case_result {
+    std::uint64_t seed = 0;
+    std::string label;
+    std::size_t records = 0;
+    std::size_t digests = 0;
+    std::size_t bytes = 0;
+    std::size_t engines = 0;
+    double record_seconds = 0;
+    double replay_seconds = 0;  // whole sweep
+    bool replays_ok = true;
+    bool deterministic = true;
+};
+
+case_result run_case(std::uint64_t seed) {
+    using namespace mm;
+    case_result out;
+    out.seed = seed;
+    const runtime::replay_config cfg = runtime::random_config(seed);
+    out.label = cfg.describe();
+    const auto engines = runtime::engine_sweep(cfg);
+    out.engines = engines.size();
+
+    auto start = clock_type::now();
+    const sim::trace reference = runtime::record_trace(cfg, engines.front());
+    out.record_seconds = seconds_since(start);
+    const auto bytes = sim::encode_trace(reference);
+    out.records = reference.records.size();
+    out.digests = reference.digests.size();
+    out.bytes = bytes.size();
+
+    start = clock_type::now();
+    for (const auto& engine : engines) {
+        const auto report = runtime::replay_trace(reference, engine);
+        if (!report.ok) {
+            out.replays_ok = false;
+            std::cout << "  [" << out.label << "] " << engine.name() << " DIVERGED:\n"
+                      << report.failure << "\n";
+        }
+    }
+    out.replay_seconds = seconds_since(start);
+
+    out.deterministic =
+        sim::encode_trace(runtime::record_trace(cfg, engines.front())) == bytes;
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    using namespace mm;
+    bench::banner("E21: record/replay traces + differential canary",
+                  "Record seeded workloads' delivery traces, replay them across each\n"
+                  "config's engine sweep, and track trace sizes as deterministic\n"
+                  "trajectory counters (records/digests units gate at threshold 0).");
+
+    // One config per regime the sweep policy distinguishes: clean (full
+    // serial set), crash (par set + hop-by-hop), churn (batched-only set).
+    // random_config is frozen, so these label the same workloads forever.
+    const std::vector<std::uint64_t> seeds{1, 5, 4};
+    std::vector<case_result> results;
+    results.reserve(seeds.size());
+    for (const auto seed : seeds) results.push_back(run_case(seed));
+
+    analysis::table t{{"seed", "config", "engines", "records", "digests", "bytes",
+                       "record s", "sweep replay s", "ok"}};
+    for (const auto& r : results) {
+        t.add_row({analysis::table::num(static_cast<std::int64_t>(r.seed)), r.label,
+                   analysis::table::num(static_cast<std::int64_t>(r.engines)),
+                   analysis::table::num(static_cast<std::int64_t>(r.records)),
+                   analysis::table::num(static_cast<std::int64_t>(r.digests)),
+                   analysis::table::num(static_cast<std::int64_t>(r.bytes)),
+                   analysis::table::num(r.record_seconds, 3),
+                   analysis::table::num(r.replay_seconds, 3),
+                   r.replays_ok && r.deterministic ? "yes" : "NO"});
+    }
+    std::cout << t.to_string() << "\n";
+
+    bool all_ok = true;
+    bool all_deterministic = true;
+    for (const auto& r : results) {
+        const std::string prefix = "seed" + std::to_string(r.seed);
+        bench::metric(prefix + "_trace_records", static_cast<double>(r.records), "records");
+        bench::metric(prefix + "_trace_digests", static_cast<double>(r.digests), "digests");
+        bench::metric(prefix + "_record_seconds", r.record_seconds, "s");
+        bench::metric(prefix + "_sweep_replay_seconds", r.replay_seconds, "s");
+        all_ok = all_ok && r.replays_ok;
+        all_deterministic = all_deterministic && r.deterministic;
+    }
+
+    bench::shape_check("every engine in each config's sweep replays its trace", all_ok);
+    bench::shape_check("re-recording a config is byte-identical", all_deterministic);
+    return 0;
+}

@@ -9,11 +9,34 @@
 // fixed layout and check ok() once at the end.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstddef>
 #include <vector>
 
 namespace mm::core {
+
+// FNV-1a over a byte stream; the checksum the trace format (sim/trace.h)
+// uses to reject bit-flipped files.  Incremental so writers can hash while
+// composing and readers while consuming, without a second pass.
+class fnv1a_hasher {
+public:
+    void update(const std::uint8_t* data, std::size_t size) noexcept {
+        for (std::size_t i = 0; i < size; ++i) {
+            state_ ^= data[i];
+            state_ *= 0x100000001b3ULL;
+        }
+    }
+    void update_u64(std::uint64_t v) noexcept {
+        std::uint8_t bytes[8];
+        for (int i = 0; i < 8; ++i) bytes[i] = static_cast<std::uint8_t>(v >> (8 * i));
+        update(bytes, sizeof bytes);
+    }
+    [[nodiscard]] std::uint64_t digest() const noexcept { return state_; }
+
+private:
+    std::uint64_t state_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+};
 
 // Appends fixed-width little-endian values to a growable byte buffer.
 class byte_writer {
@@ -28,6 +51,9 @@ public:
     void u64(std::uint64_t v);
     void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
     void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    // IEEE-754 bit pattern through u64: exact round-trip, including the
+    // workload weight doubles a replay config must reproduce verbatim.
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
 
     [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return *out_; }
     [[nodiscard]] std::size_t size() const noexcept { return out_->size(); }
@@ -50,6 +76,7 @@ public:
     std::uint64_t u64();
     std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
     std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    double f64() { return std::bit_cast<double>(u64()); }
 
     [[nodiscard]] bool ok() const noexcept { return ok_; }
     [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }

@@ -150,8 +150,13 @@ sim::time_point name_service::send_application(sim::message msg) {
     const net::node_id src = msg.source;
     const net::node_id dst = msg.destination;
     if (options_.valiant_relay && dst != src) {
+        // A relay equal to either endpoint degenerates to direct delivery,
+        // as does one drawn on a departed node (relays are drawn over the
+        // full id space, and churn leaves departed ids edgeless - routing
+        // through one would throw).  Membership only changes at the top
+        // level, so the degeneration is deterministic across engines.
         const net::node_id relay = random_relay(src, dst);
-        if (relay != dst && relay != src) {
+        if (relay != dst && relay != src && sim_->network().present(relay)) {
             msg.relay_final = dst;
             msg.destination = relay;
             // Send first: routing the message materializes the source-rooted

@@ -1,0 +1,431 @@
+#include "runtime/replay.h"
+
+#include <sstream>
+#include <utility>
+
+#include "net/hierarchy.h"
+#include "net/topologies.h"
+#include "sim/rng.h"
+#include "strategies/cube.h"
+#include "strategies/grid.h"
+#include "strategies/hash_locate.h"
+#include "strategies/hierarchical.h"
+
+namespace mm::runtime {
+
+namespace {
+
+net::graph build_graph(const replay_config& cfg) {
+    switch (cfg.topology) {
+        case replay_topology::grid: return net::make_grid(cfg.p1, cfg.p2);
+        case replay_topology::torus:
+            return net::make_grid(cfg.p1, cfg.p2, net::wrap_mode::torus);
+        case replay_topology::hypercube: return net::make_hypercube(cfg.p1);
+        case replay_topology::hierarchical:
+            return net::make_hierarchical_graph(net::hierarchy{{cfg.p1, cfg.p2}});
+    }
+    throw std::invalid_argument{"replay: bad topology"};
+}
+
+std::unique_ptr<core::locate_strategy> build_strategy(const replay_config& cfg) {
+    if (cfg.strategy == replay_strategy::hash)
+        return std::make_unique<strategies::hash_locate_strategy>(cfg.node_count(), 2);
+    switch (cfg.topology) {
+        case replay_topology::grid:
+        case replay_topology::torus:
+            return std::make_unique<strategies::manhattan_strategy>(cfg.p1, cfg.p2);
+        case replay_topology::hypercube:
+            return std::make_unique<strategies::hypercube_strategy>(cfg.p1);
+        case replay_topology::hierarchical:
+            return std::make_unique<strategies::hierarchical_strategy>(
+                net::hierarchy{{cfg.p1, cfg.p2}});
+    }
+    throw std::invalid_argument{"replay: bad strategy"};
+}
+
+bool has_devolution(const workload_options& wl) {
+    return wl.crash_weight > 0 || wl.join_weight > 0 || wl.leave_weight > 0 ||
+           wl.rejoin_weight > 0;
+}
+
+bool has_churn(const workload_options& wl) {
+    return wl.join_weight > 0 || wl.leave_weight > 0 || wl.rejoin_weight > 0;
+}
+
+const char* topology_name(replay_topology t) {
+    switch (t) {
+        case replay_topology::grid: return "grid";
+        case replay_topology::torus: return "torus";
+        case replay_topology::hypercube: return "hypercube";
+        case replay_topology::hierarchical: return "hierarchical";
+    }
+    return "?";
+}
+
+// Builds the final digest the trace format stores for a finished run.  The
+// hop counter and traffic hash are exact only at quiescence; a config with
+// periodic refresh never quiesces (run_workload drains a bounded window
+// instead), and a batched refresh post still in flight at the horizon makes
+// both instant-dependent across engines - so those two fields are zeroed
+// for refresh configs, symmetrically at record and replay time.
+sim::trace_final_digest make_summary(const replay_config& cfg, const run_result& r) {
+    sim::trace_final_digest d;
+    d.now = r.now;
+    d.sent = r.sent;
+    d.delivered = r.delivered;
+    d.dropped = r.dropped;
+    d.membership_events = r.membership_events;
+    if (cfg.policy.refresh_period <= 0) {
+        d.hops = r.hops;
+        d.traffic_hash = r.traffic_hash;
+    }
+    return d;
+}
+
+// First divergent field between two runs of the same config, or empty.
+// The field set mirrors tests/test_churn.cpp's expect_equal_runs; hop-
+// derived quantities are skipped for refresh configs (see make_summary).
+std::string diff_results(const replay_config& cfg, const run_result& a, const run_result& b) {
+    std::ostringstream os;
+    auto check = [&os](const char* name, auto va, auto vb) {
+        if (os.tellp() == 0 && va != vb)
+            os << name << ": " << va << " vs " << vb;
+    };
+    const bool quiescent = cfg.policy.refresh_period <= 0;
+    if (quiescent) {
+        check("hops", a.hops, b.hops);
+        check("traffic_hash", a.traffic_hash, b.traffic_hash);
+        check("global_message_passes", a.stats.global_message_passes,
+              b.stats.global_message_passes);
+    }
+    check("sent", a.sent, b.sent);
+    check("delivered", a.delivered, b.delivered);
+    check("dropped", a.dropped, b.dropped);
+    check("membership_events", a.membership_events, b.membership_events);
+    check("trace_records", a.trace_records, b.trace_records);
+    check("trace_digests", a.trace_digests, b.trace_digests);
+    check("now", a.now, b.now);
+    check("live_nodes", a.live_nodes, b.live_nodes);
+    check("issued", a.stats.issued, b.stats.issued);
+    check("completed", a.stats.completed, b.stats.completed);
+    check("locates", a.stats.locates, b.stats.locates);
+    check("locates_found", a.stats.locates_found, b.stats.locates_found);
+    check("crashes", a.stats.crashes, b.stats.crashes);
+    check("joins", a.stats.joins, b.stats.joins);
+    check("leaves", a.stats.leaves, b.stats.leaves);
+    check("rejoins", a.stats.rejoins, b.stats.rejoins);
+    check("per_op_message_passes", a.stats.per_op_message_passes,
+          b.stats.per_op_message_passes);
+    check("max_in_flight", a.stats.max_in_flight, b.stats.max_in_flight);
+    check("makespan", a.stats.makespan, b.stats.makespan);
+    check("latency_p50", a.stats.latency_p50, b.stats.latency_p50);
+    check("latency_p95", a.stats.latency_p95, b.stats.latency_p95);
+    check("latency_p99", a.stats.latency_p99, b.stats.latency_p99);
+    check("latency_max", a.stats.latency_max, b.stats.latency_max);
+    if (os.tellp() != 0) return os.str();
+    if (a.stats.results.size() != b.stats.results.size()) {
+        os << "results count: " << a.stats.results.size() << " vs " << b.stats.results.size();
+        return os.str();
+    }
+    for (std::size_t i = 0; i < a.stats.results.size(); ++i) {
+        const auto& ra = a.stats.results[i];
+        const auto& rb = b.stats.results[i];
+        const bool passes_ok = !quiescent || ra.message_passes == rb.message_passes;
+        if (ra.found == rb.found && ra.where == rb.where && ra.latency == rb.latency &&
+            passes_ok && ra.nodes_queried == rb.nodes_queried && ra.stages == rb.stages &&
+            ra.issued_at == rb.issued_at && ra.completed_at == rb.completed_at)
+            continue;
+        os << "op " << i << ": (found " << ra.found << " where " << ra.where << " latency "
+           << ra.latency << " passes " << ra.message_passes << " issued " << ra.issued_at
+           << " completed " << ra.completed_at << ") vs (found " << rb.found << " where "
+           << rb.where << " latency " << rb.latency << " passes " << rb.message_passes
+           << " issued " << rb.issued_at << " completed " << rb.completed_at << ")";
+        return os.str();
+    }
+    return {};
+}
+
+}  // namespace
+
+net::node_id replay_config::node_count() const {
+    switch (topology) {
+        case replay_topology::hypercube: return net::node_id{1} << p1;
+        case replay_topology::grid:
+        case replay_topology::torus:
+        case replay_topology::hierarchical: return p1 * p2;
+    }
+    return 0;
+}
+
+std::string replay_config::describe() const {
+    std::ostringstream os;
+    os << topology_name(topology) << " " << p1;
+    if (topology != replay_topology::hypercube) os << "x" << p2;
+    os << " (" << node_count() << " nodes) | "
+       << (strategy == replay_strategy::hash ? "hash" : "native") << " | "
+       << workload.operations << " ops seed " << workload.seed;
+    if (workload.mean_interarrival == 0) os << " burst";
+    if (workload.crash_weight > 0) os << " +crash";
+    if (workload.join_weight > 0 || workload.leave_weight > 0) os << " +churn";
+    if (policy.entry_ttl >= 0) os << " ttl=" << policy.entry_ttl;
+    if (policy.refresh_period > 0) os << " refresh=" << policy.refresh_period;
+    if (policy.client_caching) os << " caching";
+    if (policy.valiant_relay) os << " valiant";
+    return os.str();
+}
+
+std::vector<std::uint8_t> encode_replay_config(const replay_config& cfg) {
+    core::byte_writer w;
+    w.u8(static_cast<std::uint8_t>(cfg.topology));
+    w.i32(cfg.p1);
+    w.i32(cfg.p2);
+    w.u8(static_cast<std::uint8_t>(cfg.strategy));
+    w.i64(cfg.policy.entry_ttl);
+    w.i64(cfg.policy.refresh_period);
+    w.u8(cfg.policy.client_caching ? 1 : 0);
+    w.u8(cfg.policy.valiant_relay ? 1 : 0);
+    w.u64(cfg.policy.valiant_seed);
+    w.u64(cfg.workload.seed);
+    w.i32(cfg.workload.operations);
+    w.f64(cfg.workload.mean_interarrival);
+    w.i32(cfg.workload.ports);
+    w.i32(cfg.workload.servers_per_port);
+    w.f64(cfg.workload.locate_weight);
+    w.f64(cfg.workload.register_weight);
+    w.f64(cfg.workload.migrate_weight);
+    w.f64(cfg.workload.crash_weight);
+    w.i64(cfg.workload.crash_downtime);
+    w.f64(cfg.workload.join_weight);
+    w.f64(cfg.workload.leave_weight);
+    w.f64(cfg.workload.rejoin_weight);
+    w.i32(cfg.workload.join_edges);
+    return w.bytes();
+}
+
+bool decode_replay_config(const std::vector<std::uint8_t>& bytes, replay_config& out) {
+    core::byte_reader r{bytes.data(), bytes.size()};
+    replay_config cfg;
+    const std::uint8_t topology = r.u8();
+    cfg.p1 = r.i32();
+    cfg.p2 = r.i32();
+    const std::uint8_t strategy = r.u8();
+    cfg.policy.entry_ttl = r.i64();
+    cfg.policy.refresh_period = r.i64();
+    cfg.policy.client_caching = r.u8() != 0;
+    cfg.policy.valiant_relay = r.u8() != 0;
+    cfg.policy.valiant_seed = r.u64();
+    cfg.workload.seed = r.u64();
+    cfg.workload.operations = r.i32();
+    cfg.workload.mean_interarrival = r.f64();
+    cfg.workload.ports = r.i32();
+    cfg.workload.servers_per_port = r.i32();
+    cfg.workload.locate_weight = r.f64();
+    cfg.workload.register_weight = r.f64();
+    cfg.workload.migrate_weight = r.f64();
+    cfg.workload.crash_weight = r.f64();
+    cfg.workload.crash_downtime = r.i64();
+    cfg.workload.join_weight = r.f64();
+    cfg.workload.leave_weight = r.f64();
+    cfg.workload.rejoin_weight = r.f64();
+    cfg.workload.join_edges = r.i32();
+    if (!r.exhausted()) return false;
+    if (topology > static_cast<std::uint8_t>(replay_topology::hierarchical)) return false;
+    if (strategy > static_cast<std::uint8_t>(replay_strategy::hash)) return false;
+    cfg.topology = static_cast<replay_topology>(topology);
+    cfg.strategy = static_cast<replay_strategy>(strategy);
+    if (cfg.p1 < 1 || cfg.p1 > 20 || cfg.p2 < 0 || cfg.p2 > 1 << 20) return false;
+    if (cfg.workload.operations < 0 || cfg.workload.operations > 10'000'000) return false;
+    out = cfg;
+    return true;
+}
+
+std::string engine_config::name() const {
+    if (workers == 0) return batched ? "serial" : "serial-nobatch";
+    return (batched ? "par" : "par-nobatch") + std::to_string(workers);
+}
+
+std::vector<engine_config> engine_sweep(const replay_config& cfg) {
+    // Valiant relaying and crash/churn each select a different protocol
+    // regime under the plain serial engine (the why lives on the replay.h
+    // declaration), so those configs get par1 as the canonical
+    // single-threaded stand-in.
+    const bool serial_comparable =
+        !cfg.policy.valiant_relay && !has_devolution(cfg.workload);
+    const int single = serial_comparable ? 0 : 1;
+    std::vector<engine_config> out;
+    out.push_back({.workers = single, .batched = true});
+    // The hop-by-hop engine sits outside churn configs' equality sets at
+    // every record level: leave()'s devolution re-keys in-flight batched
+    // arrivals into drain order - the batched engines' canonical order by
+    // definition - so a hop-by-hop run's same-node handler interleaving
+    // (and with it forwarded-message content) legitimately differs.  Its
+    // devolution semantics are covered by tests/test_churn.cpp's directed
+    // cases instead.
+    if (!has_churn(cfg.workload)) out.push_back({.workers = single, .batched = false});
+    out.push_back({.workers = 2, .batched = true});
+    out.push_back({.workers = 4, .batched = true});
+    out.push_back({.workers = 8, .batched = true});
+    return out;
+}
+
+sim::trace_order replay_order(const replay_config& cfg, const engine_config& engine) {
+    (void)cfg;
+    return engine.batched ? sim::trace_order::ordered : sim::trace_order::per_tick_set;
+}
+
+run_result run_config(const replay_config& cfg, const engine_config& engine,
+                      sim::trace_observer* observer) {
+    net::graph g = build_graph(cfg);
+    sim::simulator sim{g};
+    // Canonical paths always: route tie-breaks become a pure function of
+    // the endpoints, which is what puts the plain serial engine inside the
+    // cross-engine equality set (and is already forced in parallel mode).
+    sim.set_canonical_paths(true);
+    if (engine.workers > 0) sim.set_worker_threads(engine.workers);
+    sim.set_batched_delivery(engine.batched);
+    const auto strategy = build_strategy(cfg);
+    name_service ns{sim, *strategy, cfg.policy};
+    sim.set_trace_observer(observer);
+    run_result out;
+    out.stats = run_workload(ns, cfg.workload);
+    sim.flush_trace();
+    sim.set_trace_observer(nullptr);
+    out.hops = sim.stats().get(sim::counter_hops);
+    out.sent = sim.stats().get(sim::counter_messages_sent);
+    out.delivered = sim.stats().get(sim::counter_messages_delivered);
+    out.dropped = sim.stats().get(sim::counter_messages_dropped);
+    out.membership_events = sim.stats().get(sim::counter_membership_events);
+    out.trace_records = sim.stats().get(sim::counter_trace_records);
+    out.trace_digests = sim.stats().get(sim::counter_trace_digests);
+    out.now = sim.now();
+    out.traffic_hash = sim::trace_traffic_hash(sim);
+    out.live_nodes = g.live_node_count();
+    return out;
+}
+
+sim::trace record_trace(const replay_config& cfg, const engine_config& engine) {
+    sim::trace_recorder recorder;
+    const run_result r = run_config(cfg, engine, &recorder);
+    sim::trace t = std::move(recorder.result());
+    t.config = encode_replay_config(cfg);
+    t.summary = make_summary(cfg, r);
+    return t;
+}
+
+replay_report replay_trace(const sim::trace& reference, const engine_config& engine) {
+    replay_config cfg;
+    if (!decode_replay_config(reference.config, cfg))
+        return {.ok = false, .failure = "trace carries an undecodable config blob"};
+    sim::trace_checker checker{reference, replay_order(cfg, engine)};
+    const run_result r = run_config(cfg, engine, &checker);
+    checker.finalize(make_summary(cfg, r));
+    if (!checker.ok()) return {.ok = false, .failure = checker.failure()};
+    return {.ok = true, .failure = {}};
+}
+
+diff_report diff_engines(const replay_config& cfg) {
+    // A throw anywhere in a run (a config tripping an engine invariant) is
+    // itself a finding the fuzzer must localize, not a process abort.
+    const auto engines = engine_sweep(cfg);
+    sim::trace golden;
+    run_result reference;
+    try {
+        sim::trace_recorder recorder;
+        reference = run_config(cfg, engines.front(), &recorder);
+        golden = std::move(recorder.result());
+        golden.config = encode_replay_config(cfg);
+        golden.summary = make_summary(cfg, reference);
+    } catch (const std::exception& e) {
+        return {.ok = false,
+                .divergence = engines.front().name() + ": exception: " + e.what()};
+    }
+    for (std::size_t i = 1; i < engines.size(); ++i) {
+        try {
+            sim::trace_checker checker{golden, replay_order(cfg, engines[i])};
+            const run_result live = run_config(cfg, engines[i], &checker);
+            checker.finalize(make_summary(cfg, live));
+            if (!checker.ok())
+                return {.ok = false,
+                        .divergence = engines[i].name() + " vs " + engines.front().name() +
+                                      ": " + checker.failure()};
+            const std::string diff = diff_results(cfg, reference, live);
+            if (!diff.empty())
+                return {.ok = false,
+                        .divergence = engines[i].name() + " vs " + engines.front().name() +
+                                      ": " + diff};
+        } catch (const std::exception& e) {
+            return {.ok = false,
+                    .divergence = engines[i].name() + ": exception: " + e.what()};
+        }
+    }
+    return {.ok = true, .divergence = {}};
+}
+
+replay_config random_config(std::uint64_t seed) {
+    // splitmix64 chain: libc-independent, so seed k names the same config
+    // on every platform and forever.
+    std::uint64_t s = seed ^ 0x9e3779b97f4a7c15ULL;
+    const auto next = [&s] { return s = sim::splitmix64(s); };
+    const auto pick = [&](std::uint64_t m) { return next() % m; };
+
+    replay_config cfg;
+    switch (pick(4)) {
+        case 0:
+            cfg.topology = replay_topology::grid;
+            cfg.p1 = static_cast<std::int32_t>(4 + pick(5));
+            cfg.p2 = static_cast<std::int32_t>(4 + pick(5));
+            break;
+        case 1:
+            cfg.topology = replay_topology::torus;
+            cfg.p1 = static_cast<std::int32_t>(4 + pick(5));
+            cfg.p2 = static_cast<std::int32_t>(4 + pick(5));
+            break;
+        case 2:
+            cfg.topology = replay_topology::hypercube;
+            cfg.p1 = static_cast<std::int32_t>(3 + pick(3));
+            cfg.p2 = 0;
+            break;
+        default:
+            cfg.topology = replay_topology::hierarchical;
+            cfg.p1 = static_cast<std::int32_t>(3 + pick(3));
+            cfg.p2 = static_cast<std::int32_t>(3 + pick(3));
+            break;
+    }
+    cfg.strategy = pick(4) == 0 ? replay_strategy::hash : replay_strategy::native;
+
+    switch (pick(3)) {
+        case 0: cfg.policy.entry_ttl = -1; break;
+        case 1: cfg.policy.entry_ttl = 60; break;
+        default: cfg.policy.entry_ttl = 120; break;
+    }
+    cfg.policy.refresh_period = pick(4) == 0 ? 30 : 0;
+    cfg.policy.client_caching = pick(2) == 0;
+    cfg.policy.valiant_relay = pick(8) == 0;
+    cfg.policy.valiant_seed = 1 + pick(1000);
+
+    auto& wl = cfg.workload;
+    wl.seed = next();
+    wl.operations = static_cast<int>(60 + pick(141));
+    switch (pick(4)) {
+        case 0: wl.mean_interarrival = 0; break;  // burst
+        case 1: wl.mean_interarrival = 0.5; break;
+        case 2: wl.mean_interarrival = 1.0; break;
+        default: wl.mean_interarrival = 2.0; break;
+    }
+    wl.ports = static_cast<int>(4 + pick(9));
+    wl.servers_per_port = static_cast<int>(1 + pick(2));
+    wl.locate_weight = 0.60 + 0.01 * static_cast<double>(pick(26));
+    wl.register_weight = 0.03 + 0.01 * static_cast<double>(pick(4));
+    wl.migrate_weight = 0.03 + 0.01 * static_cast<double>(pick(4));
+    wl.crash_weight = pick(3) == 0 ? 0.04 : 0.0;
+    wl.crash_downtime = static_cast<sim::time_point>(20 + pick(41));
+    if (pick(3) == 0) {
+        wl.join_weight = 0.05;
+        wl.leave_weight = 0.03;
+        wl.rejoin_weight = 0.02;
+        wl.join_edges = 2;
+    }
+    return cfg;
+}
+
+}  // namespace mm::runtime

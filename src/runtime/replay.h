@@ -1,0 +1,153 @@
+// replay.h - recorded workload configs, engine sweeps, and differential runs.
+//
+// The simulator layer's trace (sim/trace.h) knows how to record and check a
+// delivery stream but treats the workload that produced it as an opaque
+// config blob.  This layer owns that blob: a replay_config names a complete
+// reproducible run - topology x strategy x name-service policy x workload
+// mix - codec-serialized into the trace file, so a committed golden trace
+// is self-describing and `mm_trace replay golden.trace` needs no other
+// input.  On top of it sit the engine sweep (run the same config under
+// serial / parallel / batched-off engines) and the differential driver
+// mm_fuzz uses: record under the reference engine, replay under every
+// other, and diff the full counter/result/latency sets.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/workload.h"
+#include "sim/trace.h"
+
+namespace mm::runtime {
+
+// Topology families the config codec can rebuild from two integer
+// parameters.  Kept deliberately small: a golden trace must rebuild
+// bit-identically forever, so every family here is frozen API.
+enum class replay_topology : std::uint8_t {
+    grid = 0,       // p1 rows x p2 cols Manhattan grid
+    torus = 1,      // same, both dimensions wrapped
+    hypercube = 2,  // dimension p1 (p2 unused)
+    hierarchical = 3,  // two-level hierarchy, fanouts {p1, p2}
+};
+
+// Strategy families over those topologies.
+enum class replay_strategy : std::uint8_t {
+    native = 0,  // the topology's own: manhattan / hypercube / hierarchical
+                 // (grid+torus use manhattan; Proposition-2-style row/column)
+    hash = 1,    // hash_locate_strategy(n, 2): topology-independent
+};
+
+// A complete reproducible run.  encode/decode round-trip every field
+// exactly (doubles travel as IEEE bit patterns via byte_writer::f64).
+struct replay_config {
+    replay_topology topology = replay_topology::grid;
+    std::int32_t p1 = 8;
+    std::int32_t p2 = 8;
+    replay_strategy strategy = replay_strategy::native;
+    name_service::options policy;
+    workload_options workload;
+
+    [[nodiscard]] net::node_id node_count() const;
+    // One-line human description ("grid 8x8 | manhattan | 200 ops seed 7 ...").
+    [[nodiscard]] std::string describe() const;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_replay_config(const replay_config& cfg);
+[[nodiscard]] bool decode_replay_config(const std::vector<std::uint8_t>& bytes,
+                                        replay_config& out);
+
+// One execution engine: workers == 0 is the plain serial engine (with
+// canonical source-rooted paths forced, so its route tie-breaks match the
+// parallel engines - see simulator::set_canonical_paths), workers >= 1 the
+// sharded tick-barrier engine.
+struct engine_config {
+    int workers = 0;
+    bool batched = true;
+
+    [[nodiscard]] std::string name() const;  // "serial", "serial-nobatch", "par4", ...
+};
+
+// The sweep a config is checked across: a single-threaded pair (batched +
+// hop-by-hop) and parallel at 2/4/8 workers (the ISSUE-8 canary set).  The
+// single-threaded pair is the plain serial engine when the config admits
+// it, else par1: two policy features select a different *protocol regime*
+// under the serial engine (name_service.h), putting it legitimately
+// outside those configs' equality sets.  Valiant relaying draws hops from
+// per-node streams in the parallel regime but one shared stream in the
+// serial one; and crash/churn interacts with the parallel regime's
+// deferred fan-out timers (an operation begun at a host that is down when
+// its zero-delay start timer would fire never fans out, where the serial
+// regime's inline fan-out already happened), shifting which ticks sends
+// and drops land on.  Churn configs additionally drop the hop-by-hop
+// engine (the why lives on the engine_sweep definition).
+[[nodiscard]] std::vector<engine_config> engine_sweep(const replay_config& cfg);
+
+// The record-comparison level for `engine` replaying a trace of `cfg`
+// (recorded under the sweep's reference engine, which is always batched):
+// hop-by-hop engines compare per-tick delivery multisets - same-tick
+// arrivals from flights sent at different ticks interleave differently
+// under the two delivery modes (sim/trace.h), while the per-tick sets are
+// the invariant tests/test_sim_equivalence.cpp has always asserted - and
+// batched engines compare record-for-record.
+[[nodiscard]] sim::trace_order replay_order(const replay_config& cfg,
+                                            const engine_config& engine);
+
+// Everything a differential run compares.
+struct run_result {
+    workload_stats stats;
+    std::int64_t hops = 0;
+    std::int64_t sent = 0;
+    std::int64_t delivered = 0;
+    std::int64_t dropped = 0;
+    std::int64_t membership_events = 0;
+    std::int64_t trace_records = 0;
+    std::int64_t trace_digests = 0;
+    sim::time_point now = 0;
+    std::uint64_t traffic_hash = 0;
+    net::node_id live_nodes = 0;
+};
+
+// Builds the config's network and name service under the given engine,
+// runs the workload (with the observer armed over the whole run, when
+// given), and collects the comparison set.  Fresh state per call.
+run_result run_config(const replay_config& cfg, const engine_config& engine,
+                      sim::trace_observer* observer = nullptr);
+
+// Records the config's full trace under `engine` (the config blob is
+// embedded, so the result is self-describing).  When the config runs
+// periodic refresh, the final digest's hops and traffic hash are zeroed:
+// refresh timers keep the run from quiescing, and mid-flight batched
+// refresh posts make those two quantities instant-dependent (fast-path
+// contract) - every other field stays exact.  replay_trace applies the
+// same rule, so recorded and live summaries stay comparable.
+[[nodiscard]] sim::trace record_trace(const replay_config& cfg, const engine_config& engine);
+
+struct replay_report {
+    bool ok = false;
+    std::string failure;  // first divergence, with context (empty when ok)
+};
+
+// Re-runs the trace's embedded config under `engine`, checking the live
+// delivery stream against the recorded one.
+[[nodiscard]] replay_report replay_trace(const sim::trace& reference,
+                                         const engine_config& engine);
+
+// The differential check mm_fuzz runs per seed: record under the sweep's
+// first engine, replay under every other, and additionally diff the full
+// workload stats (per-op results, latency percentiles, counters) pairwise.
+// Reports the first divergence, localized to engine + field / record.
+struct diff_report {
+    bool ok = false;
+    std::string divergence;  // "<engine>: <first divergent field or record>"
+};
+
+[[nodiscard]] diff_report diff_engines(const replay_config& cfg);
+
+// Seeded fuzz-config generator: small topologies, mixed strategies,
+// policies (TTL / refresh / caching / Valiant), and workload mixes
+// including crash and churn regimes.  Same seed, same config - forever.
+[[nodiscard]] replay_config random_config(std::uint64_t seed);
+
+}  // namespace mm::runtime

@@ -51,6 +51,13 @@ inline constexpr std::string_view counter_membership_events = "membership_events
 // while the serial engine runs (set_worker_threads never called).  The
 // wall-clock phases are measurements, not part of the determinism contract
 // - only the tick/round counts are bit-identical across worker counts.
+// Trace instrumentation (sim/trace.h): delivery records and per-tick
+// digests fed to an attached trace observer.  Deterministic - a recorded
+// workload re-run under any engine feeds the observer the same stream, so
+// both counters sit in the blocking bench_diff gate alongside hops.
+inline constexpr std::string_view counter_trace_records = "trace_records";
+inline constexpr std::string_view counter_trace_digests = "trace_digests";
+
 inline constexpr std::string_view counter_parallel_ticks = "parallel_ticks";
 inline constexpr std::string_view counter_parallel_rounds = "parallel_rounds";
 inline constexpr std::string_view counter_phase_round_execute_ns = "phase_round_execute_ns";

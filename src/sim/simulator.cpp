@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "sim/rng.h"
+#include "sim/trace.h"
 
 namespace mm::sim {
 
@@ -56,6 +57,10 @@ struct simulator::parallel_state {
         // the barrier pipeline allocates nothing in steady state).
         std::vector<std::int64_t> ranks;
         std::vector<std::size_t> merge_cursors;
+        // Deliveries this shard executed this tick, keyed by event seq;
+        // feed_parallel_trace merges them into canonical order at the
+        // barrier.  Empty unless a trace observer is armed.
+        std::vector<std::pair<std::int64_t, trace_record>> trace_buf;
     };
 
     net::shard_map map;
@@ -199,6 +204,98 @@ void simulator::credit_tag(std::int64_t tag, std::int64_t n) {
         parallel_state::tl_shard->tags[tag] += n;
     else
         tag_hops_[tag] += n;
+}
+
+// --- trace recording ---------------------------------------------------------
+
+void simulator::note_delivery(const message& msg) {
+    if (trace_obs_ == nullptr) return;
+    trace_record rec;
+    rec.at = now_;
+    rec.node = msg.destination;
+    rec.kind = msg.kind;
+    rec.port = msg.port;
+    rec.source = msg.source;
+    rec.destination = msg.destination;
+    rec.subject = msg.subject_address;
+    rec.stamp = msg.stamp;
+    rec.tag = msg.tag;
+    rec.ttl = msg.ttl;
+    rec.relay_final = msg.relay_final;
+    if (in_this_sims_round()) {
+        parallel_state::tl_shard->trace_buf.emplace_back(parallel_state::tl_seq, rec);
+        return;
+    }
+    // Serial engine: feed in processing order.  step() already flushed the
+    // previous tick's digest before advancing now_ past it.
+    trace_pending_ = true;
+    trace_tick_ = now_;
+    metrics_.add(counter_trace_records);
+    trace_obs_->on_delivery(rec);
+}
+
+void simulator::feed_parallel_trace() {
+    auto& st = *par_;
+    std::size_t total = 0;
+    for (const auto& sh : st.shards) total += sh.trace_buf.size();
+    if (total == 0) return;
+    // Gather into one list and sort by seq: the globally-merged processing
+    // order, i.e. exactly the order the serial engine would have fed.
+    std::vector<std::pair<std::int64_t, trace_record>> merged;
+    merged.reserve(total);
+    for (auto& sh : st.shards) {
+        merged.insert(merged.end(), sh.trace_buf.begin(), sh.trace_buf.end());
+        sh.trace_buf.clear();
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    trace_pending_ = true;
+    trace_tick_ = now_;
+    metrics_.add(counter_trace_records, static_cast<std::int64_t>(total));
+    for (const auto& [seq, rec] : merged) trace_obs_->on_delivery(rec);
+}
+
+void simulator::flush_trace_tick() {
+    trace_tick_digest d;
+    d.tick = trace_tick_;
+    const std::int64_t sent = metrics_.get(counter_messages_sent);
+    const std::int64_t delivered = metrics_.get(counter_messages_delivered);
+    const std::int64_t dropped = metrics_.get(counter_messages_dropped);
+    d.sent = sent - trace_base_.sent;
+    d.delivered = delivered - trace_base_.delivered;
+    d.dropped = dropped - trace_base_.dropped;
+    trace_base_.sent = sent;
+    trace_base_.delivered = delivered;
+    trace_base_.dropped = dropped;
+    trace_pending_ = false;
+    metrics_.add(counter_trace_digests);
+    trace_obs_->on_tick_digest(d);
+}
+
+void simulator::flush_trace() {
+    if (trace_obs_ != nullptr && trace_pending_) flush_trace_tick();
+}
+
+void simulator::set_trace_observer(trace_observer* obs) {
+    if (in_parallel_round())
+        throw std::logic_error{
+            "simulator::set_trace_observer: top-level only while the parallel engine runs"};
+    flush_trace();
+    trace_obs_ = obs;
+    trace_pending_ = false;
+    trace_base_.sent = metrics_.get(counter_messages_sent);
+    trace_base_.delivered = metrics_.get(counter_messages_delivered);
+    trace_base_.dropped = metrics_.get(counter_messages_dropped);
+}
+
+void simulator::set_canonical_paths(bool on) {
+    if (in_parallel_round())
+        throw std::logic_error{
+            "simulator::set_canonical_paths: top-level only while the parallel engine runs"};
+    if (par_ != nullptr && !on)
+        throw std::logic_error{
+            "simulator::set_canonical_paths: the parallel engine requires canonical paths"};
+    routes_.set_source_rooted_paths(on);
 }
 
 // --- accounting reads --------------------------------------------------------
@@ -543,6 +640,7 @@ void simulator::arrive_batched(const event& e) {
     }
     traffic_[dest].fetch_add(1, std::memory_order_relaxed);
     note_delivered();
+    note_delivery(e.msg);
     if (auto& h = handlers_[dest]) h->on_message(*this, e.msg);
 }
 
@@ -556,6 +654,7 @@ void simulator::arrive_slow(event e) {
     traffic_[static_cast<std::size_t>(at)].fetch_add(1, std::memory_order_relaxed);
     if (at == e.msg.destination) {
         note_delivered();
+        note_delivery(e.msg);
         if (auto& h = handlers_[static_cast<std::size_t>(at)]) h->on_message(*this, e.msg);
         return;
     }
@@ -656,6 +755,9 @@ bool simulator::step() {
     if (++processed_ > event_cap_)
         throw std::runtime_error{"simulator: event cap exceeded (protocol loop?)"};
     event e = events_.pop();
+    // Lazy digest flush: the engine is about to move past trace_tick_, so
+    // that tick can see no further deliveries (now_ is monotone).
+    if (trace_pending_ && e.at > trace_tick_) flush_trace_tick();
     now_ = e.at;
     process(std::move(e));
     return true;
@@ -673,7 +775,13 @@ void simulator::run_until(time_point t) {
     // when some (or all) shards have nothing pending (otherwise an armed
     // periodic timer would stall simulated time and TTL-based soft state
     // could never age out between runs).
-    if (t != std::numeric_limits<time_point>::max()) now_ = std::max(now_, t);
+    if (t != std::numeric_limits<time_point>::max()) {
+        now_ = std::max(now_, t);
+        // Same lazy-flush rule as step(): the horizon advance moved the
+        // clock past the digested tick, so it is closed under every engine
+        // at this same point.
+        if (trace_pending_ && now_ > trace_tick_) flush_trace_tick();
+    }
 }
 
 std::optional<time_point> simulator::next_event_time() {
@@ -864,6 +972,9 @@ bool simulator::run_parallel_tick(time_point horizon) {
         if (nt && (!t || *nt < *t)) t = nt;
     }
     if (!t || *t > horizon) return false;
+    // Mirror of the serial engine's lazy digest flush in step(): emit the
+    // previous tick's digest before any of this tick's records.
+    if (trace_pending_ && *t > trace_tick_) flush_trace_tick();
     now_ = *t;
 
     // Randomized routing draws per-hop from one sequential stream; keep the
@@ -918,6 +1029,7 @@ bool simulator::run_parallel_tick(time_point horizon) {
         if (processed_ > event_cap_) {
             for (auto& sh : st.shards) {
                 sh.round.clear();
+                sh.trace_buf.clear();
                 for (auto& box : sh.out_now) box.clear();
                 for (auto& box : sh.out_future) box.clear();
             }
@@ -983,6 +1095,7 @@ bool simulator::run_parallel_tick(time_point horizon) {
             sh.error = nullptr;
             for (auto& other : st.shards) {
                 other.round.clear();
+                other.trace_buf.clear();
                 for (auto& box : other.out_now) box.clear();
                 for (auto& box : other.out_future) box.clear();
             }
@@ -1026,6 +1139,7 @@ bool simulator::run_parallel_tick(time_point horizon) {
     const auto flush_wait = st.barrier_wait_ns;
     flush_future_mailboxes();
     merge_shard_accumulators();
+    if (trace_obs_ != nullptr) feed_parallel_trace();
     flush_ns += phase_ns(flush_start, flush_wait);
     metrics_.add(counter_parallel_ticks);
     metrics_.add(counter_parallel_rounds, rounds);

@@ -145,6 +145,7 @@ struct message {
 };
 
 class simulator;
+class trace_observer;  // sim/trace.h
 
 // Behavior attached to a node.  Handlers are invoked only while the node is
 // up; a crash wipes whatever soft state the handler keeps (on_crash).
@@ -293,6 +294,29 @@ public:
     // Releases a finished tag's counter (bounded memory for long workloads).
     void drop_tag(std::int64_t tag) { tag_hops_.erase(tag); }
 
+    // --- trace recording ----------------------------------------------------
+    // Arms (nullptr disarms) an observer over the delivery stream
+    // (sim/trace.h): one trace_record per on_message invocation, in
+    // canonical delivery order, plus one sent/delivered/dropped digest per
+    // tick that delivered.  Digests flush lazily - when the engine first
+    // moves past the tick - because a tick can be re-entered by top-level
+    // same-tick sends; call flush_trace() at quiescence to emit the last
+    // one.  Identical streams under every engine (the record/replay
+    // contract); top-level only.  Swapping observers flushes the pending
+    // digest to the old one first.
+    void set_trace_observer(trace_observer* obs);
+    // Emits the pending tick digest, if any, to the armed observer.
+    void flush_trace();
+
+    // Forces source-rooted (canonical) paths on the serial engine's routing
+    // table, making path(a, b) a pure function of the endpoints.  The serial
+    // engine's default tie-breaks depend on row-cache residency, which is
+    // why it sits outside the cross-engine equality set under crashes/churn
+    // (see tests/test_churn.cpp); with this on, a serial run is comparable
+    // to any parallel run.  Parallel mode already forces it (turning it off
+    // there throws).
+    void set_canonical_paths(bool on);
+
     // Safety cap on processed events (default 50M); run() throws
     // std::runtime_error when exceeded, which always indicates a protocol
     // loop in a handler.  The parallel engine checks the cap per round.
@@ -398,6 +422,13 @@ private:
     bool randomized_routing_ = false;
     std::uint64_t route_rng_state_ = 0;
     std::int64_t seq_counter_ = 0;  // feeds event keys (serial and parallel)
+    // Trace state (see set_trace_observer): the tick whose deliveries are
+    // accumulated but not yet digested, and the counter totals as of the
+    // last digest (so a digest is the delta since the previous one).
+    trace_observer* trace_obs_ = nullptr;
+    bool trace_pending_ = false;
+    time_point trace_tick_ = 0;
+    hot_counters trace_base_;
     // The caller's total routing-row budget; in parallel mode it is divided
     // evenly over the simulator's table plus every shard table (min 4 each).
     std::size_t route_rows_total_ = 0;
@@ -437,6 +468,15 @@ private:
     void note_dropped();
     void credit_tag(std::int64_t tag, std::int64_t n);
     [[nodiscard]] bool in_this_sims_round() const noexcept;
+    // Trace sink for one on_message invocation: feeds the observer directly
+    // on the serial engine, buffers (seq, record) per shard inside a
+    // parallel round (fed in merged seq order at the tick barrier).
+    void note_delivery(const message& msg);
+    // Emits the digest of trace_tick_ (pre: observer armed, digest pending).
+    void flush_trace_tick();
+    // Tick barrier: merges the shards' buffered records into canonical
+    // order and feeds the observer.
+    void feed_parallel_trace();
 
     // Parallel engine internals (defined with parallel_state in the .cpp).
     bool run_parallel_tick(time_point horizon);

@@ -1,0 +1,368 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <tuple>
+
+#include "sim/simulator.h"
+
+namespace mm::sim {
+
+namespace {
+
+constexpr std::uint8_t tag_record = 1;
+constexpr std::uint8_t tag_tick_digest = 2;
+constexpr std::uint8_t tag_final_digest = 3;
+
+constexpr std::uint32_t trace_magic = 0x5254'4d4dU;  // "MMTR" little-endian
+
+void encode_record(core::byte_writer& w, const trace_record& r) {
+    w.u8(tag_record);
+    w.i64(r.at);
+    w.i32(r.node);
+    w.i32(r.kind);
+    w.u64(r.port);
+    w.i32(r.source);
+    w.i32(r.destination);
+    w.i32(r.subject);
+    w.i64(r.stamp);
+    w.i64(r.tag);
+    w.i64(r.ttl);
+    w.i32(r.relay_final);
+}
+
+trace_record parse_record(core::byte_reader& r) {
+    trace_record rec;
+    rec.at = r.i64();
+    rec.node = r.i32();
+    rec.kind = r.i32();
+    rec.port = r.u64();
+    rec.source = r.i32();
+    rec.destination = r.i32();
+    rec.subject = r.i32();
+    rec.stamp = r.i64();
+    rec.tag = r.i64();
+    rec.ttl = r.i64();
+    rec.relay_final = r.i32();
+    return rec;
+}
+
+void encode_tick_digest(core::byte_writer& w, const trace_tick_digest& d) {
+    w.u8(tag_tick_digest);
+    w.i64(d.tick);
+    w.i64(d.sent);
+    w.i64(d.delivered);
+    w.i64(d.dropped);
+}
+
+trace_tick_digest parse_tick_digest(core::byte_reader& r) {
+    trace_tick_digest d;
+    d.tick = r.i64();
+    d.sent = r.i64();
+    d.delivered = r.i64();
+    d.dropped = r.i64();
+    return d;
+}
+
+void encode_final_digest(core::byte_writer& w, const trace_final_digest& d) {
+    w.u8(tag_final_digest);
+    w.i64(d.now);
+    w.i64(d.hops);
+    w.i64(d.sent);
+    w.i64(d.delivered);
+    w.i64(d.dropped);
+    w.i64(d.membership_events);
+    w.u64(d.traffic_hash);
+}
+
+trace_final_digest parse_final_digest(core::byte_reader& r) {
+    trace_final_digest d;
+    d.now = r.i64();
+    d.hops = r.i64();
+    d.sent = r.i64();
+    d.delivered = r.i64();
+    d.dropped = r.i64();
+    d.membership_events = r.i64();
+    d.traffic_hash = r.u64();
+    return d;
+}
+
+bool set_error(std::string* error, const char* what) {
+    if (error != nullptr) *error = what;
+    return false;
+}
+
+// Total order over records for the per_tick_set multiset comparison.
+auto record_key(const trace_record& r) {
+    return std::tie(r.at, r.node, r.kind, r.port, r.source, r.destination, r.subject,
+                    r.stamp, r.tag, r.ttl, r.relay_final);
+}
+
+bool record_less(const trace_record& a, const trace_record& b) {
+    return record_key(a) < record_key(b);
+}
+
+trace_final_digest read_final_digest(const simulator& sim) {
+    trace_final_digest d;
+    d.now = sim.now();
+    d.hops = sim.stats().get(counter_hops);
+    d.sent = sim.stats().get(counter_messages_sent);
+    d.delivered = sim.stats().get(counter_messages_delivered);
+    d.dropped = sim.stats().get(counter_messages_dropped);
+    d.membership_events = sim.stats().get(counter_membership_events);
+    d.traffic_hash = trace_traffic_hash(sim);
+    return d;
+}
+
+}  // namespace
+
+std::uint64_t trace_traffic_hash(const simulator& sim) {
+    core::fnv1a_hasher h;
+    const net::node_id n = sim.network().node_count();
+    for (net::node_id v = 0; v < n; ++v) {
+        h.update_u64(static_cast<std::uint64_t>(sim.traffic(v)));
+        h.update_u64(static_cast<std::uint64_t>(sim.transit_traffic(v)));
+    }
+    return h.digest();
+}
+
+std::vector<std::uint8_t> encode_trace(const trace& t) {
+    // Body first, so the checksum in the header can cover it.
+    core::byte_writer body;
+    body.u32(static_cast<std::uint32_t>(t.config.size()));
+    for (std::uint8_t b : t.config) body.u8(b);
+    // Interleave digests at their recorded positions: every digest covers
+    // the records of one tick, so it sorts after that tick's records and
+    // before the next tick's (the order the observer saw them in).
+    std::size_t di = 0;
+    for (const trace_record& r : t.records) {
+        while (di < t.digests.size() && t.digests[di].tick < r.at)
+            encode_tick_digest(body, t.digests[di++]);
+        encode_record(body, r);
+    }
+    while (di < t.digests.size()) encode_tick_digest(body, t.digests[di++]);
+    encode_final_digest(body, t.summary);
+
+    core::fnv1a_hasher checksum;
+    checksum.update(body.bytes().data(), body.size());
+
+    core::byte_writer out;
+    out.u32(trace_magic);
+    out.u32(trace_format_version);
+    out.u64(checksum.digest());
+    for (std::uint8_t b : body.bytes()) out.u8(b);
+    return out.bytes();
+}
+
+bool parse_trace(const std::uint8_t* data, std::size_t size, trace& out, std::string* error) {
+    core::byte_reader header{data, size};
+    if (header.u32() != trace_magic) return set_error(error, "bad magic (not a trace file)");
+    if (header.u32() != trace_format_version) return set_error(error, "unsupported trace version");
+    const std::uint64_t stored = header.u64();
+    if (!header.ok()) return set_error(error, "truncated header");
+
+    const std::size_t body_off = 4 + 4 + 8;
+    core::fnv1a_hasher checksum;
+    checksum.update(data + body_off, size - body_off);
+    if (checksum.digest() != stored) return set_error(error, "checksum mismatch (corrupt trace)");
+
+    core::byte_reader r{data + body_off, size - body_off};
+    trace t;
+    const std::uint32_t config_size = r.u32();
+    if (config_size > r.remaining()) return set_error(error, "truncated config blob");
+    t.config.resize(config_size);
+    for (std::uint32_t i = 0; i < config_size; ++i) t.config[i] = r.u8();
+
+    bool saw_final = false;
+    while (r.ok() && r.remaining() > 0) {
+        if (saw_final) return set_error(error, "entries after the final digest");
+        switch (r.u8()) {
+            case tag_record: t.records.push_back(parse_record(r)); break;
+            case tag_tick_digest: t.digests.push_back(parse_tick_digest(r)); break;
+            case tag_final_digest:
+                t.summary = parse_final_digest(r);
+                saw_final = true;
+                break;
+            default: return set_error(error, "unknown entry tag");
+        }
+    }
+    if (!r.exhausted()) return set_error(error, "truncated entry stream");
+    if (!saw_final) return set_error(error, "missing final digest");
+    out = std::move(t);
+    return true;
+}
+
+void trace_recorder::finalize(const simulator& sim) { out_.summary = read_final_digest(sim); }
+
+void trace_checker::on_delivery(const trace_record& rec) {
+    // Bounded live-side context: the window before the divergence plus a
+    // few records after it; a multi-million-record replay must not buffer
+    // its whole delivery stream just in case it fails.
+    if (!failed_) {
+        if (recent_.size() >= 16) recent_.erase(recent_.begin());
+        recent_.push_back(rec);
+    } else if (post_fail_ < 8) {
+        recent_.push_back(rec);
+        ++post_fail_;
+    }
+    if (failed_) return;
+    if (order_ == trace_order::per_tick_set) {
+        // Buffer the current tick; compare as a multiset once the engine
+        // moves on (next-tick record or the tick's digest, whichever first).
+        if (!tick_live_.empty() && tick_live_.front().at != rec.at) flush_tick_set();
+        if (failed_) return;
+        if (next_record_ + tick_live_.size() >= ref_->records.size()) {
+            fail("extra delivery beyond the " + std::to_string(ref_->records.size()) +
+                 " recorded:\n  live: " + describe(rec));
+            return;
+        }
+        tick_live_.push_back(rec);
+        return;
+    }
+    if (next_record_ >= ref_->records.size()) {
+        fail("extra delivery beyond the " + std::to_string(ref_->records.size()) +
+             " recorded:\n  live: " + describe(rec));
+        return;
+    }
+    const trace_record& want = ref_->records[next_record_];
+    if (!(rec == want)) {
+        fail("delivery record " + std::to_string(next_record_) +
+             " diverged:\n  want: " + describe(want) + "\n  live: " + describe(rec));
+        return;
+    }
+    ++next_record_;
+}
+
+void trace_checker::flush_tick_set() {
+    if (failed_ || tick_live_.empty()) return;
+    const std::int64_t tick = tick_live_.front().at;
+    std::size_t end = next_record_;
+    while (end < ref_->records.size() && ref_->records[end].at == tick) ++end;
+    const std::size_t want_n = end - next_record_;
+    if (want_n != tick_live_.size()) {
+        fail("tick " + std::to_string(tick) + ": " + std::to_string(tick_live_.size()) +
+             " live deliveries vs " + std::to_string(want_n) + " recorded");
+        tick_live_.clear();
+        return;
+    }
+    std::vector<trace_record> want(ref_->records.begin() +
+                                       static_cast<std::ptrdiff_t>(next_record_),
+                                   ref_->records.begin() + static_cast<std::ptrdiff_t>(end));
+    std::vector<trace_record> live = tick_live_;
+    std::sort(want.begin(), want.end(), record_less);
+    std::sort(live.begin(), live.end(), record_less);
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        if (!(want[i] == live[i])) {
+            fail("tick " + std::to_string(tick) +
+                 " delivery sets diverged (order-insensitive compare):\n  want: " +
+                 describe(want[i]) + "\n  live: " + describe(live[i]));
+            break;
+        }
+    }
+    next_record_ = end;
+    tick_live_.clear();
+}
+
+void trace_checker::on_tick_digest(const trace_tick_digest& digest) {
+    if (failed_) return;
+    if (order_ == trace_order::per_tick_set) {
+        flush_tick_set();
+        if (failed_) return;
+    }
+    if (next_digest_ >= ref_->digests.size()) {
+        fail("extra tick digest beyond the " + std::to_string(ref_->digests.size()) +
+             " recorded:\n  live: " + describe(digest));
+        return;
+    }
+    const trace_tick_digest& want = ref_->digests[next_digest_];
+    if (!(digest == want)) {
+        fail("tick digest " + std::to_string(next_digest_) +
+             " diverged:\n  want: " + describe(want) + "\n  live: " + describe(digest));
+        return;
+    }
+    ++next_digest_;
+}
+
+void trace_checker::finalize(const simulator& sim) { finalize(read_final_digest(sim)); }
+
+void trace_checker::finalize(const trace_final_digest& live) {
+    if (order_ == trace_order::per_tick_set) flush_tick_set();
+    if (failed_) return;
+    if (next_record_ != ref_->records.size()) {
+        fail("replay ended after " + std::to_string(next_record_) + " of " +
+             std::to_string(ref_->records.size()) + " recorded deliveries");
+        return;
+    }
+    if (next_digest_ != ref_->digests.size()) {
+        fail("replay ended after " + std::to_string(next_digest_) + " of " +
+             std::to_string(ref_->digests.size()) + " recorded tick digests");
+        return;
+    }
+    if (!(live == ref_->summary)) {
+        std::ostringstream os;
+        os << "final digest diverged:";
+        const trace_final_digest& want = ref_->summary;
+        auto field = [&](const char* name, std::int64_t w, std::int64_t l) {
+            if (w != l) os << "\n  " << name << ": want " << w << ", live " << l;
+        };
+        field("now", want.now, live.now);
+        field("hops", want.hops, live.hops);
+        field("sent", want.sent, live.sent);
+        field("delivered", want.delivered, live.delivered);
+        field("dropped", want.dropped, live.dropped);
+        field("membership_events", want.membership_events, live.membership_events);
+        if (want.traffic_hash != live.traffic_hash)
+            os << "\n  traffic_hash: want " << want.traffic_hash << ", live "
+               << live.traffic_hash;
+        fail(os.str());
+    }
+}
+
+void trace_checker::fail(std::string what) {
+    failed_ = true;
+    what_ = std::move(what);
+}
+
+std::string trace_checker::describe(const trace_record& r) {
+    std::ostringstream os;
+    os << "t=" << r.at << " node=" << r.node << " kind=" << r.kind << " port=" << r.port
+       << " " << r.source << "->" << r.destination << " subject=" << r.subject
+       << " stamp=" << r.stamp << " tag=" << r.tag << " ttl=" << r.ttl;
+    if (r.relay_final >= 0) os << " relay_final=" << r.relay_final;
+    return os.str();
+}
+
+std::string trace_checker::describe(const trace_tick_digest& d) {
+    std::ostringstream os;
+    os << "tick=" << d.tick << " sent=" << d.sent << " delivered=" << d.delivered
+       << " dropped=" << d.dropped;
+    return os.str();
+}
+
+std::string trace_checker::failure(int context) const {
+    if (!failed_) return {};
+    std::ostringstream os;
+    os << what_;
+    // Context window: the records around the divergence point on both sides.
+    const std::size_t pivot = next_record_;
+    const std::size_t lo = pivot > static_cast<std::size_t>(context)
+                               ? pivot - static_cast<std::size_t>(context)
+                               : 0;
+    os << "\ncontext (recorded trace, records " << lo << "..):";
+    for (std::size_t i = lo;
+         i < ref_->records.size() && i < pivot + static_cast<std::size_t>(context) + 1; ++i)
+        os << "\n  [" << i << "] " << describe(ref_->records[i]);
+    if (!recent_.empty()) {
+        const std::size_t n = recent_.size();
+        const std::size_t start = n > static_cast<std::size_t>(2 * context + 1)
+                                      ? n - static_cast<std::size_t>(2 * context + 1)
+                                      : 0;
+        os << "\ncontext (live run, last " << (n - start) << " deliveries):";
+        for (std::size_t i = start; i < n; ++i)
+            os << "\n  [" << i << "] " << describe(recent_[i]);
+    }
+    return os.str();
+}
+
+}  // namespace mm::sim

@@ -1,0 +1,204 @@
+// trace.h - deterministic event-trace recording and replay checking.
+//
+// The simulator's four execution engines (serial, sharded-parallel at any
+// worker count, batched and hop-by-hop delivery) are claimed bit-identical.
+// This module turns that claim into an artifact: a `trace` is the full
+// sequence of *deliveries* a workload produced - every on_message invocation
+// with its tick, endpoints, and payload header - plus per-tick counter
+// digests and a final summary, serialized through core/codec into a
+// versioned, checksummed byte format.  Record a workload once under any
+// engine, and every other engine (and every future build) must replay it
+// exactly; the checker reports the first divergent record with a context
+// window instead of a bare "mismatch".
+//
+// What is recorded - and what deliberately is not:
+//  * Deliveries only.  A delivery record is emitted for each on_message
+//    call (final destinations and Valiant relay legs).  Timer firings and
+//    drops are NOT records: their intra-tick interleaving against
+//    deliveries differs legitimately between the batched and hop-by-hop
+//    engines (a batched arrival's ordering key is assigned at the send
+//    tick; a hop chain's final event is keyed at the previous hop), while
+//    the delivery subsequence is invariant across the batched engines at
+//    every worker count.  Across the batched/hop-by-hop divide the
+//    invariant is one level coarser: same-tick arrivals from flights sent
+//    at different ticks carry batched keys assigned at their send tick but
+//    hop-by-hop keys re-assigned at the last hop, so intra-tick ORDER can
+//    differ while each tick's record multiset - the property
+//    tests/test_sim_equivalence.cpp has always asserted, as per-tick
+//    (tick, kind) sequences - stays exact.  trace_order::per_tick_set is
+//    the comparison level for that pairing; everything else is
+//    record-for-record.
+//  * Per-tick digests carry sent/delivered/dropped only.  The global hop
+//    counter lags batched messages mid-flight (fast-path contract in
+//    simulator.h), so hops - and the per-node traffic hash - appear only in
+//    the final digest, where quiescence makes them exact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/codec.h"
+#include "sim/metrics.h"
+
+namespace mm::sim {
+
+class simulator;
+struct message;
+using time_point = std::int64_t;
+
+// One on_message invocation: where/when plus the full message header.
+struct trace_record {
+    std::int64_t at = 0;      // delivery tick
+    std::int32_t node = -1;   // handler's node (== msg.destination)
+    std::int32_t kind = 0;
+    std::uint64_t port = 0;
+    std::int32_t source = -1;
+    std::int32_t destination = -1;
+    std::int32_t subject = -1;
+    std::int64_t stamp = 0;
+    std::int64_t tag = 0;
+    std::int64_t ttl = -1;
+    std::int32_t relay_final = -1;
+
+    friend bool operator==(const trace_record&, const trace_record&) = default;
+};
+
+// Counter deltas of one tick that saw at least one delivery.
+struct trace_tick_digest {
+    std::int64_t tick = 0;
+    std::int64_t sent = 0;
+    std::int64_t delivered = 0;
+    std::int64_t dropped = 0;
+
+    friend bool operator==(const trace_tick_digest&, const trace_tick_digest&) = default;
+};
+
+// End-of-run totals; exact under every engine because the run is quiescent.
+struct trace_final_digest {
+    std::int64_t now = 0;
+    std::int64_t hops = 0;
+    std::int64_t sent = 0;
+    std::int64_t delivered = 0;
+    std::int64_t dropped = 0;
+    std::int64_t membership_events = 0;
+    std::uint64_t traffic_hash = 0;  // FNV over per-node traffic/transit
+
+    friend bool operator==(const trace_final_digest&, const trace_final_digest&) = default;
+};
+
+// FNV-1a over every node's (traffic, transit) pair in node order: one u64
+// standing in for the whole per-node load vector.  Call only at quiescence.
+[[nodiscard]] std::uint64_t trace_traffic_hash(const simulator& sim);
+
+// A recorded run: an opaque config blob (the runtime layer owns its
+// encoding; the simulator layer just round-trips the bytes), the
+// interleaved record/digest stream, and the final summary.
+struct trace {
+    std::vector<std::uint8_t> config;
+    std::vector<trace_record> records;
+    std::vector<trace_tick_digest> digests;
+    trace_final_digest summary;
+
+    friend bool operator==(const trace&, const trace&) = default;
+};
+
+// Serialized layout (little-endian via core/codec):
+//   magic "MMTR" | u32 version | u64 fnv1a(checksum of everything after
+//   this field) | u32 config size | config bytes | tagged entry stream
+// Entries: u8 tag 1 = trace_record, 2 = trace_tick_digest, 3 = the final
+// digest (must be last).  parse returns false - never throws - on bad
+// magic/version/checksum, truncation, trailing bytes, or a misplaced tag.
+[[nodiscard]] std::vector<std::uint8_t> encode_trace(const trace& t);
+[[nodiscard]] bool parse_trace(const std::uint8_t* data, std::size_t size, trace& out,
+                               std::string* error = nullptr);
+
+inline constexpr std::uint32_t trace_format_version = 1;
+
+// Receives the delivery stream from an armed simulator (simulator::
+// set_trace_observer).  The simulator guarantees: records arrive in
+// canonical delivery order; a tick's digest arrives after all that tick's
+// records and before any later tick's (lazy flush - see simulator.h).
+class trace_observer {
+public:
+    virtual ~trace_observer() = default;
+    virtual void on_delivery(const trace_record& rec) = 0;
+    virtual void on_tick_digest(const trace_tick_digest& digest) = 0;
+};
+
+// Record mode: accumulates the stream into a trace.  finalize() stamps the
+// final digest from the (quiescent) simulator.
+class trace_recorder final : public trace_observer {
+public:
+    void on_delivery(const trace_record& rec) override { out_.records.push_back(rec); }
+    void on_tick_digest(const trace_tick_digest& digest) override {
+        out_.digests.push_back(digest);
+    }
+    // Reads totals + traffic hash from the simulator; call at quiescence,
+    // after simulator::flush_trace().
+    void finalize(const simulator& sim);
+
+    [[nodiscard]] trace& result() noexcept { return out_; }
+    [[nodiscard]] const trace& result() const noexcept { return out_; }
+
+private:
+    trace out_;
+};
+
+// How strictly a replay's delivery stream is held to the reference.
+//  * ordered: record-for-record identity - the default, and the right level
+//    for every same-delivery-mode engine pairing.
+//  * per_tick_set: each tick's records must match as a multiset, plus all
+//    digests exactly.  This is the level for a hop-by-hop engine replaying
+//    a batched recording: ordering keys are assigned at the send tick on
+//    the batched path but at the last hop on the slow path, so intra-tick
+//    ORDER differs legitimately - the per-tick sets, counters, and results
+//    do not (see the file comment).
+enum class trace_order : std::uint8_t { ordered, per_tick_set };
+
+// Replay mode: consumes the live stream against a reference trace and
+// latches the FIRST divergence (it never throws from handler context - the
+// run continues, the verdict is read at the end).  failure() formats the
+// mismatch with `context` records/digests on each side of it.
+class trace_checker final : public trace_observer {
+public:
+    explicit trace_checker(const trace& reference,
+                           trace_order order = trace_order::ordered)
+        : ref_{&reference}, order_{order} {}
+
+    void on_delivery(const trace_record& rec) override;
+    void on_tick_digest(const trace_tick_digest& digest) override;
+    // Verifies the final digest and that the reference was fully consumed;
+    // call at quiescence, after simulator::flush_trace().  The overload
+    // taking a digest serves callers that computed the live summary
+    // themselves (e.g. after the simulator is gone).
+    void finalize(const simulator& sim);
+    void finalize(const trace_final_digest& live);
+
+    [[nodiscard]] bool ok() const noexcept { return !failed_; }
+    // Human-readable report of the first divergence (empty when ok()).
+    [[nodiscard]] std::string failure(int context = 3) const;
+
+private:
+    void fail(std::string what);
+    // per_tick_set mode: compares the buffered tick's live records against
+    // the reference slice as sorted multisets, then advances next_record_.
+    void flush_tick_set();
+    [[nodiscard]] static std::string describe(const trace_record& r);
+    [[nodiscard]] static std::string describe(const trace_tick_digest& d);
+
+    const trace* ref_;
+    trace_order order_ = trace_order::ordered;
+    std::size_t next_record_ = 0;
+    std::size_t next_digest_ = 0;
+    // per_tick_set mode: the current tick's live records, not yet compared.
+    std::vector<trace_record> tick_live_;
+    bool failed_ = false;
+    std::string what_;
+    // The live side of the context window (reference side comes from ref_);
+    // bounded: last few records before the divergence, a few after it.
+    std::vector<trace_record> recent_;
+    int post_fail_ = 0;
+};
+
+}  // namespace mm::sim

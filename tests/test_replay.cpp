@@ -1,0 +1,136 @@
+// Replay-layer behavior (runtime/replay.h): the config codec that makes
+// trace files self-describing, the engine-sweep policy, the differential
+// driver mm_fuzz builds on (N seeded configs, zero drift), and divergence
+// localization when a trace is deliberately corrupted.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "runtime/replay.h"
+
+namespace runtime = mm::runtime;
+namespace sim = mm::sim;
+
+TEST(ReplayConfig, CodecRoundTripsEverySeed) {
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        const runtime::replay_config cfg = runtime::random_config(seed);
+        const auto bytes = runtime::encode_replay_config(cfg);
+        runtime::replay_config out;
+        ASSERT_TRUE(runtime::decode_replay_config(bytes, out)) << "seed " << seed;
+        // decode is exact: re-encoding reproduces the bytes bit-for-bit
+        // (doubles travel as IEEE patterns), and the human description -
+        // which reads every policy field - agrees.
+        EXPECT_EQ(runtime::encode_replay_config(out), bytes) << "seed " << seed;
+        EXPECT_EQ(out.describe(), cfg.describe()) << "seed " << seed;
+    }
+}
+
+TEST(ReplayConfig, DecodeRejectsTruncationAndJunk) {
+    const auto bytes = runtime::encode_replay_config(runtime::random_config(3));
+    runtime::replay_config out;
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                               bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+        EXPECT_FALSE(runtime::decode_replay_config(prefix, out)) << "prefix " << cut;
+    }
+    auto padded = bytes;
+    padded.push_back(0);
+    EXPECT_FALSE(runtime::decode_replay_config(padded, out));
+    auto bad_enum = bytes;
+    bad_enum[0] = 200;  // topology out of range
+    EXPECT_FALSE(runtime::decode_replay_config(bad_enum, out));
+}
+
+TEST(ReplaySweep, PolicyMatchesConfigRegime) {
+    runtime::replay_config clean;  // defaults: no valiant, no crash, no churn
+    clean.workload.crash_weight = 0;
+    const auto clean_sweep = runtime::engine_sweep(clean);
+    ASSERT_EQ(clean_sweep.size(), 5u);
+    EXPECT_EQ(clean_sweep[0].name(), "serial");
+    EXPECT_EQ(clean_sweep[1].name(), "serial-nobatch");
+    EXPECT_EQ(clean_sweep[4].name(), "par8");
+
+    // Crash configs: the serial-regime protocol differs (deferred fan-out
+    // timers), so par1 stands in; the hop-by-hop engine stays.
+    runtime::replay_config crash = clean;
+    crash.workload.crash_weight = 0.05;
+    const auto crash_sweep = runtime::engine_sweep(crash);
+    ASSERT_EQ(crash_sweep.size(), 5u);
+    EXPECT_EQ(crash_sweep[0].name(), "par1");
+    EXPECT_EQ(crash_sweep[1].name(), "par-nobatch1");
+
+    // Churn configs additionally drop the hop-by-hop engine: devolution
+    // re-keying defines the batched engines' canonical order.
+    runtime::replay_config churn = clean;
+    churn.workload.join_weight = 0.05;
+    churn.workload.leave_weight = 0.03;
+    const auto churn_sweep = runtime::engine_sweep(churn);
+    ASSERT_EQ(churn_sweep.size(), 4u);
+    EXPECT_EQ(churn_sweep[0].name(), "par1");
+    EXPECT_EQ(churn_sweep[1].name(), "par2");
+
+    runtime::replay_config valiant = clean;
+    valiant.policy.valiant_relay = true;
+    EXPECT_EQ(runtime::engine_sweep(valiant)[0].name(), "par1");
+
+    // Comparison level: batched engines record-for-record, hop-by-hop at
+    // per-tick multisets.
+    EXPECT_EQ(runtime::replay_order(clean, clean_sweep[0]), sim::trace_order::ordered);
+    EXPECT_EQ(runtime::replay_order(clean, clean_sweep[1]), sim::trace_order::per_tick_set);
+}
+
+TEST(ReplayDifferential, EightSeededConfigsZeroDrift) {
+    // The fuzz_smoke property in-process: every seeded config agrees
+    // across its whole engine sweep - trace, digests, counters, per-op
+    // results, and latency sets.
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const runtime::replay_config cfg = runtime::random_config(seed);
+        const runtime::diff_report report = runtime::diff_engines(cfg);
+        EXPECT_TRUE(report.ok) << "seed " << seed << " (" << cfg.describe()
+                               << "):\n" << report.divergence;
+    }
+}
+
+TEST(ReplayDifferential, RecordIsDeterministicByteForByte) {
+    // record -> re-record must produce identical bytes: the property that
+    // lets a committed golden trace stand forever.
+    for (std::uint64_t seed : {1ULL, 4ULL, 5ULL}) {
+        const runtime::replay_config cfg = runtime::random_config(seed);
+        const auto engine = runtime::engine_sweep(cfg).front();
+        const auto once = sim::encode_trace(runtime::record_trace(cfg, engine));
+        const auto twice = sim::encode_trace(runtime::record_trace(cfg, engine));
+        EXPECT_EQ(once, twice) << "seed " << seed;
+    }
+}
+
+TEST(ReplayDifferential, InjectedDivergenceIsLocalized) {
+    // Corrupt one record of a recorded trace and replay it: the checker
+    // must name that exact record, not just fail.
+    const runtime::replay_config cfg = runtime::random_config(1);
+    const auto engine = runtime::engine_sweep(cfg).front();
+    sim::trace reference = runtime::record_trace(cfg, engine);
+    ASSERT_GT(reference.records.size(), 60u);
+    reference.records[50].subject ^= 1;
+    const runtime::replay_report report = runtime::replay_trace(reference, engine);
+    ASSERT_FALSE(report.ok);
+    EXPECT_NE(report.failure.find("delivery record 50 diverged"), std::string::npos)
+        << report.failure;
+    EXPECT_NE(report.failure.find("context (recorded trace"), std::string::npos);
+}
+
+TEST(ReplayDifferential, TraceEmbedsItsConfig) {
+    const runtime::replay_config cfg = runtime::random_config(2);
+    const auto engine = runtime::engine_sweep(cfg).front();
+    const sim::trace t = runtime::record_trace(cfg, engine);
+    runtime::replay_config out;
+    ASSERT_TRUE(runtime::decode_replay_config(t.config, out));
+    EXPECT_EQ(out.describe(), cfg.describe());
+    // And the full encode/parse cycle preserves replayability.
+    const auto bytes = sim::encode_trace(t);
+    sim::trace parsed;
+    std::string error;
+    ASSERT_TRUE(sim::parse_trace(bytes.data(), bytes.size(), parsed, &error)) << error;
+    const runtime::replay_report report = runtime::replay_trace(parsed, engine);
+    EXPECT_TRUE(report.ok) << report.failure;
+}

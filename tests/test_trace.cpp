@@ -1,0 +1,241 @@
+// Trace format robustness and checker semantics (sim/trace.h): encode/parse
+// round-trips, every truncation and bit-flip rejected cleanly (the file is
+// a committed artifact parsed on every CI run - it must never crash the
+// parser), and the replay checker latching the first divergence at both
+// comparison levels.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace sim = mm::sim;
+
+namespace {
+
+sim::trace_record sample_record(std::int64_t at, int salt = 0) {
+    sim::trace_record r;
+    r.at = at;
+    r.node = 4 + salt;
+    r.kind = 2;
+    r.port = 0xfeedfaceULL + static_cast<std::uint64_t>(salt);
+    r.source = 1 + salt;
+    r.destination = 4 + salt;
+    r.subject = 9;
+    r.stamp = at - 1;
+    r.tag = 70 + salt;
+    r.ttl = -1;
+    r.relay_final = salt % 2 == 0 ? -1 : 11;
+    return r;
+}
+
+// A small but representative trace: three delivering ticks, interleaved
+// digests, a config blob, and a final digest.
+sim::trace sample_trace() {
+    sim::trace t;
+    t.config = {0x10, 0x20, 0x30, 0x40, 0x55};
+    for (std::int64_t tick : {3, 3, 7, 7, 7, 9}) {
+        t.records.push_back(sample_record(tick, static_cast<int>(t.records.size())));
+    }
+    t.digests.push_back({.tick = 3, .sent = 6, .delivered = 2, .dropped = 0});
+    t.digests.push_back({.tick = 7, .sent = 4, .delivered = 3, .dropped = 1});
+    t.digests.push_back({.tick = 9, .sent = 0, .delivered = 1, .dropped = 0});
+    t.summary = {.now = 12,
+                 .hops = 31,
+                 .sent = 10,
+                 .delivered = 6,
+                 .dropped = 1,
+                 .membership_events = 2,
+                 .traffic_hash = 0xabcdef0123456789ULL};
+    return t;
+}
+
+// Drives a checker with the trace's own stream (optionally permuted or
+// mutated by the caller first).
+void feed(sim::trace_checker& checker, const sim::trace& t) {
+    std::size_t di = 0;
+    for (const auto& r : t.records) {
+        while (di < t.digests.size() && t.digests[di].tick < r.at)
+            checker.on_tick_digest(t.digests[di++]);
+        checker.on_delivery(r);
+    }
+    while (di < t.digests.size()) checker.on_tick_digest(t.digests[di++]);
+    checker.finalize(t.summary);
+}
+
+}  // namespace
+
+TEST(TraceFormat, EncodeParseRoundTrip) {
+    const sim::trace t = sample_trace();
+    const auto bytes = sim::encode_trace(t);
+    sim::trace out;
+    std::string error;
+    ASSERT_TRUE(sim::parse_trace(bytes.data(), bytes.size(), out, &error)) << error;
+    EXPECT_EQ(out, t);
+    // Encoding is a pure function of the trace: re-encoding the parse
+    // result reproduces the bytes exactly (the property the committed
+    // golden files depend on).
+    EXPECT_EQ(sim::encode_trace(out), bytes);
+}
+
+TEST(TraceFormat, EmptyTraceRoundTrips) {
+    sim::trace t;
+    t.summary.now = 5;
+    const auto bytes = sim::encode_trace(t);
+    sim::trace out;
+    ASSERT_TRUE(sim::parse_trace(bytes.data(), bytes.size(), out, nullptr));
+    EXPECT_EQ(out, t);
+}
+
+TEST(TraceFormat, EveryTruncationRejected) {
+    const auto bytes = sim::encode_trace(sample_trace());
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        sim::trace out;
+        std::string error;
+        EXPECT_FALSE(sim::parse_trace(bytes.data(), cut, out, &error))
+            << "prefix of " << cut << " bytes parsed";
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(TraceFormat, EveryBitFlipRejected) {
+    const auto golden = sim::encode_trace(sample_trace());
+    // Flip one bit per byte position: header flips break magic/version/
+    // stored-checksum, body flips break the checksum.  Nothing may parse.
+    for (std::size_t i = 0; i < golden.size(); ++i) {
+        auto bytes = golden;
+        bytes[i] ^= 1u << (i % 8);
+        sim::trace out;
+        EXPECT_FALSE(sim::parse_trace(bytes.data(), bytes.size(), out, nullptr))
+            << "bit flip at byte " << i << " parsed";
+    }
+}
+
+TEST(TraceFormat, TrailingGarbageRejected) {
+    auto bytes = sim::encode_trace(sample_trace());
+    bytes.push_back(0x00);
+    sim::trace out;
+    std::string error;
+    EXPECT_FALSE(sim::parse_trace(bytes.data(), bytes.size(), out, &error));
+}
+
+TEST(TraceFormat, GarbageRejected) {
+    std::vector<std::uint8_t> junk(64);
+    for (std::size_t i = 0; i < junk.size(); ++i)
+        junk[i] = static_cast<std::uint8_t>(i * 37 + 11);
+    sim::trace out;
+    std::string error;
+    EXPECT_FALSE(sim::parse_trace(junk.data(), junk.size(), out, &error));
+    EXPECT_EQ(error, "bad magic (not a trace file)");
+}
+
+TEST(TraceChecker, IdenticalStreamPasses) {
+    const sim::trace t = sample_trace();
+    sim::trace_checker checker{t};
+    feed(checker, t);
+    EXPECT_TRUE(checker.ok());
+    EXPECT_TRUE(checker.failure().empty());
+}
+
+TEST(TraceChecker, MutatedRecordLocalized) {
+    const sim::trace reference = sample_trace();
+    sim::trace live = reference;
+    live.records[2].subject = 99;  // first divergence: record index 2
+    sim::trace_checker checker{reference};
+    feed(checker, live);
+    ASSERT_FALSE(checker.ok());
+    const std::string failure = checker.failure();
+    EXPECT_NE(failure.find("delivery record 2 diverged"), std::string::npos) << failure;
+    EXPECT_NE(failure.find("want:"), std::string::npos);
+    EXPECT_NE(failure.find("live:"), std::string::npos);
+    // The report carries a context window on both sides.
+    EXPECT_NE(failure.find("context (recorded trace"), std::string::npos);
+    EXPECT_NE(failure.find("context (live run"), std::string::npos);
+}
+
+TEST(TraceChecker, ExtraAndMissingDeliveriesCaught) {
+    const sim::trace reference = sample_trace();
+    {
+        sim::trace live = reference;
+        live.records.push_back(sample_record(11, 40));
+        sim::trace_checker checker{reference};
+        feed(checker, live);
+        ASSERT_FALSE(checker.ok());
+        EXPECT_NE(checker.failure().find("extra delivery"), std::string::npos);
+    }
+    {
+        sim::trace live = reference;
+        live.records.pop_back();
+        sim::trace_checker checker{reference};
+        feed(checker, live);
+        ASSERT_FALSE(checker.ok());
+        EXPECT_NE(checker.failure().find("recorded deliveries"), std::string::npos);
+    }
+}
+
+TEST(TraceChecker, DivergentTickDigestCaught) {
+    const sim::trace reference = sample_trace();
+    sim::trace live = reference;
+    live.digests[1].dropped = 7;
+    sim::trace_checker checker{reference};
+    feed(checker, live);
+    ASSERT_FALSE(checker.ok());
+    EXPECT_NE(checker.failure().find("tick digest 1 diverged"), std::string::npos);
+}
+
+TEST(TraceChecker, DivergentFinalDigestCaught) {
+    const sim::trace reference = sample_trace();
+    sim::trace live = reference;
+    live.summary.hops = 999;
+    sim::trace_checker checker{reference};
+    feed(checker, live);
+    ASSERT_FALSE(checker.ok());
+    const std::string failure = checker.failure();
+    EXPECT_NE(failure.find("final digest diverged"), std::string::npos);
+    EXPECT_NE(failure.find("hops: want 31, live 999"), std::string::npos) << failure;
+}
+
+TEST(TraceChecker, PerTickSetAcceptsIntraTickPermutation) {
+    const sim::trace reference = sample_trace();
+    sim::trace live = reference;
+    std::swap(live.records[2], live.records[4]);  // both at tick 7
+    {
+        // Record-for-record comparison must reject the reorder...
+        sim::trace_checker strict{reference};
+        feed(strict, live);
+        EXPECT_FALSE(strict.ok());
+    }
+    {
+        // ...while the multiset level accepts it.
+        sim::trace_checker loose{reference, sim::trace_order::per_tick_set};
+        feed(loose, live);
+        EXPECT_TRUE(loose.ok()) << loose.failure();
+    }
+}
+
+TEST(TraceChecker, PerTickSetRejectsCrossTickAndContentDrift) {
+    const sim::trace reference = sample_trace();
+    {
+        // Moving a record to a different tick changes two ticks' sets.
+        sim::trace live = reference;
+        live.records[1].at = 7;
+        std::sort(live.records.begin(), live.records.end(),
+                  [](const auto& a, const auto& b) { return a.at < b.at; });
+        sim::trace_checker checker{reference, sim::trace_order::per_tick_set};
+        feed(checker, live);
+        ASSERT_FALSE(checker.ok());
+        EXPECT_NE(checker.failure().find("tick 3"), std::string::npos) << checker.failure();
+    }
+    {
+        // Same tick, same count, one field drifted.
+        sim::trace live = reference;
+        live.records[3].stamp += 1;
+        sim::trace_checker checker{reference, sim::trace_order::per_tick_set};
+        feed(checker, live);
+        ASSERT_FALSE(checker.ok());
+        EXPECT_NE(checker.failure().find("delivery sets diverged"), std::string::npos)
+            << checker.failure();
+    }
+}

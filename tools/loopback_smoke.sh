@@ -28,8 +28,11 @@ done
 [ -n "$port" ] || { echo "mmd never announced its port"; cat "$out"; exit 1; }
 echo "mmd (pid $mmd_pid) listening on $port"
 
-"$client_bin" --connect "$port"
-client_rc=$?
+# Capture both children's exit codes explicitly: under `set -e` a bare
+# failing command aborts the script before `$?` can be read, which used to
+# leave the daemon's SIGTERM exit status masked behind the final wait.
+client_rc=0
+"$client_bin" --connect "$port" || client_rc=$?
 echo "client exit: $client_rc"
 
 kill -TERM "$mmd_pid"
@@ -39,6 +42,6 @@ mmd_pid=""
 echo "daemon exit: $mmd_rc"
 cat "$out"
 
-[ "$client_rc" -eq 0 ] || { echo "FAIL: client round trip failed"; exit 1; }
-[ "$mmd_rc" -eq 0 ] || { echo "FAIL: daemon shutdown was not clean"; exit 1; }
+[ "$client_rc" -eq 0 ] || { echo "FAIL: client round trip failed (exit $client_rc)"; exit "$client_rc"; }
+[ "$mmd_rc" -eq 0 ] || { echo "FAIL: daemon shutdown was not clean (exit $mmd_rc)"; exit "$mmd_rc"; }
 echo "loopback smoke OK"

@@ -1,0 +1,298 @@
+// mm_trace - record, replay, and inspect deterministic event traces.
+//
+// The record/replay workflow (docs/REPLAY.md): record a workload's full
+// delivery trace once, commit it, and every later build - any compiler, any
+// engine - must replay it bit-identically.  Trace files are self-describing
+// (the workload config is embedded), so replaying needs nothing but the
+// file.
+//
+// Usage:
+//   mm_trace record <out.trace> (--golden NAME | --seed N) [--engine E]
+//       Record a trace: --golden smooth|churn are the curated canary
+//       configs (burst arrivals - no libm in the arrival process; "churn"
+//       adds the crash + membership mix), --seed N is fuzz config N
+//       (runtime/replay.h random_config).  The default engine is the
+//       config's sweep reference.
+//   mm_trace replay <in.trace> [--engine E]... [--dump-on-fail <path>]
+//       Replay under each named engine (default: the config's full sweep,
+//       runtime/replay.h engine_sweep).  On divergence, prints
+//       the first bad record with context and exits 1; --dump-on-fail
+//       re-records the trace under the failing engine to <path> for
+//       offline diffing (the CI canary uploads it as an artifact).
+//   mm_trace inspect <in.trace> [--records N]
+//       Print the embedded config, entry counts, final digest, and the
+//       first N delivery records (default 10).
+// Engines: "serial", "serial-nobatch", "par<k>", "par-nobatch<k>".
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/replay.h"
+
+namespace {
+
+using mm::runtime::engine_config;
+using mm::runtime::replay_config;
+
+bool read_file(const std::string& path, std::vector<std::uint8_t>& out) {
+    std::ifstream in{path, std::ios::binary};
+    if (!in) return false;
+    out.assign(std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{});
+    return in.good() || in.eof();
+}
+
+bool write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+    std::ofstream out{path, std::ios::binary | std::ios::trunc};
+    if (!out) return false;
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    return out.good();
+}
+
+std::optional<engine_config> parse_engine(const std::string& name) {
+    if (name == "serial") return engine_config{.workers = 0, .batched = true};
+    if (name == "serial-nobatch") return engine_config{.workers = 0, .batched = false};
+    for (const auto& [prefix, batched] :
+         {std::pair<std::string, bool>{"par-nobatch", false}, {"par", true}}) {
+        if (name.rfind(prefix, 0) == 0 && name.size() > prefix.size()) {
+            const int workers = std::atoi(name.c_str() + prefix.size());
+            if (workers >= 1) return engine_config{.workers = workers, .batched = batched};
+        }
+    }
+    return std::nullopt;
+}
+
+// The committed canary configs (tests/golden/).  Burst arrivals keep libm
+// out of the arrival process (std::log is the one libc-dependent call in
+// run_workload), so the recorded bytes are identical across compilers.
+//
+// "smooth" is the full-equality-set canary: no crashes, no churn, so the
+// plain serial engine, its hop-by-hop twin, and parallel 2/4/8 all replay
+// it (the hop-by-hop engine held to per-tick delivery multisets, the rest
+// record-for-record; runtime/replay.h replay_order).  "churn" adds the
+// crash + membership mix - the devolution and ordering machinery most
+// likely to drift under a hot-path refactor - and is replayed by the
+// par1..par8 batched set.
+std::optional<replay_config> golden_config(const std::string& name) {
+    replay_config cfg;
+    cfg.topology = mm::runtime::replay_topology::grid;
+    cfg.p1 = 8;
+    cfg.p2 = 8;
+    cfg.strategy = mm::runtime::replay_strategy::native;
+    cfg.policy.entry_ttl = -1;
+    cfg.policy.refresh_period = 0;
+    cfg.policy.client_caching = true;
+    cfg.policy.valiant_relay = false;
+    auto& wl = cfg.workload;
+    wl.seed = 20260807;
+    wl.operations = 300;
+    wl.mean_interarrival = 0;  // burst: no libm anywhere in the run
+    wl.ports = 8;
+    wl.servers_per_port = 2;
+    if (name == "smooth") {
+        wl.locate_weight = 0.80;
+        wl.register_weight = 0.10;
+        wl.migrate_weight = 0.10;
+        wl.crash_weight = 0;  // workload_options defaults to a nonzero mix
+        return cfg;
+    }
+    if (name == "churn") {
+        wl.locate_weight = 0.70;
+        wl.register_weight = 0.05;
+        wl.migrate_weight = 0.05;
+        wl.crash_weight = 0.04;
+        wl.crash_downtime = 25;
+        wl.join_weight = 0.05;
+        wl.leave_weight = 0.03;
+        wl.rejoin_weight = 0.02;
+        wl.join_edges = 2;
+        return cfg;
+    }
+    return std::nullopt;
+}
+
+int cmd_record(int argc, char** argv) {
+    if (argc < 1) {
+        std::fprintf(stderr, "mm_trace record: missing output path\n");
+        return 2;
+    }
+    const std::string out_path = argv[0];
+    std::optional<replay_config> cfg;
+    std::optional<engine_config> engine;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--golden" && i + 1 < argc) {
+            cfg = golden_config(argv[++i]);
+            if (!cfg) {
+                std::fprintf(stderr, "mm_trace record: unknown golden config\n");
+                return 2;
+            }
+        } else if (arg == "--seed" && i + 1 < argc) {
+            cfg = mm::runtime::random_config(std::strtoull(argv[++i], nullptr, 10));
+        } else if (arg == "--engine" && i + 1 < argc) {
+            const auto e = parse_engine(argv[++i]);
+            if (!e) {
+                std::fprintf(stderr, "mm_trace record: unknown engine\n");
+                return 2;
+            }
+            engine = *e;
+        } else {
+            std::fprintf(stderr, "mm_trace record: unknown flag %s\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (!cfg) {
+        std::fprintf(stderr, "mm_trace record: need --golden NAME or --seed N\n");
+        return 2;
+    }
+    // Default to the config's sweep reference: recording a crash/churn or
+    // Valiant config under the plain serial engine would produce a trace
+    // the parallel engines legitimately cannot replay (runtime/replay.h).
+    if (!engine) engine = mm::runtime::engine_sweep(*cfg).front();
+    const mm::sim::trace t = mm::runtime::record_trace(*cfg, *engine);
+    const auto bytes = mm::sim::encode_trace(t);
+    if (!write_file(out_path, bytes)) {
+        std::fprintf(stderr, "mm_trace record: cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::printf("recorded %s under %s: %zu records, %zu digests, %zu bytes\n",
+                cfg->describe().c_str(), engine->name().c_str(), t.records.size(),
+                t.digests.size(), bytes.size());
+    return 0;
+}
+
+int cmd_replay(int argc, char** argv) {
+    if (argc < 1) {
+        std::fprintf(stderr, "mm_trace replay: missing trace path\n");
+        return 2;
+    }
+    const std::string in_path = argv[0];
+    std::vector<engine_config> engines;
+    std::string dump_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--engine" && i + 1 < argc) {
+            const auto e = parse_engine(argv[++i]);
+            if (!e) {
+                std::fprintf(stderr, "mm_trace replay: unknown engine\n");
+                return 2;
+            }
+            engines.push_back(*e);
+        } else if (arg == "--dump-on-fail" && i + 1 < argc) {
+            dump_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "mm_trace replay: unknown flag %s\n", arg.c_str());
+            return 2;
+        }
+    }
+    std::vector<std::uint8_t> bytes;
+    if (!read_file(in_path, bytes)) {
+        std::fprintf(stderr, "mm_trace replay: cannot read %s\n", in_path.c_str());
+        return 1;
+    }
+    mm::sim::trace reference;
+    std::string error;
+    if (!mm::sim::parse_trace(bytes.data(), bytes.size(), reference, &error)) {
+        std::fprintf(stderr, "mm_trace replay: %s: %s\n", in_path.c_str(), error.c_str());
+        return 1;
+    }
+    replay_config cfg;
+    if (!mm::runtime::decode_replay_config(reference.config, cfg)) {
+        std::fprintf(stderr, "mm_trace replay: undecodable embedded config\n");
+        return 1;
+    }
+    if (engines.empty()) engines = mm::runtime::engine_sweep(cfg);
+    std::printf("replaying %s (%zu records, %zu digests)\n", cfg.describe().c_str(),
+                reference.records.size(), reference.digests.size());
+    int failures = 0;
+    for (const engine_config& engine : engines) {
+        const auto report = mm::runtime::replay_trace(reference, engine);
+        if (report.ok) {
+            std::printf("  %-16s ok\n", engine.name().c_str());
+            continue;
+        }
+        ++failures;
+        std::printf("  %-16s DIVERGED\n%s\n", engine.name().c_str(), report.failure.c_str());
+        if (!dump_path.empty()) {
+            const auto actual = mm::runtime::record_trace(cfg, engine);
+            if (write_file(dump_path, mm::sim::encode_trace(actual)))
+                std::printf("  wrote the %s engine's actual trace to %s\n",
+                            engine.name().c_str(), dump_path.c_str());
+        }
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+int cmd_inspect(int argc, char** argv) {
+    if (argc < 1) {
+        std::fprintf(stderr, "mm_trace inspect: missing trace path\n");
+        return 2;
+    }
+    const std::string in_path = argv[0];
+    std::size_t show = 10;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--records" && i + 1 < argc) {
+            show = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            std::fprintf(stderr, "mm_trace inspect: unknown flag %s\n", arg.c_str());
+            return 2;
+        }
+    }
+    std::vector<std::uint8_t> bytes;
+    if (!read_file(in_path, bytes)) {
+        std::fprintf(stderr, "mm_trace inspect: cannot read %s\n", in_path.c_str());
+        return 1;
+    }
+    mm::sim::trace t;
+    std::string error;
+    if (!mm::sim::parse_trace(bytes.data(), bytes.size(), t, &error)) {
+        std::fprintf(stderr, "mm_trace inspect: %s: %s\n", in_path.c_str(), error.c_str());
+        return 1;
+    }
+    replay_config cfg;
+    if (mm::runtime::decode_replay_config(t.config, cfg))
+        std::printf("config:  %s\n", cfg.describe().c_str());
+    else
+        std::printf("config:  <undecodable, %zu bytes>\n", t.config.size());
+    std::printf("entries: %zu delivery records, %zu tick digests, %zu bytes on disk\n",
+                t.records.size(), t.digests.size(), bytes.size());
+    const auto& s = t.summary;
+    std::printf("summary: now=%lld hops=%lld sent=%lld delivered=%lld dropped=%lld "
+                "membership=%lld traffic_hash=%016llx\n",
+                static_cast<long long>(s.now), static_cast<long long>(s.hops),
+                static_cast<long long>(s.sent), static_cast<long long>(s.delivered),
+                static_cast<long long>(s.dropped),
+                static_cast<long long>(s.membership_events),
+                static_cast<unsigned long long>(s.traffic_hash));
+    for (std::size_t i = 0; i < t.records.size() && i < show; ++i) {
+        const auto& r = t.records[i];
+        std::printf("  [%zu] t=%lld node=%d kind=%d port=%llu %d->%d subject=%d tag=%lld\n",
+                    i, static_cast<long long>(r.at), r.node, r.kind,
+                    static_cast<unsigned long long>(r.port), r.source, r.destination,
+                    r.subject, static_cast<long long>(r.tag));
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: mm_trace record <out.trace> (--golden NAME | --seed N) [--engine E]\n"
+                     "       mm_trace replay <in.trace> [--engine E]... [--dump-on-fail F]\n"
+                     "       mm_trace inspect <in.trace> [--records N]\n");
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    if (cmd == "record") return cmd_record(argc - 2, argv + 2);
+    if (cmd == "replay") return cmd_replay(argc - 2, argv + 2);
+    if (cmd == "inspect") return cmd_inspect(argc - 2, argv + 2);
+    std::fprintf(stderr, "mm_trace: unknown command %s\n", cmd.c_str());
+    return 2;
+}
