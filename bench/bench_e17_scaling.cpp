@@ -9,7 +9,11 @@
 // of one per hop), the LRU-bounded routing rows, and the calendar-queue
 // scheduler - see sim/simulator.h.  Reported per case: wall time, nodes/sec,
 // hops/sec, and resident memory; the 10^6 cases carry the repo's hard
-// budget of 60 s / 4 GiB each.
+// budget of 60 s / 4 GiB each.  A final 10^7-node case sweeps the raw
+// simulator (bounded station population, echo round-trips) under the same
+// budget - full name_service construction is out of budget at that scale,
+// and what the paper's "past 10^6 nodes" argument needs bounded is the
+// schedule/route/deliver path itself.
 #include <chrono>
 #include <cstdint>
 #include <iostream>
@@ -75,6 +79,78 @@ mm::runtime::workload_options options_for(mm::net::node_id n, bool with_crashes)
     opts.crash_weight = with_crashes ? 0.02 : 0.0;
     opts.crash_downtime = 30;
     return opts;
+}
+
+// Bounded-station echo handler for the raw 10^7-node case: replies once to
+// every ping so each round exercises the full schedule -> route -> batched
+// delivery path in both directions.
+class echo_node final : public mm::sim::node_handler {
+public:
+    void on_message(mm::sim::simulator& sim, const mm::sim::message& msg) override {
+        if (msg.kind != 1) return;  // an echo reply terminates here
+        mm::sim::message reply = msg;
+        reply.kind = 2;
+        reply.source = msg.destination;
+        reply.destination = msg.source;
+        sim.send(reply);
+    }
+    void on_timer(mm::sim::simulator&, std::int64_t) override {}
+    void on_crash(mm::sim::simulator&) override {}
+};
+
+// The 10^7-node budget case.  A full name_service workload is out of budget
+// at this scale by construction cost alone (10^7 per-node handler objects
+// plus ~one 10^7-entry BFS routing row per distinct message source), so this
+// case bounds what the paper's scaling argument actually needs bounded: the
+// simulator's schedule/route/deliver hot path on a 10^7-node topology, with
+// the routing-row working set pinned to a fixed station population.
+case_result run_raw_case(int stations, int rounds) {
+    using namespace mm;
+    const auto start = clock_type::now();
+    const net::hierarchy h{std::vector<int>(7, 10)};  // exactly 10^7 nodes
+    const auto g = net::make_hierarchical_graph(h);
+    sim::simulator sim{g};
+
+    case_result r;
+    r.label = "hierarchy 10^7 raw";
+    r.n = g.node_count();
+    std::vector<net::node_id> where;
+    const auto stride = r.n / static_cast<net::node_id>(stations);
+    for (int s = 0; s < stations; ++s) {
+        const auto v = static_cast<net::node_id>(s) * stride + stride / 2;
+        where.push_back(v);
+        sim.attach(v, std::make_shared<echo_node>());
+    }
+    r.setup_seconds = seconds_since(start);
+
+    const auto run_start = clock_type::now();
+    const std::int64_t sent_before = sim.stats().get(sim::counter_messages_sent);
+    const std::int64_t delivered_before = sim.stats().get(sim::counter_messages_delivered);
+    for (int round = 0; round < rounds; ++round) {
+        for (int s = 0; s < stations; ++s) {
+            sim::message msg;
+            msg.kind = 1;
+            msg.source = where[static_cast<std::size_t>(s)];
+            msg.destination = where[static_cast<std::size_t>((s + 1) % stations)];
+            msg.tag = round + 1;
+            sim.send(msg);
+        }
+        sim.run();
+    }
+    r.run_seconds = seconds_since(run_start);
+
+    r.issued = sim.stats().get(sim::counter_messages_sent) - sent_before;
+    r.completed = sim.stats().get(sim::counter_messages_delivered) - delivered_before;
+    r.message_passes = sim.stats().get(sim::counter_hops);
+    const double total = r.setup_seconds + r.run_seconds;
+    r.nodes_per_sec = total > 0 ? static_cast<double>(r.n) / total : 0;
+    r.hops_per_sec =
+        r.run_seconds > 0 ? static_cast<double>(r.message_passes) / r.run_seconds : 0;
+    // Every ping echoes exactly once; both legs must have been delivered.
+    r.accounting_exact =
+        r.issued == 2 * static_cast<std::int64_t>(stations) * rounds && r.completed == r.issued;
+    r.rss_mb = bench::read_rss().current_mb;
+    return r;
 }
 
 template <class Strategy>
@@ -152,8 +228,10 @@ int main() {
         grid_case(1000, false);   // 1'000'000 nodes
         cube_case(20, false);     // 1'048'576 nodes
         hierarchy_case(6, false); // 1'000'000 nodes
+        // 10^7 nodes: raw simulator sweep, same 60 s / 4 GiB budget.
+        results.push_back(run_raw_case(/*stations=*/12, /*rounds=*/50));
     } else {
-        std::cout << "[sanitized build: skipping the 10^6-node budget cases]\n";
+        std::cout << "[sanitized build: skipping the 10^6/10^7-node budget cases]\n";
     }
 
     analysis::table t{{"topology", "n", "setup s", "run s", "nodes/s", "hops/s", "ops",
@@ -193,8 +271,9 @@ int main() {
     bench::metric("peak_rss_mb", final_rss.peak_mb, "MiB");
 
     bench::shape_check("every workload completes all issued operations", all_completed);
-    bench::shape_check("each 10^6-node run_workload finishes inside 60 s", million_in_budget);
-    bench::shape_check("per-op hop counters partition the global counter at 10^6",
+    bench::shape_check("each 10^6/10^7-node budget case finishes inside 60 s",
+                       million_in_budget);
+    bench::shape_check("hop/delivery accounting is exact at the budget scales",
                        accounting_ok);
 #if defined(__linux__)
     if (!MM_E17_SANITIZED)

@@ -10,11 +10,11 @@
 # those are run and a missing binary counts as a failure.  Without names the
 # script falls back to globbing bench_* in the bin dir.
 #
-# bench_a*/bench_e* binaries emit their own JSON via bench_util.h when
-# MM_BENCH_JSON names a file; bench_micro (google-benchmark) speaks
-# --benchmark_format=json natively.  Each entry in the aggregate records the
-# binary name, its exit code, wall-clock seconds, and the embedded report
-# (null when the binary crashed before writing one, or wrote invalid JSON).
+# Every bench binary (bench_a*/bench_e*/bench_micro) emits its own JSON via
+# bench_util.h when MM_BENCH_JSON names a file.  Each entry in the aggregate
+# records the binary name, its exit code, wall-clock seconds, and the
+# embedded report (null when the binary crashed before writing one, or wrote
+# invalid JSON).
 #
 # A bench counts as failed when it exits non-zero, when its report is
 # missing or unparseable, or when the report says checks_failed > 0 — bench
@@ -70,14 +70,8 @@ first=1
         if [ -x "$exe" ]; then
             per="$TMP/$name.json"
             start=$(date +%s)
-            if [ "$name" = "bench_micro" ]; then
-                "$exe" --benchmark_format=json --benchmark_min_time=0.01 \
-                    >"$per" 2>"$TMP/$name.err"
-                status=$?
-            else
-                MM_BENCH_JSON="$per" "$exe" >"$TMP/$name.out" 2>&1
-                status=$?
-            fi
+            MM_BENCH_JSON="$per" "$exe" >"$TMP/$name.out" 2>&1
+            status=$?
             elapsed=$(( $(date +%s) - start ))
             if json_ok "$per"; then
                 report_valid=1

@@ -1,0 +1,79 @@
+// arena.h - structure-of-arrays slab arena with handle-based allocation.
+//
+// The simulator's serial calendar queue stores ~24-byte ordering slots and
+// parks each event's payload here; the name service parks per-operation
+// transient state the same way.  The arena is a set of parallel value
+// arrays (one per field group) sharing a single u32 handle space and free
+// list, so:
+//   * allocation is a pop from the free list (no malloc on the hot path
+//     once the slab has warmed to the in-flight high-water mark);
+//   * a consumer touches only the rows its event kind needs (a timer pop
+//     never loads the 64-byte message row - the SoA payoff);
+//   * recycled rows keep their heap capacity (a node_set that grew once
+//     never reallocates for later occupants of the slot).
+//
+// Contract: release() does not destroy row values - it only returns the
+// handle to the free list.  Callers move heavy fields out (or reset them)
+// before releasing when leaving them alive would pin memory; POD rows are
+// simply overwritten by the next occupant.
+#pragma once
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+namespace mm::core {
+
+template <class... Rows>
+class soa_arena {
+public:
+    using handle = std::uint32_t;
+
+    // A slot whose rows are default-constructed on first use and recycled
+    // (with whatever capacity they grew) afterwards.
+    handle alloc() {
+        if (!free_.empty()) {
+            const handle h = free_.back();
+            free_.pop_back();
+            ++live_;
+            return h;
+        }
+        const auto h = static_cast<handle>(size_);
+        std::apply([](auto&... row) { (row.emplace_back(), ...); }, rows_);
+        ++size_;
+        ++live_;
+        return h;
+    }
+
+    void release(handle h) {
+        free_.push_back(h);
+        --live_;
+    }
+
+    template <std::size_t I>
+    [[nodiscard]] auto& row(handle h) {
+        return std::get<I>(rows_)[h];
+    }
+    template <std::size_t I>
+    [[nodiscard]] const auto& row(handle h) const {
+        return std::get<I>(rows_)[h];
+    }
+
+    [[nodiscard]] std::size_t live() const noexcept { return live_; }
+    [[nodiscard]] std::size_t capacity() const noexcept { return size_; }
+
+    void clear() {
+        std::apply([](auto&... row) { (row.clear(), ...); }, rows_);
+        free_.clear();
+        size_ = 0;
+        live_ = 0;
+    }
+
+private:
+    std::tuple<std::vector<Rows>...> rows_;
+    std::vector<handle> free_;
+    std::size_t size_ = 0;
+    std::size_t live_ = 0;
+};
+
+}  // namespace mm::core

@@ -1,0 +1,176 @@
+// flat_map.h - open-addressing hash map for the engine's hot dynamic keys.
+//
+// The simulator's per-tag hop accounting and the name service's op index
+// both map a positive 64-bit id to a small value, bump it on nearly every
+// message, and erase it when the operation retires.  A node-based
+// std::unordered_map pays a heap allocation plus two dependent loads per
+// touch; this map is one flat power-of-two slot array probed linearly, so
+// the common bump is a single cache line.  Not a general-purpose container:
+// keys are int64 and must be > 0 (0 marks an empty slot, -1 a tombstone),
+// which both users guarantee - tags and op ids start at 1.
+//
+// Erase uses tombstones; the table rehashes when live+dead slots pass the
+// 70% load bound, which also garbage-collects the tombstones.  Iteration
+// order is the probe order - unspecified, so callers must only fold
+// commutatively over it (the counter merges do) or sort afterwards.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mm::core {
+
+template <class Value>
+class flat_map {
+public:
+    flat_map() = default;
+
+    [[nodiscard]] std::size_t size() const noexcept { return live_; }
+    [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+
+    void clear() {
+        slots_.clear();
+        mask_ = 0;
+        live_ = 0;
+        used_ = 0;
+    }
+
+    // Value for `key`, default-constructed and inserted when absent.
+    Value& ref(std::int64_t key) {
+        assert(key > 0);
+        if (used_ + 1 > capacity_limit()) grow();
+        std::size_t i = probe_start(key);
+        std::size_t first_tomb = npos;
+        for (;;) {
+            slot& s = slots_[i];
+            if (s.key == key) return s.value;
+            if (s.key == empty_key) {
+                if (first_tomb != npos) {
+                    slot& t = slots_[first_tomb];
+                    t.key = key;
+                    t.value = Value{};
+                    ++live_;  // reusing a tombstone: used_ stays put
+                    return t.value;
+                }
+                s.key = key;
+                s.value = Value{};
+                ++live_;
+                ++used_;
+                return s.value;
+            }
+            if (s.key == tomb_key && first_tomb == npos) first_tomb = i;
+            i = (i + 1) & mask_;
+        }
+    }
+
+    // Value for `key`, or Value{} when absent (matches tag_hops semantics:
+    // unknown tags read 0).
+    [[nodiscard]] Value get(std::int64_t key) const {
+        const slot* s = find_slot(key);
+        return s == nullptr ? Value{} : s->value;
+    }
+
+    [[nodiscard]] bool contains(std::int64_t key) const { return find_slot(key) != nullptr; }
+
+    // Pointer to the value, or nullptr when absent; stable until the next
+    // insert (which may rehash).
+    [[nodiscard]] Value* find(std::int64_t key) {
+        const slot* s = find_slot(key);
+        return s == nullptr ? nullptr : const_cast<Value*>(&s->value);
+    }
+    [[nodiscard]] const Value* find(std::int64_t key) const {
+        const slot* s = find_slot(key);
+        return s == nullptr ? nullptr : &s->value;
+    }
+
+    // Removes `key`; returns true when something was erased.
+    bool erase(std::int64_t key) {
+        assert(key > 0);
+        if (slots_.empty()) return false;
+        std::size_t i = probe_start(key);
+        for (;;) {
+            slot& s = slots_[i];
+            if (s.key == key) {
+                s.key = tomb_key;
+                s.value = Value{};
+                --live_;
+                return true;
+            }
+            if (s.key == empty_key) return false;
+            i = (i + 1) & mask_;
+        }
+    }
+
+    // Applies fn(key, value) to every live entry, in unspecified order.
+    template <class Fn>
+    void for_each(Fn&& fn) const {
+        for (const slot& s : slots_)
+            if (s.key > 0) fn(s.key, s.value);
+    }
+
+private:
+    static constexpr std::int64_t empty_key = 0;
+    static constexpr std::int64_t tomb_key = -1;
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    struct slot {
+        std::int64_t key = empty_key;
+        Value value{};
+    };
+
+    [[nodiscard]] static std::uint64_t hash(std::int64_t key) {
+        // splitmix64 finalizer: sequential ids must not cluster into runs.
+        auto z = static_cast<std::uint64_t>(key);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    [[nodiscard]] std::size_t probe_start(std::int64_t key) const {
+        return static_cast<std::size_t>(hash(key)) & mask_;
+    }
+
+    [[nodiscard]] std::size_t capacity_limit() const {
+        return slots_.empty() ? 0 : (slots_.size() * 7) / 10;
+    }
+
+    [[nodiscard]] const slot* find_slot(std::int64_t key) const {
+        assert(key > 0);
+        if (slots_.empty()) return nullptr;
+        std::size_t i = probe_start(key);
+        for (;;) {
+            const slot& s = slots_[i];
+            if (s.key == key) return &s;
+            if (s.key == empty_key) return nullptr;
+            i = (i + 1) & mask_;
+        }
+    }
+
+    void grow() {
+        const std::size_t new_cap = slots_.empty() ? 16 : slots_.size() * 2;
+        std::vector<slot> old = std::move(slots_);
+        slots_.assign(new_cap, slot{});
+        mask_ = new_cap - 1;
+        used_ = 0;
+        live_ = 0;
+        for (slot& s : old) {
+            if (s.key <= 0) continue;
+            // Fresh table has no tombstones; plain linear insert.
+            std::size_t i = probe_start(s.key);
+            while (slots_[i].key != empty_key) i = (i + 1) & mask_;
+            slots_[i].key = s.key;
+            slots_[i].value = std::move(s.value);
+            ++live_;
+            ++used_;
+        }
+    }
+
+    std::vector<slot> slots_;
+    std::size_t mask_ = 0;
+    std::size_t live_ = 0;  // live entries
+    std::size_t used_ = 0;  // live + tombstoned slots (rehash trigger)
+};
+
+}  // namespace mm::core

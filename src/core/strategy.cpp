@@ -1,31 +1,353 @@
 #include "core/strategy.h"
 
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 namespace mm::core {
+
+// --- intersection fast paths -------------------------------------------------
+//
+// Rendezvous is set intersection: every locate resolves to
+// intersect_sets(P(u), Q(v)) (Section 2's |P(u) ∩ Q(v)| >= 1 invariant), so
+// the matrix/tree/montecarlo strategies and the verification sweeps all
+// funnel through here.  The scalar two-pointer merge is optimal only when
+// the inputs are balanced, overlapping, and sparse; the dispatch below picks
+// a cheaper shape whenever the inputs say so:
+//
+//  1. window trim - binary-search each set down to the other's value range.
+//     Disjoint ranges exit before any merge; clustered rendezvous sets
+//     (grid rows vs columns) shrink to the overlap window.
+//  2. galloping merge - when one side is >= 32x the other, walk the small
+//     side and exponential-search the large one: O(small * log(large))
+//     beats O(small + large) exactly in this regime.
+//  3. bitmap - when the overlap window is dense enough that direct
+//     addressing costs no more than the merge, mark the small side and
+//     probe with the large one: two linear passes with single-cycle inner
+//     steps and a branchless emit.  Small windows (<= 1 MiB) use an
+//     epoch-stamped byte array - no clearing between calls, no
+//     read-modify-write dependency chains; larger windows that are still
+//     dense (words <= |a| + |b|) fall back to a 64-bit-word bitmap whose
+//     clear cost is bounded by the merge the caller avoided.
+//  4. SSE2 block merge - balanced sparse inputs compare 4x4 lane blocks
+//     (cmpeq against the 4 rotations of the other block), emitting matched
+//     lanes and advancing the block with the smaller max; the scalar merge
+//     only runs as the < 4-lane tail.
+//
+// Every path produces exactly the sorted unique output of
+// std::set_intersection (tests/test_hotpath.cpp drives all four regimes
+// against that reference).
+namespace {
+
+// Galloping merge: `a` must be the small side.  Appends matches to out.
+void intersect_gallop(const net::node_id* a, std::size_t asz, const net::node_id* b,
+                      std::size_t bsz, node_set& out) {
+    std::size_t lo = 0;
+    for (std::size_t i = 0; i < asz && lo < bsz; ++i) {
+        const net::node_id x = a[i];
+        std::size_t bound = 1;
+        while (lo + bound < bsz && b[lo + bound] < x) bound <<= 1;
+        const net::node_id* first = b + lo + bound / 2;
+        const net::node_id* last = b + std::min(lo + bound + 1, bsz);
+        lo = static_cast<std::size_t>(std::lower_bound(first, last, x) - b);
+        if (lo < bsz && b[lo] == x) {
+            out.push_back(x);
+            ++lo;
+        }
+    }
+}
+
+// True as soon as any element of small `a` appears in `b`.
+bool gallop_any(const net::node_id* a, std::size_t asz, const net::node_id* b,
+                std::size_t bsz) {
+    std::size_t lo = 0;
+    for (std::size_t i = 0; i < asz && lo < bsz; ++i) {
+        const net::node_id x = a[i];
+        std::size_t bound = 1;
+        while (lo + bound < bsz && b[lo + bound] < x) bound <<= 1;
+        const net::node_id* first = b + lo + bound / 2;
+        const net::node_id* last = b + std::min(lo + bound + 1, bsz);
+        lo = static_cast<std::size_t>(std::lower_bound(first, last, x) - b);
+        if (lo < bsz && b[lo] == x) return true;
+    }
+    return false;
+}
+
+// Epoch-stamped byte array over the window [base, base + range): stamp the
+// small side, probe with the large side.  The epoch trick makes the array
+// reusable without clearing (a full memset only every 255 calls, when the
+// 8-bit epoch wraps), the stamp stores carry no load dependency, and the
+// emit is branchless - probe order == output order, so the result is
+// sorted with no extra pass.
+void intersect_stamp(const net::node_id* a, std::size_t asz, const net::node_id* b,
+                     std::size_t bsz, net::node_id base, std::size_t range,
+                     node_set& out) {
+    thread_local std::vector<std::uint8_t> stamp;
+    thread_local std::uint8_t epoch = 0;
+    if (stamp.size() < range) {
+        stamp.assign(range, 0);
+        epoch = 0;
+    }
+    if (++epoch == 0) {
+        std::fill(stamp.begin(), stamp.end(), std::uint8_t{0});
+        epoch = 1;
+    }
+    const std::uint8_t e = epoch;
+    for (std::size_t i = 0; i < asz; ++i) stamp[static_cast<std::size_t>(a[i] - base)] = e;
+    // Emit through a persistent scratch row: writing through resize(bsz)
+    // directly into `out` would value-initialize bsz lanes per call just to
+    // overwrite them.
+    thread_local std::vector<net::node_id> hits;
+    if (hits.size() < bsz) hits.resize(bsz);
+    net::node_id* dst = hits.data();
+    std::size_t n = 0;
+    for (std::size_t j = 0; j < bsz; ++j) {
+        dst[n] = b[j];
+        n += static_cast<std::size_t>(stamp[static_cast<std::size_t>(b[j] - base)] == e);
+    }
+    out.assign(dst, dst + n);
+}
+
+// 64-bit-word bitmap over the window [base, base + words * 64): the dense
+// path for windows too large for the byte stamp to stay cache-resident.
+void intersect_bitmap(const net::node_id* a, std::size_t asz, const net::node_id* b,
+                      std::size_t bsz, net::node_id base, std::size_t words,
+                      node_set& out) {
+    thread_local std::vector<std::uint64_t> bits;
+    bits.assign(words, 0);
+    for (std::size_t i = 0; i < asz; ++i) {
+        const auto off = static_cast<std::uint64_t>(a[i] - base);
+        bits[off >> 6] |= std::uint64_t{1} << (off & 63);
+    }
+    for (std::size_t j = 0; j < bsz; ++j) {
+        const auto off = static_cast<std::uint64_t>(b[j] - base);
+        if ((bits[off >> 6] >> (off & 63)) & 1u) out.push_back(b[j]);
+    }
+}
+
+// Scalar two-pointer merge tail.
+void intersect_scalar(const net::node_id* a, std::size_t asz, const net::node_id* b,
+                      std::size_t bsz, node_set& out) {
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < asz && j < bsz) {
+        if (a[i] == b[j]) {
+            out.push_back(a[i]);
+            ++i;
+            ++j;
+        } else if (a[i] < b[j]) {
+            ++i;
+        } else {
+            ++j;
+        }
+    }
+}
+
+#if defined(__SSE2__)
+// 4x4 block merge: matched a-lanes are exactly the intersection elements of
+// the two blocks (inputs are sorted unique, so each value matches at most
+// once and a matched pair's blocks never realign after an advance).
+void intersect_blocks(const net::node_id* a, std::size_t asz, const net::node_id* b,
+                      std::size_t bsz, node_set& out) {
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i + 4 <= asz && j + 4 <= bsz) {
+        const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+        const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+        __m128i eq = _mm_cmpeq_epi32(va, vb);
+        eq = _mm_or_si128(eq,
+                          _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1))));
+        eq = _mm_or_si128(eq,
+                          _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2))));
+        eq = _mm_or_si128(eq,
+                          _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3))));
+        unsigned mask = static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(eq)));
+        while (mask != 0) {
+            const unsigned lane = static_cast<unsigned>(std::countr_zero(mask));
+            out.push_back(a[i + lane]);
+            mask &= mask - 1;
+        }
+        const net::node_id amax = a[i + 3];
+        const net::node_id bmax = b[j + 3];
+        if (amax <= bmax) i += 4;
+        if (bmax <= amax) j += 4;
+    }
+    intersect_scalar(a + i, asz - i, b + j, bsz - j, out);
+}
+
+// Boolean variant: early-exits on the first matching block.
+bool blocks_any(const net::node_id* a, std::size_t asz, const net::node_id* b,
+                std::size_t bsz) {
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i + 4 <= asz && j + 4 <= bsz) {
+        const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+        const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+        __m128i eq = _mm_cmpeq_epi32(va, vb);
+        eq = _mm_or_si128(eq,
+                          _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1))));
+        eq = _mm_or_si128(eq,
+                          _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2))));
+        eq = _mm_or_si128(eq,
+                          _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3))));
+        if (_mm_movemask_ps(_mm_castsi128_ps(eq)) != 0) return true;
+        const net::node_id amax = a[i + 3];
+        const net::node_id bmax = b[j + 3];
+        if (amax <= bmax) i += 4;
+        if (bmax <= amax) j += 4;
+    }
+    while (i < asz && j < bsz) {
+        if (a[i] == b[j]) return true;
+        if (a[i] < b[j])
+            ++i;
+        else
+            ++j;
+    }
+    return false;
+}
+#endif  // __SSE2__
+
+// Binary-searches both spans down to each other's value range.  Returns
+// false when the trimmed overlap is empty.
+bool trim_windows(const net::node_id*& a, std::size_t& asz, const net::node_id*& b,
+                  std::size_t& bsz) {
+    if (asz == 0 || bsz == 0) return false;
+    const net::node_id* blo = std::lower_bound(b, b + bsz, a[0]);
+    const net::node_id* bhi = std::upper_bound(blo, b + bsz, a[asz - 1]);
+    b = blo;
+    bsz = static_cast<std::size_t>(bhi - blo);
+    if (bsz == 0) return false;
+    const net::node_id* alo = std::lower_bound(a, a + asz, b[0]);
+    const net::node_id* ahi = std::upper_bound(alo, a + asz, b[bsz - 1]);
+    a = alo;
+    asz = static_cast<std::size_t>(ahi - alo);
+    return asz != 0;
+}
+
+constexpr std::size_t gallop_ratio = 32;
+
+}  // namespace
 
 void normalize_set(node_set& nodes) {
     std::sort(nodes.begin(), nodes.end());
     nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
 }
 
-node_set intersect_sets(const node_set& a, const node_set& b) {
+node_set intersect_sets(const node_set& a_in, const node_set& b_in) {
+    const net::node_id* a = a_in.data();
+    std::size_t asz = a_in.size();
+    const net::node_id* b = b_in.data();
+    std::size_t bsz = b_in.size();
+    if (asz > bsz) {
+        std::swap(a, b);
+        std::swap(asz, bsz);
+    }
     node_set out;
-    out.reserve(std::min(a.size(), b.size()));
-    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+    if (asz == 0) return out;
+    if (asz + bsz <= 96) {  // small inputs: dispatch costs more than the merge
+        out.reserve(asz);
+        intersect_scalar(a, asz, b, bsz, out);
+        return out;
+    }
+    if (a[asz - 1] < b[0] || b[bsz - 1] < a[0]) return out;  // disjoint ranges
+    if (bsz >= asz * gallop_ratio) {
+        out.reserve(asz);
+        intersect_gallop(a, asz, b, bsz, out);
+        return out;
+    }
+    // Dense raw window: go straight to the stamp - the binary-search trim
+    // below costs more than the slack it would shave off the window.
+    const net::node_id raw_base = std::min(a[0], b[0]);
+    const net::node_id raw_top = std::max(a[asz - 1], b[bsz - 1]);
+    const auto raw_range = static_cast<std::uint64_t>(raw_top) -
+                           static_cast<std::uint64_t>(raw_base) + 1;
+    if (asz + bsz >= 128 && raw_range <= 16 * (asz + bsz) &&
+        raw_range <= (std::uint64_t{1} << 20)) {
+        intersect_stamp(a, asz, b, bsz, raw_base, static_cast<std::size_t>(raw_range), out);
+        return out;
+    }
+    // Sparse or clustered: trim to the overlap window and re-dispatch (a
+    // partially-overlapping pair can become dense - or empty - once cut).
+    if (!trim_windows(a, asz, b, bsz)) return out;
+    if (asz > bsz) {  // trimming can flip which side is smaller
+        std::swap(a, b);
+        std::swap(asz, bsz);
+    }
+    if (bsz >= asz * gallop_ratio) {
+        out.reserve(asz);
+        intersect_gallop(a, asz, b, bsz, out);
+        return out;
+    }
+    const net::node_id base = std::min(a[0], b[0]);
+    const net::node_id top = std::max(a[asz - 1], b[bsz - 1]);
+    const auto range =
+        static_cast<std::uint64_t>(top) - static_cast<std::uint64_t>(base) + 1;
+    if (asz + bsz >= 128 && range <= 16 * (asz + bsz) &&
+        range <= (std::uint64_t{1} << 20)) {
+        intersect_stamp(a, asz, b, bsz, base, static_cast<std::size_t>(range), out);
+        return out;
+    }
+    out.reserve(asz);
+    const std::uint64_t words = (range - 1) / 64 + 1;
+    if (words <= asz + bsz) {
+        intersect_bitmap(a, asz, b, bsz, base, static_cast<std::size_t>(words), out);
+        return out;
+    }
+#if defined(__SSE2__)
+    intersect_blocks(a, asz, b, bsz, out);
+#else
+    intersect_scalar(a, asz, b, bsz, out);
+#endif
     return out;
 }
 
-bool sets_intersect(const node_set& a, const node_set& b) {
-    auto i = a.begin();
-    auto j = b.begin();
-    while (i != a.end() && j != b.end()) {
-        if (*i == *j) return true;
-        if (*i < *j) {
-            ++i;
-        } else {
-            ++j;
+bool sets_intersect(const node_set& a_in, const node_set& b_in) {
+    const net::node_id* a = a_in.data();
+    std::size_t asz = a_in.size();
+    const net::node_id* b = b_in.data();
+    std::size_t bsz = b_in.size();
+    if (asz > bsz) {
+        std::swap(a, b);
+        std::swap(asz, bsz);
+    }
+    if (asz + bsz <= 16) {
+        std::size_t i = 0;
+        std::size_t j = 0;
+        while (i < asz && j < bsz) {
+            if (a[i] == b[j]) return true;
+            if (a[i] < b[j])
+                ++i;
+            else
+                ++j;
         }
+        return false;
+    }
+    if (!trim_windows(a, asz, b, bsz)) return false;
+    if (asz > bsz) {
+        std::swap(a, b);
+        std::swap(asz, bsz);
+    }
+    if (bsz >= asz * gallop_ratio) return gallop_any(a, asz, b, bsz);
+#if defined(__SSE2__)
+    return blocks_any(a, asz, b, bsz);
+#else
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < asz && j < bsz) {
+        if (a[i] == b[j]) return true;
+        if (a[i] < b[j])
+            ++i;
+        else
+            ++j;
     }
     return false;
+#endif
 }
 
 node_set all_nodes(net::node_id n) {

@@ -51,15 +51,15 @@ void service_node::on_message(sim::simulator& sim, const sim::message& msg) {
         }
         case msg_reply: {
             // Keep the freshest binding if several rendezvous nodes answer.
-            auto it = replies_.find(msg.tag);
+            const core::port_entry* cur = replies_.find(msg.tag);
             const std::optional<core::port_entry> current =
-                it == replies_.end() ? std::nullopt : std::optional{it->second};
+                cur == nullptr ? std::nullopt : std::optional{*cur};
             if (rendezvous::reply_wins(current, msg.stamp)) {
                 core::port_entry entry;
                 entry.port = msg.port;
                 entry.where = msg.subject_address;
                 entry.stamp = msg.stamp;
-                replies_[msg.tag] = entry;
+                replies_.ref(msg.tag) = entry;
             }
             if (reply_hook_) reply_hook_(sim, msg.tag);
             break;
@@ -82,9 +82,9 @@ void service_node::on_crash(sim::simulator& /*sim*/) {
 bool service_node::has_reply(std::int64_t tag) const { return replies_.contains(tag); }
 
 core::port_entry service_node::reply(std::int64_t tag) const {
-    const auto it = replies_.find(tag);
-    if (it == replies_.end()) throw std::out_of_range{"service_node::reply: no reply"};
-    return it->second;
+    const core::port_entry* entry = replies_.find(tag);
+    if (entry == nullptr) throw std::out_of_range{"service_node::reply: no reply"};
+    return *entry;
 }
 
 name_service::name_service(sim::simulator& sim, const core::locate_strategy& strategy)
@@ -337,6 +337,44 @@ void name_service::start_stage(operation& op, op_id id) {
     arm_op_timer(op, id);
 }
 
+name_service::operation* name_service::find_op(op_id id) noexcept {
+    const std::uint32_t* h = op_index_.find(id);
+    return h == nullptr ? nullptr : &op_slab_.row<0>(*h);
+}
+
+const name_service::operation* name_service::find_op(op_id id) const noexcept {
+    const std::uint32_t* h = op_index_.find(id);
+    return h == nullptr ? nullptr : &op_slab_.row<0>(*h);
+}
+
+name_service::operation& name_service::op_at(op_id id) {
+    operation* op = find_op(id);
+    if (op == nullptr) throw std::out_of_range{"name_service: unknown op"};
+    return *op;
+}
+
+name_service::operation& name_service::insert_op(op_id id, operation&& op) {
+    const auto h = op_slab_.alloc();
+    operation& row = op_slab_.row<0>(h);
+    row = std::move(op);  // full assignment: a recycled row keeps no stale field
+    op_index_.ref(id) = h;
+    return row;
+}
+
+void name_service::erase_op(op_id id) {
+    const std::uint32_t* ph = op_index_.find(id);
+    if (ph == nullptr) return;
+    const std::uint32_t h = *ph;
+    // Shed the heavy fields before release: a parked free-list slot must not
+    // pin a grown node_set's heap block (insert_op move-assigns over the row,
+    // so nothing here is ever read again).
+    operation& row = op_slab_.row<0>(h);
+    row.queried = core::node_set{};
+    row.fallbacks = {};
+    op_slab_.release(h);
+    op_index_.erase(id);
+}
+
 op_id name_service::begin_locate_op(op_kind kind, core::port_id port, net::node_id client,
                                     bool use_cache) {
     if (sim_->in_parallel_round())
@@ -361,22 +399,22 @@ op_id name_service::begin_locate_op(op_kind kind, core::port_id port, net::node_
             op.result.where = hint->where;
             op.result.nodes_queried = 0;
             op.result.completed_at = sim_->now();
-            ops_.emplace(id, std::move(op));
+            insert_op(id, std::move(op));
             return id;
         }
     }
     op.stage = 1;
     op.phase = op_phase::querying;
     op.phase_deadline = sim_->now();
-    auto [it, inserted] = ops_.emplace(id, std::move(op));
+    operation& slot = insert_op(id, std::move(op));
     if (deferred()) {
         // Route the fan-out through the client's shard: the zero-delay
         // start timer fires inside the event loop, where route computation
         // runs shard-parallel.
-        it->second.started = false;
+        slot.started = false;
         sim_->set_timer(client, 0, -id);
     } else {
-        start_stage(it->second, id);
+        start_stage(slot, id);
     }
     return id;
 }
@@ -411,12 +449,12 @@ op_id name_service::begin_post_op(op_kind kind, core::port_id port, net::node_id
     op.phase = op_phase::posting;
     op.result.issued_at = sim_->now();
     op.phase_deadline = sim_->now();
-    auto [it, inserted] = ops_.emplace(id, std::move(op));
+    operation& slot = insert_op(id, std::move(op));
     if (deferred()) {
-        it->second.started = false;
+        slot.started = false;
         sim_->set_timer(actor, 0, -id);
     } else {
-        start_op(it->second, id);
+        start_op(slot, id);
     }
     return id;
 }
@@ -484,9 +522,9 @@ void name_service::complete_op(operation& op, bool found, core::address where,
 }
 
 void name_service::advance_op(op_id id) {
-    const auto it = ops_.find(id);
-    if (it == ops_.end()) return;  // forgotten mid-flight
-    operation& op = it->second;
+    operation* found = find_op(id);
+    if (found == nullptr) return;  // forgotten mid-flight
+    operation& op = *found;
     if (op.complete) return;  // a reply beat the deadline timer
     if (!op.started) {
         // Parallel regime: the zero-delay start timer fired on the actor's
@@ -547,9 +585,9 @@ void name_service::advance_op(op_id id) {
 }
 
 void name_service::handle_reply(sim::simulator& sim, std::int64_t tag) {
-    const auto it = ops_.find(tag);
-    if (it == ops_.end()) return;
-    operation& op = it->second;
+    operation* found = find_op(tag);
+    if (found == nullptr) return;
+    operation& op = *found;
     if (op.complete || op.phase != op_phase::querying) return;
     const auto entry = node(op.actor).reply(tag);
     complete_op(op, true, entry.where, sim.now());
@@ -566,10 +604,10 @@ void name_service::handle_reply(sim::simulator& sim, std::int64_t tag) {
 std::optional<locate_result> name_service::poll(op_id op) const {
     if (sim_->in_parallel_round())
         throw std::logic_error{"name_service::poll: top-level only under the parallel engine"};
-    const auto it = ops_.find(op);
-    if (it == ops_.end()) throw std::out_of_range{"name_service::poll: unknown op"};
-    if (!it->second.complete) return std::nullopt;
-    locate_result result = it->second.result;
+    const operation* found = find_op(op);
+    if (found == nullptr) throw std::out_of_range{"name_service::poll: unknown op"};
+    if (!found->complete) return std::nullopt;
+    locate_result result = found->result;
     result.message_passes = sim_->tag_hops(op);
     return result;
 }
@@ -577,17 +615,16 @@ std::optional<locate_result> name_service::poll(op_id op) const {
 void name_service::forget(op_id op) {
     if (sim_->in_parallel_round())
         throw std::logic_error{"name_service::forget: top-level only under the parallel engine"};
-    const auto it = ops_.find(op);
-    if (it != ops_.end()) {
-        if (!it->second.complete)
+    if (const operation* found = find_op(op); found != nullptr) {
+        if (!found->complete)
             throw std::logic_error{
                 "name_service::forget: operation still in flight (a half-done migrate "
                 "would strand its withdrawal leg)"};
         // The tag counter can only be released once every message of the
         // operation settled; a straggler hop would otherwise silently
         // re-create (and permanently leak) the dropped map entry.
-        retired_tags_.emplace(it->second.phase_deadline + 1, op);
-        ops_.erase(it);
+        retired_tags_.emplace(found->phase_deadline + 1, op);
+        erase_op(op);
     }
     while (!retired_tags_.empty() && retired_tags_.top().first <= sim_->now()) {
         sim_->drop_tag(retired_tags_.top().second);
@@ -603,18 +640,20 @@ void name_service::run_until_complete(std::span<const op_id> ops) {
     // (event cap) with operations still marked watched; clear the marks so
     // a late completion of a stale watcher cannot underflow the counter
     // reset below.
-    for (auto& [id, op] : ops_)
+    op_index_.for_each([this](std::int64_t, std::uint32_t h) {
+        operation& op = op_slab_.row<0>(h);
         if (op.watched) op.watched = false;
+    });
     // Sweeps the listed operations: resolves as failed any whose phase
     // timer was provably skipped (the actor was down when it should have
     // fired), and marks the rest watched so complete_op can maintain the
     // pending count in O(1) per completion.
     const auto sweep = [&] {
         for (const op_id id : ops) {
-            const auto it = ops_.find(id);
-            if (it == ops_.end())
+            operation* found = find_op(id);
+            if (found == nullptr)
                 throw std::out_of_range{"name_service::run_until_complete: unknown op"};
-            operation& op = it->second;
+            operation& op = *found;
             if (op.complete) continue;
             if (sim_->now() > op.phase_deadline + 1) {
                 complete_op(op, false, net::invalid_node, sim_->now());
@@ -632,7 +671,7 @@ void name_service::run_until_complete(std::span<const op_id> ops) {
             // Nothing left in the event queue: fail the survivors (their
             // timers were skipped while the actor was crashed).
             for (const op_id id : ops) {
-                operation& op = ops_.at(id);
+                operation& op = op_at(id);
                 if (!op.complete) complete_op(op, false, net::invalid_node, sim_->now());
             }
             return;
@@ -647,9 +686,9 @@ locate_result name_service::take_result(op_id id) {
     // Settle this operation's stragglers (queries and duplicate replies
     // still traveling after an early first-reply completion) so the hop
     // count returned by the blocking wrappers is exact, not a lower bound.
-    const auto deadline = ops_.at(id).phase_deadline;
+    const auto deadline = op_at(id).phase_deadline;
     if (sim_->now() <= deadline) sim_->run_until(deadline + 1);
-    locate_result result = ops_.at(id).result;
+    locate_result result = op_at(id).result;
     result.message_passes = sim_->tag_hops(id);
     forget(id);
     return result;

@@ -59,11 +59,12 @@
 #include <queue>
 #include <shared_mutex>
 #include <span>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "core/arena.h"
 #include "core/cache.h"
+#include "core/flat_map.h"
 #include "core/strategy.h"
 #include "sim/simulator.h"
 
@@ -115,7 +116,7 @@ private:
     net::node_id self_;
     core::port_cache directory_;
     core::port_cache hints_;
-    std::unordered_map<std::int64_t, core::port_entry> replies_;
+    core::flat_map<core::port_entry> replies_;  // keyed by op tag (ids start at 1)
     timer_hook timer_hook_;
     reply_hook reply_hook_;
 };
@@ -304,7 +305,12 @@ private:
     // fallback re-posts) take the shared side of reg_mu_.
     std::vector<std::pair<core::port_id, net::node_id>> registrations_;
     mutable std::shared_mutex reg_mu_;
-    std::unordered_map<op_id, operation> ops_;
+    // Hot op index: op_id -> slab row.  The flat map keeps the id probe one
+    // cache line; the slab recycles rows, so a retired operation's node_set
+    // and fallback-chain capacity is reused by later operations instead of
+    // being reallocated per op (million-operation workloads churn here).
+    core::flat_map<std::uint32_t> op_index_;
+    core::soa_arena<operation> op_slab_;
     op_id next_op_ = 1;
     // Listed-and-pending ops of the active run_until_complete; decremented
     // by completions, which under the parallel engine land on worker threads.
@@ -320,6 +326,15 @@ private:
     // Parallel regime: per-node Valiant draw counters (see random_relay).
     // A deque so join_node can grow it in place (atomics cannot relocate).
     std::deque<std::atomic<std::uint64_t>> valiant_counters_;
+
+    // Op-index plumbing over op_index_ + op_slab_.  Pointers/references are
+    // stable until the next insert_op (the slab vector may then grow); no
+    // call path holds one across an insert.
+    [[nodiscard]] operation* find_op(op_id id) noexcept;
+    [[nodiscard]] const operation* find_op(op_id id) const noexcept;
+    [[nodiscard]] operation& op_at(op_id id);
+    operation& insert_op(op_id id, operation&& op);
+    void erase_op(op_id id);
 
     // Sends through the (optional) Valiant relay and returns the exact tick
     // the message settles at its final destination (routing distances are

@@ -2,18 +2,90 @@
 
 namespace mm::sim {
 
-void metrics::add(std::string_view counter, std::int64_t amount) {
-    auto it = counters_.find(counter);
-    if (it == counters_.end()) {
-        counters_.emplace(std::string{counter}, amount);
-    } else {
-        it->second += amount;
+namespace {
+
+// FNV-1a; the table stores the full name, so a collision only costs an
+// extra compare, never a wrong counter.
+std::uint64_t hash_name(std::string_view name) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
     }
+    return h;
+}
+
+}  // namespace
+
+metrics::known metrics::known_id(std::string_view name) noexcept {
+    constexpr auto names = known_names();
+    for (std::size_t i = 0; i < names.size(); ++i)
+        if (names[i] == name) return static_cast<known>(i);
+    return known_count;
+}
+
+void metrics::add(std::string_view counter, std::int64_t amount) {
+    const known id = known_id(counter);
+    if (id != known_count) {
+        add(id, amount);
+        return;
+    }
+    dyn_ref(counter) += amount;
 }
 
 std::int64_t metrics::get(std::string_view counter) const {
-    const auto it = counters_.find(counter);
-    return it == counters_.end() ? 0 : it->second;
+    const known id = known_id(counter);
+    if (id != known_count) return slots_[id];
+    if (dyn_live_ == 0) return 0;
+    const std::uint64_t h = hash_name(counter);
+    std::size_t i = static_cast<std::size_t>(h) & dyn_mask_;
+    for (;;) {
+        const dyn_slot& s = dyn_[i];
+        if (s.name.empty()) return 0;
+        if (s.hash == h && s.name == counter) return s.value;
+        i = (i + 1) & dyn_mask_;
+    }
+}
+
+std::int64_t& metrics::dyn_ref(std::string_view name) {
+    if (dyn_live_ + 1 > (dyn_.size() * 7) / 10) dyn_grow();
+    const std::uint64_t h = hash_name(name);
+    std::size_t i = static_cast<std::size_t>(h) & dyn_mask_;
+    for (;;) {
+        dyn_slot& s = dyn_[i];
+        if (s.name.empty()) {
+            s.name.assign(name);
+            s.hash = h;
+            s.value = 0;
+            ++dyn_live_;
+            return s.value;
+        }
+        if (s.hash == h && s.name == name) return s.value;
+        i = (i + 1) & dyn_mask_;
+    }
+}
+
+void metrics::dyn_grow() {
+    const std::size_t new_cap = dyn_.empty() ? 16 : dyn_.size() * 2;
+    std::vector<dyn_slot> old = std::move(dyn_);
+    dyn_.assign(new_cap, dyn_slot{});
+    dyn_mask_ = new_cap - 1;
+    for (dyn_slot& s : old) {
+        if (s.name.empty()) continue;
+        std::size_t i = static_cast<std::size_t>(s.hash) & dyn_mask_;
+        while (!dyn_[i].name.empty()) i = (i + 1) & dyn_mask_;
+        dyn_[i] = std::move(s);
+    }
+}
+
+std::map<std::string, std::int64_t, std::less<>> metrics::counters() const {
+    std::map<std::string, std::int64_t, std::less<>> out;
+    constexpr auto names = known_names();
+    for (std::size_t i = 0; i < names.size(); ++i)
+        if ((touched_ >> i) & 1u) out.emplace(std::string{names[i]}, slots_[i]);
+    for (const dyn_slot& s : dyn_)
+        if (!s.name.empty()) out.emplace(s.name, s.value);
+    return out;
 }
 
 }  // namespace mm::sim

@@ -3,27 +3,29 @@
 // The paper measures algorithms "in terms of message passes and in terms of
 // storage needed"; every component of the simulator credits its activity to
 // a named counter here so experiments can report exactly those quantities.
+//
+// Internally the counters the simulator itself bumps on every message are
+// *interned*: each known name maps to a fixed slot in a flat array, so the
+// per-message bump is one add into a cache-resident slot instead of a
+// string-keyed std::map walk (the pre-PR-9 representation).  Names outside
+// the known set - tests and tools are free to invent counters - land in a
+// small open-addressing table keyed by the name's hash.  The observable
+// API is unchanged: add/get by name behave exactly as before, and
+// counters() materializes the same sorted name -> value map the old
+// implementation exposed, including zero-valued entries for counters that
+// were touched with amount 0 and *excluding* counters never touched at all
+// (test_barrier_pipeline asserts the serial engine leaves no phase-counter
+// residue, not even zeros).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace mm::sim {
-
-class metrics {
-public:
-    void add(std::string_view counter, std::int64_t amount = 1);
-    [[nodiscard]] std::int64_t get(std::string_view counter) const;
-    [[nodiscard]] const std::map<std::string, std::int64_t, std::less<>>& counters() const noexcept {
-        return counters_;
-    }
-    void reset() { counters_.clear(); }
-
-private:
-    std::map<std::string, std::int64_t, std::less<>> counters_;
-};
 
 // Counter names used by the simulator itself.
 inline constexpr std::string_view counter_hops = "hops";
@@ -64,5 +66,87 @@ inline constexpr std::string_view counter_phase_round_execute_ns = "phase_round_
 inline constexpr std::string_view counter_phase_rank_merge_ns = "phase_rank_merge_ns";
 inline constexpr std::string_view counter_phase_mailbox_flush_ns = "phase_mailbox_flush_ns";
 inline constexpr std::string_view counter_phase_barrier_wait_ns = "phase_barrier_wait_ns";
+
+class metrics {
+public:
+    // Interned ids of the known counters, in the order of known_names().
+    // The simulator's hot sinks bump these directly (one array add); the
+    // string overloads below intern on the fly and stay API-compatible.
+    enum known : std::uint8_t {
+        k_hops = 0,
+        k_messages_sent,
+        k_messages_delivered,
+        k_messages_dropped,
+        k_membership_events,
+        k_trace_records,
+        k_trace_digests,
+        k_parallel_ticks,
+        k_parallel_rounds,
+        k_phase_round_execute_ns,
+        k_phase_rank_merge_ns,
+        k_phase_mailbox_flush_ns,
+        k_phase_barrier_wait_ns,
+        known_count
+    };
+
+    [[nodiscard]] static constexpr std::array<std::string_view, known_count> known_names() {
+        return {counter_hops,
+                counter_messages_sent,
+                counter_messages_delivered,
+                counter_messages_dropped,
+                counter_membership_events,
+                counter_trace_records,
+                counter_trace_digests,
+                counter_parallel_ticks,
+                counter_parallel_rounds,
+                counter_phase_round_execute_ns,
+                counter_phase_rank_merge_ns,
+                counter_phase_mailbox_flush_ns,
+                counter_phase_barrier_wait_ns};
+    }
+
+    // The interned id for `name`, or known_count when the name is dynamic.
+    [[nodiscard]] static known known_id(std::string_view name) noexcept;
+
+    void add(known id, std::int64_t amount = 1) noexcept {
+        slots_[id] += amount;
+        touched_ |= std::uint32_t{1} << id;
+    }
+    void add(std::string_view counter, std::int64_t amount = 1);
+
+    [[nodiscard]] std::int64_t get(known id) const noexcept { return slots_[id]; }
+    [[nodiscard]] std::int64_t get(std::string_view counter) const;
+
+    // Materialized view of every touched counter, sorted by name - the
+    // exact map the pre-interning implementation stored directly.
+    [[nodiscard]] std::map<std::string, std::int64_t, std::less<>> counters() const;
+
+    void reset() {
+        slots_.fill(0);
+        touched_ = 0;
+        dyn_.clear();
+        dyn_mask_ = 0;
+        dyn_live_ = 0;
+    }
+
+private:
+    struct dyn_slot {
+        std::string name;  // empty = slot unused (no erase, so no tombstones)
+        std::uint64_t hash = 0;
+        std::int64_t value = 0;
+    };
+
+    // Value slot for a dynamic name, inserted at first touch.
+    std::int64_t& dyn_ref(std::string_view name);
+    void dyn_grow();
+
+    std::array<std::int64_t, known_count> slots_{};
+    std::uint32_t touched_ = 0;  // bit i: slot i has been add()ed at least once
+    std::vector<dyn_slot> dyn_;
+    std::size_t dyn_mask_ = 0;
+    std::size_t dyn_live_ = 0;
+};
+
+static_assert(metrics::known_count <= 32, "touched_ bitmask is 32 bits");
 
 }  // namespace mm::sim

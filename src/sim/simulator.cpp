@@ -39,6 +39,20 @@ std::int64_t ns_since(std::chrono::steady_clock::time_point start) {
         .count();
 }
 
+// Traffic/transit bump.  Inside a parallel round workers credit path
+// prefixes crossing shard boundaries concurrently, so the add must be a
+// real RMW; everywhere else (the serial engine, and top-level calls while
+// the pool idles at its barrier) the counter is single-writer and a plain
+// load/store pair avoids the lock prefix - on the serial hot path that is
+// the difference between ~1ns and ~10ns per hop credited.  The object
+// stays a std::atomic either way, so readers never race.
+inline void bump_relaxed(std::atomic<std::int64_t>& c, bool concurrent, std::int64_t n = 1) {
+    if (concurrent)
+        c.fetch_add(n, std::memory_order_relaxed);
+    else
+        c.store(c.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 // --- parallel engine state ---------------------------------------------------
@@ -50,7 +64,7 @@ struct simulator::parallel_state {
         std::vector<std::vector<event>> out_now;     // same-tick pushes, per dest shard
         std::vector<std::vector<event>> out_future;  // later-tick pushes, per dest shard
         hot_counters counters;
-        std::unordered_map<std::int64_t, std::int64_t> tags;
+        core::flat_map<std::int64_t> tags;
         std::unique_ptr<net::routing_table> routes;  // lazy, source-rooted
         std::exception_ptr error;
         // Reused merge scratch (capacity survives across rounds/ticks, so
@@ -175,35 +189,35 @@ void simulator::note_hops(std::int64_t n) {
     if (in_this_sims_round())
         parallel_state::tl_shard->counters.hops += n;
     else
-        metrics_.add(counter_hops, n);
+        metrics_.add(metrics::k_hops, n);
 }
 
 void simulator::note_sent() {
     if (in_this_sims_round())
         ++parallel_state::tl_shard->counters.sent;
     else
-        metrics_.add(counter_messages_sent);
+        metrics_.add(metrics::k_messages_sent);
 }
 
 void simulator::note_delivered() {
     if (in_this_sims_round())
         ++parallel_state::tl_shard->counters.delivered;
     else
-        metrics_.add(counter_messages_delivered);
+        metrics_.add(metrics::k_messages_delivered);
 }
 
 void simulator::note_dropped() {
     if (in_this_sims_round())
         ++parallel_state::tl_shard->counters.dropped;
     else
-        metrics_.add(counter_messages_dropped);
+        metrics_.add(metrics::k_messages_dropped);
 }
 
 void simulator::credit_tag(std::int64_t tag, std::int64_t n) {
     if (in_this_sims_round())
-        parallel_state::tl_shard->tags[tag] += n;
+        parallel_state::tl_shard->tags.ref(tag) += n;
     else
-        tag_hops_[tag] += n;
+        tag_hops_.ref(tag) += n;
 }
 
 // --- trace recording ---------------------------------------------------------
@@ -230,7 +244,7 @@ void simulator::note_delivery(const message& msg) {
     // previous tick's digest before advancing now_ past it.
     trace_pending_ = true;
     trace_tick_ = now_;
-    metrics_.add(counter_trace_records);
+    metrics_.add(metrics::k_trace_records);
     trace_obs_->on_delivery(rec);
 }
 
@@ -251,16 +265,16 @@ void simulator::feed_parallel_trace() {
               [](const auto& a, const auto& b) { return a.first < b.first; });
     trace_pending_ = true;
     trace_tick_ = now_;
-    metrics_.add(counter_trace_records, static_cast<std::int64_t>(total));
+    metrics_.add(metrics::k_trace_records, static_cast<std::int64_t>(total));
     for (const auto& [seq, rec] : merged) trace_obs_->on_delivery(rec);
 }
 
 void simulator::flush_trace_tick() {
     trace_tick_digest d;
     d.tick = trace_tick_;
-    const std::int64_t sent = metrics_.get(counter_messages_sent);
-    const std::int64_t delivered = metrics_.get(counter_messages_delivered);
-    const std::int64_t dropped = metrics_.get(counter_messages_dropped);
+    const std::int64_t sent = metrics_.get(metrics::k_messages_sent);
+    const std::int64_t delivered = metrics_.get(metrics::k_messages_delivered);
+    const std::int64_t dropped = metrics_.get(metrics::k_messages_dropped);
     d.sent = sent - trace_base_.sent;
     d.delivered = delivered - trace_base_.delivered;
     d.dropped = dropped - trace_base_.dropped;
@@ -268,7 +282,7 @@ void simulator::flush_trace_tick() {
     trace_base_.delivered = delivered;
     trace_base_.dropped = dropped;
     trace_pending_ = false;
-    metrics_.add(counter_trace_digests);
+    metrics_.add(metrics::k_trace_digests);
     trace_obs_->on_tick_digest(d);
 }
 
@@ -283,9 +297,9 @@ void simulator::set_trace_observer(trace_observer* obs) {
     flush_trace();
     trace_obs_ = obs;
     trace_pending_ = false;
-    trace_base_.sent = metrics_.get(counter_messages_sent);
-    trace_base_.delivered = metrics_.get(counter_messages_delivered);
-    trace_base_.dropped = metrics_.get(counter_messages_dropped);
+    trace_base_.sent = metrics_.get(metrics::k_messages_sent);
+    trace_base_.delivered = metrics_.get(metrics::k_messages_delivered);
+    trace_base_.dropped = metrics_.get(metrics::k_messages_dropped);
 }
 
 void simulator::set_canonical_paths(bool on) {
@@ -327,10 +341,7 @@ void simulator::reset_traffic() {
     for (auto& t : transit_) t.store(0, std::memory_order_relaxed);
 }
 
-std::int64_t simulator::tag_hops(std::int64_t tag) const {
-    const auto it = tag_hops_.find(tag);
-    return it == tag_hops_.end() ? 0 : it->second;
-}
+std::int64_t simulator::tag_hops(std::int64_t tag) const { return tag_hops_.get(tag); }
 
 // --- topology / routing views ------------------------------------------------
 
@@ -394,7 +405,45 @@ void simulator::push_event(event e) {
             std::move(e));
         return;
     }
-    events_.push(std::move(e));
+    push_serial(std::move(e));
+}
+
+void simulator::push_serial(event e) {
+    const event_store::handle h = arena_.alloc();
+    auto& aux = arena_.row<2>(h);
+    aux.sent_at = e.sent_at;
+    aux.timer_id = e.timer_id;
+    aux.hop_index = e.hop_index;
+    aux.credited = e.credited;
+    aux.node = e.node;
+    aux.kind = e.kind;
+    if (e.kind != event_kind::timer) {
+        arena_.row<0>(h) = std::move(e.msg);
+        arena_.row<1>(h) = std::move(e.path);
+    }
+    events_.push(event_slot{e.at, e.key_seq, e.key_idx, h});
+}
+
+simulator::event simulator::take_slot(const event_slot& s) {
+    event e;
+    e.at = s.at;
+    e.key_seq = s.key_seq;
+    e.key_idx = s.key_idx;
+    const auto& aux = arena_.row<2>(s.payload);
+    e.sent_at = aux.sent_at;
+    e.timer_id = aux.timer_id;
+    e.hop_index = aux.hop_index;
+    e.credited = aux.credited;
+    e.node = aux.node;
+    e.kind = aux.kind;
+    if (e.kind != event_kind::timer) {
+        e.msg = std::move(arena_.row<0>(s.payload));
+        // Moving the route out nulls the recycled slot's shared_ptr, so a
+        // released row never pins a path alive.
+        e.path = std::move(arena_.row<1>(s.payload));
+    }
+    arena_.release(s.payload);
+    return e;
 }
 
 void simulator::send(message msg) {
@@ -512,7 +561,7 @@ net::node_id simulator::join(std::span<const net::node_id> attach) {
     graph_m_->finalize();
     grow_node_state();
     if (par_) par_->map.absorb(*graph_, v);
-    metrics_.add(counter_membership_events);
+    metrics_.add(metrics::k_membership_events);
     return v;
 }
 
@@ -535,7 +584,7 @@ void simulator::leave(net::node_id v) {
     graph_m_->remove_node(v);
     graph_m_->finalize();
     if (par_) par_->map.release(v);
-    metrics_.add(counter_membership_events);
+    metrics_.add(metrics::k_membership_events);
 }
 
 void simulator::rejoin(net::node_id v, std::span<const net::node_id> attach) {
@@ -554,17 +603,18 @@ void simulator::rejoin(net::node_id v, std::span<const net::node_id> attach) {
     departed_[static_cast<std::size_t>(v)] = 0;
     --departed_count_;
     if (par_) par_->map.absorb(*graph_, v);
-    metrics_.add(counter_membership_events);
+    metrics_.add(metrics::k_membership_events);
 }
 
 // --- delivery ----------------------------------------------------------------
 
 void simulator::credit_hops(const std::vector<net::node_id>& path, std::int64_t first,
                             std::int64_t last, std::int64_t tag) {
+    const bool concurrent = in_this_sims_round();
     for (std::int64_t k = first; k < last; ++k) {
         const auto v = static_cast<std::size_t>(path[static_cast<std::size_t>(k)]);
-        traffic_[v].fetch_add(1, std::memory_order_relaxed);
-        transit_[v].fetch_add(1, std::memory_order_relaxed);
+        bump_relaxed(traffic_[v], concurrent);
+        bump_relaxed(transit_[v], concurrent);
     }
     if (last > first) {
         note_hops(last - first);
@@ -584,7 +634,9 @@ std::vector<simulator::event> simulator::drain_all_pending() {
         // the key-merge of them.
         std::sort(out.begin(), out.end(), at_key_less<event>);
     } else {
-        out = events_.drain_in_order();
+        auto slots = events_.drain_in_order();
+        out.reserve(slots.size());
+        for (const event_slot& s : slots) out.push_back(take_slot(s));
     }
     return out;
 }
@@ -619,7 +671,9 @@ void simulator::devolve_batched_deliveries() {
             par_->shards[static_cast<std::size_t>(par_->map.shard_of(e.node))].queue.push(
                 std::move(e));
         } else {
-            events_.push(std::move(e));
+            // Keys survive the drain untouched: a devolved arrival keeps its
+            // place in the global order (push_serial never re-stamps).
+            push_serial(std::move(e));
         }
     }
 }
@@ -638,7 +692,7 @@ void simulator::arrive_batched(const event& e) {
         note_dropped();
         return;
     }
-    traffic_[dest].fetch_add(1, std::memory_order_relaxed);
+    bump_relaxed(traffic_[dest], in_this_sims_round());
     note_delivered();
     note_delivery(e.msg);
     if (auto& h = handlers_[dest]) h->on_message(*this, e.msg);
@@ -651,7 +705,8 @@ void simulator::arrive_slow(event e) {
         note_dropped();
         return;
     }
-    traffic_[static_cast<std::size_t>(at)].fetch_add(1, std::memory_order_relaxed);
+    const bool concurrent = in_this_sims_round();
+    bump_relaxed(traffic_[static_cast<std::size_t>(at)], concurrent);
     if (at == e.msg.destination) {
         note_delivered();
         note_delivery(e.msg);
@@ -659,7 +714,7 @@ void simulator::arrive_slow(event e) {
         return;
     }
     // Forward one hop toward the destination; the hop lands one tick later.
-    transit_[static_cast<std::size_t>(at)].fetch_add(1, std::memory_order_relaxed);
+    bump_relaxed(transit_[static_cast<std::size_t>(at)], concurrent);
     note_hops(1);
     if (e.msg.tag != 0) credit_tag(e.msg.tag, 1);
     if (e.path && batched_ && crashed_count_ == 0 &&
@@ -754,12 +809,12 @@ bool simulator::step() {
     if (events_.empty()) return false;
     if (++processed_ > event_cap_)
         throw std::runtime_error{"simulator: event cap exceeded (protocol loop?)"};
-    event e = events_.pop();
+    const event_slot s = events_.pop();
     // Lazy digest flush: the engine is about to move past trace_tick_, so
     // that tick can see no further deliveries (now_ is monotone).
-    if (trace_pending_ && e.at > trace_tick_) flush_trace_tick();
-    now_ = e.at;
-    process(std::move(e));
+    if (trace_pending_ && s.at > trace_tick_) flush_trace_tick();
+    now_ = s.at;
+    process(take_slot(s));
     return true;
 }
 
@@ -946,21 +1001,24 @@ void simulator::merge_shard_accumulators() {
                           src.counters = hot_counters{};
                           if (src.tags.empty()) return;
                           if (dst.tags.empty()) {
-                              dst.tags.swap(src.tags);
+                              std::swap(dst.tags, src.tags);
                           } else {
-                              for (const auto& [tag, n] : src.tags) dst.tags[tag] += n;
+                              src.tags.for_each([&dst](std::int64_t tag, std::int64_t n) {
+                                  dst.tags.ref(tag) += n;
+                              });
                               src.tags.clear();
                           }
                       });
     }
     auto& root = st.shards.front();
     auto& c = root.counters;
-    if (c.hops != 0) metrics_.add(counter_hops, c.hops);
-    if (c.sent != 0) metrics_.add(counter_messages_sent, c.sent);
-    if (c.delivered != 0) metrics_.add(counter_messages_delivered, c.delivered);
-    if (c.dropped != 0) metrics_.add(counter_messages_dropped, c.dropped);
+    if (c.hops != 0) metrics_.add(metrics::k_hops, c.hops);
+    if (c.sent != 0) metrics_.add(metrics::k_messages_sent, c.sent);
+    if (c.delivered != 0) metrics_.add(metrics::k_messages_delivered, c.delivered);
+    if (c.dropped != 0) metrics_.add(metrics::k_messages_dropped, c.dropped);
     c = hot_counters{};
-    for (const auto& [tag, n] : root.tags) tag_hops_[tag] += n;
+    root.tags.for_each(
+        [this](std::int64_t tag, std::int64_t n) { tag_hops_.ref(tag) += n; });
     root.tags.clear();
 }
 
@@ -1141,12 +1199,13 @@ bool simulator::run_parallel_tick(time_point horizon) {
     merge_shard_accumulators();
     if (trace_obs_ != nullptr) feed_parallel_trace();
     flush_ns += phase_ns(flush_start, flush_wait);
-    metrics_.add(counter_parallel_ticks);
-    metrics_.add(counter_parallel_rounds, rounds);
-    if (rank_ns > 0) metrics_.add(counter_phase_rank_merge_ns, rank_ns);
-    if (execute_ns > 0) metrics_.add(counter_phase_round_execute_ns, execute_ns);
-    if (flush_ns > 0) metrics_.add(counter_phase_mailbox_flush_ns, flush_ns);
-    if (st.barrier_wait_ns > 0) metrics_.add(counter_phase_barrier_wait_ns, st.barrier_wait_ns);
+    metrics_.add(metrics::k_parallel_ticks);
+    metrics_.add(metrics::k_parallel_rounds, rounds);
+    if (rank_ns > 0) metrics_.add(metrics::k_phase_rank_merge_ns, rank_ns);
+    if (execute_ns > 0) metrics_.add(metrics::k_phase_round_execute_ns, execute_ns);
+    if (flush_ns > 0) metrics_.add(metrics::k_phase_mailbox_flush_ns, flush_ns);
+    if (st.barrier_wait_ns > 0)
+        metrics_.add(metrics::k_phase_barrier_wait_ns, st.barrier_wait_ns);
     return true;
 }
 

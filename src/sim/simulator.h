@@ -113,6 +113,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/arena.h"
+#include "core/flat_map.h"
 #include "net/graph.h"
 #include "net/routing.h"
 #include "net/shard_map.h"
@@ -387,6 +389,33 @@ private:
         std::int64_t seq = 0;
     };
 
+    // --- serial engine event storage (structure-of-arrays) ------------------
+    // The serial calendar queue carries 24-byte ordering slots; each slot's
+    // payload lives in a soa_arena split by access pattern - the message
+    // row, the shared route row, and the small aux row.  A timer event
+    // never touches the message/route rows at all (store and take skip
+    // them), and recycled slots keep their capacity, so steady-state
+    // push/pop moves a cache line through the buckets instead of the whole
+    // ~160-byte event.  The parallel engine keeps full events: its shard
+    // queues are drained wholesale at tick barriers where the AoS layout is
+    // what the k-way merges want.
+    using path_ptr = std::shared_ptr<const std::vector<net::node_id>>;
+    struct event_aux {
+        time_point sent_at = 0;
+        std::int64_t timer_id = 0;
+        std::int32_t hop_index = 0;
+        std::int32_t credited = 0;
+        net::node_id node = net::invalid_node;
+        event_kind kind = event_kind::hop;
+    };
+    using event_store = core::soa_arena<message, path_ptr, event_aux>;
+    struct event_slot {
+        time_point at = 0;
+        std::int64_t key_seq = 0;
+        std::int32_t key_idx = 0;
+        event_store::handle payload = 0;
+    };
+
     struct hot_counters {
         std::int64_t hops = 0;
         std::int64_t sent = 0;
@@ -408,16 +437,21 @@ private:
     // join() grows them in place and std::atomic cannot be relocated.
     std::deque<std::atomic<std::int64_t>> traffic_;
     std::deque<std::atomic<std::int64_t>> transit_;
-    calendar_queue<event> events_;  // serial engine's queue (unused once parallel)
+    calendar_queue<event_slot> events_;  // serial engine's queue (unused once parallel)
+    event_store arena_;                  // payload rows behind events_'s slots
     time_point now_ = 0;
     std::int64_t processed_ = 0;
     std::int64_t event_cap_ = 50'000'000;
     std::int64_t crashed_count_ = 0;
     std::int64_t departed_count_ = 0;
+    // Default confirmed by the 64/256/1024/4096 sweep (docs/BENCHMARKS.md
+    // "Tuning the merge cutover"): rank-merge stays <= 3% of run time at
+    // every point, so 256 holds until the CI perf job's multi-core
+    // BENCH_e18_threshold_* artifacts say otherwise.
     std::int64_t merge_par_threshold_ = 256;
     std::atomic<std::int64_t> batched_in_flight_{0};
     bool batched_ = true;
-    std::unordered_map<std::int64_t, std::int64_t> tag_hops_;
+    core::flat_map<std::int64_t> tag_hops_;
     metrics metrics_;
     bool randomized_routing_ = false;
     std::uint64_t route_rng_state_ = 0;
@@ -460,6 +494,11 @@ private:
     // Stamps the canonical key and routes the event to the right queue or
     // mailbox for the calling context.
     void push_event(event e);
+    // Serial queue entry/exit: splits an event into a slot + arena rows and
+    // back.  push_serial preserves the event's existing ordering key
+    // (devolve re-pushes depend on that); take_slot releases the payload.
+    void push_serial(event e);
+    [[nodiscard]] event take_slot(const event_slot& s);
     // Counter sinks that dispatch to the executing shard's accumulator
     // inside a parallel round and to the global metrics otherwise.
     void note_hops(std::int64_t n);

@@ -1,0 +1,324 @@
+// test_hotpath.cpp - the mechanical-sympathy layer is bit-equal to the
+// reference containers it replaced.
+//
+// PR-9 swapped the engine's hot-path containers: sim::metrics now keeps a
+// fixed slot array for the known counters plus an open-addressing table for
+// dynamic names (was: one string-keyed std::map), tag accounting and the
+// name service's op index use core::flat_map (was: std::unordered_map),
+// event payloads live in a core::soa_arena behind the calendar queue, and
+// core::intersect_sets picks between galloping / bitmap / SIMD-block /
+// scalar merges.  Every one of those is an internal representation change:
+// this suite drives each against the container it replaced over randomized
+// op streams (including the empty / disjoint / identical / skewed shapes
+// the dispatch heuristics cut on) and requires exact agreement.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/arena.h"
+#include "core/flat_map.h"
+#include "core/strategy.h"
+#include "sim/metrics.h"
+
+namespace {
+
+using namespace mm;
+
+std::uint64_t mix64(std::uint64_t& state) {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+// --- metrics vs the string-keyed std::map it replaced ------------------------
+
+const std::vector<std::string_view>& known_counter_names() {
+    static const std::vector<std::string_view> names = {
+        sim::counter_hops,
+        sim::counter_messages_sent,
+        sim::counter_messages_delivered,
+        sim::counter_messages_dropped,
+        sim::counter_membership_events,
+        sim::counter_trace_records,
+        sim::counter_trace_digests,
+        sim::counter_parallel_ticks,
+        sim::counter_parallel_rounds,
+        sim::counter_phase_round_execute_ns,
+        sim::counter_phase_rank_merge_ns,
+        sim::counter_phase_mailbox_flush_ns,
+        sim::counter_phase_barrier_wait_ns,
+    };
+    return names;
+}
+
+TEST(interned_metrics, randomized_ops_match_map_reference) {
+    sim::metrics m;
+    std::map<std::string, std::int64_t, std::less<>> ref;
+    std::uint64_t rng = 20260807;
+    const auto& known = known_counter_names();
+    for (int op = 0; op < 20000; ++op) {
+        const auto pick = mix64(rng) % 100;
+        const auto amount = static_cast<std::int64_t>(mix64(rng) % 1000) - 200;
+        if (pick < 45) {
+            // Known counter through the string path.
+            const auto& name = known[mix64(rng) % known.size()];
+            m.add(name, amount);
+            ref[std::string{name}] += amount;
+        } else if (pick < 70) {
+            // Known counter through the interned-id fast path.
+            const auto id = static_cast<sim::metrics::known>(mix64(rng) %
+                                                            sim::metrics::known_count);
+            m.add(id, amount);
+            ref[std::string{known[id]}] += amount;
+        } else if (pick < 97) {
+            const std::string name = "dyn_" + std::to_string(mix64(rng) % 200);
+            m.add(name, amount);
+            ref[name] += amount;
+        } else {
+            m.reset();
+            ref.clear();
+        }
+    }
+    EXPECT_EQ(m.counters(), ref);
+    for (const auto& [name, value] : ref) EXPECT_EQ(m.get(name), value) << name;
+    for (const auto& name : known)
+        EXPECT_EQ(m.get(name), ref.count(std::string{name}) ? ref[std::string{name}] : 0);
+    EXPECT_EQ(m.get("never_touched"), 0);
+}
+
+TEST(interned_metrics, id_and_string_paths_alias_the_same_slot) {
+    sim::metrics m;
+    m.add(sim::metrics::k_hops, 7);
+    m.add(sim::counter_hops, 5);
+    EXPECT_EQ(m.get(sim::counter_hops), 12);
+    EXPECT_EQ(m.get(sim::metrics::k_hops), 12);
+}
+
+TEST(interned_metrics, touched_semantics_are_preserved) {
+    sim::metrics m;
+    EXPECT_TRUE(m.counters().empty());
+    // A zero-amount add still creates a visible zero-valued entry (the old
+    // map did; test_barrier_pipeline's serial-mode check depends on the
+    // converse: untouched counters must NOT appear).
+    m.add(sim::counter_hops, 0);
+    m.add("custom", 0);
+    const auto c = m.counters();
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_EQ(c.at("hops"), 0);
+    EXPECT_EQ(c.at("custom"), 0);
+    m.reset();
+    EXPECT_TRUE(m.counters().empty());
+}
+
+// --- flat_map vs std::unordered_map ------------------------------------------
+
+template <class Ref>
+void expect_flat_map_equals(const core::flat_map<std::int64_t>& fm, const Ref& ref) {
+    ASSERT_EQ(fm.size(), ref.size());
+    std::size_t seen = 0;
+    fm.for_each([&](std::int64_t key, std::int64_t value) {
+        ++seen;
+        const auto it = ref.find(key);
+        ASSERT_NE(it, ref.end()) << key;
+        EXPECT_EQ(it->second, value) << key;
+    });
+    EXPECT_EQ(seen, ref.size());
+}
+
+TEST(flat_map, randomized_ops_match_unordered_map_reference) {
+    core::flat_map<std::int64_t> fm;
+    std::unordered_map<std::int64_t, std::int64_t> ref;
+    std::uint64_t rng = 99;
+    for (int op = 0; op < 50000; ++op) {
+        // Mixed key ranges: dense sequential ids (the op-id pattern) and
+        // sparse 48-bit ones (the tag pattern).
+        const std::int64_t key = (mix64(rng) % 2 == 0)
+                                     ? 1 + static_cast<std::int64_t>(mix64(rng) % 512)
+                                     : 1 + static_cast<std::int64_t>(mix64(rng) >> 16);
+        const auto pick = mix64(rng) % 10;
+        if (pick < 6) {
+            const auto amount = static_cast<std::int64_t>(mix64(rng) % 100);
+            fm.ref(key) += amount;
+            ref[key] += amount;
+        } else if (pick < 8) {
+            EXPECT_EQ(fm.erase(key), ref.erase(key) > 0);
+        } else {
+            const auto it = ref.find(key);
+            EXPECT_EQ(fm.get(key), it == ref.end() ? 0 : it->second);
+            EXPECT_EQ(fm.contains(key), it != ref.end());
+        }
+    }
+    expect_flat_map_equals(fm, ref);
+}
+
+TEST(flat_map, insert_erase_churn_reclaims_tombstones) {
+    // The tag lifecycle: monotonically increasing ids, erased shortly after
+    // insertion.  The table must stay bounded (rehash collects tombstones)
+    // and stay correct through many generations.
+    core::flat_map<std::int64_t> fm;
+    for (std::int64_t generation = 0; generation < 2000; ++generation) {
+        const std::int64_t base = generation * 64 + 1;
+        for (std::int64_t k = 0; k < 64; ++k) fm.ref(base + k) = k;
+        for (std::int64_t k = 0; k < 64; ++k) EXPECT_EQ(fm.get(base + k), k);
+        for (std::int64_t k = 0; k < 64; ++k) EXPECT_TRUE(fm.erase(base + k));
+    }
+    EXPECT_TRUE(fm.empty());
+    EXPECT_EQ(fm.get(1), 0);
+}
+
+TEST(flat_map, clear_resets_everything) {
+    core::flat_map<std::int64_t> fm;
+    for (std::int64_t k = 1; k <= 100; ++k) fm.ref(k) = k;
+    fm.clear();
+    EXPECT_TRUE(fm.empty());
+    EXPECT_FALSE(fm.contains(50));
+    fm.ref(7) = 9;
+    EXPECT_EQ(fm.get(7), 9);
+    EXPECT_EQ(fm.size(), 1u);
+}
+
+// --- soa_arena ---------------------------------------------------------------
+
+TEST(soa_arena, interleaved_alloc_release_keeps_rows_independent) {
+    core::soa_arena<std::int64_t, std::string> arena;
+    std::unordered_map<std::uint32_t, std::pair<std::int64_t, std::string>> model;
+    std::vector<std::uint32_t> live;
+    std::uint64_t rng = 7;
+    for (int op = 0; op < 20000; ++op) {
+        if (live.empty() || mix64(rng) % 3 != 0) {
+            const auto h = arena.alloc();
+            ASSERT_EQ(model.count(h), 0u) << "alloc returned a live handle";
+            const auto v = static_cast<std::int64_t>(mix64(rng));
+            arena.row<0>(h) = v;
+            arena.row<1>(h) = std::to_string(v);
+            model[h] = {v, std::to_string(v)};
+            live.push_back(h);
+        } else {
+            const auto pick = mix64(rng) % live.size();
+            const auto h = live[pick];
+            EXPECT_EQ(arena.row<0>(h), model[h].first);
+            EXPECT_EQ(arena.row<1>(h), model[h].second);
+            arena.release(h);
+            model.erase(h);
+            live[pick] = live.back();
+            live.pop_back();
+        }
+        ASSERT_EQ(arena.live(), model.size());
+    }
+    for (const auto h : live) {
+        EXPECT_EQ(arena.row<0>(h), model[h].first);
+        EXPECT_EQ(arena.row<1>(h), model[h].second);
+    }
+    // The slab never grows past the high-water mark of simultaneously live
+    // slots (free slots are recycled before the arrays extend).
+    EXPECT_LE(arena.capacity(), 20000u);
+}
+
+TEST(soa_arena, recycles_before_growing) {
+    core::soa_arena<int> arena;
+    const auto a = arena.alloc();
+    const auto b = arena.alloc();
+    EXPECT_EQ(arena.capacity(), 2u);
+    arena.release(a);
+    arena.release(b);
+    (void)arena.alloc();
+    (void)arena.alloc();
+    EXPECT_EQ(arena.capacity(), 2u) << "free slots must be reused";
+    (void)arena.alloc();
+    EXPECT_EQ(arena.capacity(), 3u);
+}
+
+// --- intersect fast paths vs the scalar reference ----------------------------
+
+core::node_set reference_intersection(const core::node_set& a, const core::node_set& b) {
+    core::node_set out;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+    return out;
+}
+
+core::node_set random_sorted_set(std::uint64_t& rng, std::size_t size, std::int64_t lo,
+                                 std::int64_t hi) {
+    core::node_set out;
+    if (hi < lo) return out;
+    const auto span = static_cast<std::uint64_t>(hi - lo + 1);
+    for (std::size_t i = 0; i < size; ++i)
+        out.push_back(static_cast<net::node_id>(
+            lo + static_cast<std::int64_t>(mix64(rng) % span)));
+    core::normalize_set(out);
+    return out;
+}
+
+void expect_intersections_match(const core::node_set& a, const core::node_set& b,
+                                const char* what) {
+    const auto expected = reference_intersection(a, b);
+    EXPECT_EQ(core::intersect_sets(a, b), expected) << what;
+    EXPECT_EQ(core::intersect_sets(b, a), expected) << what << " (swapped)";
+    EXPECT_EQ(core::sets_intersect(a, b), !expected.empty()) << what;
+    EXPECT_EQ(core::sets_intersect(b, a), !expected.empty()) << what << " (swapped)";
+}
+
+TEST(intersect_fast_paths, fixed_shapes) {
+    const core::node_set empty;
+    const core::node_set one{42};
+    core::node_set dense;
+    for (net::node_id v = 0; v < 512; ++v) dense.push_back(v);
+    core::node_set odds;
+    for (net::node_id v = 1; v < 1024; v += 2) odds.push_back(v);
+    core::node_set high;
+    for (net::node_id v = 100000; v < 100512; ++v) high.push_back(v);
+
+    expect_intersections_match(empty, empty, "empty x empty");
+    expect_intersections_match(empty, dense, "empty x dense");
+    expect_intersections_match(one, dense, "singleton x dense");
+    expect_intersections_match(dense, dense, "identical");
+    expect_intersections_match(dense, odds, "half-overlap");
+    expect_intersections_match(dense, high, "disjoint windows");
+    expect_intersections_match(one, high, "singleton below window");
+}
+
+TEST(intersect_fast_paths, randomized_shapes_cover_every_dispatch_regime) {
+    std::uint64_t rng = 0xabcdef;
+    const std::size_t sizes[] = {0, 1, 3, 4, 5, 31, 32, 33, 255, 256, 1000, 4096};
+    for (const std::size_t sa : sizes) {
+        for (const std::size_t sb : sizes) {
+            const auto m = std::max<std::size_t>(1, std::max(sa, sb));
+            // Dense windows (bitmap regime), sparse universes (merge/SIMD
+            // regime), and offset windows (partial overlap after trimming).
+            const std::int64_t universes[][2] = {
+                {0, static_cast<std::int64_t>(2 * m)},
+                {0, static_cast<std::int64_t>(64 * m)},
+                {static_cast<std::int64_t>(m), static_cast<std::int64_t>(3 * m)},
+            };
+            for (const auto& u : universes) {
+                const auto a = random_sorted_set(rng, sa, u[0], u[1]);
+                const auto b = random_sorted_set(rng, sb, 0, static_cast<std::int64_t>(2 * m));
+                expect_intersections_match(a, b, "randomized");
+            }
+        }
+    }
+}
+
+TEST(intersect_fast_paths, skewed_galloping_regime) {
+    std::uint64_t rng = 31337;
+    for (int round = 0; round < 20; ++round) {
+        const auto big = random_sorted_set(rng, 8192, 0, 1 << 20);
+        const auto small = random_sorted_set(rng, 1 + round, 0, 1 << 20);
+        expect_intersections_match(small, big, "skewed sparse");
+        // Skewed but guaranteed-overlapping: every small element drawn from
+        // the big set itself.
+        core::node_set subset;
+        for (int k = 0; k <= round; ++k)
+            subset.push_back(big[mix64(rng) % big.size()]);
+        core::normalize_set(subset);
+        expect_intersections_match(subset, big, "skewed subset");
+    }
+}
+
+}  // namespace

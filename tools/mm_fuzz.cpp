@@ -6,20 +6,128 @@
 // serial-without-batching, and parallel at 2/4/8 workers - diffing the full
 // delivery trace, counter digests, per-op results, and latency sets.  Any
 // divergence is localized to the first bad record or field and fails the
-// run, so CI can use `mm_fuzz --seeds 8` as a cheap cross-engine canary and
-// a developer can minimize a failure by re-running its seed alone.
+// run, so CI can use `mm_fuzz --seeds 8` as a cheap cross-engine canary.
 //
-// Usage: mm_fuzz [--seeds N] [--start S] [--quiet]
-//   --seeds N   how many consecutive seeds to run (default 8)
-//   --start S   first seed (default 1)
-//   --quiet     only print failures and the final summary
-// Exit status: 0 when every seed agreed, 1 on any divergence, 2 on usage.
+// A diverging seed can then be handed to --minimize, the greedy config
+// shrinker (docs/REPLAY.md): it repeatedly halves the topology parameters,
+// the operation count, and the port population, and zeroes the optional mix
+// weights, keeping each shrink only while the divergence still reproduces.
+// The fixpoint - typically a handful of nodes and a few operations - is
+// printed as the minimal reproducer.
+//
+// Usage: mm_fuzz [--seeds N] [--start S] [--quiet] | --minimize SEED
+//   --seeds N      how many consecutive seeds to run (default 8)
+//   --start S      first seed (default 1)
+//   --quiet        only print failures and the final summary
+//   --minimize S   shrink diverging seed S to a minimal reproducing config
+// Exit status: 0 when every seed agreed (or the minimizer finished), 1 on
+// any divergence (or when --minimize got a seed that does not diverge),
+// 2 on usage.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "runtime/replay.h"
+
+namespace {
+
+using mm::runtime::replay_config;
+using mm::runtime::replay_topology;
+
+// One greedy shrink pass: each rule proposes a strictly smaller config (or
+// declines by returning false when it is already at its floor).
+struct shrink_rule {
+    const char* what;
+    std::function<bool(replay_config&)> apply;
+};
+
+template <class Int>
+bool halve_int(Int& v, Int floor_value) {
+    if (v / 2 < floor_value) return false;
+    v /= 2;
+    return true;
+}
+
+bool zero_weight(double& w) {
+    if (w == 0.0) return false;
+    w = 0.0;
+    return true;
+}
+
+std::vector<shrink_rule> shrink_rules(const replay_config& cfg) {
+    // Topology floors keep the config in each family's valid range (a 2x2
+    // grid, a 1-dimensional hypercube, fanout-2 hierarchies).
+    const std::int32_t p1_floor = cfg.topology == replay_topology::hypercube ? 1 : 2;
+    std::vector<shrink_rule> rules;
+    rules.push_back({"halve operations",
+                     [](replay_config& c) { return halve_int(c.workload.operations, 1); }});
+    rules.push_back({"halve p1", [p1_floor](replay_config& c) { return halve_int(c.p1, p1_floor); }});
+    rules.push_back({"halve p2", [](replay_config& c) {
+                         return c.topology == replay_topology::hypercube
+                                    ? false  // p2 unused there
+                                    : halve_int(c.p2, 2);
+                     }});
+    rules.push_back(
+        {"halve ports", [](replay_config& c) { return halve_int(c.workload.ports, 1); }});
+    rules.push_back({"halve servers per port", [](replay_config& c) {
+                         return halve_int(c.workload.servers_per_port, 1);
+                     }});
+    rules.push_back({"drop crash mix",
+                     [](replay_config& c) { return zero_weight(c.workload.crash_weight); }});
+    rules.push_back({"drop churn mix", [](replay_config& c) {
+                         const bool joins = zero_weight(c.workload.join_weight);
+                         const bool leaves = zero_weight(c.workload.leave_weight);
+                         const bool rejoins = zero_weight(c.workload.rejoin_weight);
+                         return joins || leaves || rejoins;
+                     }});
+    rules.push_back({"drop migrate mix",
+                     [](replay_config& c) { return zero_weight(c.workload.migrate_weight); }});
+    rules.push_back({"drop register mix",
+                     [](replay_config& c) { return zero_weight(c.workload.register_weight); }});
+    return rules;
+}
+
+int minimize(std::uint64_t seed) {
+    replay_config cfg = mm::runtime::random_config(seed);
+    mm::runtime::diff_report report = mm::runtime::diff_engines(cfg);
+    if (report.ok) {
+        std::printf("seed %llu does not diverge; nothing to minimize\n",
+                    static_cast<unsigned long long>(seed));
+        return 1;
+    }
+    std::printf("seed %llu diverges:   %s\n%s\n", static_cast<unsigned long long>(seed),
+                cfg.describe().c_str(), report.divergence.c_str());
+
+    int shrinks = 0;
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (const auto& rule : shrink_rules(cfg)) {
+            replay_config candidate = cfg;
+            if (!rule.apply(candidate)) continue;
+            const auto r = mm::runtime::diff_engines(candidate);
+            if (r.ok) continue;  // shrink lost the bug; keep the bigger config
+            cfg = candidate;
+            report = r;
+            ++shrinks;
+            std::printf("  shrink %2d (%s): still diverges   %s\n", shrinks, rule.what,
+                        cfg.describe().c_str());
+            progressed = true;
+            break;  // restart the pass from the most aggressive rule
+        }
+    }
+
+    std::printf("\nminimal reproducer after %d shrinks:\n  %s\n%s\n", shrinks,
+                cfg.describe().c_str(), report.divergence.c_str());
+    std::printf("(nodes: %d, operations: %d)\n", static_cast<int>(cfg.node_count()),
+                cfg.workload.operations);
+    return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
     std::uint64_t seeds = 8;
@@ -31,10 +139,13 @@ int main(int argc, char** argv) {
             seeds = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--start" && i + 1 < argc) {
             start = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--minimize" && i + 1 < argc) {
+            return minimize(std::strtoull(argv[++i], nullptr, 10));
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
-            std::fprintf(stderr, "usage: mm_fuzz [--seeds N] [--start S] [--quiet]\n");
+            std::fprintf(stderr,
+                         "usage: mm_fuzz [--seeds N] [--start S] [--quiet] | --minimize SEED\n");
             return 2;
         }
     }
