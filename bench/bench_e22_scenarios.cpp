@@ -1,0 +1,295 @@
+// E22 - the scenario matrix: hostile & skewed traffic vs. adaptive
+// match-making.
+// The paper's uniform analysis assumes every port is equally popular; real
+// deployments see Zipf skew, flash crowds, diurnal arrival waves, and
+// correlated regional failures.  This bench runs the named scenario catalog
+// (runtime/scenario.h, docs/SCENARIOS.md) against a 3-level hierarchy under
+// two strategies - the static hierarchical parent and its load-aware
+// wrapper (strategies/load_aware.h) - and reports, per cell: tail locate
+// latency, staleness-served counts, and the hot port's share of locate
+// hops.  Every cell is swept across 1/2/4/8 worker threads and all
+// scenario counters must be bit-identical (the determinism contract the
+// blocking bench_diff gate then pins across commits).  The headline shape
+// check: the load-aware strategy must beat its static parent on p99 locate
+// latency or hot-port hop share in at least one scenario.
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "net/hierarchy.h"
+#include "runtime/scenario.h"
+#include "strategies/hierarchical.h"
+#include "strategies/load_aware.h"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MM_E22_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define MM_E22_SANITIZED 1
+#endif
+#endif
+#ifndef MM_E22_SANITIZED
+#define MM_E22_SANITIZED 0
+#endif
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point start) {
+    return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+const std::vector<int>& thread_sweep() {
+    static const std::vector<int> sweep =
+        MM_E22_SANITIZED ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+    return sweep;
+}
+
+constexpr int kPorts = 16;
+constexpr int kOperations = 360;
+constexpr std::uint64_t kSeed = 20260807;
+
+struct run_result {
+    int threads = 1;
+    double run_seconds = 0;
+    std::int64_t hops = 0;
+    std::int64_t sent = 0;
+    std::int64_t delivered = 0;
+    std::int64_t dropped = 0;
+    std::int64_t issued = 0;
+    std::int64_t completed = 0;
+    std::int64_t locates = 0;
+    std::int64_t locates_found = 0;
+    std::int64_t stale_served = 0;
+    std::int64_t per_op_passes = 0;
+    mm::sim::time_point latency_p50 = 0;
+    mm::sim::time_point latency_p99 = 0;
+    mm::sim::time_point latency_max = 0;
+    mm::sim::time_point makespan = 0;
+    int hot_port = -1;
+    std::int64_t hot_port_hops = 0;
+    std::int64_t hot_port_locates = 0;
+    double hot_hop_share = 0;
+    std::int64_t promotions = 0;
+    std::int64_t demotions = 0;
+    std::int64_t hot_reposts = 0;
+    std::int64_t region_crashes = 0;
+    std::int64_t region_heals = 0;
+    std::int64_t heal_reposts = 0;
+
+    [[nodiscard]] bool counters_equal(const run_result& o) const {
+        return hops == o.hops && sent == o.sent && delivered == o.delivered &&
+               dropped == o.dropped && issued == o.issued && completed == o.completed &&
+               locates == o.locates && locates_found == o.locates_found &&
+               stale_served == o.stale_served && per_op_passes == o.per_op_passes &&
+               latency_p50 == o.latency_p50 && latency_p99 == o.latency_p99 &&
+               latency_max == o.latency_max && makespan == o.makespan &&
+               hot_port == o.hot_port && hot_port_hops == o.hot_port_hops &&
+               hot_port_locates == o.hot_port_locates && promotions == o.promotions &&
+               demotions == o.demotions && hot_reposts == o.hot_reposts &&
+               region_crashes == o.region_crashes && region_heals == o.region_heals &&
+               heal_reposts == o.heal_reposts;
+    }
+};
+
+struct cell_result {
+    std::string scenario;
+    std::string strategy;  // "static" | "adaptive"
+    bool has_outages = false;
+    std::vector<run_result> runs;
+    bool all_equal = true;
+
+    [[nodiscard]] const run_result& front() const { return runs.front(); }
+};
+
+cell_result run_cell(const std::string& scenario_name, bool adaptive) {
+    using namespace mm;
+    const net::hierarchy h{{10, 10, 10}};
+    const net::graph base = net::make_hierarchical_graph(h);
+    const strategies::hierarchical_strategy parent{h};
+    // Locality carve for the load-aware wrapper: hot ports keep one replica
+    // per region and clients query only their own region's.  Coarser than
+    // the sqrt default on purpose - every hot post/refresh pays one message
+    // per region, so fewer regions keep the write amplification modest.
+    const net::graph_partition carve = net::partition_connected(base, 100);
+
+    cell_result out;
+    out.scenario = scenario_name;
+    out.strategy = adaptive ? "adaptive" : "static";
+    const runtime::scenario_spec spec =
+        runtime::named_scenario(scenario_name, kPorts, kOperations, kSeed);
+    out.has_outages = !spec.outages.empty();
+
+    for (const int threads : thread_sweep()) {
+        net::graph g = base;
+        sim::simulator sim{g};
+        sim.set_worker_threads(threads);
+        // Fresh hot state per run: promotion schedules are part of the
+        // per-run determinism contract, not carried across runs.
+        strategies::load_aware_strategy tuned{
+            parent, {.hot_threshold = 10, .cool_threshold = 3, .replicas = 4}};
+        tuned.set_regions(carve);
+        runtime::name_service::options policy;
+        policy.entry_ttl = 600;
+        policy.refresh_period = 150;
+        policy.client_caching = true;
+        runtime::name_service ns{sim, adaptive ? static_cast<const core::locate_strategy&>(tuned)
+                                               : parent,
+                                 policy};
+
+        const auto run_start = clock_type::now();
+        const runtime::scenario_stats st =
+            runtime::run_scenario(ns, spec, adaptive ? &tuned : nullptr);
+        run_result r;
+        r.threads = threads;
+        r.run_seconds = seconds_since(run_start);
+        r.hops = sim.stats().get(sim::counter_hops);
+        r.sent = sim.stats().get(sim::counter_messages_sent);
+        r.delivered = sim.stats().get(sim::counter_messages_delivered);
+        r.dropped = sim.stats().get(sim::counter_messages_dropped);
+        r.issued = st.wl.issued;
+        r.completed = st.wl.completed;
+        r.locates = st.wl.locates;
+        r.locates_found = st.wl.locates_found;
+        r.stale_served = st.wl.stale_served;
+        r.per_op_passes = st.wl.per_op_message_passes;
+        r.latency_p50 = st.wl.latency_p50;
+        r.latency_p99 = st.wl.latency_p99;
+        r.latency_max = st.wl.latency_max;
+        r.makespan = st.wl.makespan;
+        r.hot_port = st.wl.hot_port;
+        if (st.wl.hot_port >= 0) {
+            const auto& hot = st.wl.per_port[static_cast<std::size_t>(st.wl.hot_port)];
+            r.hot_port_hops = hot.hops;
+            r.hot_port_locates = hot.locates;
+        }
+        r.hot_hop_share = st.wl.hot_port_hop_share;
+        r.promotions = st.promotions;
+        r.demotions = st.demotions;
+        r.hot_reposts = st.hot_reposts;
+        r.region_crashes = st.region_crashes;
+        r.region_heals = st.region_heals;
+        r.heal_reposts = st.heal_reposts;
+        if (!out.runs.empty()) out.all_equal = out.all_equal && r.counters_equal(out.runs.front());
+        out.runs.push_back(r);
+    }
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    using namespace mm;
+    bench::banner("E22: scenario matrix - hostile & skewed traffic",
+                  "The named scenario catalog (Zipf skew, flash crowds, diurnal\n"
+                  "arrivals, correlated regional outages, healing partitions) against\n"
+                  "a 1000-node 3-level hierarchy, static hierarchical vs. the\n"
+                  "load-aware wrapper.  Every cell swept across worker threads with\n"
+                  "bit-identical counters; the adaptive strategy must beat its static\n"
+                  "parent on p99 locate latency or hot-port hop share somewhere.");
+
+    std::vector<cell_result> cells;
+    for (const std::string& name : runtime::scenario_names()) {
+        cells.push_back(run_cell(name, /*adaptive=*/false));
+        cells.push_back(run_cell(name, /*adaptive=*/true));
+    }
+
+    analysis::table t{{"scenario", "strategy", "threads", "run s", "hops", "found/locates",
+                       "stale", "p99", "hot hop%", "promo", "equal"}};
+    for (const auto& c : cells) {
+        for (const auto& r : c.runs) {
+            t.add_row({c.scenario, c.strategy,
+                       analysis::table::num(static_cast<std::int64_t>(r.threads)),
+                       analysis::table::num(r.run_seconds, 2), analysis::table::num(r.hops),
+                       analysis::table::num(r.locates_found) + "/" +
+                           analysis::table::num(r.locates),
+                       analysis::table::num(r.stale_served),
+                       analysis::table::num(static_cast<std::int64_t>(r.latency_p99)),
+                       analysis::table::num(100.0 * r.hot_hop_share, 1),
+                       analysis::table::num(r.promotions), c.all_equal ? "yes" : "NO"});
+        }
+    }
+    std::cout << t.to_string() << "\n";
+
+    bool all_equal = true;
+    bool all_accounted = true;
+    bool adaptive_beats_parent = false;
+    std::int64_t total_promotions = 0;
+    std::int64_t total_hot_reposts = 0;
+    bool outages_fired = true;
+    bool heals_restore = false;
+    std::int64_t outage_stale_served = 0;
+
+    for (const auto& c : cells) {
+        all_equal = all_equal && c.all_equal;
+        const auto& r = c.front();
+        // Region bursts legally kill in-flight operations (their actors
+        // crash), so outage scenarios complete a subset of issued ops;
+        // everything else completes exactly what it issued.
+        all_accounted = all_accounted && r.completed > 0 &&
+                        (c.has_outages ? r.completed <= r.issued : r.completed == r.issued);
+        if (c.strategy == "adaptive") {
+            total_promotions += r.promotions;
+            total_hot_reposts += r.hot_reposts;
+        }
+        if (c.has_outages) {
+            outages_fired = outages_fired && r.region_crashes > 0;
+            heals_restore = heals_restore || r.heal_reposts > 0;
+            outage_stale_served += r.stale_served;
+        }
+
+        const std::string prefix = c.scenario + "_" + c.strategy;
+        for (const auto& run : c.runs)
+            bench::metric(prefix + "_t" + std::to_string(run.threads) + "_run_seconds",
+                          run.run_seconds, "s");
+        bench::metric(prefix + "_hops", static_cast<double>(r.hops), "hops");
+        bench::metric(prefix + "_completed", static_cast<double>(r.completed), "operations");
+        bench::metric(prefix + "_locates_found", static_cast<double>(r.locates_found),
+                      "operations");
+        bench::metric(prefix + "_stale_served", static_cast<double>(r.stale_served),
+                      "operations");
+        bench::metric(prefix + "_latency_p99", static_cast<double>(r.latency_p99), "ticks");
+        bench::metric(prefix + "_hot_port_hops", static_cast<double>(r.hot_port_hops), "hops");
+        bench::metric(prefix + "_hot_hop_share", 100.0 * r.hot_hop_share, "ratio");
+        if (c.strategy == "adaptive") {
+            bench::metric(prefix + "_promotions", static_cast<double>(r.promotions),
+                          "operations");
+            bench::metric(prefix + "_hot_reposts", static_cast<double>(r.hot_reposts),
+                          "operations");
+        }
+        if (c.has_outages) {
+            bench::metric(prefix + "_region_crashes", static_cast<double>(r.region_crashes),
+                          "nodes");
+            bench::metric(prefix + "_region_heals", static_cast<double>(r.region_heals),
+                          "nodes");
+        }
+    }
+
+    // The headline comparison: same seed means static and adaptive cells
+    // issue the identical operation stream, so these are paired samples.
+    for (std::size_t i = 0; i + 1 < cells.size(); i += 2) {
+        const auto& stat = cells[i].front();
+        const auto& adpt = cells[i + 1].front();
+        if (adpt.latency_p99 < stat.latency_p99 ||
+            (stat.hot_port_hops > 0 && adpt.hot_port_hops < stat.hot_port_hops))
+            adaptive_beats_parent = true;
+    }
+
+    bench::shape_check("counters bit-identical across the worker sweep", all_equal);
+    bench::shape_check("every cell completes its issued operations (outages may shed)",
+                       all_accounted);
+    bench::shape_check("load-aware beats static parent on p99 or hot-port hops somewhere",
+                       adaptive_beats_parent);
+    bench::shape_check("skewed scenarios promote hot ports and re-home their bindings",
+                       total_promotions > 0 && total_hot_reposts > 0);
+    bench::shape_check("every outage scenario fires its region bursts", outages_fired);
+    bench::shape_check("healing partitions re-post surviving bindings", heals_restore);
+    bench::shape_check("outage scenarios serve stale answers (the staleness the paper pays)",
+                       outage_stale_served > 0);
+    return 0;
+}

@@ -1,0 +1,588 @@
+#include "runtime/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/codec.h"
+#include "net/hierarchy.h"
+#include "net/partition.h"
+#include "strategies/hierarchical.h"
+#include "strategies/load_aware.h"
+
+namespace mm::runtime {
+
+namespace {
+
+// Zipf weight of 1-based rank r.  Integer skews avoid std::pow: division
+// and multiplication are exactly rounded by IEEE-754, so the catalog's
+// draws are bit-stable across toolchains (pow is not correctly rounded and
+// may differ between libms).
+double zipf_weight(int rank, double s) {
+    if (s == 0) return 1.0;
+    if (s == 1) return 1.0 / static_cast<double>(rank);
+    if (s == 2) return 1.0 / (static_cast<double>(rank) * static_cast<double>(rank));
+    return std::pow(static_cast<double>(rank), -s);
+}
+
+// Cumulative (unnormalized) popularity over port ranks; pick_port draws by
+// scaled inverse CDF in O(log ports).
+std::vector<double> zipf_cdf(int ports, double s) {
+    std::vector<double> cdf(static_cast<std::size_t>(ports));
+    double total = 0;
+    for (int p = 0; p < ports; ++p) {
+        total += zipf_weight(p + 1, s);
+        cdf[static_cast<std::size_t>(p)] = total;
+    }
+    return cdf;
+}
+
+int pick_from_cdf(const std::vector<double>& cdf, double u) {
+    const double target = u * cdf.back();
+    const auto it = std::upper_bound(cdf.begin(), cdf.end(), target);
+    return static_cast<int>(std::min<std::ptrdiff_t>(
+        it - cdf.begin(), static_cast<std::ptrdiff_t>(cdf.size()) - 1));
+}
+
+void validate_spec(const scenario_spec& spec) {
+    const auto fail = [&](const std::string& what) {
+        throw std::invalid_argument{"scenario '" + spec.name + "': " + what};
+    };
+    if (spec.base.ports < 1) fail("need >= 1 port");
+    if (spec.zipf_skew < 0) fail("negative zipf_skew");
+    if (spec.region_target < 0) fail("negative region_target");
+    if (spec.rebalance_every < 0) fail("negative rebalance_every");
+    const int total = spec.total_operations();
+    for (const auto& ph : spec.phases) {
+        if (ph.operations < 0) fail("negative phase operations");
+        if (ph.mean_interarrival < 0) fail("negative phase inter-arrival");
+    }
+    for (const auto& c : spec.crowds) {
+        if (c.port < 0 || c.port >= spec.base.ports) fail("flash crowd port out of range");
+        if (c.share < 0 || c.share > 1) fail("flash crowd share outside [0, 1]");
+        if (c.first_op < 0 || c.last_op < c.first_op || c.first_op > total)
+            fail("flash crowd window malformed");
+    }
+    for (const auto& ev : spec.outages) {
+        if (ev.at_op < 0 || ev.at_op >= std::max(total, 1)) fail("outage at_op out of range");
+        if (ev.region < 0) fail("negative outage region");
+        if (ev.heal_after < -1) fail("outage heal_after < -1");
+    }
+}
+
+std::string draw_counter_name(int port_index) {
+    return "scenario_port_draws_" + std::to_string(port_index);
+}
+
+}  // namespace
+
+int scenario_spec::total_operations() const {
+    if (phases.empty()) return base.operations;
+    int total = 0;
+    for (const auto& ph : phases) total += ph.operations;
+    return total;
+}
+
+scenario_stats run_scenario(name_service& ns, const scenario_spec& spec,
+                            strategies::load_aware_strategy* tuner) {
+    validate_spec(spec);
+    auto& sim = ns.simulator();
+    auto& metrics = sim.stats();
+
+    workload_options opts = spec.base;
+    opts.operations = spec.total_operations();
+    const int ports = opts.ports;
+
+    // Phase table: cumulative operation-index boundaries -> mean.
+    std::vector<std::pair<int, double>> phase_ends;
+    {
+        int cum = 0;
+        for (const auto& ph : spec.phases) {
+            cum += ph.operations;
+            phase_ends.emplace_back(cum, ph.mean_interarrival);
+        }
+    }
+
+    const std::vector<double> cdf = zipf_cdf(ports, spec.zipf_skew);
+
+    // Region carve, computed once over the full (pre-churn) topology.
+    net::graph_partition carve;
+    if (!spec.outages.empty()) {
+        carve = net::partition_connected(sim.network(), spec.region_target);
+        for (const auto& ev : spec.outages)
+            if (ev.region >= carve.part_count())
+                throw std::invalid_argument{"scenario '" + spec.name +
+                                            "': outage region beyond the carve (" +
+                                            std::to_string(carve.part_count()) + " regions)"};
+    }
+
+    struct pending_heal {
+        sim::time_point due;
+        std::vector<net::node_id> nodes;
+        bool restore;
+    };
+    std::vector<pending_heal> heals;
+
+    // Dynamic-counter names, built once (pick_port runs per operation).
+    std::vector<std::string> draw_names;
+    draw_names.reserve(static_cast<std::size_t>(ports));
+    for (int p = 0; p < ports; ++p) draw_names.push_back(draw_counter_name(p));
+    std::vector<std::int64_t> last_draws(static_cast<std::size_t>(ports), 0);
+
+    scenario_stats out;
+    workload_hooks hooks;
+
+    if (!phase_ends.empty()) {
+        hooks.interarrival_mean = [phase_ends](int i) {
+            for (const auto& [end, mean] : phase_ends)
+                if (i < end) return mean;
+            return phase_ends.back().second;
+        };
+    }
+
+    hooks.pick_port = [&](int i, double u) {
+        int pick = -1;
+        for (const auto& c : spec.crowds) {
+            if (i < c.first_op || i >= c.last_op) continue;
+            if (u < c.share || c.share >= 1.0) {
+                pick = c.port;
+            } else {
+                // Re-uniformize the remaining mass onto the base popularity.
+                u = (u - c.share) / (1.0 - c.share);
+            }
+            break;  // windows are applied first-match
+        }
+        if (pick < 0) pick = pick_from_cdf(cdf, u);
+        metrics.add(draw_names[static_cast<std::size_t>(pick)]);
+        return pick;
+    };
+
+    hooks.at_arrival = [&](int i, workload_view& v) {
+        // Due heals first, so a region can crash again the tick it healed.
+        for (auto it = heals.begin(); it != heals.end();) {
+            if (it->due > v.sim.now()) {
+                ++it;
+                continue;
+            }
+            for (const net::node_id node : it->nodes) {
+                v.recover(node);
+                ++out.region_heals;
+            }
+            metrics.add("scenario_region_heals",
+                        static_cast<std::int64_t>(it->nodes.size()));
+            if (it->restore) {
+                // Partition semantics: the server processes survived, so
+                // their bindings come back as tracked re-posts.
+                for (int p = 0; p < ports; ++p) {
+                    for (const net::node_id host : v.hosts[static_cast<std::size_t>(p)]) {
+                        if (std::find(it->nodes.begin(), it->nodes.end(), host) ==
+                            it->nodes.end())
+                            continue;
+                        v.repost(p, host);
+                        ++out.heal_reposts;
+                        metrics.add("scenario_heal_reposts");
+                    }
+                }
+            }
+            it = heals.erase(it);
+        }
+
+        for (const auto& ev : spec.outages) {
+            if (ev.at_op != i) continue;
+            const auto& region = carve.parts[static_cast<std::size_t>(ev.region)];
+            std::vector<net::node_id> hit;
+            for (const net::node_id node : region) {
+                if (v.sim.crashed(node)) continue;
+                v.crash(node);
+                hit.push_back(node);
+            }
+            out.region_crashes += static_cast<std::int64_t>(hit.size());
+            metrics.add("scenario_region_crashes", static_cast<std::int64_t>(hit.size()));
+            if (!ev.restore) {
+                // Crash burst: the machines reboot empty; bindings hosted
+                // in the region are gone for good.
+                for (auto& hs : v.hosts)
+                    std::erase_if(hs, [&](net::node_id h) {
+                        return std::find(hit.begin(), hit.end(), h) != hit.end();
+                    });
+            }
+            if (ev.heal_after >= 0 && !hit.empty())
+                heals.push_back({v.sim.now() + ev.heal_after, std::move(hit), ev.restore});
+        }
+
+        if (tuner != nullptr && spec.rebalance_every > 0 && i > 0 &&
+            i % spec.rebalance_every == 0) {
+            // Feed the window from the deterministic draw counters above -
+            // the decisions are a pure function of sim::metrics state.
+            for (int p = 0; p < ports; ++p) {
+                const std::int64_t cur = metrics.get(draw_names[static_cast<std::size_t>(p)]);
+                const std::int64_t delta = cur - last_draws[static_cast<std::size_t>(p)];
+                last_draws[static_cast<std::size_t>(p)] = cur;
+                tuner->observe(v.ports[static_cast<std::size_t>(p)], delta);
+            }
+            const auto rb = tuner->rebalance();
+            out.promotions += static_cast<std::int64_t>(rb.promoted.size());
+            out.demotions += static_cast<std::int64_t>(rb.demoted.size());
+            if (!rb.promoted.empty())
+                metrics.add("scenario_promotions",
+                            static_cast<std::int64_t>(rb.promoted.size()));
+            if (!rb.demoted.empty())
+                metrics.add("scenario_demotions",
+                            static_cast<std::int64_t>(rb.demoted.size()));
+            for (const core::port_id promoted : rb.promoted) {
+                // Re-home: the freshly hot port's bindings must reach the
+                // replica homes, so re-post them from every live host.
+                for (int p = 0; p < ports; ++p) {
+                    if (v.ports[static_cast<std::size_t>(p)] != promoted) continue;
+                    for (const net::node_id host : v.hosts[static_cast<std::size_t>(p)]) {
+                        if (v.sim.crashed(host)) continue;
+                        v.repost(p, host);
+                        ++out.hot_reposts;
+                        metrics.add("scenario_hot_reposts");
+                    }
+                }
+            }
+        }
+    };
+
+    out.wl = run_workload(ns, opts, hooks);
+    return out;
+}
+
+// --- codec -----------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_scenario_spec(const scenario_spec& spec) {
+    core::byte_writer w;
+    w.u32(static_cast<std::uint32_t>(spec.name.size()));
+    for (const char c : spec.name) w.u8(static_cast<std::uint8_t>(c));
+    w.u64(spec.base.seed);
+    w.i32(spec.base.operations);
+    w.f64(spec.base.mean_interarrival);
+    w.i32(spec.base.ports);
+    w.i32(spec.base.servers_per_port);
+    w.f64(spec.base.locate_weight);
+    w.f64(spec.base.register_weight);
+    w.f64(spec.base.migrate_weight);
+    w.f64(spec.base.crash_weight);
+    w.i64(spec.base.crash_downtime);
+    w.f64(spec.base.join_weight);
+    w.f64(spec.base.leave_weight);
+    w.f64(spec.base.rejoin_weight);
+    w.i32(spec.base.join_edges);
+    w.u32(static_cast<std::uint32_t>(spec.phases.size()));
+    for (const auto& ph : spec.phases) {
+        w.i32(ph.operations);
+        w.f64(ph.mean_interarrival);
+    }
+    w.f64(spec.zipf_skew);
+    w.u32(static_cast<std::uint32_t>(spec.crowds.size()));
+    for (const auto& c : spec.crowds) {
+        w.i32(c.port);
+        w.f64(c.share);
+        w.i32(c.first_op);
+        w.i32(c.last_op);
+    }
+    w.u32(static_cast<std::uint32_t>(spec.outages.size()));
+    for (const auto& ev : spec.outages) {
+        w.i32(ev.at_op);
+        w.i32(ev.region);
+        w.i64(ev.heal_after);
+        w.u8(ev.restore ? 1 : 0);
+    }
+    w.i32(spec.region_target);
+    w.i32(spec.rebalance_every);
+    return w.bytes();
+}
+
+bool decode_scenario_spec(const std::vector<std::uint8_t>& bytes, scenario_spec& out) {
+    core::byte_reader r{bytes.data(), bytes.size()};
+    scenario_spec spec;
+    const std::uint32_t name_len = r.u32();
+    if (name_len > 4096 || name_len > r.remaining()) return false;
+    spec.name.clear();
+    for (std::uint32_t i = 0; i < name_len; ++i)
+        spec.name.push_back(static_cast<char>(r.u8()));
+    spec.base.seed = r.u64();
+    spec.base.operations = r.i32();
+    spec.base.mean_interarrival = r.f64();
+    spec.base.ports = r.i32();
+    spec.base.servers_per_port = r.i32();
+    spec.base.locate_weight = r.f64();
+    spec.base.register_weight = r.f64();
+    spec.base.migrate_weight = r.f64();
+    spec.base.crash_weight = r.f64();
+    spec.base.crash_downtime = r.i64();
+    spec.base.join_weight = r.f64();
+    spec.base.leave_weight = r.f64();
+    spec.base.rejoin_weight = r.f64();
+    spec.base.join_edges = r.i32();
+    const std::uint32_t phase_count = r.u32();
+    if (phase_count > 1u << 20) return false;
+    for (std::uint32_t i = 0; i < phase_count && r.ok(); ++i) {
+        scenario_phase ph;
+        ph.operations = r.i32();
+        ph.mean_interarrival = r.f64();
+        spec.phases.push_back(ph);
+    }
+    spec.zipf_skew = r.f64();
+    const std::uint32_t crowd_count = r.u32();
+    if (crowd_count > 1u << 20) return false;
+    for (std::uint32_t i = 0; i < crowd_count && r.ok(); ++i) {
+        flash_crowd c;
+        c.port = r.i32();
+        c.share = r.f64();
+        c.first_op = r.i32();
+        c.last_op = r.i32();
+        spec.crowds.push_back(c);
+    }
+    const std::uint32_t outage_count = r.u32();
+    if (outage_count > 1u << 20) return false;
+    for (std::uint32_t i = 0; i < outage_count && r.ok(); ++i) {
+        region_event ev;
+        ev.at_op = r.i32();
+        ev.region = r.i32();
+        ev.heal_after = r.i64();
+        ev.restore = r.u8() != 0;
+        spec.outages.push_back(ev);
+    }
+    spec.region_target = r.i32();
+    spec.rebalance_every = r.i32();
+    if (!r.exhausted()) return false;
+    try {
+        validate_spec(spec);
+    } catch (const std::invalid_argument&) {
+        return false;
+    }
+    out = std::move(spec);
+    return true;
+}
+
+// --- named catalog ---------------------------------------------------------
+
+std::vector<std::string> scenario_names() {
+    return {"steady",          "zipf",           "flash_crowd", "diurnal",
+            "regional_outage", "partition_heal", "hostile"};
+}
+
+scenario_spec named_scenario(const std::string& name, int ports, int operations,
+                             std::uint64_t seed) {
+    if (ports < 1) throw std::invalid_argument{"named_scenario: need >= 1 port"};
+    if (operations < 1) throw std::invalid_argument{"named_scenario: need >= 1 operation"};
+    scenario_spec spec;
+    spec.name = name;
+    spec.base.seed = seed;
+    spec.base.operations = operations;
+    spec.base.mean_interarrival = 1.0;
+    spec.base.ports = ports;
+    spec.base.servers_per_port = 1;
+    // One locate-heavy mix across the whole catalog, so cells of the e22
+    // matrix differ only by the declared hostility.  Failures come from the
+    // region schedule, not the mix, keeping the driver's host bookkeeping
+    // (and with it the staleness-served count) exact.
+    spec.base.locate_weight = 0.92;
+    spec.base.register_weight = 0.04;
+    spec.base.migrate_weight = 0.04;
+    spec.base.crash_weight = 0;
+    spec.rebalance_every = std::max(8, operations / 16);
+    const int n = operations;
+    if (name == "steady") {
+        return spec;
+    }
+    if (name == "zipf") {
+        spec.zipf_skew = 1;
+        return spec;
+    }
+    if (name == "flash_crowd") {
+        // The coldest port of a uniform base surges to 3/4 of all traffic
+        // for the middle half of the run.
+        spec.crowds.push_back({ports - 1, 0.75, n / 4, 3 * n / 4});
+        return spec;
+    }
+    if (name == "diurnal") {
+        spec.zipf_skew = 1;
+        spec.phases = {{n / 4, 2.0}, {n / 2, 0.4}, {n - n / 4 - n / 2, 2.0}};
+        return spec;
+    }
+    // Heal delay in ticks, sized to the run: at mean inter-arrival 1.0 the
+    // issue window spans ~`operations` ticks, so n/4 heals well inside it
+    // (heals are drained at arrival points; a heal due after the last
+    // arrival deterministically never fires).
+    const auto heal_after = static_cast<sim::time_point>(std::max(1, n / 4));
+    if (name == "regional_outage") {
+        // Correlated crash bursts: two regions fail-stop (bindings lost),
+        // machines reboot empty after a while.
+        spec.zipf_skew = 1;
+        spec.outages.push_back({n / 4, 0, heal_after, false});
+        spec.outages.push_back({n / 2, 1, heal_after, false});
+        return spec;
+    }
+    if (name == "partition_heal") {
+        // Partitions that heal: the regions come back and re-post their
+        // surviving bindings.
+        spec.zipf_skew = 1;
+        spec.outages.push_back({n / 3, 1, heal_after, true});
+        spec.outages.push_back({3 * n / 5, 2, heal_after, true});
+        return spec;
+    }
+    if (name == "hostile") {
+        // Everything at once: heavy skew, a flash crowd on the hot port,
+        // and a partition across the crowd window.
+        spec.zipf_skew = 2;
+        spec.crowds.push_back({0, 0.6, n / 3, 2 * n / 3});
+        spec.outages.push_back({2 * n / 5, 0, heal_after, true});
+        return spec;
+    }
+    throw std::invalid_argument{"named_scenario: unknown scenario '" + name + "'"};
+}
+
+// --- cross-engine differential ---------------------------------------------
+
+namespace {
+
+struct scenario_run {
+    scenario_stats st;
+    std::int64_t hops = 0;
+    std::int64_t sent = 0;
+    std::int64_t delivered = 0;
+    std::int64_t dropped = 0;
+    sim::time_point now = 0;
+    std::map<std::string, std::int64_t, std::less<>> counters;
+};
+
+// Runs the spec under one engine with a fresh 64-node hierarchy and a
+// load-aware(hierarchical) strategy, tuner armed.
+scenario_run run_scenario_engine(const scenario_spec& spec, int workers, bool batched) {
+    const std::vector<int> fanouts{4, 4, 4};
+    net::graph g = net::make_hierarchical_graph(net::hierarchy{fanouts});
+    sim::simulator sim{g};
+    sim.set_canonical_paths(true);
+    if (workers > 0) sim.set_worker_threads(workers);
+    sim.set_batched_delivery(batched);
+    strategies::hierarchical_strategy parent{net::hierarchy{fanouts}};
+    strategies::load_aware_strategy tuned{
+        parent, {.hot_threshold = 12, .cool_threshold = 3, .replicas = 3}};
+    tuned.set_regions(net::partition_connected(g));
+    name_service::options policy;
+    policy.entry_ttl = 400;
+    policy.refresh_period = 0;  // quiesce, so hop counters compare exactly
+    policy.client_caching = true;
+    name_service ns{sim, tuned, policy};
+    scenario_run run;
+    run.st = run_scenario(ns, spec, &tuned);
+    run.hops = sim.stats().get(sim::counter_hops);
+    run.sent = sim.stats().get(sim::counter_messages_sent);
+    run.delivered = sim.stats().get(sim::counter_messages_delivered);
+    run.dropped = sim.stats().get(sim::counter_messages_dropped);
+    run.now = sim.now();
+    // Wall-clock phase timers are measurements, not determinism; parallel
+    // tick/round counts differ between the serial and parallel engines but
+    // classes are compared internally, where they are part of the contract.
+    run.counters = sim.stats().counters();
+    std::erase_if(run.counters,
+                  [](const auto& kv) { return kv.first.starts_with("phase_"); });
+    return run;
+}
+
+std::string diff_scenario_runs(const scenario_run& a, const scenario_run& b) {
+    std::ostringstream os;
+    const auto check = [&os](const char* field, auto va, auto vb) {
+        if (os.tellp() == 0 && va != vb) os << field << ": " << va << " vs " << vb;
+    };
+    check("hops", a.hops, b.hops);
+    check("sent", a.sent, b.sent);
+    check("delivered", a.delivered, b.delivered);
+    check("dropped", a.dropped, b.dropped);
+    check("now", a.now, b.now);
+    check("promotions", a.st.promotions, b.st.promotions);
+    check("demotions", a.st.demotions, b.st.demotions);
+    check("hot_reposts", a.st.hot_reposts, b.st.hot_reposts);
+    check("region_crashes", a.st.region_crashes, b.st.region_crashes);
+    check("region_heals", a.st.region_heals, b.st.region_heals);
+    check("heal_reposts", a.st.heal_reposts, b.st.heal_reposts);
+    check("issued", a.st.wl.issued, b.st.wl.issued);
+    check("completed", a.st.wl.completed, b.st.wl.completed);
+    check("locates", a.st.wl.locates, b.st.wl.locates);
+    check("locates_found", a.st.wl.locates_found, b.st.wl.locates_found);
+    check("stale_served", a.st.wl.stale_served, b.st.wl.stale_served);
+    check("per_op_message_passes", a.st.wl.per_op_message_passes,
+          b.st.wl.per_op_message_passes);
+    check("makespan", a.st.wl.makespan, b.st.wl.makespan);
+    check("latency_p50", a.st.wl.latency_p50, b.st.wl.latency_p50);
+    check("latency_p99", a.st.wl.latency_p99, b.st.wl.latency_p99);
+    check("latency_max", a.st.wl.latency_max, b.st.wl.latency_max);
+    check("hot_port", a.st.wl.hot_port, b.st.wl.hot_port);
+    if (os.tellp() != 0) return os.str();
+    if (a.st.wl.per_port.size() != b.st.wl.per_port.size()) return "per_port size";
+    for (std::size_t p = 0; p < a.st.wl.per_port.size(); ++p) {
+        const auto& pa = a.st.wl.per_port[p];
+        const auto& pb = b.st.wl.per_port[p];
+        if (pa.locates != pb.locates || pa.found != pb.found ||
+            pa.stale_served != pb.stale_served || pa.hops != pb.hops) {
+            os << "per_port[" << p << "]";
+            return os.str();
+        }
+    }
+    if (a.st.wl.results.size() != b.st.wl.results.size()) return "results count";
+    for (std::size_t i = 0; i < a.st.wl.results.size(); ++i) {
+        const auto& ra = a.st.wl.results[i];
+        const auto& rb = b.st.wl.results[i];
+        if (ra.found != rb.found || ra.where != rb.where || ra.latency != rb.latency ||
+            ra.message_passes != rb.message_passes ||
+            ra.issued_at != rb.issued_at || ra.completed_at != rb.completed_at) {
+            os << "op " << i << ": (found " << ra.found << " where " << ra.where
+               << " latency " << ra.latency << ") vs (found " << rb.found << " where "
+               << rb.where << " latency " << rb.latency << ")";
+            return os.str();
+        }
+    }
+    if (a.counters != b.counters) {
+        for (const auto& [name, value] : a.counters) {
+            const auto it = b.counters.find(name);
+            if (it == b.counters.end()) return "counter " + name + " missing";
+            if (it->second != value)
+                return "counter " + name + ": " + std::to_string(value) + " vs " +
+                       std::to_string(it->second);
+        }
+        return "counter set mismatch";
+    }
+    return {};
+}
+
+}  // namespace
+
+scenario_diff_report diff_scenario_engines(const std::string& name, std::uint64_t seed) {
+    const scenario_spec spec = named_scenario(name, 8, 120, seed);
+    scenario_diff_report report;
+
+    // Parallel class: par1 is the reference; 2/4/8 workers must match bit
+    // for bit (the acceptance contract of every driver in this repo).
+    const scenario_run par1 = run_scenario_engine(spec, 1, true);
+    for (const int workers : {2, 4, 8}) {
+        const scenario_run other = run_scenario_engine(spec, workers, true);
+        const std::string diff = diff_scenario_runs(par1, other);
+        if (!diff.empty()) {
+            report.divergence = "par" + std::to_string(workers) + ": " + diff;
+            return report;
+        }
+    }
+
+    // Serial class: batched vs hop-by-hop delivery, which pins the crash
+    // devolution ordering of in-flight batched flights.
+    const scenario_run serial = run_scenario_engine(spec, 0, true);
+    const scenario_run nobatch = run_scenario_engine(spec, 0, false);
+    {
+        const std::string diff = diff_scenario_runs(serial, nobatch);
+        if (!diff.empty()) {
+            report.divergence = "serial-nobatch: " + diff;
+            return report;
+        }
+    }
+
+    report.ok = true;
+    return report;
+}
+
+}  // namespace mm::runtime

@@ -1,0 +1,139 @@
+// scenario.h - declarative hostile & skewed traffic scenarios over
+// run_workload (the last ROADMAP tentpole: "scenario diversity").
+//
+// The paper designs match-making for "heavy traffic from millions of
+// users"; a uniform exponential mix never shows what that traffic does to a
+// strategy.  A scenario_spec describes, declaratively and reproducibly:
+//
+//   * arrival curves   - phases of (operations, mean inter-arrival), so a
+//                        run can ramp, spike, or breathe diurnally;
+//   * popularity skew  - Zipf weights over the port table (rank 1 = port 0);
+//   * flash crowds     - one port's locate share surging inside an
+//                        operation-index window;
+//   * correlated crash bursts and partition/heal schedules - region-scoped
+//     via net::partition_connected's carve, driven through the existing
+//     crash/recover machinery (fail-stop bursts lose their bindings;
+//     partitioned regions re-post theirs at heal time).
+//
+// Everything is seeded and bit-deterministic at any worker count: the
+// scenario consumes exactly the workload driver's own draw stream (one
+// uniform01 per port pick), injects events only at top-level arrival
+// points, and feeds every load-aware decision from sim::metrics counters -
+// so the blocking bench_diff gate pins the whole schedule.  See
+// docs/SCENARIOS.md for the grammar, the catalog, and the determinism
+// contract in full.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/workload.h"
+
+namespace mm::strategies {
+class load_aware_strategy;
+}
+
+namespace mm::runtime {
+
+// One arrival-curve segment: `operations` issued with exponential
+// inter-arrival of the given mean (0 = burst, all at one tick).
+struct scenario_phase {
+    int operations = 0;
+    double mean_interarrival = 1.0;
+};
+
+// One port's surge: inside [first_op, last_op) each operation targets
+// `port` with probability `share` (the remaining probability mass follows
+// the base popularity, re-uniformized so no draws are wasted).
+struct flash_crowd {
+    int port = 0;  // index into the workload's port table
+    double share = 0.8;
+    int first_op = 0;
+    int last_op = 0;
+};
+
+// Correlated regional failure: every live node of carve region `region`
+// fail-stops at operation index `at_op`.  With heal_after >= 0 the region
+// recovers once that much simulated time has passed (checked at arrivals).
+// restore selects the semantics: false = crash burst (the machines reboot
+// empty; bindings hosted there are gone), true = partition (the server
+// processes survive; their bindings are re-posted when the region heals).
+struct region_event {
+    int at_op = 0;
+    int region = 0;
+    sim::time_point heal_after = -1;  // -1 = never heals during the run
+    bool restore = false;
+};
+
+struct scenario_spec {
+    std::string name = "custom";
+    // Seed, port table, mix weights.  base.operations and
+    // base.mean_interarrival apply only when `phases` is empty.
+    workload_options base;
+    std::vector<scenario_phase> phases;
+    // Zipf skew s over port ranks (weight of port p is (p+1)^-s; 0 =
+    // uniform).  s in {0, 1, 2} uses exactly-rounded arithmetic only, so
+    // draws are bit-stable across toolchains; other s go through std::pow.
+    double zipf_skew = 0;
+    std::vector<flash_crowd> crowds;
+    std::vector<region_event> outages;
+    // partition_connected target region size (0 = ~sqrt(n)).
+    int region_target = 0;
+    // Operations between load-aware rebalances (0 = never; only meaningful
+    // when run_scenario is given a tuner).
+    int rebalance_every = 0;
+
+    [[nodiscard]] int total_operations() const;
+};
+
+// Exact round-trip codec (doubles travel as IEEE bit patterns).  decode
+// returns false on truncated/trailing bytes or out-of-range fields.
+[[nodiscard]] std::vector<std::uint8_t> encode_scenario_spec(const scenario_spec& spec);
+[[nodiscard]] bool decode_scenario_spec(const std::vector<std::uint8_t>& bytes,
+                                        scenario_spec& out);
+
+struct scenario_stats {
+    workload_stats wl;
+    // Load-aware feedback (all zero without a tuner).  Every quantity is
+    // also bumped into sim::metrics under scenario_* dynamic counters, so
+    // engine diffs and the bench gate pin them.
+    std::int64_t promotions = 0;
+    std::int64_t demotions = 0;
+    std::int64_t hot_reposts = 0;  // tracked re-posts issued at promotions
+    // Region machinery.
+    std::int64_t region_crashes = 0;  // node fail-stops injected
+    std::int64_t region_heals = 0;    // node recoveries injected
+    std::int64_t heal_reposts = 0;    // bindings re-posted by restore heals
+};
+
+// Runs the scenario against the service.  With a tuner (which must be the
+// strategy the service was built over, or wrap it), per-port draw counts
+// are fed to it every rebalance_every operations and promotions re-post the
+// hot port's bindings.  Deterministic: same spec + same service state =
+// identical stats, at any worker count.
+scenario_stats run_scenario(name_service& ns, const scenario_spec& spec,
+                            strategies::load_aware_strategy* tuner = nullptr);
+
+// --- named catalog ---------------------------------------------------------
+// The scenarios bench_e22 and the fuzz canary run by name; docs/SCENARIOS.md
+// documents each.  Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::vector<std::string> scenario_names();
+[[nodiscard]] scenario_spec named_scenario(const std::string& name, int ports,
+                                           int operations, std::uint64_t seed);
+
+// --- cross-engine differential (mm_fuzz --scenario) ------------------------
+// Runs the named scenario over a small hierarchy with a load-aware(
+// hierarchical) strategy under two engine equality classes - the parallel
+// sweep {par1 (ref), par2, par4, par8} and the serial pair {serial,
+// serial-nobatch} - and diffs the full stats/counter sets class-internally.
+// (The two protocol regimes legitimately differ under deferred fan-out, so
+// classes are never cross-compared; see runtime/replay.h.)
+struct scenario_diff_report {
+    bool ok = false;
+    std::string divergence;  // "<engine>: <first divergent field>" when !ok
+};
+[[nodiscard]] scenario_diff_report diff_scenario_engines(const std::string& name,
+                                                         std::uint64_t seed);
+
+}  // namespace mm::runtime

@@ -24,6 +24,11 @@ sim::time_point percentile(const std::vector<sim::time_point>& sorted, double p)
 }  // namespace
 
 workload_stats run_workload(name_service& ns, const workload_options& opts) {
+    return run_workload(ns, opts, workload_hooks{});
+}
+
+workload_stats run_workload(name_service& ns, const workload_options& opts,
+                            const workload_hooks& hooks) {
     if (opts.operations < 0) throw std::invalid_argument{"run_workload: operations < 0"};
     if (opts.ports < 1) throw std::invalid_argument{"run_workload: need >= 1 port"};
     if (opts.mean_interarrival < 0)
@@ -94,26 +99,58 @@ workload_stats run_workload(name_service& ns, const workload_options& opts) {
     ids.reserve(static_cast<std::size_t>(opts.operations));
     std::vector<char> is_locate;
     is_locate.reserve(static_cast<std::size_t>(opts.operations));
+    std::vector<int> op_port;  // port index per tracked op (locate accounting)
+    op_port.reserve(static_cast<std::size_t>(opts.operations));
     std::vector<std::pair<sim::time_point, net::node_id>> recoveries;  // sorted by time
     const sim::time_point first_issue = sim.now();
     sim::time_point arrival = sim.now();
 
+    // Hook plumbing: reposts are tracked like mix registers, crash/recover
+    // are idempotence-guarded so scenario bursts compose with the mix's own
+    // crash/recovery schedule without double-transitioning a node.
+    const std::function<void(int, net::node_id)> hook_repost =
+        [&](int p, net::node_id at) {
+            ids.push_back(ns.begin_register(ports[static_cast<std::size_t>(p)], at));
+            is_locate.push_back(0);
+            op_port.push_back(p);
+            ++stats.issued;
+        };
+    const std::function<void(net::node_id)> hook_crash = [&](net::node_id v) {
+        if (!sim.crashed(v)) ns.crash_node(v);
+    };
+    const std::function<void(net::node_id)> hook_recover = [&](net::node_id v) {
+        if (sim.crashed(v)) ns.recover_node(v);
+    };
+    workload_view view{ns, sim, ports, hosts, hook_repost, hook_crash, hook_recover};
+
     for (int i = 0; i < opts.operations; ++i) {
         // Open-loop arrivals: exponential inter-arrival, issued regardless
         // of how many operations are still in flight.
-        if (opts.mean_interarrival > 0) {
+        const double mean = hooks.interarrival_mean ? hooks.interarrival_mean(i)
+                                                    : opts.mean_interarrival;
+        if (mean < 0) throw std::invalid_argument{"run_workload: negative inter-arrival"};
+        if (mean > 0) {
             const double u = random.uniform01();
-            arrival += static_cast<sim::time_point>(
-                std::llround(-opts.mean_interarrival * std::log(1.0 - u)));
+            arrival += static_cast<sim::time_point>(std::llround(-mean * std::log(1.0 - u)));
         }
         if (arrival > sim.now()) sim.run_until(arrival);
         while (!recoveries.empty() && recoveries.front().first <= sim.now()) {
-            ns.recover_node(recoveries.front().second);
+            if (sim.crashed(recoveries.front().second))
+                ns.recover_node(recoveries.front().second);
             recoveries.erase(recoveries.begin());
         }
+        if (hooks.at_arrival) hooks.at_arrival(i, view);
 
         const double dice = random.uniform01() * total_weight;
-        const auto pi = static_cast<std::size_t>(random.uniform(0, opts.ports - 1));
+        std::size_t pi;
+        if (hooks.pick_port) {
+            const int p = hooks.pick_port(i, random.uniform01());
+            if (p < 0 || p >= opts.ports)
+                throw std::out_of_range{"run_workload: pick_port out of range"};
+            pi = static_cast<std::size_t>(p);
+        } else {
+            pi = static_cast<std::size_t>(random.uniform(0, opts.ports - 1));
+        }
         const core::port_id port = ports[pi];
         const double w_locate = opts.locate_weight;
         const double w_register = w_locate + opts.register_weight;
@@ -126,12 +163,14 @@ workload_stats run_workload(name_service& ns, const workload_options& opts) {
             if (client == net::invalid_node) continue;
             ids.push_back(ns.begin_locate(port, client));
             is_locate.push_back(1);
+            op_port.push_back(static_cast<int>(pi));
             ++stats.issued;
         } else if (dice < w_register) {
             const auto at = pick_live_node();
             if (at == net::invalid_node) continue;
             ids.push_back(ns.begin_register(port, at));
             is_locate.push_back(0);
+            op_port.push_back(static_cast<int>(pi));
             hosts[pi].push_back(at);
             ++stats.issued;
         } else if (dice < w_migrate) {
@@ -143,6 +182,7 @@ workload_stats run_workload(name_service& ns, const workload_options& opts) {
             if (to == net::invalid_node || to == from || sim.crashed(from)) continue;
             ids.push_back(ns.begin_migrate(port, from, to));
             is_locate.push_back(0);
+            op_port.push_back(static_cast<int>(pi));
             hosts[pi][hi] = to;
             ++stats.issued;
         } else if (dice < w_join) {
@@ -193,6 +233,7 @@ workload_stats run_workload(name_service& ns, const workload_options& opts) {
     durations.reserve(ids.size());
     std::vector<std::pair<sim::time_point, int>> flight;  // (+1 issue, -1 done)
     flight.reserve(2 * ids.size());
+    stats.per_port.resize(static_cast<std::size_t>(opts.ports));
     for (std::size_t k = 0; k < ids.size(); ++k) {
         const auto result = ns.poll(ids[k]);
         if (!result) continue;  // actor crashed mid-flight and never resolved
@@ -200,6 +241,18 @@ workload_stats run_workload(name_service& ns, const workload_options& opts) {
         if (is_locate[k]) {
             ++stats.locates;
             if (result->found) ++stats.locates_found;
+            auto& pp = stats.per_port[static_cast<std::size_t>(op_port[k])];
+            ++pp.locates;
+            pp.hops += result->message_passes;
+            if (result->found) {
+                ++pp.found;
+                const auto& hs = hosts[static_cast<std::size_t>(op_port[k])];
+                if (sim.crashed(result->where) ||
+                    std::find(hs.begin(), hs.end(), result->where) == hs.end()) {
+                    ++pp.stale_served;
+                    ++stats.stale_served;
+                }
+            }
         }
         stats.per_op_message_passes += result->message_passes;
         stats.makespan = std::max(stats.makespan, result->completed_at - first_issue);
@@ -220,6 +273,23 @@ workload_stats run_workload(name_service& ns, const workload_options& opts) {
         (void)when;
         in_flight += delta;
         stats.max_in_flight = std::max(stats.max_in_flight, in_flight);
+    }
+
+    std::int64_t locate_hops = 0;
+    for (std::size_t p = 0; p < stats.per_port.size(); ++p) {
+        locate_hops += stats.per_port[p].hops;
+        if (stats.hot_port < 0 ||
+            stats.per_port[p].locates >
+                stats.per_port[static_cast<std::size_t>(stats.hot_port)].locates)
+            stats.hot_port = static_cast<int>(p);
+    }
+    if (stats.hot_port >= 0 && stats.locates > 0) {
+        const auto& hot = stats.per_port[static_cast<std::size_t>(stats.hot_port)];
+        stats.hot_port_locate_share =
+            static_cast<double>(hot.locates) / static_cast<double>(stats.locates);
+        if (locate_hops > 0)
+            stats.hot_port_hop_share =
+                static_cast<double>(hot.hops) / static_cast<double>(locate_hops);
     }
 
     std::sort(durations.begin(), durations.end());

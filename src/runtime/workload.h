@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "runtime/name_service.h"
@@ -52,11 +53,26 @@ struct workload_options {
     int join_edges = 2;
 };
 
+// Per-port locate breakdown (index = the port's index in the workload's
+// port table, i.e. "wl-<index>").  Only locate-kind operations are counted
+// here; the aggregate stats below cover the whole mix.
+struct workload_port_stats {
+    std::int64_t locates = 0;        // completed locates of this port
+    std::int64_t found = 0;          // ... that found an address
+    std::int64_t stale_served = 0;   // ... whose answer was stale (below)
+    std::int64_t hops = 0;           // message passes of this port's locates
+};
+
 struct workload_stats {
     std::int64_t issued = 0;
     std::int64_t completed = 0;
     std::int64_t locates = 0;
     std::int64_t locates_found = 0;
+    // Found locates whose answered address is, at the end of the run,
+    // crashed or no longer among the port's registered hosts as tracked by
+    // the driver - the served answer pointed somewhere the service had
+    // already left (cached-hint staleness, Section 2.1's price of hints).
+    std::int64_t stale_served = 0;
     std::int64_t crashes = 0;
     std::int64_t joins = 0;
     std::int64_t leaves = 0;
@@ -81,10 +97,56 @@ struct workload_stats {
     // Per-operation results in issue order (locate-kind ops and post-kind
     // ops alike), for determinism checks and custom aggregation.
     std::vector<locate_result> results;
+    // Per-port locate breakdown, indexed like the port table.
+    std::vector<workload_port_stats> per_port;
+    // The port with the most completed locates (lowest index wins ties) and
+    // its share of all completed locates / of all locate message passes -
+    // the skew quantities the scenario matrix (bench_e22) reports per cell.
+    int hot_port = -1;
+    double hot_port_locate_share = 0;
+    double hot_port_hop_share = 0;
+};
+
+// Driver state exposed to hooks at each arrival.  The scenario layer
+// (runtime/scenario.h) uses it to inject region-correlated crashes, heals,
+// and hot-port re-posts that are tracked - issued/completed/accounted -
+// exactly like mix operations.
+struct workload_view {
+    name_service& ns;
+    sim::simulator& sim;
+    const std::vector<core::port_id>& ports;        // index -> port id
+    std::vector<std::vector<net::node_id>>& hosts;  // index -> registered hosts
+    // Issues a tracked re-post of port index `pi`'s binding at `at` (counted
+    // in issued/completed and the per-op accounting; does not touch hosts).
+    const std::function<void(int, net::node_id)>& repost;
+    // Crash / recover with idempotence guards (no-ops when the node is
+    // already in the requested state).  Neither touches hosts: the caller
+    // decides whether a crash means "server process died" (erase the host)
+    // or "region partitioned away" (keep it; repost after the heal).
+    const std::function<void(net::node_id)>& crash;
+    const std::function<void(net::node_id)>& recover;
+};
+
+// Optional per-run hooks.  All default-empty; a default-constructed hooks
+// struct leaves the driver's draw stream and behavior bit-identical to the
+// hook-free overload (golden traces depend on this).
+struct workload_hooks {
+    // Overrides opts.mean_interarrival per operation index (0 = burst).
+    std::function<double(int)> interarrival_mean;
+    // Overrides the uniform port draw.  Receives the operation index and
+    // exactly the one uniform01 draw the default pick would have consumed;
+    // must return a port index in [0, opts.ports).
+    std::function<int(int, double)> pick_port;
+    // Called once per operation index after arrivals/recoveries settle and
+    // before the mix dice roll - the injection point for scenario events.
+    // Must not consume driver randomness.
+    std::function<void(int, workload_view&)> at_arrival;
 };
 
 // Runs the workload to completion.  Deterministic: the same options against
 // the same name_service/simulator state produce identical stats.
 workload_stats run_workload(name_service& ns, const workload_options& opts);
+workload_stats run_workload(name_service& ns, const workload_options& opts,
+                            const workload_hooks& hooks);
 
 }  // namespace mm::runtime

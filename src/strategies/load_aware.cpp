@@ -1,0 +1,164 @@
+#include "strategies/load_aware.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace mm::strategies {
+
+load_aware_strategy::load_aware_strategy(const core::locate_strategy& parent)
+    : load_aware_strategy(parent, options{}) {}
+
+load_aware_strategy::load_aware_strategy(const core::locate_strategy& parent, options opt)
+    : parent_{&parent}, opt_{opt} {
+    if (opt_.replicas < 1)
+        throw std::invalid_argument{"load_aware_strategy: replicas < 1"};
+    if (opt_.cool_threshold > opt_.hot_threshold)
+        throw std::invalid_argument{
+            "load_aware_strategy: cool_threshold > hot_threshold (hysteresis "
+            "band inverted - hot ports would thrash)"};
+}
+
+std::string load_aware_strategy::name() const {
+    return "load-aware(" + parent_->name() + ")";
+}
+
+net::node_id load_aware_strategy::node_count() const { return parent_->node_count(); }
+
+void load_aware_strategy::set_regions(const net::graph_partition& carve) {
+    if (static_cast<net::node_id>(carve.part_of.size()) != parent_->node_count())
+        throw std::invalid_argument{
+            "load_aware_strategy: carve covers a different node count"};
+    region_of_ = carve.part_of;
+    region_nodes_ = carve.parts;
+}
+
+namespace {
+
+// The representative of `port` inside one region: a port-and-region hashed
+// pick, so different hot ports spread over different nodes of the region.
+net::node_id region_home(const std::vector<net::node_id>& region, core::port_id port,
+                         std::size_t region_index) {
+    const std::uint64_t h = sim::splitmix64(sim::splitmix64(port) ^ region_index);
+    return region[static_cast<std::size_t>(h % region.size())];
+}
+
+}  // namespace
+
+core::node_set load_aware_strategy::homes(core::port_id port) const {
+    core::node_set homes;
+    if (!region_nodes_.empty()) {
+        homes.reserve(region_nodes_.size());
+        for (std::size_t r = 0; r < region_nodes_.size(); ++r)
+            homes.push_back(region_home(region_nodes_[r], port, r));
+        core::normalize_set(homes);
+        return homes;
+    }
+    const auto n = static_cast<std::uint64_t>(parent_->node_count());
+    const int replicas = std::min<int>(opt_.replicas, static_cast<int>(n));
+    // Generic fallback without a carve: evenly strided from a port-hashed
+    // start - posts rendezvous with queries, but with no locality claim.
+    const std::uint64_t start = sim::splitmix64(port) % n;
+    const std::uint64_t step = std::max<std::uint64_t>(1, n / static_cast<std::uint64_t>(replicas));
+    homes.reserve(static_cast<std::size_t>(replicas));
+    for (int r = 0; r < replicas; ++r)
+        homes.push_back(static_cast<net::node_id>((start + static_cast<std::uint64_t>(r) * step) % n));
+    core::normalize_set(homes);
+    return homes;
+}
+
+net::node_id load_aware_strategy::home_for(core::port_id port, net::node_id client) const {
+    if (region_of_.empty()) return net::invalid_node;
+    const auto r = static_cast<std::size_t>(region_of_[static_cast<std::size_t>(client)]);
+    return region_home(region_nodes_[r], port, r);
+}
+
+bool load_aware_strategy::hot(core::port_id port) const {
+    return std::binary_search(hot_.begin(), hot_.end(), port);
+}
+
+core::node_set load_aware_strategy::post_set(net::node_id server, core::port_id port) const {
+    auto set = parent_->post_set(server, port);
+    if (hot(port)) {
+        const auto extra = homes(port);
+        set.insert(set.end(), extra.begin(), extra.end());
+        core::normalize_set(set);
+    }
+    return set;
+}
+
+core::node_set load_aware_strategy::query_set(net::node_id client, core::port_id port) const {
+    if (!hot(port)) return parent_->query_set(client, port);
+    if (!region_of_.empty()) {
+        // Hot with locality: one short-range message to the client's own
+        // region's home (guaranteed rendezvous - the hot post set covers
+        // every region's home).
+        return core::node_set{home_for(port, client)};
+    }
+    // Hot without a carve: rendezvous at the replica homes, plus the
+    // parent's stage-1 (local) set so nearby servers still answer.
+    auto set = homes(port);
+    const auto local = parent_->staged_query_set(client, 1, port);
+    set.insert(set.end(), local.begin(), local.end());
+    core::normalize_set(set);
+    return set;
+}
+
+int load_aware_strategy::staged_levels() const { return parent_->staged_levels(); }
+
+core::node_set load_aware_strategy::staged_query_set(net::node_id client, int level,
+                                                     core::port_id port) const {
+    auto set = parent_->staged_query_set(client, level, port);
+    if (level == 1 && hot(port)) {
+        // Stage 1 gains the rendezvous guarantee: the local region home
+        // with a carve installed, the full replica spread without.
+        const auto extra =
+            region_of_.empty() ? homes(port) : core::node_set{home_for(port, client)};
+        set.insert(set.end(), extra.begin(), extra.end());
+        core::normalize_set(set);
+    }
+    return set;
+}
+
+std::vector<const core::locate_strategy*> load_aware_strategy::fallback_chain() const {
+    return parent_->fallback_chain();
+}
+
+void load_aware_strategy::observe(core::port_id port, std::int64_t draws) {
+    if (draws <= 0) return;
+    for (auto& [p, count] : window_) {
+        if (p == port) {
+            count += draws;
+            return;
+        }
+    }
+    window_.emplace_back(port, draws);
+}
+
+load_aware_strategy::rebalance_result load_aware_strategy::rebalance() {
+    rebalance_result result;
+    // Demote first: hot ports whose window count fell to the cool threshold
+    // (ports with no observations at all count as zero).
+    for (const core::port_id p : hot_) {
+        std::int64_t count = 0;
+        for (const auto& [q, c] : window_)
+            if (q == p) count = c;
+        if (count <= opt_.cool_threshold) result.demoted.push_back(p);
+    }
+    for (const core::port_id p : result.demoted)
+        hot_.erase(std::remove(hot_.begin(), hot_.end(), p), hot_.end());
+    // Promote in first-seen window order, so the schedule is a
+    // deterministic function of the observation stream.
+    for (const auto& [p, count] : window_) {
+        if (count >= opt_.hot_threshold && !hot(p)) {
+            result.promoted.push_back(p);
+            hot_.push_back(p);
+            std::sort(hot_.begin(), hot_.end());
+        }
+    }
+    window_.clear();
+    return result;
+}
+
+}  // namespace mm::strategies

@@ -1,0 +1,107 @@
+// load_aware.h - observed-load adaptive match-making (ROADMAP scenario
+// tentpole; the paper's weighted match-making of Section 4 / e15
+// generalized from *configured* weights to *measured* traffic).
+//
+// Wraps any parent strategy and maintains a small set of HOT ports.  A cold
+// port behaves exactly like the parent.  A hot port is re-homed: its posts
+// additionally land at a handful of well-known replica homes spread evenly
+// over the node space, and its queries shrink to those homes plus the
+// parent's stage-1 (local) set - so the busiest traffic stops multicasting
+// across the whole parent query set and rendezvous at the replicas instead.
+// Rendezvous stays guaranteed while hot: hot post set ⊇ homes(port) and hot
+// query set ⊇ homes(port).  When traffic cools the port is demoted and the
+// parent's sets apply again (the parent's entries were maintained the whole
+// time, because the hot post set is a superset of the parent's).
+//
+// Determinism contract: the hot set is mutated ONLY at top level (observe/
+// rebalance between operations, never inside a simulator round), while
+// post_set/query_set are pure reads - so the parallel engine's worker
+// threads see a stable snapshot and results stay bit-identical at any
+// worker count.  Feed observe() from deterministic counters (the scenario
+// driver uses sim::metrics port draw counters) and the promote/demote
+// schedule is itself bit-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/strategy.h"
+#include "net/partition.h"
+
+namespace mm::strategies {
+
+class load_aware_strategy final : public core::locate_strategy {
+public:
+    struct options {
+        // Window draw counts at/above which a port is promoted to hot, and
+        // at/below which a hot port is demoted back to the parent's sets.
+        std::int64_t hot_threshold = 24;
+        std::int64_t cool_threshold = 6;
+        // Well-known replica homes per hot port, spread evenly over nodes.
+        int replicas = 4;
+    };
+
+    // The parent must outlive this strategy.
+    explicit load_aware_strategy(const core::locate_strategy& parent);
+    load_aware_strategy(const core::locate_strategy& parent, options opt);
+
+    // Locality carve (setup-time, before any operation runs): with regions
+    // installed, a hot port keeps ONE replica home per connected region and
+    // a client queries only its own region's home - a single short-range
+    // message instead of the parent's full multicast, which is where the
+    // hot-port hop and tail-latency wins come from.  Without regions the
+    // generic fallback spreads `replicas` homes over the node space (the
+    // posts still rendezvous, but queries don't get cheaper - fine for
+    // correctness tests, wrong for performance).  The carve is the paper's
+    // own sqrt-partition, so locality comes from the same machinery the
+    // region outage scheduler uses.
+    void set_regions(const net::graph_partition& carve);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] net::node_id node_count() const override;
+    [[nodiscard]] core::node_set post_set(net::node_id server, core::port_id port) const override;
+    [[nodiscard]] core::node_set query_set(net::node_id client, core::port_id port) const override;
+    [[nodiscard]] int staged_levels() const override;
+    [[nodiscard]] core::node_set staged_query_set(net::node_id client, int level,
+                                                  core::port_id port) const override;
+    [[nodiscard]] std::vector<const core::locate_strategy*> fallback_chain() const override;
+
+    // --- load feedback (top-level only; never call inside a round) ---------
+    // Accumulates `draws` observed queries for `port` into the current
+    // window.  First-seen order is preserved, so rebalance decisions are
+    // deterministic functions of the observation stream.
+    void observe(core::port_id port, std::int64_t draws);
+
+    struct rebalance_result {
+        std::vector<core::port_id> promoted;
+        std::vector<core::port_id> demoted;
+    };
+    // Applies the thresholds to the accumulated window, updates the hot
+    // set, and clears the window.  Newly promoted ports need their binding
+    // re-posted by the caller (the homes hold no entries yet).
+    rebalance_result rebalance();
+
+    [[nodiscard]] bool hot(core::port_id port) const;
+    [[nodiscard]] std::size_t hot_count() const noexcept { return hot_.size(); }
+    // The port's replica homes (normalized; same whether hot or cold):
+    // one per region when a carve is installed, `replicas` strided nodes
+    // otherwise.
+    [[nodiscard]] core::node_set homes(core::port_id port) const;
+    // The home a client in `client`'s region queries (regions installed).
+    [[nodiscard]] net::node_id home_for(core::port_id port, net::node_id client) const;
+    [[nodiscard]] const options& opts() const noexcept { return opt_; }
+    [[nodiscard]] const core::locate_strategy& parent() const noexcept { return *parent_; }
+
+private:
+    const core::locate_strategy* parent_;
+    options opt_;
+    // Locality carve (empty = generic strided homes).
+    std::vector<int> region_of_;
+    std::vector<std::vector<net::node_id>> region_nodes_;
+    // Current observation window, in first-seen port order.
+    std::vector<std::pair<core::port_id, std::int64_t>> window_;
+    std::vector<core::port_id> hot_;  // sorted
+};
+
+}  // namespace mm::strategies

@@ -15,14 +15,24 @@
 // The fixpoint - typically a handful of nodes and a few operations - is
 // printed as the minimal reproducer.
 //
-// Usage: mm_fuzz [--seeds N] [--start S] [--quiet] | --minimize SEED
+// `mm_fuzz --scenario NAME` switches the canary from random configs to the
+// named catalog entry of runtime/scenario.h: each seed runs the scenario
+// (Zipf skew, flash crowds, region outages, load-aware rebalancing) through
+// diff_scenario_engines' two engine equality classes - the parallel sweep
+// {par1, par2, par4, par8} and the serial pair {batched, hop-by-hop} - and
+// any class-internal drift fails the run (docs/SCENARIOS.md).
+//
+// Usage: mm_fuzz [--seeds N] [--start S] [--quiet] [--scenario NAME]
+//               | --minimize SEED
 //   --seeds N      how many consecutive seeds to run (default 8)
 //   --start S      first seed (default 1)
 //   --quiet        only print failures and the final summary
+//   --scenario X   diff the named scenario instead of random configs
 //   --minimize S   shrink diverging seed S to a minimal reproducing config
 // Exit status: 0 when every seed agreed (or the minimizer finished), 1 on
 // any divergence (or when --minimize got a seed that does not diverge),
 // 2 on usage.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +41,7 @@
 #include <vector>
 
 #include "runtime/replay.h"
+#include "runtime/scenario.h"
 
 namespace {
 
@@ -127,12 +138,45 @@ int minimize(std::uint64_t seed) {
     return 0;
 }
 
+// Seeded sweep over one named scenario: same loop shape as the random-config
+// canary, but every seed reruns the same declared hostility with a fresh
+// draw stream.
+int fuzz_scenario(const std::string& name, std::uint64_t start, std::uint64_t seeds,
+                  bool quiet) {
+    const auto known = mm::runtime::scenario_names();
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+        std::fprintf(stderr, "mm_fuzz: unknown scenario '%s'; known:", name.c_str());
+        for (const auto& n : known) std::fprintf(stderr, " %s", n.c_str());
+        std::fprintf(stderr, "\n");
+        return 2;
+    }
+    std::uint64_t failures = 0;
+    for (std::uint64_t seed = start; seed < start + seeds; ++seed) {
+        const auto report = mm::runtime::diff_scenario_engines(name, seed);
+        if (report.ok) {
+            if (!quiet)
+                std::printf("seed %llu: ok   scenario %s\n",
+                            static_cast<unsigned long long>(seed), name.c_str());
+            continue;
+        }
+        ++failures;
+        std::printf("seed %llu: DIVERGED   scenario %s\n%s\n",
+                    static_cast<unsigned long long>(seed), name.c_str(),
+                    report.divergence.c_str());
+    }
+    std::printf("mm_fuzz: %llu/%llu seeds agreed across all engines (scenario %s)\n",
+                static_cast<unsigned long long>(seeds - failures),
+                static_cast<unsigned long long>(seeds), name.c_str());
+    return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     std::uint64_t seeds = 8;
     std::uint64_t start = 1;
     bool quiet = false;
+    std::string scenario;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--seeds" && i + 1 < argc) {
@@ -141,14 +185,18 @@ int main(int argc, char** argv) {
             start = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--minimize" && i + 1 < argc) {
             return minimize(std::strtoull(argv[++i], nullptr, 10));
+        } else if (arg == "--scenario" && i + 1 < argc) {
+            scenario = argv[++i];
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
             std::fprintf(stderr,
-                         "usage: mm_fuzz [--seeds N] [--start S] [--quiet] | --minimize SEED\n");
+                         "usage: mm_fuzz [--seeds N] [--start S] [--quiet] "
+                         "[--scenario NAME] | --minimize SEED\n");
             return 2;
         }
     }
+    if (!scenario.empty()) return fuzz_scenario(scenario, start, seeds, quiet);
 
     std::uint64_t failures = 0;
     for (std::uint64_t seed = start; seed < start + seeds; ++seed) {
